@@ -1,0 +1,365 @@
+// Benchmarks regenerating the paper's evaluation (§VI), one per table and
+// figure, at ScaleSmall so `go test -bench=.` stays tractable; use
+// cmd/caracbench for the paper-style tables at larger scales.
+package carac
+
+import (
+	"testing"
+	"time"
+
+	"carac/internal/analysis"
+	"carac/internal/bench"
+	"carac/internal/core"
+	"carac/internal/datagen"
+	"carac/internal/engines"
+	"carac/internal/ir"
+	"carac/internal/jit"
+	"carac/internal/jit/bytecode"
+	"carac/internal/jit/lambda"
+	"carac/internal/jit/quotes"
+	"carac/internal/optimizer"
+	"carac/internal/storage"
+	"carac/internal/workloads"
+)
+
+func newBenchRelation(indexed bool) *storage.Relation {
+	r := storage.NewRelation("bench", 2)
+	if indexed {
+		r.BuildIndex(0)
+	}
+	return r
+}
+
+var benchSizes = bench.SizesFor(bench.ScaleSmall)
+
+// runProgram benchmarks repeated runs of one prepared program.
+func runProgram(b *testing.B, built *analysis.Built, opts core.Options) {
+	b.Helper()
+	opts.Timeout = 2 * time.Minute
+	// Warm once (captures the ground-fact baseline, registers indexes).
+	if _, err := built.P.Run(opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := built.P.Run(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table I: interpreted execution time -------------------------------
+
+func BenchmarkTable1(b *testing.B) {
+	sz := benchSizes
+	pts := datagen.SListLib(sz.SListLib, sz.Seed)
+	cspa := datagen.CSPAGraph(sz.CSPA, sz.Seed)
+	csda := datagen.CSDAGraph(sz.CSDA, sz.Seed)
+
+	cases := []struct {
+		name  string
+		form  analysis.Formulation
+		build func(analysis.Formulation) *analysis.Built
+	}{
+		{"Ackermann", analysis.Unoptimized, func(f analysis.Formulation) *analysis.Built { return workloads.Ackermann(f, sz.AckM, sz.AckN) }},
+		{"Ackermann", analysis.HandOptimized, func(f analysis.Formulation) *analysis.Built { return workloads.Ackermann(f, sz.AckM, sz.AckN) }},
+		{"Fibonacci", analysis.Unoptimized, func(f analysis.Formulation) *analysis.Built { return workloads.Fibonacci(f, sz.FibN) }},
+		{"Fibonacci", analysis.HandOptimized, func(f analysis.Formulation) *analysis.Built { return workloads.Fibonacci(f, sz.FibN) }},
+		{"Primes", analysis.Unoptimized, func(f analysis.Formulation) *analysis.Built { return workloads.Primes(f, sz.PrimesN) }},
+		{"Primes", analysis.HandOptimized, func(f analysis.Formulation) *analysis.Built { return workloads.Primes(f, sz.PrimesN) }},
+		{"Andersen", analysis.Unoptimized, func(f analysis.Formulation) *analysis.Built { return analysis.Andersen(f, pts) }},
+		{"Andersen", analysis.HandOptimized, func(f analysis.Formulation) *analysis.Built { return analysis.Andersen(f, pts) }},
+		{"InvFuns", analysis.Unoptimized, func(f analysis.Formulation) *analysis.Built { return analysis.InvFuns(f, pts) }},
+		{"InvFuns", analysis.HandOptimized, func(f analysis.Formulation) *analysis.Built { return analysis.InvFuns(f, pts) }},
+		{sz.CSPAName, analysis.Unoptimized, func(f analysis.Formulation) *analysis.Built { return analysis.CSPA(f, cspa) }},
+		{sz.CSPAName, analysis.HandOptimized, func(f analysis.Formulation) *analysis.Built { return analysis.CSPA(f, cspa) }},
+		{"CSDA", analysis.HandOptimized, func(analysis.Formulation) *analysis.Built { return analysis.CSDA(csda) }},
+	}
+	for _, c := range cases {
+		for _, indexed := range []bool{false, true} {
+			if !indexed && (c.name == "CSDA" || c.name == sz.CSPAName) {
+				continue // paper runs these indexed-only
+			}
+			idx := "Unindexed"
+			if indexed {
+				idx = "Indexed"
+			}
+			c := c
+			indexed := indexed
+			b.Run(c.name+"/"+idx+"/"+c.form.String(), func(b *testing.B) {
+				runProgram(b, c.build(c.form), core.Options{Indexed: indexed})
+			})
+		}
+	}
+}
+
+// --- Fig 5: code-generation time per granularity ------------------------
+
+func BenchmarkFig5_Codegen(b *testing.B) {
+	built := analysis.CSPA(analysis.HandOptimized, datagen.CSPAGraph(benchSizes.CSPA, benchSizes.Seed))
+	root, err := ir.Lower(built.P.AST())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cat := built.P.Catalog()
+	nodes := map[string]ir.Op{}
+	ir.Walk(root, func(o ir.Op) {
+		key := o.Kind().String()
+		if _, ok := nodes[key]; !ok {
+			nodes[key] = o
+		}
+	})
+
+	for _, gran := range []string{"ProgramOp", "DoWhileOp", "UnionOp*", "UnionOp", "SPJ"} {
+		op := nodes[gran]
+		if op == nil {
+			continue
+		}
+		b.Run("QuotesWarmFull/"+gran, func(b *testing.B) {
+			c := quotes.NewCompiler()
+			if _, err := c.Compile(op, cat, false); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Compile(op, cat, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("QuotesColdFull/"+gran, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := quotes.NewCompiler().Compile(op, cat, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("QuotesWarmSnippet/"+gran, func(b *testing.B) {
+			c := quotes.NewCompiler()
+			if _, err := c.Compile(op, cat, true); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Compile(op, cat, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("Bytecode/"+gran, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := (bytecode.Compiler{}).Compile(op, cat, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("Lambda/"+gran, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := (lambda.Compiler{}).Compile(op, cat, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figs 6/7: JIT speedup over unoptimized inputs -----------------------
+
+func benchJITConfigs(b *testing.B, build func(analysis.Formulation) *analysis.Built, inputForm analysis.Formulation) {
+	b.Helper()
+	b.Run("InterpBaseline", func(b *testing.B) {
+		runProgram(b, build(inputForm), core.Options{Indexed: true})
+	})
+	for _, jc := range bench.JITConfigs() {
+		jc := jc
+		b.Run(jc.Name, func(b *testing.B) {
+			runProgram(b, build(inputForm), core.Options{Indexed: true, JIT: jc.Cfg})
+		})
+	}
+}
+
+func BenchmarkFig6_Macro(b *testing.B) {
+	sz := benchSizes
+	pts := datagen.SListLib(sz.SListLib, sz.Seed)
+	cspa := datagen.CSPAGraph(sz.CSPA, sz.Seed)
+	b.Run("Andersen", func(b *testing.B) {
+		benchJITConfigs(b, func(f analysis.Formulation) *analysis.Built { return analysis.Andersen(f, pts) }, analysis.Unoptimized)
+	})
+	b.Run("InvFuns", func(b *testing.B) {
+		benchJITConfigs(b, func(f analysis.Formulation) *analysis.Built { return analysis.InvFuns(f, pts) }, analysis.Unoptimized)
+	})
+	b.Run(sz.CSPAName, func(b *testing.B) {
+		benchJITConfigs(b, func(f analysis.Formulation) *analysis.Built { return analysis.CSPA(f, cspa) }, analysis.Unoptimized)
+	})
+}
+
+func BenchmarkFig7_Micro(b *testing.B) {
+	sz := benchSizes
+	b.Run("Ackermann", func(b *testing.B) {
+		benchJITConfigs(b, func(f analysis.Formulation) *analysis.Built { return workloads.Ackermann(f, sz.AckM, sz.AckN) }, analysis.Unoptimized)
+	})
+	b.Run("Fibonacci", func(b *testing.B) {
+		benchJITConfigs(b, func(f analysis.Formulation) *analysis.Built { return workloads.Fibonacci(f, sz.FibN) }, analysis.Unoptimized)
+	})
+	b.Run("Primes", func(b *testing.B) {
+		benchJITConfigs(b, func(f analysis.Formulation) *analysis.Built { return workloads.Primes(f, sz.PrimesN) }, analysis.Unoptimized)
+	})
+}
+
+// --- Figs 8/9: JIT applied to already hand-optimized inputs --------------
+
+func BenchmarkFig8_MacroHandOpt(b *testing.B) {
+	sz := benchSizes
+	pts := datagen.SListLib(sz.SListLib, sz.Seed)
+	csda := datagen.CSDAGraph(sz.CSDA, sz.Seed)
+	b.Run("Andersen", func(b *testing.B) {
+		benchJITConfigs(b, func(f analysis.Formulation) *analysis.Built { return analysis.Andersen(f, pts) }, analysis.HandOptimized)
+	})
+	b.Run("CSDA", func(b *testing.B) {
+		benchJITConfigs(b, func(analysis.Formulation) *analysis.Built { return analysis.CSDA(csda) }, analysis.HandOptimized)
+	})
+}
+
+func BenchmarkFig9_MicroHandOpt(b *testing.B) {
+	sz := benchSizes
+	b.Run("Ackermann", func(b *testing.B) {
+		benchJITConfigs(b, func(f analysis.Formulation) *analysis.Built { return workloads.Ackermann(f, sz.AckM, sz.AckN) }, analysis.HandOptimized)
+	})
+	b.Run("Primes", func(b *testing.B) {
+		benchJITConfigs(b, func(f analysis.Formulation) *analysis.Built { return workloads.Primes(f, sz.PrimesN) }, analysis.HandOptimized)
+	})
+}
+
+// --- Fig 10: AOT macro staging vs online ---------------------------------
+
+func BenchmarkFig10_AOT(b *testing.B) {
+	sz := benchSizes
+	configs := []struct {
+		name string
+		opts core.Options
+	}{
+		{"JIT-lambda", core.Options{JIT: jit.Config{Backend: jit.BackendLambda, Granularity: jit.GranSPJ}}},
+		{"MacroFactsRulesOnline", core.Options{AOT: core.AOTFactsAndRules, JIT: jit.Config{Backend: jit.BackendIRGen, Granularity: jit.GranSPJ}}},
+		{"MacroRulesOnline", core.Options{AOT: core.AOTRulesOnly, JIT: jit.Config{Backend: jit.BackendIRGen, Granularity: jit.GranSPJ}}},
+		{"MacroFactsRules", core.Options{AOT: core.AOTFactsAndRules}},
+		{"MacroRules", core.Options{AOT: core.AOTRulesOnly}},
+	}
+	micro := map[string]func(analysis.Formulation) *analysis.Built{
+		"Ackermann": func(f analysis.Formulation) *analysis.Built { return workloads.Ackermann(f, sz.AckM, sz.AckN) },
+		"Fibonacci": func(f analysis.Formulation) *analysis.Built { return workloads.Fibonacci(f, sz.FibN) },
+		"Primes":    func(f analysis.Formulation) *analysis.Built { return workloads.Primes(f, sz.PrimesN) },
+	}
+	for name, build := range micro {
+		for _, c := range configs {
+			c := c
+			build := build
+			b.Run(name+"/"+c.name, func(b *testing.B) {
+				runProgram(b, build(analysis.Unoptimized), c.opts)
+			})
+		}
+	}
+}
+
+// --- Table II: baseline engines -----------------------------------------
+
+func BenchmarkTable2_Engines(b *testing.B) {
+	sz := benchSizes
+	pts := datagen.SListLib(sz.SListLib, sz.Seed)
+	csda := datagen.CSDAGraph(sz.CSDA, sz.Seed)
+	build := map[string]func() *analysis.Built{
+		"InvFuns": func() *analysis.Built { return analysis.InvFuns(analysis.HandOptimized, pts) },
+		"CSDA":    func() *analysis.Built { return analysis.CSDA(csda) },
+	}
+	const cxx = 50 * time.Millisecond // scaled-down external compile cost
+	for name, bf := range build {
+		bf := bf
+		b.Run(name+"/DLX", func(b *testing.B) {
+			built := bf()
+			for i := 0; i < b.N; i++ {
+				if _, err := engines.RunDLX(built, time.Minute); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		for _, mode := range []engines.SouffleMode{engines.SouffleInterp, engines.SouffleCompile, engines.SouffleAutoTune} {
+			mode := mode
+			b.Run(name+"/"+mode.String(), func(b *testing.B) {
+				built := bf()
+				for i := 0; i < b.N; i++ {
+					if _, err := engines.RunSouffle(built, mode, cxx, time.Minute); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+		b.Run(name+"/Carac-JIT", func(b *testing.B) {
+			runProgram(b, bf(), core.Options{Indexed: true,
+				JIT: jit.Config{Backend: jit.BackendLambda, Granularity: jit.GranSPJ}})
+		})
+	}
+}
+
+// --- Ablations ------------------------------------------------------------
+
+func BenchmarkAblation_Ordering(b *testing.B) {
+	cspa := datagen.CSPAGraph(benchSizes.CSPA, benchSizes.Seed)
+	for _, algo := range []optimizer.Algo{optimizer.AlgoSort, optimizer.AlgoGreedy} {
+		algo := algo
+		b.Run(algo.String(), func(b *testing.B) {
+			runProgram(b, analysis.CSPA(analysis.Unoptimized, cspa), core.Options{
+				Indexed: true,
+				JIT: jit.Config{Backend: jit.BackendIRGen, Granularity: jit.GranSPJ,
+					Optimizer: optimizer.Options{Algo: algo, Selectivity: 0.5}},
+			})
+		})
+	}
+}
+
+func BenchmarkAblation_Granularity(b *testing.B) {
+	cspa := datagen.CSPAGraph(benchSizes.CSPA, benchSizes.Seed)
+	for _, g := range []jit.Granularity{jit.GranProgram, jit.GranDoWhile, jit.GranUnionAll, jit.GranUnionRule, jit.GranSPJ} {
+		g := g
+		b.Run(g.String(), func(b *testing.B) {
+			runProgram(b, analysis.CSPA(analysis.Unoptimized, cspa), core.Options{
+				Indexed: true,
+				JIT:     jit.Config{Backend: jit.BackendLambda, Granularity: g},
+			})
+		})
+	}
+}
+
+func BenchmarkAblation_Freshness(b *testing.B) {
+	cspa := datagen.CSPAGraph(benchSizes.CSPA, benchSizes.Seed)
+	for _, th := range []float64{0.01, 0.5, 4} {
+		th := th
+		b.Run(bench.FormatSpeedup(th), func(b *testing.B) {
+			runProgram(b, analysis.CSPA(analysis.Unoptimized, cspa), core.Options{
+				Indexed: true,
+				JIT:     jit.Config{Backend: jit.BackendLambda, Granularity: jit.GranUnionAll, FreshnessThreshold: th},
+			})
+		})
+	}
+}
+
+func BenchmarkStorageInsert(b *testing.B) {
+	// Substrate microbenchmark: raw insert throughput with and without an
+	// incremental index.
+	for _, indexed := range []bool{false, true} {
+		name := "Unindexed"
+		if indexed {
+			name = "Indexed"
+		}
+		indexed := indexed
+		b.Run(name, func(b *testing.B) {
+			rel := newBenchRelation(indexed)
+			tuple := []int32{0, 0}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tuple[0] = int32(i % 65536)
+				tuple[1] = int32(i)
+				rel.Insert(tuple)
+			}
+		})
+	}
+}

@@ -1,0 +1,234 @@
+// Command carac runs a Datalog program from a .dl source file (optionally
+// with external fact files) under any of Carac's execution configurations:
+//
+//	carac run prog.dl [-facts dir] [-backend off|irgen|lambda|bytecode|quotes]
+//	    [-granularity program|dowhile|unionall|union|spj] [-async] [-snippet]
+//	    [-indexed] [-naive] [-aot none|rules|facts] [-print rel1,rel2] [-stats]
+//
+// Fact files are TSV: one tuple per line, tab-separated, named <relation>.facts
+// inside -facts dir; numeric columns are integers, everything else is interned
+// as a symbol.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"carac/internal/core"
+	"carac/internal/ir"
+	"carac/internal/jit"
+	"carac/internal/optimizer"
+	"carac/internal/storage"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "carac:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 || args[0] != "run" {
+		return fmt.Errorf("usage: carac run <prog.dl> [flags]")
+	}
+	fs := flag.NewFlagSet("carac run", flag.ContinueOnError)
+	factsDir := fs.String("facts", "", "directory of <relation>.facts TSV files")
+	backend := fs.String("backend", "off", "JIT backend: off|irgen|lambda|bytecode|quotes")
+	granularity := fs.String("granularity", "spj", "compilation granularity: program|dowhile|unionall|union|spj")
+	async := fs.Bool("async", false, "compile asynchronously")
+	snippet := fs.Bool("snippet", false, "snippet compilation (quotes/lambda)")
+	indexed := fs.Bool("indexed", true, "build join/filter indexes")
+	naive := fs.Bool("naive", false, "naive (non-semi-naive) evaluation")
+	aot := fs.String("aot", "none", "ahead-of-time sort: none|rules|facts")
+	printRels := fs.String("print", "", "comma-separated relations to print")
+	stats := fs.Bool("stats", true, "print execution statistics")
+	timeout := fs.Duration("timeout", 0, "abort after this duration")
+	explain := fs.Bool("explain", false, "print the IROp plan (with optimizer weights) before running")
+
+	rest := args[1:]
+	var file string
+	if len(rest) > 0 && !strings.HasPrefix(rest[0], "-") {
+		file = rest[0]
+		rest = rest[1:]
+	}
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if file == "" {
+		return fmt.Errorf("usage: carac run <prog.dl> [flags]")
+	}
+
+	src, err := os.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	p := core.NewProgram()
+	if err := p.LoadSource(string(src)); err != nil {
+		return err
+	}
+	if *factsDir != "" {
+		if err := loadFactsDir(p, *factsDir); err != nil {
+			return err
+		}
+	}
+
+	be, err := jit.ParseBackend(*backend)
+	if err != nil {
+		return err
+	}
+	gr, err := jit.ParseGranularity(*granularity)
+	if err != nil {
+		return err
+	}
+	var aotStage core.AOTStage
+	switch *aot {
+	case "none", "":
+		aotStage = core.AOTNone
+	case "rules":
+		aotStage = core.AOTRulesOnly
+	case "facts":
+		aotStage = core.AOTFactsAndRules
+	default:
+		return fmt.Errorf("unknown -aot %q", *aot)
+	}
+
+	opts := core.Options{
+		Indexed: *indexed,
+		Naive:   *naive,
+		AOT:     aotStage,
+		Timeout: *timeout,
+		JIT: jit.Config{
+			Backend:     be,
+			Granularity: gr,
+			Async:       *async,
+			Snippet:     *snippet,
+		},
+	}
+	if *explain {
+		if err := explainPlan(p, *naive); err != nil {
+			return err
+		}
+	}
+	res, err := p.Run(opts)
+	if err != nil {
+		return err
+	}
+
+	if *printRels != "" {
+		for _, name := range strings.Split(*printRels, ",") {
+			name = strings.TrimSpace(name)
+			pd, ok := p.Catalog().PredByName(name)
+			if !ok {
+				return fmt.Errorf("unknown relation %q", name)
+			}
+			rel := p.Relation(name, pd.Arity)
+			rel.Each(func(t []storage.Value) bool {
+				parts := make([]string, len(t))
+				for i, v := range t {
+					parts[i] = p.Format(v)
+				}
+				fmt.Println(name + "(" + strings.Join(parts, ", ") + ")")
+				return true
+			})
+		}
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "time: %v  facts: %d  iterations: %d  derivations: %d  subqueries: %d\n",
+			res.Duration.Round(time.Microsecond), res.TotalFacts,
+			res.Interp.Iterations, res.Interp.Derivations, res.Interp.SPJRuns)
+		if be != jit.BackendOff {
+			fmt.Fprintf(os.Stderr, "jit: compilations=%d compile-time=%v cache-hits=%d stale=%d reorders=%d switchovers=%d\n",
+				res.JIT.Compilations, res.JIT.CompileTime.Round(time.Microsecond),
+				res.JIT.CacheHits, res.JIT.StaleDrops, res.JIT.Reorders, res.JIT.Switchovers)
+		}
+	}
+	return nil
+}
+
+// explainPlan prints the lowered IROp tree and, for every subquery, the
+// optimizer's current weights under the loaded facts.
+func explainPlan(p *core.Program, naive bool) error {
+	var root *ir.ProgramOp
+	var err error
+	if naive {
+		root, err = ir.LowerNaive(p.AST())
+	} else {
+		root, err = ir.Lower(p.AST())
+	}
+	if err != nil {
+		return err
+	}
+	cat := p.Catalog()
+	fmt.Println("-- plan --")
+	fmt.Print(ir.Dump(root, cat))
+	fmt.Println("-- subquery weights (live cardinalities) --")
+	stats := optimizer.CatalogStats{Cat: cat}
+	opts := optimizer.DefaultOptions()
+	ir.Walk(root, func(o ir.Op) {
+		if spj, ok := o.(*ir.SPJOp); ok {
+			fmt.Printf("rule %d: %s\n", spj.RuleIdx, optimizer.Explain(spj, cat, stats, opts))
+		}
+	})
+	fmt.Println("-- end plan --")
+	return nil
+}
+
+// loadFactsDir reads every <relation>.facts TSV file in dir.
+func loadFactsDir(p *core.Program, dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".facts") {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), ".facts")
+		pd, ok := p.Catalog().PredByName(name)
+		if !ok {
+			return fmt.Errorf("fact file %s has no declared relation %q", e.Name(), name)
+		}
+		rel := p.Relation(name, pd.Arity)
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return err
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		lineNo := 0
+		for sc.Scan() {
+			lineNo++
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			cols := strings.Split(line, "\t")
+			if len(cols) != pd.Arity {
+				f.Close()
+				return fmt.Errorf("%s:%d: %d columns for %s/%d", e.Name(), lineNo, len(cols), name, pd.Arity)
+			}
+			tuple := make([]storage.Value, len(cols))
+			for i, c := range cols {
+				if n, err := strconv.ParseInt(c, 10, 32); err == nil && n >= 0 {
+					tuple[i] = storage.Value(n)
+				} else {
+					tuple[i] = p.Catalog().Symbols.Intern(c)
+				}
+			}
+			rel.FactTuple(tuple)
+		}
+		if err := sc.Err(); err != nil {
+			f.Close()
+			return err
+		}
+		f.Close()
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const tcProg = `
+.decl edge(x:number, y:number)
+.decl tc(x:number, y:number)
+tc(x, y) :- edge(x, y).
+tc(x, y) :- tc(x, z), edge(z, y).
+`
+
+func TestRunWithFactsDir(t *testing.T) {
+	dir := t.TempDir()
+	prog := writeFile(t, dir, "tc.dl", tcProg)
+	writeFile(t, dir, "edge.facts", "1\t2\n2\t3\n3\t4\n")
+
+	if err := run([]string{"run", prog, "-facts", dir, "-stats=false"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAllBackends(t *testing.T) {
+	dir := t.TempDir()
+	prog := writeFile(t, dir, "tc.dl", tcProg+"\nedge(1,2).\nedge(2,3).\n")
+	for _, backend := range []string{"off", "irgen", "lambda", "bytecode", "quotes"} {
+		if err := run([]string{"run", prog, "-backend", backend, "-stats=false"}); err != nil {
+			t.Fatalf("backend %s: %v", backend, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	prog := writeFile(t, dir, "tc.dl", tcProg)
+	cases := [][]string{
+		{},
+		{"run"},
+		{"run", filepath.Join(dir, "missing.dl")},
+		{"run", prog, "-backend", "llvm"},
+		{"run", prog, "-granularity", "molecule"},
+		{"run", prog, "-aot", "everything"},
+		{"run", prog, "-print", "nosuchrel"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunBadFactFile(t *testing.T) {
+	dir := t.TempDir()
+	prog := writeFile(t, dir, "tc.dl", tcProg)
+	writeFile(t, dir, "edge.facts", "1\t2\t3\n") // wrong arity
+	err := run([]string{"run", prog, "-facts", dir, "-stats=false"})
+	if err == nil || !strings.Contains(err.Error(), "columns") {
+		t.Fatalf("err = %v", err)
+	}
+	writeFile(t, dir, "edge.facts", "1\t2\n")
+	writeFile(t, dir, "phantom.facts", "1\t2\n")
+	if err := run([]string{"run", prog, "-facts", dir, "-stats=false"}); err == nil {
+		t.Fatal("undeclared fact relation accepted")
+	}
+}
+
+func TestRunSymbolFacts(t *testing.T) {
+	dir := t.TempDir()
+	prog := writeFile(t, dir, "inv.dl", `
+.decl inverse(g:symbol, f:symbol)
+.decl selfinv(g:symbol)
+selfinv(g) :- inverse(g, g).
+`)
+	writeFile(t, dir, "inverse.facts", "neg\tneg\nserialize\tdeserialize\n")
+	if err := run([]string{"run", prog, "-facts", dir, "-print", "selfinv", "-stats=false"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	dir := t.TempDir()
+	prog := writeFile(t, dir, "tc.dl", tcProg+"\nedge(1,2).\n")
+	if err := run([]string{"run", prog, "-explain", "-stats=false"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAOTAndNaive(t *testing.T) {
+	dir := t.TempDir()
+	prog := writeFile(t, dir, "tc.dl", tcProg+"\nedge(1,2).\n")
+	for _, args := range [][]string{
+		{"run", prog, "-aot", "rules", "-stats=false"},
+		{"run", prog, "-aot", "facts", "-stats=false"},
+		{"run", prog, "-naive", "-stats=false"},
+		{"run", prog, "-backend", "quotes", "-async", "-snippet", "-granularity", "union", "-stats=false"},
+	} {
+		if err := run(args); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestUnknownExperimentRejected(t *testing.T) {
+	if err := run([]string{"fig99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := run([]string{}); err == nil {
+		t.Fatal("missing experiment accepted")
+	}
+	if err := run([]string{"fig10", "-scale", "galactic"}); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+func TestFig10SmallScaleRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real measurements")
+	}
+	if err := run([]string{"fig10", "-scale", "small", "-reps", "1", "-warmups", "0"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAblationSmallScaleRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real measurements")
+	}
+	if err := run([]string{"ablation", "-scale", "small", "-reps", "1", "-warmups", "0", "-timeout", "60s"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+// Command datagen emits the synthetic benchmark datasets as <relation>.facts
+// TSV files consumable by `carac run -facts`:
+//
+//	datagen cspa  -n 20000 -seed 42 -out dir   # Assign, Derefr
+//	datagen csda  -n 50000 -seed 42 -out dir   # NullEdge, FlowEdge
+//	datagen slist -scale 4 -seed 42 -out dir   # alloc, move, load, store, call, inverse
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"carac/internal/datagen"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: datagen cspa|csda|slist [flags]")
+	}
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	n := fs.Int("n", 20000, "approximate fact count (cspa/csda)")
+	scale := fs.Int("scale", 1, "library scale multiplier (slist)")
+	seed := fs.Int64("seed", 42, "generator seed")
+	out := fs.String("out", ".", "output directory")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+
+	switch args[0] {
+	case "cspa":
+		f := datagen.CSPAGraph(*n, *seed)
+		if err := writeEdges(*out, "Assign", f.Assign); err != nil {
+			return err
+		}
+		return writeEdges(*out, "Derefr", f.Derefr)
+	case "csda":
+		f := datagen.CSDAGraph(*n, *seed)
+		if err := writeEdges(*out, "NullEdge", f.NullEdge); err != nil {
+			return err
+		}
+		return writeEdges(*out, "FlowEdge", f.FlowEdge)
+	case "slist":
+		f := datagen.SListLib(*scale, *seed)
+		for name, edges := range map[string][]datagen.Edge{
+			"alloc": f.Alloc, "move": f.Move, "load": f.Load, "store": f.Store,
+		} {
+			if err := writeEdges(*out, name, edges); err != nil {
+				return err
+			}
+		}
+		if err := writeLines(*out, "call", func(w *bufio.Writer) {
+			for _, c := range f.Call {
+				fmt.Fprintf(w, "%d\t%s\t%d\n", c.Ret, c.Fn, c.Arg)
+			}
+		}); err != nil {
+			return err
+		}
+		return writeLines(*out, "inverse", func(w *bufio.Writer) {
+			for _, iv := range f.Inverse {
+				fmt.Fprintf(w, "%s\t%s\n", iv[0], iv[1])
+			}
+		})
+	}
+	return fmt.Errorf("unknown dataset %q (want cspa|csda|slist)", args[0])
+}
+
+func writeEdges(dir, name string, edges []datagen.Edge) error {
+	return writeLines(dir, name, func(w *bufio.Writer) {
+		for _, e := range edges {
+			fmt.Fprintf(w, "%d\t%d\n", e.Src, e.Dst)
+		}
+	})
+}
+
+func writeLines(dir, name string, emit func(w *bufio.Writer)) error {
+	f, err := os.Create(filepath.Join(dir, name+".facts"))
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	emit(w)
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

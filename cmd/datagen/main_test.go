@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDatagenCSPA(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"cspa", "-n", "500", "-seed", "7", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"Assign.facts", "Derefr.facts"} {
+		b, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+		if len(lines) < 10 {
+			t.Fatalf("%s has only %d lines", f, len(lines))
+		}
+		if !strings.Contains(lines[0], "\t") {
+			t.Fatalf("%s is not TSV: %q", f, lines[0])
+		}
+	}
+}
+
+func TestDatagenCSDAAndSlist(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"csda", "-n", "500", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"slist", "-scale", "2", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	inv, err := os.ReadFile(filepath.Join(dir, "inverse.facts"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(inv), "deserialize\tserialize") {
+		t.Fatalf("inverse.facts content: %q", inv)
+	}
+	call, err := os.ReadFile(filepath.Join(dir, "call.facts"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(call), "serialize") {
+		t.Fatalf("call.facts content: %q", call)
+	}
+}
+
+func TestDatagenErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Fatal("no dataset accepted")
+	}
+	if err := run([]string{"nope"}); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestDatagenDeterministic(t *testing.T) {
+	d1, d2 := t.TempDir(), t.TempDir()
+	for _, dir := range []string{d1, d2} {
+		if err := run([]string{"cspa", "-n", "300", "-seed", "11", "-out", dir}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, _ := os.ReadFile(filepath.Join(d1, "Assign.facts"))
+	b, _ := os.ReadFile(filepath.Join(d2, "Assign.facts"))
+	if string(a) != string(b) {
+		t.Fatal("same seed produced different datasets")
+	}
+}

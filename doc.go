@@ -1,0 +1,18 @@
+// Package carac is a from-scratch Go reproduction of "Adaptive Recursive
+// Query Optimization" (Herlihy, Martres, Ailamaki, Odersky — ICDE 2024): the
+// Carac Datalog engine with Adaptive Metaprogramming, i.e. runtime join-order
+// optimization and repeated re-optimization of recursive queries through
+// staged code generation.
+//
+// The engine lives under internal/ (see DESIGN.md for the module map); the
+// public entry points are:
+//
+//   - internal/core — the embedded Datalog DSL and execution engine;
+//   - cmd/carac — run .dl programs from the command line;
+//   - cmd/caracbench — regenerate every table and figure of the paper;
+//   - cmd/datagen — emit the synthetic benchmark datasets;
+//   - bench_test.go — testing.B benchmarks, one per table/figure.
+package carac
+
+// Version identifies this reproduction build.
+const Version = "0.1.0"

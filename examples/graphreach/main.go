@@ -1,0 +1,63 @@
+// Graph reachability at scale: run Graspan's CSPA pointer analysis over a
+// generated program graph in three configurations — the adversarial
+// ("unoptimized") atom order interpreted, the hand-optimized order
+// interpreted, and the adversarial order rescued by the adaptive JIT —
+// reproducing the paper's headline comparison live.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"carac/internal/analysis"
+	"carac/internal/core"
+	"carac/internal/datagen"
+	"carac/internal/jit"
+)
+
+func main() {
+	const n = 200
+	facts := datagen.CSPAGraph(n, 42)
+	fmt.Printf("CSPA input: %d Assign + %d Derefr facts over %d variables\n\n",
+		len(facts.Assign), len(facts.Derefr), facts.NumVar)
+
+	type config struct {
+		name string
+		form analysis.Formulation
+		opts core.Options
+	}
+	configs := []config{
+		{"unoptimized, interpreted", analysis.Unoptimized,
+			core.Options{Indexed: true, Timeout: 2 * time.Minute}},
+		{"hand-optimized, interpreted", analysis.HandOptimized,
+			core.Options{Indexed: true, Timeout: 2 * time.Minute}},
+		{"unoptimized + JIT (irgen)", analysis.Unoptimized,
+			core.Options{Indexed: true, Timeout: 2 * time.Minute,
+				JIT: jit.Config{Backend: jit.BackendIRGen, Granularity: jit.GranSPJ}}},
+		{"unoptimized + JIT (lambda, async)", analysis.Unoptimized,
+			core.Options{Indexed: true, Timeout: 2 * time.Minute,
+				JIT: jit.Config{Backend: jit.BackendLambda, Granularity: jit.GranUnionAll, Async: true}}},
+	}
+
+	var baseline time.Duration
+	for i, c := range configs {
+		b := analysis.CSPA(c.form, facts)
+		res, err := b.P.Run(c.opts)
+		if err != nil {
+			fmt.Printf("%-34s DNF (%v)\n", c.name, err)
+			continue
+		}
+		line := fmt.Sprintf("%-34s %10v  |VAlias|=%d", c.name, res.Duration.Round(time.Millisecond), b.Output.Len())
+		if i == 0 {
+			baseline = res.Duration
+		} else if baseline > 0 {
+			line += fmt.Sprintf("  (%.1fx vs unoptimized)", float64(baseline)/float64(res.Duration))
+		}
+		if res.JIT.Reorders > 0 || res.JIT.Compilations > 0 {
+			line += fmt.Sprintf("  [reorders=%d compiles=%d]", res.JIT.Reorders, res.JIT.Compilations)
+		}
+		fmt.Println(line)
+	}
+	fmt.Println("\nThe JIT recovers (or beats) the hand-optimized plan with no user input:")
+	fmt.Println("join orders are re-derived from live cardinalities at runtime (§IV).")
+}

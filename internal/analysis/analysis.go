@@ -1,0 +1,257 @@
+// Package analysis defines the paper's macrobenchmark rule sets (§VI-A):
+// Graspan's context-sensitive pointer analysis (CSPA, Fig 1), Graspan's
+// context-sensitive dataflow analysis (CSDA), Doop-style Andersen points-to,
+// and the custom Inverse-Functions analysis (points-to extended with
+// `inverse` facts, including a 9-atom rule).
+//
+// Each program is available in two formulations, as in §VI-B: HandOptimized,
+// whose atom orders were chosen by tracking intermediate cardinalities (the
+// best manual plan), and Unoptimized, a legal but adversarial ordering that
+// front-loads cartesian products — "a naive user with bad luck in their
+// order of atoms".
+package analysis
+
+import (
+	"carac/internal/core"
+	"carac/internal/datagen"
+)
+
+// Formulation selects the atom ordering of the rule bodies.
+type Formulation uint8
+
+const (
+	// HandOptimized uses the manually tuned atom orders.
+	HandOptimized Formulation = iota
+	// Unoptimized uses adversarial (but legal) atom orders.
+	Unoptimized
+)
+
+// String returns the §VI-B label.
+func (f Formulation) String() string {
+	if f == Unoptimized {
+		return "unoptimized"
+	}
+	return "hand-optimized"
+}
+
+// Built bundles a constructed program with its principal output relation.
+type Built struct {
+	P      *core.Program
+	Output *core.Relation
+}
+
+// CSPA builds Graspan's context-sensitive pointer analysis (paper Fig 1)
+// over the given facts.
+//
+// Rules (paper notation):
+//
+//	VaFlow(v1,v2) :- MAlias(v3,v2), Assign(v1,v3).
+//	VaFlow(v1,v2) :- VaFlow(v3,v2), VaFlow(v1,v3).
+//	MAlias(v1,v0) :- VAlias(v2,v3), Derefr(v3,v0), Derefr(v2,v1).
+//	VAlias(v1,v2) :- VaFlow(v3,v2), VaFlow(v3,v1).
+//	VAlias(v1,v2) :- VaFlow(v0,v2), VaFlow(v3,v1), MAlias(v3,v0).
+//	VaFlow(v2,v1) :- Assign(v2,v1).
+//	VaFlow(v1,v1) :- Assign(v1,v2).
+//	VaFlow(v1,v1) :- Assign(v2,v1).
+//	MAlias(v1,v1) :- Assign(v2,v1).
+//	MAlias(v1,v1) :- Assign(v1,v2).
+//
+// The Unoptimized formulation leads the 3-atom rules with their cartesian
+// pair — the fifth rule's literal order is exactly §IV's worked example.
+func CSPA(form Formulation, facts *datagen.CSPAFacts) *Built {
+	p := core.NewProgram()
+	assign := p.Relation("Assign", 2)
+	deref := p.Relation("Derefr", 2)
+	vaflow := p.Relation("VaFlow", 2)
+	valias := p.Relation("VAlias", 2)
+	malias := p.Relation("MAlias", 2)
+
+	v0, v1, v2, v3 := core.NewVar("v0"), core.NewVar("v1"), core.NewVar("v2"), core.NewVar("v3")
+
+	if form == HandOptimized {
+		p.MustRule(vaflow.A(v1, v2), assign.A(v1, v3), malias.A(v3, v2))
+		p.MustRule(vaflow.A(v1, v2), vaflow.A(v1, v3), vaflow.A(v3, v2))
+		p.MustRule(malias.A(v1, v0), valias.A(v2, v3), deref.A(v3, v0), deref.A(v2, v1))
+		p.MustRule(valias.A(v1, v2), vaflow.A(v3, v2), vaflow.A(v3, v1))
+		p.MustRule(valias.A(v1, v2), vaflow.A(v0, v2), malias.A(v3, v0), vaflow.A(v3, v1))
+	} else {
+		p.MustRule(vaflow.A(v1, v2), malias.A(v3, v2), assign.A(v1, v3))
+		p.MustRule(vaflow.A(v1, v2), vaflow.A(v3, v2), vaflow.A(v1, v3))
+		// Derefr × Derefr cartesian product up front.
+		p.MustRule(malias.A(v1, v0), deref.A(v3, v0), deref.A(v2, v1), valias.A(v2, v3))
+		p.MustRule(valias.A(v1, v2), vaflow.A(v3, v2), vaflow.A(v3, v1))
+		// §IV's example: VaFlow × VaFlow cartesian product.
+		p.MustRule(valias.A(v1, v2), vaflow.A(v0, v2), vaflow.A(v3, v1), malias.A(v3, v0))
+	}
+	p.MustRule(vaflow.A(v2, v1), assign.A(v2, v1))
+	p.MustRule(vaflow.A(v1, v1), assign.A(v1, v2))
+	p.MustRule(vaflow.A(v1, v1), assign.A(v2, v1))
+	p.MustRule(malias.A(v1, v1), assign.A(v2, v1))
+	p.MustRule(malias.A(v1, v1), assign.A(v1, v2))
+
+	for _, e := range facts.Assign {
+		assign.FactTuple([]int32{e.Src, e.Dst})
+	}
+	for _, e := range facts.Derefr {
+		deref.FactTuple([]int32{e.Src, e.Dst})
+	}
+	return &Built{P: p, Output: valias}
+}
+
+// CSDA builds Graspan's context-sensitive dataflow analysis: null-value
+// reachability over transfer edges. Only 2-way joins arise, so the paper
+// uses a single formulation (reordering only swaps build and probe sides).
+func CSDA(facts *datagen.CSDAFacts) *Built {
+	p := core.NewProgram()
+	nullEdge := p.Relation("NullEdge", 2)
+	flowEdge := p.Relation("FlowEdge", 2)
+	nullFlow := p.Relation("NullFlow", 2)
+	x, y, z := core.NewVar("x"), core.NewVar("y"), core.NewVar("z")
+	p.MustRule(nullFlow.A(x, y), nullEdge.A(x, y))
+	p.MustRule(nullFlow.A(x, y), nullFlow.A(x, z), flowEdge.A(z, y))
+	for _, e := range facts.NullEdge {
+		nullEdge.FactTuple([]int32{e.Src, e.Dst})
+	}
+	for _, e := range facts.FlowEdge {
+		flowEdge.FactTuple([]int32{e.Src, e.Dst})
+	}
+	return &Built{P: p, Output: nullFlow}
+}
+
+// ptsRules installs Andersen's context- and flow-insensitive points-to
+// rules (Doop-style, field-insensitive):
+//
+//	pts(y,o)    :- alloc(y,o).
+//	pts(y,o)    :- move(y,x), pts(x,o).
+//	hpts(o1,o2) :- store(x,y), pts(x,o1), pts(y,o2).   // *x = y
+//	pts(y,o2)   :- load(y,x), pts(x,o1), hpts(o1,o2).  // y = *x
+func ptsRules(p *core.Program, form Formulation) (pts, hpts *core.Relation) {
+	alloc := p.Relation("alloc", 2)
+	move := p.Relation("move", 2)
+	load := p.Relation("load", 2)
+	store := p.Relation("store", 2)
+	pts = p.Relation("pts", 2)
+	hpts = p.Relation("hpts", 2)
+
+	x, y, o, o1, o2 := core.NewVar("x"), core.NewVar("y"), core.NewVar("o"), core.NewVar("o1"), core.NewVar("o2")
+	p.MustRule(pts.A(y, o), alloc.A(y, o))
+	if form == HandOptimized {
+		p.MustRule(pts.A(y, o), move.A(y, x), pts.A(x, o))
+		p.MustRule(hpts.A(o1, o2), store.A(x, y), pts.A(x, o1), pts.A(y, o2))
+		p.MustRule(pts.A(y, o2), load.A(y, x), pts.A(x, o1), hpts.A(o1, o2))
+	} else {
+		p.MustRule(pts.A(y, o), pts.A(x, o), move.A(y, x))
+		// pts × pts cartesian product up front.
+		p.MustRule(hpts.A(o1, o2), pts.A(x, o1), pts.A(y, o2), store.A(x, y))
+		// hpts × load cartesian product up front.
+		p.MustRule(pts.A(y, o2), hpts.A(o1, o2), load.A(y, x), pts.A(x, o1))
+	}
+	return pts, hpts
+}
+
+func loadPtsFacts(p *core.Program, facts *datagen.PointsToFacts) {
+	alloc := p.Relation("alloc", 2)
+	move := p.Relation("move", 2)
+	load := p.Relation("load", 2)
+	store := p.Relation("store", 2)
+	for _, e := range facts.Alloc {
+		alloc.FactTuple([]int32{e.Src, e.Dst})
+	}
+	for _, e := range facts.Move {
+		move.FactTuple([]int32{e.Src, e.Dst})
+	}
+	for _, e := range facts.Load {
+		load.FactTuple([]int32{e.Src, e.Dst})
+	}
+	for _, e := range facts.Store {
+		store.FactTuple([]int32{e.Src, e.Dst})
+	}
+}
+
+// Andersen builds the plain points-to analysis on the given facts.
+func Andersen(form Formulation, facts *datagen.PointsToFacts) *Built {
+	p := core.NewProgram()
+	pts, _ := ptsRules(p, form)
+	loadPtsFacts(p, facts)
+	return &Built{P: p, Output: pts}
+}
+
+// InvFuns builds the Inverse-Functions analysis (paper §VI-A): Andersen's
+// points-to extended with call facts (ret = fn(arg)) and inverse(g, f)
+// declarations, plus rules flagging wasted round-trips through adjacent
+// inverse functions. The roundtrip rule has a 9-atom body, the longest join
+// in the evaluation (§IV notes a 9-atom rule in this analysis).
+func InvFuns(form Formulation, facts *datagen.PointsToFacts) *Built {
+	p := core.NewProgram()
+	pts, _ := ptsRules(p, form)
+	call := p.Relation("call", 3)
+	inverse := p.Relation("inverse", 2)
+	vflow := p.Relation("vflow", 2)
+	undo := p.Relation("undo", 2)
+	roundtrip := p.Relation("roundtrip", 2)
+
+	a := core.NewVar("a")
+	r1, r2 := core.NewVar("r1"), core.NewVar("r2")
+	f, g := core.NewVar("f"), core.NewVar("g")
+	v3, v4, v6 := core.NewVar("v3"), core.NewVar("v4"), core.NewVar("v6")
+	h1, h2 := core.NewVar("h1"), core.NewVar("h2")
+	x, y, z := core.NewVar("x"), core.NewVar("y"), core.NewVar("z")
+	m := core.NewVar("m")
+
+	// Value flow through moves: vflow(x, y) holds when x's value reaches y.
+	p.MustRule(vflow.A(x, y), move(p, y, x))
+	p.MustRule(vflow.A(x, y), vflow.A(x, z), move(p, y, z))
+
+	if form == HandOptimized {
+		// Direct undo: r2 = g(r1) where r1 = f(a) and g undoes f.
+		p.MustRule(undo.A(r2, a), inverse.A(g, f), call.A(r1, f, a), call.A(r2, g, r1))
+		// Undo through intermediate moves: r1 flows into g's argument.
+		p.MustRule(undo.A(r2, a),
+			inverse.A(g, f), call.A(r1, f, a), vflow.A(r1, m), call.A(r2, g, m))
+		// Round trip through moves and aliases: the 9-atom rule.
+		p.MustRule(roundtrip.A(a, r2),
+			inverse.A(g, f),
+			call.A(r1, f, a),
+			move(p, v3, r1),
+			pts.A(v3, h1),
+			pts.A(v4, h1),
+			call.A(r2, g, v4),
+			move(p, v6, r2),
+			pts.A(v6, h2),
+			pts.A(a, h2),
+		)
+	} else {
+		p.MustRule(undo.A(r2, a), call.A(r1, f, a), call.A(r2, g, r1), inverse.A(g, f))
+		// vflow × call cartesian product first, inverse last.
+		p.MustRule(undo.A(r2, a),
+			vflow.A(r1, m), call.A(r2, g, m), call.A(r1, f, a), inverse.A(g, f))
+		// Adversarial: lead with a pts × pts cartesian product and leave the
+		// tiny inverse relation for last.
+		p.MustRule(roundtrip.A(a, r2),
+			pts.A(v3, h1),
+			pts.A(v6, h2),
+			move(p, v3, r1),
+			call.A(r1, f, a),
+			pts.A(v4, h1),
+			call.A(r2, g, v4),
+			move(p, v6, r2),
+			pts.A(a, h2),
+			inverse.A(g, f),
+		)
+	}
+
+	loadPtsFacts(p, facts)
+	for _, c := range facts.Call {
+		call.MustFact(int(c.Ret), c.Fn, int(c.Arg))
+	}
+	for _, iv := range facts.Inverse {
+		inverse.MustFact(iv[0], iv[1])
+	}
+	return &Built{P: p, Output: roundtrip}
+}
+
+// move returns the move relation handle of prog (helper to keep rule bodies
+// readable above).
+func move(p *core.Program, dst, src *core.Var) core.Atom {
+	return p.Relation("move", 2).A(dst, src)
+}

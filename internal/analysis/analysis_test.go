@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"testing"
+
+	"carac/internal/core"
+	"carac/internal/datagen"
+	"carac/internal/jit"
+)
+
+func TestCSPABothFormulationsAgree(t *testing.T) {
+	facts := datagen.CSPAGraph(150, 17)
+	opt := CSPA(HandOptimized, facts)
+	unopt := CSPA(Unoptimized, facts)
+	r1, err := opt.P.Run(core.Options{Indexed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := unopt.P.Run(core.Options{Indexed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.TotalFacts != r2.TotalFacts {
+		t.Fatalf("formulations disagree: %d vs %d facts", r1.TotalFacts, r2.TotalFacts)
+	}
+	if opt.Output.Len() == 0 {
+		t.Fatal("VAlias is empty — dataset too sparse to exercise the analysis")
+	}
+}
+
+func TestCSPAJITRecoversUnoptimized(t *testing.T) {
+	facts := datagen.CSPAGraph(200, 17)
+	ref := CSPA(HandOptimized, facts)
+	rres, err := ref.P.Run(core.Options{Indexed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jitp := CSPA(Unoptimized, facts)
+	jres, err := jitp.P.Run(core.Options{Indexed: true,
+		JIT: jit.Config{Backend: jit.BackendIRGen, Granularity: jit.GranSPJ}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rres.TotalFacts != jres.TotalFacts {
+		t.Fatalf("JIT changed results: %d vs %d", rres.TotalFacts, jres.TotalFacts)
+	}
+}
+
+func TestCSDAComputesNullReachability(t *testing.T) {
+	facts := datagen.CSDAGraph(1000, 3)
+	b := CSDA(facts)
+	if _, err := b.P.Run(core.Options{Indexed: true}); err != nil {
+		t.Fatal(err)
+	}
+	if b.Output.Len() <= len(facts.NullEdge) {
+		t.Fatalf("NullFlow (%d) did not propagate past the seeds (%d)", b.Output.Len(), len(facts.NullEdge))
+	}
+}
+
+func TestAndersenPointsTo(t *testing.T) {
+	facts := datagen.SListLib(1, 5)
+	for _, form := range []Formulation{HandOptimized, Unoptimized} {
+		b := Andersen(form, facts)
+		if _, err := b.P.Run(core.Options{Indexed: true}); err != nil {
+			t.Fatal(err)
+		}
+		// Every allocated variable must at least point to its own site.
+		if b.Output.Len() < len(facts.Alloc) {
+			t.Fatalf("%v: |pts| = %d < |alloc| = %d", form, b.Output.Len(), len(facts.Alloc))
+		}
+	}
+	// The two formulations agree.
+	a := Andersen(HandOptimized, facts)
+	u := Andersen(Unoptimized, facts)
+	ra, _ := a.P.Run(core.Options{Indexed: true})
+	ru, _ := u.P.Run(core.Options{Indexed: true})
+	if ra.TotalFacts != ru.TotalFacts {
+		t.Fatalf("formulations disagree: %d vs %d", ra.TotalFacts, ru.TotalFacts)
+	}
+}
+
+func TestInvFunsFindsRoundTrip(t *testing.T) {
+	facts := datagen.SListLib(1, 5)
+	for _, form := range []Formulation{HandOptimized, Unoptimized} {
+		b := InvFuns(form, facts)
+		if _, err := b.P.Run(core.Options{Indexed: true}); err != nil {
+			t.Fatal(err)
+		}
+		if b.Output.Len() == 0 {
+			t.Fatalf("%v: serialize/deserialize round trip not detected", form)
+		}
+		undo := b.P.Relation("undo", 2)
+		if undo.Len() == 0 {
+			t.Fatalf("%v: undo relation empty", form)
+		}
+	}
+}
+
+func TestInvFunsNineAtomRule(t *testing.T) {
+	facts := datagen.SListLib(1, 5)
+	b := InvFuns(HandOptimized, facts)
+	found := false
+	for _, r := range b.P.AST().Rules {
+		if len(r.Body) == 9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("the 9-atom roundtrip rule is missing")
+	}
+}
+
+func TestUnoptimizedIsSlowerOnCSPA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison")
+	}
+	facts := datagen.CSPAGraph(200, 23)
+	opt := CSPA(HandOptimized, facts)
+	unopt := CSPA(Unoptimized, facts)
+	ro, err := opt.P.Run(core.Options{Indexed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ru, err := unopt.P.Run(core.Options{Indexed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ru.Duration < ro.Duration {
+		t.Logf("warning: unoptimized (%v) not slower than hand-optimized (%v) at this scale", ru.Duration, ro.Duration)
+	}
+	t.Logf("hand-optimized: %v, unoptimized: %v (%.1fx)", ro.Duration, ru.Duration,
+		float64(ru.Duration)/float64(ro.Duration))
+}

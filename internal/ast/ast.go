@@ -1,0 +1,315 @@
+// Package ast defines the Datalog abstract syntax tree Carac builds as rules
+// are defined (paper §V-A): terms, atoms (relational, negated, builtin
+// arithmetic/comparison), rules with optional aggregation, and whole
+// programs, plus the per-rule metadata (variable/constant locations, join
+// keys) and program-level analyses (precedence graph, SCCs, stratification,
+// alias elimination) that later stages consume.
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"carac/internal/storage"
+)
+
+// VarID identifies a variable within a single rule (rule-scoped, dense).
+type VarID int32
+
+// TermKind discriminates Term.
+type TermKind uint8
+
+const (
+	// TermVar is a rule variable.
+	TermVar TermKind = iota
+	// TermConst is an interned constant (integer or symbol id).
+	TermConst
+)
+
+// Term is one argument position of an atom.
+type Term struct {
+	Kind TermKind
+	Var  VarID         // valid when Kind == TermVar
+	Val  storage.Value // valid when Kind == TermConst
+}
+
+// V returns a variable term.
+func V(id VarID) Term { return Term{Kind: TermVar, Var: id} }
+
+// C returns a constant term.
+func C(v storage.Value) Term { return Term{Kind: TermConst, Val: v} }
+
+// AtomKind discriminates Atom.
+type AtomKind uint8
+
+const (
+	// AtomRelation is a positive relational atom.
+	AtomRelation AtomKind = iota
+	// AtomNegated is a stratified-negated relational atom.
+	AtomNegated
+	// AtomBuiltin is an arithmetic or comparison builtin.
+	AtomBuiltin
+)
+
+// Builtin enumerates the builtin predicates (paper §VI-A micro programs use
+// arithmetic; Soufflé-style functors).
+type Builtin uint8
+
+const (
+	BNone Builtin = iota
+	BAdd          // add(a,b,c): a+b=c, any single unknown solvable
+	BSub          // sub(a,b,c): a-b=c (natural: fails if a-b<0), any single unknown solvable
+	BMul          // mul(a,b,c): a*b=c; needs a,b bound, or c plus one factor when divisible
+	BDiv          // div(a,b,c): a/b=c truncated; needs a,b bound
+	BMod          // mod(a,b,c): a%b=c; needs a,b bound
+	BEq           // eq(a,b): can bind one side from the other
+	BNe           // ne(a,b): needs both bound
+	BLt           // lt(a,b)
+	BLe           // le(a,b)
+	BGt           // gt(a,b)
+	BGe           // ge(a,b)
+)
+
+// Arity returns the number of terms the builtin takes.
+func (b Builtin) Arity() int {
+	switch b {
+	case BAdd, BSub, BMul, BDiv, BMod:
+		return 3
+	case BEq, BNe, BLt, BLe, BGt, BGe:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// String returns the surface name of the builtin.
+func (b Builtin) String() string {
+	switch b {
+	case BAdd:
+		return "add"
+	case BSub:
+		return "sub"
+	case BMul:
+		return "mul"
+	case BDiv:
+		return "div"
+	case BMod:
+		return "mod"
+	case BEq:
+		return "="
+	case BNe:
+		return "!="
+	case BLt:
+		return "<"
+	case BLe:
+		return "<="
+	case BGt:
+		return ">"
+	case BGe:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+// Atom is one conjunct of a rule body (or a rule head, which must be a
+// positive relational atom).
+type Atom struct {
+	Kind    AtomKind
+	Pred    storage.PredID // relation/negated atoms
+	Builtin Builtin        // builtin atoms
+	Terms   []Term
+}
+
+// Rel constructs a positive relational atom.
+func Rel(pred storage.PredID, terms ...Term) Atom {
+	return Atom{Kind: AtomRelation, Pred: pred, Terms: terms}
+}
+
+// Neg constructs a negated relational atom.
+func Neg(pred storage.PredID, terms ...Term) Atom {
+	return Atom{Kind: AtomNegated, Pred: pred, Terms: terms}
+}
+
+// Bi constructs a builtin atom.
+func Bi(b Builtin, terms ...Term) Atom {
+	if len(terms) != b.Arity() {
+		panic(fmt.Sprintf("ast: builtin %v takes %d terms, got %d", b, b.Arity(), len(terms)))
+	}
+	return Atom{Kind: AtomBuiltin, Builtin: b, Terms: terms}
+}
+
+// IsRelational reports whether the atom reads a stored relation (positive or
+// negated).
+func (a Atom) IsRelational() bool { return a.Kind != AtomBuiltin }
+
+// Vars appends the distinct variables of the atom to dst in first-occurrence
+// order.
+func (a Atom) Vars(dst []VarID) []VarID {
+	for _, t := range a.Terms {
+		if t.Kind != TermVar {
+			continue
+		}
+		seen := false
+		for _, v := range dst {
+			if v == t.Var {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			dst = append(dst, t.Var)
+		}
+	}
+	return dst
+}
+
+// AggKind enumerates aggregation operators (paper §V-A: the DSL is extended
+// with stratified negation and aggregation).
+type AggKind uint8
+
+const (
+	AggNone AggKind = iota
+	AggCount
+	AggSum
+	AggMin
+	AggMax
+)
+
+// String returns the surface name of the aggregate.
+func (k AggKind) String() string {
+	switch k {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	default:
+		return "none"
+	}
+}
+
+// AggSpec describes an aggregation rule: the head term at HeadPos receives
+// Kind aggregated over OverVar (ignored for count), grouped by the remaining
+// head variables.
+type AggSpec struct {
+	Kind    AggKind
+	HeadPos int
+	OverVar VarID
+}
+
+// Rule is head :- body with optional aggregation. NumVars is the size of
+// the rule's dense variable space; VarNames are for diagnostics only.
+type Rule struct {
+	Head     Atom
+	Body     []Atom
+	Agg      AggSpec
+	NumVars  int
+	VarNames []string
+}
+
+// Clone returns a deep copy of the rule (atom orders are mutated by the
+// optimizer, so shared rules must be cloned before reordering).
+func (r *Rule) Clone() *Rule {
+	c := &Rule{Head: cloneAtom(r.Head), Agg: r.Agg, NumVars: r.NumVars}
+	c.Body = make([]Atom, len(r.Body))
+	for i, a := range r.Body {
+		c.Body[i] = cloneAtom(a)
+	}
+	c.VarNames = append([]string(nil), r.VarNames...)
+	return c
+}
+
+func cloneAtom(a Atom) Atom {
+	a.Terms = append([]Term(nil), a.Terms...)
+	return a
+}
+
+// VarName returns the diagnostic name for v, falling back to v<i>.
+func (r *Rule) VarName(v VarID) string {
+	if int(v) < len(r.VarNames) && r.VarNames[v] != "" {
+		return r.VarNames[v]
+	}
+	return fmt.Sprintf("v%d", v)
+}
+
+// Program is a set of rules over a shared catalog. Facts live in the
+// catalog's predicate databases, not in the AST.
+type Program struct {
+	Catalog *storage.Catalog
+	Rules   []*Rule
+}
+
+// NewProgram returns an empty program over catalog.
+func NewProgram(catalog *storage.Catalog) *Program {
+	return &Program{Catalog: catalog}
+}
+
+// AddRule validates and appends a rule.
+func (p *Program) AddRule(r *Rule) error {
+	if err := p.CheckRule(r); err != nil {
+		return err
+	}
+	p.Rules = append(p.Rules, r)
+	return nil
+}
+
+// MustAddRule is AddRule that panics on error; used by internal workload
+// definitions that are known-good.
+func (p *Program) MustAddRule(r *Rule) {
+	if err := p.AddRule(r); err != nil {
+		panic(err)
+	}
+}
+
+// format helpers ------------------------------------------------------------
+
+// FormatAtom renders an atom using the catalog's predicate and symbol names.
+func (p *Program) FormatAtom(r *Rule, a Atom) string {
+	var sb strings.Builder
+	switch a.Kind {
+	case AtomNegated:
+		sb.WriteByte('!')
+		fallthrough
+	case AtomRelation:
+		sb.WriteString(p.Catalog.Pred(a.Pred).Name)
+	case AtomBuiltin:
+		sb.WriteString(a.Builtin.String())
+	}
+	sb.WriteByte('(')
+	for i, t := range a.Terms {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		switch t.Kind {
+		case TermVar:
+			sb.WriteString(r.VarName(t.Var))
+		case TermConst:
+			sb.WriteString(p.Catalog.Symbols.Format(t.Val))
+		}
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// FormatRule renders a rule in Datalog surface syntax.
+func (p *Program) FormatRule(r *Rule) string {
+	var sb strings.Builder
+	sb.WriteString(p.FormatAtom(r, r.Head))
+	if len(r.Body) == 0 {
+		sb.WriteByte('.')
+		return sb.String()
+	}
+	sb.WriteString(" :- ")
+	for i, a := range r.Body {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(p.FormatAtom(r, a))
+	}
+	sb.WriteByte('.')
+	return sb.String()
+}

@@ -1,0 +1,237 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"carac/internal/storage"
+)
+
+func tcProgram(t *testing.T) (*Program, storage.PredID, storage.PredID) {
+	t.Helper()
+	cat := storage.NewCatalog()
+	edge := cat.Declare("edge", 2)
+	tc := cat.Declare("tc", 2)
+	p := NewProgram(cat)
+	// tc(x,y) :- edge(x,y).
+	p.MustAddRule(&Rule{
+		Head:    Rel(tc, V(0), V(1)),
+		Body:    []Atom{Rel(edge, V(0), V(1))},
+		NumVars: 2, VarNames: []string{"x", "y"},
+	})
+	// tc(x,y) :- tc(x,z), edge(z,y).
+	p.MustAddRule(&Rule{
+		Head:    Rel(tc, V(0), V(1)),
+		Body:    []Atom{Rel(tc, V(0), V(2)), Rel(edge, V(2), V(1))},
+		NumVars: 3, VarNames: []string{"x", "y", "z"},
+	})
+	return p, edge, tc
+}
+
+func TestBuiltinArity(t *testing.T) {
+	if BAdd.Arity() != 3 || BLt.Arity() != 2 || BNone.Arity() != 0 {
+		t.Fatal("builtin arities wrong")
+	}
+}
+
+func TestBiPanicsOnWrongArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bi with wrong arity should panic")
+		}
+	}()
+	Bi(BAdd, V(0), V(1))
+}
+
+func TestAtomVars(t *testing.T) {
+	a := Rel(0, V(1), C(5), V(1), V(2))
+	vars := a.Vars(nil)
+	if len(vars) != 2 || vars[0] != 1 || vars[1] != 2 {
+		t.Fatalf("Vars = %v", vars)
+	}
+}
+
+func TestRuleClone(t *testing.T) {
+	p, _, _ := tcProgram(t)
+	r := p.Rules[1]
+	c := r.Clone()
+	c.Body[0], c.Body[1] = c.Body[1], c.Body[0]
+	c.Body[0].Terms[0] = C(99)
+	if r.Body[0].Terms[0].Kind != TermVar {
+		t.Fatal("Clone shares term storage with original")
+	}
+}
+
+func TestFormatRule(t *testing.T) {
+	p, _, _ := tcProgram(t)
+	got := p.FormatRule(p.Rules[1])
+	want := "tc(x, y) :- tc(x, z), edge(z, y)."
+	if got != want {
+		t.Fatalf("FormatRule = %q, want %q", got, want)
+	}
+}
+
+func TestFormatRuleWithConstAndNeg(t *testing.T) {
+	cat := storage.NewCatalog()
+	num := cat.Declare("num", 1)
+	comp := cat.Declare("composite", 1)
+	prime := cat.Declare("prime", 1)
+	p := NewProgram(cat)
+	r := &Rule{
+		Head:    Rel(prime, V(0)),
+		Body:    []Atom{Rel(num, V(0)), Neg(comp, V(0)), Bi(BGe, V(0), C(2))},
+		NumVars: 1, VarNames: []string{"p"},
+	}
+	p.MustAddRule(r)
+	got := p.FormatRule(r)
+	if !strings.Contains(got, "!composite(p)") || !strings.Contains(got, ">=(p, 2)") {
+		t.Fatalf("FormatRule = %q", got)
+	}
+}
+
+func TestCheckRuleArityMismatch(t *testing.T) {
+	cat := storage.NewCatalog()
+	edge := cat.Declare("edge", 2)
+	p := NewProgram(cat)
+	err := p.AddRule(&Rule{
+		Head:    Rel(edge, V(0)),
+		Body:    []Atom{Rel(edge, V(0), V(1))},
+		NumVars: 2,
+	})
+	if err == nil {
+		t.Fatal("arity mismatch not detected")
+	}
+}
+
+func TestCheckRuleUnboundHead(t *testing.T) {
+	cat := storage.NewCatalog()
+	edge := cat.Declare("edge", 2)
+	out := cat.Declare("out", 2)
+	p := NewProgram(cat)
+	err := p.AddRule(&Rule{
+		Head:    Rel(out, V(0), V(3)), // v3 appears nowhere in the body
+		Body:    []Atom{Rel(edge, V(0), V(1))},
+		NumVars: 4,
+	})
+	if err == nil || !strings.Contains(err.Error(), "unsafe") {
+		t.Fatalf("unbound head var not detected: %v", err)
+	}
+}
+
+func TestCheckRuleUnboundNegation(t *testing.T) {
+	cat := storage.NewCatalog()
+	a := cat.Declare("a", 1)
+	b := cat.Declare("b", 1)
+	out := cat.Declare("out", 1)
+	p := NewProgram(cat)
+	err := p.AddRule(&Rule{
+		Head:    Rel(out, V(0)),
+		Body:    []Atom{Rel(a, V(0)), Neg(b, V(1))}, // v1 unbound
+		NumVars: 2,
+	})
+	if err == nil {
+		t.Fatal("unbound negated var not detected")
+	}
+}
+
+func TestCheckRuleBuiltinChainBinds(t *testing.T) {
+	cat := storage.NewCatalog()
+	n := cat.Declare("n", 1)
+	out := cat.Declare("out", 1)
+	p := NewProgram(cat)
+	// out(y) :- n(x), y = x + 1: y bound through the builtin.
+	err := p.AddRule(&Rule{
+		Head:    Rel(out, V(1)),
+		Body:    []Atom{Rel(n, V(0)), Bi(BAdd, V(0), C(1), V(1))},
+		NumVars: 2, VarNames: []string{"x", "y"},
+	})
+	if err != nil {
+		t.Fatalf("builtin output should bind head var: %v", err)
+	}
+}
+
+func TestCheckRuleBuiltinNeverEvaluable(t *testing.T) {
+	cat := storage.NewCatalog()
+	n := cat.Declare("n", 1)
+	out := cat.Declare("out", 1)
+	p := NewProgram(cat)
+	// lt(y, z) with both unbound can never run.
+	err := p.AddRule(&Rule{
+		Head:    Rel(out, V(0)),
+		Body:    []Atom{Rel(n, V(0)), Bi(BLt, V(1), V(2))},
+		NumVars: 3,
+	})
+	if err == nil {
+		t.Fatal("unevaluable builtin not detected")
+	}
+}
+
+func TestBuiltinBindableRules(t *testing.T) {
+	bound := func(ids ...VarID) func(VarID) bool {
+		set := map[VarID]bool{}
+		for _, id := range ids {
+			set[id] = true
+		}
+		return func(v VarID) bool { return set[v] }
+	}
+	cases := []struct {
+		atom Atom
+		b    func(VarID) bool
+		ok   bool
+		outs int
+	}{
+		{Bi(BAdd, V(0), V(1), V(2)), bound(0, 1), true, 1},
+		{Bi(BAdd, V(0), V(1), V(2)), bound(0, 2), true, 1},
+		{Bi(BAdd, V(0), V(1), V(2)), bound(0), false, 0},
+		{Bi(BSub, V(0), C(1), V(2)), bound(0), true, 1},
+		{Bi(BMul, V(0), V(1), V(2)), bound(0, 1), true, 1},
+		{Bi(BMul, V(0), V(1), V(2)), bound(2, 0), true, 1},
+		{Bi(BDiv, V(0), V(1), V(2)), bound(2), false, 0},
+		{Bi(BDiv, V(0), V(1), V(2)), bound(0, 1), true, 1},
+		{Bi(BEq, V(0), V(1)), bound(0), true, 1},
+		{Bi(BLt, V(0), V(1)), bound(0), false, 0},
+		{Bi(BLt, V(0), V(1)), bound(0, 1), true, 0},
+	}
+	for i, c := range cases {
+		outs, ok := BuiltinBindable(c.atom, c.b)
+		if ok != c.ok || len(outs) != c.outs {
+			t.Errorf("case %d (%v): got outs=%v ok=%v, want %d outputs ok=%v", i, c.atom.Builtin, outs, ok, c.outs, c.ok)
+		}
+	}
+}
+
+func TestLegalOrder(t *testing.T) {
+	cat := storage.NewCatalog()
+	n := cat.Declare("n", 1)
+	out := cat.Declare("out", 1)
+	p := NewProgram(cat)
+	r := &Rule{
+		Head:    Rel(out, V(1)),
+		Body:    []Atom{Rel(n, V(0)), Bi(BAdd, V(0), C(1), V(1))},
+		NumVars: 2,
+	}
+	p.MustAddRule(r)
+	if !LegalOrder(r, []int{0, 1}) {
+		t.Fatal("n(x), y=x+1 should be legal")
+	}
+	if LegalOrder(r, []int{1, 0}) {
+		t.Fatal("y=x+1 before n(x) must be illegal (x unbound)")
+	}
+}
+
+func TestLegalOrderNegation(t *testing.T) {
+	cat := storage.NewCatalog()
+	a := cat.Declare("a", 1)
+	b := cat.Declare("b", 1)
+	out := cat.Declare("out", 1)
+	p := NewProgram(cat)
+	r := &Rule{
+		Head:    Rel(out, V(0)),
+		Body:    []Atom{Rel(a, V(0)), Neg(b, V(0))},
+		NumVars: 1,
+	}
+	p.MustAddRule(r)
+	if !LegalOrder(r, []int{0, 1}) || LegalOrder(r, []int{1, 0}) {
+		t.Fatal("negation ordering constraints violated")
+	}
+}

@@ -1,0 +1,201 @@
+package ast
+
+import "fmt"
+
+// BuiltinBindable reports whether the builtin atom can execute given the set
+// of currently bound variables: it returns ok=true and the indices of term
+// positions that the evaluation will newly bind (outputs). The binding rules
+// mirror Soufflé functors:
+//
+//   - add/sub: any single unknown among the three terms is solvable;
+//   - mul: both factors bound (product derived), or product plus one factor
+//     bound (the other factor derived when it divides evenly);
+//   - div/mod: the first two terms must be bound, the third may be derived;
+//   - eq: either side may be derived from the other;
+//   - ne/lt/le/gt/ge: all terms must be bound (pure filters).
+func BuiltinBindable(a Atom, bound func(VarID) bool) (outputs []int, ok bool) {
+	if a.Kind != AtomBuiltin {
+		return nil, false
+	}
+	isBound := func(i int) bool {
+		t := a.Terms[i]
+		return t.Kind == TermConst || bound(t.Var)
+	}
+	unbound := func() []int {
+		var u []int
+		for i := range a.Terms {
+			if !isBound(i) {
+				u = append(u, i)
+			}
+		}
+		return u
+	}
+	u := unbound()
+	switch a.Builtin {
+	case BAdd, BSub:
+		if len(u) <= 1 {
+			return u, true
+		}
+	case BMul:
+		if len(u) == 0 {
+			return nil, true
+		}
+		if len(u) == 1 {
+			return u, true // solve the unknown (may fail at runtime if not divisible)
+		}
+	case BDiv, BMod:
+		if isBound(0) && isBound(1) {
+			return u, true
+		}
+	case BEq:
+		if len(u) <= 1 {
+			return u, true
+		}
+	case BNe, BLt, BLe, BGt, BGe:
+		if len(u) == 0 {
+			return nil, true
+		}
+	}
+	return nil, false
+}
+
+// CheckRule validates a rule: predicate arities match declarations, the head
+// is a positive relational atom, aggregation is well-formed, and the rule is
+// safe (every head variable and every variable of a negated atom or builtin
+// filter can be bound by some evaluation order). Safety is decided by a
+// boundness fixpoint: positive relational atoms bind their variables;
+// builtins bind outputs once their inputs are bound.
+func (p *Program) CheckRule(r *Rule) error {
+	if r.Head.Kind != AtomRelation {
+		return fmt.Errorf("ast: rule head must be a positive relational atom")
+	}
+	check := func(a Atom) error {
+		if a.Kind == AtomBuiltin {
+			if len(a.Terms) != a.Builtin.Arity() {
+				return fmt.Errorf("ast: builtin %v arity %d, got %d terms", a.Builtin, a.Builtin.Arity(), len(a.Terms))
+			}
+			return nil
+		}
+		pd := p.Catalog.Pred(a.Pred)
+		if len(a.Terms) != pd.Arity {
+			return fmt.Errorf("ast: atom %s/%d used with %d terms", pd.Name, pd.Arity, len(a.Terms))
+		}
+		return nil
+	}
+	if err := check(r.Head); err != nil {
+		return err
+	}
+	for _, a := range r.Body {
+		if err := check(a); err != nil {
+			return err
+		}
+	}
+	if r.Agg.Kind != AggNone {
+		if r.Agg.HeadPos < 0 || r.Agg.HeadPos >= len(r.Head.Terms) {
+			return fmt.Errorf("ast: aggregate head position %d out of range", r.Agg.HeadPos)
+		}
+		if t := r.Head.Terms[r.Agg.HeadPos]; t.Kind != TermVar {
+			return fmt.Errorf("ast: aggregate head position must be a variable")
+		}
+	}
+
+	// Boundness fixpoint.
+	bound := make([]bool, r.NumVars)
+	for _, a := range r.Body {
+		if a.Kind == AtomRelation {
+			for _, t := range a.Terms {
+				if t.Kind == TermVar {
+					bound[t.Var] = true
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, a := range r.Body {
+			if a.Kind != AtomBuiltin {
+				continue
+			}
+			outs, ok := BuiltinBindable(a, func(v VarID) bool { return bound[v] })
+			if !ok {
+				continue
+			}
+			for _, i := range outs {
+				if t := a.Terms[i]; t.Kind == TermVar && !bound[t.Var] {
+					bound[t.Var] = true
+					changed = true
+				}
+			}
+		}
+	}
+	requireBound := func(a Atom, what string) error {
+		for _, t := range a.Terms {
+			if t.Kind == TermVar && !bound[t.Var] {
+				return fmt.Errorf("ast: unsafe rule: variable %s in %s cannot be bound", r.VarName(t.Var), what)
+			}
+		}
+		return nil
+	}
+	for i, t := range r.Head.Terms {
+		if r.Agg.Kind != AggNone && i == r.Agg.HeadPos {
+			continue // aggregate output is computed, not bound from the body
+		}
+		if t.Kind == TermVar && !bound[t.Var] {
+			return fmt.Errorf("ast: unsafe rule: head variable %s not bound by body", r.VarName(t.Var))
+		}
+	}
+	for _, a := range r.Body {
+		if a.Kind == AtomNegated {
+			if err := requireBound(a, "negated atom"); err != nil {
+				return err
+			}
+		}
+		if a.Kind == AtomBuiltin {
+			if _, ok := BuiltinBindable(a, func(v VarID) bool { return bound[v] }); !ok {
+				return fmt.Errorf("ast: unsafe rule: builtin %v can never be evaluated (unbound inputs)", a.Builtin)
+			}
+		}
+	}
+	if r.Agg.Kind == AggSum || r.Agg.Kind == AggMin || r.Agg.Kind == AggMax {
+		if !bound[r.Agg.OverVar] {
+			return fmt.Errorf("ast: aggregate variable %s not bound by body", r.VarName(r.Agg.OverVar))
+		}
+	}
+	return nil
+}
+
+// LegalOrder reports whether executing the body atoms in the given
+// permutation respects binding constraints: builtins run only when their
+// inputs are bound, negated atoms only when fully bound. The optimizer uses
+// this to constrain reordering.
+func LegalOrder(r *Rule, perm []int) bool {
+	bound := make([]bool, r.NumVars)
+	for _, i := range perm {
+		a := r.Body[i]
+		switch a.Kind {
+		case AtomRelation:
+			for _, t := range a.Terms {
+				if t.Kind == TermVar {
+					bound[t.Var] = true
+				}
+			}
+		case AtomNegated:
+			for _, t := range a.Terms {
+				if t.Kind == TermVar && !bound[t.Var] {
+					return false
+				}
+			}
+		case AtomBuiltin:
+			outs, ok := BuiltinBindable(a, func(v VarID) bool { return bound[v] })
+			if !ok {
+				return false
+			}
+			for _, o := range outs {
+				if t := a.Terms[o]; t.Kind == TermVar {
+					bound[t.Var] = true
+				}
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,260 @@
+package ast
+
+import (
+	"fmt"
+	"sort"
+
+	"carac/internal/storage"
+)
+
+// Stratum is one evaluation layer: the set of mutually recursive IDB
+// predicates (one SCC of the precedence graph) plus the rules defining them.
+// Strata are returned in dependency (topological) order; evaluating them in
+// sequence with a fixpoint per stratum implements stratified Datalog with
+// negation and aggregation.
+type Stratum struct {
+	Preds []storage.PredID // IDB predicates computed in this stratum
+	Rules []int            // indices into Program.Rules
+}
+
+// DepEdge is one edge of the predicate precedence graph: Head depends on
+// Body. Negated marks negation or aggregation dependencies, which must not
+// occur inside an SCC.
+type DepEdge struct {
+	Body, Head storage.PredID
+	Negated    bool
+}
+
+// PrecedenceGraph returns the dependency edges of the program (deduplicated;
+// a dependency is marked negated if any occurrence is negated/aggregated).
+func (p *Program) PrecedenceGraph() []DepEdge {
+	type key struct{ b, h storage.PredID }
+	edges := make(map[key]bool) // -> negated
+	for _, r := range p.Rules {
+		aggregated := r.Agg.Kind != AggNone
+		for _, a := range r.Body {
+			if !a.IsRelational() {
+				continue
+			}
+			k := key{a.Pred, r.Head.Pred}
+			neg := a.Kind == AtomNegated || aggregated
+			edges[k] = edges[k] || neg
+		}
+	}
+	out := make([]DepEdge, 0, len(edges))
+	for k, neg := range edges {
+		out = append(out, DepEdge{Body: k.b, Head: k.h, Negated: neg})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Head != out[j].Head {
+			return out[i].Head < out[j].Head
+		}
+		return out[i].Body < out[j].Body
+	})
+	return out
+}
+
+// Stratify computes the evaluation strata of the program: Tarjan SCCs of the
+// precedence graph, condensed and topologically ordered. It returns an error
+// if a negated or aggregated dependency occurs within an SCC (the program is
+// then not stratifiable).
+//
+// Predicates without rules (pure EDB) are not represented in the result.
+func (p *Program) Stratify() ([]Stratum, error) {
+	n := p.Catalog.NumPreds()
+	adj := make([][]int32, n) // body -> heads
+	edges := p.PrecedenceGraph()
+	for _, e := range edges {
+		adj[e.Body] = append(adj[e.Body], int32(e.Head))
+	}
+
+	// Iterative Tarjan SCC.
+	const unvisited = -1
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	comp := make([]int32, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var stack []int32
+	var sccs [][]int32
+	var counter int32
+
+	type frame struct {
+		v  int32
+		ei int
+	}
+	for start := int32(0); start < int32(n); start++ {
+		if index[start] != unvisited {
+			continue
+		}
+		callStack := []frame{{v: start}}
+		index[start] = counter
+		low[start] = counter
+		counter++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			if f.ei < len(adj[f.v]) {
+				w := adj[f.v][f.ei]
+				f.ei++
+				if index[w] == unvisited {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// Pop f.
+			v := f.v
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				parent := &callStack[len(callStack)-1]
+				if low[v] < low[parent.v] {
+					low[parent.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var scc []int32
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = int32(len(sccs))
+					scc = append(scc, w)
+					if w == v {
+						break
+					}
+				}
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+
+	// Negation/aggregation inside an SCC is unstratifiable.
+	for _, e := range edges {
+		if e.Negated && comp[e.Body] == comp[e.Head] {
+			return nil, fmt.Errorf("ast: program not stratifiable: negated/aggregated dependency %s -> %s inside a recursive component",
+				p.Catalog.Pred(e.Body).Name, p.Catalog.Pred(e.Head).Name)
+		}
+	}
+
+	// Tarjan emits SCCs in reverse topological order of the condensation
+	// (every edge goes from a later-emitted SCC to an earlier-emitted one is
+	// false — it is the opposite: SCCs are emitted children-first), so
+	// reversing gives dependency order: bodies before heads.
+	hasRules := make(map[storage.PredID][]int)
+	for ri, r := range p.Rules {
+		hasRules[r.Head.Pred] = append(hasRules[r.Head.Pred], ri)
+	}
+
+	var strata []Stratum
+	for si := len(sccs) - 1; si >= 0; si-- {
+		var s Stratum
+		members := sccs[si]
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		for _, pid := range members {
+			if rs, ok := hasRules[storage.PredID(pid)]; ok {
+				s.Preds = append(s.Preds, storage.PredID(pid))
+				s.Rules = append(s.Rules, rs...)
+			}
+		}
+		if len(s.Preds) > 0 {
+			sort.Ints(s.Rules)
+			strata = append(strata, s)
+		}
+	}
+	return strata, nil
+}
+
+// RecursivePreds returns, for each rule index, the set of body-atom indices
+// whose predicate belongs to the same stratum as the rule head — i.e. the
+// atoms that get a delta version in semi-naive evaluation.
+func RecursiveAtoms(p *Program, s Stratum, ruleIdx int) []int {
+	inStratum := make(map[storage.PredID]bool, len(s.Preds))
+	for _, pid := range s.Preds {
+		inStratum[pid] = true
+	}
+	r := p.Rules[ruleIdx]
+	var out []int
+	for i, a := range r.Body {
+		if a.Kind == AtomRelation && inStratum[a.Pred] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// EliminateAliases rewrites away alias rules of the form A(x1..xn) :- B(x1..xn)
+// where A has exactly one defining rule whose body is a single positive atom
+// with identical distinct variables — replacing uses of A with B — avoiding
+// the extra materialization the paper mentions (§V-A). It returns the number
+// of aliases removed.
+func (p *Program) EliminateAliases() int {
+	defCount := make(map[storage.PredID]int)
+	for _, r := range p.Rules {
+		defCount[r.Head.Pred]++
+	}
+	alias := make(map[storage.PredID]storage.PredID)
+	for _, r := range p.Rules {
+		if defCount[r.Head.Pred] != 1 || len(r.Body) != 1 || r.Agg.Kind != AggNone {
+			continue
+		}
+		b := r.Body[0]
+		if b.Kind != AtomRelation || len(b.Terms) != len(r.Head.Terms) {
+			continue
+		}
+		if b.Pred == r.Head.Pred {
+			continue
+		}
+		// Head and body must be identical sequences of distinct variables.
+		seen := map[VarID]bool{}
+		ok := true
+		for i := range b.Terms {
+			ht, bt := r.Head.Terms[i], b.Terms[i]
+			if ht.Kind != TermVar || bt.Kind != TermVar || ht.Var != bt.Var || seen[ht.Var] {
+				ok = false
+				break
+			}
+			seen[ht.Var] = true
+		}
+		if ok {
+			alias[r.Head.Pred] = b.Pred
+		}
+	}
+	if len(alias) == 0 {
+		return 0
+	}
+	// Resolve alias chains (A -> B -> C becomes A -> C).
+	resolve := func(pid storage.PredID) storage.PredID {
+		for {
+			next, ok := alias[pid]
+			if !ok {
+				return pid
+			}
+			pid = next
+		}
+	}
+	kept := p.Rules[:0]
+	for _, r := range p.Rules {
+		if _, isAlias := alias[r.Head.Pred]; isAlias {
+			continue // drop the alias-defining rule
+		}
+		for i := range r.Body {
+			if r.Body[i].IsRelational() {
+				r.Body[i].Pred = resolve(r.Body[i].Pred)
+			}
+		}
+		kept = append(kept, r)
+	}
+	p.Rules = kept
+	return len(alias)
+}

@@ -1,0 +1,107 @@
+package ast
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"carac/internal/storage"
+)
+
+// randomProgram builds a random positive Datalog program over nPreds
+// predicates (no negation, so it always stratifies).
+func randomProgram(rng *rand.Rand, nPreds, nRules int) *Program {
+	cat := storage.NewCatalog()
+	ids := make([]storage.PredID, nPreds)
+	for i := range ids {
+		ids[i] = cat.Declare(predName(i), 2)
+	}
+	p := NewProgram(cat)
+	for r := 0; r < nRules; r++ {
+		head := ids[rng.Intn(nPreds)]
+		nBody := 1 + rng.Intn(3)
+		var body []Atom
+		// Chain variables so every rule is safe: atom i = (v_i, v_i+1).
+		for b := 0; b < nBody; b++ {
+			body = append(body, Rel(ids[rng.Intn(nPreds)], V(VarID(b)), V(VarID(b+1))))
+		}
+		rule := &Rule{
+			Head:    Rel(head, V(0), V(VarID(nBody))),
+			Body:    body,
+			NumVars: nBody + 1,
+		}
+		if err := p.AddRule(rule); err != nil {
+			panic(err)
+		}
+	}
+	return p
+}
+
+func predName(i int) string {
+	return string(rune('a'+i%26)) + string(rune('0'+i/26))
+}
+
+// Property: stratification partitions exactly the predicates that have
+// rules, each appearing once, and within the returned order every
+// non-recursive dependency points backwards.
+func TestStratifyPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProgram(rng, 2+rng.Intn(6), 1+rng.Intn(12))
+		strata, err := p.Stratify()
+		if err != nil {
+			return false // positive programs always stratify
+		}
+		withRules := map[storage.PredID]bool{}
+		for _, r := range p.Rules {
+			withRules[r.Head.Pred] = true
+		}
+		seen := map[storage.PredID]int{}
+		level := map[storage.PredID]int{}
+		ruleSeen := map[int]bool{}
+		for si, s := range strata {
+			for _, pid := range s.Preds {
+				seen[pid]++
+				level[pid] = si
+			}
+			for _, ri := range s.Rules {
+				if ruleSeen[ri] {
+					return false // rule in two strata
+				}
+				ruleSeen[ri] = true
+				if p.Rules[ri].Head.Pred != s.Preds[0] && !contains(s.Preds, p.Rules[ri].Head.Pred) {
+					return false // rule assigned to stratum not defining its head
+				}
+			}
+		}
+		for pid := range withRules {
+			if seen[pid] != 1 {
+				return false
+			}
+		}
+		if len(ruleSeen) != len(p.Rules) {
+			return false
+		}
+		// Dependencies respect the order: body strata <= head strata.
+		for _, e := range p.PrecedenceGraph() {
+			bl, bok := level[e.Body]
+			hl, hok := level[e.Head]
+			if bok && hok && bl > hl {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func contains(ps []storage.PredID, p storage.PredID) bool {
+	for _, q := range ps {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,209 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"carac/internal/storage"
+)
+
+func TestStratifyLinear(t *testing.T) {
+	p, _, tc := tcProgram(t)
+	strata, err := p.Stratify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strata) != 1 {
+		t.Fatalf("strata = %d, want 1", len(strata))
+	}
+	if len(strata[0].Preds) != 1 || strata[0].Preds[0] != tc {
+		t.Fatalf("stratum preds = %v", strata[0].Preds)
+	}
+	if len(strata[0].Rules) != 2 {
+		t.Fatalf("stratum rules = %v", strata[0].Rules)
+	}
+}
+
+func TestStratifyNegationOrder(t *testing.T) {
+	cat := storage.NewCatalog()
+	num := cat.Declare("num", 1)
+	comp := cat.Declare("composite", 1)
+	prime := cat.Declare("prime", 1)
+	p := NewProgram(cat)
+	p.MustAddRule(&Rule{ // composite(c) :- num(a), num(b), c = a*b
+		Head:    Rel(comp, V(2)),
+		Body:    []Atom{Rel(num, V(0)), Rel(num, V(1)), Bi(BMul, V(0), V(1), V(2))},
+		NumVars: 3,
+	})
+	p.MustAddRule(&Rule{ // prime(x) :- num(x), !composite(x)
+		Head:    Rel(prime, V(0)),
+		Body:    []Atom{Rel(num, V(0)), Neg(comp, V(0))},
+		NumVars: 1,
+	})
+	strata, err := p.Stratify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strata) != 2 {
+		t.Fatalf("strata = %d, want 2", len(strata))
+	}
+	if strata[0].Preds[0] != comp || strata[1].Preds[0] != prime {
+		t.Fatalf("strata order wrong: %v", strata)
+	}
+}
+
+func TestStratifyRejectsNegativeCycle(t *testing.T) {
+	cat := storage.NewCatalog()
+	a := cat.Declare("a", 1)
+	b := cat.Declare("b", 1)
+	base := cat.Declare("base", 1)
+	p := NewProgram(cat)
+	p.MustAddRule(&Rule{Head: Rel(a, V(0)), Body: []Atom{Rel(base, V(0)), Neg(b, V(0))}, NumVars: 1})
+	p.MustAddRule(&Rule{Head: Rel(b, V(0)), Body: []Atom{Rel(base, V(0)), Neg(a, V(0))}, NumVars: 1})
+	_, err := p.Stratify()
+	if err == nil || !strings.Contains(err.Error(), "not stratifiable") {
+		t.Fatalf("negative cycle not rejected: %v", err)
+	}
+}
+
+func TestStratifyMutualRecursionOneStratum(t *testing.T) {
+	// CSPA-like: VaFlow and VAlias/MAlias are mutually recursive.
+	cat := storage.NewCatalog()
+	assign := cat.Declare("Assign", 2)
+	deref := cat.Declare("Derefr", 2)
+	vaflow := cat.Declare("VaFlow", 2)
+	valias := cat.Declare("VAlias", 2)
+	malias := cat.Declare("MAlias", 2)
+	p := NewProgram(cat)
+	add := func(head Atom, body ...Atom) {
+		maxVar := VarID(-1)
+		scan := func(a Atom) {
+			for _, tm := range a.Terms {
+				if tm.Kind == TermVar && tm.Var > maxVar {
+					maxVar = tm.Var
+				}
+			}
+		}
+		scan(head)
+		for _, a := range body {
+			scan(a)
+		}
+		p.MustAddRule(&Rule{Head: head, Body: body, NumVars: int(maxVar) + 1})
+	}
+	add(Rel(vaflow, V(0), V(1)), Rel(assign, V(0), V(1)))
+	add(Rel(vaflow, V(0), V(1)), Rel(malias, V(2), V(1)), Rel(assign, V(0), V(2)))
+	add(Rel(vaflow, V(0), V(1)), Rel(vaflow, V(2), V(1)), Rel(vaflow, V(0), V(2)))
+	add(Rel(valias, V(0), V(1)), Rel(vaflow, V(2), V(1)), Rel(vaflow, V(2), V(0)))
+	add(Rel(malias, V(0), V(1)), Rel(valias, V(2), V(3)), Rel(deref, V(3), V(1)), Rel(deref, V(2), V(0)))
+	strata, err := p.Stratify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strata) != 1 {
+		t.Fatalf("mutually recursive CSPA should be one stratum, got %d", len(strata))
+	}
+	if len(strata[0].Preds) != 3 {
+		t.Fatalf("stratum preds = %v, want {VaFlow, VAlias, MAlias}", strata[0].Preds)
+	}
+}
+
+func TestStratifyAggregationIsStratified(t *testing.T) {
+	cat := storage.NewCatalog()
+	edge := cat.Declare("edge", 2)
+	deg := cat.Declare("deg", 2)
+	p := NewProgram(cat)
+	p.MustAddRule(&Rule{
+		Head:    Rel(deg, V(0), V(1)),
+		Body:    []Atom{Rel(edge, V(0), V(2))},
+		Agg:     AggSpec{Kind: AggCount, HeadPos: 1},
+		NumVars: 3,
+	})
+	strata, err := p.Stratify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strata) != 1 {
+		t.Fatalf("strata = %d", len(strata))
+	}
+
+	// Recursive aggregation must be rejected.
+	p2 := NewProgram(cat)
+	p2.MustAddRule(&Rule{
+		Head:    Rel(deg, V(0), V(1)),
+		Body:    []Atom{Rel(deg, V(0), V(2))},
+		Agg:     AggSpec{Kind: AggCount, HeadPos: 1},
+		NumVars: 3,
+	})
+	if _, err := p2.Stratify(); err == nil {
+		t.Fatal("recursive aggregation not rejected")
+	}
+}
+
+func TestRecursiveAtoms(t *testing.T) {
+	p, _, _ := tcProgram(t)
+	strata, err := p.Stratify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := strata[0]
+	if got := RecursiveAtoms(p, s, 0); len(got) != 0 {
+		t.Fatalf("rule 0 recursive atoms = %v, want none (edge is EDB)", got)
+	}
+	if got := RecursiveAtoms(p, s, 1); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("rule 1 recursive atoms = %v, want [0]", got)
+	}
+}
+
+func TestEliminateAliases(t *testing.T) {
+	cat := storage.NewCatalog()
+	edge := cat.Declare("edge", 2)
+	e2 := cat.Declare("e2", 2) // alias of edge
+	tc := cat.Declare("tc", 2)
+	p := NewProgram(cat)
+	p.MustAddRule(&Rule{Head: Rel(e2, V(0), V(1)), Body: []Atom{Rel(edge, V(0), V(1))}, NumVars: 2})
+	p.MustAddRule(&Rule{Head: Rel(tc, V(0), V(1)), Body: []Atom{Rel(e2, V(0), V(1))}, NumVars: 2})
+	p.MustAddRule(&Rule{Head: Rel(tc, V(0), V(1)), Body: []Atom{Rel(tc, V(0), V(2)), Rel(e2, V(2), V(1))}, NumVars: 3})
+	removed := p.EliminateAliases()
+	if removed != 1 {
+		t.Fatalf("removed = %d, want 1", removed)
+	}
+	if len(p.Rules) != 2 {
+		t.Fatalf("rules = %d, want 2", len(p.Rules))
+	}
+	for _, r := range p.Rules {
+		for _, a := range r.Body {
+			if a.IsRelational() && a.Pred == e2 {
+				t.Fatal("alias predicate still referenced")
+			}
+		}
+	}
+}
+
+func TestEliminateAliasesKeepsNonAliases(t *testing.T) {
+	cat := storage.NewCatalog()
+	edge := cat.Declare("edge", 2)
+	rev := cat.Declare("rev", 2) // not an alias: swapped columns
+	p := NewProgram(cat)
+	p.MustAddRule(&Rule{Head: Rel(rev, V(0), V(1)), Body: []Atom{Rel(edge, V(1), V(0))}, NumVars: 2})
+	if removed := p.EliminateAliases(); removed != 0 {
+		t.Fatalf("column-swapping rule wrongly treated as alias (removed=%d)", removed)
+	}
+}
+
+func TestPrecedenceGraphDedup(t *testing.T) {
+	p, edge, tc := tcProgram(t)
+	edges := p.PrecedenceGraph()
+	if len(edges) != 2 {
+		t.Fatalf("edges = %v, want edge->tc and tc->tc", edges)
+	}
+	found := map[[2]storage.PredID]bool{}
+	for _, e := range edges {
+		found[[2]storage.PredID{e.Body, e.Head}] = true
+		if e.Negated {
+			t.Fatal("no negated edges expected")
+		}
+	}
+	if !found[[2]storage.PredID{edge, tc}] || !found[[2]storage.PredID{tc, tc}] {
+		t.Fatalf("missing edges: %v", edges)
+	}
+}

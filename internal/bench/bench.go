@@ -1,0 +1,177 @@
+// Package bench provides the measurement discipline shared by the benchmark
+// harness (cmd/caracbench) and the root testing.B benchmarks: warmup
+// iterations followed by repeated timed runs with the median reported —
+// mirroring the paper's JMH setup (-wi 3 -i 3) on the Go toolchain — plus
+// text rendering for the paper-style tables.
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"carac/internal/interp"
+)
+
+// Runner produces one measurable execution. Build constructs fresh state
+// (programs are rebuilt per measurement so index registration and rule
+// formulations do not leak between configurations); Run executes it and
+// returns the measured duration.
+type Runner struct {
+	Name  string
+	Build func() (Run, error)
+}
+
+// Run is one prepared execution.
+type Run func() (time.Duration, error)
+
+// Options tunes Measure.
+type Options struct {
+	Warmups int           // unmeasured runs (default 1)
+	Reps    int           // measured runs, median reported (default 3)
+	Timeout time.Duration // 0 = none; timeouts yield DNF
+}
+
+// Measurement is the outcome of Measure.
+type Measurement struct {
+	Name   string
+	Median time.Duration
+	All    []time.Duration
+	DNF    bool
+	Err    error
+}
+
+// Seconds returns the median in seconds (for table rendering).
+func (m Measurement) Seconds() float64 { return m.Median.Seconds() }
+
+// Measure executes the runner under opts.
+func Measure(r Runner, opts Options) Measurement {
+	if opts.Warmups < 0 {
+		opts.Warmups = 0
+	}
+	if opts.Reps < 1 {
+		opts.Reps = 3
+	}
+	out := Measurement{Name: r.Name}
+	total := opts.Warmups + opts.Reps
+	for i := 0; i < total; i++ {
+		run, err := r.Build()
+		if err != nil {
+			out.Err = err
+			return out
+		}
+		dt, err := run()
+		if err != nil {
+			if errors.Is(err, interp.ErrCancelled) {
+				out.DNF = true
+				return out
+			}
+			out.Err = err
+			return out
+		}
+		if i >= opts.Warmups {
+			out.All = append(out.All, dt)
+		}
+	}
+	sorted := append([]time.Duration(nil), out.All...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out.Median = sorted[len(sorted)/2]
+	return out
+}
+
+// Speedup returns base/opt, the paper's "speedup over baseline" metric.
+func Speedup(base, opt Measurement) float64 {
+	if base.DNF || opt.DNF || opt.Median <= 0 {
+		return 0
+	}
+	return float64(base.Median) / float64(opt.Median)
+}
+
+// Cell renders a measurement for a table: seconds with 4 significant
+// digits, or DNF/ERR.
+func Cell(m Measurement) string {
+	if m.Err != nil {
+		return "ERR"
+	}
+	if m.DNF {
+		return "DNF"
+	}
+	return FormatSeconds(m.Median)
+}
+
+// FormatSeconds renders a duration in seconds with sensible precision.
+func FormatSeconds(d time.Duration) string {
+	s := d.Seconds()
+	switch {
+	case s >= 100:
+		return fmt.Sprintf("%.1f", s)
+	case s >= 1:
+		return fmt.Sprintf("%.2f", s)
+	default:
+		return fmt.Sprintf("%.4f", s)
+	}
+}
+
+// FormatSpeedup renders a speedup factor the way the paper's figures label
+// bars (e.g. "5321x", "6.2x", "0.45x").
+func FormatSpeedup(f float64) string {
+	switch {
+	case f == 0:
+		return "-"
+	case f >= 100:
+		return fmt.Sprintf("%.0fx", f)
+	case f >= 10:
+		return fmt.Sprintf("%.1fx", f)
+	default:
+		return fmt.Sprintf("%.2fx", f)
+	}
+}
+
+// Table renders rows with aligned columns to w.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Write renders the table.
+func (t *Table) Write(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(cells)-1 {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		fmt.Fprintln(w, sb.String())
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"carac/internal/interp"
+)
+
+func constRunner(name string, d time.Duration) Runner {
+	return Runner{
+		Name:  name,
+		Build: func() (Run, error) { return func() (time.Duration, error) { return d, nil }, nil },
+	}
+}
+
+func TestMeasureMedian(t *testing.T) {
+	i := 0
+	durations := []time.Duration{5, 1, 3, 100, 2} // warmup takes the first
+	r := Runner{Name: "m", Build: func() (Run, error) {
+		return func() (time.Duration, error) {
+			d := durations[i%len(durations)]
+			i++
+			return d, nil
+		}, nil
+	}}
+	m := Measure(r, Options{Warmups: 1, Reps: 4})
+	if len(m.All) != 4 {
+		t.Fatalf("reps = %d", len(m.All))
+	}
+	if m.Median != 3 {
+		t.Fatalf("median = %d, want 3", m.Median)
+	}
+}
+
+func TestMeasureDNF(t *testing.T) {
+	r := Runner{Name: "dnf", Build: func() (Run, error) {
+		return func() (time.Duration, error) { return 0, interp.ErrCancelled }, nil
+	}}
+	m := Measure(r, Options{Reps: 2})
+	if !m.DNF || m.Err != nil {
+		t.Fatalf("m = %+v", m)
+	}
+	if Cell(m) != "DNF" {
+		t.Fatalf("Cell = %q", Cell(m))
+	}
+}
+
+func TestMeasureError(t *testing.T) {
+	r := Runner{Name: "err", Build: func() (Run, error) {
+		return nil, errors.New("boom")
+	}}
+	m := Measure(r, Options{})
+	if m.Err == nil || Cell(m) != "ERR" {
+		t.Fatalf("m = %+v", m)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	base := Measurement{Median: 100 * time.Millisecond}
+	opt := Measurement{Median: 10 * time.Millisecond}
+	if s := Speedup(base, opt); s < 9.99 || s > 10.01 {
+		t.Fatalf("speedup = %v", s)
+	}
+	if Speedup(base, Measurement{DNF: true}) != 0 {
+		t.Fatal("DNF speedup should be 0")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := FormatSeconds(1234 * time.Millisecond); got != "1.23" {
+		t.Fatalf("FormatSeconds = %q", got)
+	}
+	if got := FormatSeconds(500 * time.Microsecond); got != "0.0005" {
+		t.Fatalf("FormatSeconds = %q", got)
+	}
+	if got := FormatSpeedup(5321.4); got != "5321x" {
+		t.Fatalf("FormatSpeedup = %q", got)
+	}
+	if got := FormatSpeedup(0.45); got != "0.45x" {
+		t.Fatalf("FormatSpeedup = %q", got)
+	}
+	if got := FormatSpeedup(0); got != "-" {
+		t.Fatalf("FormatSpeedup = %q", got)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	tb := &Table{Header: []string{"Benchmark", "Time"}}
+	tb.Add("Ackermann", "0.21")
+	tb.Add("CSPA_20k", "19777.1")
+	tb.Write(&buf)
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Benchmark") || !strings.Contains(lines[3], "19777.1") {
+		t.Fatalf("table:\n%s", out)
+	}
+}
+
+func TestMeasureUsesWarmup(t *testing.T) {
+	m := Measure(constRunner("c", time.Millisecond), Options{Warmups: 2, Reps: 3})
+	if len(m.All) != 3 {
+		t.Fatalf("measured reps = %d, want 3", len(m.All))
+	}
+}

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func smallSuite() *Suite {
+	return NewSuite(ScaleSmall, Options{Warmups: 0, Reps: 1, Timeout: 60 * time.Second})
+}
+
+func render(t *testing.T, tb *Table) string {
+	t.Helper()
+	var buf bytes.Buffer
+	tb.Write(&buf)
+	return buf.String()
+}
+
+func TestParseScale(t *testing.T) {
+	for s, want := range map[string]Scale{"small": ScaleSmall, "medium": ScaleMedium, "full": ScaleFull, "": ScaleMedium} {
+		got, err := ParseScale(s)
+		if err != nil || got != want {
+			t.Errorf("ParseScale(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseScale("cosmic"); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}
+
+func TestSizesMonotone(t *testing.T) {
+	s, m, f := SizesFor(ScaleSmall), SizesFor(ScaleMedium), SizesFor(ScaleFull)
+	if !(s.CSPA < m.CSPA && m.CSPA < f.CSPA) {
+		t.Fatalf("CSPA sizes not monotone: %d %d %d", s.CSPA, m.CSPA, f.CSPA)
+	}
+	if !(s.CSDA < m.CSDA && m.CSDA < f.CSDA) {
+		t.Fatal("CSDA sizes not monotone")
+	}
+}
+
+func TestWorkloadRegistries(t *testing.T) {
+	s := smallSuite()
+	macro := s.Macro()
+	if len(macro) != 4 {
+		t.Fatalf("macro workloads = %d, want 4", len(macro))
+	}
+	micro := s.Micro()
+	if len(micro) != 3 {
+		t.Fatalf("micro workloads = %d, want 3", len(micro))
+	}
+	for _, w := range append(macro, micro...) {
+		b := w.Build(0)
+		if b == nil || b.P == nil || b.Output == nil {
+			t.Fatalf("workload %s did not build", w.Name)
+		}
+	}
+}
+
+func TestJITConfigsMatchPaperLegend(t *testing.T) {
+	names := []string{}
+	for _, jc := range JITConfigs() {
+		names = append(names, jc.Name)
+	}
+	want := []string{"JIT IRGenerator", "JIT Lambda Blocking", "JIT Bytecode Async",
+		"JIT Bytecode Blocking", "JIT Quotes Async", "JIT Quotes Blocking"}
+	if strings.Join(names, "|") != strings.Join(want, "|") {
+		t.Fatalf("configs = %v", names)
+	}
+}
+
+func TestFig5Renders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measures compilation")
+	}
+	out := render(t, smallSuite().Fig5())
+	for _, gran := range []string{"ProgramOp", "DoWhileOp", "UnionOp*", "UnionOp", "SPJ"} {
+		if !strings.Contains(out, gran) {
+			t.Fatalf("Fig5 missing granularity %s:\n%s", gran, out)
+		}
+	}
+}
+
+func TestFig10Renders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measures execution")
+	}
+	out := render(t, smallSuite().Fig10())
+	for _, b := range []string{"Ackermann", "Fibonacci", "Primes", "JIT-lambda"} {
+		if !strings.Contains(out, b) {
+			t.Fatalf("Fig10 missing %s:\n%s", b, out)
+		}
+	}
+}
+
+func TestTable2Renders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measures execution")
+	}
+	out := render(t, smallSuite().Table2(time.Millisecond))
+	for _, col := range []string{"DLX", "Souffle-Interp", "Souffle-Compile", "Souffle-AutoTuned", "Carac-JIT", "InvFuns", "CSDA"} {
+		if !strings.Contains(out, col) {
+			t.Fatalf("Table2 missing %s:\n%s", col, out)
+		}
+	}
+	if strings.Contains(out, "ERR") {
+		t.Fatalf("Table2 contains errors:\n%s", out)
+	}
+}

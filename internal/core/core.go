@@ -1,0 +1,518 @@
+// Package core is Carac's public engine API: a deep embedding of Datalog
+// into Go (paper §V-A) with stratified negation, aggregation, and arithmetic
+// builtins, wired to the semi-naive fixpoint executor, the runtime
+// join-order optimizer, and the JIT with its four compilation targets.
+//
+// Typical use:
+//
+//	p := core.NewProgram()
+//	edge := p.Relation("edge", 2)
+//	tc := p.Relation("tc", 2)
+//	x, y, z := core.NewVar("x"), core.NewVar("y"), core.NewVar("z")
+//	p.MustRule(tc.A(x, y), edge.A(x, y))
+//	p.MustRule(tc.A(x, y), tc.A(x, z), edge.A(z, y))
+//	edge.MustFact(1, 2)
+//	res, err := p.Run(core.Options{JIT: jit.Config{Backend: jit.BackendLambda}})
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"carac/internal/ast"
+	"carac/internal/interp"
+	"carac/internal/ir"
+	"carac/internal/jit"
+	"carac/internal/optimizer"
+	"carac/internal/parser"
+	"carac/internal/storage"
+)
+
+// Var is a Datalog variable for the embedded DSL. Identity is pointer-based:
+// two NewVar("x") calls create distinct variables.
+type Var struct{ name string }
+
+// NewVar creates a fresh variable with a diagnostic name.
+func NewVar(name string) *Var { return &Var{name: name} }
+
+// Program owns a catalog of relations, the rule set, and execution. It is
+// not safe for concurrent use.
+type Program struct {
+	cat      *storage.Catalog
+	prog     *ast.Program
+	baseLens []int // ground-fact baseline per predicate, captured on first Run
+	frozen   bool
+	// baselineClean is true when Derived holds exactly the ground facts
+	// (i.e. derived rows have been truncated away after the last Run),
+	// enabling incremental fact addition between runs.
+	baselineClean bool
+}
+
+// ensureBaseline rewinds all predicates to their ground-fact baseline so a
+// new fact can be appended to the arena prefix (facts may be added
+// incrementally between runs, paper §V-A).
+func (p *Program) ensureBaseline() {
+	if !p.frozen || p.baselineClean {
+		return
+	}
+	for i, pd := range p.cat.Preds() {
+		pd.Derived.TruncateTo(p.baseLens[i])
+		pd.DeltaKnown.Clear()
+		pd.DeltaNew.Clear()
+	}
+	p.baselineClean = true
+}
+
+func (p *Program) addFact(id storage.PredID, tuple []storage.Value) {
+	if p.frozen {
+		p.ensureBaseline()
+		if p.cat.Pred(id).AddFact(tuple) {
+			p.baseLens[id]++
+		}
+		return
+	}
+	p.cat.Pred(id).AddFact(tuple)
+}
+
+// NewProgram creates an empty program.
+func NewProgram() *Program {
+	cat := storage.NewCatalog()
+	return &Program{cat: cat, prog: ast.NewProgram(cat)}
+}
+
+// Catalog exposes the underlying storage catalog (read-mostly; used by
+// benchmarks and the baseline engines).
+func (p *Program) Catalog() *storage.Catalog { return p.cat }
+
+// AST exposes the rule program (used by baseline engines and tooling).
+func (p *Program) AST() *ast.Program { return p.prog }
+
+// Relation declares (or returns the existing) relation name/arity.
+func (p *Program) Relation(name string, arity int) *Relation {
+	id := p.cat.Declare(name, arity)
+	return &Relation{p: p, id: id, arity: arity, name: name}
+}
+
+// Relation is a handle for declaring facts, building atoms, and reading
+// results.
+type Relation struct {
+	p     *Program
+	id    storage.PredID
+	arity int
+	name  string
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// ID returns the dense predicate id.
+func (r *Relation) ID() storage.PredID { return r.id }
+
+// Atom is a DSL literal: a relational atom, its negation, or a builtin.
+type Atom struct {
+	kind    ast.AtomKind
+	pred    storage.PredID
+	builtin ast.Builtin
+	terms   []any
+}
+
+// A builds a positive atom over r. Arguments may be *Var, int (non-negative,
+// 32-bit), or string (interned as a symbol).
+func (r *Relation) A(args ...any) Atom {
+	if len(args) != r.arity {
+		panic(fmt.Sprintf("core: %s/%d used with %d arguments", r.name, r.arity, len(args)))
+	}
+	return Atom{kind: ast.AtomRelation, pred: r.id, terms: args}
+}
+
+// Not negates a positive relational atom.
+func Not(a Atom) Atom {
+	if a.kind != ast.AtomRelation {
+		panic("core: Not applies to positive relational atoms")
+	}
+	a.kind = ast.AtomNegated
+	return a
+}
+
+func builtinAtom(b ast.Builtin, args ...any) Atom {
+	return Atom{kind: ast.AtomBuiltin, builtin: b, terms: args}
+}
+
+// Add constrains a+b=c; any single unknown is solved.
+func Add(a, b, c any) Atom { return builtinAtom(ast.BAdd, a, b, c) }
+
+// Sub constrains a-b=c over naturals.
+func Sub(a, b, c any) Atom { return builtinAtom(ast.BSub, a, b, c) }
+
+// Mul constrains a*b=c.
+func Mul(a, b, c any) Atom { return builtinAtom(ast.BMul, a, b, c) }
+
+// Div constrains a/b=c (truncated).
+func Div(a, b, c any) Atom { return builtinAtom(ast.BDiv, a, b, c) }
+
+// Mod constrains a%b=c.
+func Mod(a, b, c any) Atom { return builtinAtom(ast.BMod, a, b, c) }
+
+// Eq constrains a=b (either side may be solved from the other).
+func Eq(a, b any) Atom { return builtinAtom(ast.BEq, a, b) }
+
+// Ne filters a≠b.
+func Ne(a, b any) Atom { return builtinAtom(ast.BNe, a, b) }
+
+// Lt filters a<b.
+func Lt(a, b any) Atom { return builtinAtom(ast.BLt, a, b) }
+
+// Le filters a<=b.
+func Le(a, b any) Atom { return builtinAtom(ast.BLe, a, b) }
+
+// Gt filters a>b.
+func Gt(a, b any) Atom { return builtinAtom(ast.BGt, a, b) }
+
+// Ge filters a>=b.
+func Ge(a, b any) Atom { return builtinAtom(ast.BGe, a, b) }
+
+// Aggregation kinds re-exported for rule construction.
+const (
+	Count = ast.AggCount
+	Sum   = ast.AggSum
+	Min   = ast.AggMin
+	Max   = ast.AggMax
+)
+
+// Rule adds head :- body. Variables are scoped to the rule.
+func (p *Program) Rule(head Atom, body ...Atom) error {
+	return p.rule(head, ast.AggSpec{}, body)
+}
+
+// MustRule is Rule that panics on error.
+func (p *Program) MustRule(head Atom, body ...Atom) {
+	if err := p.Rule(head, body...); err != nil {
+		panic(err)
+	}
+}
+
+// AggRule adds an aggregation rule: the head variable at headPos receives
+// kind aggregated over the body variable `over` (ignored for Count), grouped
+// by the remaining head variables.
+func (p *Program) AggRule(head Atom, headPos int, kind ast.AggKind, over *Var, body ...Atom) error {
+	spec := ast.AggSpec{Kind: kind, HeadPos: headPos}
+	return p.rule(head, spec, body, over)
+}
+
+// MustAggRule is AggRule that panics on error.
+func (p *Program) MustAggRule(head Atom, headPos int, kind ast.AggKind, over *Var, body ...Atom) {
+	if err := p.AggRule(head, headPos, kind, over, body...); err != nil {
+		panic(err)
+	}
+}
+
+func (p *Program) rule(head Atom, spec ast.AggSpec, body []Atom, over ...*Var) error {
+	if p.frozen {
+		return fmt.Errorf("core: cannot add rules after Run (create a new Program)")
+	}
+	vars := map[*Var]ast.VarID{}
+	var names []string
+	conv := func(a Atom) (ast.Atom, error) {
+		out := ast.Atom{Kind: a.kind, Pred: a.pred, Builtin: a.builtin}
+		for _, t := range a.terms {
+			switch v := t.(type) {
+			case *Var:
+				id, ok := vars[v]
+				if !ok {
+					id = ast.VarID(len(names))
+					vars[v] = id
+					names = append(names, v.name)
+				}
+				out.Terms = append(out.Terms, ast.V(id))
+			case int:
+				if v < 0 || v > math.MaxInt32 {
+					return ast.Atom{}, fmt.Errorf("core: integer constant %d out of the non-negative 32-bit domain", v)
+				}
+				out.Terms = append(out.Terms, ast.C(storage.Value(v)))
+			case string:
+				out.Terms = append(out.Terms, ast.C(p.cat.Symbols.Intern(v)))
+			default:
+				return ast.Atom{}, fmt.Errorf("core: unsupported term type %T (want *Var, int, or string)", t)
+			}
+		}
+		return out, nil
+	}
+	h, err := conv(head)
+	if err != nil {
+		return err
+	}
+	r := &ast.Rule{Head: h, Agg: spec}
+	for _, a := range body {
+		ba, err := conv(a)
+		if err != nil {
+			return err
+		}
+		r.Body = append(r.Body, ba)
+	}
+	if spec.Kind != ast.AggNone && spec.Kind != ast.AggCount {
+		if len(over) == 0 || over[0] == nil {
+			return fmt.Errorf("core: %v aggregation needs an over-variable", spec.Kind)
+		}
+		id, ok := vars[over[0]]
+		if !ok {
+			return fmt.Errorf("core: aggregation variable %s does not occur in the rule", over[0].name)
+		}
+		r.Agg.OverVar = id
+	}
+	r.NumVars = len(names)
+	r.VarNames = names
+	return p.prog.AddRule(r)
+}
+
+// Fact inserts a ground fact. Arguments as in Relation.A, minus variables.
+func (r *Relation) Fact(args ...any) error {
+	if len(args) != r.arity {
+		return fmt.Errorf("core: %s/%d fact with %d arguments", r.name, r.arity, len(args))
+	}
+	tuple := make([]storage.Value, r.arity)
+	for i, a := range args {
+		switch v := a.(type) {
+		case int:
+			if v < 0 || v > math.MaxInt32 {
+				return fmt.Errorf("core: integer constant %d out of the non-negative 32-bit domain", v)
+			}
+			tuple[i] = storage.Value(v)
+		case storage.Value:
+			tuple[i] = v
+		case string:
+			tuple[i] = r.p.cat.Symbols.Intern(v)
+		default:
+			return fmt.Errorf("core: unsupported fact value %T", a)
+		}
+	}
+	r.p.addFact(r.id, tuple)
+	return nil
+}
+
+// MustFact is Fact that panics on error.
+func (r *Relation) MustFact(args ...any) {
+	if err := r.Fact(args...); err != nil {
+		panic(err)
+	}
+}
+
+// FactTuple inserts a pre-encoded tuple (fast path for dataset loaders).
+func (r *Relation) FactTuple(t []storage.Value) { r.p.addFact(r.id, t) }
+
+// Len returns the number of derived tuples (after a Run).
+func (r *Relation) Len() int { return r.p.cat.Pred(r.id).Derived.Len() }
+
+// Each visits every derived tuple.
+func (r *Relation) Each(f func(t []storage.Value) bool) {
+	r.p.cat.Pred(r.id).Derived.Each(f)
+}
+
+// Contains reports whether the derived relation holds the tuple (arguments
+// as in Fact).
+func (r *Relation) Contains(args ...any) bool {
+	tuple := make([]storage.Value, len(args))
+	for i, a := range args {
+		switch v := a.(type) {
+		case int:
+			tuple[i] = storage.Value(v)
+		case storage.Value:
+			tuple[i] = v
+		case string:
+			sv, ok := r.p.cat.Symbols.Lookup(v)
+			if !ok {
+				return false
+			}
+			tuple[i] = sv
+		default:
+			return false
+		}
+	}
+	return r.p.cat.Pred(r.id).Derived.Contains(tuple)
+}
+
+// AOTStage selects how much information the ahead-of-time ("macro", §VI-C)
+// optimization may use when freezing the initial join orders before timed
+// execution begins.
+type AOTStage uint8
+
+const (
+	// AOTNone leaves rule-author atom orders untouched.
+	AOTNone AOTStage = iota
+	// AOTRulesOnly reorders using the selectivity heuristic alone (rule
+	// schema known, fact cardinalities not).
+	AOTRulesOnly
+	// AOTFactsAndRules reorders using the loaded facts' cardinalities.
+	AOTFactsAndRules
+)
+
+// Options configures one Run.
+type Options struct {
+	// JIT configures runtime optimization; a zero value (BackendOff) runs
+	// the pure interpreter.
+	JIT jit.Config
+	// Indexed builds hash indexes on every join/filter column before
+	// execution (paper §IV, Index selection). Registration is permanent for
+	// the Program's lifetime.
+	Indexed bool
+	// CompositeIndexes additionally registers one composite index per
+	// multi-column search signature occurring in rule bodies (the auto-
+	// index-selection direction §IV cites). Implies nothing without Indexed.
+	CompositeIndexes bool
+	// AOT applies the join-order sort ahead of time, before the timed run.
+	AOT AOTStage
+	// AOTStats overrides the statistics source for AOT reordering (e.g. a
+	// profile captured by a previous run, as in Soufflé's auto-tuner).
+	// Non-nil implies AOT even when AOT is AOTNone.
+	AOTStats optimizer.Stats
+	// Naive evaluates without the semi-naive delta split (baseline engines).
+	Naive bool
+	// EliminateAliases runs the static alias-removal rewrite (§V-A).
+	EliminateAliases bool
+	// Timeout aborts the run after the given duration; Run then returns
+	// interp.ErrCancelled (benchmarks report the configuration as DNF).
+	// Zero means no limit.
+	Timeout time.Duration
+	// Executor selects push- (default) or pull-based leaf-join execution
+	// (paper §V-D: the relational layer is pluggable).
+	Executor interp.Executor
+	// ParallelUnions evaluates each iteration's per-relation unions on
+	// separate goroutines — the parallelization the Known/New delta split
+	// enables (§V-D). Only honored in pure interpretation (no JIT).
+	ParallelUnions bool
+}
+
+// Result reports one Run's outcome.
+type Result struct {
+	Duration time.Duration
+	Interp   interp.Stats
+	JIT      jit.Stats
+	// TotalFacts is the number of derived tuples across all relations.
+	TotalFacts int
+}
+
+// unitStats reports cardinality 1 for every relation: the AOTRulesOnly
+// stats source (only selectivity differentiates atoms).
+type unitStats struct{}
+
+func (unitStats) Card(storage.PredID, ir.Source) int { return 1 }
+
+// Run executes the program to fixpoint under opts. Repeated Runs are
+// independent: derived state is reset to the ground-fact baseline captured
+// at the first Run.
+func (p *Program) Run(opts Options) (*Result, error) {
+	prog := p.prog
+	if opts.EliminateAliases {
+		clone := ast.NewProgram(p.cat)
+		for _, r := range prog.Rules {
+			clone.Rules = append(clone.Rules, r.Clone())
+		}
+		clone.EliminateAliases()
+		prog = clone
+	}
+
+	var root *ir.ProgramOp
+	var err error
+	if opts.Naive {
+		root, err = ir.LowerNaive(prog)
+	} else {
+		root, err = ir.Lower(prog)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Baseline capture and reset for rerunability.
+	if !p.frozen {
+		p.frozen = true
+		p.baseLens = make([]int, p.cat.NumPreds())
+		for i, pd := range p.cat.Preds() {
+			p.baseLens[i] = pd.Derived.Len()
+		}
+	} else {
+		p.ensureBaseline()
+	}
+	p.baselineClean = false // the run below derives new rows
+
+	if opts.Indexed {
+		for pid, cols := range ir.JoinKeyColumns(prog) {
+			p.cat.Pred(pid).BuildIndexes(cols)
+		}
+		if opts.CompositeIndexes {
+			for pid, sets := range ir.JoinKeySignatures(prog) {
+				p.cat.Pred(pid).BuildCompositeIndexes(sets)
+			}
+		}
+	}
+
+	// Ahead-of-time ("macro") staging: freeze initial orders before timing.
+	if opts.AOT != AOTNone || opts.AOTStats != nil {
+		var stats optimizer.Stats = unitStats{}
+		if opts.AOT == AOTFactsAndRules {
+			stats = optimizer.CatalogStats{Cat: p.cat}
+		}
+		if opts.AOTStats != nil {
+			stats = opts.AOTStats
+		}
+		var aotErr error
+		ir.Walk(root, func(o ir.Op) {
+			if spj, ok := o.(*ir.SPJOp); ok {
+				if _, rerr := optimizer.Reorder(spj, stats, opts.JIT.Optimizer); rerr != nil && aotErr == nil {
+					aotErr = rerr
+				}
+			}
+		})
+		if aotErr != nil {
+			return nil, aotErr
+		}
+	}
+
+	var ctrl *jit.Controller
+	var ictrl interp.Controller
+	if opts.JIT.Backend != jit.BackendOff {
+		ctrl = jit.New(p.cat, root, opts.JIT)
+		defer ctrl.Close()
+		ictrl = ctrl
+	}
+	in := interp.New(p.cat, ictrl)
+	in.Executor = opts.Executor
+	in.Parallel = opts.ParallelUnions
+	if opts.Timeout > 0 {
+		timer := time.AfterFunc(opts.Timeout, in.Cancel)
+		defer timer.Stop()
+	}
+
+	t0 := time.Now()
+	if err := in.Run(root); err != nil {
+		return nil, err
+	}
+	dt := time.Since(t0)
+
+	res := &Result{
+		Duration:   dt,
+		Interp:     in.Stats,
+		TotalFacts: p.cat.TotalDerived(),
+	}
+	if ctrl != nil {
+		ctrl.Close()
+		res.JIT = ctrl.Stats()
+	}
+	return res, nil
+}
+
+// LoadSource parses Soufflé-flavoured Datalog text into the program:
+// declarations, facts, and rules (see the parser package for the grammar).
+func (p *Program) LoadSource(src string) error {
+	if p.frozen {
+		return fmt.Errorf("core: cannot load source after Run")
+	}
+	res, err := parser.Parse(src, p.cat)
+	if err != nil {
+		return err
+	}
+	p.prog.Rules = append(p.prog.Rules, res.Program.Rules...)
+	return nil
+}
+
+// Format renders a stored value for output (symbol name or integer).
+func (p *Program) Format(v storage.Value) string { return p.cat.Symbols.Format(v) }

@@ -1,0 +1,105 @@
+package datagen
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCSPAGraphDeterministic(t *testing.T) {
+	a := CSPAGraph(2000, 42)
+	b := CSPAGraph(2000, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (size, seed) must generate identical facts")
+	}
+	c := CSPAGraph(2000, 43)
+	if reflect.DeepEqual(a.Assign, c.Assign) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestCSPAGraphShape(t *testing.T) {
+	f := CSPAGraph(5000, 1)
+	total := len(f.Assign) + len(f.Derefr)
+	if total < 4500 || total > 5500 {
+		t.Fatalf("total facts = %d, want ~5000", total)
+	}
+	// 60/40 split.
+	if len(f.Assign) < total*5/10 || len(f.Assign) > total*7/10 {
+		t.Fatalf("assign share wrong: %d of %d", len(f.Assign), total)
+	}
+	for _, e := range f.Assign {
+		if e.Src < 0 || e.Dst < 0 || e.Src >= f.NumVar || e.Dst >= f.NumVar {
+			t.Fatalf("edge out of range: %+v (numvar %d)", e, f.NumVar)
+		}
+	}
+	// Dereference layer must share memory objects (alias fan-out).
+	objs := map[int32]int{}
+	for _, e := range f.Derefr {
+		objs[e.Dst]++
+	}
+	shared := 0
+	for _, n := range objs {
+		if n > 1 {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("no shared memory objects: MAlias would be trivial")
+	}
+}
+
+func TestCSDAGraphShape(t *testing.T) {
+	f := CSDAGraph(3000, 7)
+	total := len(f.NullEdge) + len(f.FlowEdge)
+	if total < 2500 || total > 3500 {
+		t.Fatalf("total = %d", total)
+	}
+	if len(f.NullEdge) == 0 {
+		t.Fatal("no null seeds")
+	}
+	// Flow edges must go strictly forward (layered DAG: src layer < dst layer).
+	for _, e := range f.FlowEdge {
+		if e.Dst/48 != e.Src/48+1 {
+			t.Fatalf("flow edge not layered: %+v", e)
+		}
+	}
+}
+
+func TestCSDAGraphDeterministic(t *testing.T) {
+	if !reflect.DeepEqual(CSDAGraph(1000, 3), CSDAGraph(1000, 3)) {
+		t.Fatal("CSDA generator not deterministic")
+	}
+}
+
+func TestSListLibContainsRoundTrip(t *testing.T) {
+	f := SListLib(1, 11)
+	if len(f.Inverse) == 0 || f.Inverse[0] != [2]string{"deserialize", "serialize"} {
+		t.Fatalf("inverse facts wrong: %v", f.Inverse)
+	}
+	var ser, deser bool
+	for _, c := range f.Call {
+		if c.Fn == "serialize" {
+			ser = true
+		}
+		if c.Fn == "deserialize" {
+			deser = true
+		}
+	}
+	if !ser || !deser {
+		t.Fatal("round trip calls missing")
+	}
+	if len(f.Alloc) == 0 || len(f.Move) == 0 || len(f.Store) == 0 {
+		t.Fatal("points-to facts missing")
+	}
+}
+
+func TestSListLibScales(t *testing.T) {
+	small := SListLib(1, 5)
+	big := SListLib(5, 5)
+	if len(big.Alloc) <= len(small.Alloc) || len(big.Call) <= len(small.Call) {
+		t.Fatal("scale parameter has no effect")
+	}
+	if !reflect.DeepEqual(SListLib(2, 9), SListLib(2, 9)) {
+		t.Fatal("SListLib not deterministic")
+	}
+}

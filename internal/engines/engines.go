@@ -1,0 +1,184 @@
+// Package engines implements the baseline Datalog engines of the paper's
+// state-of-the-art comparison (Table II), rebuilt over the same storage
+// substrate so the comparison isolates *strategy*, not implementation
+// effort:
+//
+//   - Soufflé-like AOT engine in three modes: Interpreter (tree-walking with
+//     the program's as-written join orders), Compiler (whole-program
+//     compilation to closures plus a simulated external-compiler latency,
+//     standing in for Soufflé's dominant C++ compile cost), and Auto-Tuned
+//     (a real offline profiling run whose observed cardinalities fix the
+//     join orders before compilation — Soufflé's profile-guided optimizer;
+//     profiling time is reported separately, as the paper excludes it).
+//   - DLX-like commercial baseline: naive (non-semi-naive) interpreted
+//     evaluation, the role the anonymized engine plays in Table II (slow,
+//     DNF on the largest workload).
+//
+// See DESIGN.md §2 for why these substitutions preserve Table II's shape.
+package engines
+
+import (
+	"errors"
+	"time"
+
+	"carac/internal/analysis"
+	"carac/internal/core"
+	"carac/internal/interp"
+	"carac/internal/ir"
+	"carac/internal/jit"
+	"carac/internal/optimizer"
+	"carac/internal/storage"
+)
+
+// SouffleMode selects the baseline AOT engine's mode.
+type SouffleMode uint8
+
+const (
+	// SouffleInterp is the interpreter mode (no codegen, as-written orders).
+	SouffleInterp SouffleMode = iota
+	// SouffleCompile compiles the whole program once (includes the simulated
+	// external-compiler latency in Duration, like Soufflé's C++ compile).
+	SouffleCompile
+	// SouffleAutoTune profiles first, then compiles with profile-guided
+	// join orders. Profile time is reported separately.
+	SouffleAutoTune
+)
+
+// String names the mode as in Table II.
+func (m SouffleMode) String() string {
+	switch m {
+	case SouffleCompile:
+		return "Souffle-Compiler"
+	case SouffleAutoTune:
+		return "Souffle-AutoTuned"
+	default:
+		return "Souffle-Interpreter"
+	}
+}
+
+// Report is one baseline measurement.
+type Report struct {
+	// Duration is the end-to-end execution time (including compile cost for
+	// the compiled modes, matching the paper's accounting).
+	Duration time.Duration
+	// ProfileTime is the auto-tune profiling phase, excluded from Duration
+	// ("does not include the time spent generating the profiling
+	// information", §VI-D).
+	ProfileTime time.Duration
+	// DNF marks a run that hit its timeout.
+	DNF bool
+	// TotalFacts is the derived-tuple count (validation that all engines
+	// agree).
+	TotalFacts int
+}
+
+// DefaultCompileLatency approximates the one-time external C++ compile cost
+// the Soufflé compiler modes pay; Table II's InvFuns row is dominated by it.
+// Scaled down from the paper's ~20 s to suit the reduced dataset scales.
+const DefaultCompileLatency = 1500 * time.Millisecond
+
+// RunSouffle executes the built program under the given mode. cxxLatency <= 0
+// picks DefaultCompileLatency for the compiled modes.
+func RunSouffle(b *analysis.Built, mode SouffleMode, cxxLatency, timeout time.Duration) (*Report, error) {
+	if cxxLatency <= 0 {
+		cxxLatency = DefaultCompileLatency
+	}
+	switch mode {
+	case SouffleInterp:
+		res, err := b.P.Run(core.Options{Indexed: true, Timeout: timeout})
+		return report(res, 0, err)
+
+	case SouffleCompile:
+		res, err := b.P.Run(core.Options{
+			Indexed: true,
+			Timeout: timeout,
+			JIT: jit.Config{
+				Backend:            jit.BackendLambda,
+				Granularity:        jit.GranProgram,
+				FreshnessThreshold: 1e18, // AOT: compile exactly once
+				CompileLatency:     cxxLatency,
+			},
+		})
+		return report(res, 0, err)
+
+	case SouffleAutoTune:
+		// Offline profiling pass: run to fixpoint, observe cardinalities.
+		t0 := time.Now()
+		prof, err := b.P.Run(core.Options{Indexed: true, Timeout: timeout})
+		profileTime := time.Since(t0)
+		if err != nil {
+			if errors.Is(err, interp.ErrCancelled) {
+				return &Report{DNF: true, ProfileTime: profileTime}, nil
+			}
+			return nil, err
+		}
+		stats := captureProfile(b.P.Catalog(), prof.Interp.Iterations)
+		res, err := b.P.Run(core.Options{
+			Indexed:  true,
+			Timeout:  timeout,
+			AOTStats: stats,
+			JIT: jit.Config{
+				Backend:            jit.BackendLambda,
+				Granularity:        jit.GranProgram,
+				FreshnessThreshold: 1e18,
+				CompileLatency:     cxxLatency,
+			},
+		})
+		rep, err := report(res, profileTime, err)
+		return rep, err
+	}
+	return nil, errors.New("engines: unknown Soufflé mode")
+}
+
+// RunDLX executes the built program the way the anonymized commercial
+// baseline does in Table II: naive evaluation, interpreted, as-written
+// orders (indexes on).
+func RunDLX(b *analysis.Built, timeout time.Duration) (*Report, error) {
+	res, err := b.P.Run(core.Options{Indexed: true, Naive: true, Timeout: timeout})
+	return report(res, 0, err)
+}
+
+func report(res *core.Result, profile time.Duration, err error) (*Report, error) {
+	if err != nil {
+		if errors.Is(err, interp.ErrCancelled) {
+			return &Report{DNF: true, ProfileTime: profile}, nil
+		}
+		return nil, err
+	}
+	return &Report{
+		Duration:    res.Duration,
+		ProfileTime: profile,
+		TotalFacts:  res.TotalFacts,
+	}, nil
+}
+
+// profileStats is the captured offline profile: fixpoint cardinalities for
+// derived relations and fixpoint-size/iterations as the delta estimate.
+type profileStats struct {
+	derived map[storage.PredID]int
+	delta   map[storage.PredID]int
+}
+
+// Card implements optimizer.Stats from the profile.
+func (p profileStats) Card(pred storage.PredID, src ir.Source) int {
+	if src == ir.SrcDelta {
+		return p.delta[pred]
+	}
+	return p.derived[pred]
+}
+
+func captureProfile(cat *storage.Catalog, iterations int64) optimizer.Stats {
+	if iterations < 1 {
+		iterations = 1
+	}
+	p := profileStats{
+		derived: make(map[storage.PredID]int, cat.NumPreds()),
+		delta:   make(map[storage.PredID]int, cat.NumPreds()),
+	}
+	for _, pd := range cat.Preds() {
+		n := pd.Derived.Len()
+		p.derived[pd.ID] = n
+		p.delta[pd.ID] = n / int(iterations)
+	}
+	return p
+}

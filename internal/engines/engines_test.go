@@ -1,0 +1,91 @@
+package engines
+
+import (
+	"testing"
+	"time"
+
+	"carac/internal/analysis"
+	"carac/internal/datagen"
+)
+
+func TestSouffleModesAgreeOnResults(t *testing.T) {
+	facts := datagen.SListLib(1, 5)
+	var factCounts []int
+	for _, mode := range []SouffleMode{SouffleInterp, SouffleCompile, SouffleAutoTune} {
+		b := analysis.InvFuns(analysis.HandOptimized, facts)
+		rep, err := RunSouffle(b, mode, time.Millisecond, time.Minute)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if rep.DNF {
+			t.Fatalf("%v: unexpected DNF", mode)
+		}
+		factCounts = append(factCounts, rep.TotalFacts)
+	}
+	if factCounts[0] != factCounts[1] || factCounts[1] != factCounts[2] {
+		t.Fatalf("modes disagree: %v", factCounts)
+	}
+}
+
+func TestSouffleCompileIncludesLatency(t *testing.T) {
+	facts := datagen.SListLib(1, 5)
+	b := analysis.InvFuns(analysis.HandOptimized, facts)
+	lat := 120 * time.Millisecond
+	rep, err := RunSouffle(b, SouffleCompile, lat, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Duration < lat {
+		t.Fatalf("compiled duration %v should include the %v compile latency", rep.Duration, lat)
+	}
+}
+
+func TestSouffleAutoTuneReportsProfileSeparately(t *testing.T) {
+	facts := datagen.SListLib(1, 5)
+	b := analysis.InvFuns(analysis.HandOptimized, facts)
+	rep, err := RunSouffle(b, SouffleAutoTune, time.Millisecond, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ProfileTime <= 0 {
+		t.Fatal("profile time not reported")
+	}
+}
+
+func TestDLXNaiveAgrees(t *testing.T) {
+	facts := datagen.CSDAGraph(500, 3)
+	ref := analysis.CSDA(facts)
+	refRep, err := RunSouffle(ref, SouffleInterp, time.Millisecond, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := analysis.CSDA(facts)
+	rep, err := RunDLX(b, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DNF {
+		t.Fatal("unexpected DNF")
+	}
+	if rep.TotalFacts != refRep.TotalFacts {
+		t.Fatalf("DLX disagrees: %d vs %d", rep.TotalFacts, refRep.TotalFacts)
+	}
+}
+
+func TestDNFOnTimeout(t *testing.T) {
+	facts := datagen.CSPAGraph(2500, 9)
+	b := analysis.CSPA(analysis.Unoptimized, facts)
+	rep, err := RunDLX(b, 30*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.DNF {
+		t.Skip("machine fast enough to finish; DNF path not exercised at this scale")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if SouffleAutoTune.String() != "Souffle-AutoTuned" || SouffleInterp.String() != "Souffle-Interpreter" {
+		t.Fatal("mode names wrong")
+	}
+}

@@ -1,0 +1,101 @@
+package eval
+
+import (
+	"encoding/binary"
+
+	"carac/internal/ast"
+	"carac/internal/storage"
+)
+
+// Aggregator accumulates grouped aggregate values for one aggregation rule.
+// The group key is the head tuple with the aggregate position zeroed; Emit
+// materializes one tuple per group with the aggregate filled in.
+type Aggregator struct {
+	kind    ast.AggKind
+	headLen int
+	aggPos  int
+	groups  map[string]*aggState
+	order   []string // insertion order for deterministic emission
+}
+
+type aggState struct {
+	key   []storage.Value
+	count int64
+	sum   int64
+	min   storage.Value
+	max   storage.Value
+}
+
+// NewAggregator returns an accumulator for kind over head tuples of length
+// headLen whose aggregate output sits at aggPos.
+func NewAggregator(kind ast.AggKind, headLen, aggPos int) *Aggregator {
+	return &Aggregator{
+		kind:    kind,
+		headLen: headLen,
+		aggPos:  aggPos,
+		groups:  make(map[string]*aggState),
+	}
+}
+
+// Add records one body match: head is the projected head tuple (the value at
+// the aggregate position is ignored), v is the aggregated variable's value
+// (ignored for count).
+func (a *Aggregator) Add(head []storage.Value, v storage.Value) {
+	keyBuf := make([]byte, 4*a.headLen)
+	for i, hv := range head {
+		if i == a.aggPos {
+			hv = 0
+		}
+		binary.LittleEndian.PutUint32(keyBuf[4*i:], uint32(hv))
+	}
+	k := string(keyBuf)
+	st, ok := a.groups[k]
+	if !ok {
+		key := make([]storage.Value, len(head))
+		copy(key, head)
+		key[a.aggPos] = 0
+		st = &aggState{key: key, min: v, max: v}
+		a.groups[k] = st
+		a.order = append(a.order, k)
+	}
+	st.count++
+	st.sum += int64(v)
+	if v < st.min {
+		st.min = v
+	}
+	if v > st.max {
+		st.max = v
+	}
+}
+
+// Emit calls sink once per group with the completed head tuple.
+func (a *Aggregator) Emit(sink func(tuple []storage.Value)) {
+	for _, k := range a.order {
+		st := a.groups[k]
+		out := make([]storage.Value, len(st.key))
+		copy(out, st.key)
+		var v int64
+		switch a.kind {
+		case ast.AggCount:
+			v = st.count
+		case ast.AggSum:
+			v = st.sum
+		case ast.AggMin:
+			v = int64(st.min)
+		case ast.AggMax:
+			v = int64(st.max)
+		}
+		// Clamp into the storage domain; out-of-range aggregates saturate.
+		if v > 1<<31-1 {
+			v = 1<<31 - 1
+		}
+		if v < 0 {
+			v = 0
+		}
+		out[a.aggPos] = storage.Value(v)
+		sink(out)
+	}
+}
+
+// Len returns the number of groups accumulated so far.
+func (a *Aggregator) Len() int { return len(a.groups) }

@@ -1,0 +1,147 @@
+// Package eval implements the runtime semantics of builtin arithmetic and
+// comparison atoms and of aggregation operators. Arithmetic is defined over
+// the non-negative 32-bit integer domain: symbol ids (negative values) and
+// results that leave the domain simply fail to derive, which keeps bottom-up
+// fixpoints finite and mirrors bounded-arithmetic Datalog practice.
+package eval
+
+import (
+	"math"
+
+	"carac/internal/ast"
+	"carac/internal/storage"
+)
+
+// inDomain reports whether v is a legal arithmetic operand/result: a
+// non-negative value representable in 32 bits.
+func inDomain(v int64) bool { return v >= 0 && v <= math.MaxInt32 }
+
+// Check evaluates a fully bound builtin: it reports whether the relation
+// holds for the given operand values. vals must have b.Arity() entries.
+func Check(b ast.Builtin, vals []storage.Value) bool {
+	switch b {
+	case ast.BAdd:
+		return int64(vals[0])+int64(vals[1]) == int64(vals[2])
+	case ast.BSub:
+		return vals[0] >= vals[1] && int64(vals[0])-int64(vals[1]) == int64(vals[2])
+	case ast.BMul:
+		return int64(vals[0])*int64(vals[1]) == int64(vals[2])
+	case ast.BDiv:
+		return vals[1] != 0 && vals[0]/vals[1] == vals[2]
+	case ast.BMod:
+		return vals[1] != 0 && vals[0]%vals[1] == vals[2]
+	case ast.BEq:
+		return vals[0] == vals[1]
+	case ast.BNe:
+		return vals[0] != vals[1]
+	case ast.BLt:
+		return vals[0] < vals[1]
+	case ast.BLe:
+		return vals[0] <= vals[1]
+	case ast.BGt:
+		return vals[0] > vals[1]
+	case ast.BGe:
+		return vals[0] >= vals[1]
+	}
+	return false
+}
+
+// Solve evaluates a builtin with exactly one unbound operand position,
+// returning the value that position must take for the relation to hold.
+// ok is false when no such value exists in the domain (e.g. natural
+// subtraction underflow, non-divisible product, division by zero).
+//
+// For comparison builtins only BEq supports solving (copying the bound side).
+func Solve(b ast.Builtin, vals []storage.Value, unbound int) (out storage.Value, ok bool) {
+	// Arithmetic over symbols is undefined.
+	for i, v := range vals {
+		if i != unbound && storage.IsSymbol(v) && b != ast.BEq && b != ast.BNe {
+			return 0, false
+		}
+	}
+	switch b {
+	case ast.BAdd: // a + b = c
+		switch unbound {
+		case 2:
+			r := int64(vals[0]) + int64(vals[1])
+			if !inDomain(r) {
+				return 0, false
+			}
+			return storage.Value(r), true
+		case 0:
+			r := int64(vals[2]) - int64(vals[1])
+			if !inDomain(r) {
+				return 0, false
+			}
+			return storage.Value(r), true
+		case 1:
+			r := int64(vals[2]) - int64(vals[0])
+			if !inDomain(r) {
+				return 0, false
+			}
+			return storage.Value(r), true
+		}
+	case ast.BSub: // a - b = c  (natural)
+		switch unbound {
+		case 2:
+			r := int64(vals[0]) - int64(vals[1])
+			if !inDomain(r) {
+				return 0, false
+			}
+			return storage.Value(r), true
+		case 0:
+			r := int64(vals[2]) + int64(vals[1])
+			if !inDomain(r) {
+				return 0, false
+			}
+			return storage.Value(r), true
+		case 1:
+			r := int64(vals[0]) - int64(vals[2])
+			if !inDomain(r) {
+				return 0, false
+			}
+			return storage.Value(r), true
+		}
+	case ast.BMul: // a * b = c
+		switch unbound {
+		case 2:
+			r := int64(vals[0]) * int64(vals[1])
+			if !inDomain(r) {
+				return 0, false
+			}
+			return storage.Value(r), true
+		case 0:
+			if vals[1] == 0 || vals[2]%vals[1] != 0 {
+				return 0, false
+			}
+			return vals[2] / vals[1], true
+		case 1:
+			if vals[0] == 0 || vals[2]%vals[0] != 0 {
+				return 0, false
+			}
+			return vals[2] / vals[0], true
+		}
+	case ast.BDiv: // a / b = c
+		if unbound == 2 {
+			if vals[1] == 0 {
+				return 0, false
+			}
+			return vals[0] / vals[1], true
+		}
+	case ast.BMod: // a % b = c
+		if unbound == 2 {
+			if vals[1] == 0 {
+				return 0, false
+			}
+			return vals[0] % vals[1], true
+		}
+	case ast.BEq:
+		switch unbound {
+		case 0:
+			return vals[1], true
+		case 1:
+			return vals[0], true
+		}
+	}
+	return 0, false
+}

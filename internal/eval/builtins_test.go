@@ -1,0 +1,163 @@
+package eval
+
+import (
+	"testing"
+	"testing/quick"
+
+	"carac/internal/ast"
+	"carac/internal/storage"
+)
+
+func TestCheckArithmetic(t *testing.T) {
+	cases := []struct {
+		b    ast.Builtin
+		vals []storage.Value
+		want bool
+	}{
+		{ast.BAdd, []storage.Value{2, 3, 5}, true},
+		{ast.BAdd, []storage.Value{2, 3, 6}, false},
+		{ast.BSub, []storage.Value{5, 3, 2}, true},
+		{ast.BSub, []storage.Value{3, 5, 0}, false}, // natural subtraction
+		{ast.BMul, []storage.Value{4, 3, 12}, true},
+		{ast.BMul, []storage.Value{4, 3, 11}, false},
+		{ast.BDiv, []storage.Value{7, 2, 3}, true},
+		{ast.BDiv, []storage.Value{7, 0, 0}, false},
+		{ast.BMod, []storage.Value{7, 3, 1}, true},
+		{ast.BMod, []storage.Value{7, 0, 7}, false},
+		{ast.BEq, []storage.Value{4, 4}, true},
+		{ast.BNe, []storage.Value{4, 4}, false},
+		{ast.BLt, []storage.Value{1, 2}, true},
+		{ast.BLe, []storage.Value{2, 2}, true},
+		{ast.BGt, []storage.Value{2, 2}, false},
+		{ast.BGe, []storage.Value{2, 2}, true},
+	}
+	for i, c := range cases {
+		if got := Check(c.b, c.vals); got != c.want {
+			t.Errorf("case %d: Check(%v, %v) = %v, want %v", i, c.b, c.vals, got, c.want)
+		}
+	}
+}
+
+func TestSolvePositions(t *testing.T) {
+	cases := []struct {
+		b       ast.Builtin
+		vals    []storage.Value
+		unbound int
+		want    storage.Value
+		ok      bool
+	}{
+		{ast.BAdd, []storage.Value{2, 3, 0}, 2, 5, true},
+		{ast.BAdd, []storage.Value{0, 3, 5}, 0, 2, true},
+		{ast.BAdd, []storage.Value{2, 0, 5}, 1, 3, true},
+		{ast.BAdd, []storage.Value{0, 7, 5}, 0, 0, false}, // would be negative
+		{ast.BSub, []storage.Value{5, 3, 0}, 2, 2, true},
+		{ast.BSub, []storage.Value{3, 5, 0}, 2, 0, false}, // underflow
+		{ast.BSub, []storage.Value{0, 3, 2}, 0, 5, true},
+		{ast.BSub, []storage.Value{9, 0, 2}, 1, 7, true},
+		{ast.BMul, []storage.Value{4, 3, 0}, 2, 12, true},
+		{ast.BMul, []storage.Value{0, 3, 12}, 0, 4, true},
+		{ast.BMul, []storage.Value{0, 3, 13}, 0, 0, false}, // not divisible
+		{ast.BMul, []storage.Value{0, 0, 12}, 0, 0, false}, // div by zero factor
+		{ast.BDiv, []storage.Value{9, 2, 0}, 2, 4, true},
+		{ast.BDiv, []storage.Value{9, 0, 0}, 2, 0, false},
+		{ast.BMod, []storage.Value{9, 4, 0}, 2, 1, true},
+		{ast.BEq, []storage.Value{0, 8}, 0, 8, true},
+		{ast.BEq, []storage.Value{8, 0}, 1, 8, true},
+		{ast.BLt, []storage.Value{0, 8}, 0, 0, false}, // comparisons don't solve
+	}
+	for i, c := range cases {
+		got, ok := Solve(c.b, c.vals, c.unbound)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("case %d: Solve(%v, %v, %d) = %d,%v want %d,%v", i, c.b, c.vals, c.unbound, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestSolveRejectsSymbols(t *testing.T) {
+	st := storage.NewSymbolTable()
+	sym := st.Intern("foo")
+	if _, ok := Solve(ast.BAdd, []storage.Value{sym, 1, 0}, 2); ok {
+		t.Fatal("arithmetic over symbols must fail")
+	}
+	// Equality over symbols is fine.
+	if v, ok := Solve(ast.BEq, []storage.Value{sym, 0}, 1); !ok || v != sym {
+		t.Fatal("equality should copy symbols")
+	}
+}
+
+func TestSolveOverflow(t *testing.T) {
+	big := storage.Value(1<<31 - 1)
+	if _, ok := Solve(ast.BAdd, []storage.Value{big, big, 0}, 2); ok {
+		t.Fatal("overflowing add must fail")
+	}
+	if _, ok := Solve(ast.BMul, []storage.Value{big, 2, 0}, 2); ok {
+		t.Fatal("overflowing mul must fail")
+	}
+}
+
+// Property: Solve and Check agree — whenever Solve succeeds, Check holds on
+// the completed tuple.
+func TestSolveCheckConsistencyProperty(t *testing.T) {
+	f := func(a, b uint16, which uint8) bool {
+		builtins := []ast.Builtin{ast.BAdd, ast.BSub, ast.BMul}
+		bu := builtins[int(which)%len(builtins)]
+		vals := []storage.Value{storage.Value(a), storage.Value(b), 0}
+		v, ok := Solve(bu, vals, 2)
+		if !ok {
+			return true // nothing to check (domain failure)
+		}
+		vals[2] = v
+		return Check(bu, vals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggregatorGrouping(t *testing.T) {
+	a := NewAggregator(ast.AggCount, 2, 1)
+	a.Add([]storage.Value{1, 0}, 0)
+	a.Add([]storage.Value{1, 0}, 0)
+	a.Add([]storage.Value{2, 0}, 0)
+	if a.Len() != 2 {
+		t.Fatalf("groups = %d", a.Len())
+	}
+	got := map[[2]storage.Value]bool{}
+	a.Emit(func(tu []storage.Value) {
+		got[[2]storage.Value{tu[0], tu[1]}] = true
+	})
+	if !got[[2]storage.Value{1, 2}] || !got[[2]storage.Value{2, 1}] {
+		t.Fatalf("emit = %v", got)
+	}
+}
+
+func TestAggregatorSumMinMax(t *testing.T) {
+	for _, tc := range []struct {
+		kind ast.AggKind
+		want storage.Value
+	}{
+		{ast.AggSum, 60}, {ast.AggMin, 10}, {ast.AggMax, 30},
+	} {
+		a := NewAggregator(tc.kind, 2, 1)
+		for _, v := range []storage.Value{10, 20, 30} {
+			a.Add([]storage.Value{5, 0}, v)
+		}
+		var got storage.Value
+		a.Emit(func(tu []storage.Value) { got = tu[1] })
+		if got != tc.want {
+			t.Errorf("%v = %d, want %d", tc.kind, got, tc.want)
+		}
+	}
+}
+
+func TestAggregatorSaturation(t *testing.T) {
+	a := NewAggregator(ast.AggSum, 1, 0)
+	for i := 0; i < 3; i++ {
+		a.Add([]storage.Value{0}, 1<<31-1)
+	}
+	a.Emit(func(tu []storage.Value) {
+		if tu[0] != 1<<31-1 {
+			t.Fatalf("sum should saturate at MaxInt32, got %d", tu[0])
+		}
+	})
+}

@@ -1,0 +1,308 @@
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"carac/internal/ast"
+	"carac/internal/eval"
+	"carac/internal/ir"
+	"carac/internal/storage"
+)
+
+// ErrCancelled is returned when execution was aborted via Interp.Cancel
+// (e.g. a benchmark timeout marking a configuration as DNF).
+var ErrCancelled = errors.New("interp: execution cancelled")
+
+// Controller is the JIT hook consulted at every IROp safe point. Enter may
+// return a thunk to execute *instead of* interpreting op's subtree (a
+// compiled unit), or nil to let interpretation proceed. A Controller may
+// also mutate SPJ atom orders in place before returning nil (the
+// IRGenerator backend).
+type Controller interface {
+	Enter(op ir.Op, in *Interp) func() error
+}
+
+// Yielder is an optional Controller extension: ShouldYield is polled from
+// inside long-running subquery executions and, when it returns true, the
+// interpreter abandons the subquery and immediately offers the controller a
+// safe point — letting asynchronously compiled code take over "at the exact
+// spot the interpreter left off" instead of waiting out a badly-ordered
+// join (paper §V-B2). Abandonment is sound: the controller only yields when
+// a unit subsuming the abandoned work is ready, and the interpreter re-runs
+// the subquery itself if the controller declines after all.
+type Yielder interface {
+	ShouldYield(op ir.Op, in *Interp) bool
+}
+
+// Stats collects execution counters.
+type Stats struct {
+	Iterations  int64 // DoWhile loop passes
+	Derivations int64 // tuples newly inserted into DeltaNew
+	SPJRuns     int64 // subquery executions
+	PlanBuilds  int64 // access plans constructed by the interpreter
+	Compiled    int64 // subtrees executed via a Controller thunk
+}
+
+// Interp is the tree-walking interpreter (paper §V-B: "when Carac is in
+// interpretation mode, there is no further partial evaluation and the
+// interpreter visits this IROp tree"). With a Controller attached it is the
+// JIT's baseline execution mode between compilations.
+type Interp struct {
+	Cat   *storage.Catalog
+	Ctrl  Controller
+	Stats Stats
+
+	// Executor selects push- or pull-based leaf-join execution (§V-D).
+	Executor Executor
+
+	// Parallel evaluates the UnionAllOps of each DoWhile iteration on
+	// separate goroutines — sound because the delta split makes readers
+	// (Derived, DeltaKnown) and writers (each predicate's own DeltaNew)
+	// disjoint within an iteration (§V-D). Only honored without a
+	// Controller (JIT state is single-threaded).
+	Parallel bool
+
+	cancel atomic.Bool
+	// cancelHook chains a parent interpreter's cancellation into workers
+	// spawned by parallel union evaluation.
+	cancelHook func() bool
+}
+
+// Cancel aborts the run at the next safe point (callable from any
+// goroutine). Compiled units poll it in their loop heads.
+func (in *Interp) Cancel() { in.cancel.Store(true) }
+
+// Cancelled reports whether Cancel was called (here or on the parent).
+func (in *Interp) Cancelled() bool {
+	return in.cancel.Load() || (in.cancelHook != nil && in.cancelHook())
+}
+
+// New returns an interpreter over cat with an optional controller.
+func New(cat *storage.Catalog, ctrl Controller) *Interp {
+	return &Interp{Cat: cat, Ctrl: ctrl}
+}
+
+// Run executes the IR program to fixpoint.
+func (in *Interp) Run(root ir.Op) error { return in.Exec(root) }
+
+// Exec executes one IROp subtree, honoring controller safe points.
+func (in *Interp) Exec(op ir.Op) error {
+	if in.cancel.Load() {
+		return ErrCancelled
+	}
+	if in.Ctrl != nil {
+		if fn := in.Ctrl.Enter(op, in); fn != nil {
+			in.Stats.Compiled++
+			return fn()
+		}
+	}
+	return in.interpret(op)
+}
+
+// Interpret executes op without consulting the controller at this node
+// (children still hit safe points). Compiled snippet continuations call
+// this to hand control back to the interpreter.
+func (in *Interp) Interpret(op ir.Op) error { return in.interpret(op) }
+
+func (in *Interp) interpret(op ir.Op) error {
+	switch n := op.(type) {
+	case *ir.ProgramOp:
+		for _, c := range n.Body {
+			if err := in.Exec(c); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *ir.ScanOp:
+		for _, pid := range n.Preds {
+			p := in.Cat.Pred(pid)
+			p.DeltaNew.InsertAll(p.Derived)
+		}
+		return nil
+
+	case *ir.SwapClearOp:
+		for _, pid := range n.Preds {
+			in.Cat.Pred(pid).SwapClear()
+		}
+		return nil
+
+	case *ir.DoWhileOp:
+		if in.Parallel && in.Ctrl == nil {
+			return in.runLoopParallel(n)
+		}
+		for {
+			for _, c := range n.Body {
+				if err := in.Exec(c); err != nil {
+					return err
+				}
+			}
+			in.Stats.Iterations++
+			if DeltasEmpty(in.Cat, n.Preds) {
+				return nil
+			}
+		}
+
+	case *ir.UnionAllOp:
+		for _, r := range n.Rules {
+			if err := in.Exec(r); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *ir.UnionRuleOp:
+		for _, s := range n.Subqueries {
+			if err := in.Exec(s); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *ir.SPJOp:
+		return in.execSPJ(n)
+	}
+	return fmt.Errorf("interp: unknown op %T", op)
+}
+
+// DeltasEmpty reports whether every listed predicate's DeltaKnown is empty —
+// the DoWhile termination condition.
+func DeltasEmpty(cat *storage.Catalog, preds []storage.PredID) bool {
+	for _, pid := range preds {
+		if !cat.Pred(pid).DeltaKnown.Empty() {
+			return false
+		}
+	}
+	return true
+}
+
+// execSPJ interprets one subquery: it builds an access plan for the current
+// atom order (every time — this repeated planning is the interpretation
+// overhead compiled backends avoid) and streams matches into the sink via
+// the configured executor.
+func (in *Interp) execSPJ(spj *ir.SPJOp) error {
+	plan, err := BuildPlan(spj, in.Cat)
+	if err != nil {
+		return err
+	}
+	plan.Cancel = in.Cancelled
+	if y, ok := in.Ctrl.(Yielder); ok {
+		plan.Yield = func() bool { return y.ShouldYield(spj, in) }
+	}
+	in.Stats.PlanBuilds++
+	in.Stats.SPJRuns++
+	run := func() {
+		if in.Executor == ExecPull {
+			in.Stats.Derivations += RunPlanPull(plan, in.Cat)
+		} else {
+			in.Stats.Derivations += RunPlan(plan, in.Cat)
+		}
+	}
+	run()
+	if plan.Yielded {
+		// A compiled ancestor became ready mid-join: hand over now.
+		if fn := in.Ctrl.Enter(spj, in); fn != nil {
+			in.Stats.Compiled++
+			return fn()
+		}
+		// Controller declined (e.g. unit went stale): finish interpreted.
+		plan.Yield = nil
+		plan.Yielded = false
+		run()
+	}
+	return nil
+}
+
+// runLoopParallel evaluates one stratum loop with the UnionAllOps of each
+// iteration fanned out to goroutines. Each UnionAllOp writes only its own
+// predicate's DeltaNew and reads only Derived/DeltaKnown relations, which
+// are frozen for the duration of the iteration, so the fan-out is race-free
+// by construction; SwapClearOps stay sequential at the iteration boundary.
+func (in *Interp) runLoopParallel(n *ir.DoWhileOp) error {
+	for {
+		var pending []*ir.UnionAllOp
+		flush := func() error {
+			if len(pending) == 0 {
+				return nil
+			}
+			errs := make([]error, len(pending))
+			stats := make([]Stats, len(pending))
+			var wg sync.WaitGroup
+			for i, ua := range pending {
+				wg.Add(1)
+				go func(i int, ua *ir.UnionAllOp) {
+					defer wg.Done()
+					sub := &Interp{Cat: in.Cat, Executor: in.Executor, cancelHook: in.Cancelled}
+					errs[i] = sub.interpret(ua)
+					stats[i] = sub.Stats
+				}(i, ua)
+			}
+			wg.Wait()
+			pending = pending[:0]
+			for i, err := range errs {
+				if err != nil {
+					return err
+				}
+				in.Stats.Derivations += stats[i].Derivations
+				in.Stats.SPJRuns += stats[i].SPJRuns
+				in.Stats.PlanBuilds += stats[i].PlanBuilds
+			}
+			return nil
+		}
+		for _, c := range n.Body {
+			if ua, ok := c.(*ir.UnionAllOp); ok {
+				pending = append(pending, ua)
+				continue
+			}
+			if err := flush(); err != nil {
+				return err
+			}
+			if err := in.Exec(c); err != nil {
+				return err
+			}
+		}
+		if err := flush(); err != nil {
+			return err
+		}
+		in.Stats.Iterations++
+		if in.Cancelled() {
+			return ErrCancelled
+		}
+		if DeltasEmpty(in.Cat, n.Preds) {
+			return nil
+		}
+	}
+}
+
+// RunPlan executes a built plan, sinking matches (via the aggregation path
+// when configured) and returning the number of new tuples derived. Shared by
+// the interpreter and the lambda/quote backends.
+func RunPlan(p *Plan, cat *storage.Catalog) int64 {
+	sink := cat.Pred(p.Sink)
+	var derived int64
+	insert := func(t []storage.Value) {
+		if sink.Derived.Contains(t) {
+			return
+		}
+		if sink.DeltaNew.Insert(t) {
+			derived++
+		}
+	}
+	if p.Agg.Kind == ast.AggNone {
+		p.Execute(cat, func(head, _ []storage.Value) { insert(head) })
+		return derived
+	}
+	agg := eval.NewAggregator(p.Agg.Kind, len(p.Head), p.Agg.HeadPos)
+	p.Execute(cat, func(head, bind []storage.Value) {
+		var v storage.Value
+		if p.Agg.Kind != ast.AggCount {
+			v = bind[p.Agg.OverVar]
+		}
+		agg.Add(head, v)
+	})
+	agg.Emit(insert)
+	return derived
+}

@@ -1,0 +1,480 @@
+// Package interp implements the tree-walking interpreter over IROps and the
+// access-plan machinery that every compilation backend shares: a plan
+// resolves one SPJ subquery's atom order into a sequence of scan/probe/
+// filter/bind steps, choosing an indexed probe column per atom when one is
+// available.
+//
+// Plans reference relations by (predicate, source) and resolve them at
+// execution time, because SwapClearOp swaps relation identities between
+// iterations; a plan therefore stays valid across iterations while the atom
+// order it froze may grow stale — exactly the staleness the JIT's freshness
+// test measures.
+package interp
+
+import (
+	"fmt"
+
+	"carac/internal/ast"
+	"carac/internal/eval"
+	"carac/internal/ir"
+	"carac/internal/storage"
+)
+
+// CheckMode discriminates equality filters within a relational step.
+type CheckMode uint8
+
+const (
+	// CheckConst compares a column against a constant.
+	CheckConst CheckMode = iota
+	// CheckVar compares a column against an already-bound variable.
+	CheckVar
+	// CheckSameRow compares a column against an earlier column of the same
+	// row (intra-atom repeated variable).
+	CheckSameRow
+)
+
+// ColCheck is one equality filter on a relational step.
+type ColCheck struct {
+	Col   int
+	Mode  CheckMode
+	Const storage.Value // CheckConst
+	Var   ast.VarID     // CheckVar
+	Other int           // CheckSameRow
+}
+
+// ColBind records that a column's value binds a variable.
+type ColBind struct {
+	Col int
+	Var ast.VarID
+}
+
+// StepKind discriminates plan steps.
+type StepKind uint8
+
+const (
+	// StepScan iterates all rows of a relation, filtering.
+	StepScan StepKind = iota
+	// StepProbe looks rows up through a hash index on ProbeCol.
+	StepProbe
+	// StepProbeN looks rows up through a composite index on ProbeCols.
+	StepProbeN
+	// StepNegCheck asserts the absence of a fully bound tuple.
+	StepNegCheck
+	// StepBuiltin evaluates a builtin: pure filter if Out < 0, otherwise it
+	// solves and binds the output term.
+	StepBuiltin
+)
+
+// TmplElem is one position of a negation tuple template.
+type TmplElem struct {
+	IsConst bool
+	Const   storage.Value
+	Var     ast.VarID
+}
+
+// Step is one atom of a compiled access plan.
+type Step struct {
+	Kind StepKind
+
+	// Relational steps.
+	Pred      storage.PredID
+	Src       ir.Source
+	ProbeCol  int // StepProbe: the indexed column
+	ProbeKey  TmplElem
+	ProbeCols []int      // StepProbeN: ascending composite columns
+	ProbeKeys []TmplElem // StepProbeN: parallel to ProbeCols
+	Checks    []ColCheck
+	Binds     []ColBind
+
+	// StepNegCheck.
+	Tmpl []TmplElem
+
+	// StepBuiltin.
+	Builtin ast.Builtin
+	Args    []TmplElem
+	Out     int       // index into Args receiving the solved value, -1 = filter
+	OutVar  ast.VarID // variable bound by Out
+}
+
+// Plan is a fully resolved execution strategy for one SPJ subquery in one
+// specific atom order.
+type Plan struct {
+	Steps   []Step
+	Head    []ir.ProjElem
+	Sink    storage.PredID
+	NumVars int
+	Agg     ast.AggSpec
+
+	// Cancel, when non-nil, is polled once per row of the outermost
+	// relation so that multi-minute cartesian products can be aborted
+	// (benchmark DNF timeouts).
+	Cancel func() bool
+	// Yield, when non-nil, is polled alongside Cancel: returning true
+	// abandons the rest of this execution and sets Yielded. The interpreter
+	// uses it to escape a long-running badly-ordered subquery the moment an
+	// asynchronously compiled ancestor unit becomes ready (paper §V-B2:
+	// compiled code takes over "at the exact spot the interpreter left
+	// off"); abandoning is sound because the ancestor unit recomputes the
+	// subsumed work from storage state.
+	Yield func() bool
+	// Yielded reports that the last Execute was abandoned via Yield.
+	Yielded bool
+}
+
+// SourceRel resolves the relation a relational step reads right now.
+func SourceRel(cat *storage.Catalog, pred storage.PredID, src ir.Source) *storage.Relation {
+	p := cat.Pred(pred)
+	if src == ir.SrcDelta {
+		return p.DeltaKnown
+	}
+	return p.Derived
+}
+
+// BuildPlan compiles the SPJ's current atom order into a Plan. It returns an
+// error if the order violates binding constraints (builtin inputs or negated
+// atoms unbound when reached) — compiled backends rely on this as their
+// soundness check, and the optimizer never produces illegal orders.
+func BuildPlan(spj *ir.SPJOp, cat *storage.Catalog) (*Plan, error) {
+	p := &Plan{
+		Head:    spj.Head,
+		Sink:    spj.Sink,
+		NumVars: spj.NumVars,
+		Agg:     spj.Agg,
+	}
+	bound := make([]bool, spj.NumVars)
+	for ai, a := range spj.Atoms {
+		switch a.Kind {
+		case ast.AtomRelation:
+			st := Step{Kind: StepScan, Pred: a.Pred, Src: a.Src, ProbeCol: -1}
+			firstOcc := map[ast.VarID]int{}
+			for col, t := range a.Terms {
+				switch t.Kind {
+				case ast.TermConst:
+					st.Checks = append(st.Checks, ColCheck{Col: col, Mode: CheckConst, Const: t.Val})
+				case ast.TermVar:
+					if prev, ok := firstOcc[t.Var]; ok {
+						st.Checks = append(st.Checks, ColCheck{Col: col, Mode: CheckSameRow, Other: prev})
+						continue
+					}
+					firstOcc[t.Var] = col
+					if bound[t.Var] {
+						st.Checks = append(st.Checks, ColCheck{Col: col, Mode: CheckVar, Var: t.Var})
+					} else {
+						st.Binds = append(st.Binds, ColBind{Col: col, Var: t.Var})
+					}
+				}
+			}
+			// Probe selection. Registration is checked on Derived (index
+			// registrations are identical across a predicate's three
+			// relations and the Derived pointer is never swapped), so plan
+			// building is safe on the asynchronous compile thread while the
+			// interpreter runs. Prefer the widest registered composite index
+			// covered by the equality filters; fall back to the first
+			// single-column index.
+			idxRel := cat.Pred(a.Pred).Derived
+			if comp := chooseComposite(idxRel, st.Checks); comp != nil {
+				st.Kind = StepProbeN
+				st.ProbeCol = -1
+				st.ProbeCols = comp.cols
+				st.ProbeKeys = comp.keys
+				st.Checks = comp.rest
+			} else {
+				for ci, ck := range st.Checks {
+					if ck.Mode == CheckSameRow || !idxRel.HasIndex(ck.Col) {
+						continue
+					}
+					st.Kind = StepProbe
+					st.ProbeCol = ck.Col
+					if ck.Mode == CheckConst {
+						st.ProbeKey = TmplElem{IsConst: true, Const: ck.Const}
+					} else {
+						st.ProbeKey = TmplElem{Var: ck.Var}
+					}
+					st.Checks = append(st.Checks[:ci], st.Checks[ci+1:]...)
+					break
+				}
+			}
+			for _, b := range st.Binds {
+				bound[b.Var] = true
+			}
+			p.Steps = append(p.Steps, st)
+
+		case ast.AtomNegated:
+			st := Step{Kind: StepNegCheck, Pred: a.Pred, Src: a.Src}
+			for _, t := range a.Terms {
+				switch t.Kind {
+				case ast.TermConst:
+					st.Tmpl = append(st.Tmpl, TmplElem{IsConst: true, Const: t.Val})
+				case ast.TermVar:
+					if !bound[t.Var] {
+						return nil, fmt.Errorf("interp: negated atom %d reached with unbound variable v%d", ai, t.Var)
+					}
+					st.Tmpl = append(st.Tmpl, TmplElem{Var: t.Var})
+				}
+			}
+			p.Steps = append(p.Steps, st)
+
+		case ast.AtomBuiltin:
+			outs, ok := ast.BuiltinBindable(ir2astAtom(a), func(v ast.VarID) bool { return bound[v] })
+			if !ok {
+				return nil, fmt.Errorf("interp: builtin %v at atom %d has unbound inputs", a.Builtin, ai)
+			}
+			st := Step{Kind: StepBuiltin, Builtin: a.Builtin, Out: -1}
+			for _, t := range a.Terms {
+				if t.Kind == ast.TermConst {
+					st.Args = append(st.Args, TmplElem{IsConst: true, Const: t.Val})
+				} else {
+					st.Args = append(st.Args, TmplElem{Var: t.Var})
+				}
+			}
+			if len(outs) == 1 {
+				st.Out = outs[0]
+				t := a.Terms[outs[0]]
+				st.OutVar = t.Var
+				bound[t.Var] = true
+			} else if len(outs) > 1 {
+				return nil, fmt.Errorf("interp: builtin %v at atom %d has %d unbound outputs", a.Builtin, ai, len(outs))
+			}
+			p.Steps = append(p.Steps, st)
+		}
+	}
+	// Head safety (belt and braces; ast.CheckRule already enforced this).
+	for i, h := range p.Head {
+		if !h.IsConst && !bound[h.Var] {
+			if p.Agg.Kind != ast.AggNone && i == p.Agg.HeadPos {
+				continue
+			}
+			return nil, fmt.Errorf("interp: head position %d unbound after body", i)
+		}
+	}
+	return p, nil
+}
+
+func ir2astAtom(a ir.Atom) ast.Atom {
+	return ast.Atom{Kind: a.Kind, Pred: a.Pred, Builtin: a.Builtin, Terms: a.Terms}
+}
+
+// compositeChoice is the outcome of matching equality filters against the
+// relation's registered composite indexes.
+type compositeChoice struct {
+	cols []int
+	keys []TmplElem
+	rest []ColCheck
+}
+
+// chooseComposite finds the widest registered composite index whose columns
+// are all covered by const/var equality checks.
+func chooseComposite(rel *storage.Relation, checks []ColCheck) *compositeChoice {
+	sets := rel.CompositeIndexes()
+	if len(sets) == 0 {
+		return nil
+	}
+	byCol := make(map[int]ColCheck, len(checks))
+	for _, ck := range checks {
+		if ck.Mode == CheckSameRow {
+			continue
+		}
+		if _, dup := byCol[ck.Col]; !dup {
+			byCol[ck.Col] = ck
+		}
+	}
+	var best []int
+	for _, cols := range sets {
+		if len(cols) <= len(best) {
+			continue
+		}
+		covered := true
+		for _, c := range cols {
+			if _, ok := byCol[c]; !ok {
+				covered = false
+				break
+			}
+		}
+		if covered {
+			best = cols
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	choice := &compositeChoice{cols: best}
+	used := make(map[int]bool, len(best))
+	for _, c := range best {
+		ck := byCol[c]
+		if ck.Mode == CheckConst {
+			choice.keys = append(choice.keys, TmplElem{IsConst: true, Const: ck.Const})
+		} else {
+			choice.keys = append(choice.keys, TmplElem{Var: ck.Var})
+		}
+		used[c] = true
+	}
+	consumed := make(map[int]bool, len(best))
+	for _, ck := range checks {
+		if ck.Mode != CheckSameRow && used[ck.Col] && !consumed[ck.Col] {
+			consumed[ck.Col] = true
+			continue // absorbed by the probe (first check per column only)
+		}
+		choice.rest = append(choice.rest, ck)
+	}
+	return choice
+}
+
+// resolve evaluates a template element under the current bindings.
+func (t TmplElem) resolve(bind []storage.Value) storage.Value {
+	if t.IsConst {
+		return t.Const
+	}
+	return bind[t.Var]
+}
+
+// Execute runs the plan against the catalog, invoking emit for every body
+// match with the projected head tuple and the full variable bindings (the
+// latter lets aggregation sinks read the aggregated variable). Both slices
+// are reused across calls; emit must copy what it keeps.
+func (p *Plan) Execute(cat *storage.Catalog, emit func(head, bind []storage.Value)) {
+	bind := make([]storage.Value, p.NumVars)
+	head := make([]storage.Value, len(p.Head))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(p.Steps) {
+			for hi, h := range p.Head {
+				if h.IsConst {
+					head[hi] = h.Const
+				} else {
+					head[hi] = bind[h.Var]
+				}
+			}
+			emit(head, bind)
+			return
+		}
+		st := &p.Steps[i]
+		switch st.Kind {
+		case StepScan, StepProbe, StepProbeN:
+			rel := SourceRel(cat, st.Pred, st.Src)
+			// Poll cancellation/yield in the two outermost loops: the outer
+			// one alone is not enough when a tiny delta drives a huge inner
+			// cartesian product.
+			checkCancel := i <= 1 && p.Cancel != nil
+			checkYield := i <= 1 && p.Yield != nil
+			match := func(row []storage.Value) {
+				for _, ck := range st.Checks {
+					switch ck.Mode {
+					case CheckConst:
+						if row[ck.Col] != ck.Const {
+							return
+						}
+					case CheckVar:
+						if row[ck.Col] != bind[ck.Var] {
+							return
+						}
+					case CheckSameRow:
+						if row[ck.Col] != row[ck.Other] {
+							return
+						}
+					}
+				}
+				for _, b := range st.Binds {
+					bind[b.Var] = row[b.Col]
+				}
+				rec(i + 1)
+			}
+			stop := func() bool {
+				if p.Yielded || (checkCancel && p.Cancel()) {
+					return true
+				}
+				if checkYield && p.Yield() {
+					p.Yielded = true
+					return true
+				}
+				return false
+			}
+			if st.Kind == StepProbe {
+				key := st.ProbeKey.resolve(bind)
+				rows, ok := rel.Probe(st.ProbeCol, key)
+				if !ok {
+					// Index vanished (should not happen); degrade to scan.
+					rel.Each(func(row []storage.Value) bool {
+						if row[st.ProbeCol] == key {
+							match(row)
+						}
+						return true
+					})
+					return
+				}
+				for _, ri := range rows {
+					if stop() {
+						return
+					}
+					match(rel.Row(ri))
+				}
+				return
+			}
+			if st.Kind == StepProbeN {
+				vals := make([]storage.Value, len(st.ProbeKeys))
+				for ki, k := range st.ProbeKeys {
+					vals[ki] = k.resolve(bind)
+				}
+				rows, ok := rel.ProbeComposite(st.ProbeCols, vals)
+				if !ok {
+					// Composite index missing at runtime: filtered scan.
+					rel.Each(func(row []storage.Value) bool {
+						for ci, c := range st.ProbeCols {
+							if row[c] != vals[ci] {
+								return true
+							}
+						}
+						match(row)
+						return true
+					})
+					return
+				}
+				for _, ri := range rows {
+					if stop() {
+						return
+					}
+					match(rel.Row(ri))
+				}
+				return
+			}
+			rel.Each(func(row []storage.Value) bool {
+				if stop() {
+					return false
+				}
+				match(row)
+				return true
+			})
+
+		case StepNegCheck:
+			rel := SourceRel(cat, st.Pred, st.Src)
+			tuple := make([]storage.Value, len(st.Tmpl))
+			for ti, tm := range st.Tmpl {
+				tuple[ti] = tm.resolve(bind)
+			}
+			if !rel.Contains(tuple) {
+				rec(i + 1)
+			}
+
+		case StepBuiltin:
+			vals := make([]storage.Value, len(st.Args))
+			for vi, a := range st.Args {
+				if st.Out == vi {
+					continue
+				}
+				vals[vi] = a.resolve(bind)
+			}
+			if st.Out < 0 {
+				if eval.Check(st.Builtin, vals) {
+					rec(i + 1)
+				}
+				return
+			}
+			v, ok := eval.Solve(st.Builtin, vals, st.Out)
+			if !ok {
+				return
+			}
+			bind[st.OutVar] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}

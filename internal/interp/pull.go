@@ -1,0 +1,297 @@
+package interp
+
+import (
+	"carac/internal/ast"
+	"carac/internal/eval"
+	"carac/internal/storage"
+)
+
+// This file implements the pull-based (Volcano-style iterator) execution
+// engine for access plans. The paper's relational layer is pluggable and
+// "has been integrated with a typical push-based and a pull-based engine"
+// (§V-D); the push-based executor (Plan.Execute) is the default, and this
+// iterator model is selectable via the engine options. Both must produce
+// identical results — a differential test enforces it.
+
+// pullNode is one operator of the iterator tree: Next advances to the next
+// match of steps[0..i] and reports whether one exists.
+type pullNode interface {
+	// Open (re)initializes the node for the current upstream bindings.
+	Open()
+	// Next advances; false means exhausted.
+	Next() bool
+}
+
+// relPull iterates a relational step (scan or probe) under the current
+// bindings, applying checks and binds.
+type relPull struct {
+	st   *Step
+	cat  *storage.Catalog
+	bind []storage.Value
+
+	rel  *storage.Relation
+	rows []int32 // probe rows; nil = scan
+	pos  int
+	n    int
+}
+
+func (r *relPull) Open() {
+	r.rel = SourceRel(r.cat, r.st.Pred, r.st.Src)
+	r.pos = 0
+	switch r.st.Kind {
+	case StepProbe:
+		key := r.st.ProbeKey.resolve(r.bind)
+		rows, ok := r.rel.Probe(r.st.ProbeCol, key)
+		if ok {
+			r.rows = rows
+			r.n = len(rows)
+			return
+		}
+		// No index at runtime: materialize matching rows (degraded path).
+		r.rows = r.rows[:0]
+		total := int32(r.rel.Len())
+		for i := int32(0); i < total; i++ {
+			if r.rel.Row(i)[r.st.ProbeCol] == key {
+				r.rows = append(r.rows, i)
+			}
+		}
+		r.n = len(r.rows)
+	case StepProbeN:
+		vals := make([]storage.Value, len(r.st.ProbeKeys))
+		for ki, k := range r.st.ProbeKeys {
+			vals[ki] = k.resolve(r.bind)
+		}
+		rows, ok := r.rel.ProbeComposite(r.st.ProbeCols, vals)
+		if ok {
+			r.rows = rows
+			r.n = len(rows)
+			return
+		}
+		r.rows = r.rows[:0]
+		total := int32(r.rel.Len())
+	scan:
+		for i := int32(0); i < total; i++ {
+			row := r.rel.Row(i)
+			for ci, c := range r.st.ProbeCols {
+				if row[c] != vals[ci] {
+					continue scan
+				}
+			}
+			r.rows = append(r.rows, i)
+		}
+		r.n = len(r.rows)
+	default:
+		r.rows = nil
+		r.n = r.rel.Len()
+	}
+}
+
+func (r *relPull) Next() bool {
+	for r.pos < r.n {
+		var row []storage.Value
+		if r.rows != nil {
+			row = r.rel.Row(r.rows[r.pos])
+		} else {
+			row = r.rel.Row(int32(r.pos))
+		}
+		r.pos++
+		if !r.matches(row) {
+			continue
+		}
+		for _, b := range r.st.Binds {
+			r.bind[b.Var] = row[b.Col]
+		}
+		return true
+	}
+	return false
+}
+
+func (r *relPull) matches(row []storage.Value) bool {
+	for _, ck := range r.st.Checks {
+		switch ck.Mode {
+		case CheckConst:
+			if row[ck.Col] != ck.Const {
+				return false
+			}
+		case CheckVar:
+			if row[ck.Col] != r.bind[ck.Var] {
+				return false
+			}
+		case CheckSameRow:
+			if row[ck.Col] != row[ck.Other] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// guardPull evaluates a negation or builtin step: it yields at most one
+// "row" (the guard passing) per Open.
+type guardPull struct {
+	st   *Step
+	cat  *storage.Catalog
+	bind []storage.Value
+	done bool
+	buf  []storage.Value
+}
+
+func (g *guardPull) Open() { g.done = false }
+
+func (g *guardPull) Next() bool {
+	if g.done {
+		return false
+	}
+	g.done = true
+	switch g.st.Kind {
+	case StepNegCheck:
+		rel := SourceRel(g.cat, g.st.Pred, g.st.Src)
+		g.buf = g.buf[:0]
+		for _, tm := range g.st.Tmpl {
+			g.buf = append(g.buf, tm.resolve(g.bind))
+		}
+		return !rel.Contains(g.buf)
+	case StepBuiltin:
+		g.buf = g.buf[:0]
+		for i, a := range g.st.Args {
+			if i == g.st.Out {
+				g.buf = append(g.buf, 0)
+				continue
+			}
+			g.buf = append(g.buf, a.resolve(g.bind))
+		}
+		if g.st.Out < 0 {
+			return eval.Check(g.st.Builtin, g.buf)
+		}
+		v, ok := eval.Solve(g.st.Builtin, g.buf, g.st.Out)
+		if !ok {
+			return false
+		}
+		g.bind[g.st.OutVar] = v
+		return true
+	}
+	return false
+}
+
+// PullExecutor runs a plan with the iterator model: a stack of operators is
+// advanced depth-first, emitting a head tuple for every full match.
+type PullExecutor struct {
+	plan  *Plan
+	nodes []pullNode
+	bind  []storage.Value
+	head  []storage.Value
+}
+
+// NewPullExecutor prepares an iterator tree for the plan.
+func NewPullExecutor(plan *Plan, cat *storage.Catalog) *PullExecutor {
+	bind := make([]storage.Value, plan.NumVars)
+	nodes := make([]pullNode, len(plan.Steps))
+	for i := range plan.Steps {
+		st := &plan.Steps[i]
+		if st.Kind == StepScan || st.Kind == StepProbe || st.Kind == StepProbeN {
+			nodes[i] = &relPull{st: st, cat: cat, bind: bind}
+		} else {
+			nodes[i] = &guardPull{st: st, cat: cat, bind: bind}
+		}
+	}
+	return &PullExecutor{
+		plan:  plan,
+		nodes: nodes,
+		bind:  bind,
+		head:  make([]storage.Value, len(plan.Head)),
+	}
+}
+
+// Execute pulls every match, invoking emit with (head, bindings).
+func (e *PullExecutor) Execute(emit func(head, bind []storage.Value)) {
+	n := len(e.nodes)
+	if n == 0 {
+		e.project()
+		emit(e.head, e.bind)
+		return
+	}
+	for i := range e.bind {
+		e.bind[i] = 0
+	}
+	depth := 0
+	e.nodes[0].Open()
+	for depth >= 0 {
+		if depth <= 1 {
+			if e.plan.Cancel != nil && e.plan.Cancel() {
+				return
+			}
+			if e.plan.Yield != nil && e.plan.Yield() {
+				e.plan.Yielded = true
+				return
+			}
+		}
+		if !e.nodes[depth].Next() {
+			depth--
+			continue
+		}
+		if depth == n-1 {
+			e.project()
+			emit(e.head, e.bind)
+			continue
+		}
+		depth++
+		e.nodes[depth].Open()
+	}
+}
+
+func (e *PullExecutor) project() {
+	for hi, h := range e.plan.Head {
+		if h.IsConst {
+			e.head[hi] = h.Const
+		} else {
+			e.head[hi] = e.bind[h.Var]
+		}
+	}
+}
+
+// RunPlanPull executes a plan with the pull engine, sinking like RunPlan.
+func RunPlanPull(p *Plan, cat *storage.Catalog) int64 {
+	sink := cat.Pred(p.Sink)
+	var derived int64
+	insert := func(t []storage.Value) {
+		if sink.Derived.Contains(t) {
+			return
+		}
+		if sink.DeltaNew.Insert(t) {
+			derived++
+		}
+	}
+	ex := NewPullExecutor(p, cat)
+	if p.Agg.Kind == ast.AggNone {
+		ex.Execute(func(head, _ []storage.Value) { insert(head) })
+		return derived
+	}
+	agg := eval.NewAggregator(p.Agg.Kind, len(p.Head), p.Agg.HeadPos)
+	ex.Execute(func(head, bind []storage.Value) {
+		var v storage.Value
+		if p.Agg.Kind != ast.AggCount {
+			v = bind[p.Agg.OverVar]
+		}
+		agg.Add(head, v)
+	})
+	agg.Emit(insert)
+	return derived
+}
+
+// Executor selects the leaf-join execution engine (paper §V-D).
+type Executor uint8
+
+const (
+	// ExecPush is the default callback-driven engine.
+	ExecPush Executor = iota
+	// ExecPull is the Volcano-style iterator engine.
+	ExecPull
+)
+
+// String names the executor.
+func (e Executor) String() string {
+	if e == ExecPull {
+		return "pull"
+	}
+	return "push"
+}

@@ -1,0 +1,70 @@
+package ir
+
+import (
+	"carac/internal/ast"
+	"carac/internal/storage"
+)
+
+// CloneSPJ deep-copies one subquery (atoms and terms are fresh slices, so
+// reordering the clone never touches the original).
+func CloneSPJ(s *SPJOp) *SPJOp {
+	c := &SPJOp{
+		RuleIdx:  s.RuleIdx,
+		Sink:     s.Sink,
+		NumVars:  s.NumVars,
+		DeltaIdx: s.DeltaIdx,
+		Agg:      s.Agg,
+	}
+	c.Head = append([]ProjElem(nil), s.Head...)
+	c.Atoms = make([]Atom, len(s.Atoms))
+	for i, a := range s.Atoms {
+		a.Terms = append([]ast.Term(nil), a.Terms...)
+		c.Atoms[i] = a
+	}
+	return c
+}
+
+// CloneSubtree deep-copies an IR subtree. Asynchronous compilation clones
+// the subtree it was asked to compile so that the optimizer can reorder atom
+// lists on the compile thread while the interpreter keeps reading the
+// original (paper §V-B2: compilation happens on a separate thread while
+// interpretation continues).
+func CloneSubtree(op Op) Op {
+	switch n := op.(type) {
+	case *ProgramOp:
+		c := &ProgramOp{Body: make([]Op, len(n.Body))}
+		for i, ch := range n.Body {
+			c.Body[i] = CloneSubtree(ch)
+		}
+		return c
+	case *ScanOp:
+		return &ScanOp{Preds: appendPreds(n.Preds)}
+	case *SwapClearOp:
+		return &SwapClearOp{Preds: appendPreds(n.Preds)}
+	case *DoWhileOp:
+		c := &DoWhileOp{Preds: appendPreds(n.Preds), Body: make([]Op, len(n.Body))}
+		for i, ch := range n.Body {
+			c.Body[i] = CloneSubtree(ch)
+		}
+		return c
+	case *UnionAllOp:
+		c := &UnionAllOp{Pred: n.Pred, Rules: make([]*UnionRuleOp, len(n.Rules))}
+		for i, r := range n.Rules {
+			c.Rules[i] = CloneSubtree(r).(*UnionRuleOp)
+		}
+		return c
+	case *UnionRuleOp:
+		c := &UnionRuleOp{RuleIdx: n.RuleIdx, Subqueries: make([]*SPJOp, len(n.Subqueries))}
+		for i, s := range n.Subqueries {
+			c.Subqueries[i] = CloneSPJ(s)
+		}
+		return c
+	case *SPJOp:
+		return CloneSPJ(n)
+	}
+	return op
+}
+
+func appendPreds(ps []storage.PredID) []storage.PredID {
+	return append([]storage.PredID(nil), ps...)
+}

@@ -1,0 +1,91 @@
+package ir
+
+import (
+	"reflect"
+	"testing"
+
+	"carac/internal/ast"
+	"carac/internal/storage"
+)
+
+func TestCloneSubtreeDeep(t *testing.T) {
+	p, _, _ := buildTC(t)
+	root, err := Lower(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := CloneSubtree(root).(*ProgramOp)
+
+	// Same shape.
+	if !reflect.DeepEqual(Count(root), Count(clone)) {
+		t.Fatalf("clone shape differs: %v vs %v", Count(root), Count(clone))
+	}
+
+	// Mutating the clone's SPJ atom order must not touch the original.
+	var orig, cl []*SPJOp
+	Walk(root, func(o Op) {
+		if s, ok := o.(*SPJOp); ok {
+			orig = append(orig, s)
+		}
+	})
+	Walk(clone, func(o Op) {
+		if s, ok := o.(*SPJOp); ok {
+			cl = append(cl, s)
+		}
+	})
+	if len(orig) != len(cl) {
+		t.Fatalf("SPJ counts differ: %d vs %d", len(orig), len(cl))
+	}
+	for i := range cl {
+		if orig[i] == cl[i] {
+			t.Fatal("clone shares SPJ node with original")
+		}
+	}
+	target := cl[1]
+	target.Atoms[0], target.Atoms[1] = target.Atoms[1], target.Atoms[0]
+	target.Atoms[0].Terms[0] = ast.C(99)
+	if orig[1].Atoms[0].Terms[0].Kind == ast.TermConst {
+		t.Fatal("clone shares term storage with original")
+	}
+	if orig[1].Atoms[0].Src != SrcDelta {
+		t.Fatal("original delta atom moved by clone mutation")
+	}
+}
+
+func TestCloneSPJMaintainsFields(t *testing.T) {
+	s := &SPJOp{
+		RuleIdx:  3,
+		Sink:     7,
+		NumVars:  4,
+		DeltaIdx: 1,
+		Head:     []ProjElem{{Var: 0}, {IsConst: true, Const: 5}},
+		Atoms: []Atom{
+			{Kind: ast.AtomRelation, Pred: 1, Terms: []ast.Term{ast.V(0)}, Src: SrcDerived},
+			{Kind: ast.AtomRelation, Pred: 2, Terms: []ast.Term{ast.V(1)}, Src: SrcDelta},
+		},
+		Agg: ast.AggSpec{Kind: ast.AggCount, HeadPos: 1},
+	}
+	c := CloneSPJ(s)
+	if c.RuleIdx != 3 || c.Sink != 7 || c.NumVars != 4 || c.DeltaIdx != 1 || c.Agg.Kind != ast.AggCount {
+		t.Fatalf("scalar fields lost: %+v", c)
+	}
+	c.Head[0].Var = 9
+	if s.Head[0].Var == 9 {
+		t.Fatal("head shared")
+	}
+}
+
+func TestCloneScanAndSwap(t *testing.T) {
+	sc := &ScanOp{Preds: []storage.PredID{0, 1}}
+	c := CloneSubtree(sc).(*ScanOp)
+	c.Preds[0] = 42
+	if sc.Preds[0] == 42 {
+		t.Fatal("ScanOp preds shared")
+	}
+	sw := &SwapClearOp{Preds: []storage.PredID{2}}
+	cs := CloneSubtree(sw).(*SwapClearOp)
+	cs.Preds[0] = 42
+	if sw.Preds[0] == 42 {
+		t.Fatal("SwapClearOp preds shared")
+	}
+}

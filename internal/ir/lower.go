@@ -1,0 +1,301 @@
+package ir
+
+import (
+	"fmt"
+
+	"carac/internal/ast"
+	"carac/internal/storage"
+)
+
+// Lower partially evaluates the semi-naive evaluation strategy onto prog,
+// producing the IROp program of Fig 4: per stratum, a seed ScanOp, the
+// non-recursive rules evaluated once (naive prologue), a SwapClearOp, and —
+// when the stratum is recursive — a DoWhileOp containing one UnionAllOp per
+// predicate (each the union over its rules of the delta subqueries) followed
+// by a SwapClearOp.
+func Lower(prog *ast.Program) (*ProgramOp, error) {
+	strata, err := prog.Stratify()
+	if err != nil {
+		return nil, err
+	}
+	root := &ProgramOp{}
+	for _, s := range strata {
+		ops, err := lowerStratum(prog, s)
+		if err != nil {
+			return nil, err
+		}
+		root.Body = append(root.Body, ops...)
+	}
+	return root, nil
+}
+
+func lowerStratum(prog *ast.Program, s ast.Stratum) ([]Op, error) {
+	inStratum := make(map[storage.PredID]bool, len(s.Preds))
+	for _, p := range s.Preds {
+		inStratum[p] = true
+	}
+
+	// Partition the stratum's rules into prologue (non-recursive) and loop
+	// (recursive) sets, preserving program order per predicate.
+	prologueRules := map[storage.PredID][]int{}
+	loopRules := map[storage.PredID][]int{}
+	for _, ri := range s.Rules {
+		r := prog.Rules[ri]
+		rec := ast.RecursiveAtoms(prog, s, ri)
+		if len(rec) == 0 {
+			prologueRules[r.Head.Pred] = append(prologueRules[r.Head.Pred], ri)
+		} else {
+			loopRules[r.Head.Pred] = append(loopRules[r.Head.Pred], ri)
+		}
+	}
+
+	var ops []Op
+	ops = append(ops, &ScanOp{Preds: append([]storage.PredID(nil), s.Preds...)})
+
+	for _, pid := range s.Preds {
+		rules := prologueRules[pid]
+		if len(rules) == 0 {
+			continue
+		}
+		ua := &UnionAllOp{Pred: pid}
+		for _, ri := range rules {
+			spj, err := lowerSubquery(prog, ri, -1, inStratum)
+			if err != nil {
+				return nil, err
+			}
+			ua.Rules = append(ua.Rules, &UnionRuleOp{RuleIdx: ri, Subqueries: []*SPJOp{spj}})
+		}
+		ops = append(ops, ua)
+	}
+	ops = append(ops, &SwapClearOp{Preds: append([]storage.PredID(nil), s.Preds...)})
+
+	hasLoop := false
+	for _, pid := range s.Preds {
+		if len(loopRules[pid]) > 0 {
+			hasLoop = true
+			break
+		}
+	}
+	if !hasLoop {
+		return ops, nil
+	}
+
+	dw := &DoWhileOp{Preds: append([]storage.PredID(nil), s.Preds...)}
+	for _, pid := range s.Preds {
+		rules := loopRules[pid]
+		if len(rules) == 0 {
+			continue
+		}
+		ua := &UnionAllOp{Pred: pid}
+		for _, ri := range rules {
+			r := prog.Rules[ri]
+			ur := &UnionRuleOp{RuleIdx: ri}
+			// One subquery per recursive body atom: that occurrence reads the
+			// delta database, all other relational atoms read derived.
+			for _, deltaPos := range ast.RecursiveAtoms(prog, s, ri) {
+				spj, err := lowerSubquery(prog, ri, deltaPos, inStratum)
+				if err != nil {
+					return nil, err
+				}
+				ur.Subqueries = append(ur.Subqueries, spj)
+			}
+			if len(ur.Subqueries) == 0 {
+				return nil, fmt.Errorf("ir: rule %s classified recursive but has no delta atoms", prog.FormatRule(r))
+			}
+			ua.Rules = append(ua.Rules, ur)
+		}
+		dw.Body = append(dw.Body, ua)
+	}
+	dw.Body = append(dw.Body, &SwapClearOp{Preds: append([]storage.PredID(nil), s.Preds...)})
+	ops = append(ops, dw)
+	return ops, nil
+}
+
+// lowerSubquery builds the SPJOp for rule ri with the body atom at deltaPos
+// reading the delta database (-1 for a fully naive evaluation).
+func lowerSubquery(prog *ast.Program, ri, deltaPos int, inStratum map[storage.PredID]bool) (*SPJOp, error) {
+	r := prog.Rules[ri]
+	spj := &SPJOp{
+		RuleIdx:  ri,
+		Sink:     r.Head.Pred,
+		NumVars:  r.NumVars,
+		DeltaIdx: deltaPos,
+		Agg:      r.Agg,
+	}
+	for i, a := range r.Body {
+		at := Atom{
+			Kind:    a.Kind,
+			Pred:    a.Pred,
+			Builtin: a.Builtin,
+			Terms:   append([]ast.Term(nil), a.Terms...),
+			Src:     SrcDerived,
+		}
+		if i == deltaPos {
+			if a.Kind != ast.AtomRelation {
+				return nil, fmt.Errorf("ir: delta position %d of rule %s is not a positive relational atom", deltaPos, prog.FormatRule(r))
+			}
+			at.Src = SrcDelta
+		}
+		spj.Atoms = append(spj.Atoms, at)
+	}
+	for _, t := range r.Head.Terms {
+		switch t.Kind {
+		case ast.TermConst:
+			spj.Head = append(spj.Head, ProjElem{IsConst: true, Const: t.Val})
+		case ast.TermVar:
+			spj.Head = append(spj.Head, ProjElem{Var: t.Var})
+		}
+	}
+	_ = inStratum
+	return spj, nil
+}
+
+// LowerNaive produces a naive-evaluation IR (no delta split): a single
+// DoWhileOp evaluating every rule against the full derived database each
+// iteration, per stratum. This is the strategy of the DLX baseline engine
+// (Table II) and the reference oracle for differential tests.
+func LowerNaive(prog *ast.Program) (*ProgramOp, error) {
+	strata, err := prog.Stratify()
+	if err != nil {
+		return nil, err
+	}
+	root := &ProgramOp{}
+	for _, s := range strata {
+		inStratum := make(map[storage.PredID]bool, len(s.Preds))
+		for _, p := range s.Preds {
+			inStratum[p] = true
+		}
+		dw := &DoWhileOp{Preds: append([]storage.PredID(nil), s.Preds...)}
+		perPred := map[storage.PredID]*UnionAllOp{}
+		for _, pid := range s.Preds {
+			perPred[pid] = &UnionAllOp{Pred: pid}
+			dw.Body = append(dw.Body, perPred[pid])
+		}
+		for _, ri := range s.Rules {
+			r := prog.Rules[ri]
+			spj, err := lowerSubquery(prog, ri, -1, inStratum)
+			if err != nil {
+				return nil, err
+			}
+			ua := perPred[r.Head.Pred]
+			ua.Rules = append(ua.Rules, &UnionRuleOp{RuleIdx: ri, Subqueries: []*SPJOp{spj}})
+		}
+		dw.Body = append(dw.Body, &SwapClearOp{Preds: append([]storage.PredID(nil), s.Preds...)})
+		// Naive evaluation still needs the seed so the loop's exit condition
+		// (empty delta) fires correctly after the first quiet iteration.
+		root.Body = append(root.Body, &ScanOp{Preds: append([]storage.PredID(nil), s.Preds...)})
+		root.Body = append(root.Body, &SwapClearOp{Preds: append([]storage.PredID(nil), s.Preds...)})
+		root.Body = append(root.Body, dw)
+	}
+	return root, nil
+}
+
+// JoinKeyColumns returns, per predicate, the set of columns that appear as a
+// join key or filter in any rule of the program: shared-variable positions
+// and constant positions in body atoms. Carac builds one index per such
+// column as rules are defined (paper §IV, Index selection).
+func JoinKeyColumns(prog *ast.Program) map[storage.PredID][]int {
+	cols := map[storage.PredID]map[int]bool{}
+	mark := func(pid storage.PredID, col int) {
+		if cols[pid] == nil {
+			cols[pid] = map[int]bool{}
+		}
+		cols[pid][col] = true
+	}
+	for _, r := range prog.Rules {
+		// Count variable occurrences across the whole rule body.
+		occ := map[ast.VarID]int{}
+		for _, a := range r.Body {
+			for _, t := range a.Terms {
+				if t.Kind == ast.TermVar {
+					occ[t.Var]++
+				}
+			}
+		}
+		for _, a := range r.Body {
+			if !a.IsRelational() {
+				continue
+			}
+			for i, t := range a.Terms {
+				switch t.Kind {
+				case ast.TermConst:
+					mark(a.Pred, i)
+				case ast.TermVar:
+					if occ[t.Var] > 1 {
+						mark(a.Pred, i)
+					}
+				}
+			}
+		}
+	}
+	out := make(map[storage.PredID][]int, len(cols))
+	for pid, set := range cols {
+		for c := range set {
+			out[pid] = append(out[pid], c)
+		}
+	}
+	for _, cs := range out {
+		sortInts(cs)
+	}
+	return out
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// JoinKeySignatures returns, per predicate, the distinct multi-column bound
+// sets ("search signatures") occurring in rule bodies: for each atom, the
+// set of positions holding a constant or a variable shared with another
+// atom. Signatures with at least two columns are candidates for composite
+// indexes (auto-index selection, simplified from Subotić et al.).
+func JoinKeySignatures(prog *ast.Program) map[storage.PredID][][]int {
+	type sigSet map[string][]int
+	sigs := map[storage.PredID]sigSet{}
+	for _, r := range prog.Rules {
+		occ := map[ast.VarID]int{}
+		for _, a := range r.Body {
+			for _, t := range a.Terms {
+				if t.Kind == ast.TermVar {
+					occ[t.Var]++
+				}
+			}
+		}
+		for _, a := range r.Body {
+			if !a.IsRelational() {
+				continue
+			}
+			var cols []int
+			for i, t := range a.Terms {
+				switch t.Kind {
+				case ast.TermConst:
+					cols = append(cols, i)
+				case ast.TermVar:
+					if occ[t.Var] > 1 {
+						cols = append(cols, i)
+					}
+				}
+			}
+			if len(cols) < 2 {
+				continue
+			}
+			sortInts(cols)
+			key := fmt.Sprint(cols)
+			if sigs[a.Pred] == nil {
+				sigs[a.Pred] = sigSet{}
+			}
+			sigs[a.Pred][key] = cols
+		}
+	}
+	out := map[storage.PredID][][]int{}
+	for pid, ss := range sigs {
+		for _, cols := range ss {
+			out[pid] = append(out[pid], cols)
+		}
+	}
+	return out
+}

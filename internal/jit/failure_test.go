@@ -1,0 +1,141 @@
+package jit
+
+import (
+	"errors"
+	"testing"
+
+	"carac/internal/interp"
+	"carac/internal/ir"
+	"carac/internal/jit/lambda"
+	"carac/internal/storage"
+)
+
+// faultyCompiler always fails to compile — the failure-injection double.
+type faultyCompiler struct{ calls int }
+
+func (f *faultyCompiler) Name() string { return "faulty" }
+
+func (f *faultyCompiler) Compile(op ir.Op, cat *storage.Catalog, snippet bool) (func(in *interp.Interp) error, error) {
+	f.calls++
+	return nil, errors.New("injected compile failure")
+}
+
+// flakyCompiler fails the first n attempts, then delegates to lambda.
+type flakyCompiler struct {
+	failures int
+	inner    backendCompiler
+}
+
+func (f *flakyCompiler) Name() string { return "flaky" }
+
+func (f *flakyCompiler) Compile(op ir.Op, cat *storage.Catalog, snippet bool) (func(in *interp.Interp) error, error) {
+	if f.failures > 0 {
+		f.failures--
+		return nil, errors.New("injected transient failure")
+	}
+	return f.inner.Compile(op, cat, snippet)
+}
+
+// TestCompileFailureFallsBackToInterpretation is the JIT's core safety
+// property: a broken compiler must never change results — execution
+// completes interpreted.
+func TestCompileFailureFallsBackToInterpretation(t *testing.T) {
+	for _, async := range []bool{false, true} {
+		cat, root := buildChain(t, 25, true)
+		ctrl := New(cat, root, Config{Backend: BackendLambda, Granularity: GranUnionAll, Async: async})
+		fc := &faultyCompiler{}
+		ctrl.compiler = fc
+		in := interp.New(cat, ctrl)
+		if err := in.Run(root); err != nil {
+			t.Fatalf("async=%v: run failed: %v", async, err)
+		}
+		ctrl.Close()
+		checkTC(t, cat, 25)
+		st := ctrl.Stats()
+		if st.Failures == 0 {
+			t.Fatalf("async=%v: failures not recorded", async)
+		}
+		if st.Compilations != 0 {
+			t.Fatalf("async=%v: failed compiles counted as compilations", async)
+		}
+		if in.Stats.Compiled != 0 {
+			t.Fatalf("async=%v: compiled units executed despite failures", async)
+		}
+		if fc.calls == 0 {
+			t.Fatalf("async=%v: compiler never invoked", async)
+		}
+	}
+}
+
+// TestTransientCompileFailureRecovers: after the world drifts past the
+// freshness threshold, a previously failed unit is retried and succeeds.
+func TestTransientCompileFailureRecovers(t *testing.T) {
+	cat, root := buildChain(t, 60, true)
+	ctrl := New(cat, root, Config{
+		Backend:            BackendLambda,
+		Granularity:        GranUnionAll,
+		FreshnessThreshold: 0.01, // retry on nearly any drift
+	})
+	ctrl.compiler = &flakyCompiler{failures: 2, inner: lambda.Compiler{}}
+	in := interp.New(cat, ctrl)
+	if err := in.Run(root); err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Close()
+	checkTC(t, cat, 60)
+	st := ctrl.Stats()
+	if st.Failures != 2 {
+		t.Fatalf("failures = %d, want 2", st.Failures)
+	}
+	if st.Compilations == 0 {
+		t.Fatal("compiler never recovered")
+	}
+	if in.Stats.Compiled == 0 {
+		t.Fatal("recovered units never executed")
+	}
+}
+
+// TestFailedUnitNotRetriedWhileFresh: without drift, a failed compilation is
+// not hammered on every safe-point visit.
+func TestFailedUnitNotRetriedWhileFresh(t *testing.T) {
+	cat, root := buildChain(t, 40, true)
+	fc := &faultyCompiler{}
+	ctrl := New(cat, root, Config{
+		Backend:            BackendLambda,
+		Granularity:        GranUnionAll,
+		FreshnessThreshold: 1e18, // never stale
+	})
+	ctrl.compiler = fc
+	in := interp.New(cat, ctrl)
+	if err := in.Run(root); err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Close()
+	// Two UnionAll nodes exist (prologue + loop); each may fail once.
+	if fc.calls > 2 {
+		t.Fatalf("failed unit retried %d times despite fresh cards", fc.calls)
+	}
+}
+
+// TestQuotesSafetyNetAgainstBadIR: the quotes backend's type checker turns a
+// malformed subquery into a compile error (counted as a failure), never into
+// unsound generated code, and the run still completes via interpretation...
+// which then surfaces the same plan error — either way, no wrong results.
+func TestBadIRNeverExecutesWrong(t *testing.T) {
+	cat := storage.NewCatalog()
+	n := cat.Declare("n", 1)
+	out := cat.Declare("out", 1)
+	cat.Pred(n).AddFact([]storage.Value{1})
+	// Malformed: head uses an unbound variable.
+	spj := &ir.SPJOp{
+		Sink:     out,
+		Head:     []ir.ProjElem{{Var: 5}},
+		NumVars:  6,
+		DeltaIdx: -1,
+		Atoms:    []ir.Atom{{Kind: 0, Pred: n, Terms: nil}},
+	}
+	// BuildPlan rejects it in every execution path.
+	if _, err := interp.BuildPlan(spj, cat); err == nil {
+		t.Fatal("malformed subquery accepted by the planner")
+	}
+}

@@ -1,0 +1,584 @@
+// Package jit implements Carac's just-in-time optimizing compiler (paper
+// §V-B2/§V-B3): a Controller that sits on the interpreter's safe points and
+// decides, per IROp node of the configured granularity, whether to reuse a
+// compiled unit, compile (blocking or asynchronously on a separate compile
+// goroutine), deoptimize back to interpretation, or — for the IRGenerator
+// target — simply regenerate the IR in place with freshly reordered atoms.
+//
+// The compilation targets (paper §V-C) plug in behind one interface:
+// quotes (staged typed expression trees, safe and expressive, costly),
+// bytecode (flat VM programs, cheap and unchecked), lambda (stitched
+// precompiled closures), and irgen (IR rewriting, no codegen at all).
+//
+// A "freshness" test gates recompilation: a unit is reused while the live
+// cardinalities of the relations it joins have not drifted beyond a relative
+// threshold since it was compiled.
+package jit
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"carac/internal/interp"
+	"carac/internal/ir"
+	"carac/internal/jit/bytecode"
+	"carac/internal/jit/lambda"
+	"carac/internal/jit/quotes"
+	"carac/internal/optimizer"
+	"carac/internal/storage"
+)
+
+// Backend selects the compilation target.
+type Backend uint8
+
+const (
+	// BackendOff disables the JIT entirely (pure interpretation).
+	BackendOff Backend = iota
+	// BackendIRGen regenerates IR atom orders in place and keeps
+	// interpreting — the cheapest target (paper §V-C4).
+	BackendIRGen
+	// BackendLambda stitches precompiled closures (paper §V-C3).
+	BackendLambda
+	// BackendBytecode emits flat VM programs (paper §V-C2).
+	BackendBytecode
+	// BackendQuotes stages typed expression trees with a validation pass
+	// (paper §V-C1). The only target supporting snippet compilation
+	// alongside lambda.
+	BackendQuotes
+)
+
+// String returns the backend's name.
+func (b Backend) String() string {
+	switch b {
+	case BackendOff:
+		return "off"
+	case BackendIRGen:
+		return "irgen"
+	case BackendLambda:
+		return "lambda"
+	case BackendBytecode:
+		return "bytecode"
+	case BackendQuotes:
+		return "quotes"
+	default:
+		return "?"
+	}
+}
+
+// Granularity is the IROp height at which compilation triggers (paper Fig 4
+// / §V-B2): higher nodes compile less often over larger code with staler
+// statistics.
+type Granularity uint8
+
+const (
+	// GranProgram compiles the whole program once.
+	GranProgram Granularity = iota
+	// GranDoWhile compiles each stratum loop.
+	GranDoWhile
+	// GranUnionAll compiles per relation per iteration (pink Union*).
+	GranUnionAll
+	// GranUnionRule compiles per rule definition per iteration (yellow Union).
+	GranUnionRule
+	// GranSPJ compiles per n-way join — the freshest statistics and the most
+	// compilations.
+	GranSPJ
+)
+
+// String returns the granularity's Fig 4 name.
+func (g Granularity) String() string {
+	switch g {
+	case GranProgram:
+		return "ProgramOp"
+	case GranDoWhile:
+		return "DoWhileOp"
+	case GranUnionAll:
+		return "UnionOp*"
+	case GranUnionRule:
+		return "UnionOp"
+	case GranSPJ:
+		return "SPJ"
+	default:
+		return "?"
+	}
+}
+
+// OpKind maps the granularity to the IR node kind it matches.
+func (g Granularity) OpKind() ir.OpKind {
+	switch g {
+	case GranProgram:
+		return ir.KProgram
+	case GranDoWhile:
+		return ir.KDoWhile
+	case GranUnionAll:
+		return ir.KUnionAll
+	case GranUnionRule:
+		return ir.KUnionRule
+	default:
+		return ir.KSPJ
+	}
+}
+
+// Config tunes the JIT.
+type Config struct {
+	Backend     Backend
+	Granularity Granularity
+	// Async compiles on a separate goroutine while interpretation continues;
+	// otherwise compilation blocks at the safe point.
+	Async bool
+	// Snippet compiles only the node's own control structure and splices
+	// interpreter continuations for children (quotes and lambda targets).
+	Snippet bool
+	// FreshnessThreshold is the maximum relative cardinality drift tolerated
+	// before a compiled unit is considered stale. <= 0 picks the default 0.5.
+	FreshnessThreshold float64
+	// Optimizer configures join reordering.
+	Optimizer optimizer.Options
+	// CompileLatency adds a simulated fixed cost to every compiler
+	// invocation, emulating heavyweight external compilers (used only by the
+	// baseline-engine comparison; 0 for all Carac measurements).
+	CompileLatency time.Duration
+}
+
+// Stats reports JIT activity.
+type Stats struct {
+	Compilations int64
+	CompileTime  time.Duration
+	CacheHits    int64
+	StaleDrops   int64
+	Reorders     int64
+	Switchovers  int64
+	Failures     int64
+}
+
+type compiledUnit struct {
+	run    func(in *interp.Interp) error
+	cards  []int
+	failed bool
+}
+
+type unit struct {
+	compiled  atomic.Pointer[compiledUnit]
+	compiling atomic.Bool
+}
+
+type compileReq struct {
+	u     *unit
+	clone ir.Op
+	cards []int
+	stats optimizer.Stats
+}
+
+type backendCompiler interface {
+	Name() string
+	Compile(op ir.Op, cat *storage.Catalog, snippet bool) (func(in *interp.Interp) error, error)
+}
+
+// Controller implements interp.Controller. Create with New, attach to an
+// interpreter, and Close when the run finishes.
+type Controller struct {
+	cfg      Config
+	cat      *storage.Catalog
+	granKind ir.OpKind
+	compiler backendCompiler
+
+	units   map[ir.Op]*unit
+	parents map[ir.Op]ir.Op
+
+	// irgen freshness state: cardinalities at last reorder per subquery.
+	reorderCards map[*ir.SPJOp][]int
+
+	inUnit int // depth inside compiled-unit execution (single goroutine)
+
+	// readyGen is bumped by the async worker whenever a new unit is
+	// published, so the interpreter can yield out of a long-running subquery
+	// and switch over immediately (interp.Yielder).
+	readyGen atomic.Int64
+	// consumedGen / yieldMiss* cache signal handling on the interpreter
+	// goroutine, avoiding per-row ancestor walks.
+	consumedGen  int64
+	yieldMissOp  ir.Op
+	yieldMissGen int64
+
+	reqs   chan compileReq
+	wg     sync.WaitGroup
+	closed bool
+
+	mu    sync.Mutex // guards stats (worker and interp goroutines)
+	stats Stats
+}
+
+// New builds a controller for one run of root. The parent index enables
+// mid-stream switchover into asynchronously compiled ancestors.
+func New(cat *storage.Catalog, root ir.Op, cfg Config) *Controller {
+	if cfg.FreshnessThreshold <= 0 {
+		cfg.FreshnessThreshold = 0.5
+	}
+	c := &Controller{
+		cfg:          cfg,
+		cat:          cat,
+		granKind:     cfg.Granularity.OpKind(),
+		units:        make(map[ir.Op]*unit),
+		parents:      make(map[ir.Op]ir.Op),
+		reorderCards: make(map[*ir.SPJOp][]int),
+	}
+	indexParents(root, nil, c.parents)
+	switch cfg.Backend {
+	case BackendLambda:
+		c.compiler = lambda.Compiler{}
+	case BackendBytecode:
+		c.compiler = bytecode.Compiler{}
+	case BackendQuotes:
+		c.compiler = quotes.NewCompiler()
+	}
+	if cfg.Async && c.compiler != nil {
+		c.reqs = make(chan compileReq, 64)
+		c.wg.Add(1)
+		go c.worker()
+	}
+	return c
+}
+
+func indexParents(op ir.Op, parent ir.Op, idx map[ir.Op]ir.Op) {
+	if parent != nil {
+		idx[op] = parent
+	}
+	for _, ch := range op.Children() {
+		indexParents(ch, op, idx)
+	}
+}
+
+// Close shuts the compile worker down. Safe to call once per controller.
+func (c *Controller) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	if c.reqs != nil {
+		close(c.reqs)
+		c.wg.Wait()
+	}
+}
+
+// Stats returns a snapshot of JIT activity.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+func (c *Controller) bump(f func(s *Stats)) {
+	c.mu.Lock()
+	f(&c.stats)
+	c.mu.Unlock()
+}
+
+// Enter is the safe-point hook (interp.Controller).
+func (c *Controller) Enter(op ir.Op, in *interp.Interp) func() error {
+	if c.cfg.Backend == BackendOff || c.inUnit > 0 {
+		return nil
+	}
+	// Mid-stream switchover: if an ancestor's asynchronous compilation
+	// finished, call into the compiled code "at the exact spot the
+	// interpreter left off" (paper §V-B2). Fixpoint monotonicity makes the
+	// ancestor unit safe to run from the current storage state.
+	if c.cfg.Async && c.compiler != nil {
+		if th := c.ancestorSwitch(op, in); th != nil {
+			return th
+		}
+	}
+	if op.Kind() != c.granKind {
+		return nil
+	}
+
+	if c.cfg.Backend == BackendIRGen {
+		c.regenerate(op)
+		return nil
+	}
+	if c.compiler == nil {
+		return nil
+	}
+
+	u := c.units[op]
+	if u == nil {
+		u = &unit{}
+		c.units[op] = u
+	}
+	if cu := u.compiled.Load(); cu != nil {
+		if cu.failed {
+			// A failed compile is retried only when the world has drifted
+			// enough that a different (possibly legal) plan would result.
+			if optimizer.Drift(cu.cards, c.cardsFor(op)) <= c.cfg.FreshnessThreshold {
+				return nil
+			}
+			u.compiled.Store(nil)
+		} else if optimizer.Drift(cu.cards, c.cardsFor(op)) <= c.cfg.FreshnessThreshold {
+			c.bump(func(s *Stats) { s.CacheHits++ })
+			return c.wrap(cu, in)
+		} else {
+			// Stale: deoptimize (drop the unit, fall back to the
+			// interpreter) and regenerate.
+			c.bump(func(s *Stats) { s.StaleDrops++ })
+			u.compiled.Store(nil)
+		}
+	}
+	if u.compiling.Load() {
+		return nil // async compile in flight; keep interpreting
+	}
+	req := c.buildReq(u, op)
+	if c.cfg.Async {
+		u.compiling.Store(true)
+		select {
+		case c.reqs <- req:
+		default:
+			u.compiling.Store(false) // queue full: try again next visit
+		}
+		return nil
+	}
+	c.runCompile(req)
+	if cu := u.compiled.Load(); cu != nil && !cu.failed {
+		return c.wrap(cu, in)
+	}
+	return nil
+}
+
+func (c *Controller) wrap(cu *compiledUnit, in *interp.Interp) func() error {
+	return func() error {
+		c.inUnit++
+		defer func() { c.inUnit-- }()
+		return cu.run(in)
+	}
+}
+
+func (c *Controller) ancestorSwitch(op ir.Op, in *interp.Interp) func() error {
+	for p := c.parents[op]; p != nil; p = c.parents[p] {
+		if p.Kind() != c.granKind {
+			continue
+		}
+		u := c.units[p]
+		if u == nil {
+			continue
+		}
+		cu := u.compiled.Load()
+		if cu == nil || cu.failed {
+			continue
+		}
+		if optimizer.Drift(cu.cards, c.cardsFor(p)) > c.cfg.FreshnessThreshold {
+			continue
+		}
+		c.bump(func(s *Stats) { s.Switchovers++ })
+		return c.wrap(cu, in)
+	}
+	return nil
+}
+
+// regenerate is the IRGenerator target: reorder every subquery beneath op in
+// place (freshness-gated) and let interpretation continue on the new IR.
+func (c *Controller) regenerate(op ir.Op) {
+	stats := optimizer.CatalogStats{Cat: c.cat}
+	ir.Walk(op, func(o ir.Op) {
+		spj, ok := o.(*ir.SPJOp)
+		if !ok {
+			return
+		}
+		cards := optimizer.CardVector(spj, stats)
+		if last, seen := c.reorderCards[spj]; seen {
+			if optimizer.Drift(last, cards) <= c.cfg.FreshnessThreshold {
+				return
+			}
+		}
+		c.reorderCards[spj] = cards
+		changed, err := optimizer.Reorder(spj, stats, c.cfg.Optimizer)
+		if err != nil {
+			return // keep the existing legal order
+		}
+		if changed {
+			c.bump(func(s *Stats) { s.Reorders++ })
+			// Record the vector in the new atom order so future drift
+			// comparisons are apples-to-apples.
+			c.reorderCards[spj] = optimizer.CardVector(spj, stats)
+		}
+	})
+}
+
+// cardsFor snapshots the cardinality vector of every subquery beneath op in
+// traversal order — the freshness fingerprint.
+func (c *Controller) cardsFor(op ir.Op) []int {
+	stats := optimizer.CatalogStats{Cat: c.cat}
+	var cards []int
+	ir.Walk(op, func(o ir.Op) {
+		if spj, ok := o.(*ir.SPJOp); ok {
+			cards = append(cards, optimizer.CardVector(spj, stats)...)
+		}
+	})
+	return cards
+}
+
+// buildReq snapshots everything compilation needs so the worker never
+// touches live mutable state: a deep clone of the subtree and a frozen
+// cardinality map.
+func (c *Controller) buildReq(u *unit, op ir.Op) compileReq {
+	return compileReq{
+		u:     u,
+		clone: ir.CloneSubtree(op),
+		cards: c.cardsFor(op),
+		stats: c.snapshotStats(op),
+	}
+}
+
+type frozenStats map[[2]int32]int
+
+func (f frozenStats) Card(pred storage.PredID, src ir.Source) int {
+	return f[[2]int32{int32(pred), int32(src)}]
+}
+
+func (c *Controller) snapshotStats(op ir.Op) optimizer.Stats {
+	live := optimizer.CatalogStats{Cat: c.cat}
+	f := frozenStats{}
+	ir.Walk(op, func(o ir.Op) {
+		spj, ok := o.(*ir.SPJOp)
+		if !ok {
+			return
+		}
+		for _, a := range spj.Atoms {
+			if a.IsRelational() {
+				k := [2]int32{int32(a.Pred), int32(a.Src)}
+				if _, seen := f[k]; !seen {
+					f[k] = live.Card(a.Pred, a.Src)
+				}
+			}
+		}
+	})
+	return f
+}
+
+func (c *Controller) worker() {
+	defer c.wg.Done()
+	for req := range c.reqs {
+		c.runCompile(req)
+	}
+}
+
+// runCompile reorders the cloned subtree with the frozen statistics and
+// hands it to the backend, publishing the result atomically.
+func (c *Controller) runCompile(req compileReq) {
+	t0 := time.Now()
+	if c.cfg.CompileLatency > 0 {
+		time.Sleep(c.cfg.CompileLatency)
+	}
+	var firstErr error
+	ir.Walk(req.clone, func(o ir.Op) {
+		if spj, ok := o.(*ir.SPJOp); ok {
+			if _, err := optimizer.Reorder(spj, req.stats, c.cfg.Optimizer); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	})
+	var run func(in *interp.Interp) error
+	if firstErr == nil {
+		// Snippet splicing needs a target that can defer control back to the
+		// interpreter; bytecode cannot (paper §V-C2), so it always compiles
+		// the full subtree.
+		snippet := c.cfg.Snippet && c.cfg.Backend != BackendBytecode
+		run, firstErr = c.compiler.Compile(req.clone, c.cat, snippet)
+	}
+	dt := time.Since(t0)
+	if firstErr != nil {
+		req.u.compiled.Store(&compiledUnit{failed: true, cards: req.cards})
+		c.bump(func(s *Stats) {
+			s.Failures++
+			s.CompileTime += dt
+		})
+		req.u.compiling.Store(false)
+		return
+	}
+	req.u.compiled.Store(&compiledUnit{run: run, cards: req.cards})
+	c.bump(func(s *Stats) {
+		s.Compilations++
+		s.CompileTime += dt
+	})
+	req.u.compiling.Store(false)
+	if c.cfg.Async {
+		c.readyGen.Add(1)
+	}
+}
+
+// ShouldYield implements interp.Yielder: the interpreter polls it from
+// inside subquery loops and abandons the join when an asynchronously
+// compiled unit covering the current position is ready and fresh.
+func (c *Controller) ShouldYield(op ir.Op, in *interp.Interp) bool {
+	if !c.cfg.Async || c.inUnit > 0 {
+		return false
+	}
+	g := c.readyGen.Load()
+	if g == c.consumedGen {
+		return false // no unconsumed publish
+	}
+	if op == c.yieldMissOp && g == c.yieldMissGen {
+		return false // this subquery already checked this signal
+	}
+	if !c.hasReadyAncestor(op) {
+		c.yieldMissOp, c.yieldMissGen = op, g
+		return false
+	}
+	// Consume the signal; the unit itself stays published for Enter.
+	c.consumedGen = g
+	return true
+}
+
+func (c *Controller) hasReadyAncestor(op ir.Op) bool {
+	for p := op; p != nil; p = c.parents[p] {
+		if p.Kind() != c.granKind {
+			continue
+		}
+		u := c.units[p]
+		if u == nil {
+			continue
+		}
+		cu := u.compiled.Load()
+		if cu == nil || cu.failed {
+			continue
+		}
+		if optimizer.Drift(cu.cards, c.cardsFor(p)) <= c.cfg.FreshnessThreshold {
+			return true
+		}
+	}
+	return false
+}
+
+var _ interp.Controller = (*Controller)(nil)
+
+// ParseBackend converts a backend name to its enum, for CLI use.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "off", "interp", "":
+		return BackendOff, nil
+	case "irgen":
+		return BackendIRGen, nil
+	case "lambda":
+		return BackendLambda, nil
+	case "bytecode":
+		return BackendBytecode, nil
+	case "quotes":
+		return BackendQuotes, nil
+	}
+	return 0, fmt.Errorf("jit: unknown backend %q", s)
+}
+
+// ParseGranularity converts a granularity name to its enum, for CLI use.
+func ParseGranularity(s string) (Granularity, error) {
+	switch s {
+	case "program":
+		return GranProgram, nil
+	case "dowhile", "loop":
+		return GranDoWhile, nil
+	case "unionall", "union*":
+		return GranUnionAll, nil
+	case "union", "unionrule":
+		return GranUnionRule, nil
+	case "spj", "join", "":
+		return GranSPJ, nil
+	}
+	return 0, fmt.Errorf("jit: unknown granularity %q", s)
+}

@@ -1,0 +1,283 @@
+package jit
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"carac/internal/interp"
+	"carac/internal/ir"
+	"carac/internal/parser"
+	"carac/internal/storage"
+)
+
+const tcSrc = `
+.decl edge(x:number, y:number)
+.decl tc(x:number, y:number)
+tc(x,y) :- edge(x,y).
+tc(x,y) :- tc(x,z), edge(z,y).
+`
+
+// buildChain returns catalog+IR for a TC program over a chain of n nodes.
+func buildChain(t testing.TB, n int, indexed bool) (*storage.Catalog, *ir.ProgramOp) {
+	t.Helper()
+	cat := storage.NewCatalog()
+	res, err := parser.Parse(tcSrc, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge, _ := cat.PredByName("edge")
+	for i := 0; i < n; i++ {
+		edge.AddFact([]storage.Value{storage.Value(i), storage.Value(i + 1)})
+	}
+	root, err := ir.Lower(res.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if indexed {
+		for pid, cols := range ir.JoinKeyColumns(res.Program) {
+			cat.Pred(pid).BuildIndexes(cols)
+		}
+	}
+	return cat, root
+}
+
+func wantTC(n int) int { return n * (n + 1) / 2 }
+
+func runJIT(t testing.TB, cfg Config, n int, indexed bool) (*storage.Catalog, Stats, interp.Stats) {
+	t.Helper()
+	cat, root := buildChain(t, n, indexed)
+	ctrl := New(cat, root, cfg)
+	defer ctrl.Close()
+	in := interp.New(cat, ctrl)
+	if err := in.Run(root); err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Close()
+	return cat, ctrl.Stats(), in.Stats
+}
+
+func checkTC(t testing.TB, cat *storage.Catalog, n int) {
+	t.Helper()
+	tc, _ := cat.PredByName("tc")
+	if got, want := tc.Derived.Len(), wantTC(n); got != want {
+		t.Fatalf("|tc| = %d, want %d", got, want)
+	}
+}
+
+func allConfigs() []Config {
+	var cfgs []Config
+	for _, b := range []Backend{BackendIRGen, BackendLambda, BackendBytecode, BackendQuotes} {
+		for _, g := range []Granularity{GranProgram, GranDoWhile, GranUnionAll, GranUnionRule, GranSPJ} {
+			for _, async := range []bool{false, true} {
+				cfgs = append(cfgs, Config{Backend: b, Granularity: g, Async: async})
+			}
+		}
+	}
+	// Snippet variants for the targets that support them.
+	for _, b := range []Backend{BackendLambda, BackendQuotes} {
+		for _, g := range []Granularity{GranDoWhile, GranUnionAll, GranUnionRule} {
+			cfgs = append(cfgs, Config{Backend: b, Granularity: g, Snippet: true})
+		}
+	}
+	return cfgs
+}
+
+// TestAllConfigsSameResults is the core JIT correctness property: every
+// backend × granularity × async × snippet combination computes exactly the
+// fixpoint the pure interpreter computes.
+func TestAllConfigsSameResults(t *testing.T) {
+	const n = 30
+	for _, indexed := range []bool{false, true} {
+		for _, cfg := range allConfigs() {
+			name := fmt.Sprintf("%v/%v/async=%v/snippet=%v/indexed=%v",
+				cfg.Backend, cfg.Granularity, cfg.Async, cfg.Snippet, indexed)
+			cfg := cfg
+			t.Run(name, func(t *testing.T) {
+				cat, _, _ := runJIT(t, cfg, n, indexed)
+				checkTC(t, cat, n)
+			})
+		}
+	}
+}
+
+func TestBlockingCompilationHappens(t *testing.T) {
+	for _, b := range []Backend{BackendLambda, BackendBytecode, BackendQuotes} {
+		_, js, is := runJIT(t, Config{Backend: b, Granularity: GranDoWhile}, 20, true)
+		if js.Compilations == 0 {
+			t.Errorf("%v: no compilations recorded", b)
+		}
+		if is.Compiled == 0 {
+			t.Errorf("%v: compiled units never executed", b)
+		}
+		if js.Failures != 0 {
+			t.Errorf("%v: %d compile failures", b, js.Failures)
+		}
+	}
+}
+
+func TestIRGenReordersWithoutCompiling(t *testing.T) {
+	cat := storage.NewCatalog()
+	src := `
+.decl e(x:number, y:number)
+.decl big(x:number, y:number)
+.decl p(x:number, y:number)
+p(x,y) :- e(x,y).
+p(x,w) :- p(x,z), big(z,q), e(q,w).
+`
+	res, err := parser.Parse(src, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := cat.PredByName("e")
+	big, _ := cat.PredByName("big")
+	for i := 0; i < 5; i++ {
+		e.AddFact([]storage.Value{storage.Value(i), storage.Value(i + 1)})
+	}
+	for i := 0; i < 500; i++ {
+		big.AddFact([]storage.Value{storage.Value(i % 7), storage.Value(i % 11)})
+	}
+	root, err := ir.Lower(res.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := New(cat, root, Config{Backend: BackendIRGen, Granularity: GranSPJ})
+	defer ctrl.Close()
+	in := interp.New(cat, ctrl)
+	if err := in.Run(root); err != nil {
+		t.Fatal(err)
+	}
+	st := ctrl.Stats()
+	if st.Reorders == 0 {
+		t.Fatal("irgen never reordered")
+	}
+	if st.Compilations != 0 {
+		t.Fatal("irgen must not invoke a compiler")
+	}
+	if in.Stats.Compiled != 0 {
+		t.Fatal("irgen execution must stay interpreted")
+	}
+}
+
+func TestFreshnessGateLimitsRecompiles(t *testing.T) {
+	// With an infinite threshold, exactly one compilation must happen even
+	// at the lowest granularity.
+	_, js, _ := runJIT(t, Config{
+		Backend:            BackendLambda,
+		Granularity:        GranSPJ,
+		FreshnessThreshold: 1e18,
+	}, 40, true)
+	// One unit per SPJ (two SPJs in TC), compiled once each.
+	if js.Compilations > 2 {
+		t.Fatalf("compilations = %d, want <= 2 with infinite freshness threshold", js.Compilations)
+	}
+	if js.CacheHits == 0 {
+		t.Fatal("expected cache hits across iterations")
+	}
+
+	// With a zero-ish threshold every delta change forces recompilation.
+	_, js2, _ := runJIT(t, Config{
+		Backend:            BackendLambda,
+		Granularity:        GranSPJ,
+		FreshnessThreshold: 1e-12,
+	}, 40, true)
+	if js2.Compilations <= js.Compilations {
+		t.Fatalf("tight threshold should recompile more: %d vs %d", js2.Compilations, js.Compilations)
+	}
+	if js2.StaleDrops == 0 {
+		t.Fatal("expected stale drops with tight threshold")
+	}
+}
+
+func TestAsyncCompilationEventuallyUsedOrHarmless(t *testing.T) {
+	// Large enough input that the loop runs many iterations: async compiles
+	// should complete and be picked up via cache hits or switchover.
+	cfg := Config{Backend: BackendLambda, Granularity: GranUnionAll, Async: true}
+	cat, js, _ := runJIT(t, cfg, 120, true)
+	checkTC(t, cat, 120)
+	if js.Compilations == 0 {
+		t.Fatal("async worker never compiled")
+	}
+}
+
+func TestAsyncNeverBlocksOnSlowCompiler(t *testing.T) {
+	// A compiler stalled by a large simulated latency must not stall
+	// execution: interpretation finishes the whole query first.
+	cfg := Config{
+		Backend:        BackendQuotes,
+		Granularity:    GranDoWhile,
+		Async:          true,
+		CompileLatency: 200 * time.Millisecond,
+	}
+	start := time.Now()
+	cat, _, is := runJIT(t, cfg, 25, true)
+	checkTC(t, cat, 25)
+	_ = is
+	// Close waits for the worker, so total time includes the sleep; the
+	// point is correctness, not wall-clock, but it must not take N*latency.
+	if time.Since(start) > 3*time.Second {
+		t.Fatal("async run appears to have serialized on the compiler")
+	}
+}
+
+func TestSwitchoverMidLoop(t *testing.T) {
+	// DoWhile granularity + async: the DoWhile unit compiles while its first
+	// iterations are interpreted; a later safe point switches into it.
+	cfg := Config{Backend: BackendLambda, Granularity: GranDoWhile, Async: true}
+	cat, js, _ := runJIT(t, cfg, 200, true)
+	checkTC(t, cat, 200)
+	// Switchover is timing-dependent but with 200 iterations the single
+	// compilation practically always lands mid-loop.
+	if js.Compilations == 0 {
+		t.Fatal("no compilation")
+	}
+	t.Logf("switchovers=%d cachehits=%d", js.Switchovers, js.CacheHits)
+}
+
+func TestCompileLatencyAccounted(t *testing.T) {
+	cfg := Config{Backend: BackendLambda, Granularity: GranProgram, CompileLatency: 50 * time.Millisecond}
+	_, js, _ := runJIT(t, cfg, 10, false)
+	if js.CompileTime < 50*time.Millisecond {
+		t.Fatalf("CompileTime = %v, want >= 50ms", js.CompileTime)
+	}
+}
+
+func TestParseBackendAndGranularity(t *testing.T) {
+	for s, want := range map[string]Backend{
+		"off": BackendOff, "irgen": BackendIRGen, "lambda": BackendLambda,
+		"bytecode": BackendBytecode, "quotes": BackendQuotes,
+	} {
+		got, err := ParseBackend(s)
+		if err != nil || got != want {
+			t.Errorf("ParseBackend(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseBackend("llvm"); err == nil {
+		t.Error("unknown backend accepted")
+	}
+	for s, want := range map[string]Granularity{
+		"program": GranProgram, "dowhile": GranDoWhile, "unionall": GranUnionAll,
+		"union": GranUnionRule, "spj": GranSPJ,
+	} {
+		got, err := ParseGranularity(s)
+		if err != nil || got != want {
+			t.Errorf("ParseGranularity(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseGranularity("molecule"); err == nil {
+		t.Error("unknown granularity accepted")
+	}
+}
+
+func TestControllerCloseIdempotent(t *testing.T) {
+	cat, root := buildChain(t, 5, false)
+	ctrl := New(cat, root, Config{Backend: BackendLambda, Granularity: GranSPJ, Async: true})
+	ctrl.Close()
+	ctrl.Close()
+}
+
+func TestStringers(t *testing.T) {
+	if BackendQuotes.String() != "quotes" || GranUnionAll.String() != "UnionOp*" {
+		t.Fatal("stringers wrong")
+	}
+}

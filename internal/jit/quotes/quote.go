@@ -1,0 +1,216 @@
+package quotes
+
+import (
+	"fmt"
+
+	"carac/internal/ast"
+	"carac/internal/eval"
+	"carac/internal/interp"
+	"carac/internal/ir"
+	"carac/internal/storage"
+)
+
+func checkBuiltin(b ast.Builtin, vals []storage.Value) bool { return eval.Check(b, vals) }
+
+func solveBuiltin(b ast.Builtin, vals []storage.Value, out int) (storage.Value, bool) {
+	return eval.Solve(b, vals, out)
+}
+
+// Quote constructs the staged expression (stage 1) for an IROp subtree. With
+// snippet set, children of the quoted node become SpliceInterpE
+// continuations instead of being staged recursively. It also returns the
+// register-file sizes the lowered code needs.
+func Quote(op ir.Op, cat *storage.Catalog, snippet bool) (q Expr, maxVars, maxLevels int, err error) {
+	b := &quoter{cat: cat}
+	if snippet {
+		q, err = b.quoteSnippet(op)
+	} else {
+		q, err = b.quoteFull(op)
+	}
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return q, b.maxVars, b.maxLevels, nil
+}
+
+type quoter struct {
+	cat       *storage.Catalog
+	maxVars   int
+	maxLevels int
+}
+
+func (b *quoter) quoteFull(op ir.Op) (Expr, error) {
+	switch n := op.(type) {
+	case *ir.ProgramOp:
+		return b.quoteSeq(n.Body)
+	case *ir.ScanOp:
+		return SeedE{Preds: n.Preds}, nil
+	case *ir.SwapClearOp:
+		return SwapClearE{Preds: n.Preds}, nil
+	case *ir.DoWhileOp:
+		body, err := b.quoteSeq(n.Body)
+		if err != nil {
+			return nil, err
+		}
+		return LoopE{Preds: n.Preds, Body: body}, nil
+	case *ir.UnionAllOp:
+		ops := make([]ir.Op, len(n.Rules))
+		for i, r := range n.Rules {
+			ops[i] = r
+		}
+		return b.quoteSeq(ops)
+	case *ir.UnionRuleOp:
+		ops := make([]ir.Op, len(n.Subqueries))
+		for i, s := range n.Subqueries {
+			ops[i] = s
+		}
+		return b.quoteSeq(ops)
+	case *ir.SPJOp:
+		return b.quoteSPJ(n)
+	}
+	return nil, fmt.Errorf("quotes: cannot quote %T", op)
+}
+
+func (b *quoter) quoteSnippet(op ir.Op) (Expr, error) {
+	splice := func(children []ir.Op) Expr {
+		body := make([]Expr, len(children))
+		for i, c := range children {
+			body[i] = SpliceInterpE{Child: c}
+		}
+		return SeqE{Body: body}
+	}
+	switch n := op.(type) {
+	case *ir.ProgramOp:
+		return splice(n.Body), nil
+	case *ir.DoWhileOp:
+		return LoopE{Preds: n.Preds, Body: splice(n.Body)}, nil
+	case *ir.UnionAllOp:
+		return splice(n.Children()), nil
+	case *ir.UnionRuleOp:
+		return splice(n.Children()), nil
+	default:
+		// Leaves have no children to splice.
+		return b.quoteFull(op)
+	}
+}
+
+func (b *quoter) quoteSeq(ops []ir.Op) (Expr, error) {
+	body := make([]Expr, len(ops))
+	for i, o := range ops {
+		q, err := b.quoteFull(o)
+		if err != nil {
+			return nil, err
+		}
+		body[i] = q
+	}
+	return SeqE{Body: body}, nil
+}
+
+// quoteSPJ stages one subquery from its access plan, freezing the current
+// atom order into the quote.
+func (b *quoter) quoteSPJ(spj *ir.SPJOp) (Expr, error) {
+	if spj.Agg.Kind != ast.AggNone {
+		return CallPlanE{SPJ: spj}, nil
+	}
+	plan, err := interp.BuildPlan(spj, b.cat)
+	if err != nil {
+		return nil, err
+	}
+	if spj.NumVars > b.maxVars {
+		b.maxVars = spj.NumVars
+	}
+
+	// Assign a row level to each relational step.
+	levels := make([]int, len(plan.Steps))
+	nLevels := 0
+	for i := range plan.Steps {
+		switch plan.Steps[i].Kind {
+		case interp.StepScan, interp.StepProbe, interp.StepProbeN:
+			levels[i] = nLevels
+			nLevels++
+		}
+	}
+	if nLevels > b.maxLevels {
+		b.maxLevels = nLevels
+	}
+
+	tmplExpr := func(t interp.TmplElem) Expr {
+		if t.IsConst {
+			return ConstE{V: t.Const}
+		}
+		return VarRef{Var: t.Var}
+	}
+
+	// Build from the inside out.
+	elems := make([]Expr, len(plan.Head))
+	for i, h := range plan.Head {
+		if h.IsConst {
+			elems[i] = ConstE{V: h.Const}
+		} else {
+			elems[i] = VarRef{Var: h.Var}
+		}
+	}
+	var inner Expr = EmitE{Sink: plan.Sink, Elems: elems}
+
+	for i := len(plan.Steps) - 1; i >= 0; i-- {
+		st := &plan.Steps[i]
+		switch st.Kind {
+		case interp.StepScan, interp.StepProbe, interp.StepProbeN:
+			level := levels[i]
+			// Binds wrap inner, then checks guard the binds.
+			for bi := len(st.Binds) - 1; bi >= 0; bi-- {
+				bd := st.Binds[bi]
+				inner = BindE{Var: bd.Var, Val: ColRef{Level: level, Col: bd.Col}, Body: inner}
+			}
+			for ci := len(st.Checks) - 1; ci >= 0; ci-- {
+				ck := st.Checks[ci]
+				var cond Expr
+				switch ck.Mode {
+				case interp.CheckConst:
+					cond = EqE{L: ColRef{Level: level, Col: ck.Col}, R: ConstE{V: ck.Const}}
+				case interp.CheckVar:
+					cond = EqE{L: ColRef{Level: level, Col: ck.Col}, R: VarRef{Var: ck.Var}}
+				case interp.CheckSameRow:
+					cond = EqE{L: ColRef{Level: level, Col: ck.Col}, R: ColRef{Level: level, Col: ck.Other}}
+				}
+				inner = IfE{Cond: cond, Then: inner}
+			}
+			rel := RelRef{Pred: st.Pred, Src: st.Src}
+			switch st.Kind {
+			case interp.StepProbe:
+				inner = ProbeE{Rel: rel, Col: st.ProbeCol, Key: tmplExpr(st.ProbeKey), Level: level, Body: inner}
+			case interp.StepProbeN:
+				keys := make([]Expr, len(st.ProbeKeys))
+				for ki, k := range st.ProbeKeys {
+					keys[ki] = tmplExpr(k)
+				}
+				inner = ProbeNE{Rel: rel, Cols: st.ProbeCols, Keys: keys, Level: level, Body: inner}
+			default:
+				inner = ForEachE{Rel: rel, Level: level, Body: inner}
+			}
+
+		case interp.StepNegCheck:
+			es := make([]Expr, len(st.Tmpl))
+			for ti, tm := range st.Tmpl {
+				es[ti] = tmplExpr(tm)
+			}
+			inner = IfE{Cond: NotContainsE{Rel: RelRef{Pred: st.Pred, Src: st.Src}, Elems: es}, Then: inner}
+
+		case interp.StepBuiltin:
+			args := make([]Expr, len(st.Args))
+			for ai, a := range st.Args {
+				if ai == st.Out {
+					args[ai] = ConstE{V: 0} // placeholder for the solved slot
+					continue
+				}
+				args[ai] = tmplExpr(a)
+			}
+			if st.Out < 0 {
+				inner = IfE{Cond: BuiltinCheckE{B: st.Builtin, Args: args}, Then: inner}
+			} else {
+				inner = SolveE{B: st.Builtin, Args: args, Out: st.Out, Var: st.OutVar, Body: inner}
+			}
+		}
+	}
+	return SeqE{Body: []Expr{StatE{Kind: StatSPJ}, inner}}, nil
+}

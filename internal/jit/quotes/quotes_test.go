@@ -1,0 +1,230 @@
+package quotes
+
+import (
+	"strings"
+	"testing"
+
+	"carac/internal/ast"
+	"carac/internal/interp"
+	"carac/internal/ir"
+	"carac/internal/parser"
+	"carac/internal/storage"
+)
+
+func lowerSrc(t *testing.T, src string) (*storage.Catalog, *ir.ProgramOp) {
+	t.Helper()
+	cat := storage.NewCatalog()
+	res, err := parser.Parse(src, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := ir.Lower(res.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat, root
+}
+
+const tcSrc = `
+.decl edge(x:number, y:number)
+.decl tc(x:number, y:number)
+edge(1,2). edge(2,3). edge(3,4).
+tc(x,y) :- edge(x,y).
+tc(x,y) :- tc(x,z), edge(z,y).
+`
+
+func TestQuoteCompileRun(t *testing.T) {
+	cat, root := lowerSrc(t, tcSrc)
+	c := NewCompiler()
+	unit, err := c.Compile(root, cat, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Warmed() {
+		t.Fatal("compiler should be warm after first compile")
+	}
+	in := interp.New(cat, nil)
+	if err := unit(in); err != nil {
+		t.Fatal(err)
+	}
+	tc, _ := cat.PredByName("tc")
+	if tc.Derived.Len() != 6 {
+		t.Fatalf("|tc| = %d, want 6", tc.Derived.Len())
+	}
+	if in.Stats.SPJRuns == 0 {
+		t.Fatal("StatE did not record SPJ runs")
+	}
+}
+
+func TestSnippetSplicesContinuations(t *testing.T) {
+	cat, root := lowerSrc(t, tcSrc)
+	// Find the DoWhile and snippet-compile it: children must be executed via
+	// the interpreter (counted by a probe controller).
+	var dw *ir.DoWhileOp
+	ir.Walk(root, func(o ir.Op) {
+		if d, ok := o.(*ir.DoWhileOp); ok {
+			dw = d
+		}
+	})
+	if dw == nil {
+		t.Fatal("no DoWhile in TC program")
+	}
+	c := NewCompiler()
+	unit, err := c.Compile(dw, cat, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := &probeCtrl{}
+	in := interp.New(cat, probe)
+
+	// Manually run prologue (seed + first rules + swap) then the snippet.
+	pre := interp.New(cat, nil)
+	for _, op := range root.Body {
+		if op == ir.Op(dw) {
+			break
+		}
+		if err := pre.Run(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := unit(in); err != nil {
+		t.Fatal(err)
+	}
+	if probe.seen == 0 {
+		t.Fatal("snippet unit did not splice back into the interpreter")
+	}
+	tc, _ := cat.PredByName("tc")
+	if tc.Derived.Len() != 6 {
+		t.Fatalf("|tc| = %d, want 6", tc.Derived.Len())
+	}
+}
+
+type probeCtrl struct{ seen int }
+
+func (p *probeCtrl) Enter(op ir.Op, in *interp.Interp) func() error {
+	p.seen++
+	return nil
+}
+
+func TestTypeCheckerRejectsUnsoundQuotes(t *testing.T) {
+	cat := storage.NewCatalog()
+	p := cat.Declare("p", 2)
+	q := cat.Declare("q", 1)
+	cases := []struct {
+		name string
+		q    Expr
+		want string
+	}{
+		{"unbound var", EmitE{Sink: q, Elems: []Expr{VarRef{Var: 3}}}, "read before bound"},
+		{"arity mismatch", EmitE{Sink: p, Elems: []Expr{ConstE{V: 1}}}, "elems for sink"},
+		{"col out of range", ForEachE{Rel: RelRef{Pred: q}, Level: 0,
+			Body: BindE{Var: 0, Val: ColRef{Level: 0, Col: 5}, Body: EmitE{Sink: q, Elems: []Expr{VarRef{Var: 0}}}}}, "out of range"},
+		{"level not in scope", BindE{Var: 0, Val: ColRef{Level: 2, Col: 0}, Body: SeqE{}}, "not in scope"},
+		{"duplicate level", ForEachE{Rel: RelRef{Pred: q}, Level: 0,
+			Body: ForEachE{Rel: RelRef{Pred: q}, Level: 0, Body: SeqE{}}}, "already in scope"},
+		{"builtin arity", IfE{Cond: BuiltinCheckE{B: ast.BAdd, Args: []Expr{ConstE{V: 1}}}, Then: SeqE{}}, "wants 3 args"},
+		{"non-bool cond", IfE{Cond: ConstE{V: 1}, Then: SeqE{}}, "condition has type"},
+		{"non-unit stmt", SeqE{Body: []Expr{ConstE{V: 1}}}, "want Unit"},
+		{"negcheck arity", IfE{Cond: NotContainsE{Rel: RelRef{Pred: p}, Elems: []Expr{ConstE{V: 1}}}, Then: SeqE{}}, "elems for"},
+	}
+	c := NewCompiler()
+	for _, tc := range cases {
+		_, err := c.Splice(tc.q, cat, 8, 4)
+		if err == nil {
+			t.Errorf("%s: unsound quote accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestColdBootstrapSelfCheck(t *testing.T) {
+	c := NewCompiler()
+	if c.Warmed() {
+		t.Fatal("fresh compiler should be cold")
+	}
+	cat, root := lowerSrc(t, tcSrc)
+	if _, err := c.Compile(root, cat, false); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Warmed() {
+		t.Fatal("bootstrap did not warm the compiler")
+	}
+}
+
+func TestQuoteBuiltinsAndNegation(t *testing.T) {
+	src := `
+.decl num(n:number)
+.decl composite(n:number)
+.decl prime(n:number)
+num(2). num(3). num(4). num(5). num(6). num(7). num(8). num(9).
+composite(c) :- num(a), num(b), c = a * b, num(c).
+prime(p) :- num(p), !composite(p).
+`
+	cat, root := lowerSrc(t, src)
+	unit, err := NewCompiler().Compile(root, cat, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := unit(interp.New(cat, nil)); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := cat.PredByName("prime")
+	if p.Derived.Len() != 4 { // 2 3 5 7
+		t.Fatalf("primes = %v", p.Derived.Snapshot())
+	}
+}
+
+func TestSpliceReusesFrames(t *testing.T) {
+	cat, root := lowerSrc(t, tcSrc)
+	c := NewCompiler()
+	unit, err := c.Compile(root, cat, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := interp.New(cat, nil)
+	for i := 0; i < 3; i++ {
+		cat.ResetFacts()
+		edge, _ := cat.PredByName("edge")
+		edge.AddFact([]storage.Value{1, 2})
+		edge.AddFact([]storage.Value{2, 3})
+		if err := unit(in); err != nil {
+			t.Fatal(err)
+		}
+		tc, _ := cat.PredByName("tc")
+		if tc.Derived.Len() != 3 {
+			t.Fatalf("run %d: |tc| = %d, want 3", i, tc.Derived.Len())
+		}
+	}
+}
+
+func TestQuoteAggregationFallsBackToCallPlan(t *testing.T) {
+	cat := storage.NewCatalog()
+	e := cat.Declare("e", 2)
+	outd := cat.Declare("outd", 2)
+	prog := ast.NewProgram(cat)
+	prog.MustAddRule(&ast.Rule{
+		Head:    ast.Rel(outd, ast.V(0), ast.V(2)),
+		Body:    []ast.Atom{ast.Rel(e, ast.V(0), ast.V(1))},
+		Agg:     ast.AggSpec{Kind: ast.AggCount, HeadPos: 1},
+		NumVars: 3,
+	})
+	cat.Pred(e).AddFact([]storage.Value{1, 2})
+	cat.Pred(e).AddFact([]storage.Value{1, 3})
+	root, err := ir.Lower(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit, err := NewCompiler().Compile(root, cat, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := unit(interp.New(cat, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if !cat.Pred(outd).Derived.Contains([]storage.Value{1, 2}) {
+		t.Fatalf("outd = %v", cat.Pred(outd).Derived.Snapshot())
+	}
+}

@@ -1,0 +1,198 @@
+package quotes
+
+import (
+	"fmt"
+
+	"carac/internal/storage"
+)
+
+// env tracks what is in scope while checking a quote: which row levels are
+// bound (and the arity of the relation backing each) and which rule
+// variables have been assigned.
+type env struct {
+	cat        *storage.Catalog
+	levelArity map[int]int
+	vars       map[int32]bool
+}
+
+func (e *env) clone() *env {
+	c := &env{cat: e.cat, levelArity: make(map[int]int, len(e.levelArity)), vars: make(map[int32]bool, len(e.vars))}
+	for k, v := range e.levelArity {
+		c.levelArity[k] = v
+	}
+	for k, v := range e.vars {
+		c.vars[k] = v
+	}
+	return c
+}
+
+// typecheck validates expr in env, enforcing the staging guarantees:
+// expressions are well-typed, row/column references are in scope and within
+// arity, variables are read only after being bound, emitted tuples match
+// the sink's arity, and builtins receive the right argument counts. A quote
+// that fails this pass is never lowered — the package's analog of "it is not
+// possible to generate code at runtime that is unsound".
+func typecheck(expr Expr, e *env) error {
+	switch n := expr.(type) {
+	case ConstE:
+		return nil
+	case ColRef:
+		arity, ok := e.levelArity[n.Level]
+		if !ok {
+			return &TypeError{"ColRef", fmt.Sprintf("row level %d not in scope", n.Level)}
+		}
+		if n.Col < 0 || n.Col >= arity {
+			return &TypeError{"ColRef", fmt.Sprintf("column %d out of range for arity %d", n.Col, arity)}
+		}
+		return nil
+	case VarRef:
+		if !e.vars[int32(n.Var)] {
+			return &TypeError{"VarRef", fmt.Sprintf("variable v%d read before bound", n.Var)}
+		}
+		return nil
+
+	case EqE:
+		return checkAll("EqE", e, TVal, n.L, n.R)
+	case NotContainsE:
+		pd := e.cat.Pred(n.Rel.Pred)
+		if len(n.Elems) != pd.Arity {
+			return &TypeError{"NotContainsE", fmt.Sprintf("%d elems for %s/%d", len(n.Elems), pd.Name, pd.Arity)}
+		}
+		return checkAll("NotContainsE", e, TVal, n.Elems...)
+	case BuiltinCheckE:
+		if len(n.Args) != n.B.Arity() {
+			return &TypeError{"BuiltinCheckE", fmt.Sprintf("builtin %v wants %d args, got %d", n.B, n.B.Arity(), len(n.Args))}
+		}
+		return checkAll("BuiltinCheckE", e, TVal, n.Args...)
+
+	case SeqE:
+		for _, s := range n.Body {
+			if s.Type() != TUnit {
+				return &TypeError{"SeqE", fmt.Sprintf("statement has type %v, want Unit", s.Type())}
+			}
+			if err := typecheck(s, e); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case ForEachE:
+		if _, dup := e.levelArity[n.Level]; dup {
+			return &TypeError{"ForEachE", fmt.Sprintf("row level %d already in scope", n.Level)}
+		}
+		inner := e.clone()
+		inner.levelArity[n.Level] = e.cat.Pred(n.Rel.Pred).Arity
+		return typecheck(n.Body, inner)
+
+	case ProbeE:
+		pd := e.cat.Pred(n.Rel.Pred)
+		if n.Col < 0 || n.Col >= pd.Arity {
+			return &TypeError{"ProbeE", fmt.Sprintf("probe column %d out of range for %s/%d", n.Col, pd.Name, pd.Arity)}
+		}
+		if n.Key.Type() != TVal {
+			return &TypeError{"ProbeE", "probe key must be a value"}
+		}
+		if err := typecheck(n.Key, e); err != nil {
+			return err
+		}
+		if _, dup := e.levelArity[n.Level]; dup {
+			return &TypeError{"ProbeE", fmt.Sprintf("row level %d already in scope", n.Level)}
+		}
+		inner := e.clone()
+		inner.levelArity[n.Level] = pd.Arity
+		return typecheck(n.Body, inner)
+
+	case ProbeNE:
+		pd := e.cat.Pred(n.Rel.Pred)
+		if len(n.Cols) != len(n.Keys) || len(n.Cols) < 2 {
+			return &TypeError{"ProbeNE", fmt.Sprintf("%d columns vs %d keys", len(n.Cols), len(n.Keys))}
+		}
+		for _, c := range n.Cols {
+			if c < 0 || c >= pd.Arity {
+				return &TypeError{"ProbeNE", fmt.Sprintf("probe column %d out of range for %s/%d", c, pd.Name, pd.Arity)}
+			}
+		}
+		for _, k := range n.Keys {
+			if k.Type() != TVal {
+				return &TypeError{"ProbeNE", "probe keys must be values"}
+			}
+			if err := typecheck(k, e); err != nil {
+				return err
+			}
+		}
+		if _, dup := e.levelArity[n.Level]; dup {
+			return &TypeError{"ProbeNE", fmt.Sprintf("row level %d already in scope", n.Level)}
+		}
+		inner := e.clone()
+		inner.levelArity[n.Level] = pd.Arity
+		return typecheck(n.Body, inner)
+
+	case IfE:
+		if n.Cond.Type() != TBool {
+			return &TypeError{"IfE", fmt.Sprintf("condition has type %v", n.Cond.Type())}
+		}
+		if err := typecheck(n.Cond, e); err != nil {
+			return err
+		}
+		return typecheck(n.Then, e)
+
+	case BindE:
+		if n.Val.Type() != TVal {
+			return &TypeError{"BindE", "bound expression must be a value"}
+		}
+		if err := typecheck(n.Val, e); err != nil {
+			return err
+		}
+		inner := e.clone()
+		inner.vars[int32(n.Var)] = true
+		return typecheck(n.Body, inner)
+
+	case SolveE:
+		if len(n.Args) != n.B.Arity() {
+			return &TypeError{"SolveE", fmt.Sprintf("builtin %v wants %d args, got %d", n.B, n.B.Arity(), len(n.Args))}
+		}
+		if n.Out < 0 || n.Out >= len(n.Args) {
+			return &TypeError{"SolveE", fmt.Sprintf("output index %d out of range", n.Out)}
+		}
+		for i, a := range n.Args {
+			if i == n.Out {
+				continue
+			}
+			if a.Type() != TVal {
+				return &TypeError{"SolveE", "inputs must be values"}
+			}
+			if err := typecheck(a, e); err != nil {
+				return err
+			}
+		}
+		inner := e.clone()
+		inner.vars[int32(n.Var)] = true
+		return typecheck(n.Body, inner)
+
+	case EmitE:
+		pd := e.cat.Pred(n.Sink)
+		if len(n.Elems) != pd.Arity {
+			return &TypeError{"EmitE", fmt.Sprintf("%d elems for sink %s/%d", len(n.Elems), pd.Name, pd.Arity)}
+		}
+		return checkAll("EmitE", e, TVal, n.Elems...)
+
+	case SeedE, SwapClearE, StatE, SpliceInterpE, CallPlanE:
+		return nil
+
+	case LoopE:
+		return typecheck(n.Body, e)
+	}
+	return &TypeError{fmt.Sprintf("%T", expr), "unknown expression"}
+}
+
+func checkAll(node string, e *env, want Type, exprs ...Expr) error {
+	for _, x := range exprs {
+		if x.Type() != want {
+			return &TypeError{node, fmt.Sprintf("operand has type %v, want %v", x.Type(), want)}
+		}
+		if err := typecheck(x, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package jit
+
+import (
+	"testing"
+
+	"carac/internal/interp"
+	"carac/internal/ir"
+)
+
+// TestYieldDeclinedFallsBackCleanly: async at Program granularity means
+// subquery-level yields race against unit publication; correctness must hold
+// regardless of timing.
+func TestYieldDeclinedFallsBackCleanly(t *testing.T) {
+	cat, root := buildChain(t, 30, true)
+	ctrl := New(cat, root, Config{Backend: BackendLambda, Granularity: GranProgram, Async: true})
+	defer ctrl.Close()
+	in := interp.New(cat, ctrl)
+	if err := in.Run(root); err != nil {
+		t.Fatal(err)
+	}
+	checkTC(t, cat, 30)
+}
+
+// alwaysYield forces the yield path on every poll and declines at Enter —
+// the interpreter must re-run every subquery and still converge.
+type alwaysYield struct{}
+
+func (alwaysYield) Enter(op ir.Op, in *interp.Interp) func() error { return nil }
+func (alwaysYield) ShouldYield(op ir.Op, in *interp.Interp) bool   { return true }
+
+func TestSpuriousYieldNeverLosesDerivations(t *testing.T) {
+	cat, root := buildChain(t, 25, true)
+	in := interp.New(cat, alwaysYield{})
+	if err := in.Run(root); err != nil {
+		t.Fatal(err)
+	}
+	checkTC(t, cat, 25)
+}
+
+// TestShouldYieldGating verifies the consume-once and miss-cache semantics.
+func TestShouldYieldGating(t *testing.T) {
+	cat, root := buildChain(t, 10, true)
+	ctrl := New(cat, root, Config{Backend: BackendLambda, Granularity: GranDoWhile, Async: true})
+	defer ctrl.Close()
+	var spj *ir.SPJOp
+	var dw *ir.DoWhileOp
+	ir.Walk(root, func(o ir.Op) {
+		if s, ok := o.(*ir.SPJOp); ok && spj == nil && s.DeltaIdx >= 0 {
+			spj = s
+		}
+		if d, ok := o.(*ir.DoWhileOp); ok {
+			dw = d
+		}
+	})
+	in := interp.New(cat, ctrl)
+	if ctrl.ShouldYield(spj, in) {
+		t.Fatal("yield without any published unit")
+	}
+	// Publish a unit for the loop by hand.
+	u := &unit{}
+	ctrl.units[dw] = u
+	u.compiled.Store(&compiledUnit{run: func(*interp.Interp) error { return nil }, cards: ctrl.cardsFor(dw)})
+	ctrl.readyGen.Add(1)
+	if !ctrl.ShouldYield(spj, in) {
+		t.Fatal("yield not granted for covering ready unit")
+	}
+	if ctrl.ShouldYield(spj, in) {
+		t.Fatal("signal not consumed")
+	}
+	// A new publish re-arms the signal.
+	ctrl.readyGen.Add(1)
+	if !ctrl.ShouldYield(spj, in) {
+		t.Fatal("new publish did not re-arm yield")
+	}
+}

@@ -1,0 +1,129 @@
+package optimizer
+
+import (
+	"math"
+	"testing"
+
+	"carac/internal/ast"
+	"carac/internal/ir"
+	"carac/internal/storage"
+)
+
+// fakeDistinct extends fakeStats with distinct counts.
+type fakeDistinct struct {
+	fakeStats
+	d map[[3]int32]int
+}
+
+func (f fakeDistinct) Distinct(pred storage.PredID, src ir.Source, col int) int {
+	if v, ok := f.d[[3]int32{int32(pred), int32(src), int32(col)}]; ok {
+		return v
+	}
+	return -1
+}
+
+func TestWeightWithDistinctStats(t *testing.T) {
+	cat := storage.NewCatalog()
+	r := cat.Declare("r", 2)
+	s := cat.Declare("s", 2)
+	spj := &ir.SPJOp{
+		NumVars: 3,
+		Head:    []ir.ProjElem{{Var: 0}},
+		Atoms: []ir.Atom{
+			{Kind: ast.AtomRelation, Pred: r, Terms: []ast.Term{ast.V(0), ast.V(1)}, Src: ir.SrcDerived},
+			{Kind: ast.AtomRelation, Pred: s, Terms: []ast.Term{ast.V(1), ast.V(2)}, Src: ir.SrcDerived},
+		},
+		DeltaIdx: -1,
+	}
+	fd := fakeDistinct{fakeStats: fakeStats{}, d: map[[3]int32]int{}}
+	set(fd.fakeStats, r, ir.SrcDerived, 1000)
+	set(fd.fakeStats, s, ir.SrcDerived, 1000)
+	// r's join column (1) has 100 distinct values; s's join column (0) only 2.
+	fd.d[[3]int32{int32(r), int32(ir.SrcDerived), 1}] = 100
+	fd.d[[3]int32{int32(s), int32(ir.SrcDerived), 0}] = 2
+
+	opts := DefaultOptions()
+	opts.UseDistinctStats = true
+	// weight(r) = 1000/100 = 10; weight(s) = 1000/2 = 500.
+	if w := Weight(spj, 0, fd, opts); math.Abs(w-10) > 1e-9 {
+		t.Fatalf("weight(r) = %v, want 10", w)
+	}
+	if w := Weight(spj, 1, fd, opts); math.Abs(w-500) > 1e-9 {
+		t.Fatalf("weight(s) = %v, want 500", w)
+	}
+
+	// Unobserved columns fall back to the constant factor.
+	fd2 := fakeDistinct{fakeStats: fd.fakeStats, d: map[[3]int32]int{}}
+	if w := Weight(spj, 0, fd2, opts); math.Abs(w-500) > 1e-9 {
+		t.Fatalf("fallback weight = %v, want 500 (1000 * 0.5)", w)
+	}
+
+	// Flag off: constant factor even when distinct data exists.
+	opts.UseDistinctStats = false
+	if w := Weight(spj, 0, fd, opts); math.Abs(w-500) > 1e-9 {
+		t.Fatalf("flag-off weight = %v, want 500", w)
+	}
+}
+
+func TestDistinctStatsChangeOrdering(t *testing.T) {
+	// Same cardinalities, but distinct counts make s far more selective, so
+	// it should come first under distinct stats and tie (stable, original
+	// order) otherwise.
+	cat := storage.NewCatalog()
+	r := cat.Declare("r", 2)
+	s := cat.Declare("s", 2)
+	mk := func() *ir.SPJOp {
+		return &ir.SPJOp{
+			NumVars: 3,
+			Head:    []ir.ProjElem{{Var: 0}},
+			Atoms: []ir.Atom{
+				{Kind: ast.AtomRelation, Pred: r, Terms: []ast.Term{ast.V(0), ast.V(1)}, Src: ir.SrcDerived},
+				{Kind: ast.AtomRelation, Pred: s, Terms: []ast.Term{ast.V(1), ast.V(2)}, Src: ir.SrcDerived},
+			},
+			DeltaIdx: -1,
+		}
+	}
+	fd := fakeDistinct{fakeStats: fakeStats{}, d: map[[3]int32]int{}}
+	set(fd.fakeStats, r, ir.SrcDerived, 1000)
+	set(fd.fakeStats, s, ir.SrcDerived, 1000)
+	fd.d[[3]int32{int32(r), int32(ir.SrcDerived), 1}] = 2
+	fd.d[[3]int32{int32(s), int32(ir.SrcDerived), 0}] = 900
+
+	opts := DefaultOptions()
+	opts.UseDistinctStats = true
+	spj := mk()
+	changed, err := Reorder(spj, fd, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// weight(r)=500, weight(s)=1000/900≈1.1 -> s first.
+	if !changed || spj.Atoms[0].Pred != s {
+		t.Fatalf("distinct stats did not promote the selective atom: %+v", spj.Atoms)
+	}
+
+	plain := mk()
+	changed, err = Reorder(plain, fd.fakeStats, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Fatalf("constant selectivity should tie and keep order: %+v", plain.Atoms)
+	}
+}
+
+func TestCatalogStatsDistinct(t *testing.T) {
+	cat := storage.NewCatalog()
+	id := cat.Declare("r", 2)
+	p := cat.Pred(id)
+	p.BuildIndexes([]int{0})
+	for i := int32(0); i < 20; i++ {
+		p.AddFact([]storage.Value{i % 4, i})
+	}
+	cs := CatalogStats{Cat: cat}
+	if got := cs.Distinct(id, ir.SrcDerived, 0); got != 4 {
+		t.Fatalf("Distinct = %d, want 4", got)
+	}
+	if got := cs.Distinct(id, ir.SrcDerived, 1); got != -1 {
+		t.Fatalf("unindexed Distinct = %d, want -1", got)
+	}
+}

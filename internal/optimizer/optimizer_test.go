@@ -1,0 +1,391 @@
+package optimizer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"carac/internal/ast"
+	"carac/internal/interp"
+	"carac/internal/ir"
+	"carac/internal/parser"
+	"carac/internal/storage"
+)
+
+func runIR(cat *storage.Catalog, root ir.Op) error {
+	return interp.New(cat, nil).Run(root)
+}
+
+// fakeStats maps (pred, src) to a fixed cardinality.
+type fakeStats map[[2]int32]int
+
+func (f fakeStats) Card(pred storage.PredID, src ir.Source) int {
+	return f[[2]int32{int32(pred), int32(src)}]
+}
+
+func set(f fakeStats, pred storage.PredID, src ir.Source, n int) {
+	f[[2]int32{int32(pred), int32(src)}] = n
+}
+
+// paperVAliasSubquery builds the §IV worked example: the VAlias rule
+// VAlias(v1,v2) :- VaFlow(v0,v2), VaFlow(v3,v1), MAlias(v3,v0)
+// as the delta subquery where the first VaFlow occurrence reads δ.
+// Variables: v1=0 v2=1 v0=2 v3=3.
+func paperVAliasSubquery() (*ir.SPJOp, storage.PredID, storage.PredID, *storage.Catalog) {
+	cat := storage.NewCatalog()
+	vaflow := cat.Declare("VaFlow", 2)
+	malias := cat.Declare("MAlias", 2)
+	valias := cat.Declare("VAlias", 2)
+	spj := &ir.SPJOp{
+		Sink:    valias,
+		Head:    []ir.ProjElem{{Var: 0}, {Var: 1}},
+		NumVars: 4,
+		Atoms: []ir.Atom{
+			{Kind: ast.AtomRelation, Pred: vaflow, Terms: []ast.Term{ast.V(2), ast.V(1)}, Src: ir.SrcDelta},
+			{Kind: ast.AtomRelation, Pred: vaflow, Terms: []ast.Term{ast.V(3), ast.V(0)}, Src: ir.SrcDerived},
+			{Kind: ast.AtomRelation, Pred: malias, Terms: []ast.Term{ast.V(3), ast.V(2)}, Src: ir.SrcDerived},
+		},
+		DeltaIdx: 0,
+	}
+	return spj, vaflow, malias, cat
+}
+
+// TestPaperWorkedExampleIteration1 reproduces §IV's first-iteration
+// cardinalities (|VaFlowδ|=541096, |VaFlow⋆|=903752, |MAlias⋆|=541096): the
+// chosen order must not start with the cartesian pair VaFlowδ × VaFlow⋆.
+func TestPaperWorkedExampleIteration1(t *testing.T) {
+	spj, vaflow, malias, _ := paperVAliasSubquery()
+	stats := fakeStats{}
+	set(stats, vaflow, ir.SrcDelta, 541096)
+	set(stats, vaflow, ir.SrcDerived, 903752)
+	set(stats, malias, ir.SrcDerived, 541096)
+
+	changed, err := Reorder(spj, stats, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("expected a reorder")
+	}
+	// First two atoms must share a variable (no cartesian product up front).
+	a0, a1 := spj.Atoms[0], spj.Atoms[1]
+	share := false
+	for _, t0 := range a0.Terms {
+		for _, t1 := range a1.Terms {
+			if t0.Kind == ast.TermVar && t1.Kind == ast.TermVar && t0.Var == t1.Var {
+				share = true
+			}
+		}
+	}
+	if !share {
+		t.Fatalf("first two atoms form a cartesian product: %v then %v", a0, a1)
+	}
+	// The big VaFlow⋆ (903752, one join key) must come last under the sort.
+	last := spj.Atoms[2]
+	if !(last.Pred == vaflow && last.Src == ir.SrcDerived) {
+		t.Fatalf("largest relation not last: %+v", spj.Atoms)
+	}
+	if spj.DeltaIdx < 0 || spj.Atoms[spj.DeltaIdx].Src != ir.SrcDelta {
+		t.Fatalf("DeltaIdx not maintained: %d", spj.DeltaIdx)
+	}
+}
+
+// TestPaperWorkedExampleIteration7 reproduces the 7th-iteration
+// cardinalities (|VaFlowδ|=0, |VaFlow⋆|=1362950, |MAlias⋆|=79514436): the
+// empty delta must be joined first so the subquery short-circuits.
+func TestPaperWorkedExampleIteration7(t *testing.T) {
+	spj, vaflow, malias, _ := paperVAliasSubquery()
+	stats := fakeStats{}
+	set(stats, vaflow, ir.SrcDelta, 0)
+	set(stats, vaflow, ir.SrcDerived, 1362950)
+	set(stats, malias, ir.SrcDerived, 79514436)
+
+	if _, err := Reorder(spj, stats, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if spj.Atoms[0].Src != ir.SrcDelta {
+		t.Fatalf("empty delta should be first, got %+v", spj.Atoms[0])
+	}
+}
+
+func TestWeightConstraintDiscount(t *testing.T) {
+	cat := storage.NewCatalog()
+	r := cat.Declare("r", 2)
+	s := cat.Declare("s", 2)
+	spj := &ir.SPJOp{
+		NumVars: 3,
+		Head:    []ir.ProjElem{{Var: 0}},
+		Atoms: []ir.Atom{
+			{Kind: ast.AtomRelation, Pred: r, Terms: []ast.Term{ast.V(0), ast.V(1)}, Src: ir.SrcDerived},
+			{Kind: ast.AtomRelation, Pred: s, Terms: []ast.Term{ast.V(1), ast.C(7)}, Src: ir.SrcDerived},
+		},
+		DeltaIdx: -1,
+	}
+	stats := fakeStats{}
+	set(stats, r, ir.SrcDerived, 100)
+	set(stats, s, ir.SrcDerived, 100)
+	opts := DefaultOptions()
+	// r has one shared var (v1): 100 * 0.5 = 50.
+	if w := Weight(spj, 0, stats, opts); math.Abs(w-50) > 1e-9 {
+		t.Fatalf("weight(r) = %v, want 50", w)
+	}
+	// s has one shared var + one const: 100 * 0.25 = 25.
+	if w := Weight(spj, 1, stats, opts); math.Abs(w-25) > 1e-9 {
+		t.Fatalf("weight(s) = %v, want 25", w)
+	}
+}
+
+func TestWeightRepeatedVar(t *testing.T) {
+	cat := storage.NewCatalog()
+	r := cat.Declare("r", 2)
+	spj := &ir.SPJOp{
+		NumVars: 1,
+		Atoms: []ir.Atom{
+			{Kind: ast.AtomRelation, Pred: r, Terms: []ast.Term{ast.V(0), ast.V(0)}, Src: ir.SrcDerived},
+		},
+		DeltaIdx: -1,
+	}
+	stats := fakeStats{}
+	set(stats, r, ir.SrcDerived, 100)
+	// v0 repeated intra-atom: one constraint -> 50.
+	if w := Weight(spj, 0, stats, DefaultOptions()); math.Abs(w-50) > 1e-9 {
+		t.Fatalf("weight = %v, want 50", w)
+	}
+}
+
+func TestReorderKeepsGuardsLegal(t *testing.T) {
+	// out(y) :- big(x), y = x + 1, small(y)? -> builtin needs x bound; after
+	// sorting small first the builtin must still run after big.
+	cat := storage.NewCatalog()
+	big := cat.Declare("big", 1)
+	small := cat.Declare("small", 1)
+	out := cat.Declare("out", 1)
+	spj := &ir.SPJOp{
+		Sink:    out,
+		Head:    []ir.ProjElem{{Var: 1}},
+		NumVars: 2,
+		Atoms: []ir.Atom{
+			{Kind: ast.AtomRelation, Pred: big, Terms: []ast.Term{ast.V(0)}, Src: ir.SrcDerived},
+			{Kind: ast.AtomBuiltin, Builtin: ast.BAdd, Terms: []ast.Term{ast.V(0), ast.C(1), ast.V(1)}},
+			{Kind: ast.AtomRelation, Pred: small, Terms: []ast.Term{ast.V(1)}, Src: ir.SrcDerived},
+		},
+		DeltaIdx: -1,
+	}
+	stats := fakeStats{}
+	set(stats, big, ir.SrcDerived, 1000000)
+	set(stats, small, ir.SrcDerived, 1)
+	if _, err := Reorder(spj, stats, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	// Verify legality: builtin inputs bound when reached.
+	bound := map[ast.VarID]bool{}
+	for _, a := range spj.Atoms {
+		switch a.Kind {
+		case ast.AtomRelation:
+			for _, tm := range a.Terms {
+				if tm.Kind == ast.TermVar {
+					bound[tm.Var] = true
+				}
+			}
+		case ast.AtomBuiltin:
+			outs, ok := ast.BuiltinBindable(ast.Atom{Kind: a.Kind, Builtin: a.Builtin, Terms: a.Terms},
+				func(v ast.VarID) bool { return bound[v] })
+			if !ok {
+				t.Fatalf("builtin reached with unbound inputs in order %+v", spj.Atoms)
+			}
+			for _, o := range outs {
+				if tm := a.Terms[o]; tm.Kind == ast.TermVar {
+					bound[tm.Var] = true
+				}
+			}
+		}
+	}
+}
+
+func TestReorderNegationStaysAfterBindings(t *testing.T) {
+	cat := storage.NewCatalog()
+	num := cat.Declare("num", 1)
+	comp := cat.Declare("composite", 1)
+	prime := cat.Declare("prime", 1)
+	spj := &ir.SPJOp{
+		Sink:    prime,
+		Head:    []ir.ProjElem{{Var: 0}},
+		NumVars: 1,
+		Atoms: []ir.Atom{
+			{Kind: ast.AtomRelation, Pred: num, Terms: []ast.Term{ast.V(0)}, Src: ir.SrcDerived},
+			{Kind: ast.AtomNegated, Pred: comp, Terms: []ast.Term{ast.V(0)}, Src: ir.SrcDerived},
+		},
+		DeltaIdx: -1,
+	}
+	stats := fakeStats{}
+	set(stats, num, ir.SrcDerived, 10)
+	if _, err := Reorder(spj, stats, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if spj.Atoms[0].Kind != ast.AtomRelation || spj.Atoms[1].Kind != ast.AtomNegated {
+		t.Fatalf("negation moved before its bindings: %+v", spj.Atoms)
+	}
+}
+
+func TestGreedyAvoidsCartesianProduct(t *testing.T) {
+	// Chain r(a,b), s(b,c), t(c,d) with misleading cardinalities: sort puts
+	// t first then r (cartesian!), greedy follows the chain.
+	cat := storage.NewCatalog()
+	r := cat.Declare("r", 2)
+	s := cat.Declare("s", 2)
+	tt := cat.Declare("t", 2)
+	mk := func() *ir.SPJOp {
+		return &ir.SPJOp{
+			NumVars: 4,
+			Head:    []ir.ProjElem{{Var: 0}, {Var: 3}},
+			Atoms: []ir.Atom{
+				{Kind: ast.AtomRelation, Pred: r, Terms: []ast.Term{ast.V(0), ast.V(1)}, Src: ir.SrcDerived},
+				{Kind: ast.AtomRelation, Pred: s, Terms: []ast.Term{ast.V(1), ast.V(2)}, Src: ir.SrcDerived},
+				{Kind: ast.AtomRelation, Pred: tt, Terms: []ast.Term{ast.V(2), ast.V(3)}, Src: ir.SrcDerived},
+			},
+			DeltaIdx: -1,
+		}
+	}
+	stats := fakeStats{}
+	set(stats, r, ir.SrcDerived, 10)
+	set(stats, s, ir.SrcDerived, 1000)
+	set(stats, tt, ir.SrcDerived, 20)
+
+	greedy := mk()
+	opts := DefaultOptions()
+	opts.Algo = AlgoGreedy
+	if _, err := Reorder(greedy, stats, opts); err != nil {
+		t.Fatal(err)
+	}
+	// Greedy: r(10) first, then s (shares v1), then t.
+	if greedy.Atoms[0].Pred != r || greedy.Atoms[1].Pred != s || greedy.Atoms[2].Pred != tt {
+		t.Fatalf("greedy order = %+v", greedy.Atoms)
+	}
+}
+
+func TestReorderStableOnTies(t *testing.T) {
+	// Equal weights: stable sort must keep the original order (so presorted
+	// offline orders survive online re-sorting, §VI-C).
+	cat := storage.NewCatalog()
+	a := cat.Declare("a", 2)
+	b := cat.Declare("b", 2)
+	spj := &ir.SPJOp{
+		NumVars: 3,
+		Head:    []ir.ProjElem{{Var: 0}},
+		Atoms: []ir.Atom{
+			{Kind: ast.AtomRelation, Pred: a, Terms: []ast.Term{ast.V(0), ast.V(1)}, Src: ir.SrcDerived},
+			{Kind: ast.AtomRelation, Pred: b, Terms: []ast.Term{ast.V(1), ast.V(2)}, Src: ir.SrcDerived},
+		},
+		DeltaIdx: -1,
+	}
+	stats := fakeStats{}
+	set(stats, a, ir.SrcDerived, 100)
+	set(stats, b, ir.SrcDerived, 100)
+	changed, err := Reorder(spj, stats, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Fatalf("tie should not reorder, got %+v", spj.Atoms)
+	}
+}
+
+func TestCardVectorAndDrift(t *testing.T) {
+	spj, vaflow, malias, _ := paperVAliasSubquery()
+	stats := fakeStats{}
+	set(stats, vaflow, ir.SrcDelta, 100)
+	set(stats, vaflow, ir.SrcDerived, 200)
+	set(stats, malias, ir.SrcDerived, 300)
+	v1 := CardVector(spj, stats)
+	if len(v1) != 3 || v1[0] != 100 || v1[1] != 200 || v1[2] != 300 {
+		t.Fatalf("CardVector = %v", v1)
+	}
+	set(stats, vaflow, ir.SrcDelta, 150)
+	v2 := CardVector(spj, stats)
+	if d := Drift(v1, v2); math.Abs(d-0.5) > 1e-9 {
+		t.Fatalf("Drift = %v, want 0.5", d)
+	}
+	if d := Drift(v1, v1); d != 0 {
+		t.Fatalf("self drift = %v", d)
+	}
+	if d := Drift([]int{1}, []int{1, 2}); !math.IsInf(d, 1) {
+		t.Fatalf("shape-change drift = %v, want +Inf", d)
+	}
+	// Zero-cardinality baseline uses denominator 1.
+	if d := Drift([]int{0}, []int{5}); math.Abs(d-5) > 1e-9 {
+		t.Fatalf("zero-base drift = %v, want 5", d)
+	}
+}
+
+func TestReorderEndToEndCorrectness(t *testing.T) {
+	// Random graphs: reordering every subquery must never change results.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 8; trial++ {
+		n := 4 + rng.Intn(8)
+		src := ".decl e(x:number, y:number)\n.decl p(x:number, y:number)\n"
+		for i := 0; i < n*2; i++ {
+			src += "e(" + itoa(rng.Intn(n)) + "," + itoa(rng.Intn(n)) + ").\n"
+		}
+		src += "p(x,y) :- e(x,y).\np(x,w) :- p(x,y), p(y,z), e(z,w).\n"
+
+		run := func(reorder bool, algo Algo) int {
+			cat := storage.NewCatalog()
+			res, err := parser.Parse(src, cat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			root, err := ir.Lower(res.Program)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if reorder {
+				stats := CatalogStats{Cat: cat}
+				opts := DefaultOptions()
+				opts.Algo = algo
+				ir.Walk(root, func(o ir.Op) {
+					if spj, ok := o.(*ir.SPJOp); ok {
+						if _, err := Reorder(spj, stats, opts); err != nil {
+							t.Fatal(err)
+						}
+					}
+				})
+			}
+			if err := runIR(cat, root); err != nil {
+				t.Fatal(err)
+			}
+			p, _ := cat.PredByName("p")
+			return p.Derived.Len()
+		}
+		base := run(false, AlgoSort)
+		if got := run(true, AlgoSort); got != base {
+			t.Fatalf("trial %d: sort reorder changed results %d != %d", trial, got, base)
+		}
+		if got := run(true, AlgoGreedy); got != base {
+			t.Fatalf("trial %d: greedy reorder changed results %d != %d", trial, got, base)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestExplainMentionsWeights(t *testing.T) {
+	spj, vaflow, malias, cat := paperVAliasSubquery()
+	stats := fakeStats{}
+	set(stats, vaflow, ir.SrcDelta, 10)
+	set(stats, vaflow, ir.SrcDerived, 20)
+	set(stats, malias, ir.SrcDerived, 30)
+	s := Explain(spj, cat, stats, DefaultOptions())
+	if s == "" {
+		t.Fatal("empty explanation")
+	}
+}

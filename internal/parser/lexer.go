@@ -1,0 +1,214 @@
+// Package parser implements a text frontend for Carac: a Soufflé-flavoured
+// Datalog subset with declarations, facts, rules, stratified negation, and
+// infix arithmetic/comparison constraints.
+//
+// Grammar (EBNF):
+//
+//	program    = { decl | clause } .
+//	decl       = ".decl" ident "(" param { "," param } ")" .
+//	param      = ident ":" ident .                       // type: number | symbol
+//	clause     = atom [ ":-" literal { "," literal } ] "." .
+//	literal    = "!" atom | atom | constraint .
+//	constraint = operand relop operand
+//	           | operand "=" operand arithop operand .
+//	atom       = ident "(" term { "," term } ")" .
+//	term       = integer | string | ident .              // ident = variable
+//	relop      = "<" | "<=" | ">" | ">=" | "=" | "!=" .
+//	arithop    = "+" | "-" | "*" | "/" | "%" .
+//
+// Line comments start with "//" or "#"; block comments are /* ... */.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tInt
+	tString
+	tPunct // ( ) , . :- ! < <= > >= = != + - * / % .decl
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) errf(line, col int, format string, args ...any) error {
+	return fmt.Errorf("parse error at %d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '#':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			startLine, startCol := l.line, l.col
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peekByte() == '*' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return l.errf(startLine, startCol, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '?' || unicode.IsLetter(rune(c))
+}
+
+func isIdentCont(c byte) bool {
+	return c == '_' || c == '?' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tEOF, line: l.line, col: l.col}, nil
+	}
+	startLine, startCol := l.line, l.col
+	c := l.peekByte()
+
+	mk := func(kind tokKind, text string) token {
+		return token{kind: kind, text: text, line: startLine, col: startCol}
+	}
+
+	switch {
+	case c == '"':
+		l.advance()
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, l.errf(startLine, startCol, "unterminated string literal")
+			}
+			ch := l.advance()
+			if ch == '"' {
+				break
+			}
+			if ch == '\\' && l.pos < len(l.src) {
+				esc := l.advance()
+				switch esc {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case '\\', '"':
+					sb.WriteByte(esc)
+				default:
+					return token{}, l.errf(startLine, startCol, "unknown escape \\%c", esc)
+				}
+				continue
+			}
+			sb.WriteByte(ch)
+		}
+		return mk(tString, sb.String()), nil
+
+	case unicode.IsDigit(rune(c)):
+		start := l.pos
+		for l.pos < len(l.src) && unicode.IsDigit(rune(l.peekByte())) {
+			l.advance()
+		}
+		return mk(tInt, l.src[start:l.pos]), nil
+
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentCont(l.peekByte()) {
+			l.advance()
+		}
+		return mk(tIdent, l.src[start:l.pos]), nil
+
+	case c == '.':
+		l.advance()
+		// ".decl" etc.
+		if l.pos < len(l.src) && isIdentStart(l.peekByte()) {
+			start := l.pos
+			for l.pos < len(l.src) && isIdentCont(l.peekByte()) {
+				l.advance()
+			}
+			return mk(tPunct, "."+l.src[start:l.pos]), nil
+		}
+		return mk(tPunct, "."), nil
+
+	case c == ':':
+		l.advance()
+		if l.peekByte() == '-' {
+			l.advance()
+			return mk(tPunct, ":-"), nil
+		}
+		return mk(tPunct, ":"), nil
+
+	case c == '<' || c == '>' || c == '!':
+		l.advance()
+		if l.peekByte() == '=' {
+			l.advance()
+			return mk(tPunct, string(c)+"="), nil
+		}
+		return mk(tPunct, string(c)), nil
+
+	case strings.IndexByte("(),=+-*/%", c) >= 0:
+		l.advance()
+		return mk(tPunct, string(c)), nil
+	}
+	return token{}, l.errf(startLine, startCol, "unexpected character %q", string(c))
+}

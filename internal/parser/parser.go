@@ -1,0 +1,389 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"carac/internal/ast"
+	"carac/internal/storage"
+)
+
+// Result of parsing one source unit.
+type Result struct {
+	Program *ast.Program
+	// Facts parsed from ground clauses, grouped by predicate, already
+	// inserted into the catalog's Derived databases.
+	FactCount int
+	// Decls lists declared predicates in source order.
+	Decls []storage.PredID
+}
+
+type parser struct {
+	lx      *lexer
+	tok     token
+	peeked  *token
+	catalog *storage.Catalog
+	prog    *ast.Program
+	res     *Result
+
+	// per-clause variable scope
+	varIDs   map[string]ast.VarID
+	varNames []string
+}
+
+// Parse parses src into catalog (declaring predicates and inserting facts)
+// and returns the rules as an ast.Program.
+func Parse(src string, catalog *storage.Catalog) (*Result, error) {
+	p := &parser{
+		lx:      newLexer(src),
+		catalog: catalog,
+		prog:    ast.NewProgram(catalog),
+	}
+	p.res = &Result{Program: p.prog}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	for p.tok.kind != tEOF {
+		if p.tok.kind == tPunct && p.tok.text == ".decl" {
+			if err := p.parseDecl(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := p.parseClause(); err != nil {
+			return nil, err
+		}
+	}
+	return p.res, nil
+}
+
+func (p *parser) advance() error {
+	if p.peeked != nil {
+		p.tok = *p.peeked
+		p.peeked = nil
+		return nil
+	}
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) peek() (token, error) {
+	if p.peeked == nil {
+		t, err := p.lx.next()
+		if err != nil {
+			return token{}, err
+		}
+		p.peeked = &t
+	}
+	return *p.peeked, nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("parse error at %d:%d: %s", p.tok.line, p.tok.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(kind tokKind, text string) error {
+	if p.tok.kind != kind || (text != "" && p.tok.text != text) {
+		return p.errf("expected %q, got %q", text, p.tok.text)
+	}
+	return p.advance()
+}
+
+// .decl name(arg:type, ...)
+func (p *parser) parseDecl() error {
+	if err := p.advance(); err != nil { // consume .decl
+		return err
+	}
+	if p.tok.kind != tIdent {
+		return p.errf("expected predicate name after .decl")
+	}
+	name := p.tok.text
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if err := p.expect(tPunct, "("); err != nil {
+		return err
+	}
+	arity := 0
+	for {
+		if p.tok.kind != tIdent {
+			return p.errf("expected parameter name")
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if err := p.expect(tPunct, ":"); err != nil {
+			return err
+		}
+		if p.tok.kind != tIdent {
+			return p.errf("expected parameter type")
+		}
+		ty := p.tok.text
+		if ty != "number" && ty != "symbol" {
+			return p.errf("unknown type %q (want number or symbol)", ty)
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+		arity++
+		if p.tok.kind == tPunct && p.tok.text == "," {
+			if err := p.advance(); err != nil {
+				return err
+			}
+			continue
+		}
+		break
+	}
+	if err := p.expect(tPunct, ")"); err != nil {
+		return err
+	}
+	id := p.catalog.Declare(name, arity)
+	p.res.Decls = append(p.res.Decls, id)
+	return nil
+}
+
+// clause = atom [ ":-" literal { "," literal } ] "."
+func (p *parser) parseClause() error {
+	p.varIDs = make(map[string]ast.VarID)
+	p.varNames = p.varNames[:0]
+
+	head, err := p.parseAtom(false)
+	if err != nil {
+		return err
+	}
+	if p.tok.kind == tPunct && p.tok.text == "." {
+		// Ground fact.
+		if err := p.advance(); err != nil {
+			return err
+		}
+		return p.insertFact(head)
+	}
+	if err := p.expect(tPunct, ":-"); err != nil {
+		return err
+	}
+	var body []ast.Atom
+	for {
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return err
+		}
+		body = append(body, lit)
+		if p.tok.kind == tPunct && p.tok.text == "," {
+			if err := p.advance(); err != nil {
+				return err
+			}
+			continue
+		}
+		break
+	}
+	if err := p.expect(tPunct, "."); err != nil {
+		return err
+	}
+	rule := &ast.Rule{
+		Head:     head,
+		Body:     body,
+		NumVars:  len(p.varNames),
+		VarNames: append([]string(nil), p.varNames...),
+	}
+	if err := p.prog.AddRule(rule); err != nil {
+		return fmt.Errorf("%s: %w", p.prog.FormatRule(rule), err)
+	}
+	return nil
+}
+
+func (p *parser) insertFact(head ast.Atom) error {
+	pd := p.catalog.Pred(head.Pred)
+	tuple := make([]storage.Value, len(head.Terms))
+	for i, t := range head.Terms {
+		if t.Kind != ast.TermConst {
+			return fmt.Errorf("fact for %s has non-constant argument", pd.Name)
+		}
+		tuple[i] = t.Val
+	}
+	pd.AddFact(tuple)
+	p.res.FactCount++
+	return nil
+}
+
+// literal = "!" atom | atom | constraint
+func (p *parser) parseLiteral() (ast.Atom, error) {
+	if p.tok.kind == tPunct && p.tok.text == "!" {
+		if err := p.advance(); err != nil {
+			return ast.Atom{}, err
+		}
+		a, err := p.parseAtom(true)
+		if err != nil {
+			return ast.Atom{}, err
+		}
+		a.Kind = ast.AtomNegated
+		return a, nil
+	}
+	// An identifier followed by "(" is an atom; otherwise it is the first
+	// operand of a constraint.
+	if p.tok.kind == tIdent {
+		nxt, err := p.peek()
+		if err != nil {
+			return ast.Atom{}, err
+		}
+		if nxt.kind == tPunct && nxt.text == "(" {
+			return p.parseAtom(true)
+		}
+	}
+	return p.parseConstraint()
+}
+
+// atom = ident "(" term { "," term } ")"
+// inBody selects whether identifiers introduce variables (bodies and rule
+// heads both allow variables; facts are checked by the caller).
+func (p *parser) parseAtom(inBody bool) (ast.Atom, error) {
+	_ = inBody
+	if p.tok.kind != tIdent {
+		return ast.Atom{}, p.errf("expected predicate name, got %q", p.tok.text)
+	}
+	name := p.tok.text
+	if err := p.advance(); err != nil {
+		return ast.Atom{}, err
+	}
+	if err := p.expect(tPunct, "("); err != nil {
+		return ast.Atom{}, err
+	}
+	var terms []ast.Term
+	for {
+		t, err := p.parseTerm()
+		if err != nil {
+			return ast.Atom{}, err
+		}
+		terms = append(terms, t)
+		if p.tok.kind == tPunct && p.tok.text == "," {
+			if err := p.advance(); err != nil {
+				return ast.Atom{}, err
+			}
+			continue
+		}
+		break
+	}
+	if err := p.expect(tPunct, ")"); err != nil {
+		return ast.Atom{}, err
+	}
+	pd, ok := p.catalog.PredByName(name)
+	if !ok {
+		return ast.Atom{}, p.errf("undeclared predicate %q", name)
+	}
+	if pd.Arity != len(terms) {
+		return ast.Atom{}, p.errf("predicate %q has arity %d, got %d arguments", name, pd.Arity, len(terms))
+	}
+	return ast.Rel(pd.ID, terms...), nil
+}
+
+func (p *parser) parseTerm() (ast.Term, error) {
+	switch p.tok.kind {
+	case tInt:
+		n, err := strconv.ParseInt(p.tok.text, 10, 32)
+		if err != nil {
+			return ast.Term{}, p.errf("integer %q out of 32-bit range", p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return ast.Term{}, err
+		}
+		return ast.C(storage.Value(n)), nil
+	case tString:
+		v := p.catalog.Symbols.Intern(p.tok.text)
+		if err := p.advance(); err != nil {
+			return ast.Term{}, err
+		}
+		return ast.C(v), nil
+	case tIdent:
+		if p.tok.text == "_" {
+			// Each wildcard is a fresh anonymous variable.
+			id := ast.VarID(len(p.varNames))
+			p.varNames = append(p.varNames, fmt.Sprintf("_%d", id))
+			if err := p.advance(); err != nil {
+				return ast.Term{}, err
+			}
+			return ast.V(id), nil
+		}
+		name := p.tok.text
+		id, ok := p.varIDs[name]
+		if !ok {
+			id = ast.VarID(len(p.varNames))
+			p.varIDs[name] = id
+			p.varNames = append(p.varNames, name)
+		}
+		if err := p.advance(); err != nil {
+			return ast.Term{}, err
+		}
+		return ast.V(id), nil
+	}
+	return ast.Term{}, p.errf("expected term, got %q", p.tok.text)
+}
+
+// constraint = operand relop operand | operand "=" operand arithop operand
+func (p *parser) parseConstraint() (ast.Atom, error) {
+	lhs, err := p.parseTerm()
+	if err != nil {
+		return ast.Atom{}, err
+	}
+	if p.tok.kind != tPunct {
+		return ast.Atom{}, p.errf("expected comparison operator, got %q", p.tok.text)
+	}
+	op := p.tok.text
+	if err := p.advance(); err != nil {
+		return ast.Atom{}, err
+	}
+	rhs, err := p.parseTerm()
+	if err != nil {
+		return ast.Atom{}, err
+	}
+
+	if op == "=" && p.tok.kind == tPunct {
+		switch p.tok.text {
+		case "+", "-", "*", "/", "%":
+			arith := p.tok.text
+			if err := p.advance(); err != nil {
+				return ast.Atom{}, err
+			}
+			rhs2, err := p.parseTerm()
+			if err != nil {
+				return ast.Atom{}, err
+			}
+			var b ast.Builtin
+			switch arith {
+			case "+":
+				b = ast.BAdd
+			case "-":
+				b = ast.BSub
+			case "*":
+				b = ast.BMul
+			case "/":
+				b = ast.BDiv
+			case "%":
+				b = ast.BMod
+			}
+			// lhs = rhs OP rhs2  ==>  builtin(rhs, rhs2, lhs)
+			return ast.Bi(b, rhs, rhs2, lhs), nil
+		}
+	}
+
+	var b ast.Builtin
+	switch op {
+	case "<":
+		b = ast.BLt
+	case "<=":
+		b = ast.BLe
+	case ">":
+		b = ast.BGt
+	case ">=":
+		b = ast.BGe
+	case "=":
+		b = ast.BEq
+	case "!=":
+		b = ast.BNe
+	default:
+		return ast.Atom{}, p.errf("unknown operator %q", op)
+	}
+	return ast.Bi(b, lhs, rhs), nil
+}

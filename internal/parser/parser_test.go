@@ -1,0 +1,239 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"carac/internal/ast"
+	"carac/internal/storage"
+)
+
+func parse(t *testing.T, src string) (*Result, *storage.Catalog) {
+	t.Helper()
+	cat := storage.NewCatalog()
+	res, err := Parse(src, cat)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return res, cat
+}
+
+func parseErr(t *testing.T, src string) error {
+	t.Helper()
+	cat := storage.NewCatalog()
+	_, err := Parse(src, cat)
+	if err == nil {
+		t.Fatalf("Parse(%q) succeeded, want error", src)
+	}
+	return err
+}
+
+const tcSrc = `
+.decl edge(x:number, y:number)
+.decl tc(x:number, y:number)
+
+edge(1, 2).
+edge(2, 3).
+
+tc(x, y) :- edge(x, y).
+tc(x, y) :- tc(x, z), edge(z, y).
+`
+
+func TestParseTransitiveClosure(t *testing.T) {
+	res, cat := parse(t, tcSrc)
+	if res.FactCount != 2 {
+		t.Fatalf("FactCount = %d, want 2", res.FactCount)
+	}
+	if len(res.Program.Rules) != 2 {
+		t.Fatalf("rules = %d, want 2", len(res.Program.Rules))
+	}
+	edge, ok := cat.PredByName("edge")
+	if !ok || edge.Derived.Len() != 2 {
+		t.Fatalf("edge facts = %v", edge)
+	}
+	got := res.Program.FormatRule(res.Program.Rules[1])
+	if got != "tc(x, y) :- tc(x, z), edge(z, y)." {
+		t.Fatalf("rule round-trip = %q", got)
+	}
+}
+
+func TestParseStringsInterned(t *testing.T) {
+	src := `
+.decl inverse(f:symbol, g:symbol)
+inverse("deserialize", "serialize").
+`
+	res, cat := parse(t, src)
+	if res.FactCount != 1 {
+		t.Fatalf("FactCount = %d", res.FactCount)
+	}
+	inv, _ := cat.PredByName("inverse")
+	row := inv.Derived.Row(0)
+	if cat.Symbols.Format(row[0]) != "deserialize" || cat.Symbols.Format(row[1]) != "serialize" {
+		t.Fatalf("interning broken: %v", row)
+	}
+}
+
+func TestParseNegation(t *testing.T) {
+	src := `
+.decl num(n:number)
+.decl composite(n:number)
+.decl prime(n:number)
+prime(p) :- num(p), !composite(p).
+`
+	res, _ := parse(t, src)
+	r := res.Program.Rules[0]
+	if r.Body[1].Kind != ast.AtomNegated {
+		t.Fatalf("negation not parsed: %+v", r.Body[1])
+	}
+}
+
+func TestParseArithmeticConstraint(t *testing.T) {
+	src := `
+.decl n(x:number)
+.decl succ(x:number, y:number)
+succ(x, y) :- n(x), y = x + 1.
+`
+	res, _ := parse(t, src)
+	r := res.Program.Rules[0]
+	b := r.Body[1]
+	if b.Kind != ast.AtomBuiltin || b.Builtin != ast.BAdd {
+		t.Fatalf("arith constraint = %+v", b)
+	}
+	// y = x + 1 parses as add(x, 1, y)
+	if b.Terms[0].Var != r.Body[0].Terms[0].Var {
+		t.Fatal("first addend should be x")
+	}
+	if b.Terms[1].Kind != ast.TermConst || b.Terms[1].Val != 1 {
+		t.Fatal("second addend should be const 1")
+	}
+}
+
+func TestParseComparisons(t *testing.T) {
+	src := `
+.decl n(x:number)
+.decl small(x:number)
+small(x) :- n(x), x < 10, x >= 0, x != 5.
+`
+	res, _ := parse(t, src)
+	r := res.Program.Rules[0]
+	wants := []ast.Builtin{ast.BLt, ast.BGe, ast.BNe}
+	for i, w := range wants {
+		if got := r.Body[1+i].Builtin; got != w {
+			t.Fatalf("constraint %d = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestParseWildcard(t *testing.T) {
+	src := `
+.decl edge(x:number, y:number)
+.decl node(x:number)
+node(x) :- edge(x, _).
+node(y) :- edge(_, y).
+`
+	res, _ := parse(t, src)
+	if len(res.Program.Rules) != 2 {
+		t.Fatal("rules missing")
+	}
+	// Two wildcards in one rule must be distinct variables.
+	src2 := `
+.decl t(a:number, b:number, c:number)
+.decl p(a:number)
+p(x) :- t(x, _, _).
+`
+	res2, _ := parse(t, src2)
+	r := res2.Program.Rules[0]
+	if r.Body[0].Terms[1].Var == r.Body[0].Terms[2].Var {
+		t.Fatal("wildcards must be fresh variables")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+// line comment
+# hash comment
+/* block
+   comment */
+.decl e(x:number, y:number)
+e(1, 2). // trailing
+`
+	res, _ := parse(t, src)
+	if res.FactCount != 1 {
+		t.Fatalf("FactCount = %d", res.FactCount)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{`.decl`, "expected predicate name"},
+		{`.decl e(x:float)`, "unknown type"},
+		{`e(1,2).`, "undeclared predicate"},
+		{".decl e(x:number)\ne(1,2).", "arity"},
+		{".decl e(x:number)\ne(x) :- e(y).", "unsafe"},
+		{`.decl e(x:number)
+e("unterminated`, "unterminated string"},
+		{`.decl e(x:number)
+/* no close`, "unterminated block comment"},
+		{".decl e(x:number)\ne(x) :-", "expected"},
+	}
+	for _, c := range cases {
+		err := parseErr(t, c.src)
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) error = %v, want substring %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestParseFactWithVariableRejected(t *testing.T) {
+	err := parseErr(t, ".decl e(x:number)\ne(x).")
+	if !strings.Contains(err.Error(), "non-constant") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParseEscapes(t *testing.T) {
+	src := `
+.decl s(x:symbol)
+s("a\nb\t\"c\"").
+`
+	_, cat := parse(t, src)
+	s, _ := cat.PredByName("s")
+	row := s.Derived.Row(0)
+	if cat.Symbols.Format(row[0]) != "a\nb\t\"c\"" {
+		t.Fatalf("escapes wrong: %q", cat.Symbols.Format(row[0]))
+	}
+}
+
+func TestParseRedeclareSameArityOK(t *testing.T) {
+	src := `
+.decl e(x:number, y:number)
+.decl e(x:number, y:number)
+e(1,2).
+`
+	res, _ := parse(t, src)
+	if res.FactCount != 1 {
+		t.Fatal("redeclare broke facts")
+	}
+}
+
+func TestParseLargeIntRejected(t *testing.T) {
+	err := parseErr(t, ".decl e(x:number)\ne(99999999999).")
+	if !strings.Contains(err.Error(), "32-bit") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParseEqualityConstraint(t *testing.T) {
+	src := `
+.decl n(x:number)
+.decl eqp(x:number, y:number)
+eqp(x, y) :- n(x), y = x.
+`
+	res, _ := parse(t, src)
+	b := res.Program.Rules[0].Body[1]
+	if b.Builtin != ast.BEq {
+		t.Fatalf("= constraint parsed as %v", b.Builtin)
+	}
+}

@@ -1,0 +1,102 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"carac/internal/storage"
+)
+
+// TestFormatParseRoundTrip: rendering a parsed rule with FormatRule and
+// re-parsing it yields the same structure.
+func TestFormatParseRoundTrip(t *testing.T) {
+	srcs := []string{
+		`
+.decl edge(x:number, y:number)
+.decl tc(x:number, y:number)
+tc(x, y) :- edge(x, y).
+tc(x, y) :- tc(x, z), edge(z, y).
+`,
+		`
+.decl num(n:number)
+.decl composite(n:number)
+.decl prime(n:number)
+composite(c) :- num(a), num(b), c = a * b, num(c).
+prime(p) :- num(p), !composite(p).
+`,
+		`
+.decl f(i:number, v:number)
+.decl lim(i:number)
+f(j, s) :- f(i, a), j = i + 2, lim(m), j <= m, k = j - 1, f(k, b), s = a + b.
+`,
+	}
+	for _, src := range srcs {
+		cat1 := storage.NewCatalog()
+		res1, err := Parse(src, cat1)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		// Re-render every rule and build a second program from it.
+		var sb strings.Builder
+		for _, pd := range cat1.Preds() {
+			sb.WriteString(".decl " + pd.Name + "(")
+			for i := 0; i < pd.Arity; i++ {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				sb.WriteString("c" + string(rune('0'+i)) + ":number")
+			}
+			sb.WriteString(")\n")
+		}
+		for _, r := range res1.Program.Rules {
+			line := res1.Program.FormatRule(r)
+			// FormatRule renders builtins in prefix form (e.g. "add(i, 2, j)"
+			// or "<=(j, m)"); convert back to the surface infix syntax.
+			line = infixify(line)
+			sb.WriteString(line + "\n")
+		}
+		cat2 := storage.NewCatalog()
+		res2, err := Parse(sb.String(), cat2)
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", sb.String(), err)
+		}
+		if len(res2.Program.Rules) != len(res1.Program.Rules) {
+			t.Fatalf("rule count changed: %d vs %d", len(res2.Program.Rules), len(res1.Program.Rules))
+		}
+		for i := range res1.Program.Rules {
+			a := res1.Program.FormatRule(res1.Program.Rules[i])
+			b := res2.Program.FormatRule(res2.Program.Rules[i])
+			if a != b {
+				t.Fatalf("round trip diverged:\n  %s\n  %s", a, b)
+			}
+		}
+	}
+}
+
+// infixify converts FormatRule's prefix builtin rendering back to the
+// parser's infix syntax: add(a, b, c) -> c = a + b, <=(a, b) -> a <= b, etc.
+func infixify(line string) string {
+	for name, op := range map[string]string{"add": "+", "sub": "-", "mul": "*", "div": "/", "mod": "%"} {
+		for {
+			i := strings.Index(line, name+"(")
+			if i < 0 {
+				break
+			}
+			end := strings.Index(line[i:], ")")
+			args := strings.Split(line[i+len(name)+1:i+end], ", ")
+			line = line[:i] + args[2] + " = " + args[0] + " " + op + " " + args[1] + line[i+end+1:]
+		}
+	}
+	for _, op := range []string{"<=", ">=", "!=", "<", ">", "="} {
+		for {
+			i := strings.Index(line, op+"(")
+			if i < 0 {
+				break
+			}
+			end := strings.Index(line[i:], ")")
+			args := strings.Split(line[i+len(op)+1:i+end], ", ")
+			line = line[:i] + args[0] + " " + op + " " + args[1] + line[i+end+1:]
+		}
+	}
+	return line
+}

@@ -1,0 +1,125 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Composite (multi-column) hash indexes. The paper's Carac builds one index
+// per single filter/join column (§IV); this extension implements the
+// auto-index-selection direction it cites (Subotić et al., VLDB'18) in a
+// simplified form: indexes over column *sets*, chosen from the bound-column
+// signatures that actually occur in rule bodies, so multi-key joins probe
+// once instead of probing one column and filtering the rest.
+
+type compositeIndex struct {
+	cols []int // ascending
+	m    map[string][]int32
+}
+
+func colsKey(cols []int) string {
+	b := make([]byte, 2*len(cols))
+	for i, c := range cols {
+		binary.LittleEndian.PutUint16(b[2*i:], uint16(c))
+	}
+	return string(b)
+}
+
+func (ci *compositeIndex) keyFor(vals []Value, scratch []byte) []byte {
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(scratch[4*i:], uint32(v))
+	}
+	return scratch[:4*len(vals)]
+}
+
+// BuildCompositeIndex registers (and backfills) a hash index over the given
+// column set (order-insensitive; at least two columns — use BuildIndex for
+// one). Maintained incrementally on insert; registration survives Clear.
+func (r *Relation) BuildCompositeIndex(cols []int) {
+	if len(cols) < 2 {
+		panic(fmt.Sprintf("storage: composite index on %q needs >= 2 columns, got %v", r.name, cols))
+	}
+	sorted := append([]int(nil), cols...)
+	sort.Ints(sorted)
+	for i, c := range sorted {
+		if c < 0 || c >= r.arity {
+			panic(fmt.Sprintf("storage: composite index column %d out of range for %q/%d", c, r.name, r.arity))
+		}
+		if i > 0 && sorted[i-1] == c {
+			panic(fmt.Sprintf("storage: duplicate composite index column %d for %q", c, r.name))
+		}
+	}
+	key := colsKey(sorted)
+	if r.composites == nil {
+		r.composites = make(map[string]*compositeIndex)
+	}
+	if _, ok := r.composites[key]; ok {
+		return
+	}
+	ci := &compositeIndex{cols: sorted, m: make(map[string][]int32)}
+	vals := make([]Value, len(sorted))
+	scratch := make([]byte, 4*len(sorted))
+	n := int32(r.Len())
+	for row := int32(0); row < n; row++ {
+		t := r.Row(row)
+		for i, c := range sorted {
+			vals[i] = t[c]
+		}
+		k := string(ci.keyFor(vals, scratch))
+		ci.m[k] = append(ci.m[k], row)
+	}
+	r.composites[key] = ci
+}
+
+// HasCompositeIndex reports whether an index over exactly this column set is
+// registered.
+func (r *Relation) HasCompositeIndex(cols []int) bool {
+	sorted := append([]int(nil), cols...)
+	sort.Ints(sorted)
+	_, ok := r.composites[colsKey(sorted)]
+	return ok
+}
+
+// CompositeIndexes returns the registered column sets.
+func (r *Relation) CompositeIndexes() [][]int {
+	out := make([][]int, 0, len(r.composites))
+	for _, ci := range r.composites {
+		out = append(out, append([]int(nil), ci.cols...))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// ProbeComposite returns the rows whose columns cols (ascending) equal vals
+// (in the same order). ok is false when no such composite index exists.
+func (r *Relation) ProbeComposite(cols []int, vals []Value) ([]int32, bool) {
+	ci, ok := r.composites[colsKey(cols)]
+	if !ok {
+		return nil, false
+	}
+	scratch := make([]byte, 4*len(vals))
+	return ci.m[string(ci.keyFor(vals, scratch))], true
+}
+
+// DistinctCount returns the number of distinct values in column col as
+// observed by its incremental index, or -1 when col is unindexed. This is
+// the cheap "online statistics" alternative the paper mentions (§IV,
+// Selectivity): no extra maintenance cost because the index already exists.
+func (r *Relation) DistinctCount(col int) int {
+	idx, ok := r.indexes[col]
+	if !ok {
+		return -1
+	}
+	return len(idx)
+}

@@ -1,0 +1,169 @@
+package storage
+
+import "fmt"
+
+// PredID identifies a predicate inside a Catalog. Ids are dense and assigned
+// in declaration order, so they can index slices.
+type PredID int32
+
+// PredicateDB bundles the three per-predicate relations of the semi-naive
+// evaluation scheme (paper §V-B1, §V-D):
+//
+//   - Derived: every fact discovered so far (the "derived database", ⋆).
+//   - DeltaKnown: facts first discovered in the previous iteration,
+//     read-only during the current iteration (δ).
+//   - DeltaNew: facts discovered in the current iteration, write-only.
+//
+// Splitting the delta into a read-only Known and a write-only New database
+// is what lets any IROp boundary act as a JIT safe point and enables
+// parallel/asynchronous work: readers and writers never share a relation.
+type PredicateDB struct {
+	ID    PredID
+	Name  string
+	Arity int
+
+	Derived    *Relation
+	DeltaKnown *Relation
+	DeltaNew   *Relation
+
+	// EDB predicates hold only ground facts (no rules derive them); their
+	// deltas stay empty after seeding.
+	EDB bool
+}
+
+func newPredicateDB(id PredID, name string, arity int) *PredicateDB {
+	return &PredicateDB{
+		ID:         id,
+		Name:       name,
+		Arity:      arity,
+		Derived:    NewRelation(name+"⋆", arity),
+		DeltaKnown: NewRelation(name+"δ", arity),
+		DeltaNew:   NewRelation(name+"δ'", arity),
+	}
+}
+
+// AddFact inserts a ground fact into Derived, returning true if new.
+// Facts become visible to the first iteration via SeedDeltas.
+func (p *PredicateDB) AddFact(t []Value) bool {
+	return p.Derived.Insert(t)
+}
+
+// SeedDeltas copies Derived into DeltaKnown, making every initial fact
+// "newly discovered" for the first semi-naive iteration.
+func (p *PredicateDB) SeedDeltas() {
+	p.DeltaKnown.Clear()
+	p.DeltaKnown.InsertAll(p.Derived)
+}
+
+// SwapClear implements SwapClearOp for one predicate: merge the facts
+// discovered this iteration into Derived, swap the read-only and write-only
+// delta databases, and clear the relation that will become the next
+// write-only delta (paper §V-B1).
+func (p *PredicateDB) SwapClear() {
+	p.Derived.InsertAll(p.DeltaNew)
+	p.DeltaKnown, p.DeltaNew = p.DeltaNew, p.DeltaKnown
+	// Relation names travel with the structs; swap them back so Derived/δ/δ'
+	// naming stays meaningful in debug output.
+	p.DeltaKnown.name, p.DeltaNew.name = p.Name+"δ", p.Name+"δ'"
+	p.DeltaNew.Clear()
+}
+
+// BuildIndexes registers indexes on the given columns across all three
+// relations, so probes work regardless of which database an atom reads.
+func (p *PredicateDB) BuildIndexes(cols []int) {
+	for _, c := range cols {
+		p.Derived.BuildIndex(c)
+		p.DeltaKnown.BuildIndex(c)
+		p.DeltaNew.BuildIndex(c)
+	}
+}
+
+// BuildCompositeIndexes registers one composite index per column set across
+// all three relations (auto-index selection extension).
+func (p *PredicateDB) BuildCompositeIndexes(sets [][]int) {
+	for _, cols := range sets {
+		p.Derived.BuildCompositeIndex(cols)
+		p.DeltaKnown.BuildCompositeIndex(cols)
+		p.DeltaNew.BuildCompositeIndex(cols)
+	}
+}
+
+// Reset drops all tuples from the three relations (index registrations are
+// kept), returning the predicate to its pre-run state.
+func (p *PredicateDB) Reset() {
+	p.Derived.Clear()
+	p.DeltaKnown.Clear()
+	p.DeltaNew.Clear()
+}
+
+// Catalog owns every PredicateDB of a program plus the shared symbol table.
+// It is the single mutable store the executor, optimizer, and JIT all read;
+// because all program state lives here (never on an execution stack), any
+// IROp node is a valid point to switch between interpretation and compiled
+// code (paper §V-B3).
+type Catalog struct {
+	Symbols *SymbolTable
+	preds   []*PredicateDB
+	byName  map[string]PredID
+}
+
+// NewCatalog returns an empty catalog with a fresh symbol table.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		Symbols: NewSymbolTable(),
+		byName:  make(map[string]PredID),
+	}
+}
+
+// Declare registers a predicate, returning its dense id. Re-declaring an
+// existing name with the same arity returns the existing id; a different
+// arity panics (schema conflict).
+func (c *Catalog) Declare(name string, arity int) PredID {
+	if id, ok := c.byName[name]; ok {
+		if c.preds[id].Arity != arity {
+			panic(fmt.Sprintf("storage: predicate %q redeclared with arity %d (was %d)", name, arity, c.preds[id].Arity))
+		}
+		return id
+	}
+	id := PredID(len(c.preds))
+	c.preds = append(c.preds, newPredicateDB(id, name, arity))
+	c.byName[name] = id
+	return id
+}
+
+// Pred returns the PredicateDB for id.
+func (c *Catalog) Pred(id PredID) *PredicateDB { return c.preds[id] }
+
+// PredByName looks a predicate up by name.
+func (c *Catalog) PredByName(name string) (*PredicateDB, bool) {
+	id, ok := c.byName[name]
+	if !ok {
+		return nil, false
+	}
+	return c.preds[id], true
+}
+
+// NumPreds returns the number of declared predicates.
+func (c *Catalog) NumPreds() int { return len(c.preds) }
+
+// Preds returns the predicate slice indexed by PredID. Callers must not
+// mutate it.
+func (c *Catalog) Preds() []*PredicateDB { return c.preds }
+
+// ResetFacts clears all derived and delta data in every predicate, keeping
+// declarations and index registrations. Used between repeated benchmark runs.
+func (c *Catalog) ResetFacts() {
+	for _, p := range c.preds {
+		p.Reset()
+	}
+}
+
+// TotalDerived returns the total number of tuples across all Derived
+// relations — the headline "facts discovered" statistic.
+func (c *Catalog) TotalDerived() int {
+	n := 0
+	for _, p := range c.preds {
+		n += p.Derived.Len()
+	}
+	return n
+}

@@ -1,0 +1,165 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPredicateDBSwapClearMergesIntoDerived(t *testing.T) {
+	c := NewCatalog()
+	id := c.Declare("tc", 2)
+	p := c.Pred(id)
+
+	p.DeltaNew.Insert([]Value{1, 2})
+	p.DeltaNew.Insert([]Value{3, 4})
+	p.SwapClear()
+
+	if !p.Derived.Contains([]Value{1, 2}) || !p.Derived.Contains([]Value{3, 4}) {
+		t.Fatal("SwapClear did not merge DeltaNew into Derived")
+	}
+	if p.DeltaKnown.Len() != 2 {
+		t.Fatalf("DeltaKnown should hold the previous iteration's facts, len=%d", p.DeltaKnown.Len())
+	}
+	if p.DeltaNew.Len() != 0 {
+		t.Fatal("DeltaNew should be cleared after swap")
+	}
+}
+
+func TestPredicateDBSwapClearTwice(t *testing.T) {
+	c := NewCatalog()
+	p := c.Pred(c.Declare("r", 1))
+	p.DeltaNew.Insert([]Value{1})
+	p.SwapClear()
+	p.DeltaNew.Insert([]Value{2})
+	p.SwapClear()
+	if p.Derived.Len() != 2 {
+		t.Fatalf("Derived = %d, want 2", p.Derived.Len())
+	}
+	if p.DeltaKnown.Len() != 1 || !p.DeltaKnown.Contains([]Value{2}) {
+		t.Fatal("second swap lost iteration isolation")
+	}
+	p.SwapClear()
+	if p.DeltaKnown.Len() != 0 {
+		t.Fatal("empty iteration should leave empty DeltaKnown (fixpoint signal)")
+	}
+}
+
+func TestPredicateDBSeedDeltas(t *testing.T) {
+	c := NewCatalog()
+	p := c.Pred(c.Declare("edge", 2))
+	p.AddFact([]Value{1, 2})
+	p.AddFact([]Value{2, 3})
+	p.SeedDeltas()
+	if p.DeltaKnown.Len() != 2 {
+		t.Fatalf("SeedDeltas copied %d facts, want 2", p.DeltaKnown.Len())
+	}
+}
+
+func TestPredicateDBIndexesOnAllThree(t *testing.T) {
+	c := NewCatalog()
+	p := c.Pred(c.Declare("r", 2))
+	p.BuildIndexes([]int{0})
+	p.Derived.Insert([]Value{1, 2})
+	p.DeltaKnown.Insert([]Value{1, 3})
+	p.DeltaNew.Insert([]Value{1, 4})
+	for _, rel := range []*Relation{p.Derived, p.DeltaKnown, p.DeltaNew} {
+		rows, ok := rel.Probe(0, 1)
+		if !ok || len(rows) != 1 {
+			t.Fatalf("%s probe = %v,%v", rel.Name(), rows, ok)
+		}
+	}
+}
+
+func TestCatalogDeclareIdempotent(t *testing.T) {
+	c := NewCatalog()
+	a := c.Declare("edge", 2)
+	b := c.Declare("edge", 2)
+	if a != b {
+		t.Fatalf("re-declare returned new id %d != %d", b, a)
+	}
+	if c.NumPreds() != 1 {
+		t.Fatalf("NumPreds = %d, want 1", c.NumPreds())
+	}
+}
+
+func TestCatalogDeclareArityConflictPanics(t *testing.T) {
+	c := NewCatalog()
+	c.Declare("edge", 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity conflict should panic")
+		}
+	}()
+	c.Declare("edge", 3)
+}
+
+func TestCatalogLookups(t *testing.T) {
+	c := NewCatalog()
+	id := c.Declare("vP", 2)
+	p, ok := c.PredByName("vP")
+	if !ok || p.ID != id {
+		t.Fatalf("PredByName = %v,%v", p, ok)
+	}
+	if _, ok := c.PredByName("nope"); ok {
+		t.Fatal("PredByName found undeclared predicate")
+	}
+	if c.Pred(id).Name != "vP" {
+		t.Fatalf("Pred(%d).Name = %q", id, c.Pred(id).Name)
+	}
+}
+
+func TestCatalogResetFacts(t *testing.T) {
+	c := NewCatalog()
+	p := c.Pred(c.Declare("r", 1))
+	p.BuildIndexes([]int{0})
+	p.AddFact([]Value{1})
+	p.SeedDeltas()
+	p.DeltaNew.Insert([]Value{2})
+	c.ResetFacts()
+	if c.TotalDerived() != 0 || p.DeltaKnown.Len() != 0 || p.DeltaNew.Len() != 0 {
+		t.Fatal("ResetFacts left data behind")
+	}
+	if !p.Derived.HasIndex(0) {
+		t.Fatal("ResetFacts dropped index registration")
+	}
+}
+
+// Property: after any sequence of DeltaNew inserts and SwapClears, Derived
+// equals the union of everything ever inserted, and DeltaKnown equals the
+// genuinely-new facts of the last batch.
+func TestSwapClearInvariantProperty(t *testing.T) {
+	f := func(batches [][]int8) bool {
+		c := NewCatalog()
+		p := c.Pred(c.Declare("r", 1))
+		all := map[Value]bool{}
+		var lastNew map[Value]bool
+		for _, batch := range batches {
+			lastNew = map[Value]bool{}
+			for _, v := range batch {
+				tu := []Value{Value(v)}
+				if !p.Derived.Contains(tu) {
+					if p.DeltaNew.Insert(tu) {
+						lastNew[Value(v)] = true
+					}
+					all[Value(v)] = true
+				}
+			}
+			p.SwapClear()
+			if p.DeltaKnown.Len() != len(lastNew) {
+				return false
+			}
+		}
+		if p.Derived.Len() != len(all) {
+			return false
+		}
+		for v := range all {
+			if !p.Derived.Contains([]Value{v}) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

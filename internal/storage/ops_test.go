@@ -1,0 +1,190 @@
+package storage
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func mkRel(t *testing.T, name string, arity int, tuples ...[]Value) *Relation {
+	t.Helper()
+	r := NewRelation(name, arity)
+	for _, tu := range tuples {
+		r.Insert(tu)
+	}
+	return r
+}
+
+func TestSelectInto(t *testing.T) {
+	src := mkRel(t, "s", 2, []Value{1, 10}, []Value{2, 20}, []Value{3, 30})
+	dst := NewRelation("d", 2)
+	SelectInto(dst, src, func(row []Value) bool { return row[1] >= 20 })
+	if dst.Len() != 2 || !dst.Contains([]Value{2, 20}) || !dst.Contains([]Value{3, 30}) {
+		t.Fatalf("select result wrong: %v", dst.Snapshot())
+	}
+}
+
+func TestProjectInto(t *testing.T) {
+	src := mkRel(t, "s", 3, []Value{1, 2, 3}, []Value{4, 2, 6})
+	dst := NewRelation("d", 2)
+	ProjectInto(dst, src, []int{2, 1})
+	want := [][]Value{{3, 2}, {6, 2}}
+	got := dst.Snapshot()
+	sortTuples(got)
+	sortTuples(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("project = %v, want %v", got, want)
+	}
+}
+
+func TestProjectIntoDeduplicates(t *testing.T) {
+	src := mkRel(t, "s", 2, []Value{1, 7}, []Value{2, 7})
+	dst := NewRelation("d", 1)
+	ProjectInto(dst, src, []int{1})
+	if dst.Len() != 1 {
+		t.Fatalf("projection should deduplicate, len=%d", dst.Len())
+	}
+}
+
+func TestUnionInto(t *testing.T) {
+	a := mkRel(t, "a", 1, []Value{1}, []Value{2})
+	b := mkRel(t, "b", 1, []Value{2}, []Value{3})
+	dst := NewRelation("d", 1)
+	UnionInto(dst, a, b)
+	if dst.Len() != 3 {
+		t.Fatalf("union len = %d, want 3", dst.Len())
+	}
+}
+
+func TestJoinIntoBasic(t *testing.T) {
+	// edge(x,y) ⋈_{y=x'} edge(x',y')
+	e := mkRel(t, "e", 2, []Value{1, 2}, []Value{2, 3}, []Value{2, 4})
+	dst := NewRelation("d", 4)
+	JoinInto(dst, e, e, 1, 0)
+	want := [][]Value{{1, 2, 2, 3}, {1, 2, 2, 4}, {2, 3, 3, 0}}
+	_ = want
+	if dst.Len() != 2 {
+		t.Fatalf("join len = %d, want 2: %v", dst.Len(), dst.Snapshot())
+	}
+	if !dst.Contains([]Value{1, 2, 2, 3}) || !dst.Contains([]Value{1, 2, 2, 4}) {
+		t.Fatalf("join missing rows: %v", dst.Snapshot())
+	}
+}
+
+func TestJoinIntoUsesIndexWhenPresent(t *testing.T) {
+	l := mkRel(t, "l", 2, []Value{1, 5}, []Value{2, 6})
+	r := NewRelation("r", 2)
+	r.BuildIndex(0)
+	r.Insert([]Value{5, 100})
+	r.Insert([]Value{6, 200})
+	r.Insert([]Value{7, 300})
+	dst := NewRelation("d", 4)
+	JoinInto(dst, l, r, 1, 0)
+	if dst.Len() != 2 {
+		t.Fatalf("indexed join len = %d, want 2", dst.Len())
+	}
+}
+
+func TestDiffInto(t *testing.T) {
+	a := mkRel(t, "a", 1, []Value{1}, []Value{2}, []Value{3})
+	b := mkRel(t, "b", 1, []Value{2})
+	dst := NewRelation("d", 1)
+	DiffInto(dst, a, b)
+	if dst.Len() != 2 || dst.Contains([]Value{2}) {
+		t.Fatalf("diff = %v", dst.Snapshot())
+	}
+}
+
+func TestIteratorPullMatchesPush(t *testing.T) {
+	r := NewRelation("r", 2)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		r.Insert([]Value{Value(rng.Intn(30)), Value(rng.Intn(30))})
+	}
+	var push [][]Value
+	r.Each(func(row []Value) bool {
+		push = append(push, append([]Value(nil), row...))
+		return true
+	})
+	var pull [][]Value
+	it := r.Iter()
+	for row, ok := it.Next(); ok; row, ok = it.Next() {
+		pull = append(pull, append([]Value(nil), row...))
+	}
+	if !reflect.DeepEqual(push, pull) {
+		t.Fatal("pull-based iteration disagrees with push-based")
+	}
+}
+
+func TestIteratorReset(t *testing.T) {
+	r := mkRel(t, "r", 1, []Value{1}, []Value{2})
+	it := r.Iter()
+	it.Next()
+	it.Next()
+	if _, ok := it.Next(); ok {
+		t.Fatal("iterator should be exhausted")
+	}
+	it.Reset()
+	row, ok := it.Next()
+	if !ok || row[0] != 1 {
+		t.Fatal("Reset did not rewind")
+	}
+}
+
+// Property: join is commutative up to column permutation.
+func TestJoinCommutativityProperty(t *testing.T) {
+	f := func(ls, rs [][2]int8) bool {
+		l := NewRelation("l", 2)
+		r := NewRelation("r", 2)
+		for _, tp := range ls {
+			l.Insert([]Value{Value(tp[0]), Value(tp[1])})
+		}
+		for _, tp := range rs {
+			r.Insert([]Value{Value(tp[0]), Value(tp[1])})
+		}
+		lr := NewRelation("lr", 4)
+		JoinInto(lr, l, r, 1, 0)
+		rl := NewRelation("rl", 4)
+		JoinInto(rl, r, l, 0, 1)
+		if lr.Len() != rl.Len() {
+			return false
+		}
+		ok := true
+		lr.Each(func(row []Value) bool {
+			if !rl.Contains([]Value{row[2], row[3], row[0], row[1]}) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: A ∖ B followed by union with (A ∩ B) reconstructs A.
+func TestDiffUnionReconstructionProperty(t *testing.T) {
+	f := func(as, bs []int8) bool {
+		a := NewRelation("a", 1)
+		b := NewRelation("b", 1)
+		for _, v := range as {
+			a.Insert([]Value{Value(v)})
+		}
+		for _, v := range bs {
+			b.Insert([]Value{Value(v)})
+		}
+		diff := NewRelation("diff", 1)
+		DiffInto(diff, a, b)
+		inter := NewRelation("inter", 1)
+		SelectInto(inter, a, func(row []Value) bool { return b.Contains(row) })
+		recon := NewRelation("recon", 1)
+		UnionInto(recon, diff, inter)
+		return relEqual(recon, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

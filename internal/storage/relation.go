@@ -1,0 +1,245 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Relation stores a set of fixed-arity tuples in insertion order with exact
+// duplicate elimination and optional incremental single-column hash indexes.
+//
+// Rows live in a flat []Value arena so scans are sequential and
+// allocation-light; tuple identity is tracked with byte-packed keys in a Go
+// map. Indexes registered with BuildIndex are maintained incrementally on
+// every insert, which is how Carac builds indexes "as each rule is defined
+// ... incrementally before execution begins" (paper §IV, Index selection).
+type Relation struct {
+	name  string
+	arity int
+
+	arena []Value             // len = count*arity
+	set   map[string]struct{} // packed-key dedup set
+
+	indexes    map[int]map[Value][]int32  // column -> value -> row ids
+	composites map[string]*compositeIndex // column-set key -> index
+	scratch    []byte                     // reusable key buffer
+	cscratch   []byte                     // composite-key buffer
+}
+
+// NewRelation creates an empty relation with the given name and arity.
+// Arity must be at least 1.
+func NewRelation(name string, arity int) *Relation {
+	if arity < 1 {
+		panic(fmt.Sprintf("storage: relation %q needs arity >= 1, got %d", name, arity))
+	}
+	return &Relation{
+		name:    name,
+		arity:   arity,
+		set:     make(map[string]struct{}),
+		scratch: make([]byte, 4*arity),
+	}
+}
+
+// Name returns the relation's name.
+func (r *Relation) Name() string { return r.name }
+
+// Arity returns the number of columns.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the number of distinct tuples currently stored.
+func (r *Relation) Len() int { return len(r.arena) / r.arity }
+
+// Empty reports whether the relation holds no tuples.
+func (r *Relation) Empty() bool { return len(r.arena) == 0 }
+
+func (r *Relation) pack(t []Value) []byte {
+	b := r.scratch
+	for i, v := range t {
+		binary.LittleEndian.PutUint32(b[4*i:], uint32(v))
+	}
+	return b
+}
+
+// Insert adds tuple t, returning true if it was not already present.
+// It panics if len(t) differs from the relation arity.
+func (r *Relation) Insert(t []Value) bool {
+	if len(t) != r.arity {
+		panic(fmt.Sprintf("storage: insert arity %d into %q/%d", len(t), r.name, r.arity))
+	}
+	key := r.pack(t)
+	if _, dup := r.set[string(key)]; dup {
+		return false
+	}
+	r.set[string(key)] = struct{}{}
+	row := int32(r.Len())
+	r.arena = append(r.arena, t...)
+	for col, idx := range r.indexes {
+		v := t[col]
+		idx[v] = append(idx[v], row)
+	}
+	if r.composites != nil {
+		t = r.Row(row) // arena-backed view (t may be caller-owned)
+		for _, ci := range r.composites {
+			if cap(r.cscratch) < 4*len(ci.cols) {
+				r.cscratch = make([]byte, 4*len(ci.cols))
+			}
+			b := r.cscratch[:4*len(ci.cols)]
+			for i, c := range ci.cols {
+				binary.LittleEndian.PutUint32(b[4*i:], uint32(t[c]))
+			}
+			ci.m[string(b)] = append(ci.m[string(b)], row)
+		}
+	}
+	return true
+}
+
+// Contains reports whether tuple t is present.
+func (r *Relation) Contains(t []Value) bool {
+	if len(t) != r.arity {
+		return false
+	}
+	_, ok := r.set[string(r.pack(t))]
+	return ok
+}
+
+// Row returns a view of row i (valid until the next Insert reallocates the
+// arena; callers must not mutate it).
+func (r *Relation) Row(i int32) []Value {
+	off := int(i) * r.arity
+	return r.arena[off : off+r.arity : off+r.arity]
+}
+
+// Each calls f for every tuple in insertion order until f returns false.
+func (r *Relation) Each(f func(row []Value) bool) {
+	for off := 0; off < len(r.arena); off += r.arity {
+		if !f(r.arena[off : off+r.arity : off+r.arity]) {
+			return
+		}
+	}
+}
+
+// BuildIndex registers (and backfills) a hash index on column col. Indexes
+// persist across Clear: the registration survives, the entries are dropped.
+func (r *Relation) BuildIndex(col int) {
+	if col < 0 || col >= r.arity {
+		panic(fmt.Sprintf("storage: index column %d out of range for %q/%d", col, r.name, r.arity))
+	}
+	if r.indexes == nil {
+		r.indexes = make(map[int]map[Value][]int32)
+	}
+	if _, ok := r.indexes[col]; ok {
+		return
+	}
+	idx := make(map[Value][]int32)
+	n := int32(r.Len())
+	for row := int32(0); row < n; row++ {
+		v := r.Row(row)[col]
+		idx[v] = append(idx[v], row)
+	}
+	r.indexes[col] = idx
+}
+
+// HasIndex reports whether an index is registered on column col.
+func (r *Relation) HasIndex(col int) bool {
+	_, ok := r.indexes[col]
+	return ok
+}
+
+// IndexedColumns returns the registered index columns in ascending order.
+func (r *Relation) IndexedColumns() []int {
+	cols := make([]int, 0, len(r.indexes))
+	for c := range r.indexes {
+		cols = append(cols, c)
+	}
+	sort.Ints(cols)
+	return cols
+}
+
+// Probe returns the row ids whose column col equals v, using the hash index.
+// It returns (nil, false) if no index is registered on col.
+func (r *Relation) Probe(col int, v Value) ([]int32, bool) {
+	idx, ok := r.indexes[col]
+	if !ok {
+		return nil, false
+	}
+	return idx[v], true
+}
+
+// Clear removes all tuples but keeps index registrations.
+func (r *Relation) Clear() {
+	r.arena = r.arena[:0]
+	// Replacing the map is faster than deleting every key for large sets and
+	// returns memory to the allocator between iterations.
+	r.set = make(map[string]struct{})
+	for col := range r.indexes {
+		r.indexes[col] = make(map[Value][]int32)
+	}
+	for _, ci := range r.composites {
+		ci.m = make(map[string][]int32)
+	}
+}
+
+// TruncateTo discards all but the first n tuples, rebuilding the dedup set
+// and indexes. It supports resetting a relation to its ground-fact baseline
+// between repeated runs (ground facts are always inserted before any
+// derivation, so they occupy the arena prefix).
+func (r *Relation) TruncateTo(n int) {
+	if n < 0 || n >= r.Len() {
+		return
+	}
+	r.arena = r.arena[:n*r.arity]
+	r.set = make(map[string]struct{}, n)
+	for col := range r.indexes {
+		r.indexes[col] = make(map[Value][]int32)
+	}
+	for _, ci := range r.composites {
+		ci.m = make(map[string][]int32)
+	}
+	for row := int32(0); row < int32(n); row++ {
+		t := r.Row(row)
+		r.set[string(r.pack(t))] = struct{}{}
+		for col, idx := range r.indexes {
+			v := t[col]
+			idx[v] = append(idx[v], row)
+		}
+		for _, ci := range r.composites {
+			if cap(r.cscratch) < 4*len(ci.cols) {
+				r.cscratch = make([]byte, 4*len(ci.cols))
+			}
+			b := r.cscratch[:4*len(ci.cols)]
+			for i, c := range ci.cols {
+				binary.LittleEndian.PutUint32(b[4*i:], uint32(t[c]))
+			}
+			ci.m[string(b)] = append(ci.m[string(b)], row)
+		}
+	}
+}
+
+// InsertAll inserts every tuple of src into r, returning the number of
+// tuples that were new. The relations must have equal arity.
+func (r *Relation) InsertAll(src *Relation) int {
+	if src.arity != r.arity {
+		panic(fmt.Sprintf("storage: InsertAll arity mismatch %q/%d <- %q/%d", r.name, r.arity, src.name, src.arity))
+	}
+	added := 0
+	src.Each(func(row []Value) bool {
+		if r.Insert(row) {
+			added++
+		}
+		return true
+	})
+	return added
+}
+
+// Snapshot returns a copy of all tuples, useful for tests and result output.
+func (r *Relation) Snapshot() [][]Value {
+	out := make([][]Value, 0, r.Len())
+	r.Each(func(row []Value) bool {
+		t := make([]Value, len(row))
+		copy(t, row)
+		out = append(out, t)
+		return true
+	})
+	return out
+}

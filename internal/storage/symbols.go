@@ -1,0 +1,79 @@
+// Package storage implements Carac's pluggable relational layer (paper §V-D):
+// interned values, tuple relations with deduplication and incremental hash
+// indexes, and the per-predicate Derived / DeltaKnown / DeltaNew database
+// split that enables the semi-naive fixpoint loop, flexible JIT safe points,
+// and cheap swap/clear between iterations.
+//
+// All tuple fields are 32-bit values, mirroring the paper's storage layout
+// ("each tuple contains 2 32-bit integers"). Integer constants represent
+// themselves and must be non-negative; string constants are interned to
+// negative ids by a SymbolTable so the two domains can never collide.
+package storage
+
+import "fmt"
+
+// Value is a single tuple field: either a non-negative integer constant that
+// represents itself, or a negative id produced by SymbolTable interning.
+type Value = int32
+
+// SymbolTable interns string constants into negative Values and resolves
+// them back. The zero value is not usable; call NewSymbolTable.
+//
+// Interned ids start at -1 and decrease, so they never collide with integer
+// constants, which are restricted to be non-negative.
+type SymbolTable struct {
+	byName map[string]Value
+	names  []string
+}
+
+// NewSymbolTable returns an empty symbol table.
+func NewSymbolTable() *SymbolTable {
+	return &SymbolTable{byName: make(map[string]Value)}
+}
+
+// Intern returns the Value for s, assigning a fresh negative id on first use.
+func (t *SymbolTable) Intern(s string) Value {
+	if v, ok := t.byName[s]; ok {
+		return v
+	}
+	t.names = append(t.names, s)
+	v := Value(-len(t.names)) // first symbol gets -1
+	t.byName[s] = v
+	return v
+}
+
+// Lookup returns the Value for s without interning. ok is false if s has
+// never been interned.
+func (t *SymbolTable) Lookup(s string) (v Value, ok bool) {
+	v, ok = t.byName[s]
+	return v, ok
+}
+
+// Name resolves an interned id back to its string. It panics if v is not an
+// interned symbol id from this table.
+func (t *SymbolTable) Name(v Value) string {
+	i := int(-v) - 1
+	if v >= 0 || i >= len(t.names) {
+		panic(fmt.Sprintf("storage: value %d is not an interned symbol", v))
+	}
+	return t.names[i]
+}
+
+// IsSymbol reports whether v is an interned symbol id (as opposed to an
+// integer constant).
+func IsSymbol(v Value) bool { return v < 0 }
+
+// Len returns the number of interned symbols.
+func (t *SymbolTable) Len() int { return len(t.names) }
+
+// Format renders v for human output: the symbol string if v is interned in
+// t, the decimal integer otherwise.
+func (t *SymbolTable) Format(v Value) string {
+	if IsSymbol(v) {
+		i := int(-v) - 1
+		if i < len(t.names) {
+			return t.names[i]
+		}
+	}
+	return fmt.Sprintf("%d", v)
+}

@@ -1,0 +1,82 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestSymbolTableInternStable(t *testing.T) {
+	st := NewSymbolTable()
+	a := st.Intern("alpha")
+	b := st.Intern("beta")
+	if a == b {
+		t.Fatalf("distinct strings interned to same id %d", a)
+	}
+	if got := st.Intern("alpha"); got != a {
+		t.Fatalf("re-intern changed id: %d -> %d", a, got)
+	}
+	if st.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", st.Len())
+	}
+}
+
+func TestSymbolTableIdsAreNegative(t *testing.T) {
+	st := NewSymbolTable()
+	for i := 0; i < 100; i++ {
+		v := st.Intern(fmt.Sprintf("sym%d", i))
+		if v >= 0 {
+			t.Fatalf("interned id %d is non-negative; collides with integer constants", v)
+		}
+		if !IsSymbol(v) {
+			t.Fatalf("IsSymbol(%d) = false for interned id", v)
+		}
+	}
+	if IsSymbol(0) || IsSymbol(42) {
+		t.Fatal("non-negative values must not be classified as symbols")
+	}
+}
+
+func TestSymbolTableRoundTrip(t *testing.T) {
+	st := NewSymbolTable()
+	f := func(s string) bool {
+		v := st.Intern(s)
+		return st.Name(v) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymbolTableLookup(t *testing.T) {
+	st := NewSymbolTable()
+	if _, ok := st.Lookup("missing"); ok {
+		t.Fatal("Lookup on empty table reported ok")
+	}
+	v := st.Intern("x")
+	got, ok := st.Lookup("x")
+	if !ok || got != v {
+		t.Fatalf("Lookup(x) = %d,%v want %d,true", got, ok, v)
+	}
+}
+
+func TestSymbolTableNamePanicsOnNonSymbol(t *testing.T) {
+	st := NewSymbolTable()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Name(7) should panic: 7 is an integer constant, not a symbol")
+		}
+	}()
+	st.Name(7)
+}
+
+func TestSymbolTableFormat(t *testing.T) {
+	st := NewSymbolTable()
+	v := st.Intern("serialize")
+	if got := st.Format(v); got != "serialize" {
+		t.Fatalf("Format(symbol) = %q", got)
+	}
+	if got := st.Format(42); got != "42" {
+		t.Fatalf("Format(42) = %q", got)
+	}
+}

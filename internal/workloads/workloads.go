@@ -1,0 +1,108 @@
+// Package workloads defines the paper's microbenchmarks (§VI-A): bounded
+// Ackermann, Fibonacci, and prime-sieve programs expressed as recursive
+// Datalog over arithmetic builtins. They are deliberately short-running —
+// their role in the evaluation is to find the point where online
+// optimization overhead stops paying off (§VI-B).
+//
+// Like the macro analyses, each program exists in a HandOptimized and an
+// Unoptimized formulation (adversarial but legal atom orders).
+package workloads
+
+import (
+	"carac/internal/analysis"
+	"carac/internal/core"
+)
+
+// Fibonacci builds fib(i, v) for i in 0..n via
+//
+//	fib(0,0). fib(1,1).
+//	fib(j,s) :- fib(i,a), j = i+2, j <= n, k = j-1, fib(k,b), s = a+b.
+func Fibonacci(form analysis.Formulation, n int) *analysis.Built {
+	p := core.NewProgram()
+	fib := p.Relation("fib", 2)
+	lim := p.Relation("lim", 1)
+	i, j, k, a, b, s, m := core.NewVar("i"), core.NewVar("j"), core.NewVar("k"),
+		core.NewVar("a"), core.NewVar("b"), core.NewVar("s"), core.NewVar("m")
+
+	if form == analysis.HandOptimized {
+		p.MustRule(fib.A(j, s),
+			fib.A(i, a), core.Add(i, 2, j), lim.A(m), core.Le(j, m),
+			core.Sub(j, 1, k), fib.A(k, b), core.Add(a, b, s))
+	} else {
+		// fib × fib cartesian product first, arithmetic filters last.
+		p.MustRule(fib.A(j, s),
+			fib.A(i, a), fib.A(k, b), core.Add(i, 1, k), core.Add(i, 2, j),
+			lim.A(m), core.Le(j, m), core.Add(a, b, s))
+	}
+	fib.MustFact(0, 0)
+	fib.MustFact(1, 1)
+	lim.MustFact(n)
+	return &analysis.Built{P: p, Output: fib}
+}
+
+// Ackermann builds the bounded Ackermann relation ack(m, n, r):
+//
+//	ack(0,n,r)   :- nat(n), r = n+1.
+//	ack(m1,0,r)  :- ack(m,1,r), m1 = m+1, m1 <= maxm.
+//	ack(m1,n1,r) :- ack(m1,n,k), m = m1-1, ack(m,k,r), n1 = n+1, n1 <= maxn.
+//
+// Values escaping the nat domain simply do not derive, keeping the fixpoint
+// finite; maxm/maxn bound the explored arguments.
+func Ackermann(form analysis.Formulation, maxM, maxN int) *analysis.Built {
+	p := core.NewProgram()
+	nat := p.Relation("nat", 1)
+	maxm := p.Relation("maxm", 1)
+	maxn := p.Relation("maxn", 1)
+	ack := p.Relation("ack", 3)
+	n, r, m, m1, n1, k, mm, nn := core.NewVar("n"), core.NewVar("r"), core.NewVar("m"),
+		core.NewVar("m1"), core.NewVar("n1"), core.NewVar("k"), core.NewVar("mm"), core.NewVar("nn")
+
+	p.MustRule(ack.A(0, n, r), nat.A(n), core.Add(n, 1, r))
+	if form == analysis.HandOptimized {
+		p.MustRule(ack.A(m1, 0, r),
+			ack.A(m, 1, r), core.Add(m, 1, m1), maxm.A(mm), core.Le(m1, mm))
+		p.MustRule(ack.A(m1, n1, r),
+			ack.A(m1, n, k), core.Sub(m1, 1, m), ack.A(m, k, r),
+			core.Add(n, 1, n1), maxn.A(nn), core.Le(n1, nn))
+	} else {
+		p.MustRule(ack.A(m1, 0, r),
+			maxm.A(mm), ack.A(m, 1, r), core.Add(m, 1, m1), core.Le(m1, mm))
+		// Scan the whole ack relation twice joining only on k, guards last.
+		p.MustRule(ack.A(m1, n1, r),
+			ack.A(m, k, r), ack.A(m1, n, k), core.Sub(m1, 1, m),
+			maxn.A(nn), core.Add(n, 1, n1), core.Le(n1, nn))
+	}
+	for i := 0; i <= maxN*16+16; i++ {
+		nat.MustFact(i)
+	}
+	maxm.MustFact(maxM)
+	maxn.MustFact(maxN)
+	return &analysis.Built{P: p, Output: ack}
+}
+
+// Primes builds the sieve via stratified negation:
+//
+//	composite(c) :- num(a), num(b), c = a*b, num(c).
+//	prime(p)     :- num(p), !composite(p).
+func Primes(form analysis.Formulation, n int) *analysis.Built {
+	p := core.NewProgram()
+	num := p.Relation("num", 1)
+	comp := p.Relation("composite", 1)
+	prime := p.Relation("prime", 1)
+	a, b, c, q := core.NewVar("a"), core.NewVar("b"), core.NewVar("c"), core.NewVar("q")
+
+	if form == analysis.HandOptimized {
+		p.MustRule(comp.A(c), num.A(a), num.A(b), core.Mul(a, b, c), num.A(c))
+	} else {
+		// The full num³ cube filtered afterwards.
+		p.MustRule(comp.A(c), num.A(a), num.A(b), num.A(c), core.Mul(a, b, c))
+	}
+	p.MustRule(prime.A(q), num.A(q), Not(comp.A(q)))
+	for i := 2; i <= n; i++ {
+		num.MustFact(i)
+	}
+	return &analysis.Built{P: p, Output: prime}
+}
+
+// Not re-exports core.Not for readability inside this package.
+func Not(a core.Atom) core.Atom { return core.Not(a) }

@@ -1,0 +1,120 @@
+package workloads
+
+import (
+	"testing"
+
+	"carac/internal/analysis"
+	"carac/internal/core"
+	"carac/internal/jit"
+	"carac/internal/storage"
+)
+
+func TestFibonacciValues(t *testing.T) {
+	for _, form := range []analysis.Formulation{analysis.HandOptimized, analysis.Unoptimized} {
+		b := Fibonacci(form, 20)
+		if _, err := b.P.Run(core.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if b.Output.Len() != 21 {
+			t.Fatalf("%v: |fib| = %d, want 21", form, b.Output.Len())
+		}
+		for _, c := range [][2]int{{10, 55}, {15, 610}, {20, 6765}} {
+			if !b.Output.Contains(c[0], c[1]) {
+				t.Fatalf("%v: fib(%d) != %d", form, c[0], c[1])
+			}
+		}
+	}
+}
+
+func TestAckermannValues(t *testing.T) {
+	for _, form := range []analysis.Formulation{analysis.HandOptimized, analysis.Unoptimized} {
+		b := Ackermann(form, 2, 12)
+		if _, err := b.P.Run(core.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		// ack(1, n) = n+2; ack(2, n) = 2n+3 (within the bounded domain).
+		cases := [][3]int{
+			{0, 5, 6},
+			{1, 3, 5},
+			{1, 10, 12},
+			{2, 2, 7},
+			{2, 5, 13},
+		}
+		for _, c := range cases {
+			if !b.Output.Contains(c[0], c[1], c[2]) {
+				t.Fatalf("%v: ack(%d,%d) != %d", form, c[0], c[1], c[2])
+			}
+		}
+	}
+}
+
+func TestAckermannFormulationsAgree(t *testing.T) {
+	a := Ackermann(analysis.HandOptimized, 2, 8)
+	u := Ackermann(analysis.Unoptimized, 2, 8)
+	ra, err := a.P.Run(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ru, err := u.P.Run(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Output.Len() != u.Output.Len() {
+		t.Fatalf("|ack| differs: %d vs %d", a.Output.Len(), u.Output.Len())
+	}
+	_ = ra
+	_ = ru
+	same := true
+	a.Output.Each(func(tu []storage.Value) bool {
+		if !u.Output.Contains(int(tu[0]), int(tu[1]), int(tu[2])) {
+			same = false
+			return false
+		}
+		return true
+	})
+	if !same {
+		t.Fatal("formulations derive different ack tuples")
+	}
+}
+
+func TestPrimesValues(t *testing.T) {
+	for _, form := range []analysis.Formulation{analysis.HandOptimized, analysis.Unoptimized} {
+		b := Primes(form, 50)
+		if _, err := b.P.Run(core.Options{Indexed: true}); err != nil {
+			t.Fatal(err)
+		}
+		want := []int{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47}
+		if b.Output.Len() != len(want) {
+			t.Fatalf("%v: %d primes, want %d", form, b.Output.Len(), len(want))
+		}
+		for _, v := range want {
+			if !b.Output.Contains(v) {
+				t.Fatalf("%v: missing prime %d", form, v)
+			}
+		}
+	}
+}
+
+func TestMicrosUnderJIT(t *testing.T) {
+	builders := map[string]func() *analysis.Built{
+		"fib":  func() *analysis.Built { return Fibonacci(analysis.Unoptimized, 15) },
+		"ack":  func() *analysis.Built { return Ackermann(analysis.Unoptimized, 2, 8) },
+		"prim": func() *analysis.Built { return Primes(analysis.Unoptimized, 40) },
+	}
+	for name, build := range builders {
+		ref := build()
+		if _, err := ref.P.Run(core.Options{}); err != nil {
+			t.Fatalf("%s ref: %v", name, err)
+		}
+		for _, backend := range []jit.Backend{jit.BackendIRGen, jit.BackendLambda, jit.BackendBytecode, jit.BackendQuotes} {
+			b := build()
+			if _, err := b.P.Run(core.Options{Indexed: true,
+				JIT: jit.Config{Backend: backend, Granularity: jit.GranUnionAll}}); err != nil {
+				t.Fatalf("%s %v: %v", name, backend, err)
+			}
+			if b.Output.Len() != ref.Output.Len() {
+				t.Fatalf("%s %v: |out| = %d, want %d", name, backend, b.Output.Len(), ref.Output.Len())
+			}
+		}
+	}
+}
