@@ -32,20 +32,25 @@ func newBenchRelation(indexed bool) *storage.Relation {
 
 var benchSizes = bench.SizesFor(bench.ScaleSmall)
 
-// runProgram benchmarks repeated runs of one prepared program.
-func runProgram(b *testing.B, built *analysis.Built, opts core.Options) {
+// runProgram benchmarks repeated runs of one prepared program, returning the
+// last run's Result for benchmarks that report cache metrics.
+func runProgram(b *testing.B, built *analysis.Built, opts core.Options) *core.Result {
 	b.Helper()
 	opts.Timeout = 2 * time.Minute
 	// Warm once (captures the ground-fact baseline, registers indexes).
 	if _, err := built.P.Run(opts); err != nil {
 		b.Fatal(err)
 	}
+	var res *core.Result
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := built.P.Run(opts); err != nil {
+		r, err := built.P.Run(opts)
+		if err != nil {
 			b.Fatal(err)
 		}
+		res = r
 	}
+	return res
 }
 
 // --- Table I: interpreted execution time -------------------------------
@@ -338,6 +343,81 @@ func BenchmarkAblation_Freshness(b *testing.B) {
 				JIT:     jit.Config{Backend: jit.BackendLambda, Granularity: jit.GranUnionAll, FreshnessThreshold: th},
 			})
 		})
+	}
+}
+
+// --- Plan cache & parallel executor -------------------------------------
+
+// BenchmarkPlanCache measures drift-gated plan reuse against the seed's
+// cold per-execution planning: the hit-rate metric demonstrates plans being
+// reused across fixpoint iterations, the reuse metric the fraction of
+// subquery executions that skipped planning entirely.
+func BenchmarkPlanCache(b *testing.B) {
+	sz := benchSizes
+	cspa := datagen.CSPAGraph(sz.CSPA, sz.Seed)
+	csda := datagen.CSDAGraph(sz.CSDA, sz.Seed)
+	builds := []struct {
+		name  string
+		build func() *analysis.Built
+	}{
+		{sz.CSPAName, func() *analysis.Built { return analysis.CSPA(analysis.HandOptimized, cspa) }},
+		{"CSDA", func() *analysis.Built { return analysis.CSDA(csda) }},
+	}
+	configs := []struct {
+		name string
+		opts core.Options
+	}{
+		{"ColdPlanning", core.Options{Indexed: true}},
+		{"PlanCache", core.Options{Indexed: true, PlanCache: true}},
+		{"Adaptive", core.Options{Indexed: true, AdaptivePlans: true}},
+	}
+	for _, w := range builds {
+		for _, c := range configs {
+			w, c := w, c
+			b.Run(w.name+"/"+c.name, func(b *testing.B) {
+				res := runProgram(b, w.build(), c.opts)
+				if c.opts.PlanCache || c.opts.AdaptivePlans {
+					b.ReportMetric(100*res.Plans.HitRate(), "hit%")
+					if res.Interp.SPJRuns > 0 {
+						b.ReportMetric(float64(res.Interp.PlanReuses)/float64(res.Interp.SPJRuns), "reuse/spj")
+					}
+					b.ReportMetric(float64(res.Interp.Reopts), "reopts")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkParallelFixpoint compares the sequential semi-naive driver
+// against the bounded-pool parallel rule executor on two workloads.
+func BenchmarkParallelFixpoint(b *testing.B) {
+	sz := benchSizes
+	cspa := datagen.CSPAGraph(sz.CSPA, sz.Seed)
+	csda := datagen.CSDAGraph(sz.CSDA, sz.Seed)
+	builds := []struct {
+		name  string
+		build func() *analysis.Built
+	}{
+		{sz.CSPAName, func() *analysis.Built { return analysis.CSPA(analysis.HandOptimized, cspa) }},
+		{"CSDA", func() *analysis.Built { return analysis.CSDA(csda) }},
+	}
+	configs := []struct {
+		name string
+		opts core.Options
+	}{
+		{"Sequential", core.Options{Indexed: true}},
+		{"Parallel", core.Options{Indexed: true, ParallelUnions: true}},
+		{"Parallel2", core.Options{Indexed: true, ParallelUnions: true, Workers: 2}},
+		{"ParallelPlanCache", core.Options{Indexed: true, ParallelUnions: true, PlanCache: true}},
+		{"ParallelAdaptive", core.Options{Indexed: true, ParallelUnions: true, AdaptivePlans: true}},
+	}
+	for _, w := range builds {
+		for _, c := range configs {
+			w, c := w, c
+			b.Run(w.name+"/"+c.name, func(b *testing.B) {
+				runProgram(b, w.build(), c.opts)
+			})
+		}
 	}
 }
 

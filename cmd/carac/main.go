@@ -4,6 +4,7 @@
 //	carac run prog.dl [-facts dir] [-backend off|irgen|lambda|bytecode|quotes]
 //	    [-granularity program|dowhile|unionall|union|spj] [-async] [-snippet]
 //	    [-indexed] [-naive] [-aot none|rules|facts] [-print rel1,rel2] [-stats]
+//	    [-plancache] [-adaptive] [-parallel] [-workers n]
 //
 // Fact files are TSV: one tuple per line, tab-separated, named <relation>.facts
 // inside -facts dir; numeric columns are integers, everything else is interned
@@ -24,6 +25,7 @@ import (
 	"carac/internal/ir"
 	"carac/internal/jit"
 	"carac/internal/optimizer"
+	"carac/internal/stats"
 	"carac/internal/storage"
 )
 
@@ -49,6 +51,10 @@ func run(args []string) error {
 	aot := fs.String("aot", "none", "ahead-of-time sort: none|rules|facts")
 	printRels := fs.String("print", "", "comma-separated relations to print")
 	stats := fs.Bool("stats", true, "print execution statistics")
+	plancache := fs.Bool("plancache", false, "cache access plans across subquery executions (drift-gated)")
+	adaptive := fs.Bool("adaptive", false, "re-optimize join orders on cardinality drift (implies -plancache)")
+	parallel := fs.Bool("parallel", false, "evaluate independent rules on a bounded worker pool")
+	workers := fs.Int("workers", 0, "parallel worker count (0 = GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 0, "abort after this duration")
 	explain := fs.Bool("explain", false, "print the IROp plan (with optimizer weights) before running")
 
@@ -100,10 +106,14 @@ func run(args []string) error {
 	}
 
 	opts := core.Options{
-		Indexed: *indexed,
-		Naive:   *naive,
-		AOT:     aotStage,
-		Timeout: *timeout,
+		Indexed:        *indexed,
+		Naive:          *naive,
+		AOT:            aotStage,
+		Timeout:        *timeout,
+		PlanCache:      *plancache,
+		AdaptivePlans:  *adaptive,
+		ParallelUnions: *parallel,
+		Workers:        *workers,
 		JIT: jit.Config{
 			Backend:     be,
 			Granularity: gr,
@@ -148,6 +158,11 @@ func run(args []string) error {
 				res.JIT.Compilations, res.JIT.CompileTime.Round(time.Microsecond),
 				res.JIT.CacheHits, res.JIT.StaleDrops, res.JIT.Reorders, res.JIT.Switchovers)
 		}
+		if *plancache || *adaptive {
+			fmt.Fprintf(os.Stderr, "plancache: hits=%d (fast=%d) cold=%d band=%d stale=%d reopts=%d hit-rate=%.1f%%\n",
+				res.Plans.Hits, res.Plans.FastHits, res.Plans.ColdMisses, res.Plans.BandMisses,
+				res.Plans.StaleDrops, res.Interp.Reopts, 100*res.Plans.HitRate())
+		}
 	}
 	return nil
 }
@@ -169,11 +184,11 @@ func explainPlan(p *core.Program, naive bool) error {
 	fmt.Println("-- plan --")
 	fmt.Print(ir.Dump(root, cat))
 	fmt.Println("-- subquery weights (live cardinalities) --")
-	stats := optimizer.CatalogStats{Cat: cat}
+	live := stats.Catalog{Cat: cat}
 	opts := optimizer.DefaultOptions()
 	ir.Walk(root, func(o ir.Op) {
 		if spj, ok := o.(*ir.SPJOp); ok {
-			fmt.Printf("rule %d: %s\n", spj.RuleIdx, optimizer.Explain(spj, cat, stats, opts))
+			fmt.Printf("rule %d: %s\n", spj.RuleIdx, optimizer.Explain(spj, cat, live, opts))
 		}
 	})
 	fmt.Println("-- end plan --")

@@ -12,6 +12,33 @@
 //   - cmd/caracbench — regenerate every table and figure of the paper;
 //   - cmd/datagen — emit the synthetic benchmark datasets;
 //   - bench_test.go — testing.B benchmarks, one per table/figure.
+//
+// # Statistics, plan cache, and the parallel executor
+//
+// Three subsystems extend the paper's design toward production scale:
+//
+//   - internal/stats is the unified statistics subsystem: live
+//     cardinalities, per-column distinct counts, and monotone drift counters
+//     are maintained incrementally inside the internal/storage mutation
+//     paths (insert, delta swap, truncate) and read in O(1) by the
+//     optimizer, the JIT freshness test, and the plan cache — never
+//     re-derived ad hoc.
+//
+//   - internal/plancache generalizes the JIT's one-off freshness test into
+//     a uniform drift-gated re-optimization policy. Interpreter access
+//     plans (and, via the shared policy, JIT compilation units) are cached
+//     keyed by (rule, atom order, cardinality band) and served while
+//     observed cardinality drift stays under a configurable threshold; a
+//     drift-driven miss re-optimizes the join order with live statistics
+//     before re-planning. The seed interpreter's per-execution planning
+//     becomes a cache lookup (core.Options.PlanCache / AdaptivePlans).
+//
+//   - The semi-naive fixpoint driver evaluates the independent rules of
+//     each iteration concurrently on a bounded, GOMAXPROCS-aware worker
+//     pool (core.Options.ParallelUnions / Workers): workers share the
+//     iteration-frozen catalog read-only, sink derivations into private
+//     delta buffers, and merge them into the real delta relations at the
+//     iteration barrier. ParallelUnions=false is the sequential fallback.
 package carac
 
 // Version identifies this reproduction build.

@@ -12,6 +12,7 @@ import (
 	"carac/internal/interp"
 	"carac/internal/ir"
 	"carac/internal/optimizer"
+	"carac/internal/stats"
 	"carac/internal/storage"
 )
 
@@ -35,10 +36,10 @@ func (t *tracer) Enter(op ir.Op, in *interp.Interp) func() error {
 		}
 		fmt.Println()
 	case *ir.SPJOp:
-		stats := optimizer.CatalogStats{Cat: t.cat}
-		changed, err := optimizer.Reorder(n, stats, optimizer.DefaultOptions())
+		live := stats.Catalog{Cat: t.cat}
+		changed, err := optimizer.Reorder(n, live, optimizer.DefaultOptions())
 		if err == nil && changed {
-			order := optimizer.Explain(n, t.cat, stats, optimizer.DefaultOptions())
+			order := optimizer.Explain(n, t.cat, live, optimizer.DefaultOptions())
 			if t.orders[n] != order {
 				t.orders[n] = order
 				fmt.Printf("    ↳ reordered subquery (rule %d): %s\n", n.RuleIdx, order)

@@ -1,0 +1,3 @@
+module carac
+
+go 1.24

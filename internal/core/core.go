@@ -26,6 +26,8 @@ import (
 	"carac/internal/jit"
 	"carac/internal/optimizer"
 	"carac/internal/parser"
+	"carac/internal/plancache"
+	"carac/internal/stats"
 	"carac/internal/storage"
 )
 
@@ -364,7 +366,7 @@ type Options struct {
 	// AOTStats overrides the statistics source for AOT reordering (e.g. a
 	// profile captured by a previous run, as in Soufflé's auto-tuner).
 	// Non-nil implies AOT even when AOT is AOTNone.
-	AOTStats optimizer.Stats
+	AOTStats stats.Source
 	// Naive evaluates without the semi-naive delta split (baseline engines).
 	Naive bool
 	// EliminateAliases runs the static alias-removal rewrite (§V-A).
@@ -376,10 +378,29 @@ type Options struct {
 	// Executor selects push- (default) or pull-based leaf-join execution
 	// (paper §V-D: the relational layer is pluggable).
 	Executor interp.Executor
-	// ParallelUnions evaluates each iteration's per-relation unions on
-	// separate goroutines — the parallelization the Known/New delta split
-	// enables (§V-D). Only honored in pure interpretation (no JIT).
+	// ParallelUnions evaluates each iteration's independent rules
+	// concurrently on a bounded worker pool with per-worker delta buffers
+	// merged at iteration barriers — the parallelization the Known/New delta
+	// split enables (§V-D). Only honored in pure interpretation (no JIT);
+	// false is the sequential fallback.
 	ParallelUnions bool
+	// Workers bounds the parallel pool; <= 0 selects GOMAXPROCS.
+	Workers int
+	// PlanCache caches compiled access plans across subquery executions,
+	// keyed by (rule, atom order, cardinality band) and served while
+	// observed cardinality drift stays under PlanCacheDrift — re-planning
+	// every subquery every iteration (the seed behaviour) becomes a cache
+	// lookup. Shared by the interpreter, the parallel workers, and (via the
+	// same drift policy) the JIT freshness test.
+	PlanCache bool
+	// PlanCacheDrift is the relative drift threshold gating plan reuse;
+	// <= 0 selects the default 0.5.
+	PlanCacheDrift float64
+	// AdaptivePlans re-optimizes a subquery's join order with live
+	// statistics whenever the plan cache reports a drift-driven miss — the
+	// paper's adaptive re-optimization policy running entirely inside the
+	// interpreter, no JIT attached. Implies PlanCache.
+	AdaptivePlans bool
 }
 
 // Result reports one Run's outcome.
@@ -387,15 +408,11 @@ type Result struct {
 	Duration time.Duration
 	Interp   interp.Stats
 	JIT      jit.Stats
+	// Plans reports plan-cache activity when Options.PlanCache was set.
+	Plans plancache.Stats
 	// TotalFacts is the number of derived tuples across all relations.
 	TotalFacts int
 }
-
-// unitStats reports cardinality 1 for every relation: the AOTRulesOnly
-// stats source (only selectivity differentiates atoms).
-type unitStats struct{}
-
-func (unitStats) Card(storage.PredID, ir.Source) int { return 1 }
 
 // Run executes the program to fixpoint under opts. Repeated Runs are
 // independent: derived state is reset to the ground-fact baseline captured
@@ -447,17 +464,17 @@ func (p *Program) Run(opts Options) (*Result, error) {
 
 	// Ahead-of-time ("macro") staging: freeze initial orders before timing.
 	if opts.AOT != AOTNone || opts.AOTStats != nil {
-		var stats optimizer.Stats = unitStats{}
+		var src stats.Source = stats.Unit{}
 		if opts.AOT == AOTFactsAndRules {
-			stats = optimizer.CatalogStats{Cat: p.cat}
+			src = stats.Catalog{Cat: p.cat}
 		}
 		if opts.AOTStats != nil {
-			stats = opts.AOTStats
+			src = opts.AOTStats
 		}
 		var aotErr error
 		ir.Walk(root, func(o ir.Op) {
 			if spj, ok := o.(*ir.SPJOp); ok {
-				if _, rerr := optimizer.Reorder(spj, stats, opts.JIT.Optimizer); rerr != nil && aotErr == nil {
+				if _, rerr := optimizer.Reorder(spj, src, opts.JIT.Optimizer); rerr != nil && aotErr == nil {
 					aotErr = rerr
 				}
 			}
@@ -477,6 +494,20 @@ func (p *Program) Run(opts Options) (*Result, error) {
 	in := interp.New(p.cat, ictrl)
 	in.Executor = opts.Executor
 	in.Parallel = opts.ParallelUnions
+	in.Workers = opts.Workers
+	var plans *plancache.Cache[*interp.Plan]
+	if opts.PlanCache || opts.AdaptivePlans {
+		plans = plancache.New[*interp.Plan](plancache.Policy{Threshold: opts.PlanCacheDrift})
+		in.Plans = plans
+		if opts.AdaptivePlans {
+			live := stats.Catalog{Cat: p.cat}
+			oopts := opts.JIT.Optimizer
+			in.Reopt = func(spj *ir.SPJOp) bool {
+				changed, err := optimizer.Reorder(spj, live, oopts)
+				return err == nil && changed
+			}
+		}
+	}
 	if opts.Timeout > 0 {
 		timer := time.AfterFunc(opts.Timeout, in.Cancel)
 		defer timer.Stop()
@@ -492,6 +523,9 @@ func (p *Program) Run(opts Options) (*Result, error) {
 		Duration:   dt,
 		Interp:     in.Stats,
 		TotalFacts: p.cat.TotalDerived(),
+	}
+	if plans != nil {
+		res.Plans = plans.Stats()
 	}
 	if ctrl != nil {
 		ctrl.Close()

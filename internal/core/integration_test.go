@@ -113,6 +113,13 @@ func TestKitchenSinkAllConfigurations(t *testing.T) {
 		cfg{"pull", Options{Indexed: true, Executor: interp.ExecPull}},
 		cfg{"parallel", Options{Indexed: true, ParallelUnions: true}},
 		cfg{"parallel-pull", Options{Indexed: true, ParallelUnions: true, Executor: interp.ExecPull}},
+		cfg{"parallel-2workers", Options{Indexed: true, ParallelUnions: true, Workers: 2}},
+		cfg{"plancache", Options{Indexed: true, PlanCache: true}},
+		cfg{"plancache-adaptive", Options{Indexed: true, AdaptivePlans: true}},
+		cfg{"plancache-parallel", Options{Indexed: true, PlanCache: true, ParallelUnions: true}},
+		cfg{"plancache-parallel-adaptive", Options{Indexed: true, AdaptivePlans: true, ParallelUnions: true}},
+		cfg{"plancache-jit-irgen", Options{Indexed: true, PlanCache: true,
+			JIT: jit.Config{Backend: jit.BackendIRGen, Granularity: jit.GranSPJ}}},
 		cfg{"aot-rules", Options{Indexed: true, AOT: AOTRulesOnly}},
 		cfg{"aot-facts", Options{Indexed: true, AOT: AOTFactsAndRules}},
 		cfg{"aliases", Options{Indexed: true, EliminateAliases: true}},

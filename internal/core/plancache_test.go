@@ -1,0 +1,238 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"carac/internal/interp"
+)
+
+// buildRandomGraph returns a graph-reachability program over a random edge
+// set — the workload the parallel executor and plan cache are validated on.
+func buildRandomGraph(t testing.TB, nodes, edges int, seed int64) (*Program, *Relation) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	p := NewProgram()
+	edge := p.Relation("edge", 2)
+	reach := p.Relation("reach", 2)
+	x, y, z := NewVar("x"), NewVar("y"), NewVar("z")
+	p.MustRule(reach.A(x, y), edge.A(x, y))
+	p.MustRule(reach.A(x, y), reach.A(x, z), edge.A(z, y))
+	for i := 0; i < edges; i++ {
+		edge.MustFact(rng.Intn(nodes), rng.Intn(nodes))
+	}
+	return p, reach
+}
+
+func snapshotRel(r *Relation) map[[2]int32]bool {
+	out := make(map[[2]int32]bool, r.Len())
+	r.Each(func(t []int32) bool {
+		out[[2]int32{t[0], t[1]}] = true
+		return true
+	})
+	return out
+}
+
+// TestPlanCacheMatchesColdPlanning is the cache-correctness property test:
+// across random graphs, every plan-cache configuration (plain, adaptive,
+// parallel, pull) must derive exactly the same facts as cold per-execution
+// planning, while actually reusing plans across fixpoint iterations.
+func TestPlanCacheMatchesColdPlanning(t *testing.T) {
+	for trial := int64(0); trial < 6; trial++ {
+		nodes := 8 + int(trial)*4
+		cold, coldReach := buildRandomGraph(t, nodes, nodes*3, trial)
+		coldRes, err := cold.Run(Options{Indexed: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := snapshotRel(coldReach)
+
+		cfgs := []struct {
+			name string
+			opts Options
+			// wantReuse: the default drift threshold guarantees reuse across
+			// iterations; a 1% threshold may legitimately re-plan every time.
+			wantReuse bool
+		}{
+			{"plancache", Options{Indexed: true, PlanCache: true}, true},
+			{"adaptive", Options{Indexed: true, AdaptivePlans: true}, true},
+			{"tight-drift", Options{Indexed: true, AdaptivePlans: true, PlanCacheDrift: 0.01}, false},
+			{"parallel", Options{Indexed: true, PlanCache: true, ParallelUnions: true}, true},
+			{"parallel-adaptive", Options{Indexed: true, AdaptivePlans: true, ParallelUnions: true}, true},
+			{"pull", Options{Indexed: true, PlanCache: true, Executor: interp.ExecPull}, true},
+		}
+		for _, c := range cfgs {
+			p, reach := buildRandomGraph(t, nodes, nodes*3, trial)
+			res, err := p.Run(c.opts)
+			if err != nil {
+				t.Fatalf("%s: %v", c.name, err)
+			}
+			got := snapshotRel(reach)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d %s: |reach| = %d, want %d", trial, c.name, len(got), len(want))
+			}
+			for k := range want {
+				if !got[k] {
+					t.Fatalf("trial %d %s: missing fact %v", trial, c.name, k)
+				}
+			}
+			if res.TotalFacts != coldRes.TotalFacts {
+				t.Fatalf("trial %d %s: total facts %d != %d", trial, c.name, res.TotalFacts, coldRes.TotalFacts)
+			}
+			if c.wantReuse && res.Interp.PlanReuses == 0 {
+				t.Fatalf("trial %d %s: plan cache never reused a plan (%+v)", trial, c.name, res.Plans)
+			}
+			if c.wantReuse && res.Plans.Hits == 0 {
+				t.Fatalf("trial %d %s: cache reported no hits (%+v)", trial, c.name, res.Plans)
+			}
+		}
+	}
+}
+
+// TestDriftTriggersReoptimization forces cardinality skew — the derived
+// relation grows from empty to hundreds of tuples across iterations — and
+// asserts the drift gate actually fires: stale/band evictions happen and the
+// adaptive hook re-optimizes join orders mid-fixpoint.
+func TestDriftTriggersReoptimization(t *testing.T) {
+	p, tc := buildTC(t, 60) // long chain: |tc| grows superlinearly across iterations
+	res, err := p.Run(Options{Indexed: true, AdaptivePlans: true, PlanCacheDrift: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.Len() != 60*61/2 {
+		t.Fatalf("|tc| = %d, want %d", tc.Len(), 60*61/2)
+	}
+	if res.Plans.BandMisses+res.Plans.StaleDrops == 0 {
+		t.Fatalf("forced skew produced no drift evictions: %+v", res.Plans)
+	}
+	if res.Interp.Reopts == 0 {
+		t.Fatalf("drift never triggered re-optimization: %+v", res.Interp)
+	}
+	if res.Interp.PlanReuses == 0 {
+		t.Fatalf("no plan reuse despite repeated iterations: %+v", res.Interp)
+	}
+
+	// Same skew with a loose gate: far fewer rebuilds, same results.
+	p2, tc2 := buildTC(t, 60)
+	res2, err := p2.Run(Options{Indexed: true, AdaptivePlans: true, PlanCacheDrift: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc2.Len() != tc.Len() {
+		t.Fatalf("drift threshold changed results: %d vs %d", tc2.Len(), tc.Len())
+	}
+	if res2.Interp.PlanBuilds >= res.Interp.PlanBuilds {
+		t.Fatalf("loose gate should re-plan less: %d >= %d", res2.Interp.PlanBuilds, res.Interp.PlanBuilds)
+	}
+}
+
+// TestParallelWorkerPool exercises the bounded pool at several widths on the
+// graph-reachability workload (run under -race in CI) and checks the
+// sequential fallback agrees.
+func TestParallelWorkerPool(t *testing.T) {
+	seq, seqReach := buildRandomGraph(t, 40, 120, 99)
+	seqRes, err := seq.Run(Options{Indexed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := snapshotRel(seqReach)
+
+	for _, workers := range []int{0, 1, 2, 3, runtime.GOMAXPROCS(0) * 2} {
+		p, reach := buildRandomGraph(t, 40, 120, 99)
+		res, err := p.Run(Options{Indexed: true, ParallelUnions: true, Workers: workers, PlanCache: true})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := snapshotRel(reach)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: |reach| = %d, want %d", workers, len(got), len(want))
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("workers=%d: missing fact %v", workers, k)
+			}
+		}
+		if res.Interp.Derivations != seqRes.Interp.Derivations {
+			t.Fatalf("workers=%d: derivations %d != sequential %d", workers, res.Interp.Derivations, seqRes.Interp.Derivations)
+		}
+		if res.Interp.Iterations != seqRes.Interp.Iterations {
+			t.Fatalf("workers=%d: iterations %d != sequential %d", workers, res.Interp.Iterations, seqRes.Interp.Iterations)
+		}
+	}
+}
+
+// TestParallelRaceStress drives the worker pool with many equally heavy
+// recursive rules deriving the same head predicate (each over its own edge
+// relation, so no rule finishes early), keeping several workers concurrently
+// probing the same frozen Derived relation (Contains on the shared sink) and
+// the shared plan cache for whole iterations. CI runs it under -race; the
+// larger CSPA benchmark matrix (also under -race in CI) is the primary
+// stressor — it reproduced the shared pack-scratch race an earlier Contains
+// implementation had.
+func TestParallelRaceStress(t *testing.T) {
+	build := func() (*Program, *Relation) {
+		p := NewProgram()
+		reach := p.Relation("reach", 2)
+		x, y, z := NewVar("x"), NewVar("y"), NewVar("z")
+		rng := rand.New(rand.NewSource(7))
+		const n = 300
+		for _, name := range []string{"e1", "e2", "e3", "e4", "e5", "e6"} {
+			e := p.Relation(name, 2)
+			p.MustRule(reach.A(x, y), e.A(x, y))
+			p.MustRule(reach.A(x, y), reach.A(x, z), e.A(z, y))
+			p.MustRule(reach.A(x, y), e.A(z, x), reach.A(z, y))
+			for i := 0; i < 500; i++ {
+				e.MustFact(rng.Intn(n), rng.Intn(n))
+			}
+		}
+		return p, reach
+	}
+	seq, seqReach := build()
+	if _, err := seq.Run(Options{Indexed: true}); err != nil {
+		t.Fatal(err)
+	}
+	par, parReach := build()
+	if _, err := par.Run(Options{Indexed: true, ParallelUnions: true, PlanCache: true}); err != nil {
+		t.Fatal(err)
+	}
+	if seqReach.Len() != parReach.Len() {
+		t.Fatalf("parallel stress diverged: %d vs %d facts", parReach.Len(), seqReach.Len())
+	}
+}
+
+// TestParallelAggregates: per-worker buffering must not disturb grouped
+// aggregation results.
+func TestParallelAggregates(t *testing.T) {
+	build := func() (*Program, *Relation) {
+		p := NewProgram()
+		edge := p.Relation("edge", 2)
+		reach := p.Relation("reach", 2)
+		deg := p.Relation("deg", 2)
+		x, y, z, n := NewVar("x"), NewVar("y"), NewVar("z"), NewVar("n")
+		p.MustRule(reach.A(x, y), edge.A(x, y))
+		p.MustRule(reach.A(x, y), reach.A(x, z), edge.A(z, y))
+		p.MustAggRule(deg.A(x, n), 1, Count, nil, reach.A(x, y))
+		for i := 0; i < 15; i++ {
+			edge.MustFact(i, i+1)
+		}
+		return p, deg
+	}
+	p1, deg1 := build()
+	if _, err := p1.Run(Options{Indexed: true}); err != nil {
+		t.Fatal(err)
+	}
+	p2, deg2 := build()
+	if _, err := p2.Run(Options{Indexed: true, ParallelUnions: true, PlanCache: true}); err != nil {
+		t.Fatal(err)
+	}
+	if deg1.Len() != deg2.Len() {
+		t.Fatalf("parallel aggregation diverged: %d vs %d groups", deg1.Len(), deg2.Len())
+	}
+	s1, s2 := snapshotRel(deg1), snapshotRel(deg2)
+	for k := range s1 {
+		if !s2[k] {
+			t.Fatalf("parallel aggregation missing group %v", k)
+		}
+	}
+}

@@ -24,10 +24,8 @@ import (
 	"carac/internal/analysis"
 	"carac/internal/core"
 	"carac/internal/interp"
-	"carac/internal/ir"
 	"carac/internal/jit"
-	"carac/internal/optimizer"
-	"carac/internal/storage"
+	"carac/internal/stats"
 )
 
 // SouffleMode selects the baseline AOT engine's mode.
@@ -85,13 +83,14 @@ func RunSouffle(b *analysis.Built, mode SouffleMode, cxxLatency, timeout time.Du
 	}
 	switch mode {
 	case SouffleInterp:
-		res, err := b.P.Run(core.Options{Indexed: true, Timeout: timeout})
+		res, err := b.P.Run(core.Options{Indexed: true, PlanCache: true, Timeout: timeout})
 		return report(res, 0, err)
 
 	case SouffleCompile:
 		res, err := b.P.Run(core.Options{
-			Indexed: true,
-			Timeout: timeout,
+			Indexed:   true,
+			PlanCache: true,
+			Timeout:   timeout,
 			JIT: jit.Config{
 				Backend:            jit.BackendLambda,
 				Granularity:        jit.GranProgram,
@@ -104,7 +103,7 @@ func RunSouffle(b *analysis.Built, mode SouffleMode, cxxLatency, timeout time.Du
 	case SouffleAutoTune:
 		// Offline profiling pass: run to fixpoint, observe cardinalities.
 		t0 := time.Now()
-		prof, err := b.P.Run(core.Options{Indexed: true, Timeout: timeout})
+		prof, err := b.P.Run(core.Options{Indexed: true, PlanCache: true, Timeout: timeout})
 		profileTime := time.Since(t0)
 		if err != nil {
 			if errors.Is(err, interp.ErrCancelled) {
@@ -112,11 +111,12 @@ func RunSouffle(b *analysis.Built, mode SouffleMode, cxxLatency, timeout time.Du
 			}
 			return nil, err
 		}
-		stats := captureProfile(b.P.Catalog(), prof.Interp.Iterations)
+		profile := stats.CaptureProfile(b.P.Catalog(), prof.Interp.Iterations)
 		res, err := b.P.Run(core.Options{
-			Indexed:  true,
-			Timeout:  timeout,
-			AOTStats: stats,
+			Indexed:   true,
+			PlanCache: true,
+			Timeout:   timeout,
+			AOTStats:  profile,
 			JIT: jit.Config{
 				Backend:            jit.BackendLambda,
 				Granularity:        jit.GranProgram,
@@ -134,7 +134,7 @@ func RunSouffle(b *analysis.Built, mode SouffleMode, cxxLatency, timeout time.Du
 // baseline does in Table II: naive evaluation, interpreted, as-written
 // orders (indexes on).
 func RunDLX(b *analysis.Built, timeout time.Duration) (*Report, error) {
-	res, err := b.P.Run(core.Options{Indexed: true, Naive: true, Timeout: timeout})
+	res, err := b.P.Run(core.Options{Indexed: true, Naive: true, PlanCache: true, Timeout: timeout})
 	return report(res, 0, err)
 }
 
@@ -150,35 +150,4 @@ func report(res *core.Result, profile time.Duration, err error) (*Report, error)
 		ProfileTime: profile,
 		TotalFacts:  res.TotalFacts,
 	}, nil
-}
-
-// profileStats is the captured offline profile: fixpoint cardinalities for
-// derived relations and fixpoint-size/iterations as the delta estimate.
-type profileStats struct {
-	derived map[storage.PredID]int
-	delta   map[storage.PredID]int
-}
-
-// Card implements optimizer.Stats from the profile.
-func (p profileStats) Card(pred storage.PredID, src ir.Source) int {
-	if src == ir.SrcDelta {
-		return p.delta[pred]
-	}
-	return p.derived[pred]
-}
-
-func captureProfile(cat *storage.Catalog, iterations int64) optimizer.Stats {
-	if iterations < 1 {
-		iterations = 1
-	}
-	p := profileStats{
-		derived: make(map[storage.PredID]int, cat.NumPreds()),
-		delta:   make(map[storage.PredID]int, cat.NumPreds()),
-	}
-	for _, pd := range cat.Preds() {
-		n := pd.Derived.Len()
-		p.derived[pd.ID] = n
-		p.delta[pd.ID] = n / int(iterations)
-	}
-	return p
 }

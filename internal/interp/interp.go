@@ -3,12 +3,16 @@ package interp
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"carac/internal/ast"
 	"carac/internal/eval"
 	"carac/internal/ir"
+	"carac/internal/plancache"
+	"carac/internal/stats"
 	"carac/internal/storage"
 )
 
@@ -43,6 +47,8 @@ type Stats struct {
 	Derivations int64 // tuples newly inserted into DeltaNew
 	SPJRuns     int64 // subquery executions
 	PlanBuilds  int64 // access plans constructed by the interpreter
+	PlanReuses  int64 // subquery executions served from the plan cache
+	Reopts      int64 // drift-triggered join-order re-optimizations
 	Compiled    int64 // subtrees executed via a Controller thunk
 }
 
@@ -58,17 +64,71 @@ type Interp struct {
 	// Executor selects push- or pull-based leaf-join execution (§V-D).
 	Executor Executor
 
-	// Parallel evaluates the UnionAllOps of each DoWhile iteration on
-	// separate goroutines — sound because the delta split makes readers
-	// (Derived, DeltaKnown) and writers (each predicate's own DeltaNew)
-	// disjoint within an iteration (§V-D). Only honored without a
-	// Controller (JIT state is single-threaded).
+	// Parallel evaluates the independent rules of each DoWhile iteration
+	// concurrently on a bounded worker pool — sound because the delta split
+	// makes readers (Derived, DeltaKnown) frozen for the iteration and each
+	// worker writes only its private delta buffer, merged into the real
+	// DeltaNew relations at the iteration barrier (§V-D). Only honored
+	// without a Controller (JIT state is single-threaded). Parallel=false is
+	// the sequential fallback.
 	Parallel bool
+	// Workers bounds the pool; <= 0 selects GOMAXPROCS.
+	Workers int
+
+	// Plans, when non-nil, caches access plans across subquery executions
+	// keyed by (rule, atom order, cardinality band): the repeated per-
+	// execution planning the seed interpreter paid becomes a cache lookup,
+	// re-planned only when observed cardinality drift exceeds the cache's
+	// policy threshold. Shared by the pool workers.
+	Plans *plancache.Cache[*Plan]
+	// Reopt, when non-nil, is invoked when the plan cache reports a drift-
+	// driven miss, giving the caller a chance to re-optimize the subquery's
+	// join order with live statistics before the plan is rebuilt (the
+	// adaptive policy of paper §IV, without any JIT attached). It returns
+	// whether the atom order changed.
+	Reopt func(spj *ir.SPJOp) bool
 
 	cancel atomic.Bool
 	// cancelHook chains a parent interpreter's cancellation into workers
-	// spawned by parallel union evaluation.
+	// spawned by parallel rule evaluation.
 	cancelHook func() bool
+	// bufSink, when non-nil, redirects subquery derivations into a private
+	// per-worker buffer relation instead of the sink's DeltaNew (parallel
+	// rule evaluation; merged at the iteration barrier).
+	bufSink func(pred storage.PredID) *storage.Relation
+	// workers holds the lazily built pool state of runLoopParallel.
+	workers []*workerState
+	// keyMemo caches each subquery's structural plan-cache key, invalidated
+	// via ir.SPJOp.OrderGen so the atoms are re-hashed only after a reorder
+	// rather than per execution.
+	keyMemo map[*ir.SPJOp]spjKeyMemo
+	scratch vecScratch
+}
+
+type spjKeyMemo struct {
+	gen int
+	key plancache.Key
+}
+
+// vecScratch holds per-interpreter buffers reused for the per-execution
+// cardinality and drift-counter vectors (the cache copies what it keeps, so
+// reuse is safe; each pool worker owns its sub-interpreter's scratch).
+type vecScratch struct {
+	cards    []int
+	counters []uint64
+}
+
+// keyFor returns the subquery's plan-cache key, memoized per atom order.
+func (in *Interp) keyFor(spj *ir.SPJOp) plancache.Key {
+	if m, ok := in.keyMemo[spj]; ok && m.gen == spj.OrderGen {
+		return m.key
+	}
+	k := plancache.KeyFor(spj)
+	if in.keyMemo == nil {
+		in.keyMemo = make(map[*ir.SPJOp]spjKeyMemo)
+	}
+	in.keyMemo[spj] = spjKeyMemo{gen: spj.OrderGen, key: k}
+	return k
 }
 
 // Cancel aborts the run at the next safe point (callable from any
@@ -179,12 +239,59 @@ func DeltasEmpty(cat *storage.Catalog, preds []storage.PredID) bool {
 	return true
 }
 
-// execSPJ interprets one subquery: it builds an access plan for the current
-// atom order (every time — this repeated planning is the interpretation
-// overhead compiled backends avoid) and streams matches into the sink via
-// the configured executor.
+// planFor resolves the access plan for the subquery's current atom order:
+// without a plan cache it builds one per execution (the interpretation
+// overhead compiled backends avoid); with one it serves the cached plan
+// while the drift-gated freshness policy holds, re-optimizing the join order
+// via the Reopt hook when it does not. Cached plans are immutable; the
+// returned copy carries this execution's Cancel/Yield state.
+func (in *Interp) planFor(spj *ir.SPJOp) (*Plan, error) {
+	if in.Plans == nil {
+		in.Stats.PlanBuilds++
+		return BuildPlan(spj, in.Cat)
+	}
+	src := stats.Catalog{Cat: in.Cat}
+	cards := stats.AppendCardVector(in.scratch.cards[:0], spj, src)
+	counters := stats.AppendCounterVector(in.scratch.counters[:0], spj, in.Cat)
+	in.scratch.cards, in.scratch.counters = cards, counters
+	key := in.keyFor(spj)
+	if p, ok, stale := in.Plans.Lookup(key, counters, cards); ok {
+		in.Stats.PlanReuses++
+		cp := *p
+		return &cp, nil
+	} else if stale && in.Reopt != nil {
+		in.Stats.Reopts++
+		if in.Reopt(spj) {
+			// The order changed: key and per-atom vectors follow the new
+			// permutation, and the re-optimized order may already have a
+			// plan cached from an earlier visit to this cardinality regime
+			// (band return) — consult the cache again before rebuilding.
+			key = in.keyFor(spj)
+			cards = stats.AppendCardVector(cards[:0], spj, src)
+			counters = stats.AppendCounterVector(counters[:0], spj, in.Cat)
+			in.scratch.cards, in.scratch.counters = cards, counters
+			if p, ok, _ := in.Plans.Lookup(key, counters, cards); ok {
+				in.Stats.PlanReuses++
+				cp := *p
+				return &cp, nil
+			}
+		}
+	}
+	p, err := BuildPlan(spj, in.Cat)
+	if err != nil {
+		return nil, err
+	}
+	in.Stats.PlanBuilds++
+	in.Plans.Store(key, counters, cards, p)
+	cp := *p
+	return &cp, nil
+}
+
+// execSPJ interprets one subquery: it resolves an access plan for the
+// current atom order (cached or freshly built) and streams matches into the
+// sink via the configured executor.
 func (in *Interp) execSPJ(spj *ir.SPJOp) error {
-	plan, err := BuildPlan(spj, in.Cat)
+	plan, err := in.planFor(spj)
 	if err != nil {
 		return err
 	}
@@ -192,10 +299,13 @@ func (in *Interp) execSPJ(spj *ir.SPJOp) error {
 	if y, ok := in.Ctrl.(Yielder); ok {
 		plan.Yield = func() bool { return y.ShouldYield(spj, in) }
 	}
-	in.Stats.PlanBuilds++
 	in.Stats.SPJRuns++
 	run := func() {
-		if in.Executor == ExecPull {
+		if in.bufSink != nil {
+			// Parallel rule evaluation: derivations land in this worker's
+			// private buffer and are counted at the merge barrier.
+			runPlanBuffered(plan, in.Cat, in.Executor, in.bufSink(plan.Sink))
+		} else if in.Executor == ExecPull {
 			in.Stats.Derivations += RunPlanPull(plan, in.Cat)
 		} else {
 			in.Stats.Derivations += RunPlan(plan, in.Cat)
@@ -216,45 +326,102 @@ func (in *Interp) execSPJ(spj *ir.SPJOp) error {
 	return nil
 }
 
-// runLoopParallel evaluates one stratum loop with the UnionAllOps of each
-// iteration fanned out to goroutines. Each UnionAllOp writes only its own
-// predicate's DeltaNew and reads only Derived/DeltaKnown relations, which
-// are frozen for the duration of the iteration, so the fan-out is race-free
-// by construction; SwapClearOps stay sequential at the iteration boundary.
+// workerState is the persistent per-worker state of the parallel rule pool:
+// a sub-interpreter (sharing the read-only catalog and the plan cache) and
+// the private delta buffers its derivations land in between barriers.
+type workerState struct {
+	sub  *Interp
+	bufs map[storage.PredID]*storage.Relation
+	err  error
+}
+
+// poolSize resolves the bounded worker count: the configured Workers, or
+// GOMAXPROCS, never more than there are tasks.
+func (in *Interp) poolSize(tasks int) int {
+	w := in.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > tasks {
+		w = tasks
+	}
+	return w
+}
+
+// ensureWorkers sizes the persistent pool state.
+func (in *Interp) ensureWorkers(n int) {
+	for len(in.workers) < n {
+		ws := &workerState{
+			sub:  &Interp{Cat: in.Cat, Executor: in.Executor, Plans: in.Plans, Reopt: in.Reopt, cancelHook: in.Cancelled},
+			bufs: make(map[storage.PredID]*storage.Relation),
+		}
+		ws.sub.bufSink = func(pid storage.PredID) *storage.Relation {
+			r := ws.bufs[pid]
+			if r == nil {
+				pd := in.Cat.Pred(pid)
+				r = storage.NewRelation(pd.Name+"~buf", pd.Arity)
+				ws.bufs[pid] = r
+			}
+			return r
+		}
+		in.workers = append(in.workers, ws)
+	}
+}
+
+// runLoopParallel evaluates one stratum loop with the independent rules of
+// each iteration distributed over a bounded worker pool. Every worker reads
+// only Derived/DeltaKnown relations — frozen for the duration of the
+// iteration — and writes only its own private delta buffers, so the fan-out
+// is race-free by construction; the buffers are merged into the real
+// DeltaNew relations (with set-difference against Derived and duplicate
+// elimination across workers) at the iteration barrier, and SwapClearOps
+// stay sequential there.
 func (in *Interp) runLoopParallel(n *ir.DoWhileOp) error {
+	var pending []*ir.UnionRuleOp
 	for {
-		var pending []*ir.UnionAllOp
 		flush := func() error {
 			if len(pending) == 0 {
 				return nil
 			}
-			errs := make([]error, len(pending))
-			stats := make([]Stats, len(pending))
+			defer func() { pending = pending[:0] }()
+			w := in.poolSize(len(pending))
+			if w <= 1 {
+				// Degenerate pool: evaluate in place, writing DeltaNew
+				// directly like the sequential path.
+				for _, r := range pending {
+					if err := in.interpret(r); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			in.ensureWorkers(w)
+			var next atomic.Int64
 			var wg sync.WaitGroup
-			for i, ua := range pending {
+			for i := 0; i < w; i++ {
+				ws := in.workers[i]
+				ws.err = nil
 				wg.Add(1)
-				go func(i int, ua *ir.UnionAllOp) {
+				go func() {
 					defer wg.Done()
-					sub := &Interp{Cat: in.Cat, Executor: in.Executor, cancelHook: in.Cancelled}
-					errs[i] = sub.interpret(ua)
-					stats[i] = sub.Stats
-				}(i, ua)
+					for {
+						t := int(next.Add(1) - 1)
+						if t >= len(pending) || ws.sub.Cancelled() {
+							return
+						}
+						if err := ws.sub.interpret(pending[t]); err != nil {
+							ws.err = err
+							return
+						}
+					}
+				}()
 			}
 			wg.Wait()
-			pending = pending[:0]
-			for i, err := range errs {
-				if err != nil {
-					return err
-				}
-				in.Stats.Derivations += stats[i].Derivations
-				in.Stats.SPJRuns += stats[i].SPJRuns
-				in.Stats.PlanBuilds += stats[i].PlanBuilds
-			}
-			return nil
+			return in.mergeWorkers(w)
 		}
 		for _, c := range n.Body {
 			if ua, ok := c.(*ir.UnionAllOp); ok {
-				pending = append(pending, ua)
+				pending = append(pending, ua.Rules...)
 				continue
 			}
 			if err := flush(); err != nil {
@@ -277,26 +444,65 @@ func (in *Interp) runLoopParallel(n *ir.DoWhileOp) error {
 	}
 }
 
-// RunPlan executes a built plan, sinking matches (via the aggregation path
-// when configured) and returning the number of new tuples derived. Shared by
-// the interpreter and the lambda/quote backends.
-func RunPlan(p *Plan, cat *storage.Catalog) int64 {
-	sink := cat.Pred(p.Sink)
-	var derived int64
-	insert := func(t []storage.Value) {
-		if sink.Derived.Contains(t) {
-			return
+// mergeWorkers folds every worker's private delta buffers into the real
+// DeltaNew relations (counting derivations exactly like the sequential
+// sink: new to both Derived and DeltaNew) and accumulates worker execution
+// counters. Runs sequentially at the iteration barrier.
+func (in *Interp) mergeWorkers(w int) error {
+	var firstErr error
+	for i := 0; i < w; i++ {
+		ws := in.workers[i]
+		if ws.err != nil && firstErr == nil {
+			firstErr = ws.err
 		}
-		if sink.DeltaNew.Insert(t) {
-			derived++
+		s := ws.sub.Stats
+		in.Stats.SPJRuns += s.SPJRuns
+		in.Stats.PlanBuilds += s.PlanBuilds
+		in.Stats.PlanReuses += s.PlanReuses
+		in.Stats.Reopts += s.Reopts
+		ws.sub.Stats = Stats{}
+		if firstErr != nil {
+			continue
+		}
+		pids := make([]int, 0, len(ws.bufs))
+		for pid := range ws.bufs {
+			pids = append(pids, int(pid))
+		}
+		sort.Ints(pids)
+		for _, pid := range pids {
+			buf := ws.bufs[storage.PredID(pid)]
+			if buf.Empty() {
+				continue
+			}
+			sink := in.Cat.Pred(storage.PredID(pid))
+			buf.Each(func(row []storage.Value) bool {
+				if !sink.Derived.Contains(row) && sink.DeltaNew.Insert(row) {
+					in.Stats.Derivations++
+				}
+				return true
+			})
+			buf.Clear()
+		}
+	}
+	return firstErr
+}
+
+// runPlanWith executes the plan with the chosen executor, routing every
+// match (through the aggregation path when configured) into insert.
+func runPlanWith(p *Plan, cat *storage.Catalog, exec Executor, insert func(t []storage.Value)) {
+	execute := func(emit func(head, bind []storage.Value)) {
+		if exec == ExecPull {
+			NewPullExecutor(p, cat).Execute(emit)
+		} else {
+			p.Execute(cat, emit)
 		}
 	}
 	if p.Agg.Kind == ast.AggNone {
-		p.Execute(cat, func(head, _ []storage.Value) { insert(head) })
-		return derived
+		execute(func(head, _ []storage.Value) { insert(head) })
+		return
 	}
 	agg := eval.NewAggregator(p.Agg.Kind, len(p.Head), p.Agg.HeadPos)
-	p.Execute(cat, func(head, bind []storage.Value) {
+	execute(func(head, bind []storage.Value) {
 		var v storage.Value
 		if p.Agg.Kind != ast.AggCount {
 			v = bind[p.Agg.OverVar]
@@ -304,5 +510,42 @@ func RunPlan(p *Plan, cat *storage.Catalog) int64 {
 		agg.Add(head, v)
 	})
 	agg.Emit(insert)
+}
+
+// runPlanSink executes the plan against the standard semi-naive sink: set
+// difference against Derived inlined at the insert into DeltaNew, returning
+// the number of new tuples derived.
+func runPlanSink(p *Plan, cat *storage.Catalog, exec Executor) int64 {
+	sink := cat.Pred(p.Sink)
+	var derived int64
+	runPlanWith(p, cat, exec, func(t []storage.Value) {
+		if sink.Derived.Contains(t) {
+			return
+		}
+		if sink.DeltaNew.Insert(t) {
+			derived++
+		}
+	})
 	return derived
+}
+
+// runPlanBuffered executes the plan with derivations landing in a private
+// buffer relation instead of the sink's DeltaNew (parallel rule evaluation).
+// Set difference against the iteration-frozen Derived still applies here to
+// keep buffers small; duplicate elimination across workers and against
+// DeltaNew happens at the merge barrier.
+func runPlanBuffered(p *Plan, cat *storage.Catalog, exec Executor, buf *storage.Relation) {
+	sink := cat.Pred(p.Sink)
+	runPlanWith(p, cat, exec, func(t []storage.Value) {
+		if !sink.Derived.Contains(t) {
+			buf.Insert(t)
+		}
+	})
+}
+
+// RunPlan executes a built plan with the push engine, sinking matches (via
+// the aggregation path when configured) and returning the number of new
+// tuples derived. Shared by the interpreter and the lambda/quote backends.
+func RunPlan(p *Plan, cat *storage.Catalog) int64 {
+	return runPlanSink(p, cat, ExecPush)
 }

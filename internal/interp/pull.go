@@ -1,7 +1,6 @@
 package interp
 
 import (
-	"carac/internal/ast"
 	"carac/internal/eval"
 	"carac/internal/storage"
 )
@@ -251,31 +250,7 @@ func (e *PullExecutor) project() {
 
 // RunPlanPull executes a plan with the pull engine, sinking like RunPlan.
 func RunPlanPull(p *Plan, cat *storage.Catalog) int64 {
-	sink := cat.Pred(p.Sink)
-	var derived int64
-	insert := func(t []storage.Value) {
-		if sink.Derived.Contains(t) {
-			return
-		}
-		if sink.DeltaNew.Insert(t) {
-			derived++
-		}
-	}
-	ex := NewPullExecutor(p, cat)
-	if p.Agg.Kind == ast.AggNone {
-		ex.Execute(func(head, _ []storage.Value) { insert(head) })
-		return derived
-	}
-	agg := eval.NewAggregator(p.Agg.Kind, len(p.Head), p.Agg.HeadPos)
-	ex.Execute(func(head, bind []storage.Value) {
-		var v storage.Value
-		if p.Agg.Kind != ast.AggCount {
-			v = bind[p.Agg.OverVar]
-		}
-		agg.Add(head, v)
-	})
-	agg.Emit(insert)
-	return derived
+	return runPlanSink(p, cat, ExecPull)
 }
 
 // Executor selects the leaf-join execution engine (paper §V-D).

@@ -27,6 +27,8 @@ import (
 	"carac/internal/jit/lambda"
 	"carac/internal/jit/quotes"
 	"carac/internal/optimizer"
+	"carac/internal/plancache"
+	"carac/internal/stats"
 	"carac/internal/storage"
 )
 
@@ -167,7 +169,7 @@ type compileReq struct {
 	u     *unit
 	clone ir.Op
 	cards []int
-	stats optimizer.Stats
+	stats stats.Source
 }
 
 type backendCompiler interface {
@@ -182,6 +184,10 @@ type Controller struct {
 	cat      *storage.Catalog
 	granKind ir.OpKind
 	compiler backendCompiler
+	// policy is the uniform drift-gated freshness policy (shared with the
+	// interpreter's plan cache): a unit is reused while the cardinalities it
+	// was compiled against have not drifted beyond the threshold.
+	policy plancache.Policy
 
 	units   map[ir.Op]*unit
 	parents map[ir.Op]ir.Op
@@ -219,6 +225,7 @@ func New(cat *storage.Catalog, root ir.Op, cfg Config) *Controller {
 		cfg:          cfg,
 		cat:          cat,
 		granKind:     cfg.Granularity.OpKind(),
+		policy:       plancache.Policy{Threshold: cfg.FreshnessThreshold},
 		units:        make(map[ir.Op]*unit),
 		parents:      make(map[ir.Op]ir.Op),
 		reorderCards: make(map[*ir.SPJOp][]int),
@@ -309,11 +316,11 @@ func (c *Controller) Enter(op ir.Op, in *interp.Interp) func() error {
 		if cu.failed {
 			// A failed compile is retried only when the world has drifted
 			// enough that a different (possibly legal) plan would result.
-			if optimizer.Drift(cu.cards, c.cardsFor(op)) <= c.cfg.FreshnessThreshold {
+			if c.policy.Fresh(cu.cards, c.cardsFor(op)) {
 				return nil
 			}
 			u.compiled.Store(nil)
-		} else if optimizer.Drift(cu.cards, c.cardsFor(op)) <= c.cfg.FreshnessThreshold {
+		} else if c.policy.Fresh(cu.cards, c.cardsFor(op)) {
 			c.bump(func(s *Stats) { s.CacheHits++ })
 			return c.wrap(cu, in)
 		} else {
@@ -364,7 +371,7 @@ func (c *Controller) ancestorSwitch(op ir.Op, in *interp.Interp) func() error {
 		if cu == nil || cu.failed {
 			continue
 		}
-		if optimizer.Drift(cu.cards, c.cardsFor(p)) > c.cfg.FreshnessThreshold {
+		if !c.policy.Fresh(cu.cards, c.cardsFor(p)) {
 			continue
 		}
 		c.bump(func(s *Stats) { s.Switchovers++ })
@@ -376,20 +383,20 @@ func (c *Controller) ancestorSwitch(op ir.Op, in *interp.Interp) func() error {
 // regenerate is the IRGenerator target: reorder every subquery beneath op in
 // place (freshness-gated) and let interpretation continue on the new IR.
 func (c *Controller) regenerate(op ir.Op) {
-	stats := optimizer.CatalogStats{Cat: c.cat}
+	live := stats.Catalog{Cat: c.cat}
 	ir.Walk(op, func(o ir.Op) {
 		spj, ok := o.(*ir.SPJOp)
 		if !ok {
 			return
 		}
-		cards := optimizer.CardVector(spj, stats)
+		cards := stats.CardVector(spj, live)
 		if last, seen := c.reorderCards[spj]; seen {
-			if optimizer.Drift(last, cards) <= c.cfg.FreshnessThreshold {
+			if c.policy.Fresh(last, cards) {
 				return
 			}
 		}
 		c.reorderCards[spj] = cards
-		changed, err := optimizer.Reorder(spj, stats, c.cfg.Optimizer)
+		changed, err := optimizer.Reorder(spj, live, c.cfg.Optimizer)
 		if err != nil {
 			return // keep the existing legal order
 		}
@@ -397,7 +404,7 @@ func (c *Controller) regenerate(op ir.Op) {
 			c.bump(func(s *Stats) { s.Reorders++ })
 			// Record the vector in the new atom order so future drift
 			// comparisons are apples-to-apples.
-			c.reorderCards[spj] = optimizer.CardVector(spj, stats)
+			c.reorderCards[spj] = stats.CardVector(spj, live)
 		}
 	})
 }
@@ -405,11 +412,11 @@ func (c *Controller) regenerate(op ir.Op) {
 // cardsFor snapshots the cardinality vector of every subquery beneath op in
 // traversal order — the freshness fingerprint.
 func (c *Controller) cardsFor(op ir.Op) []int {
-	stats := optimizer.CatalogStats{Cat: c.cat}
+	live := stats.Catalog{Cat: c.cat}
 	var cards []int
 	ir.Walk(op, func(o ir.Op) {
 		if spj, ok := o.(*ir.SPJOp); ok {
-			cards = append(cards, optimizer.CardVector(spj, stats)...)
+			cards = append(cards, stats.CardVector(spj, live)...)
 		}
 	})
 	return cards
@@ -427,30 +434,8 @@ func (c *Controller) buildReq(u *unit, op ir.Op) compileReq {
 	}
 }
 
-type frozenStats map[[2]int32]int
-
-func (f frozenStats) Card(pred storage.PredID, src ir.Source) int {
-	return f[[2]int32{int32(pred), int32(src)}]
-}
-
-func (c *Controller) snapshotStats(op ir.Op) optimizer.Stats {
-	live := optimizer.CatalogStats{Cat: c.cat}
-	f := frozenStats{}
-	ir.Walk(op, func(o ir.Op) {
-		spj, ok := o.(*ir.SPJOp)
-		if !ok {
-			return
-		}
-		for _, a := range spj.Atoms {
-			if a.IsRelational() {
-				k := [2]int32{int32(a.Pred), int32(a.Src)}
-				if _, seen := f[k]; !seen {
-					f[k] = live.Card(a.Pred, a.Src)
-				}
-			}
-		}
-	})
-	return f
+func (c *Controller) snapshotStats(op ir.Op) stats.Source {
+	return stats.Freeze(op, stats.Catalog{Cat: c.cat})
 }
 
 func (c *Controller) worker() {
@@ -540,7 +525,7 @@ func (c *Controller) hasReadyAncestor(op ir.Op) bool {
 		if cu == nil || cu.failed {
 			continue
 		}
-		if optimizer.Drift(cu.cards, c.cardsFor(p)) <= c.cfg.FreshnessThreshold {
+		if c.policy.Fresh(cu.cards, c.cardsFor(p)) {
 			return true
 		}
 	}

@@ -110,20 +110,3 @@ func TestDistinctStatsChangeOrdering(t *testing.T) {
 		t.Fatalf("constant selectivity should tie and keep order: %+v", plain.Atoms)
 	}
 }
-
-func TestCatalogStatsDistinct(t *testing.T) {
-	cat := storage.NewCatalog()
-	id := cat.Declare("r", 2)
-	p := cat.Pred(id)
-	p.BuildIndexes([]int{0})
-	for i := int32(0); i < 20; i++ {
-		p.AddFact([]storage.Value{i % 4, i})
-	}
-	cs := CatalogStats{Cat: cat}
-	if got := cs.Distinct(id, ir.SrcDerived, 0); got != 4 {
-		t.Fatalf("Distinct = %d, want 4", got)
-	}
-	if got := cs.Distinct(id, ir.SrcDerived, 1); got != -1 {
-		t.Fatalf("unindexed Distinct = %d, want -1", got)
-	}
-}

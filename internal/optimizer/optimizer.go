@@ -24,48 +24,9 @@ import (
 
 	"carac/internal/ast"
 	"carac/internal/ir"
+	"carac/internal/stats"
 	"carac/internal/storage"
 )
-
-// Stats supplies live relation cardinalities. CatalogStats is the production
-// implementation; tests inject synthetic ones.
-type Stats interface {
-	Card(pred storage.PredID, src ir.Source) int
-}
-
-// DistinctStats optionally supplies per-column distinct-value counts (from
-// incremental indexes — the cheap "online statistics" the paper contrasts
-// with its constant selectivity heuristic, §IV). Implementations return -1
-// when the column is unindexed.
-type DistinctStats interface {
-	Distinct(pred storage.PredID, src ir.Source, col int) int
-}
-
-// CatalogStats reads cardinalities straight from the catalog — the "concrete
-// instances of relations plugged directly into the reordering algorithm at
-// the last possible moment" of §IV.
-type CatalogStats struct {
-	Cat *storage.Catalog
-}
-
-// Card returns the current tuple count of the relation (pred, src) resolves to.
-func (s CatalogStats) Card(pred storage.PredID, src ir.Source) int {
-	p := s.Cat.Pred(pred)
-	if src == ir.SrcDelta {
-		return p.DeltaKnown.Len()
-	}
-	return p.Derived.Len()
-}
-
-// Distinct returns the observed distinct count of a column, or -1 when the
-// column carries no index.
-func (s CatalogStats) Distinct(pred storage.PredID, src ir.Source, col int) int {
-	p := s.Cat.Pred(pred)
-	if src == ir.SrcDelta {
-		return p.DeltaKnown.DistinctCount(col)
-	}
-	return p.Derived.DistinctCount(col)
-}
 
 // Algo selects the reordering algorithm.
 type Algo uint8
@@ -126,7 +87,7 @@ func (o Options) withDefaults() Options {
 // so the resulting order is always legal; if no legal placement exists the
 // original order is restored and an error returned (cannot happen for rules
 // that passed ast.CheckRule).
-func Reorder(spj *ir.SPJOp, stats Stats, opts Options) (changed bool, err error) {
+func Reorder(spj *ir.SPJOp, st stats.Source, opts Options) (changed bool, err error) {
 	opts = opts.withDefaults()
 	orig := append([]ir.Atom(nil), spj.Atoms...)
 	origDelta := spj.DeltaIdx
@@ -146,9 +107,9 @@ func Reorder(spj *ir.SPJOp, stats Stats, opts Options) (changed bool, err error)
 	var order []int
 	switch opts.Algo {
 	case AlgoGreedy:
-		order = greedyOrder(spj, relIdx, stats, opts)
+		order = greedyOrder(spj, relIdx, st, opts)
 	default:
-		order = sortOrder(spj, relIdx, stats, opts)
+		order = sortOrder(spj, relIdx, st, opts)
 	}
 
 	perm, ok := placeGuards(spj, order, guardIdx)
@@ -176,6 +137,7 @@ func Reorder(spj *ir.SPJOp, stats Stats, opts Options) (changed bool, err error)
 	}
 	spj.Atoms = newAtoms
 	spj.DeltaIdx = newDelta
+	spj.OrderGen++
 	return true, nil
 }
 
@@ -185,11 +147,11 @@ func Reorder(spj *ir.SPJOp, stats Stats, opts Options) (changed bool, err error)
 // with another atom of the body (a join key). The reduction is the constant
 // Selectivity factor, or 1/distinct(column) when UseDistinctStats is set and
 // the stats source observes the column.
-func Weight(spj *ir.SPJOp, atomIdx int, stats Stats, opts Options) float64 {
+func Weight(spj *ir.SPJOp, atomIdx int, st stats.Source, opts Options) float64 {
 	opts = opts.withDefaults()
 	a := spj.Atoms[atomIdx]
-	card := float64(stats.Card(a.Pred, a.Src))
-	ds, haveDS := stats.(DistinctStats)
+	card := float64(st.Card(a.Pred, a.Src))
+	ds, haveDS := st.(stats.DistinctSource)
 	useDS := opts.UseDistinctStats && haveDS
 
 	factor := func(col int) float64 {
@@ -237,11 +199,11 @@ func varSharedElsewhere(spj *ir.SPJOp, atomIdx int, v ast.VarID) bool {
 // sortOrder is the paper's algorithm: a stable sort of the relational atoms
 // by weight. Stability preserves the input order among ties, so presorted
 // (e.g. offline-optimized) inputs are kept and the sort is near-linear.
-func sortOrder(spj *ir.SPJOp, relIdx []int, stats Stats, opts Options) []int {
+func sortOrder(spj *ir.SPJOp, relIdx []int, st stats.Source, opts Options) []int {
 	order := append([]int(nil), relIdx...)
 	weights := make(map[int]float64, len(relIdx))
 	for _, i := range relIdx {
-		weights[i] = Weight(spj, i, stats, opts)
+		weights[i] = Weight(spj, i, st, opts)
 	}
 	sort.SliceStable(order, func(x, y int) bool {
 		return weights[order[x]] < weights[order[y]]
@@ -253,7 +215,7 @@ func sortOrder(spj *ir.SPJOp, relIdx []int, stats Stats, opts Options) []int {
 // candidate with the lowest effective cost given the variables bound so far
 // (constraints on bound variables earn the selectivity discount; candidates
 // sharing no bound variable pay the cartesian-product penalty).
-func greedyOrder(spj *ir.SPJOp, relIdx []int, stats Stats, opts Options) []int {
+func greedyOrder(spj *ir.SPJOp, relIdx []int, st stats.Source, opts Options) []int {
 	remaining := append([]int(nil), relIdx...)
 	bound := map[ast.VarID]bool{}
 	var order []int
@@ -261,7 +223,7 @@ func greedyOrder(spj *ir.SPJOp, relIdx []int, stats Stats, opts Options) []int {
 		bestPos, bestCost := -1, math.Inf(1)
 		for pos, i := range remaining {
 			a := spj.Atoms[i]
-			card := float64(stats.Card(a.Pred, a.Src))
+			card := float64(st.Card(a.Pred, a.Src))
 			k := 0
 			shares := false
 			seen := map[ast.VarID]bool{}
@@ -370,49 +332,16 @@ func placeGuards(spj *ir.SPJOp, relOrder []int, guardIdx []int) ([]int, bool) {
 	return perm, true
 }
 
-// CardVector snapshots the cardinalities of every relational atom of the
-// subquery — the state the freshness test compares against (paper §V-B2).
-func CardVector(spj *ir.SPJOp, stats Stats) []int {
-	var out []int
-	for _, a := range spj.Atoms {
-		if a.Kind == ast.AtomRelation {
-			out = append(out, stats.Card(a.Pred, a.Src))
-		}
-	}
-	return out
-}
-
-// Drift returns the maximum relative cardinality change between two card
-// vectors: max_i |new_i - old_i| / max(1, old_i). Vectors of different
-// lengths drift infinitely (the subquery changed shape).
-func Drift(old, new []int) float64 {
-	if len(old) != len(new) {
-		return math.Inf(1)
-	}
-	d := 0.0
-	for i := range old {
-		den := float64(old[i])
-		if den < 1 {
-			den = 1
-		}
-		rel := math.Abs(float64(new[i]-old[i])) / den
-		if rel > d {
-			d = rel
-		}
-	}
-	return d
-}
-
 // Explain renders the order decision for diagnostics: atom names with their
 // weights under stats.
-func Explain(spj *ir.SPJOp, cat *storage.Catalog, stats Stats, opts Options) string {
+func Explain(spj *ir.SPJOp, cat *storage.Catalog, st stats.Source, opts Options) string {
 	var sb strings.Builder
 	for i, a := range spj.Atoms {
 		if i > 0 {
 			sb.WriteString(", ")
 		}
 		if a.Kind == ast.AtomRelation {
-			fmt.Fprintf(&sb, "%s%v(w=%.1f)", cat.Pred(a.Pred).Name, a.Src, Weight(spj, i, stats, opts))
+			fmt.Fprintf(&sb, "%s%v(w=%.1f)", cat.Pred(a.Pred).Name, a.Src, Weight(spj, i, st, opts))
 		} else if a.Kind == ast.AtomNegated {
 			fmt.Fprintf(&sb, "!%s", cat.Pred(a.Pred).Name)
 		} else {

@@ -9,6 +9,7 @@ import (
 	"carac/internal/interp"
 	"carac/internal/ir"
 	"carac/internal/parser"
+	"carac/internal/stats"
 	"carac/internal/storage"
 )
 
@@ -292,27 +293,27 @@ func TestReorderStableOnTies(t *testing.T) {
 
 func TestCardVectorAndDrift(t *testing.T) {
 	spj, vaflow, malias, _ := paperVAliasSubquery()
-	stats := fakeStats{}
-	set(stats, vaflow, ir.SrcDelta, 100)
-	set(stats, vaflow, ir.SrcDerived, 200)
-	set(stats, malias, ir.SrcDerived, 300)
-	v1 := CardVector(spj, stats)
+	fs := fakeStats{}
+	set(fs, vaflow, ir.SrcDelta, 100)
+	set(fs, vaflow, ir.SrcDerived, 200)
+	set(fs, malias, ir.SrcDerived, 300)
+	v1 := stats.CardVector(spj, fs)
 	if len(v1) != 3 || v1[0] != 100 || v1[1] != 200 || v1[2] != 300 {
 		t.Fatalf("CardVector = %v", v1)
 	}
-	set(stats, vaflow, ir.SrcDelta, 150)
-	v2 := CardVector(spj, stats)
-	if d := Drift(v1, v2); math.Abs(d-0.5) > 1e-9 {
+	set(fs, vaflow, ir.SrcDelta, 150)
+	v2 := stats.CardVector(spj, fs)
+	if d := stats.Drift(v1, v2); math.Abs(d-0.5) > 1e-9 {
 		t.Fatalf("Drift = %v, want 0.5", d)
 	}
-	if d := Drift(v1, v1); d != 0 {
+	if d := stats.Drift(v1, v1); d != 0 {
 		t.Fatalf("self drift = %v", d)
 	}
-	if d := Drift([]int{1}, []int{1, 2}); !math.IsInf(d, 1) {
+	if d := stats.Drift([]int{1}, []int{1, 2}); !math.IsInf(d, 1) {
 		t.Fatalf("shape-change drift = %v, want +Inf", d)
 	}
 	// Zero-cardinality baseline uses denominator 1.
-	if d := Drift([]int{0}, []int{5}); math.Abs(d-5) > 1e-9 {
+	if d := stats.Drift([]int{0}, []int{5}); math.Abs(d-5) > 1e-9 {
 		t.Fatalf("zero-base drift = %v, want 5", d)
 	}
 }
@@ -339,12 +340,12 @@ func TestReorderEndToEndCorrectness(t *testing.T) {
 				t.Fatal(err)
 			}
 			if reorder {
-				stats := CatalogStats{Cat: cat}
+				st := stats.Catalog{Cat: cat}
 				opts := DefaultOptions()
 				opts.Algo = algo
 				ir.Walk(root, func(o ir.Op) {
 					if spj, ok := o.(*ir.SPJOp); ok {
-						if _, err := Reorder(spj, stats, opts); err != nil {
+						if _, err := Reorder(spj, st, opts); err != nil {
 							t.Fatal(err)
 						}
 					}

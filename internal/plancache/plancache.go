@@ -1,0 +1,230 @@
+// Package plancache implements drift-gated caching of compiled query
+// artifacts — interpreter access plans and JIT compilation units — behind
+// one uniform adaptive-re-optimization policy.
+//
+// The paper's JIT reuses a compiled unit while the live cardinalities of the
+// relations it joins "have not drifted beyond a relative threshold since it
+// was compiled" (§V-B2). This package generalizes that one-off freshness
+// test: an artifact is cached under a key of (rule, atom-order signature,
+// cardinality band) and served while observed drift stays under the policy
+// threshold; once drift exceeds it the entry is dropped, which is the
+// caller's cue to re-optimize the join order with live statistics before
+// rebuilding. Cardinality bands (powers of two) partition the entries so
+// that returning to a previously seen cardinality regime re-uses the plan
+// built for it rather than oscillating one shared entry.
+//
+// The cache is safe for concurrent use by the parallel rule executor's
+// workers; cached artifacts themselves must be immutable (callers copy
+// before attaching per-execution state).
+package plancache
+
+import (
+	"encoding/binary"
+	"math/bits"
+	"sync"
+
+	"carac/internal/ast"
+	"carac/internal/ir"
+	"carac/internal/stats"
+)
+
+// Policy is the uniform adaptive-re-optimization policy: an artifact built
+// against cardinality vector old stays fresh while Drift(old, cur) is at
+// most Threshold. A non-positive Threshold selects the default 0.5, the
+// paper's freshness-sweep sweet spot (§VI-E).
+type Policy struct {
+	Threshold float64
+}
+
+// DefaultThreshold is the relative drift tolerated by the zero Policy.
+const DefaultThreshold = 0.5
+
+// threshold resolves the configured or default threshold.
+func (p Policy) threshold() float64 {
+	if p.Threshold <= 0 {
+		return DefaultThreshold
+	}
+	return p.Threshold
+}
+
+// Fresh reports whether an artifact built at cardinalities old may be reused
+// at cardinalities cur.
+func (p Policy) Fresh(old, cur []int) bool {
+	return stats.Drift(old, cur) <= p.threshold()
+}
+
+// Band quantizes a cardinality into its power-of-two band: 0 for empty,
+// otherwise 1+floor(log2(card)). Cardinalities within one band differ by at
+// most 2x, the scale at which join-order decisions actually flip.
+func Band(card int) int {
+	if card <= 0 {
+		return 0
+	}
+	return bits.Len(uint(card))
+}
+
+// BandSig packs the band of every cardinality into a compact string key.
+func BandSig(cards []int) string {
+	b := make([]byte, len(cards))
+	for i, c := range cards {
+		b[i] = byte(Band(c))
+	}
+	return string(b)
+}
+
+// Key identifies one cacheable artifact: the rule it evaluates plus a
+// structural signature of its subquery body (atom kinds, predicates,
+// sources, builtins, and terms, in the current join order). Reordering the
+// atoms changes the signature, so re-optimized orders occupy fresh entries.
+type Key struct {
+	Rule int
+	Sig  string
+}
+
+// KeyFor derives the cache key of an SPJ subquery in its current atom order.
+func KeyFor(spj *ir.SPJOp) Key {
+	var b []byte
+	var n [4]byte
+	put := func(v uint32) {
+		binary.LittleEndian.PutUint32(n[:], v)
+		b = append(b, n[:]...)
+	}
+	for _, a := range spj.Atoms {
+		b = append(b, byte(a.Kind), byte(a.Src), byte(a.Builtin))
+		put(uint32(a.Pred))
+		for _, t := range a.Terms {
+			b = append(b, byte(t.Kind))
+			if t.Kind == ast.TermConst {
+				put(uint32(t.Val))
+			} else {
+				put(uint32(t.Var))
+			}
+		}
+		b = append(b, 0xff)
+	}
+	return Key{Rule: spj.RuleIdx, Sig: string(b)}
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	// Hits served a cached artifact (FastHits of them via the drift-counter
+	// pre-test, without computing cardinality drift).
+	Hits     int64
+	FastHits int64
+	// ColdMisses found no entry for a never-seen key; BandMisses found
+	// entries for the key but none in the current cardinality band — the
+	// regime changed, a re-optimization cue.
+	ColdMisses int64
+	BandMisses int64
+	// StaleDrops evicted an in-band entry whose drift exceeded the policy
+	// threshold — the direct analogue of the JIT's freshness failure.
+	StaleDrops int64
+	Stores     int64
+}
+
+// HitRate returns served hits over total lookups, 0 when no lookups ran.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.ColdMisses + s.BandMisses + s.StaleDrops
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type entry[T any] struct {
+	val      T
+	cards    []int
+	counters []uint64
+}
+
+// Cache is a drift-gated artifact cache. The zero value is not usable;
+// construct with New.
+type Cache[T any] struct {
+	pol Policy
+
+	mu      sync.Mutex
+	buckets map[Key]map[string]*entry[T] // key -> band signature -> entry
+	stats   Stats
+}
+
+// New builds an empty cache under the given policy.
+func New[T any](pol Policy) *Cache[T] {
+	return &Cache[T]{pol: pol, buckets: make(map[Key]map[string]*entry[T])}
+}
+
+// Policy returns the cache's freshness policy.
+func (c *Cache[T]) Policy() Policy { return c.pol }
+
+// Lookup fetches the artifact cached under k for the current cardinalities.
+// counters is the drift-counter vector of the relations the artifact reads:
+// when it matches the stored vector the artifact is exact (nothing mutated)
+// and drift computation is skipped entirely. stale reports a drift-driven
+// miss — the key was known but its cardinality regime moved (band change or
+// in-band drift beyond the threshold) — which is the caller's cue to
+// re-optimize the join order before rebuilding.
+func (c *Cache[T]) Lookup(k Key, counters []uint64, cards []int) (val T, ok bool, stale bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	bucket := c.buckets[k]
+	if bucket == nil {
+		c.stats.ColdMisses++
+		return val, false, false
+	}
+	band := BandSig(cards)
+	e := bucket[band]
+	if e == nil {
+		c.stats.BandMisses++
+		return val, false, true
+	}
+	if stats.CountersEqual(e.counters, counters) {
+		c.stats.Hits++
+		c.stats.FastHits++
+		return e.val, true, false
+	}
+	if c.pol.Fresh(e.cards, cards) {
+		// Drift stays anchored to the build-time cardinalities (like the
+		// JIT's per-compilation fingerprint); only the counter vector is
+		// refreshed so the next unchanged-world lookup takes the fast path.
+		e.counters = append(e.counters[:0], counters...)
+		c.stats.Hits++
+		return e.val, true, false
+	}
+	delete(bucket, band)
+	c.stats.StaleDrops++
+	return val, false, true
+}
+
+// Store caches v under k for the band of cards.
+func (c *Cache[T]) Store(k Key, counters []uint64, cards []int, v T) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	bucket := c.buckets[k]
+	if bucket == nil {
+		bucket = make(map[string]*entry[T])
+		c.buckets[k] = bucket
+	}
+	bucket[BandSig(cards)] = &entry[T]{
+		val:      v,
+		cards:    append([]int(nil), cards...),
+		counters: append([]uint64(nil), counters...),
+	}
+	c.stats.Stores++
+}
+
+// Len returns the number of cached entries across all keys and bands.
+func (c *Cache[T]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, b := range c.buckets {
+		n += len(b)
+	}
+	return n
+}
+
+// Stats snapshots the activity counters.
+func (c *Cache[T]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

@@ -1,0 +1,148 @@
+package plancache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"carac/internal/ast"
+	"carac/internal/ir"
+)
+
+func TestBand(t *testing.T) {
+	cases := []struct{ card, band int }{
+		{0, 0}, {-3, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4}, {1 << 20, 21},
+	}
+	for _, c := range cases {
+		if got := Band(c.card); got != c.band {
+			t.Fatalf("Band(%d) = %d, want %d", c.card, got, c.band)
+		}
+	}
+	if BandSig([]int{0, 1, 4}) != string([]byte{0, 1, 3}) {
+		t.Fatalf("BandSig = %q", BandSig([]int{0, 1, 4}))
+	}
+}
+
+func TestPolicyDefaults(t *testing.T) {
+	p := Policy{}
+	if !p.Fresh([]int{100}, []int{150}) {
+		t.Fatal("drift 0.5 should be fresh under the default threshold")
+	}
+	if p.Fresh([]int{100}, []int{151}) {
+		t.Fatal("drift > 0.5 should be stale under the default threshold")
+	}
+	tight := Policy{Threshold: 0.01}
+	if tight.Fresh([]int{100}, []int{110}) {
+		t.Fatal("drift 0.1 should be stale under threshold 0.01")
+	}
+}
+
+func TestKeyForDistinguishesOrders(t *testing.T) {
+	spj := &ir.SPJOp{
+		RuleIdx: 3,
+		NumVars: 3,
+		Atoms: []ir.Atom{
+			{Kind: ast.AtomRelation, Pred: 1, Terms: []ast.Term{ast.V(0), ast.V(1)}, Src: ir.SrcDelta},
+			{Kind: ast.AtomRelation, Pred: 1, Terms: []ast.Term{ast.V(1), ast.V(2)}, Src: ir.SrcDerived},
+		},
+		DeltaIdx: 0,
+	}
+	k1 := KeyFor(spj)
+	spj.Atoms[0], spj.Atoms[1] = spj.Atoms[1], spj.Atoms[0]
+	k2 := KeyFor(spj)
+	if k1 == k2 {
+		t.Fatal("swapping atoms (same pred, different terms) must change the key")
+	}
+	if k1.Rule != 3 || k2.Rule != 3 {
+		t.Fatalf("rule component lost: %+v %+v", k1, k2)
+	}
+}
+
+func TestCacheLifecycle(t *testing.T) {
+	c := New[string](Policy{})
+	k := Key{Rule: 1, Sig: "sig"}
+
+	// Cold miss.
+	if _, ok, stale := c.Lookup(k, []uint64{1}, []int{10}); ok || stale {
+		t.Fatalf("cold lookup: ok=%v stale=%v", ok, stale)
+	}
+	c.Store(k, []uint64{1}, []int{10}, "plan-a")
+
+	// Fast hit: identical counters skip the drift test.
+	v, ok, _ := c.Lookup(k, []uint64{1}, []int{10})
+	if !ok || v != "plan-a" {
+		t.Fatalf("fast hit failed: %v %v", v, ok)
+	}
+	// Drift hit: counters moved but cards within threshold and band.
+	v, ok, _ = c.Lookup(k, []uint64{2}, []int{14})
+	if !ok || v != "plan-a" {
+		t.Fatalf("in-band drift hit failed: %v %v", v, ok)
+	}
+	// Band miss: cards jumped to another power-of-two band.
+	if _, ok, stale := c.Lookup(k, []uint64{3}, []int{160}); ok || !stale {
+		t.Fatalf("band change should be a stale miss, ok=%v stale=%v", ok, stale)
+	}
+	c.Store(k, []uint64{3}, []int{160}, "plan-b")
+	// Returning to the original band reuses the plan built for it.
+	v, ok, _ = c.Lookup(k, []uint64{4}, []int{11})
+	if !ok || v != "plan-a" {
+		t.Fatalf("band return should reuse plan-a: %v %v", v, ok)
+	}
+
+	st := c.Stats()
+	if st.Hits != 3 || st.FastHits != 1 || st.ColdMisses != 1 || st.BandMisses != 1 || st.Stores != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.HitRate() <= 0.5 || st.HitRate() >= 1 {
+		t.Fatalf("hit rate = %v", st.HitRate())
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestCacheStaleDrop(t *testing.T) {
+	c := New[int](Policy{Threshold: 0.1})
+	k := Key{Rule: 0, Sig: "x"}
+	c.Store(k, []uint64{1}, []int{1000}, 42)
+	// Same band (1024-band? 1000 -> band 10; 1300 -> band 11) — choose values
+	// in one band: 1000 and 1023 share band 10, drift 0.023 <= 0.1 -> hit.
+	if _, ok, _ := c.Lookup(k, []uint64{2}, []int{1023}); !ok {
+		t.Fatal("in-band small drift should hit")
+	}
+	// 700 is band 10 too (512..1023)? 700 -> bits.Len(700)=10. Drift 0.3 > 0.1.
+	if _, ok, stale := c.Lookup(k, []uint64{3}, []int{700}); ok || !stale {
+		t.Fatalf("over-threshold drift should drop: ok=%v stale=%v", ok, stale)
+	}
+	if st := c.Stats(); st.StaleDrops != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Entry was evicted: next lookup in that band is a band miss (bucket
+	// still known).
+	if _, ok, stale := c.Lookup(k, []uint64{4}, []int{700}); ok || !stale {
+		t.Fatal("evicted entry should stay gone")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := New[int](Policy{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := Key{Rule: i % 5, Sig: fmt.Sprintf("s%d", i%3)}
+				counters := []uint64{uint64(i)}
+				cards := []int{i % 50}
+				if _, ok, _ := c.Lookup(k, counters, cards); !ok {
+					c.Store(k, counters, cards, g*1000+i)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() == 0 {
+		t.Fatal("nothing cached")
+	}
+}

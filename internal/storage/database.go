@@ -29,6 +29,10 @@ type PredicateDB struct {
 	// EDB predicates hold only ground facts (no rules derive them); their
 	// deltas stay empty after seeding.
 	EDB bool
+
+	// swaps counts SwapClear invocations, the delta-rotation component of the
+	// predicate's drift counter.
+	swaps uint64
 }
 
 func newPredicateDB(id PredID, name string, arity int) *PredicateDB {
@@ -60,12 +64,25 @@ func (p *PredicateDB) SeedDeltas() {
 // delta databases, and clear the relation that will become the next
 // write-only delta (paper §V-B1).
 func (p *PredicateDB) SwapClear() {
+	p.swaps++
 	p.Derived.InsertAll(p.DeltaNew)
 	p.DeltaKnown, p.DeltaNew = p.DeltaNew, p.DeltaKnown
 	// Relation names travel with the structs; swap them back so Derived/δ/δ'
 	// naming stays meaningful in debug output.
 	p.DeltaKnown.name, p.DeltaNew.name = p.Name+"δ", p.Name+"δ'"
 	p.DeltaNew.Clear()
+}
+
+// DriftCounter returns a monotone counter that advances on every mutation of
+// any of the predicate's three relations — insert, clear, truncate — and on
+// every delta swap. The sum over all three relations is invariant under
+// SwapClear's pointer exchange (the relation set is unchanged) and each
+// component only grows, so the counter is monotone; equal observations
+// guarantee the predicate's visible state did not change in between. This is
+// the cheap freshness pre-test the statistics subsystem and the plan cache
+// consult before computing cardinality drift.
+func (p *PredicateDB) DriftCounter() uint64 {
+	return p.swaps + p.Derived.Mutations() + p.DeltaKnown.Mutations() + p.DeltaNew.Mutations()
 }
 
 // BuildIndexes registers indexes on the given columns across all three

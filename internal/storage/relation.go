@@ -25,6 +25,12 @@ type Relation struct {
 	composites map[string]*compositeIndex // column-set key -> index
 	scratch    []byte                     // reusable key buffer
 	cscratch   []byte                     // composite-key buffer
+
+	// muts counts content-changing operations (successful inserts, Clear,
+	// TruncateTo) monotonically — it is never reset, so equal observations
+	// guarantee unchanged content. The statistics subsystem aggregates it
+	// into per-predicate drift counters.
+	muts uint64
 }
 
 // NewRelation creates an empty relation with the given name and arity.
@@ -72,6 +78,7 @@ func (r *Relation) Insert(t []Value) bool {
 		return false
 	}
 	r.set[string(key)] = struct{}{}
+	r.muts++
 	row := int32(r.Len())
 	r.arena = append(r.arena, t...)
 	for col, idx := range r.indexes {
@@ -94,12 +101,25 @@ func (r *Relation) Insert(t []Value) bool {
 	return true
 }
 
-// Contains reports whether tuple t is present.
+// Contains reports whether tuple t is present. Unlike the mutation paths it
+// packs into a local buffer, not the shared scratch, so concurrent Contains
+// calls on an otherwise-unmutated relation are safe — the parallel rule
+// executor's workers probe frozen Derived relations concurrently.
 func (r *Relation) Contains(t []Value) bool {
 	if len(t) != r.arity {
 		return false
 	}
-	_, ok := r.set[string(r.pack(t))]
+	var stack [64]byte
+	var b []byte
+	if n := 4 * len(t); n <= len(stack) {
+		b = stack[:n]
+	} else {
+		b = make([]byte, n)
+	}
+	for i, v := range t {
+		binary.LittleEndian.PutUint32(b[4*i:], uint32(v))
+	}
+	_, ok := r.set[string(b)]
 	return ok
 }
 
@@ -166,8 +186,16 @@ func (r *Relation) Probe(col int, v Value) ([]int32, bool) {
 	return idx[v], true
 }
 
+// Mutations returns the relation's monotone mutation counter: it advances on
+// every successful Insert, Clear, and TruncateTo and is never reset, so two
+// equal observations bracket a window in which the content did not change.
+func (r *Relation) Mutations() uint64 { return r.muts }
+
 // Clear removes all tuples but keeps index registrations.
 func (r *Relation) Clear() {
+	if len(r.arena) > 0 {
+		r.muts++
+	}
 	r.arena = r.arena[:0]
 	// Replacing the map is faster than deleting every key for large sets and
 	// returns memory to the allocator between iterations.
@@ -188,6 +216,7 @@ func (r *Relation) TruncateTo(n int) {
 	if n < 0 || n >= r.Len() {
 		return
 	}
+	r.muts++
 	r.arena = r.arena[:n*r.arity]
 	r.set = make(map[string]struct{}, n)
 	for col := range r.indexes {
