@@ -301,6 +301,14 @@ func BenchmarkTable2_Engines(b *testing.B) {
 			runProgram(b, bf(), core.Options{Indexed: true,
 				JIT: jit.Config{Backend: jit.BackendLambda, Granularity: jit.GranSPJ}})
 		})
+		b.Run(name+"/Carac-Sharded", func(b *testing.B) {
+			built := bf()
+			for i := 0; i < b.N; i++ {
+				if _, err := engines.RunCaracSharded(built, 8, 0, time.Minute); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -410,6 +418,8 @@ func BenchmarkParallelFixpoint(b *testing.B) {
 		{"Parallel2", core.Options{Indexed: true, ParallelUnions: true, Workers: 2}},
 		{"ParallelPlanCache", core.Options{Indexed: true, ParallelUnions: true, PlanCache: true}},
 		{"ParallelAdaptive", core.Options{Indexed: true, ParallelUnions: true, AdaptivePlans: true}},
+		{"Sharded8", core.Options{Indexed: true, Shards: 8}},
+		{"Sharded8PlanCache", core.Options{Indexed: true, Shards: 8, PlanCache: true}},
 	}
 	for _, w := range builds {
 		for _, c := range configs {
@@ -418,6 +428,35 @@ func BenchmarkParallelFixpoint(b *testing.B) {
 				runProgram(b, w.build(), c.opts)
 			})
 		}
+	}
+}
+
+// BenchmarkShardedSpeedup demonstrates the scaling property the sharded
+// catalog exists for: a workload dominated by ONE recursive rule (transitive
+// closure) cannot scale with -workers under rule-granular parallelism — the
+// single rule serializes every iteration — but once Shards > 1 splits the
+// rule's delta into hash buckets, the same workload scales with the worker
+// count. Compare Parallel/W* (flat) against Sharded8/W* (scaling).
+func BenchmarkShardedSpeedup(b *testing.B) {
+	build := func() *analysis.Built {
+		return workloads.TransitiveClosure(analysis.HandOptimized, 600, 1500, int(benchSizes.Seed))
+	}
+	configs := []struct {
+		name string
+		opts core.Options
+	}{
+		{"Sequential", core.Options{Indexed: true, PlanCache: true}},
+		{"Parallel/W2", core.Options{Indexed: true, PlanCache: true, ParallelUnions: true, Workers: 2}},
+		{"Parallel/W4", core.Options{Indexed: true, PlanCache: true, ParallelUnions: true, Workers: 4}},
+		{"Sharded8/W1", core.Options{Indexed: true, PlanCache: true, Shards: 8, Workers: 1}},
+		{"Sharded8/W2", core.Options{Indexed: true, PlanCache: true, Shards: 8, Workers: 2}},
+		{"Sharded8/W4", core.Options{Indexed: true, PlanCache: true, Shards: 8, Workers: 4}},
+	}
+	for _, c := range configs {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			runProgram(b, build(), c.opts)
+		})
 	}
 }
 

@@ -4,7 +4,7 @@
 //	carac run prog.dl [-facts dir] [-backend off|irgen|lambda|bytecode|quotes]
 //	    [-granularity program|dowhile|unionall|union|spj] [-async] [-snippet]
 //	    [-indexed] [-naive] [-aot none|rules|facts] [-print rel1,rel2] [-stats]
-//	    [-plancache] [-adaptive] [-parallel] [-workers n]
+//	    [-plancache] [-adaptive] [-parallel] [-workers n] [-shards n]
 //
 // Fact files are TSV: one tuple per line, tab-separated, named <relation>.facts
 // inside -facts dir; numeric columns are integers, everything else is interned
@@ -55,6 +55,7 @@ func run(args []string) error {
 	adaptive := fs.Bool("adaptive", false, "re-optimize join orders on cardinality drift (implies -plancache)")
 	parallel := fs.Bool("parallel", false, "evaluate independent rules on a bounded worker pool")
 	workers := fs.Int("workers", 0, "parallel worker count (0 = GOMAXPROCS)")
+	shards := fs.Int("shards", 0, "hash-shard each relation into this many buckets and split single rules across workers (implies -parallel)")
 	timeout := fs.Duration("timeout", 0, "abort after this duration")
 	explain := fs.Bool("explain", false, "print the IROp plan (with optimizer weights) before running")
 
@@ -114,6 +115,7 @@ func run(args []string) error {
 		AdaptivePlans:  *adaptive,
 		ParallelUnions: *parallel,
 		Workers:        *workers,
+		Shards:         *shards,
 		JIT: jit.Config{
 			Backend:     be,
 			Granularity: gr,

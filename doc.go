@@ -39,6 +39,36 @@
 //     iteration-frozen catalog read-only, sink derivations into private
 //     delta buffers, and merge them into the real delta relations at the
 //     iteration barrier. ParallelUnions=false is the sequential fallback.
+//
+// # The sharded catalog
+//
+// Rule-granular parallelism is bounded by rule count: one huge recursive
+// rule (the transitive-closure shape dominating the paper's CSPA workloads)
+// serializes every iteration. core.Options.Shards lifts that bound to data
+// size:
+//
+//   - internal/storage hash-partitions every relation into Shards buckets
+//     keyed by the predicate's planned join column (storage.ShardOf,
+//     Relation.SetShardKey). Buckets are row-id views maintained
+//     incrementally beside the hash indexes — registering them changes
+//     neither relation content nor the mutation counters, so the drift
+//     totals the plan cache's freshness policy compares are identical with
+//     and without sharding (per-shard counters refine the predicate counter;
+//     a regression test pins the totals).
+//
+//   - internal/interp fans each rule of a parallel iteration out as one
+//     task per delta bucket: a task's plan copy restricts the subquery's
+//     delta read to its bucket (exact bucket lists on the scan fast path,
+//     per-row hash otherwise), tasks with empty buckets are skipped via the
+//     O(1) per-shard cardinality statistic, and the per-worker delta
+//     buffers merge at the same iteration barrier as before. The union of
+//     the buckets is exactly the delta (FuzzShardRouting), so the fan-out
+//     derives the same fixpoint — a differential harness in internal/core
+//     checks every engine configuration against the sequential baseline.
+//
+//   - internal/plancache segments the cache into LockShards independently
+//     locked shards keyed by the cache-key hash, so pool workers no longer
+//     funnel their plan lookups through a single mutex.
 package carac
 
 // Version identifies this reproduction build.

@@ -386,6 +386,14 @@ type Options struct {
 	ParallelUnions bool
 	// Workers bounds the parallel pool; <= 0 selects GOMAXPROCS.
 	Workers int
+	// Shards partitions every predicate's relations into this many hash
+	// buckets keyed by the predicate's planned join column, and fans each
+	// rule of a parallel iteration out as one task per bucket of its delta
+	// relation. Rule-granular parallelism is bounded by rule count; with
+	// Shards > 1 a single huge recursive rule (the transitive-closure shape)
+	// also saturates the worker pool — parallelism bounded by data size.
+	// Implies ParallelUnions; <= 1 disables sharding.
+	Shards int
 	// PlanCache caches compiled access plans across subquery executions,
 	// keyed by (rule, atom order, cardinality band) and served while
 	// observed cardinality drift stays under PlanCacheDrift — re-planning
@@ -495,6 +503,24 @@ func (p *Program) Run(opts Options) (*Result, error) {
 	in.Executor = opts.Executor
 	in.Parallel = opts.ParallelUnions
 	in.Workers = opts.Workers
+	if opts.Shards > 1 {
+		// Partition every predicate on its planned join key (first join
+		// column; column 0 for predicates never joined on) so the sharded
+		// fan-out serves each task's delta slice from an exact bucket list.
+		keyCols := make(map[storage.PredID]int)
+		for pid, cols := range ir.JoinKeyColumns(prog) {
+			if len(cols) > 0 {
+				keyCols[pid] = cols[0]
+			}
+		}
+		p.cat.ConfigureShards(opts.Shards, keyCols)
+		in.Parallel = true
+		in.Shards = opts.Shards
+	} else {
+		// Drop stale partitions so repeated Runs of one Program stay
+		// independent of an earlier sharded configuration.
+		p.cat.ConfigureShards(0, nil)
+	}
 	var plans *plancache.Cache[*interp.Plan]
 	if opts.PlanCache || opts.AdaptivePlans {
 		plans = plancache.New[*interp.Plan](plancache.Policy{Threshold: opts.PlanCacheDrift})

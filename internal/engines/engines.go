@@ -130,6 +130,23 @@ func RunSouffle(b *analysis.Built, mode SouffleMode, cxxLatency, timeout time.Du
 	return nil, errors.New("engines: unknown Soufflé mode")
 }
 
+// RunCaracSharded executes the built program under Carac's sharded parallel
+// configuration: the semi-naive fixpoint with every relation hash-partitioned
+// into shards buckets, single rules split across workers, and the drift-gated
+// plan cache on — the production-scale configuration the baseline comparison
+// measures Carac at beyond the paper's single-threaded numbers.
+func RunCaracSharded(b *analysis.Built, shards, workers int, timeout time.Duration) (*Report, error) {
+	res, err := b.P.Run(core.Options{
+		Indexed:        true,
+		PlanCache:      true,
+		ParallelUnions: true,
+		Shards:         shards,
+		Workers:        workers,
+		Timeout:        timeout,
+	})
+	return report(res, 0, err)
+}
+
 // RunDLX executes the built program the way the anonymized commercial
 // baseline does in Table II: naive evaluation, interpreted, as-written
 // orders (indexes on).

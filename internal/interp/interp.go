@@ -75,6 +75,14 @@ type Interp struct {
 	// Workers bounds the pool; <= 0 selects GOMAXPROCS.
 	Workers int
 
+	// Shards > 1 additionally fans each rule of a parallel iteration out as
+	// one task per hash bucket of its delta relation (configured via
+	// storage.PredicateDB.SetShards), so a single huge recursive rule — the
+	// common shape in transitive-closure-style workloads — no longer
+	// serializes the iteration: parallelism becomes bounded by data size,
+	// not rule count. Only honored together with Parallel.
+	Shards int
+
 	// Plans, when non-nil, caches access plans across subquery executions
 	// keyed by (rule, atom order, cardinality band): the repeated per-
 	// execution planning the seed interpreter paid becomes a cache lookup,
@@ -96,6 +104,11 @@ type Interp struct {
 	// per-worker buffer relation instead of the sink's DeltaNew (parallel
 	// rule evaluation; merged at the iteration barrier).
 	bufSink func(pred storage.PredID) *storage.Relation
+	// shard/shardTotal restrict this (sub-)interpreter's subquery
+	// executions to one hash bucket of each delta relation; shardTotal == 0
+	// means unrestricted. Set per task by the sharded fan-out.
+	shard      int
+	shardTotal int
 	// workers holds the lazily built pool state of runLoopParallel.
 	workers []*workerState
 	// keyMemo caches each subquery's structural plan-cache key, invalidated
@@ -287,13 +300,57 @@ func (in *Interp) planFor(spj *ir.SPJOp) (*Plan, error) {
 	return &cp, nil
 }
 
+// shardSkip reports whether this shard task can skip the subquery without
+// planning it: subqueries without a delta atom are whole-relation work that
+// shard 0 runs alone (so the fan-out neither duplicates nor drops them), and
+// a task whose delta bucket is empty cannot derive anything — the per-shard
+// cardinality statistic makes that an O(1) test.
+func (in *Interp) shardSkip(spj *ir.SPJOp) bool {
+	idx := spj.DeltaAtom()
+	if idx < 0 {
+		return in.shard != 0
+	}
+	pred := spj.Atoms[idx].Pred
+	if in.Cat.Pred(pred).Shards() == in.shardTotal {
+		src := stats.Catalog{Cat: in.Cat}
+		return src.ShardCard(pred, ir.SrcDelta, in.shard) == 0
+	}
+	return false
+}
+
+// applyShard installs the task's delta-bucket restriction on the plan copy:
+// the first relational step reading SrcDelta admits only rows of bucket
+// in.shard, keyed by the column storage partitioned the predicate on.
+func (in *Interp) applyShard(plan *Plan) {
+	for i := range plan.Steps {
+		st := &plan.Steps[i]
+		if st.Src != ir.SrcDelta {
+			continue
+		}
+		if st.Kind != StepScan && st.Kind != StepProbe && st.Kind != StepProbeN {
+			continue
+		}
+		plan.ShardStep = i
+		plan.Shard = in.shard
+		plan.ShardCount = in.shardTotal
+		plan.ShardKeyCol = in.Cat.Pred(st.Pred).ShardKeyCol()
+		return
+	}
+}
+
 // execSPJ interprets one subquery: it resolves an access plan for the
 // current atom order (cached or freshly built) and streams matches into the
 // sink via the configured executor.
 func (in *Interp) execSPJ(spj *ir.SPJOp) error {
+	if in.shardTotal > 1 && in.shardSkip(spj) {
+		return nil
+	}
 	plan, err := in.planFor(spj)
 	if err != nil {
 		return err
+	}
+	if in.shardTotal > 1 {
+		in.applyShard(plan)
 	}
 	plan.Cancel = in.Cancelled
 	if y, ok := in.Ctrl.(Yielder); ok {
@@ -368,16 +425,29 @@ func (in *Interp) ensureWorkers(n int) {
 	}
 }
 
+// shardTask is one unit of parallel work: a rule, restricted to one hash
+// bucket of its delta relation (shard 0 of 1 when sharding is off).
+type shardTask struct {
+	rule  *ir.UnionRuleOp
+	shard int
+}
+
 // runLoopParallel evaluates one stratum loop with the independent rules of
-// each iteration distributed over a bounded worker pool. Every worker reads
-// only Derived/DeltaKnown relations — frozen for the duration of the
-// iteration — and writes only its own private delta buffers, so the fan-out
-// is race-free by construction; the buffers are merged into the real
+// each iteration distributed over a bounded worker pool; with Shards > 1
+// each rule additionally fans out as one task per delta bucket, so a single
+// large rule saturates the pool instead of serializing the iteration. Every
+// worker reads only Derived/DeltaKnown relations — frozen for the duration
+// of the iteration — and writes only its own private delta buffers, so the
+// fan-out is race-free by construction; the buffers are merged into the real
 // DeltaNew relations (with set-difference against Derived and duplicate
 // elimination across workers) at the iteration barrier, and SwapClearOps
 // stay sequential there.
 func (in *Interp) runLoopParallel(n *ir.DoWhileOp) error {
-	var pending []*ir.UnionRuleOp
+	nshards := in.Shards
+	if nshards < 2 {
+		nshards = 1
+	}
+	var pending []shardTask
 	for {
 		flush := func() error {
 			if len(pending) == 0 {
@@ -386,10 +456,13 @@ func (in *Interp) runLoopParallel(n *ir.DoWhileOp) error {
 			defer func() { pending = pending[:0] }()
 			w := in.poolSize(len(pending))
 			if w <= 1 {
-				// Degenerate pool: evaluate in place, writing DeltaNew
-				// directly like the sequential path.
-				for _, r := range pending {
-					if err := in.interpret(r); err != nil {
+				// Degenerate pool: evaluate each rule once, unsharded and in
+				// place, writing DeltaNew directly like the sequential path.
+				for _, t := range pending {
+					if t.shard != 0 {
+						continue
+					}
+					if err := in.interpret(t.rule); err != nil {
 						return err
 					}
 				}
@@ -405,11 +478,18 @@ func (in *Interp) runLoopParallel(n *ir.DoWhileOp) error {
 				go func() {
 					defer wg.Done()
 					for {
-						t := int(next.Add(1) - 1)
-						if t >= len(pending) || ws.sub.Cancelled() {
+						ti := int(next.Add(1) - 1)
+						if ti >= len(pending) || ws.sub.Cancelled() {
 							return
 						}
-						if err := ws.sub.interpret(pending[t]); err != nil {
+						t := pending[ti]
+						ws.sub.shard = t.shard
+						if nshards > 1 {
+							ws.sub.shardTotal = nshards
+						} else {
+							ws.sub.shardTotal = 0
+						}
+						if err := ws.sub.interpret(t.rule); err != nil {
 							ws.err = err
 							return
 						}
@@ -421,7 +501,11 @@ func (in *Interp) runLoopParallel(n *ir.DoWhileOp) error {
 		}
 		for _, c := range n.Body {
 			if ua, ok := c.(*ir.UnionAllOp); ok {
-				pending = append(pending, ua.Rules...)
+				for _, r := range ua.Rules {
+					for s := 0; s < nshards; s++ {
+						pending = append(pending, shardTask{rule: r, shard: s})
+					}
+				}
 				continue
 			}
 			if err := flush(); err != nil {
@@ -475,8 +559,13 @@ func (in *Interp) mergeWorkers(w int) error {
 				continue
 			}
 			sink := in.Cat.Pred(storage.PredID(pid))
+			// Workers already filtered buffered tuples against Derived, and
+			// Derived is frozen from task fan-out through this merge (only
+			// the sequential SwapClearOp after the barrier mutates it), so
+			// the only remaining duplicates are across workers — DeltaNew's
+			// own insert dedup handles those without re-probing Derived.
 			buf.Each(func(row []storage.Value) bool {
-				if !sink.Derived.Contains(row) && sink.DeltaNew.Insert(row) {
+				if sink.DeltaNew.Insert(row) {
 					in.Stats.Derivations++
 				}
 				return true

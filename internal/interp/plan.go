@@ -119,6 +119,22 @@ type Plan struct {
 	Yield func() bool
 	// Yielded reports that the last Execute was abandoned via Yield.
 	Yielded bool
+
+	// Shard restriction (per-execution state, set on plan copies by the
+	// sharded fan-out; always zero in cached plans): when ShardCount > 1 the
+	// relational step at index ShardStep — the subquery's delta read — only
+	// admits rows whose ShardKeyCol hashes to bucket Shard, so each of the
+	// ShardCount tasks evaluating this subquery covers a disjoint slice of
+	// the delta and their union covers it exactly.
+	Shard       int
+	ShardCount  int
+	ShardStep   int
+	ShardKeyCol int
+}
+
+// inShard reports whether row belongs to the plan's delta bucket.
+func (p *Plan) inShard(row []storage.Value) bool {
+	return storage.ShardOf(row[p.ShardKeyCol], p.ShardCount) == p.Shard
 }
 
 // SourceRel resolves the relation a relational step reads right now.
@@ -356,7 +372,15 @@ func (p *Plan) Execute(cat *storage.Catalog, emit func(head, bind []storage.Valu
 			// cartesian product.
 			checkCancel := i <= 1 && p.Cancel != nil
 			checkYield := i <= 1 && p.Yield != nil
+			// Shard restriction on the delta step: served from the
+			// incrementally maintained bucket lists when the relation's
+			// partition matches the task layout (the scan fast path below),
+			// otherwise enforced row-by-row here.
+			shardFilter := p.ShardCount > 1 && i == p.ShardStep
 			match := func(row []storage.Value) {
+				if shardFilter && !p.inShard(row) {
+					return
+				}
 				for _, ck := range st.Checks {
 					switch ck.Mode {
 					case CheckConst:
@@ -435,6 +459,21 @@ func (p *Plan) Execute(cat *storage.Catalog, emit func(head, bind []storage.Valu
 					match(rel.Row(ri))
 				}
 				return
+			}
+			if shardFilter {
+				if sc, col := rel.ShardConfig(); sc == p.ShardCount && col == p.ShardKeyCol {
+					// Bucket lists are exact for this layout: iterate only
+					// this task's rows and skip the per-row hash.
+					shardFilter = false
+					rel.EachShard(p.Shard, func(row []storage.Value) bool {
+						if stop() {
+							return false
+						}
+						match(row)
+						return true
+					})
+					return
+				}
 			}
 			rel.Each(func(row []storage.Value) bool {
 				if stop() {

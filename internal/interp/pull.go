@@ -28,6 +28,15 @@ type relPull struct {
 	cat  *storage.Catalog
 	bind []storage.Value
 
+	// Shard restriction for the plan's delta step (see Plan.Shard*):
+	// shardCount > 1 admits only rows of bucket shard — served from the
+	// exact bucket list when the relation's partition matches the task
+	// layout (hashFilter off), enforced per row otherwise.
+	shard       int
+	shardCount  int
+	shardKeyCol int
+	hashFilter  bool
+
 	rel  *storage.Relation
 	rows []int32 // probe rows; nil = scan
 	pos  int
@@ -37,6 +46,7 @@ type relPull struct {
 func (r *relPull) Open() {
 	r.rel = SourceRel(r.cat, r.st.Pred, r.st.Src)
 	r.pos = 0
+	r.hashFilter = r.shardCount > 1
 	switch r.st.Kind {
 	case StepProbe:
 		key := r.st.ProbeKey.resolve(r.bind)
@@ -80,6 +90,16 @@ func (r *relPull) Open() {
 		}
 		r.n = len(r.rows)
 	default:
+		if r.hashFilter {
+			if sc, col := r.rel.ShardConfig(); sc == r.shardCount && col == r.shardKeyCol {
+				// Exact-bucket scan: iterate only this task's rows and skip
+				// the per-row hash.
+				r.hashFilter = false
+				r.rows = r.rel.ShardRows(r.shard)
+				r.n = len(r.rows)
+				return
+			}
+		}
 		r.rows = nil
 		r.n = r.rel.Len()
 	}
@@ -106,6 +126,9 @@ func (r *relPull) Next() bool {
 }
 
 func (r *relPull) matches(row []storage.Value) bool {
+	if r.hashFilter && storage.ShardOf(row[r.shardKeyCol], r.shardCount) != r.shard {
+		return false
+	}
 	for _, ck := range r.st.Checks {
 		switch ck.Mode {
 		case CheckConst:
@@ -188,7 +211,11 @@ func NewPullExecutor(plan *Plan, cat *storage.Catalog) *PullExecutor {
 	for i := range plan.Steps {
 		st := &plan.Steps[i]
 		if st.Kind == StepScan || st.Kind == StepProbe || st.Kind == StepProbeN {
-			nodes[i] = &relPull{st: st, cat: cat, bind: bind}
+			rp := &relPull{st: st, cat: cat, bind: bind}
+			if plan.ShardCount > 1 && i == plan.ShardStep {
+				rp.shard, rp.shardCount, rp.shardKeyCol = plan.Shard, plan.ShardCount, plan.ShardKeyCol
+			}
+			nodes[i] = rp
 		} else {
 			nodes[i] = &guardPull{st: st, cat: cat, bind: bind}
 		}

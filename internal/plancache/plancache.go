@@ -14,8 +14,10 @@
 // built for it rather than oscillating one shared entry.
 //
 // The cache is safe for concurrent use by the parallel rule executor's
-// workers; cached artifacts themselves must be immutable (callers copy
-// before attaching per-execution state).
+// workers and is internally segmented into LockShards independently locked
+// shards keyed by the cache-key hash, so pool workers do not funnel through
+// a single mutex; cached artifacts themselves must be immutable (callers
+// copy before attaching per-execution state).
 package plancache
 
 import (
@@ -137,19 +139,51 @@ type entry[T any] struct {
 	counters []uint64
 }
 
-// Cache is a drift-gated artifact cache. The zero value is not usable;
-// construct with New.
-type Cache[T any] struct {
-	pol Policy
+// LockShards is the fixed number of independently locked cache segments.
+// Keys hash uniformly across segments, so with a worker pool of size W the
+// probability of two workers colliding on one lock is ~W/LockShards per
+// lookup — small enough that the pool no longer funnels through a single
+// mutex as worker counts grow.
+const LockShards = 16
 
+// cacheShard is one independently locked segment of the cache: its own
+// bucket map and its own activity counters (aggregated on read, so the hot
+// path never touches a shared statistics lock either).
+type cacheShard[T any] struct {
 	mu      sync.Mutex
 	buckets map[Key]map[string]*entry[T] // key -> band signature -> entry
 	stats   Stats
 }
 
+// Cache is a drift-gated artifact cache, segmented into LockShards
+// independently locked shards keyed by hash of the cache key. The zero value
+// is not usable; construct with New.
+type Cache[T any] struct {
+	pol    Policy
+	shards [LockShards]cacheShard[T]
+}
+
 // New builds an empty cache under the given policy.
 func New[T any](pol Policy) *Cache[T] {
-	return &Cache[T]{pol: pol, buckets: make(map[Key]map[string]*entry[T])}
+	c := &Cache[T]{pol: pol}
+	for i := range c.shards {
+		c.shards[i].buckets = make(map[Key]map[string]*entry[T])
+	}
+	return c
+}
+
+// shardFor routes a key to its lock shard: FNV-1a over the structural
+// signature folded with the rule index. The same key always lands on the
+// same shard, so per-key operations remain linearizable.
+func (c *Cache[T]) shardFor(k Key) *cacheShard[T] {
+	h := uint32(2166136261)
+	for i := 0; i < len(k.Sig); i++ {
+		h ^= uint32(k.Sig[i])
+		h *= 16777619
+	}
+	h ^= uint32(k.Rule)
+	h *= 16777619
+	return &c.shards[h%LockShards]
 }
 
 // Policy returns the cache's freshness policy.
@@ -163,22 +197,23 @@ func (c *Cache[T]) Policy() Policy { return c.pol }
 // in-band drift beyond the threshold) — which is the caller's cue to
 // re-optimize the join order before rebuilding.
 func (c *Cache[T]) Lookup(k Key, counters []uint64, cards []int) (val T, ok bool, stale bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	bucket := c.buckets[k]
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	bucket := sh.buckets[k]
 	if bucket == nil {
-		c.stats.ColdMisses++
+		sh.stats.ColdMisses++
 		return val, false, false
 	}
 	band := BandSig(cards)
 	e := bucket[band]
 	if e == nil {
-		c.stats.BandMisses++
+		sh.stats.BandMisses++
 		return val, false, true
 	}
 	if stats.CountersEqual(e.counters, counters) {
-		c.stats.Hits++
-		c.stats.FastHits++
+		sh.stats.Hits++
+		sh.stats.FastHits++
 		return e.val, true, false
 	}
 	if c.pol.Fresh(e.cards, cards) {
@@ -186,45 +221,59 @@ func (c *Cache[T]) Lookup(k Key, counters []uint64, cards []int) (val T, ok bool
 		// JIT's per-compilation fingerprint); only the counter vector is
 		// refreshed so the next unchanged-world lookup takes the fast path.
 		e.counters = append(e.counters[:0], counters...)
-		c.stats.Hits++
+		sh.stats.Hits++
 		return e.val, true, false
 	}
 	delete(bucket, band)
-	c.stats.StaleDrops++
+	sh.stats.StaleDrops++
 	return val, false, true
 }
 
 // Store caches v under k for the band of cards.
 func (c *Cache[T]) Store(k Key, counters []uint64, cards []int, v T) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	bucket := c.buckets[k]
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	bucket := sh.buckets[k]
 	if bucket == nil {
 		bucket = make(map[string]*entry[T])
-		c.buckets[k] = bucket
+		sh.buckets[k] = bucket
 	}
 	bucket[BandSig(cards)] = &entry[T]{
 		val:      v,
 		cards:    append([]int(nil), cards...),
 		counters: append([]uint64(nil), counters...),
 	}
-	c.stats.Stores++
+	sh.stats.Stores++
 }
 
 // Len returns the number of cached entries across all keys and bands.
 func (c *Cache[T]) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	n := 0
-	for _, b := range c.buckets {
-		n += len(b)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for _, b := range sh.buckets {
+			n += len(b)
+		}
+		sh.mu.Unlock()
 	}
 	return n
 }
 
-// Stats snapshots the activity counters.
+// Stats aggregates the activity counters across all lock shards.
 func (c *Cache[T]) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	var out Stats
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		out.Hits += sh.stats.Hits
+		out.FastHits += sh.stats.FastHits
+		out.ColdMisses += sh.stats.ColdMisses
+		out.BandMisses += sh.stats.BandMisses
+		out.StaleDrops += sh.stats.StaleDrops
+		out.Stores += sh.stats.Stores
+		sh.mu.Unlock()
+	}
+	return out
 }

@@ -1,0 +1,118 @@
+package plancache
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestShardedCacheConcurrentStress hammers the lock-sharded cache from
+// GOMAXPROCS goroutines with the full mix of outcomes the parallel rule
+// executor produces — fast hits (unchanged counters), drift hits, cold
+// misses, band hops (cardinality regime changes), and drift-driven stale
+// drops — and then cross-checks the aggregated statistics against the
+// ground-truth operation counts. Run under -race (the CI race step covers
+// this package) it is the regression net for the per-shard locking.
+func TestShardedCacheConcurrentStress(t *testing.T) {
+	c := New[int](Policy{})
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	const (
+		iters = 4000
+		nkeys = 48 // spans (and collides within) the LockShards segments
+	)
+	keys := make([]Key, nkeys)
+	for i := range keys {
+		keys[i] = Key{Rule: i % 7, Sig: fmt.Sprintf("sig-%d", i)}
+	}
+
+	var lookups, stores atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := uint64(w)*0x9e3779b97f4a7c15 + 1
+			next := func() uint64 {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				return rng
+			}
+			for i := 0; i < iters; i++ {
+				k := keys[next()%nkeys]
+				// Phase-shifted cardinalities: within a phase counters and
+				// cards repeat (fast hits); across phases cards drift inside
+				// the band (drift hits), hop bands (band misses), or blow
+				// past the threshold in-band (stale drops).
+				phase := i / 500
+				var cards [2]int
+				var counters [2]uint64
+				switch next() % 4 {
+				case 0: // unchanged world: exact counter match
+					cards = [2]int{100, 200}
+					counters = [2]uint64{uint64(phase), uint64(phase)}
+				case 1: // small in-band drift with fresh counters
+					cards = [2]int{100 + int(next()%40), 200}
+					counters = [2]uint64{next(), next()}
+				case 2: // band hop: doubled cardinality regime
+					cards = [2]int{100 << (phase%3 + 1), 200}
+					counters = [2]uint64{next(), next()}
+				case 3: // in-band blowup past the 0.5 drift threshold
+					cards = [2]int{100, 200 + int(next()%200)}
+					counters = [2]uint64{next(), next()}
+				}
+				lookups.Add(1)
+				if _, ok, _ := c.Lookup(k, counters[:], cards[:]); !ok {
+					stores.Add(1)
+					c.Store(k, counters[:], cards[:], int(next()))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	s := c.Stats()
+	gotLookups := s.Hits + s.ColdMisses + s.BandMisses + s.StaleDrops
+	if gotLookups != lookups.Load() {
+		t.Fatalf("stats lost lookups under contention: %d accounted, %d performed", gotLookups, lookups.Load())
+	}
+	if s.Stores != stores.Load() {
+		t.Fatalf("stats lost stores under contention: %d accounted, %d performed", s.Stores, stores.Load())
+	}
+	if s.FastHits > s.Hits {
+		t.Fatalf("fast hits %d exceed hits %d", s.FastHits, s.Hits)
+	}
+	// The mix must actually have exercised every outcome, or the stress is
+	// not covering the code paths it claims to.
+	if s.Hits == 0 || s.ColdMisses == 0 || s.BandMisses == 0 || s.StaleDrops == 0 {
+		t.Fatalf("stress mix degenerate: %+v", s)
+	}
+	if c.Len() == 0 {
+		t.Fatal("cache empty after stress")
+	}
+}
+
+// TestShardForStability pins that key routing is deterministic and spreads
+// across segments: the same key always lands on one shard, and distinct keys
+// cover a healthy fraction of the LockShards segments.
+func TestShardForStability(t *testing.T) {
+	c := New[int](Policy{})
+	seen := map[*cacheShard[int]]bool{}
+	for i := 0; i < 256; i++ {
+		k := Key{Rule: i, Sig: fmt.Sprintf("s%d", i)}
+		a, b := c.shardFor(k), c.shardFor(k)
+		if a != b {
+			t.Fatalf("key %v routed to two shards", k)
+		}
+		seen[a] = true
+	}
+	if len(seen) < LockShards/2 {
+		t.Fatalf("256 keys hit only %d of %d lock shards", len(seen), LockShards)
+	}
+}

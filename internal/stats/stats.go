@@ -74,6 +74,29 @@ func (s Catalog) DriftCounter(pred storage.PredID) uint64 {
 	return s.Cat.Pred(pred).DriftCounter()
 }
 
+// ShardCard returns the tuple count of bucket shard of the relation
+// (pred, src) resolves to — the statistic the sharded fixpoint driver
+// consults to skip empty buckets (and the input a shard-count auto-tuner
+// would read). Like Card it is O(1): bucket sizes are maintained
+// incrementally by the storage mutation paths; unpartitioned relations read
+// as one bucket holding everything.
+func (s Catalog) ShardCard(pred storage.PredID, src ir.Source, shard int) int {
+	p := s.Cat.Pred(pred)
+	if src == ir.SrcDelta {
+		return p.DeltaKnown.ShardLen(shard)
+	}
+	return p.Derived.ShardLen(shard)
+}
+
+// ShardDriftCounter returns the predicate's per-bucket monotone counter (see
+// storage.PredicateDB.ShardDriftCounter). The bucket counters refine the
+// predicate-level DriftCounter without perturbing it: registering or reading
+// shard partitions never advances the totals the plan cache's freshness
+// policy compares, so sharded and unsharded runs see identical drift.
+func (s Catalog) ShardDriftCounter(pred storage.PredID, shard int) uint64 {
+	return s.Cat.Pred(pred).ShardDriftCounter(shard)
+}
+
 // Unit reports cardinality 1 for every relation: the rules-only source
 // (only selectivity differentiates atoms, §VI-C's macro staging without
 // fact knowledge).

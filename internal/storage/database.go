@@ -33,6 +33,12 @@ type PredicateDB struct {
 	// swaps counts SwapClear invocations, the delta-rotation component of the
 	// predicate's drift counter.
 	swaps uint64
+
+	// Shard configuration (0 = unsharded): all three relations are
+	// partitioned into shards buckets by hash of column shardCol, the
+	// planned join key. See shard.go.
+	shards   int
+	shardCol int
 }
 
 func newPredicateDB(id PredID, name string, arity int) *PredicateDB {
@@ -83,6 +89,38 @@ func (p *PredicateDB) SwapClear() {
 // consult before computing cardinality drift.
 func (p *PredicateDB) DriftCounter() uint64 {
 	return p.swaps + p.Derived.Mutations() + p.DeltaKnown.Mutations() + p.DeltaNew.Mutations()
+}
+
+// SetShards partitions all three relations into n buckets by hash of column
+// col — the join key the planner probes, so the parallel executor can hand
+// each bucket of the delta to a different worker. n < 2 removes the
+// partition. The partitions are row-id views: registering them leaves every
+// relation's content and mutation counter untouched, so DriftCounter totals
+// are identical before and after sharding.
+func (p *PredicateDB) SetShards(n, col int) {
+	if n < 2 {
+		p.shards, p.shardCol = 0, 0
+	} else {
+		p.shards, p.shardCol = n, col
+	}
+	p.Derived.SetShardKey(n, col)
+	p.DeltaKnown.SetShardKey(n, col)
+	p.DeltaNew.SetShardKey(n, col)
+}
+
+// Shards returns the configured bucket count (0 = unsharded).
+func (p *PredicateDB) Shards() int { return p.shards }
+
+// ShardKeyCol returns the configured shard key column.
+func (p *PredicateDB) ShardKeyCol() int { return p.shardCol }
+
+// ShardDriftCounter is the per-bucket analogue of DriftCounter: a monotone
+// counter over bucket s of all three relations plus the delta rotations. The
+// three per-relation components travel with the relation structs, so the sum
+// is invariant under SwapClear's pointer exchange, exactly like the
+// predicate-level counter it refines.
+func (p *PredicateDB) ShardDriftCounter(s int) uint64 {
+	return p.swaps + p.Derived.ShardMutations(s) + p.DeltaKnown.ShardMutations(s) + p.DeltaNew.ShardMutations(s)
 }
 
 // BuildIndexes registers indexes on the given columns across all three
@@ -172,6 +210,19 @@ func (c *Catalog) Preds() []*PredicateDB { return c.preds }
 func (c *Catalog) ResetFacts() {
 	for _, p := range c.preds {
 		p.Reset()
+	}
+}
+
+// ConfigureShards partitions every predicate into n buckets, keyed by the
+// predicate's entry in keyCols (its planned join key; column 0 when absent).
+// n < 2 removes all partitions.
+func (c *Catalog) ConfigureShards(n int, keyCols map[PredID]int) {
+	for _, p := range c.preds {
+		col := keyCols[p.ID]
+		if col < 0 || col >= p.Arity {
+			col = 0
+		}
+		p.SetShards(n, col)
 	}
 }
 

@@ -31,6 +31,15 @@ type Relation struct {
 	// guarantee unchanged content. The statistics subsystem aggregates it
 	// into per-predicate drift counters.
 	muts uint64
+
+	// Shard partition state (see shard.go). shardCount == 0 means
+	// unpartitioned; otherwise shardRows holds row ids bucketed by
+	// ShardOf(row[shardCol], shardCount) and shardMuts the per-bucket
+	// monotone mutation counters.
+	shardCount int
+	shardCol   int
+	shardRows  [][]int32
+	shardMuts  []uint64
 }
 
 // NewRelation creates an empty relation with the given name and arity.
@@ -81,6 +90,9 @@ func (r *Relation) Insert(t []Value) bool {
 	r.muts++
 	row := int32(r.Len())
 	r.arena = append(r.arena, t...)
+	if r.shardCount > 0 {
+		r.shardInsert(t, row)
+	}
 	for col, idx := range r.indexes {
 		v := t[col]
 		idx[v] = append(idx[v], row)
@@ -191,10 +203,13 @@ func (r *Relation) Probe(col int, v Value) ([]int32, bool) {
 // equal observations bracket a window in which the content did not change.
 func (r *Relation) Mutations() uint64 { return r.muts }
 
-// Clear removes all tuples but keeps index registrations.
+// Clear removes all tuples but keeps index and shard registrations.
 func (r *Relation) Clear() {
 	if len(r.arena) > 0 {
 		r.muts++
+	}
+	if r.shardCount > 0 {
+		r.shardClear()
 	}
 	r.arena = r.arena[:0]
 	// Replacing the map is faster than deleting every key for large sets and
@@ -218,6 +233,9 @@ func (r *Relation) TruncateTo(n int) {
 	}
 	r.muts++
 	r.arena = r.arena[:n*r.arity]
+	if r.shardCount > 0 {
+		r.shardRebuild()
+	}
 	r.set = make(map[string]struct{}, n)
 	for col := range r.indexes {
 		r.indexes[col] = make(map[Value][]int32)

@@ -1,0 +1,112 @@
+package storage
+
+import "testing"
+
+// TestShardDriftAggregationRegression pins the satellite invariant of the
+// sharded catalog: per-shard drift counters are a refinement of the
+// predicate-level counter, never a perturbation of it. The plan cache's
+// freshness policy compares PredicateDB.DriftCounter totals, so a sharded
+// and an unsharded run of the identical mutation sequence must observe the
+// same totals at every step — otherwise sharding would silently change
+// which cached plans survive.
+//
+// The insert sequence is deliberately skewed: most keys hash to one bucket
+// (a hub node fanning out), the shape that exposed aggregation bugs in
+// incremental re-partitioning systems.
+func TestShardDriftAggregationRegression(t *testing.T) {
+	mkPred := func(shards int) *PredicateDB {
+		c := NewCatalog()
+		id := c.Declare("p", 2)
+		pd := c.Pred(id)
+		if shards > 1 {
+			pd.SetShards(shards, 0)
+		}
+		return pd
+	}
+	flat := mkPred(0)
+	sharded := mkPred(4)
+	skewKey := Value(7)
+	hot := ShardOf(skewKey, 4)
+
+	step := 0
+	check := func() {
+		t.Helper()
+		step++
+		if f, s := flat.DriftCounter(), sharded.DriftCounter(); f != s {
+			t.Fatalf("step %d: sharded drift total %d != unsharded %d", step, s, f)
+		}
+		var sum uint64
+		for b := 0; b < 4; b++ {
+			sum += sharded.ShardDriftCounter(b)
+		}
+		// Each bucket counter embeds the shared swap count, so the sum over
+		// buckets is >= the predicate counter minus relation-level-only
+		// bumps; the invariant that matters is per-bucket monotonicity,
+		// checked below against prevBuckets.
+		_ = sum
+	}
+	prevBuckets := make([]uint64, 4)
+	checkMonotone := func() {
+		t.Helper()
+		for b := 0; b < 4; b++ {
+			cur := sharded.ShardDriftCounter(b)
+			if cur < prevBuckets[b] {
+				t.Fatalf("step %d: bucket %d drift counter moved backwards (%d -> %d)", step, b, prevBuckets[b], cur)
+			}
+			prevBuckets[b] = cur
+		}
+	}
+
+	apply := func(f func(*PredicateDB)) {
+		f(flat)
+		f(sharded)
+		check()
+		checkMonotone()
+	}
+
+	// Forced skew: 20 tuples on one hub key, 4 spread keys.
+	for i := 0; i < 20; i++ {
+		i := i
+		apply(func(p *PredicateDB) { p.AddFact([]Value{skewKey, Value(i)}) })
+	}
+	for i := 0; i < 4; i++ {
+		i := i
+		apply(func(p *PredicateDB) { p.AddFact([]Value{Value(100 + i), Value(i)}) })
+	}
+	hotDrift := sharded.ShardDriftCounter(hot)
+	var coldMax uint64
+	for b := 0; b < 4; b++ {
+		if b != hot && sharded.ShardDriftCounter(b) > coldMax {
+			coldMax = sharded.ShardDriftCounter(b)
+		}
+	}
+	if hotDrift <= coldMax {
+		t.Fatalf("skewed bucket %d drift %d not above cold buckets' max %d — skew not visible per shard", hot, hotDrift, coldMax)
+	}
+
+	// Two fixpoint-style delta rotations with fresh derivations in between.
+	apply(func(p *PredicateDB) { p.SeedDeltas() })
+	apply(func(p *PredicateDB) { p.DeltaNew.Insert([]Value{skewKey, 500}) })
+	apply(func(p *PredicateDB) { p.SwapClear() })
+	apply(func(p *PredicateDB) { p.DeltaNew.Insert([]Value{Value(101), 501}) })
+	apply(func(p *PredicateDB) { p.SwapClear() })
+
+	// Incremental-batch rewind: truncate to the ground baseline and reload.
+	apply(func(p *PredicateDB) { p.Derived.TruncateTo(24) })
+	apply(func(p *PredicateDB) { p.DeltaKnown.Clear(); p.DeltaNew.Clear() })
+	for i := 0; i < 6; i++ {
+		i := i
+		apply(func(p *PredicateDB) { p.AddFact([]Value{skewKey, Value(600 + i)}) })
+	}
+
+	// Regression pin: the exact total for this sequence. If this moves, the
+	// drift accounting the plan cache depends on changed — that is an API
+	// break for cached-plan freshness, not a cosmetic diff.
+	const wantTotal = 64
+	if got := flat.DriftCounter(); got != wantTotal {
+		t.Fatalf("unsharded drift total = %d, pinned %d", got, wantTotal)
+	}
+	if got := sharded.DriftCounter(); got != wantTotal {
+		t.Fatalf("sharded drift total = %d, pinned %d", got, wantTotal)
+	}
+}

@@ -104,5 +104,48 @@ func Primes(form analysis.Formulation, n int) *analysis.Built {
 	return &analysis.Built{P: p, Output: prime}
 }
 
+// TransitiveClosure builds the canonical single-recursive-rule workload —
+// reachability over a pseudo-random graph:
+//
+//	tc(x,y) :- edge(x,y).
+//	tc(x,y) :- tc(x,z), edge(z,y).
+//
+// One large rule dominates the fixpoint, so rule-granular parallelism cannot
+// help it (the iteration serializes on the one rule); it is the shape the
+// sharded fan-out exists for. The Unoptimized formulation leads with the
+// non-delta edge scan (adversarial but legal).
+func TransitiveClosure(form analysis.Formulation, nodes, edges, seed int) *analysis.Built {
+	p := core.NewProgram()
+	edge := p.Relation("edge", 2)
+	tc := p.Relation("tc", 2)
+	x, y, z := core.NewVar("x"), core.NewVar("y"), core.NewVar("z")
+
+	p.MustRule(tc.A(x, y), edge.A(x, y))
+	if form == analysis.HandOptimized {
+		p.MustRule(tc.A(x, y), tc.A(x, z), edge.A(z, y))
+	} else {
+		p.MustRule(tc.A(x, y), edge.A(z, y), tc.A(x, z))
+	}
+	// Deterministic splitmix64 edge generator: self-loops dropped, duplicates
+	// deduped by storage.
+	s := uint64(seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	next := func() uint64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := 0; i < edges; i++ {
+		a := int(next() % uint64(nodes))
+		b := int(next() % uint64(nodes))
+		if a == b {
+			continue
+		}
+		edge.MustFact(a, b)
+	}
+	return &analysis.Built{P: p, Output: tc}
+}
+
 // Not re-exports core.Not for readability inside this package.
 func Not(a core.Atom) core.Atom { return core.Not(a) }
