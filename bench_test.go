@@ -42,6 +42,7 @@ func runProgram(b *testing.B, built *analysis.Built, opts core.Options) *core.Re
 		b.Fatal(err)
 	}
 	var res *core.Result
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r, err := built.P.Run(opts)
@@ -309,6 +310,14 @@ func BenchmarkTable2_Engines(b *testing.B) {
 				}
 			}
 		})
+		b.Run(name+"/Carac-Adaptive", func(b *testing.B) {
+			built := bf()
+			for i := 0; i < b.N; i++ {
+				if _, err := engines.RunCaracAdaptive(built, 8, 0, time.Minute); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -420,6 +429,7 @@ func BenchmarkParallelFixpoint(b *testing.B) {
 		{"ParallelAdaptive", core.Options{Indexed: true, ParallelUnions: true, AdaptivePlans: true}},
 		{"Sharded8", core.Options{Indexed: true, Shards: 8}},
 		{"Sharded8PlanCache", core.Options{Indexed: true, Shards: 8, PlanCache: true}},
+		{"Adaptive8", core.Options{Indexed: true, Shards: 8, AdaptiveFanout: true}},
 	}
 	for _, w := range builds {
 		for _, c := range configs {
@@ -451,6 +461,8 @@ func BenchmarkShardedSpeedup(b *testing.B) {
 		{"Sharded8/W1", core.Options{Indexed: true, PlanCache: true, Shards: 8, Workers: 1}},
 		{"Sharded8/W2", core.Options{Indexed: true, PlanCache: true, Shards: 8, Workers: 2}},
 		{"Sharded8/W4", core.Options{Indexed: true, PlanCache: true, Shards: 8, Workers: 4}},
+		{"Adaptive8/W2", core.Options{Indexed: true, PlanCache: true, Shards: 8, Workers: 2, AdaptiveFanout: true}},
+		{"Adaptive8/W4", core.Options{Indexed: true, PlanCache: true, Shards: 8, Workers: 4, AdaptiveFanout: true}},
 	}
 	for _, c := range configs {
 		c := c

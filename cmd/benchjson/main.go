@@ -1,0 +1,109 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// artifact mapping benchmark name to its reported metrics — the format the
+// CI perf-trajectory step archives (BENCH_merge.json), so successive PRs
+// can diff ns/op and allocs/op mechanically instead of eyeballing logs.
+//
+//	go test -bench BenchmarkShardedSpeedup -benchtime 1x -benchmem . | benchjson > BENCH_merge.json
+//
+// Standard metric pairs (ns/op, B/op, allocs/op) and any custom
+// b.ReportMetric units are all captured; the GOMAXPROCS suffix ("-8") is
+// stripped from names so artifacts diff cleanly across machines.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line: the iteration count and every reported
+// metric keyed by its unit.
+type Result struct {
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Parse reads `go test -bench` output, returning benchmark results keyed by
+// name (GOMAXPROCS suffix stripped) in input order, plus the names in that
+// order for deterministic serialization.
+func Parse(r io.Reader) (map[string]Result, []string, error) {
+	out := make(map[string]Result)
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		name := stripProcs(fields[0])
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. a "Benchmark... --- FAIL" line
+		}
+		res := Result{Iterations: iters, Metrics: make(map[string]float64)}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		if _, dup := out[name]; !dup {
+			order = append(order, name)
+		}
+		out[name] = res
+	}
+	return out, order, sc.Err()
+}
+
+// stripProcs removes the trailing -N GOMAXPROCS suffix go test appends.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func main() {
+	results, order, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	// Ordered object output: marshal entry by entry so the artifact diffs
+	// stably run to run.
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, name := range order {
+		enc, err := json.Marshal(results[name])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		key, _ := json.Marshal(name)
+		fmt.Fprintf(&b, "  %s: %s", key, enc)
+		if i < len(order)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("}\n")
+	os.Stdout.WriteString(b.String())
+}

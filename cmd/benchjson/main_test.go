@@ -1,0 +1,61 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: carac
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkShardedSpeedup/Sequential-8         	       1	 372845238 ns/op	68203752 B/op	  629843 allocs/op
+BenchmarkShardedSpeedup/Adaptive8/W4         	       2	 155329337 ns/op	41959192 B/op	  457905 allocs/op
+BenchmarkPlanCache/CSPA/PlanCache-8          	       3	  12345678 ns/op	        97.5 hit%	 1234 B/op	   56 allocs/op
+PASS
+ok  	carac	5.012s
+`
+
+func TestParse(t *testing.T) {
+	res, order, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 || len(order) != 3 {
+		t.Fatalf("parsed %d results (%d ordered), want 3", len(res), len(order))
+	}
+	seq := res["BenchmarkShardedSpeedup/Sequential"]
+	if seq.Iterations != 1 || seq.Metrics["ns/op"] != 372845238 || seq.Metrics["allocs/op"] != 629843 {
+		t.Fatalf("sequential entry = %+v", seq)
+	}
+	// The GOMAXPROCS suffix is stripped only when numeric: W4 survives.
+	if _, ok := res["BenchmarkShardedSpeedup/Adaptive8/W4"]; !ok {
+		t.Fatalf("adaptive entry missing; order = %v", order)
+	}
+	pc := res["BenchmarkPlanCache/CSPA/PlanCache"]
+	if pc.Metrics["hit%"] != 97.5 || pc.Metrics["B/op"] != 1234 {
+		t.Fatalf("custom metrics not captured: %+v", pc.Metrics)
+	}
+	if order[0] != "BenchmarkShardedSpeedup/Sequential" {
+		t.Fatalf("order[0] = %q", order[0])
+	}
+}
+
+func TestParseRoundTripsAsJSON(t *testing.T) {
+	res, _, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]Result
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back["BenchmarkShardedSpeedup/Sequential"].Metrics["ns/op"] != 372845238 {
+		t.Fatal("round trip lost data")
+	}
+}

@@ -56,6 +56,8 @@ func run(args []string) error {
 	parallel := fs.Bool("parallel", false, "evaluate independent rules on a bounded worker pool")
 	workers := fs.Int("workers", 0, "parallel worker count (0 = GOMAXPROCS)")
 	shards := fs.Int("shards", 0, "hash-shard each relation into this many buckets and split single rules across workers (implies -parallel)")
+	adaptiveFanout := fs.Bool("adaptive-fanout", false, "re-decide the parallel fan-out each iteration from live delta statistics, with a sequential fast path for small-delta iterations (implies -shards 8 when -shards is unset)")
+	fanoutThreshold := fs.Int("fanout-threshold", 0, "delta size below which an iteration runs sequentially under -adaptive-fanout, and the minimum buffered volume for a parallel bucketed merge when -shards > 1 (0 = default)")
 	timeout := fs.Duration("timeout", 0, "abort after this duration")
 	explain := fs.Bool("explain", false, "print the IROp plan (with optimizer weights) before running")
 
@@ -107,15 +109,17 @@ func run(args []string) error {
 	}
 
 	opts := core.Options{
-		Indexed:        *indexed,
-		Naive:          *naive,
-		AOT:            aotStage,
-		Timeout:        *timeout,
-		PlanCache:      *plancache,
-		AdaptivePlans:  *adaptive,
-		ParallelUnions: *parallel,
-		Workers:        *workers,
-		Shards:         *shards,
+		Indexed:         *indexed,
+		Naive:           *naive,
+		AOT:             aotStage,
+		Timeout:         *timeout,
+		PlanCache:       *plancache,
+		AdaptivePlans:   *adaptive,
+		ParallelUnions:  *parallel,
+		Workers:         *workers,
+		Shards:          *shards,
+		AdaptiveFanout:  *adaptiveFanout,
+		FanoutThreshold: *fanoutThreshold,
 		JIT: jit.Config{
 			Backend:     be,
 			Granularity: gr,
@@ -155,6 +159,10 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "time: %v  facts: %d  iterations: %d  derivations: %d  subqueries: %d\n",
 			res.Duration.Round(time.Microsecond), res.TotalFacts,
 			res.Interp.Iterations, res.Interp.Derivations, res.Interp.SPJRuns)
+		if *parallel || *shards > 1 || *adaptiveFanout {
+			fmt.Fprintf(os.Stderr, "fanout: sequential-iterations=%d/%d merge-tasks=%d\n",
+				res.Interp.SeqIters, res.Interp.Iterations, res.Interp.MergeTasks)
+		}
 		if be != jit.BackendOff {
 			fmt.Fprintf(os.Stderr, "jit: compilations=%d compile-time=%v cache-hits=%d stale=%d reorders=%d switchovers=%d\n",
 				res.JIT.Compilations, res.JIT.CompileTime.Round(time.Microsecond),

@@ -68,7 +68,45 @@
 //
 //   - internal/plancache segments the cache into LockShards independently
 //     locked shards keyed by the cache-key hash, so pool workers no longer
-//     funnel their plan lookups through a single mutex.
+//     funnel their plan lookups through a single mutex. Keys that band-hop
+//     repeatedly (cardinality climbing every early iteration, the CSPA
+//     shape) get per-key band hysteresis: after HysteresisHops consecutive
+//     hops the key's band quantization widens a step, so one plan rides the
+//     climb instead of re-planning per band.
+//
+// # The sharded delta merge and adaptive fan-out
+//
+// PR 2's fan-out still funneled every iteration through a sequential merge
+// barrier — worker delta buffers folded into DeltaNew one row at a time —
+// which bounds output-heavy fixpoints by Amdahl's law, and its static
+// fan-out taxed the small-delta tail iterations every recursive query ends
+// in. Two layers remove both costs:
+//
+//   - internal/storage gains a physically sharded backing store
+//     (storage.Relation.SetShardKeyPhysical, behind the same SetShardKey
+//     partitioning): each delta bucket is an independent sub-relation with
+//     its own arena slab, dedup set, and hash indexes, so concurrent
+//     inserts into distinct buckets share no state (Relation.ShardInsert),
+//     while Derived splits its dedup set per bucket
+//     (SetShardKeySplit) so the workers' frozen set-difference probes are
+//     bucket-local. Mutation counters are accounted so drift totals are
+//     byte-identical to the flat layout for any operation sequence — mode
+//     transitions preserve the totals exactly (the shard-drift regression
+//     test pins all three layouts to one number).
+//
+//   - internal/interp rewrites the merge barrier: when sinks carry the
+//     physical store, the fold fans out as one task per (predicate, bucket)
+//     over the worker pool — task (p, b) drains bucket b of every worker's
+//     buffer (partitioned with the identical key) into DeltaNew's bucket b,
+//     with derivation counting in per-task counters summed at the join.
+//     The fixpoint driver re-decides the fan-out every iteration from
+//     stats.Catalog.ShardCard (core.Options.AdaptiveFanout): iterations
+//     under FanoutThreshold total delta run on a zero-overhead sequential
+//     path (no tasks, no buffers, no merge), and larger ones size the task
+//     count to delta volume vs. worker count, handing each task a
+//     contiguous bucket span. Worker buffers recycle through a per-Interp
+//     free list with capacity retained (storage.Relation.ClearRetain), so
+//     steady-state iterations allocate nothing.
 package carac
 
 // Version identifies this reproduction build.

@@ -393,7 +393,28 @@ type Options struct {
 	// Shards > 1 a single huge recursive rule (the transitive-closure shape)
 	// also saturates the worker pool — parallelism bounded by data size.
 	// Implies ParallelUnions; <= 1 disables sharding.
+	//
+	// Without a JIT backend the partition uses the physically sharded
+	// backing store (per-bucket slabs and indexes on the delta pair,
+	// bucket-local dedup on Derived), which additionally parallelizes the
+	// iteration merge barrier: worker delta buffers fold into DeltaNew as
+	// one concurrent task per bucket instead of serially. With a JIT the
+	// row-id view partition is kept, since compiled units address relations
+	// by global row id.
 	Shards int
+	// AdaptiveFanout re-decides the parallel fan-out every fixpoint
+	// iteration from live per-shard delta statistics instead of always
+	// fanning out to Shards tasks: iterations whose total delta is under
+	// FanoutThreshold run on a zero-overhead sequential path (no task
+	// spawn, no buffer merge — the small-delta tail every recursive query
+	// ends in), and larger iterations size the task count to the delta
+	// volume and worker count, handing each task a contiguous bucket span.
+	// Implies ParallelUnions and, when Shards is unset, an 8-way partition.
+	AdaptiveFanout bool
+	// FanoutThreshold is the sequential-fast-path delta bound for
+	// AdaptiveFanout (and the minimum buffered volume for a parallel
+	// merge); <= 0 selects the interpreter default (256).
+	FanoutThreshold int
 	// PlanCache caches compiled access plans across subquery executions,
 	// keyed by (rule, atom order, cardinality band) and served while
 	// observed cardinality drift stays under PlanCacheDrift — re-planning
@@ -503,7 +524,13 @@ func (p *Program) Run(opts Options) (*Result, error) {
 	in.Executor = opts.Executor
 	in.Parallel = opts.ParallelUnions
 	in.Workers = opts.Workers
-	if opts.Shards > 1 {
+	in.AdaptiveFanout = opts.AdaptiveFanout
+	in.FanoutThreshold = opts.FanoutThreshold
+	shards := opts.Shards
+	if opts.AdaptiveFanout && shards <= 1 {
+		shards = 8
+	}
+	if shards > 1 {
 		// Partition every predicate on its planned join key (first join
 		// column; column 0 for predicates never joined on) so the sharded
 		// fan-out serves each task's delta slice from an exact bucket list.
@@ -513,9 +540,17 @@ func (p *Program) Run(opts Options) (*Result, error) {
 				keyCols[pid] = cols[0]
 			}
 		}
-		p.cat.ConfigureShards(opts.Shards, keyCols)
+		if opts.JIT.Backend == jit.BackendOff {
+			// Pure interpretation: physical backing store, so the merge
+			// barrier runs bucketed and Derived membership probes are
+			// bucket-local. JIT backends keep the row-id views — compiled
+			// units address relations by global row id.
+			p.cat.ConfigureShardsPhysical(shards, keyCols)
+		} else {
+			p.cat.ConfigureShards(shards, keyCols)
+		}
 		in.Parallel = true
-		in.Shards = opts.Shards
+		in.Shards = shards
 	} else {
 		// Drop stale partitions so repeated Runs of one Program stay
 		// independent of an earlier sharded configuration.

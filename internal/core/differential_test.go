@@ -33,6 +33,10 @@ var execModes = []execMode{
 	{"sequential", func(*core.Options) {}},
 	{"parallel", func(o *core.Options) { o.ParallelUnions = true }},
 	{"sharded", func(o *core.Options) { o.Shards = 4 }},
+	// Low threshold so the toy workloads exercise BOTH adaptive regimes:
+	// bucketed fan-out plus parallel merge on the big early iterations,
+	// sequential fast path on the tail.
+	{"adaptive", func(o *core.Options) { o.Shards = 4; o.AdaptiveFanout = true; o.FanoutThreshold = 8 }},
 }
 
 // snapshotAll captures every predicate's derived set as sorted row strings,
@@ -69,6 +73,31 @@ func diffSnapshots(t *testing.T, config string, want, got map[string][]string) {
 	}
 }
 
+// driftTotals captures every predicate's monotone drift counter. Counters
+// accumulate across Runs of one Program, so configurations are compared by
+// per-run increment: after the first (baseline-capturing) run, every rerun
+// applies an identical storage mutation sequence — same per-iteration delta
+// sets, same clears, same swaps — so the increments must be byte-identical
+// across the whole option matrix, physical sharding included. A divergence
+// means an execution mode silently changed the freshness signal the plan
+// cache gates on.
+func driftTotals(p *core.Program) map[string]uint64 {
+	out := make(map[string]uint64)
+	for _, pd := range p.Catalog().Preds() {
+		out[pd.Name] = pd.DriftCounter()
+	}
+	return out
+}
+
+func diffDriftIncrements(t *testing.T, config string, base, before, after map[string]uint64) {
+	t.Helper()
+	for name, want := range base {
+		if got := after[name] - before[name]; got != want {
+			t.Errorf("%s: predicate %s drift increment %d, baseline %d", config, name, got, want)
+		}
+	}
+}
+
 // TestDifferentialMatrix runs each workload once sequentially (the baseline)
 // and then under every other cell of the option matrix, asserting identical
 // sorted result sets.
@@ -96,6 +125,18 @@ func TestDifferentialMatrix(t *testing.T) {
 			if n := len(baseline[built.Output.Name()]); n == 0 {
 				t.Fatalf("baseline derived no %s tuples — workload too small to differentiate", built.Output.Name())
 			}
+			// Second sequential run: its drift increment is the rerun
+			// fingerprint every matrix cell must reproduce (the first run
+			// starts from a never-run Program and is not comparable).
+			preBase := driftTotals(built.P)
+			if _, err := built.P.Run(core.Options{Indexed: true}); err != nil {
+				t.Fatalf("baseline rerun: %v", err)
+			}
+			baseDrift := driftTotals(built.P)
+			for name, before := range preBase {
+				baseDrift[name] -= before
+			}
+			diffSnapshots(t, "sequential-rerun", baseline, snapshotAll(built.P))
 			for _, em := range execModes {
 				for _, plancache := range []bool{false, true} {
 					for _, adaptive := range []bool{false, true} {
@@ -106,10 +147,12 @@ func TestDifferentialMatrix(t *testing.T) {
 								opts.JIT = jit.Config{Backend: jit.BackendLambda, Granularity: jit.GranSPJ}
 							}
 							config := fmt.Sprintf("%s/plancache=%v/adaptive=%v/jit=%v", em.name, plancache, adaptive, useJIT)
+							before := driftTotals(built.P)
 							if _, err := built.P.Run(opts); err != nil {
 								t.Fatalf("%s: %v", config, err)
 							}
 							diffSnapshots(t, config, baseline, snapshotAll(built.P))
+							diffDriftIncrements(t, config, baseDrift, before, driftTotals(built.P))
 						}
 					}
 				}
@@ -180,6 +223,8 @@ func TestDifferentialIncremental(t *testing.T) {
 		{Indexed: true, Shards: 8, AdaptivePlans: true, Workers: 2},
 		{Indexed: true, Shards: 4, Workers: 2, Executor: interp.ExecPull},
 		{Indexed: true, Shards: 3, Workers: 2, Executor: interp.ExecPull, PlanCache: true},
+		{Indexed: true, Shards: 4, Workers: 2, AdaptiveFanout: true, FanoutThreshold: 4},
+		{Indexed: true, Shards: 8, Workers: 4, AdaptiveFanout: true, FanoutThreshold: 1, Executor: interp.ExecPull},
 	} {
 		config := fmt.Sprintf("shards=%d/parallel=%v/exec=%v", opts.Shards, opts.ParallelUnions, opts.Executor)
 		if _, err := built.P.Run(opts); err != nil {

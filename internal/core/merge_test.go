@@ -1,0 +1,119 @@
+// Tests for the parallel merge barrier and the adaptive fan-out driver:
+// determinism of the derivation counters across every execution strategy, a
+// mechanical pin that the bucketed merge and the sequential fast path each
+// engage exactly when the statistics say so, and a -race stress run that
+// hammers concurrent per-bucket merges through the full engine.
+package core_test
+
+import (
+	"testing"
+
+	"carac/internal/analysis"
+	"carac/internal/core"
+	"carac/internal/interp"
+	"carac/internal/workloads"
+)
+
+func runTC(t *testing.T, opts core.Options) *core.Result {
+	t.Helper()
+	built := workloads.TransitiveClosure(analysis.HandOptimized, 80, 200, 42)
+	res, err := built.P.Run(opts)
+	if err != nil {
+		t.Fatalf("%+v: %v", opts, err)
+	}
+	return res
+}
+
+// TestMergeDerivationsDeterminism pins that Derivations — counted per-bucket
+// and summed under the parallel merge — equals the sequential count under
+// every execution strategy and across repeated adaptive runs (scheduling
+// must not leak into the counters: per-bucket dedup is content-based).
+func TestMergeDerivationsDeterminism(t *testing.T) {
+	seq := runTC(t, core.Options{Indexed: true})
+	configs := []struct {
+		name string
+		opts core.Options
+	}{
+		{"parallel", core.Options{Indexed: true, ParallelUnions: true, Workers: 4}},
+		{"sharded", core.Options{Indexed: true, Shards: 4, Workers: 4}},
+		{"sharded8", core.Options{Indexed: true, Shards: 8, Workers: 2}},
+		{"adaptive", core.Options{Indexed: true, Shards: 4, Workers: 4, AdaptiveFanout: true, FanoutThreshold: 8}},
+		{"adaptive-again", core.Options{Indexed: true, Shards: 4, Workers: 4, AdaptiveFanout: true, FanoutThreshold: 8}},
+		{"adaptive-pull", core.Options{Indexed: true, Shards: 4, Workers: 4, AdaptiveFanout: true, FanoutThreshold: 8, Executor: interp.ExecPull}},
+	}
+	for _, c := range configs {
+		res := runTC(t, c.opts)
+		if res.Interp.Derivations != seq.Interp.Derivations {
+			t.Errorf("%s: %d derivations, sequential %d", c.name, res.Interp.Derivations, seq.Interp.Derivations)
+		}
+		if res.TotalFacts != seq.TotalFacts {
+			t.Errorf("%s: %d facts, sequential %d", c.name, res.TotalFacts, seq.TotalFacts)
+		}
+		if res.Interp.Iterations != seq.Interp.Iterations {
+			t.Errorf("%s: %d iterations, sequential %d", c.name, res.Interp.Iterations, seq.Interp.Iterations)
+		}
+	}
+}
+
+// TestAdaptiveFanoutEngages is the mechanical acceptance pin for the
+// adaptive driver, testable on any machine regardless of core count:
+// (a) with a tiny threshold every iteration fans out and the merge runs
+// bucketed (MergeTasks advance, no sequential iterations); (b) with a huge
+// threshold every iteration takes the sequential fast path — zero merge
+// tasks, zero parallelism tax, and exactly the sequential SPJ schedule.
+func TestAdaptiveFanoutEngages(t *testing.T) {
+	seq := runTC(t, core.Options{Indexed: true})
+
+	fanned := runTC(t, core.Options{Indexed: true, Shards: 4, Workers: 4, AdaptiveFanout: true, FanoutThreshold: 1})
+	if fanned.Interp.SeqIters != 0 {
+		t.Errorf("threshold=1: %d sequential iterations, want 0", fanned.Interp.SeqIters)
+	}
+	if fanned.Interp.MergeTasks == 0 {
+		t.Error("threshold=1: merge never ran bucketed")
+	}
+	if fanned.Interp.SPJRuns <= seq.Interp.SPJRuns {
+		t.Errorf("threshold=1: fan-out did not engage (%d <= %d SPJ runs)", fanned.Interp.SPJRuns, seq.Interp.SPJRuns)
+	}
+	if fanned.TotalFacts != seq.TotalFacts {
+		t.Errorf("threshold=1: %d facts, sequential %d", fanned.TotalFacts, seq.TotalFacts)
+	}
+
+	tail := runTC(t, core.Options{Indexed: true, Shards: 4, Workers: 4, AdaptiveFanout: true, FanoutThreshold: 1 << 30})
+	if tail.Interp.SeqIters != tail.Interp.Iterations {
+		t.Errorf("huge threshold: %d/%d iterations sequential, want all", tail.Interp.SeqIters, tail.Interp.Iterations)
+	}
+	if tail.Interp.MergeTasks != 0 {
+		t.Errorf("huge threshold: %d merge tasks, want 0", tail.Interp.MergeTasks)
+	}
+	if tail.Interp.SPJRuns != seq.Interp.SPJRuns {
+		t.Errorf("huge threshold: %d SPJ runs, sequential schedule has %d", tail.Interp.SPJRuns, seq.Interp.SPJRuns)
+	}
+	if tail.TotalFacts != seq.TotalFacts {
+		t.Errorf("huge threshold: %d facts, sequential %d", tail.TotalFacts, seq.TotalFacts)
+	}
+}
+
+// TestParallelMergeStress hammers concurrent per-bucket merges through the
+// full engine: many workers, more buckets than workers, and a threshold of
+// 1 so every iteration — including one-tuple tails — goes through task
+// fan-out and bucketed merge. Run under -race by the CI core job.
+func TestParallelMergeStress(t *testing.T) {
+	seq := runTC(t, core.Options{Indexed: true})
+	for round := 0; round < 3; round++ {
+		built := workloads.TransitiveClosure(analysis.HandOptimized, 80, 200, 42)
+		// Repeated runs of one Program rewind to the ground baseline and
+		// re-partition, stressing mode transitions along with the merges.
+		for rerun := 0; rerun < 2; rerun++ {
+			res, err := built.P.Run(core.Options{Indexed: true, Shards: 8, Workers: 8, AdaptiveFanout: true, FanoutThreshold: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.TotalFacts != seq.TotalFacts {
+				t.Fatalf("round %d rerun %d: %d facts, want %d", round, rerun, res.TotalFacts, seq.TotalFacts)
+			}
+			if res.Interp.Derivations != seq.Interp.Derivations {
+				t.Fatalf("round %d rerun %d: %d derivations, want %d", round, rerun, res.Interp.Derivations, seq.Interp.Derivations)
+			}
+		}
+	}
+}

@@ -147,6 +147,25 @@ func RunCaracSharded(b *analysis.Built, shards, workers int, timeout time.Durati
 	return report(res, 0, err)
 }
 
+// RunCaracAdaptive is RunCaracSharded with the adaptive fan-out driver: the
+// parallelism degree is re-decided every iteration from live delta
+// statistics, small-delta tail iterations run on the sequential fast path,
+// and the merge barrier folds worker buffers one concurrent task per
+// bucket — the configuration that adds the execution-strategy half of
+// adaptive re-optimization to the plan half the cache provides.
+func RunCaracAdaptive(b *analysis.Built, shards, workers int, timeout time.Duration) (*Report, error) {
+	res, err := b.P.Run(core.Options{
+		Indexed:        true,
+		PlanCache:      true,
+		ParallelUnions: true,
+		Shards:         shards,
+		Workers:        workers,
+		AdaptiveFanout: true,
+		Timeout:        timeout,
+	})
+	return report(res, 0, err)
+}
+
 // RunDLX executes the built program the way the anonymized commercial
 // baseline does in Table II: naive evaluation, interpreted, as-written
 // orders (indexes on).

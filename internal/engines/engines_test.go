@@ -89,3 +89,21 @@ func TestModeString(t *testing.T) {
 		t.Fatal("mode names wrong")
 	}
 }
+
+func TestCaracShardedAndAdaptiveAgree(t *testing.T) {
+	facts := datagen.SListLib(1, 5)
+	ref, err := RunCaracSharded(analysis.InvFuns(analysis.HandOptimized, facts), 4, 2, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad, err := RunCaracAdaptive(analysis.InvFuns(analysis.HandOptimized, facts), 4, 2, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.DNF || ad.DNF {
+		t.Fatal("unexpected DNF")
+	}
+	if ref.TotalFacts != ad.TotalFacts {
+		t.Fatalf("adaptive fan-out disagrees: %d vs %d facts", ad.TotalFacts, ref.TotalFacts)
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -50,6 +49,8 @@ type Stats struct {
 	PlanReuses  int64 // subquery executions served from the plan cache
 	Reopts      int64 // drift-triggered join-order re-optimizations
 	Compiled    int64 // subtrees executed via a Controller thunk
+	SeqIters    int64 // iterations the adaptive driver ran on the sequential fast path
+	MergeTasks  int64 // per-bucket merge tasks run at iteration barriers
 }
 
 // Interp is the tree-walking interpreter (paper §V-B: "when Carac is in
@@ -83,6 +84,21 @@ type Interp struct {
 	// not rule count. Only honored together with Parallel.
 	Shards int
 
+	// AdaptiveFanout replaces the static fan-out of Shards with a per-
+	// iteration decision read from the live per-shard delta cardinalities
+	// (stats.Catalog.ShardCard): an iteration whose total delta is under
+	// FanoutThreshold runs on the zero-overhead sequential path (no task
+	// spawn, no worker buffers, no merge), and larger iterations pick an
+	// effective task count from delta size vs. worker count, handing each
+	// task a contiguous span of buckets. Fixpoint tails — many iterations,
+	// tiny deltas — stop paying parallelism tax, the regime the paper's
+	// adaptive re-optimization targets for plans, applied here to execution
+	// strategy.
+	AdaptiveFanout bool
+	// FanoutThreshold is the sequential-path delta bound; <= 0 selects
+	// DefaultFanoutThreshold.
+	FanoutThreshold int
+
 	// Plans, when non-nil, caches access plans across subquery executions
 	// keyed by (rule, atom order, cardinality band): the repeated per-
 	// execution planning the seed interpreter paid becomes a cache lookup,
@@ -104,13 +120,28 @@ type Interp struct {
 	// per-worker buffer relation instead of the sink's DeltaNew (parallel
 	// rule evaluation; merged at the iteration barrier).
 	bufSink func(pred storage.PredID) *storage.Relation
-	// shard/shardTotal restrict this (sub-)interpreter's subquery
-	// executions to one hash bucket of each delta relation; shardTotal == 0
-	// means unrestricted. Set per task by the sharded fan-out.
+	// shard/shardSpan/shardTotal restrict this (sub-)interpreter's subquery
+	// executions to the contiguous bucket range [shard, shard+shardSpan) of
+	// each delta relation's shardTotal-way partition; shardTotal == 0 means
+	// unrestricted. Set per task by the sharded fan-out.
 	shard      int
+	shardSpan  int
 	shardTotal int
 	// workers holds the lazily built pool state of runLoopParallel.
 	workers []*workerState
+	// bufMu guards bufFree, the per-Interp free list of worker delta buffer
+	// relations keyed by arity: buffers are released here (capacity intact)
+	// at every merge barrier and reacquired by whichever worker next derives
+	// into the predicate, so steady-state iterations allocate nothing.
+	bufMu   sync.Mutex
+	bufFree map[int][]*storage.Relation
+	// fanBuckets, mergePids, mergeTasks, and mergeCounts are driver-owned
+	// scratch reused across iterations by the adaptive fan-out decision and
+	// the merge barrier (both run at sequential points).
+	fanBuckets  []bool
+	mergePids   []storage.PredID
+	mergeTasks  []mergeTask
+	mergeCounts []int64
 	// keyMemo caches each subquery's structural plan-cache key, invalidated
 	// via ir.SPJOp.OrderGen so the atoms are re-hashed only after a reorder
 	// rather than per execution.
@@ -302,9 +333,9 @@ func (in *Interp) planFor(spj *ir.SPJOp) (*Plan, error) {
 
 // shardSkip reports whether this shard task can skip the subquery without
 // planning it: subqueries without a delta atom are whole-relation work that
-// shard 0 runs alone (so the fan-out neither duplicates nor drops them), and
-// a task whose delta bucket is empty cannot derive anything — the per-shard
-// cardinality statistic makes that an O(1) test.
+// the first task runs alone (so the fan-out neither duplicates nor drops
+// them), and a task whose delta bucket span is empty cannot derive anything
+// — the per-shard cardinality statistics make that an O(span) test.
 func (in *Interp) shardSkip(spj *ir.SPJOp) bool {
 	idx := spj.DeltaAtom()
 	if idx < 0 {
@@ -313,14 +344,20 @@ func (in *Interp) shardSkip(spj *ir.SPJOp) bool {
 	pred := spj.Atoms[idx].Pred
 	if in.Cat.Pred(pred).Shards() == in.shardTotal {
 		src := stats.Catalog{Cat: in.Cat}
-		return src.ShardCard(pred, ir.SrcDelta, in.shard) == 0
+		for s := in.shard; s < in.shard+in.shardSpan; s++ {
+			if src.ShardCard(pred, ir.SrcDelta, s) > 0 {
+				return false
+			}
+		}
+		return true
 	}
 	return false
 }
 
 // applyShard installs the task's delta-bucket restriction on the plan copy:
-// the first relational step reading SrcDelta admits only rows of bucket
-// in.shard, keyed by the column storage partitioned the predicate on.
+// the first relational step reading SrcDelta admits only rows of buckets
+// [shard, shard+span), keyed by the column storage partitioned the
+// predicate on.
 func (in *Interp) applyShard(plan *Plan) {
 	for i := range plan.Steps {
 		st := &plan.Steps[i]
@@ -332,6 +369,7 @@ func (in *Interp) applyShard(plan *Plan) {
 		}
 		plan.ShardStep = i
 		plan.Shard = in.shard
+		plan.ShardSpan = in.shardSpan
 		plan.ShardCount = in.shardTotal
 		plan.ShardKeyCol = in.Cat.Pred(st.Pred).ShardKeyCol()
 		return
@@ -392,13 +430,19 @@ type workerState struct {
 	err  error
 }
 
-// poolSize resolves the bounded worker count: the configured Workers, or
-// GOMAXPROCS, never more than there are tasks.
-func (in *Interp) poolSize(tasks int) int {
-	w := in.Workers
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
+// workerCount resolves the configured pool bound: Workers, or GOMAXPROCS
+// when unset.
+func (in *Interp) workerCount() int {
+	if in.Workers > 0 {
+		return in.Workers
 	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// poolSize resolves the bounded worker count for a task batch: workerCount,
+// never more than there are tasks.
+func (in *Interp) poolSize(tasks int) int {
+	w := in.workerCount()
 	if w > tasks {
 		w = tasks
 	}
@@ -415,8 +459,7 @@ func (in *Interp) ensureWorkers(n int) {
 		ws.sub.bufSink = func(pid storage.PredID) *storage.Relation {
 			r := ws.bufs[pid]
 			if r == nil {
-				pd := in.Cat.Pred(pid)
-				r = storage.NewRelation(pd.Name+"~buf", pd.Arity)
+				r = in.acquireBuf(in.Cat.Pred(pid))
 				ws.bufs[pid] = r
 			}
 			return r
@@ -425,97 +468,181 @@ func (in *Interp) ensureWorkers(n int) {
 	}
 }
 
-// shardTask is one unit of parallel work: a rule, restricted to one hash
-// bucket of its delta relation (shard 0 of 1 when sharding is off).
+// acquireBuf hands out a worker delta buffer for the predicate: a recycled
+// relation from the per-Interp free list when one of the right arity is
+// available (capacity — arena, dedup buckets, shard views — intact from a
+// previous iteration), a fresh one otherwise. The buffer's bucket views are
+// aligned with the sink's partition so the merge barrier can drain it one
+// bucket at a time. Called from pool workers; the free list is
+// mutex-guarded, one lock operation per worker×predicate per iteration.
+func (in *Interp) acquireBuf(pd *storage.PredicateDB) *storage.Relation {
+	var r *storage.Relation
+	in.bufMu.Lock()
+	if list := in.bufFree[pd.Arity]; len(list) > 0 {
+		r = list[len(list)-1]
+		in.bufFree[pd.Arity] = list[:len(list)-1]
+	}
+	in.bufMu.Unlock()
+	if r == nil {
+		r = storage.NewRelation(pd.Name+"~buf", pd.Arity)
+	}
+	if pd.Physical() {
+		r.SetShardKey(pd.Shards(), pd.ShardKeyCol())
+	} else {
+		r.SetShardKey(0, 0)
+	}
+	return r
+}
+
+// releaseBuffers empties every worker's delta buffers (capacity retained)
+// back onto the free list. Runs at the merge barrier, after the pool has
+// quiesced.
+func (in *Interp) releaseBuffers(w int) {
+	in.bufMu.Lock()
+	if in.bufFree == nil {
+		in.bufFree = make(map[int][]*storage.Relation)
+	}
+	for i := 0; i < w; i++ {
+		ws := in.workers[i]
+		for pid, buf := range ws.bufs {
+			buf.ClearRetain()
+			in.bufFree[buf.Arity()] = append(in.bufFree[buf.Arity()], buf)
+			delete(ws.bufs, pid)
+		}
+	}
+	in.bufMu.Unlock()
+}
+
+// shardTask is one unit of parallel work: a rule, restricted to a
+// contiguous span of hash buckets of its delta relation (span 0 =
+// unrestricted rule-granular task).
 type shardTask struct {
 	rule  *ir.UnionRuleOp
 	shard int
+	span  int
+}
+
+// DefaultFanoutThreshold is the sequential-fast-path delta bound of the
+// adaptive fan-out: iterations with fewer total delta tuples than this run
+// in place, since at that size the per-task scheduling plus buffer-merge
+// overhead exceeds the join work itself on every workload measured.
+const DefaultFanoutThreshold = 256
+
+// fanoutDecision is the per-iteration execution strategy of the adaptive
+// driver.
+type fanoutDecision struct {
+	sequential bool // run the iteration in place: no tasks, no buffers, no merge
+	tasks      int  // shard tasks per rule (1 = rule-granular, unrestricted)
+}
+
+// chooseFanout picks the iteration's strategy from the live delta
+// statistics. Without AdaptiveFanout it reproduces the static PR 2
+// behaviour (always fan out to every bucket); with it, the total delta
+// cardinality and per-bucket occupancy of the loop's predicates — O(1)
+// reads via stats.Catalog.ShardCard — select between the sequential fast
+// path, rule-granular parallelism, and a bucket fan-out sized to the data
+// and the worker count.
+func (in *Interp) chooseFanout(n *ir.DoWhileOp) fanoutDecision {
+	phys := in.Shards
+	if phys < 2 {
+		phys = 1
+	}
+	if !in.AdaptiveFanout {
+		return fanoutDecision{tasks: phys}
+	}
+	threshold := in.FanoutThreshold
+	if threshold <= 0 {
+		threshold = DefaultFanoutThreshold
+	}
+	if cap(in.fanBuckets) < phys {
+		in.fanBuckets = make([]bool, phys)
+	}
+	occ := in.fanBuckets[:phys]
+	for s := range occ {
+		occ[s] = false
+	}
+	src := stats.Catalog{Cat: in.Cat}
+	total := 0
+	for _, pid := range n.Preds {
+		if phys > 1 && in.Cat.Pred(pid).Shards() == phys {
+			for s := 0; s < phys; s++ {
+				if c := src.ShardCard(pid, ir.SrcDelta, s); c > 0 {
+					total += c
+					occ[s] = true
+				}
+			}
+		} else if c := src.Card(pid, ir.SrcDelta); c > 0 {
+			// No per-bucket statistics for this predicate: count it whole
+			// and treat every bucket as occupied.
+			total += c
+			for s := range occ {
+				occ[s] = true
+			}
+		}
+	}
+	if total < threshold {
+		return fanoutDecision{sequential: true}
+	}
+	if phys < 2 {
+		return fanoutDecision{tasks: 1}
+	}
+	occupied := 0
+	for _, o := range occ {
+		if o {
+			occupied++
+		}
+	}
+	// Effective fan-out: one task per ~grain delta rows, never more than
+	// 4x the pool (diminishing balance returns) or the occupied buckets
+	// (empty-bucket tasks are pure overhead).
+	grain := threshold / 4
+	if grain < 1 {
+		grain = 1
+	}
+	w := in.workerCount()
+	eff := total / grain
+	if lim := 4 * w; eff > lim {
+		eff = lim
+	}
+	if eff > occupied {
+		eff = occupied
+	}
+	if eff > phys {
+		eff = phys
+	}
+	if eff < 1 {
+		eff = 1
+	}
+	return fanoutDecision{tasks: eff}
 }
 
 // runLoopParallel evaluates one stratum loop with the independent rules of
 // each iteration distributed over a bounded worker pool; with Shards > 1
-// each rule additionally fans out as one task per delta bucket, so a single
-// large rule saturates the pool instead of serializing the iteration. Every
-// worker reads only Derived/DeltaKnown relations — frozen for the duration
-// of the iteration — and writes only its own private delta buffers, so the
-// fan-out is race-free by construction; the buffers are merged into the real
-// DeltaNew relations (with set-difference against Derived and duplicate
-// elimination across workers) at the iteration barrier, and SwapClearOps
-// stay sequential there.
+// each rule additionally fans out as one task per delta bucket span, so a
+// single large rule saturates the pool instead of serializing the
+// iteration. Every worker reads only Derived/DeltaKnown relations — frozen
+// for the duration of the iteration — and writes only its own private delta
+// buffers, so the fan-out is race-free by construction; the buffers are
+// merged into the real DeltaNew relations (with set-difference against
+// Derived and duplicate elimination across workers) at the iteration
+// barrier, and SwapClearOps stay sequential there.
+//
+// With AdaptiveFanout the task count is re-decided every iteration from the
+// live delta statistics, and small-delta iterations bypass the machinery
+// entirely: they interpret the body in place exactly like the sequential
+// driver, spawning no tasks and touching no buffers.
 func (in *Interp) runLoopParallel(n *ir.DoWhileOp) error {
-	nshards := in.Shards
-	if nshards < 2 {
-		nshards = 1
-	}
 	var pending []shardTask
 	for {
-		flush := func() error {
-			if len(pending) == 0 {
-				return nil
-			}
-			defer func() { pending = pending[:0] }()
-			w := in.poolSize(len(pending))
-			if w <= 1 {
-				// Degenerate pool: evaluate each rule once, unsharded and in
-				// place, writing DeltaNew directly like the sequential path.
-				for _, t := range pending {
-					if t.shard != 0 {
-						continue
-					}
-					if err := in.interpret(t.rule); err != nil {
-						return err
-					}
+		dec := in.chooseFanout(n)
+		if dec.sequential {
+			in.Stats.SeqIters++
+			for _, c := range n.Body {
+				if err := in.Exec(c); err != nil {
+					return err
 				}
-				return nil
 			}
-			in.ensureWorkers(w)
-			var next atomic.Int64
-			var wg sync.WaitGroup
-			for i := 0; i < w; i++ {
-				ws := in.workers[i]
-				ws.err = nil
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					for {
-						ti := int(next.Add(1) - 1)
-						if ti >= len(pending) || ws.sub.Cancelled() {
-							return
-						}
-						t := pending[ti]
-						ws.sub.shard = t.shard
-						if nshards > 1 {
-							ws.sub.shardTotal = nshards
-						} else {
-							ws.sub.shardTotal = 0
-						}
-						if err := ws.sub.interpret(t.rule); err != nil {
-							ws.err = err
-							return
-						}
-					}
-				}()
-			}
-			wg.Wait()
-			return in.mergeWorkers(w)
-		}
-		for _, c := range n.Body {
-			if ua, ok := c.(*ir.UnionAllOp); ok {
-				for _, r := range ua.Rules {
-					for s := 0; s < nshards; s++ {
-						pending = append(pending, shardTask{rule: r, shard: s})
-					}
-				}
-				continue
-			}
-			if err := flush(); err != nil {
-				return err
-			}
-			if err := in.Exec(c); err != nil {
-				return err
-			}
-		}
-		if err := flush(); err != nil {
+		} else if err := in.runIterationTasks(n, dec, &pending); err != nil {
 			return err
 		}
 		in.Stats.Iterations++
@@ -528,10 +655,119 @@ func (in *Interp) runLoopParallel(n *ir.DoWhileOp) error {
 	}
 }
 
+// runIterationTasks executes one iteration's body with rule evaluation
+// fanned out over the pool: dec.tasks bucket-span tasks per rule, flushed
+// at every non-union op so cross-rule ordering is preserved.
+func (in *Interp) runIterationTasks(n *ir.DoWhileOp, dec fanoutDecision, pending *[]shardTask) error {
+	nshards := in.Shards
+	if nshards < 2 || dec.tasks < 2 {
+		nshards = 1
+	}
+	// Distribute the buckets over dec.tasks contiguous spans (span 0 marks
+	// the unrestricted rule-granular task).
+	span := 0
+	if nshards > 1 {
+		span = (nshards + dec.tasks - 1) / dec.tasks
+	}
+	flush := func() error {
+		if len(*pending) == 0 {
+			return nil
+		}
+		defer func() { *pending = (*pending)[:0] }()
+		w := in.poolSize(len(*pending))
+		if w <= 1 {
+			// Degenerate pool: evaluate each rule once, unsharded and in
+			// place, writing DeltaNew directly like the sequential path.
+			for _, t := range *pending {
+				if t.shard != 0 {
+					continue
+				}
+				if err := in.interpret(t.rule); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		in.ensureWorkers(w)
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for i := 0; i < w; i++ {
+			ws := in.workers[i]
+			ws.err = nil
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					ti := int(next.Add(1) - 1)
+					if ti >= len(*pending) || ws.sub.Cancelled() {
+						return
+					}
+					t := (*pending)[ti]
+					ws.sub.shard = t.shard
+					ws.sub.shardSpan = t.span
+					if t.span > 0 {
+						ws.sub.shardTotal = nshards
+					} else {
+						ws.sub.shardTotal = 0
+					}
+					if err := ws.sub.interpret(t.rule); err != nil {
+						ws.err = err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		return in.mergeWorkers(w)
+	}
+	for _, c := range n.Body {
+		if ua, ok := c.(*ir.UnionAllOp); ok {
+			for _, r := range ua.Rules {
+				if span == 0 {
+					*pending = append(*pending, shardTask{rule: r})
+					continue
+				}
+				for lo := 0; lo < nshards; lo += span {
+					s := span
+					if lo+s > nshards {
+						s = nshards - lo
+					}
+					*pending = append(*pending, shardTask{rule: r, shard: lo, span: s})
+				}
+			}
+			continue
+		}
+		if err := flush(); err != nil {
+			return err
+		}
+		if err := in.Exec(c); err != nil {
+			return err
+		}
+	}
+	return flush()
+}
+
+// mergeTask is one unit of parallel merge work: one bucket of one sink
+// predicate, drained across every worker's buffer.
+type mergeTask struct {
+	pid    storage.PredID
+	bucket int
+}
+
 // mergeWorkers folds every worker's private delta buffers into the real
 // DeltaNew relations (counting derivations exactly like the sequential
 // sink: new to both Derived and DeltaNew) and accumulates worker execution
-// counters. Runs sequentially at the iteration barrier.
+// counters. Runs at the iteration barrier.
+//
+// When the sinks carry the physically sharded backing store, the fold fans
+// out as one task per (predicate, bucket) over the pool: task (p, b) drains
+// bucket b of every worker's p-buffer into bucket b of p's DeltaNew — the
+// buffers are partitioned with the identical key, so distinct tasks write
+// disjoint sub-relations and the merge is race-free without a lock.
+// Derivation counting moves into per-task counters summed after the join,
+// removing the serial merge that bounded output-heavy fixpoints by Amdahl's
+// law. Small merges (and non-physical sinks) keep the sequential fold, and
+// buffers return to the free list either way.
 func (in *Interp) mergeWorkers(w int) error {
 	var firstErr error
 	for i := 0; i < w; i++ {
@@ -545,20 +781,46 @@ func (in *Interp) mergeWorkers(w int) error {
 		in.Stats.PlanReuses += s.PlanReuses
 		in.Stats.Reopts += s.Reopts
 		ws.sub.Stats = Stats{}
-		if firstErr != nil {
-			continue
+	}
+	if firstErr != nil {
+		in.releaseBuffers(w)
+		return firstErr
+	}
+	// Sink predicates with buffered derivations in dense id order, and the
+	// total buffered volume steering the sequential-vs-bucketed decision.
+	pids := in.mergePids[:0]
+	total := 0
+	for pid := storage.PredID(0); int(pid) < in.Cat.NumPreds(); pid++ {
+		has := false
+		for i := 0; i < w; i++ {
+			if buf := in.workers[i].bufs[pid]; buf != nil && !buf.Empty() {
+				total += buf.Len()
+				has = true
+			}
 		}
-		pids := make([]int, 0, len(ws.bufs))
-		for pid := range ws.bufs {
-			pids = append(pids, int(pid))
+		if has {
+			pids = append(pids, pid)
 		}
-		sort.Ints(pids)
-		for _, pid := range pids {
-			buf := ws.bufs[storage.PredID(pid)]
-			if buf.Empty() {
+	}
+	in.mergePids = pids
+	threshold := in.FanoutThreshold
+	if threshold <= 0 {
+		threshold = DefaultFanoutThreshold
+	}
+	if in.Shards > 1 && total >= threshold && in.poolSize(2) > 1 {
+		if tasks := in.bucketMergeTasks(pids, w); tasks != nil {
+			in.runBucketMerge(tasks, w)
+			in.releaseBuffers(w)
+			return nil
+		}
+	}
+	for _, pid := range pids {
+		sink := in.Cat.Pred(pid)
+		for i := 0; i < w; i++ {
+			buf := in.workers[i].bufs[pid]
+			if buf == nil || buf.Empty() {
 				continue
 			}
-			sink := in.Cat.Pred(storage.PredID(pid))
 			// Workers already filtered buffered tuples against Derived, and
 			// Derived is frozen from task fan-out through this merge (only
 			// the sequential SwapClearOp after the barrier mutates it), so
@@ -570,10 +832,99 @@ func (in *Interp) mergeWorkers(w int) error {
 				}
 				return true
 			})
-			buf.Clear()
 		}
 	}
-	return firstErr
+	in.releaseBuffers(w)
+	return nil
+}
+
+// bucketMergeTasks builds the per-bucket merge task list, or nil when any
+// buffered sink cannot be merged bucket-locally (not physically sharded, or
+// a buffer's partition does not mirror the sink's — the conservative
+// fallback is the sequential fold). Empty buckets get no task.
+func (in *Interp) bucketMergeTasks(pids []storage.PredID, w int) []mergeTask {
+	in.mergeTasks = in.mergeTasks[:0]
+	for _, pid := range pids {
+		pd := in.Cat.Pred(pid)
+		if !pd.Physical() || pd.DeltaNew.PhysSubs() == nil {
+			return nil
+		}
+		shards, col := pd.Shards(), pd.ShardKeyCol()
+		if cap(in.fanBuckets) < shards {
+			in.fanBuckets = make([]bool, shards)
+		}
+		occupied := in.fanBuckets[:shards]
+		for s := range occupied {
+			occupied[s] = false
+		}
+		for i := 0; i < w; i++ {
+			buf := in.workers[i].bufs[pid]
+			if buf == nil || buf.Empty() {
+				continue
+			}
+			if bs, bc := buf.ShardConfig(); bs != shards || bc != col {
+				return nil
+			}
+			for s := 0; s < shards; s++ {
+				if buf.ShardLen(s) > 0 {
+					occupied[s] = true
+				}
+			}
+		}
+		for s, occ := range occupied {
+			if occ {
+				in.mergeTasks = append(in.mergeTasks, mergeTask{pid: pid, bucket: s})
+			}
+		}
+	}
+	return in.mergeTasks
+}
+
+// runBucketMerge drains the merge tasks over the pool. Each task owns one
+// disjoint DeltaNew bucket outright, so the only shared state is the atomic
+// task cursor; per-task derivation counts land in a dense slice and are
+// summed once the pool quiesces.
+func (in *Interp) runBucketMerge(tasks []mergeTask, w int) {
+	if cap(in.mergeCounts) < len(tasks) {
+		in.mergeCounts = make([]int64, len(tasks))
+	}
+	counts := in.mergeCounts[:len(tasks)]
+	mw := in.poolSize(len(tasks))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < mw; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				ti := int(next.Add(1) - 1)
+				if ti >= len(tasks) {
+					return
+				}
+				t := tasks[ti]
+				sink := in.Cat.Pred(t.pid).DeltaNew
+				var derived int64
+				for i := 0; i < w; i++ {
+					buf := in.workers[i].bufs[t.pid]
+					if buf == nil {
+						continue
+					}
+					buf.EachShard(t.bucket, func(row []storage.Value) bool {
+						if sink.ShardInsert(t.bucket, row) {
+							derived++
+						}
+						return true
+					})
+				}
+				counts[ti] = derived
+			}
+		}()
+	}
+	wg.Wait()
+	for _, c := range counts {
+		in.Stats.Derivations += c
+	}
+	in.Stats.MergeTasks += int64(len(tasks))
 }
 
 // runPlanWith executes the plan with the chosen executor, routing every

@@ -123,18 +123,22 @@ type Plan struct {
 	// Shard restriction (per-execution state, set on plan copies by the
 	// sharded fan-out; always zero in cached plans): when ShardCount > 1 the
 	// relational step at index ShardStep — the subquery's delta read — only
-	// admits rows whose ShardKeyCol hashes to bucket Shard, so each of the
-	// ShardCount tasks evaluating this subquery covers a disjoint slice of
-	// the delta and their union covers it exactly.
+	// admits rows whose ShardKeyCol hashes into the bucket span
+	// [Shard, Shard+ShardSpan), so the tasks evaluating this subquery cover
+	// disjoint slices of the delta and their union covers it exactly. The
+	// adaptive fan-out sizes the span: one bucket per task at full fan-out,
+	// wider spans when the live delta statistics call for fewer tasks.
 	Shard       int
+	ShardSpan   int
 	ShardCount  int
 	ShardStep   int
 	ShardKeyCol int
 }
 
-// inShard reports whether row belongs to the plan's delta bucket.
+// inShard reports whether row belongs to the plan's delta bucket span.
 func (p *Plan) inShard(row []storage.Value) bool {
-	return storage.ShardOf(row[p.ShardKeyCol], p.ShardCount) == p.Shard
+	s := storage.ShardOf(row[p.ShardKeyCol], p.ShardCount)
+	return s >= p.Shard && s < p.Shard+p.ShardSpan
 }
 
 // SourceRel resolves the relation a relational step reads right now.
@@ -412,12 +416,119 @@ func (p *Plan) Execute(cat *storage.Catalog, emit func(head, bind []storage.Valu
 				}
 				return false
 			}
+			// Physically sharded relations serve probes and scans bucket-
+			// locally: row ids are meaningless to the parent, and a shard-
+			// restricted step whose layout matches the partition narrows to
+			// exactly its bucket span — no per-row hash.
+			if subs := rel.PhysSubs(); subs != nil {
+				lo, hi := 0, len(subs)
+				if shardFilter {
+					if sc, col := rel.ShardConfig(); sc == p.ShardCount && col == p.ShardKeyCol {
+						lo, hi = p.Shard, p.Shard+p.ShardSpan
+						shardFilter = false
+					}
+				}
+				switch st.Kind {
+				case StepProbe:
+					key := st.ProbeKey.resolve(bind)
+					// A probe on the shard key column routes to exactly one
+					// bucket — no reason to touch the other buckets' indexes
+					// (and a bucket outside the task's span holds nothing
+					// this task may emit).
+					if sc, col := rel.ShardConfig(); col == st.ProbeCol && sc == len(subs) {
+						if b := storage.ShardOf(key, sc); b >= lo && b < hi {
+							lo, hi = b, b+1
+						} else {
+							lo, hi = 0, 0
+						}
+					}
+					for s := lo; s < hi; s++ {
+						sub := subs[s]
+						rows, ok := sub.Probe(st.ProbeCol, key)
+						if !ok {
+							sub.Each(func(row []storage.Value) bool {
+								if stop() {
+									return false
+								}
+								if row[st.ProbeCol] == key {
+									match(row)
+								}
+								return true
+							})
+							continue
+						}
+						for _, ri := range rows {
+							if stop() {
+								return
+							}
+							match(sub.Row(ri))
+						}
+					}
+				case StepProbeN:
+					vals := make([]storage.Value, len(st.ProbeKeys))
+					for ki, k := range st.ProbeKeys {
+						vals[ki] = k.resolve(bind)
+					}
+					// As above: a composite probe covering the shard key
+					// column routes to one bucket.
+					if sc, col := rel.ShardConfig(); sc == len(subs) {
+						for ci, c := range st.ProbeCols {
+							if c != col {
+								continue
+							}
+							if b := storage.ShardOf(vals[ci], sc); b >= lo && b < hi {
+								lo, hi = b, b+1
+							} else {
+								lo, hi = 0, 0
+							}
+							break
+						}
+					}
+					for s := lo; s < hi; s++ {
+						sub := subs[s]
+						rows, ok := sub.ProbeComposite(st.ProbeCols, vals)
+						if !ok {
+							sub.Each(func(row []storage.Value) bool {
+								if stop() {
+									return false
+								}
+								for ci, c := range st.ProbeCols {
+									if row[c] != vals[ci] {
+										return true
+									}
+								}
+								match(row)
+								return true
+							})
+							continue
+						}
+						for _, ri := range rows {
+							if stop() {
+								return
+							}
+							match(sub.Row(ri))
+						}
+					}
+				default:
+					rel.EachShardRange(lo, hi, func(row []storage.Value) bool {
+						if stop() {
+							return false
+						}
+						match(row)
+						return true
+					})
+				}
+				return
+			}
 			if st.Kind == StepProbe {
 				key := st.ProbeKey.resolve(bind)
 				rows, ok := rel.Probe(st.ProbeCol, key)
 				if !ok {
 					// Index vanished (should not happen); degrade to scan.
 					rel.Each(func(row []storage.Value) bool {
+						if stop() {
+							return false
+						}
 						if row[st.ProbeCol] == key {
 							match(row)
 						}
@@ -442,6 +553,9 @@ func (p *Plan) Execute(cat *storage.Catalog, emit func(head, bind []storage.Valu
 				if !ok {
 					// Composite index missing at runtime: filtered scan.
 					rel.Each(func(row []storage.Value) bool {
+						if stop() {
+							return false
+						}
 						for ci, c := range st.ProbeCols {
 							if row[c] != vals[ci] {
 								return true
@@ -463,9 +577,9 @@ func (p *Plan) Execute(cat *storage.Catalog, emit func(head, bind []storage.Valu
 			if shardFilter {
 				if sc, col := rel.ShardConfig(); sc == p.ShardCount && col == p.ShardKeyCol {
 					// Bucket lists are exact for this layout: iterate only
-					// this task's rows and skip the per-row hash.
+					// this task's span and skip the per-row hash.
 					shardFilter = false
-					rel.EachShard(p.Shard, func(row []storage.Value) bool {
+					rel.EachShardRange(p.Shard, p.Shard+p.ShardSpan, func(row []storage.Value) bool {
 						if stop() {
 							return false
 						}

@@ -21,6 +21,16 @@ type pullNode interface {
 	Next() bool
 }
 
+// relSeg is one contiguous slice of a relational step's input: a row-id
+// list into rel (probe result or bucket view), or all of rel when rows is
+// nil. A step's input is a sequence of segments — one for a flat relation,
+// one per bucket for a physically sharded relation or a bucket-span
+// restriction — iterated by relPull's cursor.
+type relSeg struct {
+	rel  *storage.Relation
+	rows []int32 // nil = scan all of rel
+}
+
 // relPull iterates a relational step (scan or probe) under the current
 // bindings, applying checks and binds.
 type relPull struct {
@@ -29,105 +39,192 @@ type relPull struct {
 	bind []storage.Value
 
 	// Shard restriction for the plan's delta step (see Plan.Shard*):
-	// shardCount > 1 admits only rows of bucket shard — served from the
-	// exact bucket list when the relation's partition matches the task
-	// layout (hashFilter off), enforced per row otherwise.
+	// shardCount > 1 admits only rows of buckets [shard, shard+shardSpan) —
+	// served from the exact bucket lists or sub-relations when the
+	// relation's partition matches the task layout (hashFilter off),
+	// enforced per row otherwise.
 	shard       int
+	shardSpan   int
 	shardCount  int
 	shardKeyCol int
 	hashFilter  bool
 
-	rel  *storage.Relation
-	rows []int32 // probe rows; nil = scan
-	pos  int
-	n    int
+	segs    []relSeg // reused across Opens
+	si, pos int
+	scratch []int32 // degraded-path row materialization
 }
 
 func (r *relPull) Open() {
-	r.rel = SourceRel(r.cat, r.st.Pred, r.st.Src)
-	r.pos = 0
+	rel := SourceRel(r.cat, r.st.Pred, r.st.Src)
+	r.segs = r.segs[:0]
+	r.scratch = r.scratch[:0]
+	r.si, r.pos = 0, 0
 	r.hashFilter = r.shardCount > 1
+	subs := rel.PhysSubs()
+	// Bucket range to serve: everything, narrowed to the task's span when
+	// the restriction matches the relation's partition layout.
+	lo, hi := 0, len(subs)
+	if r.hashFilter {
+		if sc, col := rel.ShardConfig(); sc == r.shardCount && col == r.shardKeyCol {
+			r.hashFilter = false
+			if subs != nil {
+				lo, hi = r.shard, r.shard+r.shardSpan
+			} else if r.st.Kind == StepScan {
+				for s := r.shard; s < r.shard+r.shardSpan; s++ {
+					if rows := rel.ShardRows(s); len(rows) > 0 {
+						r.segs = append(r.segs, relSeg{rel: rel, rows: rows})
+					}
+				}
+				return
+			} else {
+				// Probe through the global index: bucket membership must be
+				// re-checked per row (the index is not partitioned).
+				r.hashFilter = true
+			}
+		}
+	}
 	switch r.st.Kind {
 	case StepProbe:
 		key := r.st.ProbeKey.resolve(r.bind)
-		rows, ok := r.rel.Probe(r.st.ProbeCol, key)
-		if ok {
-			r.rows = rows
-			r.n = len(rows)
+		if subs != nil {
+			// A probe on the shard key column routes to exactly one bucket.
+			if sc, col := rel.ShardConfig(); col == r.st.ProbeCol && sc == len(subs) {
+				if b := storage.ShardOf(key, sc); b >= lo && b < hi {
+					lo, hi = b, b+1
+				} else {
+					lo, hi = 0, 0
+				}
+			}
+			for s := lo; s < hi; s++ {
+				if rows, ok := subs[s].Probe(r.st.ProbeCol, key); ok {
+					if len(rows) > 0 {
+						r.segs = append(r.segs, relSeg{rel: subs[s], rows: rows})
+					}
+				} else {
+					r.materialize(subs[s], func(row []storage.Value) bool { return row[r.st.ProbeCol] == key })
+				}
+			}
+			return
+		}
+		if rows, ok := rel.Probe(r.st.ProbeCol, key); ok {
+			// A probe miss yields a nil list — never a scan-all segment
+			// (rows == nil marks scans only).
+			if len(rows) > 0 {
+				r.segs = append(r.segs, relSeg{rel: rel, rows: rows})
+			}
 			return
 		}
 		// No index at runtime: materialize matching rows (degraded path).
-		r.rows = r.rows[:0]
-		total := int32(r.rel.Len())
-		for i := int32(0); i < total; i++ {
-			if r.rel.Row(i)[r.st.ProbeCol] == key {
-				r.rows = append(r.rows, i)
-			}
-		}
-		r.n = len(r.rows)
+		r.materialize(rel, func(row []storage.Value) bool { return row[r.st.ProbeCol] == key })
 	case StepProbeN:
 		vals := make([]storage.Value, len(r.st.ProbeKeys))
 		for ki, k := range r.st.ProbeKeys {
 			vals[ki] = k.resolve(r.bind)
 		}
-		rows, ok := r.rel.ProbeComposite(r.st.ProbeCols, vals)
-		if ok {
-			r.rows = rows
-			r.n = len(rows)
-			return
-		}
-		r.rows = r.rows[:0]
-		total := int32(r.rel.Len())
-	scan:
-		for i := int32(0); i < total; i++ {
-			row := r.rel.Row(i)
+		covers := func(row []storage.Value) bool {
 			for ci, c := range r.st.ProbeCols {
 				if row[c] != vals[ci] {
-					continue scan
+					return false
 				}
 			}
-			r.rows = append(r.rows, i)
+			return true
 		}
-		r.n = len(r.rows)
-	default:
-		if r.hashFilter {
-			if sc, col := r.rel.ShardConfig(); sc == r.shardCount && col == r.shardKeyCol {
-				// Exact-bucket scan: iterate only this task's rows and skip
-				// the per-row hash.
-				r.hashFilter = false
-				r.rows = r.rel.ShardRows(r.shard)
-				r.n = len(r.rows)
-				return
+		if subs != nil {
+			// As above: a composite probe covering the shard key column
+			// routes to one bucket.
+			if sc, col := rel.ShardConfig(); sc == len(subs) {
+				for ci, c := range r.st.ProbeCols {
+					if c != col {
+						continue
+					}
+					if b := storage.ShardOf(vals[ci], sc); b >= lo && b < hi {
+						lo, hi = b, b+1
+					} else {
+						lo, hi = 0, 0
+					}
+					break
+				}
 			}
+			for s := lo; s < hi; s++ {
+				if rows, ok := subs[s].ProbeComposite(r.st.ProbeCols, vals); ok {
+					if len(rows) > 0 {
+						r.segs = append(r.segs, relSeg{rel: subs[s], rows: rows})
+					}
+				} else {
+					r.materialize(subs[s], covers)
+				}
+			}
+			return
 		}
-		r.rows = nil
-		r.n = r.rel.Len()
+		if rows, ok := rel.ProbeComposite(r.st.ProbeCols, vals); ok {
+			if len(rows) > 0 {
+				r.segs = append(r.segs, relSeg{rel: rel, rows: rows})
+			}
+			return
+		}
+		r.materialize(rel, covers)
+	default:
+		if subs != nil {
+			for s := lo; s < hi; s++ {
+				if subs[s].Len() > 0 {
+					r.segs = append(r.segs, relSeg{rel: subs[s]})
+				}
+			}
+			return
+		}
+		r.segs = append(r.segs, relSeg{rel: rel})
+	}
+}
+
+// materialize appends a row-id segment holding rel's rows that satisfy
+// keep — the degraded path when an expected index is missing at runtime.
+func (r *relPull) materialize(rel *storage.Relation, keep func(row []storage.Value) bool) {
+	start := len(r.scratch)
+	total := int32(rel.Len())
+	for i := int32(0); i < total; i++ {
+		if keep(rel.Row(i)) {
+			r.scratch = append(r.scratch, i)
+		}
+	}
+	if len(r.scratch) > start {
+		r.segs = append(r.segs, relSeg{rel: rel, rows: r.scratch[start:len(r.scratch):len(r.scratch)]})
 	}
 }
 
 func (r *relPull) Next() bool {
-	for r.pos < r.n {
-		var row []storage.Value
-		if r.rows != nil {
-			row = r.rel.Row(r.rows[r.pos])
-		} else {
-			row = r.rel.Row(int32(r.pos))
+	for r.si < len(r.segs) {
+		seg := &r.segs[r.si]
+		n := len(seg.rows)
+		if seg.rows == nil {
+			n = seg.rel.Len()
 		}
-		r.pos++
-		if !r.matches(row) {
-			continue
+		for r.pos < n {
+			var row []storage.Value
+			if seg.rows != nil {
+				row = seg.rel.Row(seg.rows[r.pos])
+			} else {
+				row = seg.rel.Row(int32(r.pos))
+			}
+			r.pos++
+			if !r.matches(row) {
+				continue
+			}
+			for _, b := range r.st.Binds {
+				r.bind[b.Var] = row[b.Col]
+			}
+			return true
 		}
-		for _, b := range r.st.Binds {
-			r.bind[b.Var] = row[b.Col]
-		}
-		return true
+		r.si++
+		r.pos = 0
 	}
 	return false
 }
 
 func (r *relPull) matches(row []storage.Value) bool {
-	if r.hashFilter && storage.ShardOf(row[r.shardKeyCol], r.shardCount) != r.shard {
-		return false
+	if r.hashFilter {
+		if s := storage.ShardOf(row[r.shardKeyCol], r.shardCount); s < r.shard || s >= r.shard+r.shardSpan {
+			return false
+		}
 	}
 	for _, ck := range r.st.Checks {
 		switch ck.Mode {
@@ -213,7 +310,7 @@ func NewPullExecutor(plan *Plan, cat *storage.Catalog) *PullExecutor {
 		if st.Kind == StepScan || st.Kind == StepProbe || st.Kind == StepProbeN {
 			rp := &relPull{st: st, cat: cat, bind: bind}
 			if plan.ShardCount > 1 && i == plan.ShardStep {
-				rp.shard, rp.shardCount, rp.shardKeyCol = plan.Shard, plan.ShardCount, plan.ShardKeyCol
+				rp.shard, rp.shardSpan, rp.shardCount, rp.shardKeyCol = plan.Shard, plan.ShardSpan, plan.ShardCount, plan.ShardKeyCol
 			}
 			nodes[i] = rp
 		} else {

@@ -66,13 +66,31 @@ func Band(card int) int {
 }
 
 // BandSig packs the band of every cardinality into a compact string key.
-func BandSig(cards []int) string {
+func BandSig(cards []int) string { return bandSig(cards, 0) }
+
+// bandSig is BandSig under a hysteresis widening: shifting the band right
+// merges adjacent bands pairwise, so widen steps of a key's quantization
+// double the cardinality range one entry serves.
+func bandSig(cards []int, widen uint8) string {
 	b := make([]byte, len(cards))
 	for i, c := range cards {
-		b[i] = byte(Band(c))
+		b[i] = byte(Band(c) >> widen)
 	}
 	return string(b)
 }
+
+// HysteresisHops is the number of consecutive band-hop misses on one key
+// after which that key's band quantization widens one step. Early fixpoint
+// iterations roughly double delta cardinalities every pass (the CSPA
+// shape), landing every lookup in a fresh band and re-planning each time;
+// after HysteresisHops such hops the key has demonstrated the regime is
+// climbing, and wider bands let one plan ride the climb.
+const HysteresisHops = 3
+
+// maxBandWiden caps the per-key widening (bands up to 2^maxBandWiden
+// native bands wide), so a pathological key cannot collapse every regime
+// into one entry.
+const maxBandWiden = 4
 
 // Key identifies one cacheable artifact: the rule it evaluates plus a
 // structural signature of its subquery body (atom kinds, predicates,
@@ -122,6 +140,9 @@ type Stats struct {
 	// threshold — the direct analogue of the JIT's freshness failure.
 	StaleDrops int64
 	Stores     int64
+	// Widens counts band-hysteresis steps: a key that band-hopped
+	// HysteresisHops consecutive times had its quantization widened.
+	Widens int64
 }
 
 // HitRate returns served hits over total lookups, 0 when no lookups ran.
@@ -139,6 +160,34 @@ type entry[T any] struct {
 	counters []uint64
 }
 
+// keyBucket holds one key's per-band entries plus its hysteresis state.
+type keyBucket[T any] struct {
+	bands map[string]*entry[T] // band signature (under widen) -> entry
+	hops  int                  // consecutive band-hop misses
+	widen uint8                // current band-quantization shift
+}
+
+// widenBands advances the key's quantization one step and re-keys the
+// existing entries under the coarser signature (old signature bytes shift
+// right with the bands; colliding entries keep an arbitrary survivor — they
+// now describe the same merged band).
+func (b *keyBucket[T]) widenBands() {
+	b.widen++
+	b.hops = 0
+	if len(b.bands) == 0 {
+		return
+	}
+	rekeyed := make(map[string]*entry[T], len(b.bands))
+	for sig, e := range b.bands {
+		raw := []byte(sig)
+		for i := range raw {
+			raw[i] >>= 1
+		}
+		rekeyed[string(raw)] = e
+	}
+	b.bands = rekeyed
+}
+
 // LockShards is the fixed number of independently locked cache segments.
 // Keys hash uniformly across segments, so with a worker pool of size W the
 // probability of two workers colliding on one lock is ~W/LockShards per
@@ -151,7 +200,7 @@ const LockShards = 16
 // path never touches a shared statistics lock either).
 type cacheShard[T any] struct {
 	mu      sync.Mutex
-	buckets map[Key]map[string]*entry[T] // key -> band signature -> entry
+	buckets map[Key]*keyBucket[T]
 	stats   Stats
 }
 
@@ -167,7 +216,7 @@ type Cache[T any] struct {
 func New[T any](pol Policy) *Cache[T] {
 	c := &Cache[T]{pol: pol}
 	for i := range c.shards {
-		c.shards[i].buckets = make(map[Key]map[string]*entry[T])
+		c.shards[i].buckets = make(map[Key]*keyBucket[T])
 	}
 	return c
 }
@@ -205,41 +254,71 @@ func (c *Cache[T]) Lookup(k Key, counters []uint64, cards []int) (val T, ok bool
 		sh.stats.ColdMisses++
 		return val, false, false
 	}
-	band := BandSig(cards)
-	e := bucket[band]
+	band := bandSig(cards, bucket.widen)
+	e := bucket.bands[band]
 	if e == nil {
+		// Band hop: the key is known but its cardinality regime moved. After
+		// HysteresisHops consecutive hops the key has demonstrated a
+		// climbing regime (early fixpoint iterations double deltas every
+		// pass) — widen its quantization one step so the next plan stored
+		// serves the whole wider band instead of being re-planned per band.
 		sh.stats.BandMisses++
+		bucket.hops++
+		if bucket.hops >= HysteresisHops && bucket.widen < maxBandWiden {
+			bucket.widenBands()
+			sh.stats.Widens++
+		}
 		return val, false, true
 	}
 	if stats.CountersEqual(e.counters, counters) {
+		bucket.hops = 0
 		sh.stats.Hits++
 		sh.stats.FastHits++
 		return e.val, true, false
 	}
-	if c.pol.Fresh(e.cards, cards) {
+	if c.fresh(e, cards, bucket.widen) {
 		// Drift stays anchored to the build-time cardinalities (like the
 		// JIT's per-compilation fingerprint); only the counter vector is
 		// refreshed so the next unchanged-world lookup takes the fast path.
 		e.counters = append(e.counters[:0], counters...)
+		bucket.hops = 0
 		sh.stats.Hits++
 		return e.val, true, false
 	}
-	delete(bucket, band)
+	delete(bucket.bands, band)
+	bucket.hops = 0
 	sh.stats.StaleDrops++
 	return val, false, true
 }
 
-// Store caches v under k for the band of cards.
+// fresh applies the drift gate, opened up to the width a hysteresis-widened
+// band actually spans: a band merged from 2^widen native bands covers a
+// 2^(widen+1)x cardinality range, so an entry must be allowed that much
+// relative drift or widening would just convert band misses into stale
+// drops and save nothing. The un-widened gate is the plain policy.
+func (c *Cache[T]) fresh(e *entry[T], cards []int, widen uint8) bool {
+	if widen == 0 {
+		return c.pol.Fresh(e.cards, cards)
+	}
+	thr := c.pol.threshold()
+	if span := float64(uint(1)<<(widen+1) - 1); span > thr {
+		thr = span
+	}
+	return stats.Drift(e.cards, cards) <= thr
+}
+
+// Store caches v under k for the band of cards (under the key's current
+// hysteresis widening).
 func (c *Cache[T]) Store(k Key, counters []uint64, cards []int, v T) {
 	sh := c.shardFor(k)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	bucket := sh.buckets[k]
 	if bucket == nil {
-		bucket = make(map[string]*entry[T])
+		bucket = &keyBucket[T]{bands: make(map[string]*entry[T])}
 		sh.buckets[k] = bucket
 	}
-	bucket[BandSig(cards)] = &entry[T]{
+	bucket.bands[bandSig(cards, bucket.widen)] = &entry[T]{
 		val:      v,
 		cards:    append([]int(nil), cards...),
 		counters: append([]uint64(nil), counters...),
@@ -254,7 +333,7 @@ func (c *Cache[T]) Len() int {
 		sh := &c.shards[i]
 		sh.mu.Lock()
 		for _, b := range sh.buckets {
-			n += len(b)
+			n += len(b.bands)
 		}
 		sh.mu.Unlock()
 	}
@@ -273,6 +352,7 @@ func (c *Cache[T]) Stats() Stats {
 		out.BandMisses += sh.stats.BandMisses
 		out.StaleDrops += sh.stats.StaleDrops
 		out.Stores += sh.stats.Stores
+		out.Widens += sh.stats.Widens
 		sh.mu.Unlock()
 	}
 	return out

@@ -146,3 +146,56 @@ func TestCacheConcurrent(t *testing.T) {
 		t.Fatal("nothing cached")
 	}
 }
+
+func TestBandHysteresisWidens(t *testing.T) {
+	c := New[int](Policy{})
+	k := Key{Rule: 1, Sig: "climb"}
+	// A climbing cardinality regime: every lookup lands one band above the
+	// previous store, the CSPA early-iteration shape.
+	cards := []int{1, 2, 4, 8}
+	for i, card := range cards {
+		_, ok, _ := c.Lookup(k, []uint64{uint64(i)}, []int{card})
+		if ok {
+			t.Fatalf("lookup %d (card %d) unexpectedly hit", i, card)
+		}
+		c.Store(k, []uint64{uint64(i)}, []int{card}, card)
+	}
+	st := c.Stats()
+	if st.BandMisses != int64(len(cards)-1) {
+		t.Fatalf("band misses = %d, want %d", st.BandMisses, len(cards)-1)
+	}
+	if st.Widens != 1 {
+		t.Fatalf("widens = %d, want 1 after %d consecutive hops", st.Widens, HysteresisHops)
+	}
+	// Post-widening, 12 shares the merged band of the entry stored at 8
+	// (native bands 4 and the widened gate admit drift 0.5): a hit where
+	// the un-widened cache would have band-hopped again.
+	if v, ok, _ := c.Lookup(k, []uint64{9}, []int{12}); !ok || v != 8 {
+		t.Fatalf("widened band should serve the climbing regime: ok=%v v=%d", ok, v)
+	}
+}
+
+func TestBandHysteresisResetsOnHit(t *testing.T) {
+	c := New[int](Policy{})
+	k := Key{Rule: 2, Sig: "stable"}
+	// Two hops, then an exact in-band hit, then two more hops: never three
+	// consecutive, so the quantization must stay native.
+	seq := []struct {
+		card int
+		hit  bool
+	}{
+		{1, false}, {2, false}, {4, false}, {4, true}, {16, false}, {64, false},
+	}
+	for i, s := range seq {
+		_, ok, _ := c.Lookup(k, []uint64{uint64(i)}, []int{s.card})
+		if ok != s.hit {
+			t.Fatalf("step %d (card %d): hit=%v, want %v", i, s.card, ok, s.hit)
+		}
+		if !ok {
+			c.Store(k, []uint64{uint64(i)}, []int{s.card}, s.card)
+		}
+	}
+	if st := c.Stats(); st.Widens != 0 {
+		t.Fatalf("widens = %d, want 0 (hops never consecutive)", st.Widens)
+	}
+}

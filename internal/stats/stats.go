@@ -76,10 +76,12 @@ func (s Catalog) DriftCounter(pred storage.PredID) uint64 {
 
 // ShardCard returns the tuple count of bucket shard of the relation
 // (pred, src) resolves to — the statistic the sharded fixpoint driver
-// consults to skip empty buckets (and the input a shard-count auto-tuner
-// would read). Like Card it is O(1): bucket sizes are maintained
-// incrementally by the storage mutation paths; unpartitioned relations read
-// as one bucket holding everything.
+// consults to skip empty buckets and, per iteration, to pick the effective
+// fan-out (task count, bucket spans, and the sequential fast path for
+// small-delta tails — the adaptive fan-out driver in internal/interp).
+// Like Card it is O(1): bucket sizes are maintained incrementally by the
+// storage mutation paths; unpartitioned relations read as one bucket
+// holding everything.
 func (s Catalog) ShardCard(pred storage.PredID, src ir.Source, shard int) int {
 	p := s.Cat.Pred(pred)
 	if src == ir.SrcDelta {

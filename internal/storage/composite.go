@@ -57,6 +57,15 @@ func (r *Relation) BuildCompositeIndex(cols []int) {
 	if _, ok := r.composites[key]; ok {
 		return
 	}
+	if r.subs != nil {
+		// Physical mode: per-bucket registration, empty parent entry for
+		// bookkeeping (as in BuildIndex).
+		for _, s := range r.subs {
+			s.BuildCompositeIndex(sorted)
+		}
+		r.composites[key] = &compositeIndex{cols: sorted, m: make(map[string][]int32)}
+		return
+	}
 	ci := &compositeIndex{cols: sorted, m: make(map[string][]int32)}
 	vals := make([]Value, len(sorted))
 	scratch := make([]byte, 4*len(sorted))
@@ -102,8 +111,13 @@ func (r *Relation) CompositeIndexes() [][]int {
 }
 
 // ProbeComposite returns the rows whose columns cols (ascending) equal vals
-// (in the same order). ok is false when no such composite index exists.
+// (in the same order). ok is false when no such composite index exists —
+// including on physically sharded relations (bucket-local row ids; see
+// Probe), where executors probe the PhysSubs individually.
 func (r *Relation) ProbeComposite(cols []int, vals []Value) ([]int32, bool) {
+	if r.subs != nil {
+		return nil, false
+	}
 	ci, ok := r.composites[colsKey(cols)]
 	if !ok {
 		return nil, false
@@ -120,6 +134,22 @@ func (r *Relation) DistinctCount(col int) int {
 	idx, ok := r.indexes[col]
 	if !ok {
 		return -1
+	}
+	if r.subs != nil {
+		// Buckets partition the shard key's value space disjointly, so the
+		// per-bucket distinct counts sum exactly for that column. For any
+		// other column a value may recur across buckets; report the largest
+		// bucket's count, a valid lower bound for the selectivity heuristic.
+		n := 0
+		for _, s := range r.subs {
+			d := s.DistinctCount(col)
+			if col == r.shardCol {
+				n += d
+			} else if d > n {
+				n = d
+			}
+		}
+		return n
 	}
 	return len(idx)
 }

@@ -36,9 +36,13 @@ type PredicateDB struct {
 
 	// Shard configuration (0 = unsharded): all three relations are
 	// partitioned into shards buckets by hash of column shardCol, the
-	// planned join key. See shard.go.
+	// planned join key. physical selects the physically sharded backing
+	// store for the delta pair (per-bucket slabs and indexes, concurrent
+	// per-bucket inserts) plus bucket-local dedup on Derived; see shard.go
+	// and physshard.go.
 	shards   int
 	shardCol int
+	physical bool
 }
 
 func newPredicateDB(id PredID, name string, arity int) *PredicateDB {
@@ -103,13 +107,38 @@ func (p *PredicateDB) SetShards(n, col int) {
 	} else {
 		p.shards, p.shardCol = n, col
 	}
+	p.physical = false
 	p.Derived.SetShardKey(n, col)
 	p.DeltaKnown.SetShardKey(n, col)
 	p.DeltaNew.SetShardKey(n, col)
 }
 
+// SetShardsPhysical partitions like SetShards but with the physically
+// sharded backing store: the delta pair becomes n independent per-bucket
+// sub-relations (so the merge barrier can fold worker buffers concurrently,
+// one task per bucket — SwapClear's pointer exchange carries the mode with
+// the structs), and Derived keeps the global arena with a per-bucket dedup
+// split (so the workers' frozen set-difference probes are bucket-local).
+// Content and predicate-level drift totals are preserved exactly, like
+// SetShards. n < 2 removes the partition.
+func (p *PredicateDB) SetShardsPhysical(n, col int) {
+	if n < 2 {
+		p.SetShards(n, col)
+		return
+	}
+	p.shards, p.shardCol = n, col
+	p.physical = true
+	p.Derived.SetShardKeySplit(n, col)
+	p.DeltaKnown.SetShardKeyPhysical(n, col)
+	p.DeltaNew.SetShardKeyPhysical(n, col)
+}
+
 // Shards returns the configured bucket count (0 = unsharded).
 func (p *PredicateDB) Shards() int { return p.shards }
+
+// Physical reports whether the configured partition uses the physically
+// sharded backing store (SetShardsPhysical).
+func (p *PredicateDB) Physical() bool { return p.physical }
 
 // ShardKeyCol returns the configured shard key column.
 func (p *PredicateDB) ShardKeyCol() int { return p.shardCol }
@@ -223,6 +252,20 @@ func (c *Catalog) ConfigureShards(n int, keyCols map[PredID]int) {
 			col = 0
 		}
 		p.SetShards(n, col)
+	}
+}
+
+// ConfigureShardsPhysical is ConfigureShards with the physically sharded
+// backing store (SetShardsPhysical) — the layout the parallel merge barrier
+// requires. The pure interpreter is the only engine taught to read it, so
+// callers must not enable it for a run that attaches a JIT controller.
+func (c *Catalog) ConfigureShardsPhysical(n int, keyCols map[PredID]int) {
+	for _, p := range c.preds {
+		col := keyCols[p.ID]
+		if col < 0 || col >= p.Arity {
+			col = 0
+		}
+		p.SetShardsPhysical(n, col)
 	}
 }
 

@@ -1,0 +1,290 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file implements the two physically sharded storage modes behind the
+// SetShardKey partitioning (see shard.go for the row-id view mode of PR 2):
+//
+//   - split dedup (SetShardKeySplit): the arena, indexes, and row ids stay
+//     global, but the duplicate-elimination set is split into one map per
+//     bucket, routed by the shard key. Membership probes — the set
+//     difference against the iteration-frozen Derived that every parallel
+//     worker performs per candidate tuple — touch a bucket-local map.
+//
+//   - physical (SetShardKeyPhysical): every bucket is a fully independent
+//     sub-relation with its own arena slab, dedup set, scratch buffer, hash
+//     indexes, and mutation counter. Two goroutines inserting into
+//     different buckets share no state at all, which is what lets the
+//     merge barrier fold worker delta buffers into DeltaNew as one
+//     concurrent task per bucket instead of one row at a time under a
+//     single writer (the Amdahl bound this refactor removes).
+//
+// Both modes preserve the relation-level mutation counter exactly: for any
+// operation sequence, Mutations() reports the same value the flat layout
+// would have, so the drift totals the plan cache's freshness policy
+// observes are byte-identical across {off, view, split, physical} — the
+// same invariant PR 2 established for the view mode, extended here.
+// Per-bucket counters stay monotone across arbitrary mode transitions.
+
+// resetContents drops all tuples and index entries without touching any
+// mutation counter — the caller owns the accounting. retain keeps the
+// allocated capacity (in-place map clears, truncated slices) for consumers
+// that immediately refill, e.g. worker delta buffers.
+func (r *Relation) resetContents(retain bool) {
+	r.arena = r.arena[:0]
+	if retain {
+		clear(r.set)
+		clear(r.set64)
+		for s := range r.dedupShards {
+			clear(r.dedupShards[s])
+		}
+		for s := range r.dedup64Shards {
+			clear(r.dedup64Shards[s])
+		}
+		for _, idx := range r.indexes {
+			clear(idx)
+		}
+		for _, ci := range r.composites {
+			clear(ci.m)
+		}
+		return
+	}
+	r.freshDedup(0)
+	for col := range r.indexes {
+		r.indexes[col] = make(map[Value][]int32)
+	}
+	for _, ci := range r.composites {
+		ci.m = make(map[string][]int32)
+	}
+}
+
+// maxObservableCounter returns a value at least as large as the relation
+// counter and every currently observable per-bucket counter, in any mode —
+// the floor new per-bucket counters must be bumped past so that equal
+// observations never bracket a mode transition.
+func (r *Relation) maxObservableCounter() uint64 {
+	m := r.Mutations()
+	for s := 0; s < r.shardCount; s++ {
+		if c := r.ShardMutations(s); c > m {
+			m = c
+		}
+	}
+	for _, c := range r.shardMuts {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// SetShardKeySplit registers the split-dedup partition: the row-id bucket
+// views of SetShardKey plus a per-bucket duplicate-elimination map, so
+// Contains probes (and insert dedup) touch only the tuple's bucket.
+// Idempotent for an identical configuration; shards < 2 removes the
+// partition entirely.
+func (r *Relation) SetShardKeySplit(shards, col int) {
+	if shards < 2 {
+		r.SetShardKey(shards, col)
+		return
+	}
+	if (r.dedupShards != nil || r.dedup64Shards != nil) && r.subs == nil && r.shardCount == shards && r.shardCol == col {
+		return
+	}
+	r.SetShardKey(shards, col) // dissolves other modes, builds the views
+	// Distribute the existing dedup keys. Packed keys hold the tuple
+	// columns at fixed offsets (little-endian bytes, or uint64 halves for
+	// the arity <= 2 fast path), so the shard key column is decodable
+	// without touching the arena.
+	if r.set64 != nil {
+		r.dedup64Shards = make([]map[uint64]struct{}, shards)
+		for s := range r.dedup64Shards {
+			r.dedup64Shards[s] = make(map[uint64]struct{})
+		}
+		for key := range r.set64 {
+			v := Value(uint32(key >> (32 * uint(col))))
+			r.dedup64Shards[ShardOf(v, shards)][key] = struct{}{}
+		}
+		r.set64 = make(map[uint64]struct{})
+		return
+	}
+	r.dedupShards = make([]map[string]struct{}, shards)
+	for s := range r.dedupShards {
+		r.dedupShards[s] = make(map[string]struct{})
+	}
+	for key := range r.set {
+		v := Value(binary.LittleEndian.Uint32([]byte(key)[4*col:]))
+		r.dedupShards[ShardOf(v, shards)][key] = struct{}{}
+	}
+	r.set = make(map[string]struct{})
+}
+
+// unsplitDedup folds the per-bucket dedup maps back into the single set.
+func (r *Relation) unsplitDedup() {
+	if r.dedup64Shards != nil {
+		total := 0
+		for _, m := range r.dedup64Shards {
+			total += len(m)
+		}
+		r.set64 = make(map[uint64]struct{}, total)
+		for _, m := range r.dedup64Shards {
+			for k := range m {
+				r.set64[k] = struct{}{}
+			}
+		}
+		r.dedup64Shards = nil
+		return
+	}
+	if r.dedupShards == nil {
+		return
+	}
+	total := 0
+	for _, m := range r.dedupShards {
+		total += len(m)
+	}
+	r.set = make(map[string]struct{}, total)
+	for _, m := range r.dedupShards {
+		for k := range m {
+			r.set[k] = struct{}{}
+		}
+	}
+	r.dedupShards = nil
+}
+
+// SetShardKeyPhysical converts the relation to the physical mode: shards
+// independent sub-relations keyed by hash of column col. Content and
+// Mutations() are preserved exactly; per-bucket counters jump past every
+// previously observable value (bucket contents are reassigned wholesale).
+// Idempotent for an identical configuration; shards < 2 removes the
+// partition.
+func (r *Relation) SetShardKeyPhysical(shards, col int) {
+	if shards < 2 {
+		r.SetShardKey(shards, col)
+		return
+	}
+	if col < 0 || col >= r.arity {
+		panic("storage: shard key column out of range")
+	}
+	if r.subs != nil && r.shardCount == shards && r.shardCol == col {
+		return
+	}
+	base := r.maxObservableCounter() + 1
+	if r.subs != nil {
+		r.dissolvePhys()
+	}
+	r.unsplitDedup()
+	target := r.muts
+
+	subs := make([]*Relation, shards)
+	for s := range subs {
+		sub := NewRelation(fmt.Sprintf("%s·%d", r.name, s), r.arity)
+		for c := range r.indexes {
+			sub.BuildIndex(c)
+		}
+		for _, ci := range r.composites {
+			sub.BuildCompositeIndex(ci.cols)
+		}
+		subs[s] = sub
+	}
+	rows := 0
+	for off := 0; off < len(r.arena); off += r.arity {
+		t := r.arena[off : off+r.arity : off+r.arity]
+		subs[ShardOf(t[col], shards)].Insert(t)
+		rows++
+	}
+	r.subs = subs
+	r.shardCount, r.shardCol = shards, col
+	r.shardRows = nil
+	r.shardMuts = make([]uint64, shards)
+	for s := range r.shardMuts {
+		r.shardMuts[s] = base
+	}
+	// The re-inserts above advanced the sub counters by one per row; deduct
+	// them from the parent component so the observable total is unchanged
+	// (every arena row was one successful insert in the flat history too).
+	r.muts = target - uint64(rows)
+	r.arena = nil
+	r.freshDedup(0)
+	for c := range r.indexes {
+		r.indexes[c] = make(map[Value][]int32)
+	}
+	for _, ci := range r.composites {
+		ci.m = make(map[string][]int32)
+	}
+}
+
+// dissolvePhys converts a physical relation back to the flat layout,
+// preserving content and the observable mutation total. The per-bucket
+// observables are parked in shardMuts so any later partition registration
+// bumps past them.
+func (r *Relation) dissolvePhys() {
+	target := r.Mutations()
+	for s := range r.subs {
+		r.shardMuts[s] += r.subs[s].muts
+	}
+	subs := r.subs
+	r.subs = nil
+	r.shardCount, r.shardCol = 0, 0
+	r.shardRows = nil
+	r.arena = r.arena[:0]
+	r.freshDedup(0)
+	for col := range r.indexes {
+		r.indexes[col] = make(map[Value][]int32)
+	}
+	for _, ci := range r.composites {
+		ci.m = make(map[string][]int32)
+	}
+	for _, sub := range subs {
+		sub.Each(func(row []Value) bool {
+			r.Insert(row)
+			return true
+		})
+	}
+	r.muts = target
+}
+
+// PhysSubs returns the per-bucket sub-relations of a physically sharded
+// relation, or nil in every other mode. Executors use it to serve scans and
+// probes bucket-locally (per-bucket row ids are meaningless to the parent).
+// Callers must not mutate the slice or insert through it.
+func (r *Relation) PhysSubs() []*Relation { return r.subs }
+
+// ShardInsert inserts t into bucket s of a physically sharded relation,
+// returning true if it was not already present. The caller must route
+// consistently — s == ShardOf(t[shard key column], shard count) — which the
+// merge barrier guarantees by draining bucket s of worker buffers
+// partitioned with the identical key. Distinct buckets share no state, so
+// concurrent ShardInserts into different buckets are race-free; two
+// goroutines must never target the same bucket. Falls back to a routed
+// Insert when the relation is not physical.
+func (r *Relation) ShardInsert(s int, t []Value) bool {
+	if r.subs == nil {
+		return r.Insert(t)
+	}
+	return r.subs[s].Insert(t)
+}
+
+// EachShardRange calls f for every tuple of buckets [lo, hi) until f
+// returns false — the scan surface of a bucket-span task (the adaptive
+// fan-out hands each task a contiguous range of buckets when the delta is
+// too small to justify one task per bucket). On an unpartitioned relation
+// it visits every tuple.
+func (r *Relation) EachShardRange(lo, hi int, f func(row []Value) bool) {
+	if r.shardCount == 0 {
+		r.Each(f)
+		return
+	}
+	stopped := false
+	g := func(row []Value) bool {
+		if !f(row) {
+			stopped = true
+			return false
+		}
+		return true
+	}
+	for s := lo; s < hi && !stopped; s++ {
+		r.EachShard(s, g)
+	}
+}

@@ -1,0 +1,260 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// snapshotSet canonicalizes a relation's content for order-insensitive
+// comparison (physical mode iterates bucket-major, not insertion order).
+func snapshotSet(r *Relation) map[string]bool {
+	out := make(map[string]bool, r.Len())
+	r.Each(func(row []Value) bool {
+		out[fmt.Sprint(row)] = true
+		return true
+	})
+	return out
+}
+
+func sameContent(t *testing.T, step string, a, b *Relation) {
+	t.Helper()
+	sa, sb := snapshotSet(a), snapshotSet(b)
+	if len(sa) != len(sb) {
+		t.Fatalf("%s: %d vs %d tuples", step, len(sa), len(sb))
+	}
+	for k := range sa {
+		if !sb[k] {
+			t.Fatalf("%s: tuple %s missing", step, k)
+		}
+	}
+}
+
+// TestPhysicalShardEquivalence drives an identical randomized operation
+// sequence through a flat, a view-sharded, a split-dedup, and a physically
+// sharded relation: content, Len, Contains answers, and — the invariant the
+// plan cache's freshness policy rides on — the relation-level mutation
+// counter must agree at every step.
+func TestPhysicalShardEquivalence(t *testing.T) {
+	flat := NewRelation("p", 2)
+	view := NewRelation("p", 2)
+	view.SetShardKey(4, 0)
+	split := NewRelation("p", 2)
+	split.SetShardKeySplit(4, 0)
+	phys := NewRelation("p", 2)
+	phys.SetShardKeyPhysical(4, 0)
+	for _, r := range []*Relation{flat, view, split, phys} {
+		r.BuildIndex(0)
+		r.BuildIndex(1)
+	}
+	all := []*Relation{flat, view, split, phys}
+
+	rng := rand.New(rand.NewSource(99))
+	check := func(step string) {
+		t.Helper()
+		for _, r := range all[1:] {
+			sameContent(t, step, flat, r)
+			if r.Mutations() != flat.Mutations() {
+				t.Fatalf("%s: mutation counter %d, flat %d", step, r.Mutations(), flat.Mutations())
+			}
+			if r.Len() != flat.Len() {
+				t.Fatalf("%s: len %d, flat %d", step, r.Len(), flat.Len())
+			}
+		}
+	}
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 200; i++ {
+			tpl := []Value{Value(rng.Intn(40)), Value(rng.Intn(40))}
+			want := flat.Insert(tpl)
+			for _, r := range all[1:] {
+				if got := r.Insert(tpl); got != want {
+					t.Fatalf("insert %v: new=%v, flat=%v", tpl, got, want)
+				}
+			}
+			probe := []Value{Value(rng.Intn(50)), Value(rng.Intn(50))}
+			want2 := flat.Contains(probe)
+			for _, r := range all[1:] {
+				if got := r.Contains(probe); got != want2 {
+					t.Fatalf("contains %v: %v, flat %v", probe, got, want2)
+				}
+			}
+		}
+		check(fmt.Sprintf("round %d inserts", round))
+		// Per-bucket membership: every bucket's tuples re-Contains and the
+		// bucket lengths cover the relation exactly.
+		n := 0
+		for s := 0; s < 4; s++ {
+			n += phys.ShardLen(s)
+			phys.EachShard(s, func(row []Value) bool {
+				if ShardOf(row[0], 4) != s {
+					t.Fatalf("bucket %d holds misrouted row %v", s, row)
+				}
+				return true
+			})
+		}
+		if n != flat.Len() {
+			t.Fatalf("bucket lengths sum to %d, want %d", n, flat.Len())
+		}
+		if round < 2 {
+			for _, r := range all {
+				r.Clear()
+			}
+			check(fmt.Sprintf("round %d clear", round))
+		}
+	}
+}
+
+// TestPhysicalShardModeTransitions cycles one relation through every
+// partition mode with content loaded: content and the mutation total must
+// survive each hop exactly, and per-bucket counters must never move
+// backwards while a partition is registered.
+func TestPhysicalShardModeTransitions(t *testing.T) {
+	r := NewRelation("t", 2)
+	r.BuildIndex(0)
+	oracle := NewRelation("t", 2)
+	oracle.BuildIndex(0)
+	rng := rand.New(rand.NewSource(7))
+	insert := func(n int) {
+		for i := 0; i < n; i++ {
+			tpl := []Value{Value(rng.Intn(30)), Value(rng.Intn(30))}
+			a, b := r.Insert(tpl), oracle.Insert(tpl)
+			if a != b {
+				t.Fatalf("insert divergence on %v", tpl)
+			}
+		}
+	}
+	prevBuckets := map[int]uint64{}
+	checkBuckets := func(step string) {
+		t.Helper()
+		shards, _ := r.ShardConfig()
+		for s := 0; s < shards; s++ {
+			cur := r.ShardMutations(s)
+			if prev, ok := prevBuckets[s]; ok && cur < prev {
+				t.Fatalf("%s: bucket %d counter %d < %d", step, s, cur, prev)
+			}
+			prevBuckets[s] = cur
+		}
+	}
+	steps := []struct {
+		name  string
+		apply func()
+	}{
+		{"view4", func() { r.SetShardKey(4, 0) }},
+		{"phys4", func() { r.SetShardKeyPhysical(4, 0) }},
+		{"phys8", func() { r.SetShardKeyPhysical(8, 0) }},
+		{"split4", func() { r.SetShardKeySplit(4, 0) }},
+		{"phys4b", func() { r.SetShardKeyPhysical(4, 0) }},
+		{"view8", func() { r.SetShardKey(8, 0) }},
+		{"off", func() { r.SetShardKey(0, 0) }},
+		{"phys4c", func() { r.SetShardKeyPhysical(4, 0) }},
+	}
+	insert(50)
+	for _, st := range steps {
+		before := r.Mutations()
+		st.apply()
+		if got := r.Mutations(); got != before {
+			t.Fatalf("%s: transition moved the counter %d -> %d", st.name, before, got)
+		}
+		if got, want := r.Mutations(), oracle.Mutations(); got != want {
+			t.Fatalf("%s: counter %d, oracle %d", st.name, got, want)
+		}
+		sameContent(t, st.name, oracle, r)
+		insert(25)
+		sameContent(t, st.name+"+inserts", oracle, r)
+		if got, want := r.Mutations(), oracle.Mutations(); got != want {
+			t.Fatalf("%s+inserts: counter %d, oracle %d", st.name, got, want)
+		}
+		checkBuckets(st.name)
+		// Probe equivalence through whatever index surface the mode offers.
+		for v := Value(0); v < 30; v++ {
+			want := 0
+			oracle.Each(func(row []Value) bool {
+				if row[0] == v {
+					want++
+				}
+				return true
+			})
+			got := 0
+			if subs := r.PhysSubs(); subs != nil {
+				for _, sub := range subs {
+					rows, ok := sub.Probe(0, v)
+					if !ok {
+						t.Fatalf("%s: sub lost index", st.name)
+					}
+					got += len(rows)
+				}
+			} else if rows, ok := r.Probe(0, v); ok {
+				got = len(rows)
+			} else {
+				t.Fatalf("%s: index lost", st.name)
+			}
+			if got != want {
+				t.Fatalf("%s: probe(%d) = %d rows, want %d", st.name, v, got, want)
+			}
+		}
+	}
+}
+
+// TestPhysicalShardConcurrentInsert hammers the property the parallel merge
+// barrier is built on: goroutines inserting into disjoint buckets of one
+// physically sharded relation share no state. Run under -race (the CI
+// storage test job does), with overlapping tuple streams so per-bucket
+// dedup is exercised concurrently too.
+func TestPhysicalShardConcurrentInsert(t *testing.T) {
+	const shards = 8
+	for round := 0; round < 5; round++ {
+		r := NewRelation("c", 2)
+		r.BuildIndex(0)
+		r.SetShardKeyPhysical(shards, 0)
+		// Pre-route tuples: every goroutine owns exactly one bucket.
+		routed := make([][][]Value, shards)
+		total := map[string]bool{}
+		for i := 0; i < 4000; i++ {
+			tpl := []Value{Value(i % 97), Value(i % 53)}
+			s := ShardOf(tpl[0], shards)
+			routed[s] = append(routed[s], tpl)
+			total[fmt.Sprint(tpl)] = true
+		}
+		var wg sync.WaitGroup
+		counts := make([]int, shards)
+		for s := 0; s < shards; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				for _, tpl := range routed[s] {
+					if r.ShardInsert(s, tpl) {
+						counts[s]++
+					}
+				}
+				// Double-pass: every re-insert must dedup.
+				for _, tpl := range routed[s] {
+					if r.ShardInsert(s, tpl) {
+						t.Errorf("bucket %d accepted duplicate %v", s, tpl)
+					}
+				}
+			}(s)
+		}
+		wg.Wait()
+		if r.Len() != len(total) {
+			t.Fatalf("round %d: %d tuples, want %d", round, r.Len(), len(total))
+		}
+		sum := 0
+		for s, c := range counts {
+			if c != r.ShardLen(s) {
+				t.Fatalf("round %d: bucket %d count %d, ShardLen %d", round, s, c, r.ShardLen(s))
+			}
+			sum += c
+		}
+		if sum != len(total) {
+			t.Fatalf("round %d: per-bucket counts sum to %d, want %d", round, sum, len(total))
+		}
+		for k := range total {
+			var a, b Value
+			fmt.Sscanf(k, "[%d %d]", &a, &b)
+			if !r.Contains([]Value{a, b}) {
+				t.Fatalf("round %d: tuple %s missing after concurrent insert", round, k)
+			}
+		}
+	}
+}

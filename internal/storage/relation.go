@@ -18,8 +18,13 @@ type Relation struct {
 	name  string
 	arity int
 
-	arena []Value             // len = count*arity
-	set   map[string]struct{} // packed-key dedup set
+	arena []Value // len = count*arity
+	// Dedup set: tuples of arity <= 2 pack losslessly into uint64 keys
+	// (set64 — no per-insert allocation, the hot shape for graph and
+	// points-to workloads), wider tuples into byte-string keys (set).
+	// Exactly one of the two is active.
+	set   map[string]struct{}
+	set64 map[uint64]struct{}
 
 	indexes    map[int]map[Value][]int32  // column -> value -> row ids
 	composites map[string]*compositeIndex // column-set key -> index
@@ -32,14 +37,28 @@ type Relation struct {
 	// into per-predicate drift counters.
 	muts uint64
 
-	// Shard partition state (see shard.go). shardCount == 0 means
-	// unpartitioned; otherwise shardRows holds row ids bucketed by
-	// ShardOf(row[shardCol], shardCount) and shardMuts the per-bucket
-	// monotone mutation counters.
-	shardCount int
-	shardCol   int
-	shardRows  [][]int32
-	shardMuts  []uint64
+	// Shard partition state (see shard.go and physshard.go). shardCount == 0
+	// means unpartitioned; otherwise the relation is partitioned into
+	// shardCount buckets by ShardOf(row[shardCol], shardCount) in one of
+	// three modes:
+	//
+	//   - view (PR 2): shardRows holds row-id bucket views over the shared
+	//     arena and shardMuts the per-bucket monotone mutation counters;
+	//   - split dedup: view, plus dedupShards routes the duplicate-
+	//     elimination set per bucket so membership probes touch a bucket-
+	//     local map (Derived under physical sharding);
+	//   - physical: subs holds one fully independent sub-relation per bucket
+	//     (its own arena, dedup set, scratch, indexes, and mutation counter),
+	//     so two goroutines can insert into different buckets without
+	//     sharing any state (DeltaNew/DeltaKnown under physical sharding —
+	//     the parallel merge barrier).
+	shardCount    int
+	shardCol      int
+	shardRows     [][]int32
+	shardMuts     []uint64
+	dedupShards   []map[string]struct{}
+	dedup64Shards []map[uint64]struct{}
+	subs          []*Relation
 }
 
 // NewRelation creates an empty relation with the given name and arity.
@@ -48,12 +67,26 @@ func NewRelation(name string, arity int) *Relation {
 	if arity < 1 {
 		panic(fmt.Sprintf("storage: relation %q needs arity >= 1, got %d", name, arity))
 	}
-	return &Relation{
+	r := &Relation{
 		name:    name,
 		arity:   arity,
-		set:     make(map[string]struct{}),
 		scratch: make([]byte, 4*arity),
 	}
+	if arity <= 2 {
+		r.set64 = make(map[uint64]struct{})
+	} else {
+		r.set = make(map[string]struct{})
+	}
+	return r
+}
+
+// key64 packs a 1- or 2-column tuple into its uint64 dedup key.
+func key64(t []Value) uint64 {
+	k := uint64(uint32(t[0]))
+	if len(t) == 2 {
+		k |= uint64(uint32(t[1])) << 32
+	}
+	return k
 }
 
 // Name returns the relation's name.
@@ -63,10 +96,29 @@ func (r *Relation) Name() string { return r.name }
 func (r *Relation) Arity() int { return r.arity }
 
 // Len returns the number of distinct tuples currently stored.
-func (r *Relation) Len() int { return len(r.arena) / r.arity }
+func (r *Relation) Len() int {
+	if r.subs != nil {
+		n := 0
+		for _, s := range r.subs {
+			n += len(s.arena)
+		}
+		return n / r.arity
+	}
+	return len(r.arena) / r.arity
+}
 
 // Empty reports whether the relation holds no tuples.
-func (r *Relation) Empty() bool { return len(r.arena) == 0 }
+func (r *Relation) Empty() bool {
+	if r.subs != nil {
+		for _, s := range r.subs {
+			if len(s.arena) > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	return len(r.arena) == 0
+}
 
 func (r *Relation) pack(t []Value) []byte {
 	b := r.scratch
@@ -82,11 +134,32 @@ func (r *Relation) Insert(t []Value) bool {
 	if len(t) != r.arity {
 		panic(fmt.Sprintf("storage: insert arity %d into %q/%d", len(t), r.name, r.arity))
 	}
-	key := r.pack(t)
-	if _, dup := r.set[string(key)]; dup {
-		return false
+	if r.subs != nil {
+		// Physical mode: the bucket sub-relation owns the row outright (its
+		// own arena, dedup set, and counter — Mutations sums them back up).
+		return r.subs[ShardOf(t[r.shardCol], r.shardCount)].Insert(t)
 	}
-	r.set[string(key)] = struct{}{}
+	if r.set64 != nil || r.dedup64Shards != nil {
+		k := key64(t)
+		set := r.set64
+		if r.dedup64Shards != nil {
+			set = r.dedup64Shards[ShardOf(t[r.shardCol], r.shardCount)]
+		}
+		if _, dup := set[k]; dup {
+			return false
+		}
+		set[k] = struct{}{}
+	} else {
+		key := r.pack(t)
+		set := r.set
+		if r.dedupShards != nil {
+			set = r.dedupShards[ShardOf(t[r.shardCol], r.shardCount)]
+		}
+		if _, dup := set[string(key)]; dup {
+			return false
+		}
+		set[string(key)] = struct{}{}
+	}
 	r.muts++
 	row := int32(r.Len())
 	r.arena = append(r.arena, t...)
@@ -121,6 +194,20 @@ func (r *Relation) Contains(t []Value) bool {
 	if len(t) != r.arity {
 		return false
 	}
+	if r.subs != nil {
+		return r.subs[ShardOf(t[r.shardCol], r.shardCount)].Contains(t)
+	}
+	if r.set64 != nil || r.dedup64Shards != nil {
+		set := r.set64
+		if r.dedup64Shards != nil {
+			// Split-dedup mode: membership probes touch only the tuple's
+			// bucket map — the bucket-local set difference the parallel
+			// workers' frozen-Derived probes ride on.
+			set = r.dedup64Shards[ShardOf(t[r.shardCol], r.shardCount)]
+		}
+		_, ok := set[key64(t)]
+		return ok
+	}
 	var stack [64]byte
 	var b []byte
 	if n := 4 * len(t); n <= len(stack) {
@@ -131,19 +218,49 @@ func (r *Relation) Contains(t []Value) bool {
 	for i, v := range t {
 		binary.LittleEndian.PutUint32(b[4*i:], uint32(v))
 	}
-	_, ok := r.set[string(b)]
+	set := r.set
+	if r.dedupShards != nil {
+		set = r.dedupShards[ShardOf(t[r.shardCol], r.shardCount)]
+	}
+	_, ok := set[string(b)]
 	return ok
 }
 
 // Row returns a view of row i (valid until the next Insert reallocates the
-// arena; callers must not mutate it).
+// arena; callers must not mutate it). In physical mode row ids are bucket-
+// major and the lookup walks the bucket lengths — hot paths avoid it by
+// iterating the sub-relations directly (PhysSubs).
 func (r *Relation) Row(i int32) []Value {
+	if r.subs != nil {
+		n := int(i)
+		for _, s := range r.subs {
+			if sl := len(s.arena) / s.arity; n < sl {
+				return s.Row(int32(n))
+			} else {
+				n -= sl
+			}
+		}
+		panic(fmt.Sprintf("storage: row %d out of range for physical %q", i, r.name))
+	}
 	off := int(i) * r.arity
 	return r.arena[off : off+r.arity : off+r.arity]
 }
 
-// Each calls f for every tuple in insertion order until f returns false.
+// Each calls f for every tuple until f returns false. Order is insertion
+// order, except in physical mode where it is bucket-major (per-bucket
+// insertion order) — still deterministic, since every tuple's bucket is a
+// pure function of its shard-key column.
 func (r *Relation) Each(f func(row []Value) bool) {
+	if r.subs != nil {
+		for _, s := range r.subs {
+			for off := 0; off < len(s.arena); off += s.arity {
+				if !f(s.arena[off : off+s.arity : off+s.arity]) {
+					return
+				}
+			}
+		}
+		return
+	}
 	for off := 0; off < len(r.arena); off += r.arity {
 		if !f(r.arena[off : off+r.arity : off+r.arity]) {
 			return
@@ -161,6 +278,16 @@ func (r *Relation) BuildIndex(col int) {
 		r.indexes = make(map[int]map[Value][]int32)
 	}
 	if _, ok := r.indexes[col]; ok {
+		return
+	}
+	if r.subs != nil {
+		// Physical mode: the registration lives on every bucket (row ids are
+		// bucket-local); the parent keeps an empty entry so HasIndex and
+		// IndexedColumns keep answering, and mode transitions re-register.
+		for _, s := range r.subs {
+			s.BuildIndex(col)
+		}
+		r.indexes[col] = make(map[Value][]int32)
 		return
 	}
 	idx := make(map[Value][]int32)
@@ -189,8 +316,14 @@ func (r *Relation) IndexedColumns() []int {
 }
 
 // Probe returns the row ids whose column col equals v, using the hash index.
-// It returns (nil, false) if no index is registered on col.
+// It returns (nil, false) if no index is registered on col — including on a
+// physically sharded relation, whose row ids are bucket-local: executors
+// take the PhysSubs path there (probing each bucket's own index), and a
+// caller that does not degrades to a filtered scan, which stays correct.
 func (r *Relation) Probe(col int, v Value) ([]int32, bool) {
+	if r.subs != nil {
+		return nil, false
+	}
 	idx, ok := r.indexes[col]
 	if !ok {
 		return nil, false
@@ -201,10 +334,41 @@ func (r *Relation) Probe(col int, v Value) ([]int32, bool) {
 // Mutations returns the relation's monotone mutation counter: it advances on
 // every successful Insert, Clear, and TruncateTo and is never reset, so two
 // equal observations bracket a window in which the content did not change.
-func (r *Relation) Mutations() uint64 { return r.muts }
+// In physical mode the counter is the parent's clear/truncate component plus
+// the sum of the per-bucket insert counters — the exact value the logical
+// layout would have reported for the same operation sequence, so drift
+// totals are byte-identical with and without physical sharding (mode
+// transitions preserve the total, see physshard.go).
+func (r *Relation) Mutations() uint64 {
+	if r.subs != nil {
+		m := r.muts
+		for _, s := range r.subs {
+			m += s.muts
+		}
+		return m
+	}
+	return r.muts
+}
 
 // Clear removes all tuples but keeps index and shard registrations.
 func (r *Relation) Clear() {
+	if r.subs != nil {
+		// One logical content change, regardless of how many buckets held
+		// rows — mirrors the unsharded counter exactly (per-bucket counters
+		// advance for the buckets that lost rows, like shardClear).
+		cleared := false
+		for s, sub := range r.subs {
+			if len(sub.arena) > 0 {
+				cleared = true
+				r.shardMuts[s]++
+			}
+			sub.resetContents(false)
+		}
+		if cleared {
+			r.muts++
+		}
+		return
+	}
 	if len(r.arena) > 0 {
 		r.muts++
 	}
@@ -212,9 +376,9 @@ func (r *Relation) Clear() {
 		r.shardClear()
 	}
 	r.arena = r.arena[:0]
-	// Replacing the map is faster than deleting every key for large sets and
-	// returns memory to the allocator between iterations.
-	r.set = make(map[string]struct{})
+	// Replacing the maps is faster than deleting every key for large sets
+	// and returns memory to the allocator between iterations.
+	r.freshDedup(0)
 	for col := range r.indexes {
 		r.indexes[col] = make(map[Value][]int32)
 	}
@@ -223,11 +387,86 @@ func (r *Relation) Clear() {
 	}
 }
 
+// freshDedup replaces the active dedup structure with an empty one
+// (returning memory to the allocator; resetContents clears in place).
+func (r *Relation) freshDedup(sizeHint int) {
+	switch {
+	case r.dedup64Shards != nil:
+		for s := range r.dedup64Shards {
+			r.dedup64Shards[s] = make(map[uint64]struct{})
+		}
+	case r.dedupShards != nil:
+		for s := range r.dedupShards {
+			r.dedupShards[s] = make(map[string]struct{})
+		}
+	case r.set64 != nil:
+		r.set64 = make(map[uint64]struct{}, sizeHint)
+	default:
+		r.set = make(map[string]struct{}, sizeHint)
+	}
+}
+
+// dedupAdd records t in the active dedup structure without a duplicate
+// check (rebuild paths whose source is already duplicate-free).
+func (r *Relation) dedupAdd(t []Value) {
+	if r.set64 != nil || r.dedup64Shards != nil {
+		k := key64(t)
+		if r.dedup64Shards != nil {
+			r.dedup64Shards[ShardOf(t[r.shardCol], r.shardCount)][k] = struct{}{}
+		} else {
+			r.set64[k] = struct{}{}
+		}
+		return
+	}
+	key := r.pack(t)
+	if r.dedupShards != nil {
+		r.dedupShards[ShardOf(t[r.shardCol], r.shardCount)][string(key)] = struct{}{}
+	} else {
+		r.set[string(key)] = struct{}{}
+	}
+}
+
+// ClearRetain removes all tuples like Clear but keeps the allocated
+// capacity: dedup and index maps are emptied in place (runtime map clear)
+// and the arena is truncated, not released. Steady-state consumers that
+// refill a relation every iteration — the parallel executor's worker delta
+// buffers — stop paying an allocation per iteration.
+func (r *Relation) ClearRetain() {
+	if r.subs != nil {
+		cleared := false
+		for s, sub := range r.subs {
+			if len(sub.arena) > 0 {
+				cleared = true
+				r.shardMuts[s]++
+			}
+			sub.resetContents(true)
+		}
+		if cleared {
+			r.muts++
+		}
+		return
+	}
+	if len(r.arena) > 0 {
+		r.muts++
+	}
+	if r.shardCount > 0 {
+		r.shardClear()
+	}
+	r.resetContents(true)
+}
+
 // TruncateTo discards all but the first n tuples, rebuilding the dedup set
 // and indexes. It supports resetting a relation to its ground-fact baseline
 // between repeated runs (ground facts are always inserted before any
 // derivation, so they occupy the arena prefix).
 func (r *Relation) TruncateTo(n int) {
+	if r.subs != nil {
+		// Physical mode does not track global insertion order, so a prefix
+		// truncation is undefined. Only Derived is ever truncated (ground-
+		// fact baseline rewind) and Derived is never physical, so reaching
+		// this is an engine-wiring bug, not a data-dependent condition.
+		panic(fmt.Sprintf("storage: TruncateTo on physically sharded %q", r.name))
+	}
 	if n < 0 || n >= r.Len() {
 		return
 	}
@@ -236,7 +475,7 @@ func (r *Relation) TruncateTo(n int) {
 	if r.shardCount > 0 {
 		r.shardRebuild()
 	}
-	r.set = make(map[string]struct{}, n)
+	r.freshDedup(n)
 	for col := range r.indexes {
 		r.indexes[col] = make(map[Value][]int32)
 	}
@@ -245,7 +484,7 @@ func (r *Relation) TruncateTo(n int) {
 	}
 	for row := int32(0); row < int32(n); row++ {
 		t := r.Row(row)
-		r.set[string(r.pack(t))] = struct{}{}
+		r.dedupAdd(t)
 		for col, idx := range r.indexes {
 			v := t[col]
 			idx[v] = append(idx[v], row)

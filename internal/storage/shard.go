@@ -38,7 +38,15 @@ func ShardOf(v Value, shards int) int {
 // relation-level counter — always >= every bucket counter — so the bump
 // keeps per-bucket observations monotone across arbitrary off/on cycles).
 // shards < 2 removes the partition.
+//
+// SetShardKey always selects the view mode: a physical or split-dedup
+// relation (see physshard.go) is dissolved back to the flat layout first,
+// preserving content and the observable mutation total.
 func (r *Relation) SetShardKey(shards, col int) {
+	if r.subs != nil {
+		r.dissolvePhys()
+	}
+	r.unsplitDedup()
 	if shards < 2 {
 		r.shardCount, r.shardRows = 0, nil
 		return
@@ -49,10 +57,15 @@ func (r *Relation) SetShardKey(shards, col int) {
 	if r.shardCount == shards && r.shardCol == col {
 		return
 	}
+	base := r.muts + 1
+	for _, m := range r.shardMuts {
+		if m+1 > base {
+			base = m + 1
+		}
+	}
 	if len(r.shardMuts) != shards {
 		r.shardMuts = make([]uint64, shards)
 	}
-	base := r.muts + 1
 	for s := range r.shardMuts {
 		if r.shardMuts[s] < base {
 			r.shardMuts[s] = base
@@ -83,6 +96,9 @@ func (r *Relation) ShardLen(s int) int {
 	if r.shardCount == 0 {
 		return r.Len()
 	}
+	if r.subs != nil {
+		return r.subs[s].Len()
+	}
 	return len(r.shardRows[s])
 }
 
@@ -91,6 +107,10 @@ func (r *Relation) ShardLen(s int) int {
 func (r *Relation) EachShard(s int, f func(row []Value) bool) {
 	if r.shardCount == 0 {
 		r.Each(f)
+		return
+	}
+	if r.subs != nil {
+		r.subs[s].Each(f)
 		return
 	}
 	for _, row := range r.shardRows[s] {
@@ -103,9 +123,10 @@ func (r *Relation) EachShard(s int, f func(row []Value) bool) {
 // ShardRows returns bucket s's row ids in insertion order — the exact-bucket
 // fast path for iterator-style executors (valid until the next mutation;
 // callers must not mutate it, like Probe's result). It returns nil for
-// unpartitioned relations.
+// unpartitioned and physically sharded relations (physical bucket rows live
+// in the sub-relations — use PhysSubs).
 func (r *Relation) ShardRows(s int) []int32 {
-	if r.shardCount == 0 {
+	if r.shardCount == 0 || r.subs != nil {
 		return nil
 	}
 	return r.shardRows[s]
@@ -118,6 +139,12 @@ func (r *Relation) ShardRows(s int) []int32 {
 func (r *Relation) ShardMutations(s int) uint64 {
 	if r.shardCount == 0 {
 		return r.muts
+	}
+	if r.subs != nil {
+		// Physical buckets own their insert counters; the parent component
+		// carries the clear bumps and the monotonicity base across mode
+		// transitions.
+		return r.shardMuts[s] + r.subs[s].muts
 	}
 	return r.shardMuts[s]
 }

@@ -14,17 +14,22 @@ import "testing"
 // (a hub node fanning out), the shape that exposed aggregation bugs in
 // incremental re-partitioning systems.
 func TestShardDriftAggregationRegression(t *testing.T) {
-	mkPred := func(shards int) *PredicateDB {
+	mkPred := func(shards int, physical bool) *PredicateDB {
 		c := NewCatalog()
 		id := c.Declare("p", 2)
 		pd := c.Pred(id)
 		if shards > 1 {
-			pd.SetShards(shards, 0)
+			if physical {
+				pd.SetShardsPhysical(shards, 0)
+			} else {
+				pd.SetShards(shards, 0)
+			}
 		}
 		return pd
 	}
-	flat := mkPred(0)
-	sharded := mkPred(4)
+	flat := mkPred(0, false)
+	sharded := mkPred(4, false)
+	physical := mkPred(4, true)
 	skewKey := Value(7)
 	hot := ShardOf(skewKey, 4)
 
@@ -34,6 +39,9 @@ func TestShardDriftAggregationRegression(t *testing.T) {
 		step++
 		if f, s := flat.DriftCounter(), sharded.DriftCounter(); f != s {
 			t.Fatalf("step %d: sharded drift total %d != unsharded %d", step, s, f)
+		}
+		if f, p := flat.DriftCounter(), physical.DriftCounter(); f != p {
+			t.Fatalf("step %d: physical drift total %d != unsharded %d", step, p, f)
 		}
 		var sum uint64
 		for b := 0; b < 4; b++ {
@@ -57,11 +65,25 @@ func TestShardDriftAggregationRegression(t *testing.T) {
 		}
 	}
 
+	prevPhysBuckets := make([]uint64, 4)
+	checkPhysMonotone := func() {
+		t.Helper()
+		for b := 0; b < 4; b++ {
+			cur := physical.ShardDriftCounter(b)
+			if cur < prevPhysBuckets[b] {
+				t.Fatalf("step %d: physical bucket %d drift counter moved backwards (%d -> %d)", step, b, prevPhysBuckets[b], cur)
+			}
+			prevPhysBuckets[b] = cur
+		}
+	}
+
 	apply := func(f func(*PredicateDB)) {
 		f(flat)
 		f(sharded)
+		f(physical)
 		check()
 		checkMonotone()
+		checkPhysMonotone()
 	}
 
 	// Forced skew: 20 tuples on one hub key, 4 spread keys.
@@ -108,5 +130,8 @@ func TestShardDriftAggregationRegression(t *testing.T) {
 	}
 	if got := sharded.DriftCounter(); got != wantTotal {
 		t.Fatalf("sharded drift total = %d, pinned %d", got, wantTotal)
+	}
+	if got := physical.DriftCounter(); got != wantTotal {
+		t.Fatalf("physical drift total = %d, pinned %d", got, wantTotal)
 	}
 }
