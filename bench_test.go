@@ -18,6 +18,7 @@ import (
 	"carac/internal/jit/lambda"
 	"carac/internal/jit/quotes"
 	"carac/internal/optimizer"
+	"carac/internal/plancache"
 	"carac/internal/storage"
 	"carac/internal/workloads"
 )
@@ -318,6 +319,14 @@ func BenchmarkTable2_Engines(b *testing.B) {
 				}
 			}
 		})
+		b.Run(name+"/Carac-Warm", func(b *testing.B) {
+			built := bf()
+			for i := 0; i < b.N; i++ {
+				if _, err := engines.RunCaracWarm(built, 8, 0, time.Minute); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -399,6 +408,58 @@ func BenchmarkPlanCache(b *testing.B) {
 						b.ReportMetric(float64(res.Interp.PlanReuses)/float64(res.Interp.SPJRuns), "reuse/spj")
 					}
 					b.ReportMetric(float64(res.Interp.Reopts), "reopts")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkWarmRerun measures the Program-lifetime plan store: every
+// iteration is a FULL re-run of an already-run Program, so the Cold
+// configurations pay the per-Run re-planning (and re-compilation) tax on
+// every iteration while SharedPlans starts from the store the previous run
+// left behind. The custom metrics expose the acceptance properties
+// directly: plan builds per run (strictly lower warm), cross-run hits
+// (nonzero warm only), unit recompiles and cross-run unit reuse with a JIT
+// attached, and the structural key count (below the rule count on the
+// CSPA-style workload, whose rules share one shape).
+func BenchmarkWarmRerun(b *testing.B) {
+	sz := benchSizes
+	cspa := datagen.CSPAGraph(sz.CSPA, sz.Seed)
+	builds := []struct {
+		name  string
+		build func() *analysis.Built
+	}{
+		{sz.CSPAName, func() *analysis.Built { return analysis.CSPA(analysis.HandOptimized, cspa) }},
+		{"TransitiveClosure", func() *analysis.Built {
+			return workloads.TransitiveClosure(analysis.HandOptimized, 300, 800, int(sz.Seed))
+		}},
+	}
+	lambdaSPJ := jit.Config{Backend: jit.BackendLambda, Granularity: jit.GranSPJ}
+	configs := []struct {
+		name string
+		opts core.Options
+	}{
+		{"ColdPlanCache", core.Options{Indexed: true, PlanCache: true}},
+		{"SharedPlans", core.Options{Indexed: true, SharedPlans: true}},
+		{"ColdJIT", core.Options{Indexed: true, PlanCache: true, JIT: lambdaSPJ}},
+		{"SharedPlansJIT", core.Options{Indexed: true, SharedPlans: true, JIT: lambdaSPJ}},
+	}
+	for _, w := range builds {
+		for _, c := range configs {
+			w, c := w, c
+			b.Run(w.name+"/"+c.name, func(b *testing.B) {
+				built := w.build()
+				res := runProgram(b, built, c.opts)
+				b.ReportMetric(float64(res.Interp.PlanBuilds), "planbuilds/run")
+				b.ReportMetric(float64(res.Plans.CrossRunHits), "crossrun-hits")
+				if c.opts.JIT.Backend != jit.BackendOff {
+					b.ReportMetric(float64(res.JIT.Compilations), "recompiles/run")
+					b.ReportMetric(float64(res.Units.Hits), "unit-reuses")
+					b.ReportMetric(float64(res.Units.CrossRunHits), "unit-crossrun")
+				}
+				if c.opts.SharedPlans {
+					b.ReportMetric(float64(built.P.PlanStore().Keys(plancache.ClassPlans)), "plan-keys")
 				}
 			})
 		}

@@ -1,9 +1,16 @@
 // Command benchjson converts `go test -bench` output on stdin into a JSON
 // artifact mapping benchmark name to its reported metrics — the format the
-// CI perf-trajectory step archives (BENCH_merge.json), so successive PRs
-// can diff ns/op and allocs/op mechanically instead of eyeballing logs.
+// CI perf-trajectory steps archive (BENCH_merge.json, BENCH_plancache.json),
+// so successive PRs can diff ns/op and allocs/op mechanically instead of
+// eyeballing logs.
 //
 //	go test -bench BenchmarkShardedSpeedup -benchtime 1x -benchmem . | benchjson > BENCH_merge.json
+//
+// Any positional arguments are benchmark name prefixes: only benchmarks
+// matching at least one prefix land in the artifact, so one `go test -bench`
+// invocation can feed several differently scoped artifacts:
+//
+//	benchjson BenchmarkPlanCache BenchmarkWarmRerun < bench.txt > BENCH_plancache.json
 //
 // Standard metric pairs (ns/op, B/op, allocs/op) and any custom
 // b.ReportMetric units are all captured; the GOMAXPROCS suffix ("-8") is
@@ -77,14 +84,35 @@ func stripProcs(name string) string {
 	return name[:i]
 }
 
+// Filter keeps only the benchmarks whose name matches at least one of the
+// given prefixes, preserving input order. No prefixes keeps everything.
+func Filter(results map[string]Result, order []string, prefixes []string) (map[string]Result, []string) {
+	if len(prefixes) == 0 {
+		return results, order
+	}
+	kept := make(map[string]Result)
+	var keptOrder []string
+	for _, name := range order {
+		for _, p := range prefixes {
+			if strings.HasPrefix(name, p) {
+				kept[name] = results[name]
+				keptOrder = append(keptOrder, name)
+				break
+			}
+		}
+	}
+	return kept, keptOrder
+}
+
 func main() {
 	results, order, err := Parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	results, order = Filter(results, order, os.Args[1:])
 	if len(results) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin matched", os.Args[1:])
 		os.Exit(1)
 	}
 	// Ordered object output: marshal entry by entry so the artifact diffs

@@ -59,3 +59,33 @@ func TestParseRoundTripsAsJSON(t *testing.T) {
 		t.Fatal("round trip lost data")
 	}
 }
+
+func TestFilterByPrefixes(t *testing.T) {
+	res, order, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single prefix narrows to its family.
+	pc, pcOrder := Filter(res, order, []string{"BenchmarkPlanCache"})
+	if len(pc) != 1 || pcOrder[0] != "BenchmarkPlanCache/CSPA/PlanCache" {
+		t.Fatalf("plan-cache filter = %v", pcOrder)
+	}
+	// Multiple prefixes in one invocation union their matches, input order kept.
+	both, bothOrder := Filter(res, order, []string{"BenchmarkPlanCache", "BenchmarkShardedSpeedup/Sequential"})
+	if len(both) != 2 {
+		t.Fatalf("multi-prefix filter kept %d, want 2 (%v)", len(both), bothOrder)
+	}
+	if bothOrder[0] != "BenchmarkShardedSpeedup/Sequential" || bothOrder[1] != "BenchmarkPlanCache/CSPA/PlanCache" {
+		t.Fatalf("multi-prefix order = %v", bothOrder)
+	}
+	// No prefixes keeps everything.
+	all, allOrder := Filter(res, order, nil)
+	if len(all) != 3 || len(allOrder) != 3 {
+		t.Fatalf("nil filter dropped entries: %v", allOrder)
+	}
+	// A non-matching prefix empties the set (main exits with an error).
+	none, _ := Filter(res, order, []string{"BenchmarkNoSuch"})
+	if len(none) != 0 {
+		t.Fatalf("non-matching prefix kept %d entries", len(none))
+	}
+}

@@ -5,6 +5,7 @@
 //	    [-granularity program|dowhile|unionall|union|spj] [-async] [-snippet]
 //	    [-indexed] [-naive] [-aot none|rules|facts] [-print rel1,rel2] [-stats]
 //	    [-plancache] [-adaptive] [-parallel] [-workers n] [-shards n]
+//	    [-shared-plans] [-repeat n]
 //
 // Fact files are TSV: one tuple per line, tab-separated, named <relation>.facts
 // inside -facts dir; numeric columns are integers, everything else is interned
@@ -25,6 +26,7 @@ import (
 	"carac/internal/ir"
 	"carac/internal/jit"
 	"carac/internal/optimizer"
+	pcache "carac/internal/plancache"
 	"carac/internal/stats"
 	"carac/internal/storage"
 )
@@ -58,6 +60,8 @@ func run(args []string) error {
 	shards := fs.Int("shards", 0, "hash-shard each relation into this many buckets and split single rules across workers (implies -parallel)")
 	adaptiveFanout := fs.Bool("adaptive-fanout", false, "re-decide the parallel fan-out each iteration from live delta statistics, with a sequential fast path for small-delta iterations (implies -shards 8 when -shards is unset)")
 	fanoutThreshold := fs.Int("fanout-threshold", 0, "delta size below which an iteration runs sequentially under -adaptive-fanout, and the minimum buffered volume for a parallel bucketed merge when -shards > 1 (0 = default)")
+	sharedPlans := fs.Bool("shared-plans", false, "key plan and compiled-unit caches into the program-lifetime plan store so repeated runs start warm (implies -plancache)")
+	repeat := fs.Int("repeat", 1, "run the program this many times on one Program (pair with -shared-plans to observe warm-run behavior)")
 	timeout := fs.Duration("timeout", 0, "abort after this duration")
 	explain := fs.Bool("explain", false, "print the IROp plan (with optimizer weights) before running")
 
@@ -115,6 +119,7 @@ func run(args []string) error {
 		Timeout:         *timeout,
 		PlanCache:       *plancache,
 		AdaptivePlans:   *adaptive,
+		SharedPlans:     *sharedPlans,
 		ParallelUnions:  *parallel,
 		Workers:         *workers,
 		Shards:          *shards,
@@ -132,9 +137,23 @@ func run(args []string) error {
 			return err
 		}
 	}
-	res, err := p.Run(opts)
-	if err != nil {
-		return err
+	if *repeat < 1 {
+		return fmt.Errorf("-repeat must be >= 1, got %d", *repeat)
+	}
+	var res *core.Result
+	var totalRecompiles int64
+	for i := 0; i < *repeat; i++ {
+		r, err := p.Run(opts)
+		if err != nil {
+			return err
+		}
+		res = r
+		totalRecompiles += r.JIT.Compilations
+		if *stats && *repeat > 1 {
+			fmt.Fprintf(os.Stderr, "run %d/%d: time=%v plan-builds=%d plan-hits=%d cross-run-hits=%d unit-reuses=%d recompiles=%d\n",
+				i+1, *repeat, r.Duration.Round(time.Microsecond), r.Interp.PlanBuilds,
+				r.Plans.Hits, r.Plans.CrossRunHits+r.Units.CrossRunHits, r.Units.Hits, r.JIT.Compilations)
+		}
 	}
 
 	if *printRels != "" {
@@ -168,10 +187,23 @@ func run(args []string) error {
 				res.JIT.Compilations, res.JIT.CompileTime.Round(time.Microsecond),
 				res.JIT.CacheHits, res.JIT.StaleDrops, res.JIT.Reorders, res.JIT.Switchovers)
 		}
-		if *plancache || *adaptive {
+		if *plancache || *adaptive || *sharedPlans {
 			fmt.Fprintf(os.Stderr, "plancache: hits=%d (fast=%d) cold=%d band=%d stale=%d reopts=%d hit-rate=%.1f%%\n",
 				res.Plans.Hits, res.Plans.FastHits, res.Plans.ColdMisses, res.Plans.BandMisses,
 				res.Plans.StaleDrops, res.Interp.Reopts, 100*res.Plans.HitRate())
+			// Plan-store line: misses fold cold+band+stale; unit figures come
+			// from the JIT's compiled-unit view of the same store. Under
+			// -shared-plans the store outlives runs, so totals accumulate
+			// across every -repeat iteration.
+			pls, units := res.Plans, res.Units
+			if *sharedPlans {
+				store := p.PlanStore()
+				pls = store.ClassStats(pcache.ClassPlans)
+				units = store.ClassStats(pcache.ClassUnits)
+			}
+			fmt.Fprintf(os.Stderr, "plan-store: hits=%d (cross-run=%d) misses=%d widens=%d evictions=%d unit-reuses=%d (cross-run=%d) unit-recompiles=%d\n",
+				pls.Hits, pls.CrossRunHits, pls.ColdMisses+pls.BandMisses+pls.StaleDrops,
+				pls.Widens, pls.Evictions+units.Evictions, units.Hits, units.CrossRunHits, totalRecompiles)
 		}
 	}
 	return nil

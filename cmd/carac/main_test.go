@@ -112,3 +112,21 @@ func TestRunAOTAndNaive(t *testing.T) {
 		}
 	}
 }
+
+func TestRunSharedPlansRepeat(t *testing.T) {
+	dir := t.TempDir()
+	prog := writeFile(t, dir, "tc.dl", tcProg+"\nedge(1,2).\nedge(2,3).\nedge(3,4).\n")
+	for _, args := range [][]string{
+		{"run", prog, "-shared-plans", "-repeat", "3", "-stats=false"},
+		{"run", prog, "-shared-plans", "-repeat", "2"},
+		{"run", prog, "-shared-plans", "-repeat", "2", "-backend", "lambda"},
+		{"run", prog, "-plancache", "-repeat", "2", "-stats=false"},
+	} {
+		if err := run(args); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+	}
+	if err := run([]string{"run", prog, "-repeat", "0"}); err == nil {
+		t.Fatal("-repeat 0 accepted")
+	}
+}

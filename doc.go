@@ -26,12 +26,12 @@
 //
 //   - internal/plancache generalizes the JIT's one-off freshness test into
 //     a uniform drift-gated re-optimization policy. Interpreter access
-//     plans (and, via the shared policy, JIT compilation units) are cached
-//     keyed by (rule, atom order, cardinality band) and served while
-//     observed cardinality drift stays under a configurable threshold; a
-//     drift-driven miss re-optimizes the join order with live statistics
-//     before re-planning. The seed interpreter's per-execution planning
-//     becomes a cache lookup (core.Options.PlanCache / AdaptivePlans).
+//     plans and JIT compilation units are cached keyed by (structural
+//     fingerprint, cardinality band) and served while observed cardinality
+//     drift stays under a configurable threshold; a drift-driven miss
+//     re-optimizes the join order with live statistics before re-planning.
+//     The seed interpreter's per-execution planning becomes a cache lookup
+//     (core.Options.PlanCache / AdaptivePlans).
 //
 //   - The semi-naive fixpoint driver evaluates the independent rules of
 //     each iteration concurrently on a bounded, GOMAXPROCS-aware worker
@@ -107,6 +107,49 @@
 //     contiguous bucket span. Worker buffers recycle through a per-Interp
 //     free list with capacity retained (storage.Relation.ClearRetain), so
 //     steady-state iterations allocate nothing.
+//
+// # The program-lifetime plan store
+//
+// The caches above were originally per-Run, so every execution — and every
+// incremental fact batch, which triggers a fresh Run — paid the full
+// cold-start re-planning tax the drift gate exists to avoid, and the JIT
+// kept compiled units in its own per-op map with a duplicate freshness
+// mechanism. One Program-owned store now backs both:
+//
+//   - internal/plancache owns a Store: one shard-locked key space with LRU
+//     bounding (plancache.DefaultStoreLimit, approximate per-lock-shard
+//     eviction) accessed through typed Cache views in separate key classes
+//     — the interpreter's plan view and the JIT's compiled-unit view. Keys
+//     are canonical structural fingerprints rather than rule or op
+//     identity: plan keys (plancache.KeyFor) are invariant under predicate
+//     renaming and variable naming, so N structurally identical rules (the
+//     CSPA shape) share one entry, with internal/interp rebinding a shared
+//     plan's concrete predicates to the requesting subquery on each hit;
+//     unit keys (plancache.KeyForOp) fingerprint the IR subtree with
+//     concrete predicates, stable across re-lowerings, so a later Run
+//     resolves to the units an earlier Run compiled instead of recompiling,
+//     and band return reuses old units (the unit view's cross-band lookup
+//     serves any policy-fresh band). The JIT's private freshness test is
+//     gone — both views gate on the one shared Policy.
+//
+//   - core.Options.SharedPlans keys a Run's caches into the store hanging
+//     off the Program (Program.PlanStore): repeated runs and incremental
+//     batches start warm, drift counters (storage-resident and monotone)
+//     carry across runs by construction, and per-Run store generations make
+//     reuse observable — Result.Plans/Units report CrossRunHits, the carac
+//     CLI prints a plan-store line under -stats (with -repeat N for warm
+//     runs from the command line), and engines.RunCaracWarm measures the
+//     warm steady state in Table II.
+//
+// Post-Run mutation contract (and cache lifecycle): the rule set freezes at
+// a Program's first Run — adding rules or source afterwards errors; create a
+// new Program for a different rule set. Facts MAY keep being added between
+// runs (the catalog rewinds derived state to the ground-fact baseline and
+// repartitions on insert), and repeated Runs are always legal. The plan
+// store deliberately spans exactly that lifetime: because rules cannot
+// change after the first Run, structural fingerprints stay valid for the
+// Program's life, and fact mutations are precisely what the drift-gated
+// freshness policy absorbs.
 package carac
 
 // Version identifies this reproduction build.

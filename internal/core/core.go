@@ -40,6 +40,14 @@ func NewVar(name string) *Var { return &Var{name: name} }
 
 // Program owns a catalog of relations, the rule set, and execution. It is
 // not safe for concurrent use.
+//
+// Post-Run mutation contract: the rule set freezes at the first Run — rules
+// and parsed source may only be added before it (create a new Program for a
+// different rule set). Facts may keep being added between runs (incremental
+// batches rewind derived state to the ground-fact baseline), and repeated
+// Runs are always legal. Under Options.SharedPlans the Program additionally
+// owns a plan store that carries access plans, compiled JIT units, and
+// their drift state across those runs.
 type Program struct {
 	cat      *storage.Catalog
 	prog     *ast.Program
@@ -49,6 +57,36 @@ type Program struct {
 	// (i.e. derived rows have been truncated away after the last Run),
 	// enabling incremental fact addition between runs.
 	baselineClean bool
+	// planStore is the program-lifetime artifact store (Options.SharedPlans):
+	// one shard-locked key space backing both the interpreter's plan view
+	// and the JIT's compiled-unit view, created at the first shared Run and
+	// kept for the Program's life so later runs and incremental fact batches
+	// start warm. Drift counters are storage-resident and monotone, so the
+	// freshness state the store gates on carries across runs by construction.
+	planStore *plancache.Store
+}
+
+// PlanStore returns the program-lifetime plan store, creating it (with
+// plancache.DefaultStoreLimit) on first use. Runs consult it only when
+// Options.SharedPlans is set.
+func (p *Program) PlanStore() *plancache.Store {
+	if p.planStore == nil {
+		p.planStore = plancache.NewStore(plancache.DefaultStoreLimit)
+	}
+	return p.planStore
+}
+
+// sharedStore resolves the Program store for a SharedPlans run, honoring the
+// configured LRU bound on first creation.
+func (p *Program) sharedStore(opts Options) *plancache.Store {
+	if p.planStore == nil {
+		limit := opts.PlanStoreLimit
+		if limit == 0 {
+			limit = plancache.DefaultStoreLimit
+		}
+		p.planStore = plancache.NewStore(limit)
+	}
+	return p.planStore
 }
 
 // ensureBaseline rewinds all predicates to their ground-fact baseline so a
@@ -211,7 +249,7 @@ func (p *Program) MustAggRule(head Atom, headPos int, kind ast.AggKind, over *Va
 
 func (p *Program) rule(head Atom, spec ast.AggSpec, body []Atom, over ...*Var) error {
 	if p.frozen {
-		return fmt.Errorf("core: cannot add rules after Run (create a new Program)")
+		return fmt.Errorf("core: cannot add rules after Run — the rule set froze at the first Run (facts may still be added between runs; create a new Program for a different rule set)")
 	}
 	vars := map[*Var]ast.VarID{}
 	var names []string
@@ -430,6 +468,18 @@ type Options struct {
 	// paper's adaptive re-optimization policy running entirely inside the
 	// interpreter, no JIT attached. Implies PlanCache.
 	AdaptivePlans bool
+	// SharedPlans keys this run's plan cache — and, with a JIT backend, its
+	// compiled-unit cache — into the Program-lifetime plan store instead of
+	// per-Run caches: repeated runs and incremental fact batches start warm
+	// (cross-run hits reported in Result.Plans/Units), N structurally
+	// identical rules share one plan entry, and re-entering a previously
+	// compiled cardinality band reuses the stored unit instead of
+	// recompiling. Implies PlanCache.
+	SharedPlans bool
+	// PlanStoreLimit bounds the shared store's entry count (approximate LRU
+	// eviction); 0 selects plancache.DefaultStoreLimit, < 0 is unbounded.
+	// Read only when the store is first created.
+	PlanStoreLimit int
 }
 
 // Result reports one Run's outcome.
@@ -437,8 +487,15 @@ type Result struct {
 	Duration time.Duration
 	Interp   interp.Stats
 	JIT      jit.Stats
-	// Plans reports plan-cache activity when Options.PlanCache was set.
+	// Plans reports this run's plan-cache activity when Options.PlanCache
+	// (or SharedPlans) was set; under SharedPlans it is the per-run delta of
+	// the Program store's plan view, with CrossRunHits counting reuse of
+	// plans built by earlier runs.
 	Plans plancache.Stats
+	// Units reports this run's compiled-unit cache activity when a JIT
+	// backend ran: Hits are unit reuses, CrossRunHits (under SharedPlans)
+	// units resolved from earlier runs without recompiling.
+	Units plancache.Stats
 	// TotalFacts is the number of derived tuples across all relations.
 	TotalFacts int
 }
@@ -513,10 +570,26 @@ func (p *Program) Run(opts Options) (*Result, error) {
 		}
 	}
 
+	// Program-lifetime plan store: one key space backing the interpreter's
+	// plan view and the JIT's unit view. The generation bump marks the run
+	// boundary so hits on surviving entries read as cross-run reuse.
+	var store *plancache.Store
+	var planBase, unitBase plancache.Stats
+	if opts.SharedPlans {
+		store = p.sharedStore(opts)
+		store.BumpGeneration()
+		planBase = store.ClassStats(plancache.ClassPlans)
+		unitBase = store.ClassStats(plancache.ClassUnits)
+	}
+
 	var ctrl *jit.Controller
 	var ictrl interp.Controller
 	if opts.JIT.Backend != jit.BackendOff {
-		ctrl = jit.New(p.cat, root, opts.JIT)
+		if store != nil {
+			ctrl = jit.NewShared(p.cat, root, opts.JIT, store)
+		} else {
+			ctrl = jit.New(p.cat, root, opts.JIT)
+		}
 		defer ctrl.Close()
 		ictrl = ctrl
 	}
@@ -557,8 +630,13 @@ func (p *Program) Run(opts Options) (*Result, error) {
 		p.cat.ConfigureShards(0, nil)
 	}
 	var plans *plancache.Cache[*interp.Plan]
-	if opts.PlanCache || opts.AdaptivePlans {
-		plans = plancache.New[*interp.Plan](plancache.Policy{Threshold: opts.PlanCacheDrift})
+	if opts.PlanCache || opts.AdaptivePlans || opts.SharedPlans {
+		pol := plancache.Policy{Threshold: opts.PlanCacheDrift}
+		if store != nil {
+			plans = plancache.View[*interp.Plan](store, plancache.ViewConfig{Class: plancache.ClassPlans, Policy: pol})
+		} else {
+			plans = plancache.New[*interp.Plan](pol)
+		}
 		in.Plans = plans
 		if opts.AdaptivePlans {
 			live := stats.Catalog{Cat: p.cat}
@@ -587,10 +665,18 @@ func (p *Program) Run(opts Options) (*Result, error) {
 	}
 	if plans != nil {
 		res.Plans = plans.Stats()
+		if store != nil {
+			res.Plans = res.Plans.Sub(planBase)
+		}
 	}
 	if ctrl != nil {
 		ctrl.Close()
 		res.JIT = ctrl.Stats()
+		if store != nil {
+			res.Units = store.ClassStats(plancache.ClassUnits).Sub(unitBase)
+		} else {
+			res.Units = ctrl.UnitStats()
+		}
 	}
 	return res, nil
 }
@@ -599,7 +685,7 @@ func (p *Program) Run(opts Options) (*Result, error) {
 // declarations, facts, and rules (see the parser package for the grammar).
 func (p *Program) LoadSource(src string) error {
 	if p.frozen {
-		return fmt.Errorf("core: cannot load source after Run")
+		return fmt.Errorf("core: cannot load source after Run — the rule set froze at the first Run (facts may still be added between runs; create a new Program for a different rule set)")
 	}
 	res, err := parser.Parse(src, p.cat)
 	if err != nil {

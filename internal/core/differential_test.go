@@ -233,3 +233,59 @@ func TestDifferentialIncremental(t *testing.T) {
 		diffSnapshots(t, config, baseline, snapshotAll(built.P))
 	}
 }
+
+// TestDifferentialWarmRerun is the harness's warm-rerun mode: every
+// execution-mode × JIT cell runs TWICE on the same Program with SharedPlans
+// on — the second run starts from the Program-lifetime plan store the first
+// one populated. Both runs must derive exactly the sequential baseline's
+// result set, and the second must show a nonzero cross-run hit rate (plan
+// view, unit view, or both): artifacts genuinely survive the Run boundary in
+// every configuration, not just the sequential one.
+func TestDifferentialWarmRerun(t *testing.T) {
+	builds := []struct {
+		name  string
+		build func() *analysis.Built
+	}{
+		{"Fibonacci", func() *analysis.Built { return workloads.Fibonacci(analysis.HandOptimized, 15) }},
+		{"TransitiveClosure", func() *analysis.Built { return workloads.TransitiveClosure(analysis.HandOptimized, 80, 200, 42) }},
+	}
+	for _, w := range builds {
+		w := w
+		t.Run(w.name, func(t *testing.T) {
+			t.Parallel()
+			base := w.build()
+			if _, err := base.P.Run(core.Options{Indexed: true}); err != nil {
+				t.Fatalf("baseline: %v", err)
+			}
+			baseline := snapshotAll(base.P)
+			for _, em := range execModes {
+				for _, useJIT := range []bool{false, true} {
+					opts := core.Options{Indexed: true, SharedPlans: true}
+					em.set(&opts)
+					if useJIT {
+						opts.JIT = jit.Config{Backend: jit.BackendLambda, Granularity: jit.GranSPJ}
+					}
+					config := fmt.Sprintf("%s/jit=%v", em.name, useJIT)
+					built := w.build()
+					res1, err := built.P.Run(opts)
+					if err != nil {
+						t.Fatalf("%s run 1: %v", config, err)
+					}
+					diffSnapshots(t, config+"/run1", baseline, snapshotAll(built.P))
+					res2, err := built.P.Run(opts)
+					if err != nil {
+						t.Fatalf("%s run 2: %v", config, err)
+					}
+					diffSnapshots(t, config+"/run2", baseline, snapshotAll(built.P))
+					if res1.Plans.CrossRunHits+res1.Units.CrossRunHits != 0 {
+						t.Errorf("%s: first run claims cross-run hits (%+v / %+v)", config, res1.Plans, res1.Units)
+					}
+					if res2.Plans.CrossRunHits+res2.Units.CrossRunHits == 0 {
+						t.Errorf("%s: warm rerun served no cross-run hits (plans %+v, units %+v)",
+							config, res2.Plans, res2.Units)
+					}
+				}
+			}
+		})
+	}
+}

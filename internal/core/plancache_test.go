@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"carac/internal/interp"
+	"carac/internal/jit"
+	"carac/internal/plancache"
 )
 
 // buildRandomGraph returns a graph-reachability program over a random edge
@@ -233,6 +235,205 @@ func TestParallelAggregates(t *testing.T) {
 	for k := range s1 {
 		if !s2[k] {
 			t.Fatalf("parallel aggregation missing group %v", k)
+		}
+	}
+}
+
+// TestSharedPlansWarmRerun is the tentpole's core property: with the plan
+// cache keyed into the Program-lifetime store, a second Run of the same
+// Program performs strictly fewer plan constructions than the first — the
+// cold-start re-planning tax the drift gate exists to avoid is paid once per
+// Program, not once per Run — while deriving identical results.
+func TestSharedPlansWarmRerun(t *testing.T) {
+	cold, coldReach := buildRandomGraph(t, 24, 72, 5)
+	if _, err := cold.Run(Options{Indexed: true}); err != nil {
+		t.Fatal(err)
+	}
+	want := snapshotRel(coldReach)
+
+	p, reach := buildRandomGraph(t, 24, 72, 5)
+	opts := Options{Indexed: true, SharedPlans: true}
+	res1, err := p.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := p.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := snapshotRel(reach)
+	if len(got) != len(want) {
+		t.Fatalf("|reach| = %d, want %d", len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("missing fact %v", k)
+		}
+	}
+	if res1.Interp.PlanBuilds == 0 {
+		t.Fatalf("first run built no plans: %+v", res1.Interp)
+	}
+	if res2.Interp.PlanBuilds >= res1.Interp.PlanBuilds {
+		t.Fatalf("warm rerun did not reduce plan builds: %d >= %d", res2.Interp.PlanBuilds, res1.Interp.PlanBuilds)
+	}
+	if res1.Plans.CrossRunHits != 0 {
+		t.Fatalf("first run reported cross-run hits: %+v", res1.Plans)
+	}
+	if res2.Plans.CrossRunHits == 0 {
+		t.Fatalf("warm rerun served no cross-run hits: %+v", res2.Plans)
+	}
+	// Incremental fact batch: the store stays warm through the baseline
+	// rewind too.
+	edge := p.Relation("edge", 2)
+	edge.MustFact(0, 23)
+	res3, err := p.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Plans.CrossRunHits == 0 {
+		t.Fatalf("incremental batch started cold: %+v", res3.Plans)
+	}
+}
+
+// TestStructuralPlanSharing pins the fingerprint keying: N structurally
+// identical recursive rules (the CSPA shape — same rule template over
+// distinct edge relations) must share plan-cache entries, so the store holds
+// strictly fewer plan keys than the program has rules, while results match
+// the cold sequential baseline.
+func TestStructuralPlanSharing(t *testing.T) {
+	build := func() (*Program, *Relation, int) {
+		p := NewProgram()
+		reach := p.Relation("reach", 2)
+		x, y, z := NewVar("x"), NewVar("y"), NewVar("z")
+		rng := rand.New(rand.NewSource(3))
+		rules := 0
+		for _, name := range []string{"e1", "e2", "e3", "e4", "e5"} {
+			e := p.Relation(name, 2)
+			p.MustRule(reach.A(x, y), e.A(x, y))
+			p.MustRule(reach.A(x, y), reach.A(x, z), e.A(z, y))
+			rules += 2
+			for i := 0; i < 60; i++ {
+				e.MustFact(rng.Intn(40), rng.Intn(40))
+			}
+		}
+		return p, reach, rules
+	}
+	seq, seqReach, _ := build()
+	if _, err := seq.Run(Options{Indexed: true}); err != nil {
+		t.Fatal(err)
+	}
+	p, reach, rules := build()
+	res, err := p.Run(Options{Indexed: true, SharedPlans: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reach.Len() != seqReach.Len() {
+		t.Fatalf("shared plans changed results: %d vs %d facts", reach.Len(), seqReach.Len())
+	}
+	if res.Interp.PlanReuses == 0 {
+		t.Fatalf("no plan reuse: %+v", res.Interp)
+	}
+	keys := p.PlanStore().Keys(plancache.ClassPlans)
+	if keys == 0 || keys >= rules {
+		t.Fatalf("structural sharing failed: %d plan keys for %d rules", keys, rules)
+	}
+	// The five structurally identical recursive rules must have produced
+	// strictly fewer plan builds than five independent caches would: the
+	// first rule's plan serves its siblings via rebinding.
+	if res.Interp.PlanBuilds >= res.Interp.SPJRuns {
+		t.Fatalf("plan builds %d not amortized over %d subquery runs", res.Interp.PlanBuilds, res.Interp.SPJRuns)
+	}
+}
+
+// TestSharedUnitsWarmRerun: with a JIT backend over the shared store, a
+// second Run resolves its compiled units from the store instead of
+// recompiling — unit reuse (and cross-run unit reuse) is visible in
+// Result.Units and recompiles do not grow.
+func TestSharedUnitsWarmRerun(t *testing.T) {
+	p, tc := buildTC(t, 40)
+	opts := Options{
+		Indexed:     true,
+		SharedPlans: true,
+		JIT:         jit.Config{Backend: jit.BackendLambda, Granularity: jit.GranSPJ, FreshnessThreshold: 1e18},
+	}
+	res1, err := p.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := p.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.Len() != 40*41/2 {
+		t.Fatalf("|tc| = %d, want %d", tc.Len(), 40*41/2)
+	}
+	if res1.JIT.Compilations == 0 {
+		t.Fatalf("first run compiled nothing: %+v", res1.JIT)
+	}
+	if res2.JIT.Compilations != 0 {
+		t.Fatalf("warm rerun recompiled %d units despite the shared store", res2.JIT.Compilations)
+	}
+	if res2.Units.Hits == 0 || res2.Units.CrossRunHits == 0 {
+		t.Fatalf("warm rerun shows no unit reuse: %+v", res2.Units)
+	}
+}
+
+// TestUnitBandReturnReuses: under the banded unit store with cross-band
+// freshness, re-entering a previously compiled cardinality regime reuses
+// the stored unit — unit reuse observed, recompiles no higher than the old
+// one-unit-per-op design would produce (one per SPJ here).
+func TestUnitBandReturnReuses(t *testing.T) {
+	p, _ := buildTC(t, 50)
+	opts := Options{
+		Indexed: true,
+		JIT:     jit.Config{Backend: jit.BackendLambda, Granularity: jit.GranSPJ, FreshnessThreshold: 1e18},
+	}
+	res, err := p.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Units.Hits == 0 {
+		t.Fatalf("no unit reuse recorded: %+v", res.Units)
+	}
+	if res.JIT.Compilations > 2 {
+		t.Fatalf("band partitioning inflated compilations: %d > 2", res.JIT.Compilations)
+	}
+}
+
+// TestSharedPlansMixedConfigs: one Program's store serves runs under
+// DIFFERENT execution configurations — sequential, parallel, sharded, pull,
+// JIT — without poisoning results: cached plans carry no per-run state
+// (shard restrictions live on per-execution copies, executors share the
+// Plan shape, unit keys are backend-tagged), so every mixed run must still
+// derive the cold baseline's facts.
+func TestSharedPlansMixedConfigs(t *testing.T) {
+	cold, coldReach := buildRandomGraph(t, 30, 90, 21)
+	if _, err := cold.Run(Options{Indexed: true}); err != nil {
+		t.Fatal(err)
+	}
+	want := snapshotRel(coldReach)
+
+	p, reach := buildRandomGraph(t, 30, 90, 21)
+	runs := []Options{
+		{Indexed: true, SharedPlans: true},
+		{Indexed: true, SharedPlans: true, ParallelUnions: true, Workers: 2},
+		{Indexed: true, SharedPlans: true, Shards: 4, Workers: 2},
+		{Indexed: true, SharedPlans: true, Executor: interp.ExecPull},
+		{Indexed: true, SharedPlans: true, JIT: jit.Config{Backend: jit.BackendLambda, Granularity: jit.GranSPJ}},
+		{Indexed: true, SharedPlans: true, AdaptivePlans: true},
+	}
+	for i, opts := range runs {
+		if _, err := p.Run(opts); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		got := snapshotRel(reach)
+		if len(got) != len(want) {
+			t.Fatalf("run %d: |reach| = %d, want %d", i, len(got), len(want))
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("run %d: missing fact %v", i, k)
+			}
 		}
 	}
 }

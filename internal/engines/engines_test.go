@@ -107,3 +107,21 @@ func TestCaracShardedAndAdaptiveAgree(t *testing.T) {
 		t.Fatalf("adaptive fan-out disagrees: %d vs %d facts", ad.TotalFacts, ref.TotalFacts)
 	}
 }
+
+func TestCaracWarmAgrees(t *testing.T) {
+	facts := datagen.SListLib(1, 5)
+	ref, err := RunCaracSharded(analysis.InvFuns(analysis.HandOptimized, facts), 4, 2, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := RunCaracWarm(analysis.InvFuns(analysis.HandOptimized, facts), 4, 2, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.DNF || warm.DNF {
+		t.Fatal("unexpected DNF")
+	}
+	if warm.TotalFacts != ref.TotalFacts {
+		t.Fatalf("warm rerun disagrees: %d vs %d facts", warm.TotalFacts, ref.TotalFacts)
+	}
+}

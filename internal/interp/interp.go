@@ -287,8 +287,11 @@ func DeltasEmpty(cat *storage.Catalog, preds []storage.PredID) bool {
 // without a plan cache it builds one per execution (the interpretation
 // overhead compiled backends avoid); with one it serves the cached plan
 // while the drift-gated freshness policy holds, re-optimizing the join order
-// via the Reopt hook when it does not. Cached plans are immutable; the
-// returned copy carries this execution's Cancel/Yield state.
+// via the Reopt hook when it does not. Cache keys are structural fingerprints
+// (invariant under predicate renaming), so a hit may carry a structurally
+// identical sibling rule's concrete predicates — bindPlan rebinds them to
+// this subquery. Cached plans are immutable; the returned copy carries this
+// execution's Cancel/Yield state.
 func (in *Interp) planFor(spj *ir.SPJOp) (*Plan, error) {
 	if in.Plans == nil {
 		in.Stats.PlanBuilds++
@@ -300,9 +303,12 @@ func (in *Interp) planFor(spj *ir.SPJOp) (*Plan, error) {
 	in.scratch.cards, in.scratch.counters = cards, counters
 	key := in.keyFor(spj)
 	if p, ok, stale := in.Plans.Lookup(key, counters, cards); ok {
-		in.Stats.PlanReuses++
-		cp := *p
-		return &cp, nil
+		if cp, bound := in.bindPlan(p, spj); bound {
+			in.Stats.PlanReuses++
+			return cp, nil
+		}
+		// Unbindable (the sibling's probe indexes are missing here): fall
+		// through to a rebuild, which re-stores under this binding.
 	} else if stale && in.Reopt != nil {
 		in.Stats.Reopts++
 		if in.Reopt(spj) {
@@ -315,9 +321,10 @@ func (in *Interp) planFor(spj *ir.SPJOp) (*Plan, error) {
 			counters = stats.AppendCounterVector(counters[:0], spj, in.Cat)
 			in.scratch.cards, in.scratch.counters = cards, counters
 			if p, ok, _ := in.Plans.Lookup(key, counters, cards); ok {
-				in.Stats.PlanReuses++
-				cp := *p
-				return &cp, nil
+				if cp, bound := in.bindPlan(p, spj); bound {
+					in.Stats.PlanReuses++
+					return cp, nil
+				}
 			}
 		}
 	}
@@ -329,6 +336,63 @@ func (in *Interp) planFor(spj *ir.SPJOp) (*Plan, error) {
 	in.Plans.Store(key, counters, cards, p)
 	cp := *p
 	return &cp, nil
+}
+
+// bindPlan specializes a cached plan to spj. Structural fingerprint keys
+// share one entry between rules that differ only by predicate renaming, so
+// the cached artifact may be bound to a sibling's predicates: BuildPlan
+// emits exactly one step per atom in order, so rebinding substitutes each
+// relational step's predicate with the requesting atom's (and the sink),
+// copying the step slice to keep the cached plan immutable. It reports false
+// when a probe step's index is not registered on the target predicate — the
+// caller rebuilds, which re-derives the probe choice instead of silently
+// degrading to a scan.
+func (in *Interp) bindPlan(p *Plan, spj *ir.SPJOp) (*Plan, bool) {
+	cp := *p
+	same := p.Sink == spj.Sink
+	if same && len(p.Steps) == len(spj.Atoms) {
+		for i := range p.Steps {
+			st := &p.Steps[i]
+			if st.Kind != StepBuiltin && st.Pred != spj.Atoms[i].Pred {
+				same = false
+				break
+			}
+		}
+	} else {
+		same = false
+	}
+	if same {
+		return &cp, true
+	}
+	if len(p.Steps) != len(spj.Atoms) {
+		return nil, false
+	}
+	steps := make([]Step, len(p.Steps))
+	copy(steps, p.Steps)
+	for i := range steps {
+		st := &steps[i]
+		if st.Kind == StepBuiltin {
+			continue
+		}
+		pred := spj.Atoms[i].Pred
+		// Index registrations live on Derived and are identical across a
+		// predicate's three relations (see BuildPlan).
+		idxRel := in.Cat.Pred(pred).Derived
+		switch st.Kind {
+		case StepProbe:
+			if !idxRel.HasIndex(st.ProbeCol) {
+				return nil, false
+			}
+		case StepProbeN:
+			if !idxRel.HasCompositeIndex(st.ProbeCols) {
+				return nil, false
+			}
+		}
+		st.Pred = pred
+	}
+	cp.Steps = steps
+	cp.Sink = spj.Sink
+	return &cp, true
 }
 
 // shardSkip reports whether this shard task can skip the subquery without

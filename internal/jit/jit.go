@@ -154,22 +154,29 @@ type Stats struct {
 	Failures     int64
 }
 
+// compiledUnit is the cached artifact of one compilation: the runnable
+// thunk, or a failure marker kept so a broken subquery is not re-fed to the
+// compiler on every safe-point visit while its statistics stay fresh. The
+// cardinality fingerprint lives on the plan-store entry, not here.
 type compiledUnit struct {
 	run    func(in *interp.Interp) error
-	cards  []int
 	failed bool
 }
 
-type unit struct {
-	compiled  atomic.Pointer[compiledUnit]
+// inflight guards one unit key against duplicate compile requests: set by
+// the interpreter goroutine when a request is queued, cleared by whichever
+// goroutine finishes the compile.
+type inflight struct {
 	compiling atomic.Bool
 }
 
 type compileReq struct {
-	u     *unit
-	clone ir.Op
-	cards []int
-	stats stats.Source
+	fl       *inflight
+	key      plancache.Key
+	clone    ir.Op
+	cards    []int
+	counters []uint64
+	stats    stats.Source
 }
 
 type backendCompiler interface {
@@ -189,7 +196,22 @@ type Controller struct {
 	// was compiled against have not drifted beyond the threshold.
 	policy plancache.Policy
 
-	units   map[ir.Op]*unit
+	// units is the compiled-unit view of the plan store: entries are keyed
+	// by structural subtree fingerprint (plancache.KeyForOp) instead of op
+	// identity, banded by cardinality regime, and gated by the same Policy
+	// the interpreter's plan cache uses — the separate per-op freshness
+	// mechanism collapses into the shared one. With NewShared the view
+	// windows the Program-lifetime store, so a later Run resolves to this
+	// run's units without recompiling.
+	units *plancache.Cache[*compiledUnit]
+	// keys memoizes each op's structural unit key for this run (op identity
+	// is stable within one run's IR tree).
+	keys map[ir.Op]plancache.Key
+	// pending tracks in-flight compilations per unit key. Only the
+	// interpreter goroutine mutates the map; the async worker clears flags
+	// through the pointers carried in compile requests.
+	pending map[plancache.Key]*inflight
+
 	parents map[ir.Op]ir.Op
 
 	// irgen freshness state: cardinalities at last reorder per subquery.
@@ -215,18 +237,37 @@ type Controller struct {
 	stats Stats
 }
 
-// New builds a controller for one run of root. The parent index enables
-// mid-stream switchover into asynchronously compiled ancestors.
+// New builds a controller for one run of root over a private unit store.
+// The parent index enables mid-stream switchover into asynchronously
+// compiled ancestors.
 func New(cat *storage.Catalog, root ir.Op, cfg Config) *Controller {
+	return NewShared(cat, root, cfg, nil)
+}
+
+// NewShared is New over an external plan store: compiled units land in (and
+// are served from) store's unit view, so a store that outlives this run —
+// the Program-lifetime store under core.Options.SharedPlans — hands a later
+// Run this run's units without recompiling. A nil store selects a private
+// per-run one.
+func NewShared(cat *storage.Catalog, root ir.Op, cfg Config, store *plancache.Store) *Controller {
 	if cfg.FreshnessThreshold <= 0 {
 		cfg.FreshnessThreshold = 0.5
 	}
+	if store == nil {
+		store = plancache.NewStore(0)
+	}
+	pol := plancache.Policy{Threshold: cfg.FreshnessThreshold}
 	c := &Controller{
-		cfg:          cfg,
-		cat:          cat,
-		granKind:     cfg.Granularity.OpKind(),
-		policy:       plancache.Policy{Threshold: cfg.FreshnessThreshold},
-		units:        make(map[ir.Op]*unit),
+		cfg:      cfg,
+		cat:      cat,
+		granKind: cfg.Granularity.OpKind(),
+		policy:   pol,
+		// CrossBand keeps the original unit semantics under the banded key
+		// space: a band hop serves any policy-fresh unit (band return
+		// without recompiling) rather than forcing one compile per band.
+		units:        plancache.View[*compiledUnit](store, plancache.ViewConfig{Class: plancache.ClassUnits, Policy: pol, CrossBand: true}),
+		keys:         make(map[ir.Op]plancache.Key),
+		pending:      make(map[plancache.Key]*inflight),
 		parents:      make(map[ir.Op]ir.Op),
 		reorderCards: make(map[*ir.SPJOp][]int),
 	}
@@ -275,6 +316,49 @@ func (c *Controller) Stats() Stats {
 	return c.stats
 }
 
+// UnitStats returns the unit view's plan-store counters (cumulative for the
+// store backing this controller — per-run when the store is private).
+func (c *Controller) UnitStats() plancache.Stats { return c.units.Stats() }
+
+// keyFor memoizes the op's structural unit key. Backend and snippet mode
+// prefix the signature: units produced differently must never collide, even
+// inside one shared store serving runs with different JIT configurations.
+func (c *Controller) keyFor(op ir.Op) plancache.Key {
+	if k, ok := c.keys[op]; ok {
+		return k
+	}
+	snippet := byte(0)
+	if c.cfg.Snippet {
+		snippet = 1
+	}
+	k := plancache.KeyForOp(op, byte(c.cfg.Backend), snippet)
+	c.keys[op] = k
+	return k
+}
+
+// countersFor snapshots the drift counters of every relation read by
+// subqueries beneath op — the exactness pre-test paired with cardsFor.
+func (c *Controller) countersFor(op ir.Op) []uint64 {
+	var out []uint64
+	ir.Walk(op, func(o ir.Op) {
+		if spj, ok := o.(*ir.SPJOp); ok {
+			out = stats.AppendCounterVector(out, spj, c.cat)
+		}
+	})
+	return out
+}
+
+// inflightFor returns the key's compile guard, creating it on first use
+// (interpreter goroutine only).
+func (c *Controller) inflightFor(k plancache.Key) *inflight {
+	fl := c.pending[k]
+	if fl == nil {
+		fl = &inflight{}
+		c.pending[k] = fl
+	}
+	return fl
+}
+
 func (c *Controller) bump(f func(s *Stats)) {
 	c.mu.Lock()
 	f(&c.stats)
@@ -307,44 +391,43 @@ func (c *Controller) Enter(op ir.Op, in *interp.Interp) func() error {
 		return nil
 	}
 
-	u := c.units[op]
-	if u == nil {
-		u = &unit{}
-		c.units[op] = u
+	key := c.keyFor(op)
+	fl := c.inflightFor(key)
+	if fl.compiling.Load() {
+		// Async compile in flight: keep interpreting. Checked before the
+		// cardinality walks and the store lookup so the safe-point hot path
+		// stays a map read plus an atomic load while the worker runs (and
+		// the wait does not register as unit-view misses).
+		return nil
 	}
-	if cu := u.compiled.Load(); cu != nil {
+	cards := c.cardsFor(op)
+	counters := c.countersFor(op)
+	// Unit lookup through the shared store: a hit is the old freshness pass
+	// (any policy-fresh band, CrossBand) — including units stored by an
+	// earlier Run of the same Program when the store is shared; a stale
+	// return is the old deoptimize-and-regenerate cue; failed entries are
+	// remembered so a broken subquery is retried only once its statistics
+	// drift enough that a different (possibly legal) plan would result.
+	if cu, ok, stale := c.units.Lookup(key, counters, cards); ok {
 		if cu.failed {
-			// A failed compile is retried only when the world has drifted
-			// enough that a different (possibly legal) plan would result.
-			if c.policy.Fresh(cu.cards, c.cardsFor(op)) {
-				return nil
-			}
-			u.compiled.Store(nil)
-		} else if c.policy.Fresh(cu.cards, c.cardsFor(op)) {
-			c.bump(func(s *Stats) { s.CacheHits++ })
-			return c.wrap(cu, in)
-		} else {
-			// Stale: deoptimize (drop the unit, fall back to the
-			// interpreter) and regenerate.
-			c.bump(func(s *Stats) { s.StaleDrops++ })
-			u.compiled.Store(nil)
+			return nil
 		}
+		c.bump(func(s *Stats) { s.CacheHits++ })
+		return c.wrap(cu, in)
+	} else if stale {
+		c.bump(func(s *Stats) { s.StaleDrops++ })
 	}
-	if u.compiling.Load() {
-		return nil // async compile in flight; keep interpreting
-	}
-	req := c.buildReq(u, op)
+	req := c.buildReq(fl, key, op, cards, counters)
 	if c.cfg.Async {
-		u.compiling.Store(true)
+		fl.compiling.Store(true)
 		select {
 		case c.reqs <- req:
 		default:
-			u.compiling.Store(false) // queue full: try again next visit
+			fl.compiling.Store(false) // queue full: try again next visit
 		}
 		return nil
 	}
-	c.runCompile(req)
-	if cu := u.compiled.Load(); cu != nil && !cu.failed {
+	if cu := c.runCompile(req); cu != nil && !cu.failed {
 		return c.wrap(cu, in)
 	}
 	return nil
@@ -363,15 +446,12 @@ func (c *Controller) ancestorSwitch(op ir.Op, in *interp.Interp) func() error {
 		if p.Kind() != c.granKind {
 			continue
 		}
-		u := c.units[p]
-		if u == nil {
-			continue
+		key := c.keyFor(p)
+		if !c.units.Contains(key) {
+			continue // no unit yet: skip the cardinality walk
 		}
-		cu := u.compiled.Load()
-		if cu == nil || cu.failed {
-			continue
-		}
-		if !c.policy.Fresh(cu.cards, c.cardsFor(p)) {
+		cu, ok := c.units.Peek(key, c.cardsFor(p))
+		if !ok || cu.failed {
 			continue
 		}
 		c.bump(func(s *Stats) { s.Switchovers++ })
@@ -423,14 +503,17 @@ func (c *Controller) cardsFor(op ir.Op) []int {
 }
 
 // buildReq snapshots everything compilation needs so the worker never
-// touches live mutable state: a deep clone of the subtree and a frozen
-// cardinality map.
-func (c *Controller) buildReq(u *unit, op ir.Op) compileReq {
+// touches live mutable state: a deep clone of the subtree, the cardinality
+// and counter fingerprints the published unit will be keyed under, and a
+// frozen statistics source.
+func (c *Controller) buildReq(fl *inflight, key plancache.Key, op ir.Op, cards []int, counters []uint64) compileReq {
 	return compileReq{
-		u:     u,
-		clone: ir.CloneSubtree(op),
-		cards: c.cardsFor(op),
-		stats: c.snapshotStats(op),
+		fl:       fl,
+		key:      key,
+		clone:    ir.CloneSubtree(op),
+		cards:    cards,
+		counters: counters,
+		stats:    c.snapshotStats(op),
 	}
 }
 
@@ -446,8 +529,9 @@ func (c *Controller) worker() {
 }
 
 // runCompile reorders the cloned subtree with the frozen statistics and
-// hands it to the backend, publishing the result atomically.
-func (c *Controller) runCompile(req compileReq) {
+// hands it to the backend, publishing the result (success or failure marker)
+// into the shared unit store under the request's cardinality band.
+func (c *Controller) runCompile(req compileReq) *compiledUnit {
 	t0 := time.Now()
 	if c.cfg.CompileLatency > 0 {
 		time.Sleep(c.cfg.CompileLatency)
@@ -469,24 +553,21 @@ func (c *Controller) runCompile(req compileReq) {
 		run, firstErr = c.compiler.Compile(req.clone, c.cat, snippet)
 	}
 	dt := time.Since(t0)
-	if firstErr != nil {
-		req.u.compiled.Store(&compiledUnit{failed: true, cards: req.cards})
-		c.bump(func(s *Stats) {
-			s.Failures++
-			s.CompileTime += dt
-		})
-		req.u.compiling.Store(false)
-		return
-	}
-	req.u.compiled.Store(&compiledUnit{run: run, cards: req.cards})
+	cu := &compiledUnit{run: run, failed: firstErr != nil}
+	c.units.Store(req.key, req.counters, req.cards, cu)
 	c.bump(func(s *Stats) {
-		s.Compilations++
+		if cu.failed {
+			s.Failures++
+		} else {
+			s.Compilations++
+		}
 		s.CompileTime += dt
 	})
-	req.u.compiling.Store(false)
-	if c.cfg.Async {
+	req.fl.compiling.Store(false)
+	if c.cfg.Async && !cu.failed {
 		c.readyGen.Add(1)
 	}
+	return cu
 }
 
 // ShouldYield implements interp.Yielder: the interpreter polls it from
@@ -517,15 +598,11 @@ func (c *Controller) hasReadyAncestor(op ir.Op) bool {
 		if p.Kind() != c.granKind {
 			continue
 		}
-		u := c.units[p]
-		if u == nil {
+		key := c.keyFor(p)
+		if !c.units.Contains(key) {
 			continue
 		}
-		cu := u.compiled.Load()
-		if cu == nil || cu.failed {
-			continue
-		}
-		if c.policy.Fresh(cu.cards, c.cardsFor(p)) {
+		if cu, ok := c.units.Peek(key, c.cardsFor(p)); ok && !cu.failed {
 			return true
 		}
 	}

@@ -56,10 +56,9 @@ func TestShouldYieldGating(t *testing.T) {
 	if ctrl.ShouldYield(spj, in) {
 		t.Fatal("yield without any published unit")
 	}
-	// Publish a unit for the loop by hand.
-	u := &unit{}
-	ctrl.units[dw] = u
-	u.compiled.Store(&compiledUnit{run: func(*interp.Interp) error { return nil }, cards: ctrl.cardsFor(dw)})
+	// Publish a unit for the loop by hand, the way the compile worker does.
+	ctrl.units.Store(ctrl.keyFor(dw), ctrl.countersFor(dw), ctrl.cardsFor(dw),
+		&compiledUnit{run: func(*interp.Interp) error { return nil }})
 	ctrl.readyGen.Add(1)
 	if !ctrl.ShouldYield(spj, in) {
 		t.Fatal("yield not granted for covering ready unit")

@@ -5,15 +5,26 @@
 // The paper's JIT reuses a compiled unit while the live cardinalities of the
 // relations it joins "have not drifted beyond a relative threshold since it
 // was compiled" (§V-B2). This package generalizes that one-off freshness
-// test: an artifact is cached under a key of (rule, atom-order signature,
-// cardinality band) and served while observed drift stays under the policy
-// threshold; once drift exceeds it the entry is dropped, which is the
-// caller's cue to re-optimize the join order with live statistics before
-// rebuilding. Cardinality bands (powers of two) partition the entries so
-// that returning to a previously seen cardinality regime re-uses the plan
-// built for it rather than oscillating one shared entry.
+// test: an artifact is cached under a *structural fingerprint* of the code it
+// evaluates plus a cardinality band, and served while observed drift stays
+// under the policy threshold; once drift exceeds it the entry is dropped,
+// which is the caller's cue to re-optimize the join order with live
+// statistics before rebuilding. Cardinality bands (powers of two) partition
+// the entries so that returning to a previously seen cardinality regime
+// re-uses the artifact built for it rather than oscillating one shared entry.
 //
-// The cache is safe for concurrent use by the parallel rule executor's
+// Artifacts live in a Store — one shard-locked key space that outlives any
+// single execution (core hangs it off the Program) — accessed through typed
+// Cache views: the interpreter's plan view and the JIT's compiled-unit view
+// are windows onto the same store, in separate key classes, so both reuse
+// mechanisms share one LRU bound, one statistics surface, and one freshness
+// Policy. Keys are structural, not identity-based: interpreter-plan keys
+// (KeyFor) are invariant under predicate renaming and variable naming, so N
+// structurally identical rules share one entry; compiled-unit keys (KeyForOp)
+// fingerprint the IR subtree with concrete predicates, so re-lowering the
+// same program in a later Run resolves to the same units without recompiling.
+//
+// The store is safe for concurrent use by the parallel rule executor's
 // workers and is internally segmented into LockShards independently locked
 // shards keyed by the cache-key hash, so pool workers do not funnel through
 // a single mutex; cached artifacts themselves must be immutable (callers
@@ -22,12 +33,15 @@ package plancache
 
 import (
 	"encoding/binary"
+	"math"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"carac/internal/ast"
 	"carac/internal/ir"
 	"carac/internal/stats"
+	"carac/internal/storage"
 )
 
 // Policy is the uniform adaptive-re-optimization policy: an artifact built
@@ -92,38 +106,147 @@ const HysteresisHops = 3
 // into one entry.
 const maxBandWiden = 4
 
-// Key identifies one cacheable artifact: the rule it evaluates plus a
-// structural signature of its subquery body (atom kinds, predicates,
-// sources, builtins, and terms, in the current join order). Reordering the
-// atoms changes the signature, so re-optimized orders occupy fresh entries.
+// Key identifies one cacheable artifact within its class: a canonical
+// structural fingerprint of the code the artifact evaluates. Reordering a
+// subquery's atoms changes the fingerprint, so re-optimized orders occupy
+// fresh entries; renaming predicates or variables does not (KeyFor), so
+// structurally identical rules resolve to one entry.
 type Key struct {
-	Rule int
-	Sig  string
+	Sig string
 }
 
-// KeyFor derives the cache key of an SPJ subquery in its current atom order.
-func KeyFor(spj *ir.SPJOp) Key {
-	var b []byte
+// fp accumulates a structural fingerprint. With canonical predicate
+// numbering (preds non-nil) each distinct predicate maps to a dense index in
+// first-occurrence order, capturing the equality pattern across atoms while
+// discarding predicate identity.
+type fp struct {
+	b     []byte
+	preds map[storage.PredID]uint32
+}
+
+func (f *fp) put32(v uint32) {
 	var n [4]byte
-	put := func(v uint32) {
-		binary.LittleEndian.PutUint32(n[:], v)
-		b = append(b, n[:]...)
+	binary.LittleEndian.PutUint32(n[:], v)
+	f.b = append(f.b, n[:]...)
+}
+
+func (f *fp) pred(p storage.PredID) uint32 {
+	if f.preds == nil {
+		return uint32(p)
 	}
+	id, ok := f.preds[p]
+	if !ok {
+		id = uint32(len(f.preds))
+		f.preds[p] = id
+	}
+	return id
+}
+
+// spj appends the subquery's structural fingerprint: sink, variable count,
+// aggregation spec, head projection, and every atom's kind/source/builtin,
+// predicate (canonical or concrete), and term pattern in the current atom
+// order. Variable IDs are rule-local dense indices already, so hashing them
+// raw is invariant under variable *naming* while keeping cached artifacts
+// (whose steps reference those IDs) directly executable for any subquery
+// sharing the fingerprint.
+func (f *fp) spj(spj *ir.SPJOp) {
+	f.put32(f.pred(spj.Sink))
+	f.put32(uint32(spj.NumVars))
+	f.b = append(f.b, byte(spj.Agg.Kind))
+	f.put32(uint32(spj.Agg.HeadPos))
+	f.put32(uint32(spj.Agg.OverVar))
+	for _, h := range spj.Head {
+		if h.IsConst {
+			f.b = append(f.b, 'c')
+			f.put32(uint32(h.Const))
+		} else {
+			f.b = append(f.b, 'v')
+			f.put32(uint32(h.Var))
+		}
+	}
+	f.b = append(f.b, 0xfe)
 	for _, a := range spj.Atoms {
-		b = append(b, byte(a.Kind), byte(a.Src), byte(a.Builtin))
-		put(uint32(a.Pred))
+		f.b = append(f.b, byte(a.Kind), byte(a.Src), byte(a.Builtin))
+		if a.IsRelational() {
+			f.put32(f.pred(a.Pred))
+		}
 		for _, t := range a.Terms {
-			b = append(b, byte(t.Kind))
+			f.b = append(f.b, byte(t.Kind))
 			if t.Kind == ast.TermConst {
-				put(uint32(t.Val))
+				f.put32(uint32(t.Val))
 			} else {
-				put(uint32(t.Var))
+				f.put32(uint32(t.Var))
 			}
 		}
-		b = append(b, 0xff)
+		f.b = append(f.b, 0xff)
 	}
-	return Key{Rule: spj.RuleIdx, Sig: string(b)}
 }
+
+func (f *fp) preds32(ps []storage.PredID) {
+	f.put32(uint32(len(ps)))
+	for _, p := range ps {
+		f.put32(uint32(p))
+	}
+}
+
+// KeyFor derives the canonical structural cache key of an SPJ subquery in
+// its current atom order. Predicates are numbered by first occurrence (sink
+// first), so rules that differ only by predicate renaming — the CSPA shape,
+// N structurally identical recursive rules over distinct relations — share
+// one key; callers serving a shared artifact rebind its concrete predicates
+// to the requesting subquery.
+func KeyFor(spj *ir.SPJOp) Key {
+	f := fp{preds: make(map[storage.PredID]uint32, 4)}
+	f.spj(spj)
+	return Key{Sig: string(f.b)}
+}
+
+// KeyForOp fingerprints an IR subtree with *concrete* predicate identity —
+// compiled units hard-code the predicates they read and sink into, so unit
+// keys must distinguish them. Unlike ir.Op pointer identity (the pre-store
+// unit-map key), the fingerprint is stable across re-lowerings of the same
+// program, which is what lets a later Run of one Program resolve to the
+// units an earlier Run compiled. tag bytes (e.g. backend and snippet mode)
+// prefix the signature so differently produced units never collide.
+func KeyForOp(op ir.Op, tag ...byte) Key {
+	var f fp
+	f.b = append(f.b, tag...)
+	ir.Walk(op, func(o ir.Op) {
+		f.b = append(f.b, byte(o.Kind()))
+		switch n := o.(type) {
+		case *ir.ProgramOp:
+			f.put32(uint32(len(n.Body)))
+		case *ir.DoWhileOp:
+			f.put32(uint32(len(n.Body)))
+			f.preds32(n.Preds)
+		case *ir.ScanOp:
+			f.preds32(n.Preds)
+		case *ir.SwapClearOp:
+			f.preds32(n.Preds)
+		case *ir.UnionAllOp:
+			f.put32(uint32(n.Pred))
+			f.put32(uint32(len(n.Rules)))
+		case *ir.UnionRuleOp:
+			f.put32(uint32(len(n.Subqueries)))
+		case *ir.SPJOp:
+			f.spj(n)
+		}
+	})
+	return Key{Sig: string(f.b)}
+}
+
+// Class partitions the store's key space between artifact kinds, so an
+// interpreter plan and a compiled unit with coincidentally equal signatures
+// can never serve each other.
+type Class uint8
+
+const (
+	// ClassPlans is the interpreter access-plan view.
+	ClassPlans Class = iota
+	// ClassUnits is the JIT compiled-unit view.
+	ClassUnits
+	numClasses
+)
 
 // Stats counts cache activity.
 type Stats struct {
@@ -131,6 +254,10 @@ type Stats struct {
 	// pre-test, without computing cardinality drift).
 	Hits     int64
 	FastHits int64
+	// CrossRunHits is the subset of Hits served by an entry stored under an
+	// earlier store generation — with the Program-lifetime store, an entry
+	// built by a previous Run (core bumps the generation per Run).
+	CrossRunHits int64
 	// ColdMisses found no entry for a never-seen key; BandMisses found
 	// entries for the key but none in the current cardinality band — the
 	// regime changed, a re-optimization cue.
@@ -143,6 +270,8 @@ type Stats struct {
 	// Widens counts band-hysteresis steps: a key that band-hopped
 	// HysteresisHops consecutive times had its quantization widened.
 	Widens int64
+	// Evictions counts entries dropped by the store's LRU bound.
+	Evictions int64
 }
 
 // HitRate returns served hits over total lookups, 0 when no lookups ran.
@@ -154,88 +283,311 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-type entry[T any] struct {
-	val      T
+// Sub returns the field-wise difference s - o: the activity between two
+// snapshots of one long-lived store (per-Run deltas under SharedPlans).
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Hits:         s.Hits - o.Hits,
+		FastHits:     s.FastHits - o.FastHits,
+		CrossRunHits: s.CrossRunHits - o.CrossRunHits,
+		ColdMisses:   s.ColdMisses - o.ColdMisses,
+		BandMisses:   s.BandMisses - o.BandMisses,
+		StaleDrops:   s.StaleDrops - o.StaleDrops,
+		Stores:       s.Stores - o.Stores,
+		Widens:       s.Widens - o.Widens,
+		Evictions:    s.Evictions - o.Evictions,
+	}
+}
+
+func (s *Stats) add(o Stats) {
+	s.Hits += o.Hits
+	s.FastHits += o.FastHits
+	s.CrossRunHits += o.CrossRunHits
+	s.ColdMisses += o.ColdMisses
+	s.BandMisses += o.BandMisses
+	s.StaleDrops += o.StaleDrops
+	s.Stores += o.Stores
+	s.Widens += o.Widens
+	s.Evictions += o.Evictions
+}
+
+// viewKey is the store-internal key: a class-tagged structural fingerprint.
+type viewKey struct {
+	class Class
+	key   Key
+}
+
+// entry is one cached artifact with the back-pointers eviction needs and
+// its position in the owning shard's LRU list.
+type entry struct {
+	val      any
 	cards    []int
 	counters []uint64
+	gen      uint64
+	vk       viewKey
+	band     string
+	prev     *entry
+	next     *entry
 }
 
 // keyBucket holds one key's per-band entries plus its hysteresis state.
-type keyBucket[T any] struct {
-	bands map[string]*entry[T] // band signature (under widen) -> entry
-	hops  int                  // consecutive band-hop misses
-	widen uint8                // current band-quantization shift
+type keyBucket struct {
+	bands map[string]*entry // band signature (under widen) -> entry
+	hops  int               // consecutive band-hop misses
+	widen uint8             // current band-quantization shift
 }
 
-// widenBands advances the key's quantization one step and re-keys the
-// existing entries under the coarser signature (old signature bytes shift
-// right with the bands; colliding entries keep an arbitrary survivor — they
-// now describe the same merged band).
-func (b *keyBucket[T]) widenBands() {
-	b.widen++
-	b.hops = 0
-	if len(b.bands) == 0 {
-		return
-	}
-	rekeyed := make(map[string]*entry[T], len(b.bands))
-	for sig, e := range b.bands {
-		raw := []byte(sig)
-		for i := range raw {
-			raw[i] >>= 1
-		}
-		rekeyed[string(raw)] = e
-	}
-	b.bands = rekeyed
-}
-
-// LockShards is the fixed number of independently locked cache segments.
+// LockShards is the fixed number of independently locked store segments.
 // Keys hash uniformly across segments, so with a worker pool of size W the
 // probability of two workers colliding on one lock is ~W/LockShards per
 // lookup — small enough that the pool no longer funnels through a single
 // mutex as worker counts grow.
 const LockShards = 16
 
-// cacheShard is one independently locked segment of the cache: its own
-// bucket map and its own activity counters (aggregated on read, so the hot
-// path never touches a shared statistics lock either).
-type cacheShard[T any] struct {
+// storeShard is one independently locked segment of the store: its own
+// bucket map, per-class activity counters (aggregated on read, so the hot
+// path never touches a shared statistics lock either), and an intrusive LRU
+// list over its entries (head = most recently used).
+type storeShard struct {
 	mu      sync.Mutex
-	buckets map[Key]*keyBucket[T]
-	stats   Stats
+	buckets map[viewKey]*keyBucket
+	stats   [numClasses]Stats
+	entries int
+	head    *entry
+	tail    *entry
 }
 
-// Cache is a drift-gated artifact cache, segmented into LockShards
-// independently locked shards keyed by hash of the cache key. The zero value
-// is not usable; construct with New.
-type Cache[T any] struct {
-	pol    Policy
-	shards [LockShards]cacheShard[T]
-}
-
-// New builds an empty cache under the given policy.
-func New[T any](pol Policy) *Cache[T] {
-	c := &Cache[T]{pol: pol}
-	for i := range c.shards {
-		c.shards[i].buckets = make(map[Key]*keyBucket[T])
+// unlink removes e from the shard's LRU list.
+func (sh *storeShard) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		sh.head = e.next
 	}
-	return c
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
 }
+
+// pushFront links e at the most-recently-used end.
+func (sh *storeShard) pushFront(e *entry) {
+	e.prev = nil
+	e.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = e
+	}
+	sh.head = e
+	if sh.tail == nil {
+		sh.tail = e
+	}
+}
+
+// touch marks e as most recently used.
+func (sh *storeShard) touch(e *entry) {
+	if sh.head == e {
+		return
+	}
+	sh.unlink(e)
+	sh.pushFront(e)
+}
+
+// drop unlinks e and decrements the entry count (the caller owns the bands
+// map bookkeeping).
+func (sh *storeShard) drop(e *entry) {
+	sh.unlink(e)
+	sh.entries--
+}
+
+// evict removes e from its bucket and the LRU list, deleting the bucket when
+// its last band goes (so cold keys do not pin hysteresis state forever).
+func (sh *storeShard) evict(e *entry) {
+	if b := sh.buckets[e.vk]; b != nil {
+		delete(b.bands, e.band)
+		if len(b.bands) == 0 {
+			delete(sh.buckets, e.vk)
+		}
+	}
+	sh.drop(e)
+}
+
+// widenBucket advances the key's quantization one step and re-keys the
+// existing entries under the coarser signature (old signature bytes shift
+// right with the bands; colliding entries keep an arbitrary survivor — they
+// now describe the same merged band, and the loser leaves the LRU list).
+func (sh *storeShard) widenBucket(b *keyBucket) {
+	b.widen++
+	b.hops = 0
+	if len(b.bands) == 0 {
+		return
+	}
+	rekeyed := make(map[string]*entry, len(b.bands))
+	for sig, e := range b.bands {
+		raw := []byte(sig)
+		for i := range raw {
+			raw[i] >>= 1
+		}
+		ns := string(raw)
+		if old, clash := rekeyed[ns]; clash {
+			sh.drop(old)
+		}
+		e.band = ns
+		rekeyed[ns] = e
+	}
+	b.bands = rekeyed
+}
+
+// DefaultStoreLimit is the entry bound of the Program-lifetime store when
+// the caller does not configure one: generous next to real workloads (tens
+// of rules × a handful of bands each) while keeping a pathological band
+// explosion from growing without bound across a long-lived Program.
+const DefaultStoreLimit = 4096
+
+// Store owns one shard-locked key space shared by all typed Cache views.
+// Unlike the per-Run caches it replaces, a Store is built to outlive
+// executions: core hangs one off the Program (Program.PlanStore), bumps its
+// generation per Run, and both the interpreter's plan view and the JIT's
+// unit view read and write it, so repeated runs and incremental fact batches
+// start warm. Construct with NewStore; the zero value is not usable.
+type Store struct {
+	perShard int // LRU entry bound per lock shard; 0 = unbounded
+	gen      atomic.Uint64
+	shards   [LockShards]storeShard
+}
+
+// NewStore builds an empty store. limit bounds the total entry count with
+// approximate (per-lock-shard) LRU eviction; <= 0 is unbounded.
+func NewStore(limit int) *Store {
+	s := &Store{}
+	if limit > 0 {
+		s.perShard = (limit + LockShards - 1) / LockShards
+	}
+	s.gen.Store(1)
+	for i := range s.shards {
+		s.shards[i].buckets = make(map[viewKey]*keyBucket)
+	}
+	return s
+}
+
+// BumpGeneration starts a new store generation. Hits on entries stored under
+// an earlier generation count as CrossRunHits; core bumps once per Run so
+// the counter reads as "artifacts reused across executions".
+func (s *Store) BumpGeneration() { s.gen.Add(1) }
+
+// Generation returns the current store generation.
+func (s *Store) Generation() uint64 { return s.gen.Load() }
 
 // shardFor routes a key to its lock shard: FNV-1a over the structural
-// signature folded with the rule index. The same key always lands on the
-// same shard, so per-key operations remain linearizable.
-func (c *Cache[T]) shardFor(k Key) *cacheShard[T] {
+// signature folded with the class. The same key always lands on the same
+// shard, so per-key operations remain linearizable.
+func (s *Store) shardFor(vk viewKey) *storeShard {
 	h := uint32(2166136261)
-	for i := 0; i < len(k.Sig); i++ {
-		h ^= uint32(k.Sig[i])
+	for i := 0; i < len(vk.key.Sig); i++ {
+		h ^= uint32(vk.key.Sig[i])
 		h *= 16777619
 	}
-	h ^= uint32(k.Rule)
+	h ^= uint32(vk.class)
 	h *= 16777619
-	return &c.shards[h%LockShards]
+	return &s.shards[h%LockShards]
 }
 
-// Policy returns the cache's freshness policy.
+// Stats aggregates activity across all classes and lock shards.
+func (s *Store) Stats() Stats {
+	var out Stats
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for c := range sh.stats {
+			out.add(sh.stats[c])
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// ClassStats aggregates one class's activity across all lock shards.
+func (s *Store) ClassStats(c Class) Stats {
+	var out Stats
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		out.add(sh.stats[c])
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// Len returns the number of cached entries across all classes, keys, and
+// bands.
+func (s *Store) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.entries
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Keys returns the number of distinct structural keys cached for a class —
+// the entry-sharing measure: on a workload of N structurally identical
+// rules it stays below N.
+func (s *Store) Keys(c Class) int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for vk := range sh.buckets {
+			if vk.class == c {
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// ViewConfig configures one typed view over a Store.
+type ViewConfig struct {
+	// Class selects the view's key space.
+	Class Class
+	// Policy is the drift gate artifacts are served under.
+	Policy Policy
+	// CrossBand serves a policy-fresh entry from ANY cardinality band when
+	// the current band holds none. Interpreter plans keep it off (a band hop
+	// is a re-optimization cue); the JIT unit view turns it on, reproducing
+	// the original freshness-only unit test — without it, a loose threshold
+	// would still recompile per band, and a failed compile would be retried
+	// the moment cardinalities crossed a power of two.
+	CrossBand bool
+}
+
+// Cache is a typed, drift-gated view over a Store's key space for one
+// artifact class. Views are cheap handles: any number may be built over one
+// store, and all of them see (and bound, and account) the same entries.
+// The zero value is not usable; construct with View or New.
+type Cache[T any] struct {
+	store     *Store
+	class     Class
+	pol       Policy
+	crossBand bool
+}
+
+// View builds a typed view over store.
+func View[T any](store *Store, cfg ViewConfig) *Cache[T] {
+	return &Cache[T]{store: store, class: cfg.Class, pol: cfg.Policy, crossBand: cfg.CrossBand}
+}
+
+// New builds a self-contained cache: a plan-class view over a fresh
+// unbounded private store (the per-Run configuration).
+func New[T any](pol Policy) *Cache[T] {
+	return View[T](NewStore(0), ViewConfig{Class: ClassPlans, Policy: pol})
+}
+
+// Policy returns the view's freshness policy.
 func (c *Cache[T]) Policy() Policy { return c.pol }
 
 // Lookup fetches the artifact cached under k for the current cardinalities.
@@ -246,49 +598,91 @@ func (c *Cache[T]) Policy() Policy { return c.pol }
 // in-band drift beyond the threshold) — which is the caller's cue to
 // re-optimize the join order before rebuilding.
 func (c *Cache[T]) Lookup(k Key, counters []uint64, cards []int) (val T, ok bool, stale bool) {
-	sh := c.shardFor(k)
+	vk := viewKey{class: c.class, key: k}
+	sh := c.store.shardFor(vk)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	bucket := sh.buckets[k]
+	st := &sh.stats[c.class]
+	bucket := sh.buckets[vk]
 	if bucket == nil {
-		sh.stats.ColdMisses++
+		st.ColdMisses++
 		return val, false, false
 	}
-	band := bandSig(cards, bucket.widen)
-	e := bucket.bands[band]
+	e := bucket.bands[bandSig(cards, bucket.widen)]
+	crossServe := false
+	if e == nil && c.crossBand {
+		if ce := c.freshest(bucket, cards); ce != nil {
+			e, crossServe = ce, true
+		}
+	}
 	if e == nil {
 		// Band hop: the key is known but its cardinality regime moved. After
 		// HysteresisHops consecutive hops the key has demonstrated a
 		// climbing regime (early fixpoint iterations double deltas every
 		// pass) — widen its quantization one step so the next plan stored
 		// serves the whole wider band instead of being re-planned per band.
-		sh.stats.BandMisses++
+		st.BandMisses++
 		bucket.hops++
 		if bucket.hops >= HysteresisHops && bucket.widen < maxBandWiden {
-			bucket.widenBands()
-			sh.stats.Widens++
+			sh.widenBucket(bucket)
+			st.Widens++
 		}
 		return val, false, true
 	}
+	v, isT := e.val.(T)
+	if !isT {
+		// A foreign-typed value can only mean two views share a class with
+		// different T — treat as absent rather than corrupting the caller.
+		st.ColdMisses++
+		return val, false, false
+	}
 	if stats.CountersEqual(e.counters, counters) {
 		bucket.hops = 0
-		sh.stats.Hits++
-		sh.stats.FastHits++
-		return e.val, true, false
+		st.Hits++
+		st.FastHits++
+		if e.gen != c.store.gen.Load() {
+			st.CrossRunHits++
+		}
+		sh.touch(e)
+		return v, true, false
 	}
-	if c.fresh(e, cards, bucket.widen) {
+	if crossServe || c.fresh(e, cards, bucket.widen) {
 		// Drift stays anchored to the build-time cardinalities (like the
 		// JIT's per-compilation fingerprint); only the counter vector is
 		// refreshed so the next unchanged-world lookup takes the fast path.
 		e.counters = append(e.counters[:0], counters...)
 		bucket.hops = 0
-		sh.stats.Hits++
-		return e.val, true, false
+		st.Hits++
+		if e.gen != c.store.gen.Load() {
+			st.CrossRunHits++
+		}
+		sh.touch(e)
+		return v, true, false
 	}
-	delete(bucket.bands, band)
+	delete(bucket.bands, e.band)
+	sh.drop(e)
 	bucket.hops = 0
-	sh.stats.StaleDrops++
+	st.StaleDrops++
 	return val, false, true
+}
+
+// freshest returns the bucket entry with minimal policy-fresh drift from
+// cards, or nil. Ties break on the band signature so concurrent callers see
+// one deterministic choice.
+func (c *Cache[T]) freshest(b *keyBucket, cards []int) *entry {
+	thr := c.pol.threshold()
+	var best *entry
+	bestD := math.Inf(1)
+	for _, e := range b.bands {
+		d := stats.Drift(e.cards, cards)
+		if d > thr {
+			continue
+		}
+		if best == nil || d < bestD || (d == bestD && e.band < best.band) {
+			best, bestD = e, d
+		}
+	}
+	return best
 }
 
 // fresh applies the drift gate, opened up to the width a hysteresis-widened
@@ -296,7 +690,7 @@ func (c *Cache[T]) Lookup(k Key, counters []uint64, cards []int) (val T, ok bool
 // 2^(widen+1)x cardinality range, so an entry must be allowed that much
 // relative drift or widening would just convert band misses into stale
 // drops and save nothing. The un-widened gate is the plain policy.
-func (c *Cache[T]) fresh(e *entry[T], cards []int, widen uint8) bool {
+func (c *Cache[T]) fresh(e *entry, cards []int, widen uint8) bool {
 	if widen == 0 {
 		return c.pol.Fresh(e.cards, cards)
 	}
@@ -307,53 +701,107 @@ func (c *Cache[T]) fresh(e *entry[T], cards []int, widen uint8) bool {
 	return stats.Drift(e.cards, cards) <= thr
 }
 
-// Store caches v under k for the band of cards (under the key's current
-// hysteresis widening).
-func (c *Cache[T]) Store(k Key, counters []uint64, cards []int, v T) {
-	sh := c.shardFor(k)
+// Peek reports (without mutating statistics, hysteresis, or LRU order)
+// whether a policy-fresh artifact is cached under k for cards — the JIT's
+// switchover probes poll this from hot paths where Lookup's side effects
+// would skew accounting.
+func (c *Cache[T]) Peek(k Key, cards []int) (val T, ok bool) {
+	vk := viewKey{class: c.class, key: k}
+	sh := c.store.shardFor(vk)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	bucket := sh.buckets[k]
+	bucket := sh.buckets[vk]
 	if bucket == nil {
-		bucket = &keyBucket[T]{bands: make(map[string]*entry[T])}
-		sh.buckets[k] = bucket
+		return val, false
 	}
-	bucket.bands[bandSig(cards, bucket.widen)] = &entry[T]{
+	e := bucket.bands[bandSig(cards, bucket.widen)]
+	if e == nil || !c.fresh(e, cards, bucket.widen) {
+		if !c.crossBand {
+			return val, false
+		}
+		if e = c.freshest(bucket, cards); e == nil {
+			return val, false
+		}
+	}
+	v, isT := e.val.(T)
+	return v, isT
+}
+
+// Contains reports whether any entry (of any band, any freshness) is cached
+// under k — the cheap existence pre-test before computing a cardinality
+// vector for Peek.
+func (c *Cache[T]) Contains(k Key) bool {
+	vk := viewKey{class: c.class, key: k}
+	sh := c.store.shardFor(vk)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	b := sh.buckets[vk]
+	return b != nil && len(b.bands) > 0
+}
+
+// Store caches v under k for the band of cards (under the key's current
+// hysteresis widening), evicting least-recently-used entries when the
+// store's LRU bound is exceeded.
+func (c *Cache[T]) Store(k Key, counters []uint64, cards []int, v T) {
+	vk := viewKey{class: c.class, key: k}
+	sh := c.store.shardFor(vk)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.stats[c.class].Stores++
+	bucket := sh.buckets[vk]
+	if bucket == nil {
+		bucket = &keyBucket{bands: make(map[string]*entry)}
+		sh.buckets[vk] = bucket
+	}
+	band := bandSig(cards, bucket.widen)
+	gen := c.store.gen.Load()
+	if e := bucket.bands[band]; e != nil {
+		e.val = v
+		e.cards = append(e.cards[:0], cards...)
+		e.counters = append(e.counters[:0], counters...)
+		e.gen = gen
+		sh.touch(e)
+		return
+	}
+	e := &entry{
 		val:      v,
 		cards:    append([]int(nil), cards...),
 		counters: append([]uint64(nil), counters...),
+		gen:      gen,
+		vk:       vk,
+		band:     band,
 	}
-	sh.stats.Stores++
+	bucket.bands[band] = e
+	sh.pushFront(e)
+	sh.entries++
+	if lim := c.store.perShard; lim > 0 {
+		for sh.entries > lim && sh.tail != nil && sh.tail != e {
+			victim := sh.tail
+			sh.stats[victim.vk.class].Evictions++
+			sh.evict(victim)
+		}
+	}
 }
 
-// Len returns the number of cached entries across all keys and bands.
+// Len returns the number of cached entries across this view's keys and
+// bands.
 func (c *Cache[T]) Len() int {
 	n := 0
-	for i := range c.shards {
-		sh := &c.shards[i]
+	for i := range c.store.shards {
+		sh := &c.store.shards[i]
 		sh.mu.Lock()
-		for _, b := range sh.buckets {
-			n += len(b.bands)
+		for vk, b := range sh.buckets {
+			if vk.class == c.class {
+				n += len(b.bands)
+			}
 		}
 		sh.mu.Unlock()
 	}
 	return n
 }
 
-// Stats aggregates the activity counters across all lock shards.
-func (c *Cache[T]) Stats() Stats {
-	var out Stats
-	for i := range c.shards {
-		sh := &c.shards[i]
-		sh.mu.Lock()
-		out.Hits += sh.stats.Hits
-		out.FastHits += sh.stats.FastHits
-		out.ColdMisses += sh.stats.ColdMisses
-		out.BandMisses += sh.stats.BandMisses
-		out.StaleDrops += sh.stats.StaleDrops
-		out.Stores += sh.stats.Stores
-		out.Widens += sh.stats.Widens
-		sh.mu.Unlock()
-	}
-	return out
-}
+// Keys returns the number of distinct structural keys in this view.
+func (c *Cache[T]) Keys() int { return c.store.Keys(c.class) }
+
+// Stats aggregates this view's class counters across all lock shards.
+func (c *Cache[T]) Stats() Stats { return c.store.ClassStats(c.class) }

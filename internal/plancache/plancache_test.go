@@ -7,6 +7,7 @@ import (
 
 	"carac/internal/ast"
 	"carac/internal/ir"
+	"carac/internal/storage"
 )
 
 func TestBand(t *testing.T) {
@@ -37,6 +38,22 @@ func TestPolicyDefaults(t *testing.T) {
 	}
 }
 
+// tcSPJ builds the recursive transitive-closure subquery shape over the
+// given sink/delta/edge predicate ids: sink(x,y) :- deltaδ(x,z), edge(z,y).
+func tcSPJ(rule int, sink, delta, edge storage.PredID) *ir.SPJOp {
+	return &ir.SPJOp{
+		RuleIdx: rule,
+		Sink:    delta,
+		NumVars: 3,
+		Head:    []ir.ProjElem{{Var: 0}, {Var: 1}},
+		Atoms: []ir.Atom{
+			{Kind: ast.AtomRelation, Pred: sink, Terms: []ast.Term{ast.V(0), ast.V(2)}, Src: ir.SrcDelta},
+			{Kind: ast.AtomRelation, Pred: edge, Terms: []ast.Term{ast.V(2), ast.V(1)}, Src: ir.SrcDerived},
+		},
+		DeltaIdx: 0,
+	}
+}
+
 func TestKeyForDistinguishesOrders(t *testing.T) {
 	spj := &ir.SPJOp{
 		RuleIdx: 3,
@@ -53,14 +70,71 @@ func TestKeyForDistinguishesOrders(t *testing.T) {
 	if k1 == k2 {
 		t.Fatal("swapping atoms (same pred, different terms) must change the key")
 	}
-	if k1.Rule != 3 || k2.Rule != 3 {
-		t.Fatalf("rule component lost: %+v %+v", k1, k2)
+}
+
+// TestKeyForStructuralSharing pins the fingerprint's invariances: rules that
+// differ only by rule index and predicate renaming share one key, while any
+// structural difference — the predicate equality pattern, a term pattern, a
+// source — splits them.
+func TestKeyForStructuralSharing(t *testing.T) {
+	a := tcSPJ(0, 10, 10, 11)
+	b := tcSPJ(7, 20, 20, 21) // renamed predicates, different rule: same shape
+	if KeyFor(a) != KeyFor(b) {
+		t.Fatal("structurally identical rules must share one key")
+	}
+
+	// Different predicate equality pattern: delta atom reads a predicate
+	// distinct from the sink.
+	c := tcSPJ(0, 10, 12, 11)
+	if KeyFor(a) == KeyFor(c) {
+		t.Fatal("different predicate equality patterns must not share a key")
+	}
+
+	// Different term pattern.
+	d := tcSPJ(0, 10, 10, 11)
+	d.Atoms[1].Terms = []ast.Term{ast.V(1), ast.V(2)}
+	if KeyFor(a) == KeyFor(d) {
+		t.Fatal("different variable patterns must not share a key")
+	}
+
+	// Different source assignment.
+	e := tcSPJ(0, 10, 10, 11)
+	e.Atoms[0].Src = ir.SrcDerived
+	if KeyFor(a) == KeyFor(e) {
+		t.Fatal("different delta sources must not share a key")
+	}
+
+	// Different constants.
+	f := tcSPJ(0, 10, 10, 11)
+	f.Atoms[1].Terms = []ast.Term{ast.V(2), ast.C(5)}
+	g := tcSPJ(0, 10, 10, 11)
+	g.Atoms[1].Terms = []ast.Term{ast.V(2), ast.C(6)}
+	if KeyFor(f) == KeyFor(g) {
+		t.Fatal("different constants must not share a key")
+	}
+}
+
+// TestKeyForOpConcretePreds pins the unit-key contract: op fingerprints keep
+// concrete predicate identity (a renamed-predicate clone gets its own key),
+// are stable across re-builds of the same tree, and honor tag prefixes.
+func TestKeyForOpConcretePreds(t *testing.T) {
+	build := func(sink, delta, edge storage.PredID) ir.Op {
+		return &ir.UnionRuleOp{Subqueries: []*ir.SPJOp{tcSPJ(0, sink, delta, edge)}}
+	}
+	if KeyForOp(build(10, 10, 11)) != KeyForOp(build(10, 10, 11)) {
+		t.Fatal("identical subtrees must share one unit key across rebuilds")
+	}
+	if KeyForOp(build(10, 10, 11)) == KeyForOp(build(20, 20, 21)) {
+		t.Fatal("unit keys must keep concrete predicate identity")
+	}
+	if KeyForOp(build(10, 10, 11), 1) == KeyForOp(build(10, 10, 11), 2) {
+		t.Fatal("unit keys must honor tag prefixes")
 	}
 }
 
 func TestCacheLifecycle(t *testing.T) {
 	c := New[string](Policy{})
-	k := Key{Rule: 1, Sig: "sig"}
+	k := Key{Sig: "sig"}
 
 	// Cold miss.
 	if _, ok, stale := c.Lookup(k, []uint64{1}, []int{10}); ok || stale {
@@ -99,11 +173,14 @@ func TestCacheLifecycle(t *testing.T) {
 	if c.Len() != 2 {
 		t.Fatalf("Len = %d, want 2", c.Len())
 	}
+	if c.Keys() != 1 {
+		t.Fatalf("Keys = %d, want 1", c.Keys())
+	}
 }
 
 func TestCacheStaleDrop(t *testing.T) {
 	c := New[int](Policy{Threshold: 0.1})
-	k := Key{Rule: 0, Sig: "x"}
+	k := Key{Sig: "x"}
 	c.Store(k, []uint64{1}, []int{1000}, 42)
 	// Same band (1024-band? 1000 -> band 10; 1300 -> band 11) — choose values
 	// in one band: 1000 and 1023 share band 10, drift 0.023 <= 0.1 -> hit.
@@ -132,7 +209,7 @@ func TestCacheConcurrent(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
-				k := Key{Rule: i % 5, Sig: fmt.Sprintf("s%d", i%3)}
+				k := Key{Sig: fmt.Sprintf("r%d-s%d", i%5, i%3)}
 				counters := []uint64{uint64(i)}
 				cards := []int{i % 50}
 				if _, ok, _ := c.Lookup(k, counters, cards); !ok {
@@ -149,7 +226,7 @@ func TestCacheConcurrent(t *testing.T) {
 
 func TestBandHysteresisWidens(t *testing.T) {
 	c := New[int](Policy{})
-	k := Key{Rule: 1, Sig: "climb"}
+	k := Key{Sig: "climb"}
 	// A climbing cardinality regime: every lookup lands one band above the
 	// previous store, the CSPA early-iteration shape.
 	cards := []int{1, 2, 4, 8}
@@ -177,7 +254,7 @@ func TestBandHysteresisWidens(t *testing.T) {
 
 func TestBandHysteresisResetsOnHit(t *testing.T) {
 	c := New[int](Policy{})
-	k := Key{Rule: 2, Sig: "stable"}
+	k := Key{Sig: "stable"}
 	// Two hops, then an exact in-band hit, then two more hops: never three
 	// consecutive, so the quantization must stay native.
 	seq := []struct {
@@ -197,5 +274,136 @@ func TestBandHysteresisResetsOnHit(t *testing.T) {
 	}
 	if st := c.Stats(); st.Widens != 0 {
 		t.Fatalf("widens = %d, want 0 (hops never consecutive)", st.Widens)
+	}
+}
+
+// TestStoreViewsIsolateClasses: two views over one store with the same
+// structural key must never serve each other's artifacts, while sharing one
+// entry count.
+func TestStoreViewsIsolateClasses(t *testing.T) {
+	s := NewStore(0)
+	plans := View[string](s, ViewConfig{Class: ClassPlans, Policy: Policy{}})
+	units := View[int](s, ViewConfig{Class: ClassUnits, Policy: Policy{}})
+	k := Key{Sig: "shared-sig"}
+	plans.Store(k, []uint64{1}, []int{10}, "a-plan")
+	if _, ok, _ := units.Lookup(k, []uint64{1}, []int{10}); ok {
+		t.Fatal("unit view served a plan-class entry")
+	}
+	units.Store(k, []uint64{1}, []int{10}, 99)
+	if v, ok, _ := plans.Lookup(k, []uint64{1}, []int{10}); !ok || v != "a-plan" {
+		t.Fatalf("plan view lost its entry: %v %v", v, ok)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("store Len = %d, want 2", s.Len())
+	}
+	ps, us := s.ClassStats(ClassPlans), s.ClassStats(ClassUnits)
+	if ps.Stores != 1 || us.Stores != 1 || us.ColdMisses != 1 {
+		t.Fatalf("per-class stats mixed up: plans=%+v units=%+v", ps, us)
+	}
+}
+
+// TestStoreLRUBound: with a bound configured, the store evicts
+// least-recently-used entries instead of growing without limit, and the
+// freshly stored entry always survives.
+func TestStoreLRUBound(t *testing.T) {
+	const limit = LockShards // 1 entry per lock shard
+	s := NewStore(limit)
+	c := View[int](s, ViewConfig{Class: ClassPlans, Policy: Policy{}})
+	for i := 0; i < 40*limit; i++ {
+		k := Key{Sig: fmt.Sprintf("k%d", i)}
+		c.Store(k, []uint64{uint64(i)}, []int{10}, i)
+		if _, ok, _ := c.Lookup(k, []uint64{uint64(i)}, []int{10}); !ok {
+			t.Fatalf("entry %d evicted immediately after its own store", i)
+		}
+	}
+	if got := s.Len(); got > limit {
+		t.Fatalf("store grew to %d entries, bound %d", got, limit)
+	}
+	if st := s.Stats(); st.Evictions == 0 {
+		t.Fatalf("no evictions recorded despite the bound: %+v", st)
+	}
+}
+
+// TestCrossBandView: the unit-view semantics — a band hop serves any
+// policy-fresh entry instead of forcing a rebuild, and a strict policy still
+// misses.
+func TestCrossBandView(t *testing.T) {
+	s := NewStore(0)
+	loose := View[int](s, ViewConfig{Class: ClassUnits, Policy: Policy{Threshold: 1e18}, CrossBand: true})
+	k := Key{Sig: "unit"}
+	loose.Store(k, []uint64{1}, []int{10}, 7)
+	// 160 is several bands above 10; cross-band with a loose gate serves it.
+	if v, ok, _ := loose.Lookup(k, []uint64{2}, []int{160}); !ok || v != 7 {
+		t.Fatalf("cross-band hit failed: v=%d ok=%v", v, ok)
+	}
+	if v, ok := loose.Peek(k, []int{320}); !ok || v != 7 {
+		t.Fatalf("cross-band peek failed: v=%d ok=%v", v, ok)
+	}
+	strict := View[int](s, ViewConfig{Class: ClassUnits, Policy: Policy{Threshold: 0.1}, CrossBand: true})
+	if _, ok, stale := strict.Lookup(k, []uint64{3}, []int{160}); ok || !stale {
+		t.Fatalf("strict cross-band must miss: ok=%v stale=%v", ok, stale)
+	}
+	if !loose.Contains(k) || loose.Contains(Key{Sig: "absent"}) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+// TestCrossRunGeneration: hits on entries stored before a BumpGeneration
+// count as cross-run hits; same-generation hits do not.
+func TestCrossRunGeneration(t *testing.T) {
+	s := NewStore(0)
+	c := View[int](s, ViewConfig{Class: ClassPlans, Policy: Policy{}})
+	k := Key{Sig: "warm"}
+	c.Store(k, []uint64{1}, []int{10}, 1)
+	if _, ok, _ := c.Lookup(k, []uint64{1}, []int{10}); !ok {
+		t.Fatal("same-run hit failed")
+	}
+	if st := c.Stats(); st.CrossRunHits != 0 {
+		t.Fatalf("same-generation hit counted as cross-run: %+v", st)
+	}
+	s.BumpGeneration()
+	if _, ok, _ := c.Lookup(k, []uint64{2}, []int{11}); !ok {
+		t.Fatal("cross-run hit failed")
+	}
+	if st := c.Stats(); st.CrossRunHits != 1 {
+		t.Fatalf("cross-run hit not counted: %+v", st)
+	}
+	// Re-storing under the new generation resets the provenance.
+	c.Store(k, []uint64{3}, []int{10}, 2)
+	if _, ok, _ := c.Lookup(k, []uint64{3}, []int{10}); !ok {
+		t.Fatal("post-store hit failed")
+	}
+	if st := c.Stats(); st.CrossRunHits != 1 {
+		t.Fatalf("fresh-generation entry counted as cross-run: %+v", st)
+	}
+}
+
+// TestPeekHasNoSideEffects: Peek must leave statistics, hysteresis, and
+// entries untouched.
+func TestPeekHasNoSideEffects(t *testing.T) {
+	c := New[int](Policy{})
+	k := Key{Sig: "peek"}
+	c.Store(k, []uint64{1}, []int{10}, 5)
+	before := c.Stats()
+	for i := 0; i < 10; i++ {
+		if v, ok := c.Peek(k, []int{10}); !ok || v != 5 {
+			t.Fatalf("peek failed: v=%d ok=%v", v, ok)
+		}
+		if _, ok := c.Peek(k, []int{1 << 20}); ok {
+			t.Fatal("peek served a stale band without cross-band")
+		}
+	}
+	if after := c.Stats(); after != before {
+		t.Fatalf("peek mutated stats: %+v -> %+v", before, after)
+	}
+}
+
+func TestStatsSub(t *testing.T) {
+	a := Stats{Hits: 10, FastHits: 4, CrossRunHits: 2, ColdMisses: 3, BandMisses: 2, StaleDrops: 1, Stores: 6, Widens: 1, Evictions: 5}
+	b := Stats{Hits: 4, FastHits: 1, CrossRunHits: 1, ColdMisses: 2, BandMisses: 1, StaleDrops: 0, Stores: 3, Widens: 0, Evictions: 2}
+	d := a.Sub(b)
+	want := Stats{Hits: 6, FastHits: 3, CrossRunHits: 1, ColdMisses: 1, BandMisses: 1, StaleDrops: 1, Stores: 3, Widens: 1, Evictions: 3}
+	if d != want {
+		t.Fatalf("Sub = %+v, want %+v", d, want)
 	}
 }

@@ -27,7 +27,7 @@ func TestShardedCacheConcurrentStress(t *testing.T) {
 	)
 	keys := make([]Key, nkeys)
 	for i := range keys {
-		keys[i] = Key{Rule: i % 7, Sig: fmt.Sprintf("sig-%d", i)}
+		keys[i] = Key{Sig: fmt.Sprintf("sig-%d", i)}
 	}
 
 	var lookups, stores atomic.Int64
@@ -102,13 +102,13 @@ func TestShardedCacheConcurrentStress(t *testing.T) {
 // across segments: the same key always lands on one shard, and distinct keys
 // cover a healthy fraction of the LockShards segments.
 func TestShardForStability(t *testing.T) {
-	c := New[int](Policy{})
-	seen := map[*cacheShard[int]]bool{}
+	s := NewStore(0)
+	seen := map[*storeShard]bool{}
 	for i := 0; i < 256; i++ {
-		k := Key{Rule: i, Sig: fmt.Sprintf("s%d", i)}
-		a, b := c.shardFor(k), c.shardFor(k)
+		vk := viewKey{class: ClassPlans, key: Key{Sig: fmt.Sprintf("s%d", i)}}
+		a, b := s.shardFor(vk), s.shardFor(vk)
 		if a != b {
-			t.Fatalf("key %v routed to two shards", k)
+			t.Fatalf("key %v routed to two shards", vk)
 		}
 		seen[a] = true
 	}
