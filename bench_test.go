@@ -319,6 +319,14 @@ func BenchmarkTable2_Engines(b *testing.B) {
 				}
 			}
 		})
+		b.Run(name+"/Carac-AdaptiveJIT", func(b *testing.B) {
+			built := bf()
+			for i := 0; i < b.N; i++ {
+				if _, err := engines.RunCaracAdaptiveJIT(built, 8, 0, time.Minute); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 		b.Run(name+"/Carac-Warm", func(b *testing.B) {
 			built := bf()
 			for i := 0; i < b.N; i++ {
@@ -507,11 +515,15 @@ func BenchmarkParallelFixpoint(b *testing.B) {
 // closure) cannot scale with -workers under rule-granular parallelism — the
 // single rule serializes every iteration — but once Shards > 1 splits the
 // rule's delta into hash buckets, the same workload scales with the worker
-// count. Compare Parallel/W* (flat) against Sharded8/W* (scaling).
+// count. Compare Parallel/W* (flat) against Sharded8/W* (scaling). The
+// *JIT entries run the same fan-out with span-parameterized compiled units
+// executing the bucket tasks — the fan-out × compilation interaction,
+// archived by CI as BENCH_jitshard.json.
 func BenchmarkShardedSpeedup(b *testing.B) {
 	build := func() *analysis.Built {
 		return workloads.TransitiveClosure(analysis.HandOptimized, 600, 1500, int(benchSizes.Seed))
 	}
+	lambdaSPJ := jit.Config{Backend: jit.BackendLambda, Granularity: jit.GranSPJ}
 	configs := []struct {
 		name string
 		opts core.Options
@@ -524,6 +536,9 @@ func BenchmarkShardedSpeedup(b *testing.B) {
 		{"Sharded8/W4", core.Options{Indexed: true, PlanCache: true, Shards: 8, Workers: 4}},
 		{"Adaptive8/W2", core.Options{Indexed: true, PlanCache: true, Shards: 8, Workers: 2, AdaptiveFanout: true}},
 		{"Adaptive8/W4", core.Options{Indexed: true, PlanCache: true, Shards: 8, Workers: 4, AdaptiveFanout: true}},
+		{"Sharded8JIT/W2", core.Options{Indexed: true, PlanCache: true, Shards: 8, Workers: 2, JIT: lambdaSPJ}},
+		{"Sharded8JIT/W4", core.Options{Indexed: true, PlanCache: true, Shards: 8, Workers: 4, JIT: lambdaSPJ}},
+		{"Adaptive8JIT/W4", core.Options{Indexed: true, PlanCache: true, Shards: 8, Workers: 4, AdaptiveFanout: true, JIT: lambdaSPJ}},
 	}
 	for _, c := range configs {
 		c := c

@@ -108,6 +108,42 @@
 //     free list with capacity retained (storage.Relation.ClearRetain), so
 //     steady-state iterations allocate nothing.
 //
+// # The shard-native JIT
+//
+// The physical store above originally served pure interpretation only:
+// attaching a jit.Controller silently fell back to the row-id view
+// partition and a sequential loop, because compiled units addressed
+// relations by global row id. The compiled backends now speak the
+// bucket-local read surface, so sharding and compilation compose:
+//
+//   - every backend's generated code iterates physically sharded relations
+//     through their PhysSubs sub-relations — per-bucket arenas and hash
+//     indexes, with a probe on the shard key column routed to exactly one
+//     bucket (lambda combinators, the bytecode VM's segment iterators, and
+//     the quotes-staged probes all carry the same routing);
+//
+//   - the parallel driver's bucket-span tasks execute span-parameterized
+//     compiled units (interp.ShardUnit, resolved per rule per iteration via
+//     interp.ShardCompiler): entry points take the same contiguous
+//     [shard, shard+span) restriction chooseFanout hands interpreted tasks,
+//     thread all mutable state through per-invocation frames so distinct
+//     workers run one unit concurrently, and write derivations into the
+//     worker's private bucket-partitioned buffers, which the merge barrier
+//     drains into DeltaNew as one race-free ShardInsert task per bucket —
+//     exactly the parallel merge interpretation uses;
+//
+//   - task units live in the Program-lifetime store under rule-subtree
+//     fingerprints tagged with the shard layout: warm reruns at one layout
+//     recompile nothing, a re-partitioned run resolves to fresh keys (never
+//     a unit whose spans were sized for another partition), and the unit
+//     stays valid across ClearRetain / SwapClear / mode transitions because
+//     it resolves relations and layout at invocation time.
+//
+// Under core.Options.Shards with a JIT backend the engine therefore keeps
+// the physical delta store, the bucketed merge (Stats.MergeTasks), and the
+// adaptive fan-out — benchmarked end to end by BenchmarkShardedSpeedup's
+// *JIT entries and engines.RunCaracAdaptiveJIT in Table II.
+//
 // # The program-lifetime plan store
 //
 // The caches above were originally per-Run, so every execution — and every
@@ -149,7 +185,12 @@
 // store deliberately spans exactly that lifetime: because rules cannot
 // change after the first Run, structural fingerprints stay valid for the
 // Program's life, and fact mutations are precisely what the drift-gated
-// freshness policy absorbs.
+// freshness policy absorbs. Execution configuration MAY change between the
+// runs of one Program — including the Shards count and whether a JIT is
+// attached: plans carry no per-run state, sequential units are
+// backend/snippet-tagged, and span-parameterized task units are additionally
+// layout-tagged, so mixed-configuration run sequences share what is safe to
+// share and recompile the rest.
 package carac
 
 // Version identifies this reproduction build.

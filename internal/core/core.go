@@ -419,8 +419,9 @@ type Options struct {
 	// ParallelUnions evaluates each iteration's independent rules
 	// concurrently on a bounded worker pool with per-worker delta buffers
 	// merged at iteration barriers — the parallelization the Known/New delta
-	// split enables (§V-D). Only honored in pure interpretation (no JIT);
-	// false is the sequential fallback.
+	// split enables (§V-D). With a JIT backend attached the pool's tasks run
+	// span-parameterized compiled units where the controller has one ready
+	// and interpret otherwise; false is the sequential fallback.
 	ParallelUnions bool
 	// Workers bounds the parallel pool; <= 0 selects GOMAXPROCS.
 	Workers int
@@ -432,13 +433,15 @@ type Options struct {
 	// also saturates the worker pool — parallelism bounded by data size.
 	// Implies ParallelUnions; <= 1 disables sharding.
 	//
-	// Without a JIT backend the partition uses the physically sharded
-	// backing store (per-bucket slabs and indexes on the delta pair,
-	// bucket-local dedup on Derived), which additionally parallelizes the
-	// iteration merge barrier: worker delta buffers fold into DeltaNew as
-	// one concurrent task per bucket instead of serially. With a JIT the
-	// row-id view partition is kept, since compiled units address relations
-	// by global row id.
+	// The partition always uses the physically sharded backing store
+	// (per-bucket slabs and indexes on the delta pair, bucket-local dedup on
+	// Derived), which additionally parallelizes the iteration merge barrier:
+	// worker delta buffers fold into DeltaNew as one concurrent task per
+	// bucket instead of serially. Compiled backends read the same
+	// bucket-local surface (storage.Relation.PhysSubs) and the pool's tasks
+	// run span-parameterized compiled units when a JIT is attached, so
+	// sharded + JIT runs keep both the physical store and the parallel
+	// merge instead of degrading to the row-id view.
 	Shards int
 	// AdaptiveFanout re-decides the parallel fan-out every fixpoint
 	// iteration from live per-shard delta statistics instead of always
@@ -613,15 +616,12 @@ func (p *Program) Run(opts Options) (*Result, error) {
 				keyCols[pid] = cols[0]
 			}
 		}
-		if opts.JIT.Backend == jit.BackendOff {
-			// Pure interpretation: physical backing store, so the merge
-			// barrier runs bucketed and Derived membership probes are
-			// bucket-local. JIT backends keep the row-id views — compiled
-			// units address relations by global row id.
-			p.cat.ConfigureShardsPhysical(shards, keyCols)
-		} else {
-			p.cat.ConfigureShards(shards, keyCols)
-		}
+		// Physical backing store for every sharded run: the merge barrier
+		// runs bucketed, Derived membership probes are bucket-local, and the
+		// compiled backends read the same bucket-local surface (PhysSubs) —
+		// with a JIT attached the pool's tasks execute span-parameterized
+		// compiled units, so sharding and compilation compose.
+		p.cat.ConfigureShardsPhysical(shards, keyCols)
 		in.Parallel = true
 		in.Shards = shards
 	} else {

@@ -37,6 +37,17 @@ var execModes = []execMode{
 	// bucketed fan-out plus parallel merge on the big early iterations,
 	// sequential fast path on the tail.
 	{"adaptive", func(o *core.Options) { o.Shards = 4; o.AdaptiveFanout = true; o.FanoutThreshold = 8 }},
+	// Explicit pool sizes so the task fan-out, the bucketed merge and — in
+	// the ×JIT cells — span-parameterized compiled units over the physical
+	// delta store all engage regardless of the host's core count (the
+	// Workers-less modes degrade to in-place evaluation on 1-CPU runners).
+	{"sharded-pool", func(o *core.Options) { o.Shards = 4; o.Workers = 4 }},
+	{"adaptive-pool", func(o *core.Options) {
+		o.Shards = 4
+		o.Workers = 4
+		o.AdaptiveFanout = true
+		o.FanoutThreshold = 2
+	}},
 }
 
 // snapshotAll captures every predicate's derived set as sorted row strings,
@@ -217,6 +228,7 @@ func TestDifferentialIncremental(t *testing.T) {
 		t.Fatalf("baseline after batch: %v", err)
 	}
 	baseline := snapshotAll(built.P)
+	lambdaSPJ := jit.Config{Backend: jit.BackendLambda, Granularity: jit.GranSPJ}
 	for _, opts := range []core.Options{
 		{Indexed: true, ParallelUnions: true, PlanCache: true},
 		{Indexed: true, Shards: 4, PlanCache: true},
@@ -225,8 +237,13 @@ func TestDifferentialIncremental(t *testing.T) {
 		{Indexed: true, Shards: 3, Workers: 2, Executor: interp.ExecPull, PlanCache: true},
 		{Indexed: true, Shards: 4, Workers: 2, AdaptiveFanout: true, FanoutThreshold: 4},
 		{Indexed: true, Shards: 8, Workers: 4, AdaptiveFanout: true, FanoutThreshold: 1, Executor: interp.ExecPull},
+		// Physical × JIT cells: compiled bucket-span units over a partition
+		// skewed by the incremental hub batch.
+		{Indexed: true, Shards: 4, Workers: 4, PlanCache: true, JIT: lambdaSPJ},
+		{Indexed: true, Shards: 8, Workers: 4, AdaptiveFanout: true, FanoutThreshold: 4, JIT: lambdaSPJ},
 	} {
-		config := fmt.Sprintf("shards=%d/parallel=%v/exec=%v", opts.Shards, opts.ParallelUnions, opts.Executor)
+		config := fmt.Sprintf("shards=%d/parallel=%v/exec=%v/jit=%v",
+			opts.Shards, opts.ParallelUnions, opts.Executor, opts.JIT.Backend)
 		if _, err := built.P.Run(opts); err != nil {
 			t.Fatalf("%s: %v", config, err)
 		}

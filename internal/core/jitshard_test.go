@@ -1,0 +1,330 @@
+// Tests for the shard-native JIT: with a Controller attached and Shards > 1
+// the run must keep the physically sharded delta store and the parallel
+// merge barrier (the pre-PR-5 engine silently degraded to the row-id view
+// and a sequential loop), span-parameterized compiled units must execute the
+// bucket tasks, the unit cache must survive warm reruns at one shard layout
+// while never serving a unit across layouts, and all of it must hold under
+// -race (the CI core job runs this package with the race detector).
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"carac/internal/analysis"
+	"carac/internal/core"
+	"carac/internal/datagen"
+	"carac/internal/jit"
+	"carac/internal/workloads"
+)
+
+var lambdaSPJ = jit.Config{Backend: jit.BackendLambda, Granularity: jit.GranSPJ}
+
+func runJITTC(t *testing.T, opts core.Options) *core.Result {
+	t.Helper()
+	built := workloads.TransitiveClosure(analysis.HandOptimized, 80, 200, 42)
+	res, err := built.P.Run(opts)
+	if err != nil {
+		t.Fatalf("%+v: %v", opts, err)
+	}
+	if pd, ok := built.P.Catalog().PredByName("tc"); ok && opts.Shards > 1 {
+		if !pd.Physical() {
+			t.Fatalf("%+v: sharded run did not use the physical backing store", opts)
+		}
+	}
+	return res
+}
+
+// TestJITShardedUsesPhysicalStore is the acceptance pin: a sharded run with
+// a Controller attached uses the physically sharded delta store end to end —
+// the merge barrier fans out (Stats.MergeTasks > 0), the pool's tasks
+// execute compiled units (Stats.Compiled > 0 via ShardUnits, Compilations
+// recorded), and the result set and iteration schedule match the sequential
+// oracle exactly.
+func TestJITShardedUsesPhysicalStore(t *testing.T) {
+	seq := runJITTC(t, core.Options{Indexed: true})
+	res := runJITTC(t, core.Options{
+		Indexed: true, Shards: 4, Workers: 4, PlanCache: true,
+		FanoutThreshold: 1, // every buffered merge runs bucketed
+		JIT:             lambdaSPJ,
+	})
+	if res.TotalFacts != seq.TotalFacts {
+		t.Fatalf("sharded+JIT derived %d facts, sequential %d", res.TotalFacts, seq.TotalFacts)
+	}
+	if res.Interp.Iterations != seq.Interp.Iterations {
+		t.Fatalf("sharded+JIT ran %d iterations, sequential %d", res.Interp.Iterations, seq.Interp.Iterations)
+	}
+	if res.Interp.MergeTasks == 0 {
+		t.Fatal("merge barrier never ran bucketed: the physical delta store is not engaged")
+	}
+	if res.JIT.Compilations == 0 {
+		t.Fatalf("no task units compiled: %+v", res.JIT)
+	}
+	if res.Interp.Compiled == 0 {
+		t.Fatal("compiled task units never executed — tasks all fell back to interpretation")
+	}
+	if res.JIT.Failures != 0 {
+		t.Fatalf("%d task-unit compile failures", res.JIT.Failures)
+	}
+}
+
+// TestJITShardedAdaptiveFanout: the adaptive driver's two regimes compose
+// with compilation — fanned-out iterations run compiled bucket tasks and
+// bucketed merges, tail iterations take the sequential fast path — without
+// changing the derived fixpoint.
+func TestJITShardedAdaptiveFanout(t *testing.T) {
+	seq := runJITTC(t, core.Options{Indexed: true})
+	res := runJITTC(t, core.Options{
+		Indexed: true, Shards: 4, Workers: 4,
+		// High enough that this workload's tail iterations dip under it
+		// (TC(80,200) tails at ~15 delta tuples), low enough that the early
+		// iterations still fan out.
+		AdaptiveFanout: true, FanoutThreshold: 64,
+		JIT: lambdaSPJ,
+	})
+	if res.TotalFacts != seq.TotalFacts {
+		t.Fatalf("adaptive sharded+JIT derived %d facts, sequential %d", res.TotalFacts, seq.TotalFacts)
+	}
+	if res.Interp.MergeTasks == 0 {
+		t.Fatal("adaptive sharded+JIT never merged bucketed")
+	}
+	if res.Interp.SeqIters == 0 {
+		t.Fatal("adaptive sharded+JIT never took the sequential fast path on the tail")
+	}
+	if res.Interp.Compiled == 0 {
+		t.Fatal("no compiled execution under the adaptive driver")
+	}
+}
+
+// TestJITDegeneratePoolStillCompiles: a sharded JIT run whose pool
+// degenerates to one worker evaluates rules in place — but must keep
+// consulting the controller's safe points, so rule-granularity compiled
+// units still execute exactly as they did under the pre-shard-native
+// sequential loop (regression: the in-place path once bypassed Enter).
+func TestJITDegeneratePoolStillCompiles(t *testing.T) {
+	seq := runJITTC(t, core.Options{Indexed: true})
+	res := runJITTC(t, core.Options{
+		Indexed: true, Shards: 4, Workers: 1,
+		JIT: jit.Config{Backend: jit.BackendLambda, Granularity: jit.GranUnionRule},
+	})
+	if res.TotalFacts != seq.TotalFacts {
+		t.Fatalf("degenerate pool derived %d facts, sequential %d", res.TotalFacts, seq.TotalFacts)
+	}
+	if res.JIT.Compilations == 0 {
+		t.Fatalf("degenerate pool compiled nothing: %+v", res.JIT)
+	}
+	if res.Interp.Compiled == 0 {
+		t.Fatal("degenerate pool never executed compiled units — Enter bypassed on the in-place path")
+	}
+}
+
+// TestJITShardedWarmRerun: task units live in the Program-lifetime store
+// under layout-tagged subtree fingerprints, so a warm rerun at the same
+// shard layout recompiles 0 units and serves cross-run hits — the same
+// guarantee the sequential unit view gives, now over the physical store.
+func TestJITShardedWarmRerun(t *testing.T) {
+	built := workloads.TransitiveClosure(analysis.HandOptimized, 80, 200, 42)
+	opts := core.Options{
+		Indexed: true, SharedPlans: true, Shards: 4, Workers: 4,
+		JIT: lambdaSPJ,
+	}
+	res1, err := built.P.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.JIT.Compilations == 0 {
+		t.Fatalf("first run compiled nothing: %+v", res1.JIT)
+	}
+	res2, err := built.P.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.JIT.Compilations != 0 {
+		t.Fatalf("warm rerun recompiled %d units at an unchanged shard layout", res2.JIT.Compilations)
+	}
+	if res2.Units.CrossRunHits == 0 {
+		t.Fatalf("warm rerun served no cross-run unit hits: %+v", res2.Units)
+	}
+	if res2.TotalFacts != res1.TotalFacts {
+		t.Fatalf("warm rerun changed the result: %d vs %d facts", res2.TotalFacts, res1.TotalFacts)
+	}
+}
+
+// TestJITShardedWarmRerunCSPA is the warm-rerun acceptance on the many-rule
+// CSPA shape: dozens of structurally similar rules, every one of whose task
+// units must resolve from the store on the second run.
+func TestJITShardedWarmRerunCSPA(t *testing.T) {
+	built := analysis.CSPA(analysis.HandOptimized, datagen.CSPAGraph(80, 42))
+	opts := core.Options{
+		Indexed: true, SharedPlans: true, Shards: 4, Workers: 4,
+		JIT: lambdaSPJ,
+	}
+	res1, err := built.P.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.JIT.Compilations == 0 {
+		t.Fatalf("first CSPA run compiled nothing: %+v", res1.JIT)
+	}
+	res2, err := built.P.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.JIT.Compilations != 0 {
+		t.Fatalf("CSPA warm rerun recompiled %d units", res2.JIT.Compilations)
+	}
+	if res2.TotalFacts != res1.TotalFacts {
+		t.Fatalf("CSPA warm rerun changed the result: %d vs %d facts", res2.TotalFacts, res1.TotalFacts)
+	}
+}
+
+// TestJITShardLayoutChangeRecompiles: a span-parameterized unit compiled for
+// one Shards count must never be served to a run partitioned differently —
+// the layout is part of the unit fingerprint — while returning to a
+// previously seen layout is warm again.
+func TestJITShardLayoutChangeRecompiles(t *testing.T) {
+	built := workloads.TransitiveClosure(analysis.HandOptimized, 80, 200, 42)
+	at := func(shards int) core.Options {
+		return core.Options{
+			Indexed: true, SharedPlans: true, Shards: shards, Workers: 4,
+			JIT: lambdaSPJ,
+		}
+	}
+	res4, err := built.P.Run(at(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res4.JIT.Compilations == 0 {
+		t.Fatalf("cold 4-shard run compiled nothing: %+v", res4.JIT)
+	}
+	res8, err := built.P.Run(at(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res8.JIT.Compilations == 0 {
+		t.Fatal("re-partitioned run served stale span-parameterized units instead of recompiling")
+	}
+	if res8.TotalFacts != res4.TotalFacts {
+		t.Fatalf("layout change altered the result: %d vs %d facts", res8.TotalFacts, res4.TotalFacts)
+	}
+	back4, err := built.P.Run(at(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back4.JIT.Compilations != 0 {
+		t.Fatalf("returning to the 4-shard layout recompiled %d units", back4.JIT.Compilations)
+	}
+	if back4.TotalFacts != res4.TotalFacts {
+		t.Fatalf("layout return altered the result: %d vs %d facts", back4.TotalFacts, res4.TotalFacts)
+	}
+}
+
+// TestJITShardMergeStress hammers concurrent compiled bucket tasks and
+// per-bucket merges through the full engine with a threshold of 1, so every
+// iteration — including one-tuple tails — fans out, runs ShardUnit bodies on
+// the pool, and merges bucketed; repeated Programs and reruns stress the
+// partition-mode transitions underneath. Run under -race by the CI core job.
+func TestJITShardMergeStress(t *testing.T) {
+	seq := runJITTC(t, core.Options{Indexed: true})
+	for round := 0; round < 3; round++ {
+		built := workloads.TransitiveClosure(analysis.HandOptimized, 80, 200, 42)
+		for rerun := 0; rerun < 2; rerun++ {
+			res, err := built.P.Run(core.Options{
+				Indexed: true, Shards: 8, Workers: 8, SharedPlans: true,
+				AdaptiveFanout: true, FanoutThreshold: 1,
+				JIT: lambdaSPJ,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.TotalFacts != seq.TotalFacts {
+				t.Fatalf("round %d rerun %d: %d facts, want %d", round, rerun, res.TotalFacts, seq.TotalFacts)
+			}
+			if res.Interp.Derivations != seq.Interp.Derivations {
+				t.Fatalf("round %d rerun %d: %d derivations, want %d", round, rerun, res.Interp.Derivations, seq.Interp.Derivations)
+			}
+		}
+	}
+}
+
+// TestJITShardedAsyncAndBackends sweeps the remaining physical×JIT cells the
+// main differential matrix does not enumerate: every compiling backend —
+// including bytecode and quotes, whose sequential codegen rides the lambda
+// task substrate — plus async compilation, against the sequential oracle.
+func TestJITShardedAsyncAndBackends(t *testing.T) {
+	seq := runJITTC(t, core.Options{Indexed: true})
+	for _, b := range []jit.Backend{jit.BackendIRGen, jit.BackendLambda, jit.BackendBytecode, jit.BackendQuotes} {
+		for _, async := range []bool{false, true} {
+			name := fmt.Sprintf("%v/async=%v", b, async)
+			res := runJITTC(t, core.Options{
+				Indexed: true, Shards: 4, Workers: 4, FanoutThreshold: 1,
+				JIT: jit.Config{Backend: b, Granularity: jit.GranSPJ, Async: async},
+			})
+			if res.TotalFacts != seq.TotalFacts {
+				t.Errorf("%s: %d facts, sequential %d", name, res.TotalFacts, seq.TotalFacts)
+			}
+			if res.Interp.MergeTasks == 0 {
+				t.Errorf("%s: merge never ran bucketed", name)
+			}
+		}
+	}
+}
+
+// FuzzJITShardRouting drives the fan-out's bucket routing through the JIT
+// path: arbitrary edge lists evaluate transitive closure sharded with
+// compiled bucket-span tasks and must reproduce the sequential fixpoint —
+// the core-level extension of storage.FuzzShardRouting's partition-exactness
+// property to compiled readers. Run the short-fuzz CI job with:
+// go test -fuzz=FuzzJITShardRouting -fuzztime=20s ./internal/core/
+func FuzzJITShardRouting(f *testing.F) {
+	f.Add(uint8(4), []byte{1, 2, 2, 3, 3, 4, 4, 1})
+	f.Add(uint8(7), []byte{0, 0, 1, 0, 200, 200, 5, 9})
+	f.Add(uint8(2), []byte{9, 8, 8, 7, 7, 6, 6, 5, 5, 4, 4, 3})
+	f.Fuzz(func(t *testing.T, nshards uint8, data []byte) {
+		shards := 2 + int(nshards)%7
+		if len(data) > 64 {
+			data = data[:64]
+		}
+		build := func() *core.Program {
+			p := core.NewProgram()
+			edge := p.Relation("edge", 2)
+			tc := p.Relation("tc", 2)
+			x, y, z := core.NewVar("x"), core.NewVar("y"), core.NewVar("z")
+			p.MustRule(tc.A(x, y), edge.A(x, y))
+			p.MustRule(tc.A(x, y), tc.A(x, z), edge.A(z, y))
+			for i := 0; i+1 < len(data); i += 2 {
+				edge.MustFact(int(data[i])%32, int(data[i+1])%32)
+			}
+			return p
+		}
+		sp := build()
+		sres, err := sp.Run(core.Options{Indexed: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jp := build()
+		jres, err := jp.Run(core.Options{
+			Indexed: true, Shards: shards, Workers: 4, FanoutThreshold: 1,
+			JIT: lambdaSPJ,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if jres.TotalFacts != sres.TotalFacts {
+			t.Fatalf("shards=%d: %d facts, sequential %d", shards, jres.TotalFacts, sres.TotalFacts)
+		}
+		want := snapshotAll(sp)
+		got := snapshotAll(jp)
+		for name, rows := range want {
+			g := got[name]
+			if len(g) != len(rows) {
+				t.Fatalf("shards=%d: relation %s has %d tuples, sequential %d", shards, name, len(g), len(rows))
+			}
+			for i := range rows {
+				if g[i] != rows[i] {
+					t.Fatalf("shards=%d: relation %s row %d = %s, sequential %s", shards, name, i, g[i], rows[i])
+				}
+			}
+		}
+	})
+}

@@ -166,6 +166,26 @@ func RunCaracAdaptive(b *analysis.Built, shards, workers int, timeout time.Durat
 	return report(res, 0, err)
 }
 
+// RunCaracAdaptiveJIT is RunCaracAdaptive with a JIT attached: the adaptive
+// driver's bucket-span tasks execute span-parameterized compiled units over
+// the physically sharded delta store (bucket-local reads, race-free
+// per-bucket buffer writes, parallel merge), while small-delta tail
+// iterations run compiled sequentially — the fan-out × compilation
+// interaction the paper's adaptive claim is about, measured end to end.
+func RunCaracAdaptiveJIT(b *analysis.Built, shards, workers int, timeout time.Duration) (*Report, error) {
+	res, err := b.P.Run(core.Options{
+		Indexed:        true,
+		PlanCache:      true,
+		ParallelUnions: true,
+		Shards:         shards,
+		Workers:        workers,
+		AdaptiveFanout: true,
+		JIT:            jit.Config{Backend: jit.BackendLambda, Granularity: jit.GranSPJ},
+		Timeout:        timeout,
+	})
+	return report(res, 0, err)
+}
+
 // RunCaracWarm measures the steady-state cost the Program-lifetime plan
 // store exists for: one run populates the store (plans, compiled-unit slots,
 // drift state — the long-lived-service shape between incremental fact

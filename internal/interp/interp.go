@@ -40,6 +40,35 @@ type Yielder interface {
 	ShouldYield(op ir.Op, in *Interp) bool
 }
 
+// ShardUnit is a span-parameterized compiled rule body: one invocation
+// evaluates the rule's subqueries with each delta read restricted to the
+// contiguous bucket range [shard, shard+span) of an nshards-way partition
+// (span <= 0 or nshards <= 1 evaluates the whole delta), writing derivations
+// through DerivationSink — the worker's private bucket-partitioned delta
+// buffer under the parallel pool, the real DeltaNew otherwise. Units resolve
+// relations and their partition layout at invocation time (SwapClear swaps
+// relation structs between iterations), carry no mutable compile-time state,
+// and must be safe to invoke concurrently from distinct pool workers.
+type ShardUnit func(in *Interp, shard, span, nshards int) error
+
+// ShardCompiler is an optional Controller extension consulted by the
+// parallel fixpoint driver at the sequential fan-out point of each
+// iteration: ResolveShardUnit may return a compiled task body for rule that
+// the pool workers then invoke — one call per bucket-span task, with exactly
+// the spans chooseFanout handed the interpreted path — instead of
+// interpreting the rule's subtree. Returning nil leaves the rule
+// interpreted (compilation pending, failed, or unsupported). The driver
+// calls ResolveShardUnit only from the interpreter goroutine, so
+// implementations may keep single-threaded state there; the returned units
+// themselves run on pool workers.
+//
+// A Controller that does not implement ShardCompiler disables the parallel
+// driver entirely (the pre-shard-native behaviour: JIT state was
+// single-threaded, so attaching a Controller forced sequential loops).
+type ShardCompiler interface {
+	ResolveShardUnit(rule *ir.UnionRuleOp, in *Interp) ShardUnit
+}
+
 // Stats collects execution counters.
 type Stats struct {
 	Iterations  int64 // DoWhile loop passes
@@ -69,9 +98,11 @@ type Interp struct {
 	// concurrently on a bounded worker pool — sound because the delta split
 	// makes readers (Derived, DeltaKnown) frozen for the iteration and each
 	// worker writes only its private delta buffer, merged into the real
-	// DeltaNew relations at the iteration barrier (§V-D). Only honored
-	// without a Controller (JIT state is single-threaded). Parallel=false is
-	// the sequential fallback.
+	// DeltaNew relations at the iteration barrier (§V-D). Honored without a
+	// Controller, or with one implementing ShardCompiler (the JIT's
+	// controller does: pool tasks then run span-parameterized compiled units
+	// where one is ready, interpretation otherwise); any other Controller
+	// forces the sequential loop. Parallel=false is the sequential fallback.
 	Parallel bool
 	// Workers bounds the pool; <= 0 selects GOMAXPROCS.
 	Workers int
@@ -146,12 +177,27 @@ type Interp struct {
 	// via ir.SPJOp.OrderGen so the atoms are re-hashed only after a reorder
 	// rather than per execution.
 	keyMemo map[*ir.SPJOp]spjKeyMemo
-	scratch vecScratch
+	// bindMemo caches each subquery's rebound shared plan: a structural hit
+	// may carry a sibling rule's binding, and re-deriving the substitution
+	// (step copy + access-path re-selection) per execution would tax every
+	// steady-state hit on shared-plan workloads. Keyed per subquery,
+	// validated against the served cache entry's identity and the atom-order
+	// generation, so a re-planned or re-stored entry invalidates the memo.
+	bindMemo map[*ir.SPJOp]boundPlanMemo
+	scratch  vecScratch
 }
 
 type spjKeyMemo struct {
 	gen int
 	key plancache.Key
+}
+
+// boundPlanMemo is one memoized rebind: src is the cache entry the binding
+// was derived from (identity-compared), plan the immutable rebound artifact.
+type boundPlanMemo struct {
+	src  *Plan
+	gen  int
+	plan *Plan
 }
 
 // vecScratch holds per-interpreter buffers reused for the per-execution
@@ -187,6 +233,16 @@ func (in *Interp) Cancelled() bool {
 // New returns an interpreter over cat with an optional controller.
 func New(cat *storage.Catalog, ctrl Controller) *Interp {
 	return &Interp{Cat: cat, Ctrl: ctrl}
+}
+
+// NewBuffered returns an interpreter whose subquery derivations are
+// redirected into the relations sink hands out per predicate instead of the
+// real DeltaNew — the worker shape of the parallel pool (set difference
+// against Derived still applies; cross-buffer dedup and derivation counting
+// happen when the caller folds the buffers). Exposed for drivers and tests
+// that execute compiled ShardUnits outside the built-in pool.
+func NewBuffered(cat *storage.Catalog, sink func(pred storage.PredID) *storage.Relation) *Interp {
+	return &Interp{Cat: cat, bufSink: sink}
 }
 
 // Run executes the IR program to fixpoint.
@@ -235,7 +291,7 @@ func (in *Interp) interpret(op ir.Op) error {
 		return nil
 
 	case *ir.DoWhileOp:
-		if in.Parallel && in.Ctrl == nil {
+		if in.Parallel && (in.Ctrl == nil || in.shardCtrl() != nil) {
 			return in.runLoopParallel(n)
 		}
 		for {
@@ -272,6 +328,29 @@ func (in *Interp) interpret(op ir.Op) error {
 	return fmt.Errorf("interp: unknown op %T", op)
 }
 
+// shardCtrl returns the attached Controller's ShardCompiler extension, or
+// nil when there is no controller or it cannot produce parallel task units.
+func (in *Interp) shardCtrl() ShardCompiler {
+	if sc, ok := in.Ctrl.(ShardCompiler); ok {
+		return sc
+	}
+	return nil
+}
+
+// DerivationSink returns the relation subquery derivations for pred must be
+// written to in this (sub-)interpreter's context: the worker's private
+// bucket-partitioned delta buffer under parallel buffered evaluation, or nil
+// when derivations go to the predicate's real DeltaNew (with set difference
+// against Derived and per-insert Stats.Derivations counting). Compiled
+// ShardUnits consult it so their emits feed the same merge barrier the
+// interpreted tasks feed.
+func (in *Interp) DerivationSink(pred storage.PredID) *storage.Relation {
+	if in.bufSink == nil {
+		return nil
+	}
+	return in.bufSink(pred)
+}
+
 // DeltasEmpty reports whether every listed predicate's DeltaKnown is empty —
 // the DoWhile termination condition.
 func DeltasEmpty(cat *storage.Catalog, preds []storage.PredID) bool {
@@ -303,12 +382,12 @@ func (in *Interp) planFor(spj *ir.SPJOp) (*Plan, error) {
 	in.scratch.cards, in.scratch.counters = cards, counters
 	key := in.keyFor(spj)
 	if p, ok, stale := in.Plans.Lookup(key, counters, cards); ok {
-		if cp, bound := in.bindPlan(p, spj); bound {
+		if cp, bound := in.boundPlan(p, spj); bound {
 			in.Stats.PlanReuses++
 			return cp, nil
 		}
-		// Unbindable (the sibling's probe indexes are missing here): fall
-		// through to a rebuild, which re-stores under this binding.
+		// Unbindable (shape mismatch): fall through to a rebuild, which
+		// re-stores under this binding.
 	} else if stale && in.Reopt != nil {
 		in.Stats.Reopts++
 		if in.Reopt(spj) {
@@ -321,7 +400,7 @@ func (in *Interp) planFor(spj *ir.SPJOp) (*Plan, error) {
 			counters = stats.AppendCounterVector(counters[:0], spj, in.Cat)
 			in.scratch.cards, in.scratch.counters = cards, counters
 			if p, ok, _ := in.Plans.Lookup(key, counters, cards); ok {
-				if cp, bound := in.bindPlan(p, spj); bound {
+				if cp, bound := in.boundPlan(p, spj); bound {
 					in.Stats.PlanReuses++
 					return cp, nil
 				}
@@ -338,15 +417,38 @@ func (in *Interp) planFor(spj *ir.SPJOp) (*Plan, error) {
 	return &cp, nil
 }
 
+// boundPlan serves a structural cache hit: the memoized rebind when the
+// served entry and the atom order are unchanged since the last execution, a
+// fresh bindPlan otherwise (memoized for the next one). The returned copy is
+// the caller's to decorate with per-execution state; the memoized artifact
+// stays pristine.
+func (in *Interp) boundPlan(p *Plan, spj *ir.SPJOp) (*Plan, bool) {
+	if m, ok := in.bindMemo[spj]; ok && m.src == p && m.gen == spj.OrderGen {
+		cp := *m.plan
+		return &cp, true
+	}
+	bp, bound := in.bindPlan(p, spj)
+	if !bound {
+		return nil, false
+	}
+	if in.bindMemo == nil {
+		in.bindMemo = make(map[*ir.SPJOp]boundPlanMemo)
+	}
+	in.bindMemo[spj] = boundPlanMemo{src: p, gen: spj.OrderGen, plan: bp}
+	cp := *bp
+	return &cp, true
+}
+
 // bindPlan specializes a cached plan to spj. Structural fingerprint keys
 // share one entry between rules that differ only by predicate renaming, so
 // the cached artifact may be bound to a sibling's predicates: BuildPlan
 // emits exactly one step per atom in order, so rebinding substitutes each
 // relational step's predicate with the requesting atom's (and the sink),
-// copying the step slice to keep the cached plan immutable. It reports false
-// when a probe step's index is not registered on the target predicate — the
-// caller rebuilds, which re-derives the probe choice instead of silently
-// degrading to a scan.
+// copying the step slice to keep the cached plan immutable, and re-selects
+// each relational step's access path against the target's index
+// registrations (demote + selectProbe). It reports false only on a shape
+// mismatch (step count vs. atom count), which cannot occur for genuinely
+// structure-identical keys.
 func (in *Interp) bindPlan(p *Plan, spj *ir.SPJOp) (*Plan, bool) {
 	cp := *p
 	same := p.Sink == spj.Sink
@@ -375,19 +477,30 @@ func (in *Interp) bindPlan(p *Plan, spj *ir.SPJOp) (*Plan, bool) {
 			continue
 		}
 		pred := spj.Atoms[i].Pred
-		// Index registrations live on Derived and are identical across a
-		// predicate's three relations (see BuildPlan).
+		// Rebind-time probe re-selection: the builder's predicate and this
+		// atom's may have different index registrations, in either
+		// direction. A probe whose index is missing here demotes to a scan
+		// (its consumed key check restored), and any scan re-probes
+		// availability — so a shared plan bound to a better-indexed sibling
+		// upgrades, and siblings with incompatible index sets each bind a
+		// valid access path instead of ping-ponging the shared entry
+		// through rebuilds. All mutations go through fresh slices
+		// (demoteProbe/selectProbe replace, never truncate), keeping the
+		// cached plan immutable. Index registrations live on Derived and
+		// are identical across a predicate's three relations (see
+		// BuildPlan).
 		idxRel := in.Cat.Pred(pred).Derived
 		switch st.Kind {
 		case StepProbe:
 			if !idxRel.HasIndex(st.ProbeCol) {
-				return nil, false
+				demoteProbe(st)
 			}
 		case StepProbeN:
 			if !idxRel.HasCompositeIndex(st.ProbeCols) {
-				return nil, false
+				demoteProbe(st)
 			}
 		}
+		selectProbe(st, idxRel)
 		st.Pred = pred
 	}
 	cp.Steps = steps
@@ -579,11 +692,14 @@ func (in *Interp) releaseBuffers(w int) {
 
 // shardTask is one unit of parallel work: a rule, restricted to a
 // contiguous span of hash buckets of its delta relation (span 0 =
-// unrestricted rule-granular task).
+// unrestricted rule-granular task), optionally carrying the compiled
+// span-parameterized body the controller resolved for the rule this
+// iteration (nil = interpret).
 type shardTask struct {
 	rule  *ir.UnionRuleOp
 	shard int
 	span  int
+	unit  ShardUnit
 }
 
 // DefaultFanoutThreshold is the sequential-fast-path delta bound of the
@@ -741,16 +857,36 @@ func (in *Interp) runIterationTasks(n *ir.DoWhileOp, dec fanoutDecision, pending
 		w := in.poolSize(len(*pending))
 		if w <= 1 {
 			// Degenerate pool: evaluate each rule once, unsharded and in
-			// place, writing DeltaNew directly like the sequential path.
+			// place, writing DeltaNew directly like the sequential path —
+			// through Exec, so a Controller's safe point still fires at the
+			// rule node and sequential compiled units run exactly as they
+			// did under the pre-shard-native sequential loop.
 			for _, t := range *pending {
 				if t.shard != 0 {
 					continue
 				}
-				if err := in.interpret(t.rule); err != nil {
+				if err := in.Exec(t.rule); err != nil {
 					return err
 				}
 			}
 			return nil
+		}
+		// Compiled task bodies: only now is it known that a pool will
+		// actually run, so resolve a unit per rule here — still on the
+		// interpreter goroutine, before the workers spawn (the controller's
+		// resolution state is single-threaded) — and stamp every task of
+		// the rule (tasks of one rule are contiguous in pending).
+		if sc := in.shardCtrl(); sc != nil {
+			var lastRule *ir.UnionRuleOp
+			var lastUnit ShardUnit
+			for i := range *pending {
+				t := &(*pending)[i]
+				if t.rule != lastRule {
+					lastRule = t.rule
+					lastUnit = sc.ResolveShardUnit(t.rule, in)
+				}
+				t.unit = lastUnit
+			}
 		}
 		in.ensureWorkers(w)
 		var next atomic.Int64
@@ -767,6 +903,17 @@ func (in *Interp) runIterationTasks(n *ir.DoWhileOp, dec fanoutDecision, pending
 						return
 					}
 					t := (*pending)[ti]
+					if t.unit != nil {
+						// Compiled task body: the unit applies the task's
+						// bucket-span restriction itself and emits through
+						// the worker's DerivationSink buffers.
+						ws.sub.Stats.Compiled++
+						if err := t.unit(ws.sub, t.shard, t.span, nshards); err != nil {
+							ws.err = err
+							return
+						}
+						continue
+					}
 					ws.sub.shard = t.shard
 					ws.sub.shardSpan = t.span
 					if t.span > 0 {
@@ -844,6 +991,7 @@ func (in *Interp) mergeWorkers(w int) error {
 		in.Stats.PlanBuilds += s.PlanBuilds
 		in.Stats.PlanReuses += s.PlanReuses
 		in.Stats.Reopts += s.Reopts
+		in.Stats.Compiled += s.Compiled
 		ws.sub.Stats = Stats{}
 	}
 	if firstErr != nil {

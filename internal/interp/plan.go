@@ -188,32 +188,8 @@ func BuildPlan(spj *ir.SPJOp, cat *storage.Catalog) (*Plan, error) {
 			// registrations are identical across a predicate's three
 			// relations and the Derived pointer is never swapped), so plan
 			// building is safe on the asynchronous compile thread while the
-			// interpreter runs. Prefer the widest registered composite index
-			// covered by the equality filters; fall back to the first
-			// single-column index.
-			idxRel := cat.Pred(a.Pred).Derived
-			if comp := chooseComposite(idxRel, st.Checks); comp != nil {
-				st.Kind = StepProbeN
-				st.ProbeCol = -1
-				st.ProbeCols = comp.cols
-				st.ProbeKeys = comp.keys
-				st.Checks = comp.rest
-			} else {
-				for ci, ck := range st.Checks {
-					if ck.Mode == CheckSameRow || !idxRel.HasIndex(ck.Col) {
-						continue
-					}
-					st.Kind = StepProbe
-					st.ProbeCol = ck.Col
-					if ck.Mode == CheckConst {
-						st.ProbeKey = TmplElem{IsConst: true, Const: ck.Const}
-					} else {
-						st.ProbeKey = TmplElem{Var: ck.Var}
-					}
-					st.Checks = append(st.Checks[:ci], st.Checks[ci+1:]...)
-					break
-				}
-			}
+			// interpreter runs.
+			selectProbe(&st, cat.Pred(a.Pred).Derived)
 			for _, b := range st.Binds {
 				bound[b.Var] = true
 			}
@@ -268,6 +244,83 @@ func BuildPlan(spj *ir.SPJOp, cat *storage.Catalog) (*Plan, error) {
 		}
 	}
 	return p, nil
+}
+
+// selectProbe upgrades a scan step to the best probe registered on idxRel:
+// the widest composite index fully covered by the step's const/var equality
+// checks, else the first single-column indexed check. Consumed checks move
+// into the probe key; the rest stay row filters. The check slice is replaced,
+// never truncated in place, so the step may alias a cached plan's slice
+// (bindPlan's rebind-time upgrade runs on step copies sharing backing
+// arrays). Steps that are already probes are left alone.
+func selectProbe(st *Step, idxRel *storage.Relation) {
+	// No equality checks means nothing to probe on — the common fast-out
+	// for bindPlan's per-rebind upgrade attempt.
+	if st.Kind != StepScan || len(st.Checks) == 0 {
+		return
+	}
+	if comp := chooseComposite(idxRel, st.Checks); comp != nil {
+		st.Kind = StepProbeN
+		st.ProbeCol = -1
+		st.ProbeCols = comp.cols
+		st.ProbeKeys = comp.keys
+		st.Checks = comp.rest
+		return
+	}
+	for ci, ck := range st.Checks {
+		if ck.Mode == CheckSameRow || !idxRel.HasIndex(ck.Col) {
+			continue
+		}
+		st.Kind = StepProbe
+		st.ProbeCol = ck.Col
+		if ck.Mode == CheckConst {
+			st.ProbeKey = TmplElem{IsConst: true, Const: ck.Const}
+		} else {
+			st.ProbeKey = TmplElem{Var: ck.Var}
+		}
+		rest := make([]ColCheck, 0, len(st.Checks)-1)
+		rest = append(rest, st.Checks[:ci]...)
+		rest = append(rest, st.Checks[ci+1:]...)
+		st.Checks = rest
+		return
+	}
+}
+
+// demoteProbe converts a probe step back into the scan it was selected
+// from, restoring the consumed probe-key check(s), so a subsequent
+// selectProbe can pick whatever access path the rebind target supports.
+// Fresh slices only — the step may alias a cached plan's slices.
+func demoteProbe(st *Step) {
+	switch st.Kind {
+	case StepProbe:
+		checks := make([]ColCheck, 0, len(st.Checks)+1)
+		checks = append(checks, st.Checks...)
+		checks = append(checks, probeKeyCheck(st.ProbeCol, st.ProbeKey))
+		st.Checks = checks
+		st.ProbeCol = -1
+		st.ProbeKey = TmplElem{}
+	case StepProbeN:
+		checks := make([]ColCheck, 0, len(st.Checks)+len(st.ProbeCols))
+		checks = append(checks, st.Checks...)
+		for i, c := range st.ProbeCols {
+			checks = append(checks, probeKeyCheck(c, st.ProbeKeys[i]))
+		}
+		st.Checks = checks
+		st.ProbeCols = nil
+		st.ProbeKeys = nil
+	default:
+		return
+	}
+	st.Kind = StepScan
+}
+
+// probeKeyCheck is the inverse of selectProbe's key consumption: the
+// equality filter a probe key encodes.
+func probeKeyCheck(col int, k TmplElem) ColCheck {
+	if k.IsConst {
+		return ColCheck{Col: col, Mode: CheckConst, Const: k.Const}
+	}
+	return ColCheck{Col: col, Mode: CheckVar, Var: k.Var}
 }
 
 func ir2astAtom(a ir.Atom) ast.Atom {
@@ -434,14 +487,9 @@ func (p *Plan) Execute(cat *storage.Catalog, emit func(head, bind []storage.Valu
 					// A probe on the shard key column routes to exactly one
 					// bucket — no reason to touch the other buckets' indexes
 					// (and a bucket outside the task's span holds nothing
-					// this task may emit).
-					if sc, col := rel.ShardConfig(); col == st.ProbeCol && sc == len(subs) {
-						if b := storage.ShardOf(key, sc); b >= lo && b < hi {
-							lo, hi = b, b+1
-						} else {
-							lo, hi = 0, 0
-						}
-					}
+					// this task may emit, hence the intersection).
+					plo, phi := rel.ProbeSpan(st.ProbeCol, key)
+					lo, hi = max(lo, plo), min(hi, phi)
 					for s := lo; s < hi; s++ {
 						sub := subs[s]
 						rows, ok := sub.Probe(st.ProbeCol, key)
@@ -471,19 +519,8 @@ func (p *Plan) Execute(cat *storage.Catalog, emit func(head, bind []storage.Valu
 					}
 					// As above: a composite probe covering the shard key
 					// column routes to one bucket.
-					if sc, col := rel.ShardConfig(); sc == len(subs) {
-						for ci, c := range st.ProbeCols {
-							if c != col {
-								continue
-							}
-							if b := storage.ShardOf(vals[ci], sc); b >= lo && b < hi {
-								lo, hi = b, b+1
-							} else {
-								lo, hi = 0, 0
-							}
-							break
-						}
-					}
+					plo, phi := rel.ProbeSpanComposite(st.ProbeCols, vals)
+					lo, hi = max(lo, plo), min(hi, phi)
 					for s := lo; s < hi; s++ {
 						sub := subs[s]
 						rows, ok := sub.ProbeComposite(st.ProbeCols, vals)

@@ -88,13 +88,8 @@ func (r *relPull) Open() {
 		key := r.st.ProbeKey.resolve(r.bind)
 		if subs != nil {
 			// A probe on the shard key column routes to exactly one bucket.
-			if sc, col := rel.ShardConfig(); col == r.st.ProbeCol && sc == len(subs) {
-				if b := storage.ShardOf(key, sc); b >= lo && b < hi {
-					lo, hi = b, b+1
-				} else {
-					lo, hi = 0, 0
-				}
-			}
+			plo, phi := rel.ProbeSpan(r.st.ProbeCol, key)
+			lo, hi = max(lo, plo), min(hi, phi)
 			for s := lo; s < hi; s++ {
 				if rows, ok := subs[s].Probe(r.st.ProbeCol, key); ok {
 					if len(rows) > 0 {
@@ -132,19 +127,8 @@ func (r *relPull) Open() {
 		if subs != nil {
 			// As above: a composite probe covering the shard key column
 			// routes to one bucket.
-			if sc, col := rel.ShardConfig(); sc == len(subs) {
-				for ci, c := range r.st.ProbeCols {
-					if c != col {
-						continue
-					}
-					if b := storage.ShardOf(vals[ci], sc); b >= lo && b < hi {
-						lo, hi = b, b+1
-					} else {
-						lo, hi = 0, 0
-					}
-					break
-				}
-			}
+			plo, phi := rel.ProbeSpanComposite(r.st.ProbeCols, vals)
+			lo, hi = max(lo, plo), min(hi, phi)
 			for s := lo; s < hi; s++ {
 				if rows, ok := subs[s].ProbeComposite(r.st.ProbeCols, vals); ok {
 					if len(rows) > 0 {

@@ -108,12 +108,88 @@ type Program struct {
 	buf   []storage.Value
 }
 
-type iterState struct {
+// iterSeg is one contiguous slice of an iterator's input: a row-id list
+// into rel (probe result or materialized filter), or all of rel when rows is
+// nil. A level's input is a sequence of segments — one for a flat relation,
+// one per bucket of a physically sharded relation, whose per-bucket row ids
+// are meaningless to the parent (global Row lookups would walk the bucket
+// lengths per row).
+type iterSeg struct {
 	rel  *storage.Relation
-	rows []int32 // probe rows; nil = sequential scan
+	rows []int32
+	n    int // row count, frozen at init (relations are iteration-frozen)
+}
+
+type iterState struct {
+	segs []iterSeg // reused across inits
+	seg  int
 	pos  int
-	n    int
 	row  []storage.Value
+	mat  []int32 // degraded-path row materialization, owned per level
+}
+
+// reset prepares the iterator for a fresh init.
+func (it *iterState) reset() {
+	it.segs = it.segs[:0]
+	it.mat = it.mat[:0]
+	it.seg, it.pos = 0, 0
+}
+
+// addScan appends rel's scan segments: one per non-empty bucket for a
+// physically sharded relation, a single whole-relation segment otherwise.
+func (it *iterState) addScan(rel *storage.Relation) {
+	if subs := rel.PhysSubs(); subs != nil {
+		for _, sub := range subs {
+			if n := sub.Len(); n > 0 {
+				it.segs = append(it.segs, iterSeg{rel: sub, n: n})
+			}
+		}
+		return
+	}
+	it.segs = append(it.segs, iterSeg{rel: rel, n: rel.Len()})
+}
+
+// addRows appends a probe-result segment (empty lists are skipped).
+func (it *iterState) addRows(rel *storage.Relation, rows []int32) {
+	if len(rows) > 0 {
+		it.segs = append(it.segs, iterSeg{rel: rel, rows: rows, n: len(rows)})
+	}
+}
+
+// materialize appends a segment of rel's row ids passing keep — the
+// degraded path when an expected index is missing at runtime (the VM has no
+// validation pass to catch it earlier).
+func (it *iterState) materialize(rel *storage.Relation, keep func(row []storage.Value) bool) {
+	start := len(it.mat)
+	n := int32(rel.Len())
+	for i := int32(0); i < n; i++ {
+		if keep(rel.Row(i)) {
+			it.mat = append(it.mat, i)
+		}
+	}
+	if len(it.mat) > start {
+		rows := it.mat[start:len(it.mat):len(it.mat)]
+		it.segs = append(it.segs, iterSeg{rel: rel, rows: rows, n: len(rows)})
+	}
+}
+
+// next advances to the next row, reporting false when exhausted.
+func (it *iterState) next() bool {
+	for it.seg < len(it.segs) {
+		seg := &it.segs[it.seg]
+		if it.pos < seg.n {
+			if seg.rows != nil {
+				it.row = seg.rel.Row(seg.rows[it.pos])
+			} else {
+				it.row = seg.rel.Row(int32(it.pos))
+			}
+			it.pos++
+			return true
+		}
+		it.seg++
+		it.pos = 0
+	}
+	return false
 }
 
 // Run executes the program to completion.
@@ -166,62 +242,72 @@ func (p *Program) Run(in *interp.Interp) error {
 		case OpInitScan:
 			r := p.rels[ins.B]
 			it := &iters[ins.A]
-			it.rel = interp.SourceRel(cat, r.pred, r.src)
-			it.rows = nil
-			it.pos = 0
-			it.n = it.rel.Len()
+			it.reset()
+			it.addScan(interp.SourceRel(cat, r.pred, r.src))
 			pc++
 
 		case OpInitProbeN:
 			r := p.rels[ins.B]
 			sp := &p.nprobes[ins.C]
 			it := &iters[ins.A]
-			it.rel = interp.SourceRel(cat, r.pred, r.src)
+			it.reset()
+			rel := interp.SourceRel(cat, r.pred, r.src)
 			for ki, k := range sp.keys {
 				sp.vals[ki] = resolveTmpl(k, bind)
 			}
-			rows, ok := it.rel.ProbeComposite(sp.cols, sp.vals)
-			if !ok {
-				rows = rows[:0]
-				n := int32(it.rel.Len())
-			scanN:
-				for i := int32(0); i < n; i++ {
-					row := it.rel.Row(i)
-					for ci, c := range sp.cols {
-						if row[c] != sp.vals[ci] {
-							continue scanN
-						}
+			covers := func(row []storage.Value) bool {
+				for ci, c := range sp.cols {
+					if row[c] != sp.vals[ci] {
+						return false
 					}
-					rows = append(rows, i)
 				}
+				return true
 			}
-			it.rows = rows
-			it.pos = 0
-			it.n = len(rows)
+			if subs := rel.PhysSubs(); subs != nil {
+				// Bucket-local composite probes; a composite covering the
+				// shard key column routes to exactly one bucket.
+				lo, hi := rel.ProbeSpanComposite(sp.cols, sp.vals)
+				for s := lo; s < hi; s++ {
+					if rows, ok := subs[s].ProbeComposite(sp.cols, sp.vals); ok {
+						it.addRows(subs[s], rows)
+					} else {
+						it.materialize(subs[s], covers)
+					}
+				}
+			} else if rows, ok := rel.ProbeComposite(sp.cols, sp.vals); ok {
+				it.addRows(rel, rows)
+			} else {
+				it.materialize(rel, covers)
+			}
 			pc++
 
 		case OpInitProbe:
 			r := p.rels[ins.B]
 			sp := &p.probes[ins.C]
 			it := &iters[ins.A]
-			it.rel = interp.SourceRel(cat, r.pred, r.src)
+			it.reset()
+			rel := interp.SourceRel(cat, r.pred, r.src)
 			key := resolveTmpl(sp.key, bind)
-			rows, ok := it.rel.Probe(int(sp.col), key)
-			if !ok {
+			col := int(sp.col)
+			if subs := rel.PhysSubs(); subs != nil {
+				// Bucket-local probes through each bucket's own index; a
+				// probe on the shard key column touches exactly one bucket.
+				lo, hi := rel.ProbeSpan(col, key)
+				for s := lo; s < hi; s++ {
+					if rows, ok := subs[s].Probe(col, key); ok {
+						it.addRows(subs[s], rows)
+					} else {
+						it.materialize(subs[s], func(row []storage.Value) bool { return row[col] == key })
+					}
+				}
+			} else if rows, ok := rel.Probe(col, key); ok {
+				it.addRows(rel, rows)
+			} else {
 				// Index missing at runtime: degrade to a filtered scan by
 				// pre-materializing matching row ids (no validation pass
 				// exists to catch this earlier).
-				rows = rows[:0]
-				n := int32(it.rel.Len())
-				for i := int32(0); i < n; i++ {
-					if it.rel.Row(i)[sp.col] == key {
-						rows = append(rows, i)
-					}
-				}
+				it.materialize(rel, func(row []storage.Value) bool { return row[col] == key })
 			}
-			it.rows = rows
-			it.pos = 0
-			it.n = len(rows)
 			pc++
 
 		case OpNext:
@@ -229,17 +315,11 @@ func (p *Program) Run(in *interp.Interp) error {
 			if ins.A == 0 && in.Cancelled() {
 				return interp.ErrCancelled
 			}
-			if it.pos >= it.n {
-				pc = int(ins.C)
-				break
-			}
-			if it.rows != nil {
-				it.row = it.rel.Row(it.rows[it.pos])
+			if it.next() {
+				pc++
 			} else {
-				it.row = it.rel.Row(int32(it.pos))
+				pc = int(ins.C)
 			}
-			it.pos++
-			pc++
 
 		case OpCheckConst:
 			if iters[ins.A].row[ins.B] != ins.D {

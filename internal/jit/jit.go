@@ -13,6 +13,14 @@
 // A "freshness" test gates recompilation: a unit is reused while the live
 // cardinalities of the relations it joins have not drifted beyond a relative
 // threshold since it was compiled.
+//
+// The Controller additionally implements interp.ShardCompiler: under the
+// parallel sharded driver (core.Options.Shards with a JIT attached) each
+// iteration's bucket-span tasks run span-parameterized compiled units over
+// the physically sharded delta store — bucket-local scans and probes, with
+// derivations buffered per worker and folded by the parallel merge barrier
+// (one race-free ShardInsert task per bucket) — so attaching a JIT no
+// longer forfeits the sharded execution machinery.
 package jit
 
 import (
@@ -163,6 +171,20 @@ type compiledUnit struct {
 	failed bool
 }
 
+// compiledShardUnit is the cached artifact of one span-parameterized task
+// compilation (interp.ShardUnit), with the same failure-marker convention.
+type compiledShardUnit struct {
+	run    interp.ShardUnit
+	failed bool
+}
+
+// shardUnitTag prefixes the KeyForOp fingerprint of span-parameterized task
+// units, followed by the shard layout (bucket count, little-endian), so they
+// never collide with sequential units' backend/snippet tags and a run at a
+// different Shards count resolves to fresh keys instead of a unit whose
+// spans were sized for another partition. 0xfd is outside the Backend range.
+const shardUnitTag = 0xfd
+
 // inflight guards one unit key against duplicate compile requests: set by
 // the interpreter goroutine when a request is queued, cleared by whichever
 // goroutine finishes the compile.
@@ -177,11 +199,26 @@ type compileReq struct {
 	cards    []int
 	counters []uint64
 	stats    stats.Source
+	// shard marks a span-parameterized task-unit request: the clone is a
+	// rule subtree compiled via the shard backend and published into the
+	// shard-unit view instead of the sequential one.
+	shard bool
 }
 
 type backendCompiler interface {
 	Name() string
 	Compile(op ir.Op, cat *storage.Catalog, snippet bool) (func(in *interp.Interp) error, error)
+}
+
+// shardBackend is the span-parameterized compilation surface: CompileShard
+// produces an interp.ShardUnit whose invocations are restricted to bucket
+// spans and safe to run concurrently from pool workers. The lambda target
+// implements it natively; the bytecode and quotes targets fall back to the
+// lambda combinator substrate for task bodies (their sequential artifacts —
+// a non-reentrant VM program, pooled frames — would need per-invocation
+// state to run on workers), keeping their own codegen for sequential units.
+type shardBackend interface {
+	CompileShard(op ir.Op, cat *storage.Catalog) (interp.ShardUnit, error)
 }
 
 // Controller implements interp.Controller. Create with New, attach to an
@@ -204,9 +241,18 @@ type Controller struct {
 	// windows the Program-lifetime store, so a later Run resolves to this
 	// run's units without recompiling.
 	units *plancache.Cache[*compiledUnit]
+	// sunits is the span-parameterized task-unit view over the same store
+	// and key class: entries are keyed by rule-subtree fingerprint tagged
+	// with the shard layout, so warm reruns at one layout reuse task units
+	// while a re-partitioned run compiles fresh ones.
+	sunits *plancache.Cache[*compiledShardUnit]
+	// shardComp compiles task units (nil for backends with no compiler).
+	shardComp shardBackend
 	// keys memoizes each op's structural unit key for this run (op identity
-	// is stable within one run's IR tree).
-	keys map[ir.Op]plancache.Key
+	// is stable within one run's IR tree); shardKeys is the task-unit
+	// analogue (the shard layout is fixed for one run).
+	keys      map[ir.Op]plancache.Key
+	shardKeys map[ir.Op]plancache.Key
 	// pending tracks in-flight compilations per unit key. Only the
 	// interpreter goroutine mutates the map; the async worker clears flags
 	// through the pointers carried in compile requests.
@@ -266,7 +312,9 @@ func NewShared(cat *storage.Catalog, root ir.Op, cfg Config, store *plancache.St
 		// space: a band hop serves any policy-fresh unit (band return
 		// without recompiling) rather than forcing one compile per band.
 		units:        plancache.View[*compiledUnit](store, plancache.ViewConfig{Class: plancache.ClassUnits, Policy: pol, CrossBand: true}),
+		sunits:       plancache.View[*compiledShardUnit](store, plancache.ViewConfig{Class: plancache.ClassUnits, Policy: pol, CrossBand: true}),
 		keys:         make(map[ir.Op]plancache.Key),
+		shardKeys:    make(map[ir.Op]plancache.Key),
 		pending:      make(map[plancache.Key]*inflight),
 		parents:      make(map[ir.Op]ir.Op),
 		reorderCards: make(map[*ir.SPJOp][]int),
@@ -279,6 +327,15 @@ func NewShared(cat *storage.Catalog, root ir.Op, cfg Config, store *plancache.St
 		c.compiler = bytecode.Compiler{}
 	case BackendQuotes:
 		c.compiler = quotes.NewCompiler()
+	}
+	if c.compiler != nil {
+		if sb, ok := c.compiler.(shardBackend); ok {
+			c.shardComp = sb
+		} else {
+			// Task bodies from the lambda combinator substrate (see
+			// shardBackend); sequential units keep the configured target.
+			c.shardComp = lambda.Compiler{}
+		}
 	}
 	if cfg.Async && c.compiler != nil {
 		c.reqs = make(chan compileReq, 64)
@@ -524,8 +581,40 @@ func (c *Controller) snapshotStats(op ir.Op) stats.Source {
 func (c *Controller) worker() {
 	defer c.wg.Done()
 	for req := range c.reqs {
-		c.runCompile(req)
+		if req.shard {
+			c.runShardCompile(req)
+		} else {
+			c.runCompile(req)
+		}
 	}
+}
+
+// reorderClone reorders every subquery of the cloned subtree with the
+// request's frozen statistics, returning the first planning error.
+func (c *Controller) reorderClone(req compileReq) error {
+	var firstErr error
+	ir.Walk(req.clone, func(o ir.Op) {
+		if spj, ok := o.(*ir.SPJOp); ok {
+			if _, err := optimizer.Reorder(spj, req.stats, c.cfg.Optimizer); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	})
+	return firstErr
+}
+
+// accountCompile records one compilation outcome and releases the in-flight
+// guard.
+func (c *Controller) accountCompile(req compileReq, failed bool, dt time.Duration) {
+	c.bump(func(s *Stats) {
+		if failed {
+			s.Failures++
+		} else {
+			s.Compilations++
+		}
+		s.CompileTime += dt
+	})
+	req.fl.compiling.Store(false)
 }
 
 // runCompile reorders the cloned subtree with the frozen statistics and
@@ -536,14 +625,7 @@ func (c *Controller) runCompile(req compileReq) *compiledUnit {
 	if c.cfg.CompileLatency > 0 {
 		time.Sleep(c.cfg.CompileLatency)
 	}
-	var firstErr error
-	ir.Walk(req.clone, func(o ir.Op) {
-		if spj, ok := o.(*ir.SPJOp); ok {
-			if _, err := optimizer.Reorder(spj, req.stats, c.cfg.Optimizer); err != nil && firstErr == nil {
-				firstErr = err
-			}
-		}
-	})
+	firstErr := c.reorderClone(req)
 	var run func(in *interp.Interp) error
 	if firstErr == nil {
 		// Snippet splicing needs a target that can defer control back to the
@@ -555,19 +637,101 @@ func (c *Controller) runCompile(req compileReq) *compiledUnit {
 	dt := time.Since(t0)
 	cu := &compiledUnit{run: run, failed: firstErr != nil}
 	c.units.Store(req.key, req.counters, req.cards, cu)
-	c.bump(func(s *Stats) {
-		if cu.failed {
-			s.Failures++
-		} else {
-			s.Compilations++
-		}
-		s.CompileTime += dt
-	})
-	req.fl.compiling.Store(false)
+	c.accountCompile(req, cu.failed, dt)
 	if c.cfg.Async && !cu.failed {
 		c.readyGen.Add(1)
 	}
 	return cu
+}
+
+// runShardCompile is runCompile for span-parameterized task units: the
+// reordered rule clone goes through the shard backend and the artifact (or
+// failure marker — e.g. an aggregation rule, which stays interpreted) lands
+// in the task-unit view. No ready signal: the driver re-resolves at every
+// iteration's fan-out point anyway.
+func (c *Controller) runShardCompile(req compileReq) *compiledShardUnit {
+	t0 := time.Now()
+	if c.cfg.CompileLatency > 0 {
+		time.Sleep(c.cfg.CompileLatency)
+	}
+	firstErr := c.reorderClone(req)
+	var run interp.ShardUnit
+	if firstErr == nil {
+		run, firstErr = c.shardComp.CompileShard(req.clone, c.cat)
+	}
+	dt := time.Since(t0)
+	cu := &compiledShardUnit{run: run, failed: firstErr != nil}
+	c.sunits.Store(req.key, req.counters, req.cards, cu)
+	c.accountCompile(req, cu.failed, dt)
+	return cu
+}
+
+// shardKeyFor memoizes the rule's task-unit key: the subtree fingerprint
+// under the shard tag plus the run's partition layout. KeyForOp itself is
+// unchanged — the same fingerprint scheme sequential units use — so task
+// units stored by one run resolve in the next (warm reruns recompile 0)
+// while a different Shards count lands on fresh keys.
+func (c *Controller) shardKeyFor(rule *ir.UnionRuleOp, layout int) plancache.Key {
+	if k, ok := c.shardKeys[rule]; ok {
+		return k
+	}
+	k := plancache.KeyForOp(rule, shardUnitTag, byte(layout), byte(layout>>8))
+	c.shardKeys[rule] = k
+	return k
+}
+
+// ResolveShardUnit implements interp.ShardCompiler: at each iteration's
+// sequential fan-out point the parallel driver asks for a compiled task body
+// per rule. A policy-fresh unit (any band, CrossBand — including one stored
+// by an earlier Run over a shared store) is returned for the pool workers to
+// invoke with their bucket spans; a miss triggers compilation — blocking
+// here, or queued to the async worker with interpretation covering the
+// meantime — and a failure marker keeps unsupported rules (aggregations)
+// interpreted without re-feeding the compiler every iteration. For the
+// IRGenerator target it regenerates the rule's atom orders in place and
+// always declines, keeping that backend's tasks interpreted over fresh IR.
+func (c *Controller) ResolveShardUnit(rule *ir.UnionRuleOp, in *interp.Interp) interp.ShardUnit {
+	if c.cfg.Backend == BackendOff {
+		return nil
+	}
+	if c.cfg.Backend == BackendIRGen {
+		c.regenerate(rule)
+		return nil
+	}
+	if c.shardComp == nil {
+		return nil
+	}
+	key := c.shardKeyFor(rule, in.Shards)
+	fl := c.inflightFor(key)
+	if fl.compiling.Load() {
+		return nil // async compile in flight: tasks stay interpreted
+	}
+	cards := c.cardsFor(rule)
+	counters := c.countersFor(rule)
+	if cu, ok, stale := c.sunits.Lookup(key, counters, cards); ok {
+		if cu.failed {
+			return nil
+		}
+		c.bump(func(s *Stats) { s.CacheHits++ })
+		return cu.run
+	} else if stale {
+		c.bump(func(s *Stats) { s.StaleDrops++ })
+	}
+	req := c.buildReq(fl, key, rule, cards, counters)
+	req.shard = true
+	if c.cfg.Async {
+		fl.compiling.Store(true)
+		select {
+		case c.reqs <- req:
+		default:
+			fl.compiling.Store(false) // queue full: try again next iteration
+		}
+		return nil
+	}
+	if cu := c.runShardCompile(req); cu != nil && !cu.failed {
+		return cu.run
+	}
+	return nil
 }
 
 // ShouldYield implements interp.Yielder: the interpreter polls it from
@@ -609,7 +773,11 @@ func (c *Controller) hasReadyAncestor(op ir.Op) bool {
 	return false
 }
 
-var _ interp.Controller = (*Controller)(nil)
+var (
+	_ interp.Controller    = (*Controller)(nil)
+	_ interp.ShardCompiler = (*Controller)(nil)
+	_ shardBackend         = lambda.Compiler{}
+)
 
 // ParseBackend converts a backend name to its enum, for CLI use.
 func ParseBackend(s string) (Backend, error) {

@@ -365,19 +365,13 @@ func compileRelStep(st *interp.Step, next stepFn, outermost bool) stepFn {
 		return func(in *interp.Interp, bind []storage.Value) {
 			rel := interp.SourceRel(in.Cat, pred, src)
 			k := resolveTmpl(key, bind)
-			rows, ok := rel.Probe(col, k)
-			if !ok {
-				rel.Each(func(row []storage.Value) bool {
-					if row[col] == k {
-						match(in, bind, row)
-					}
-					return true
-				})
-				return
-			}
-			for _, ri := range rows {
-				match(in, bind, rel.Row(ri))
-			}
+			// EachProbe owns the access-path choice: the global index on a
+			// flat relation, per-bucket indexes (routed to one bucket for a
+			// shard-key probe) on a physical one, filtered scan on a miss.
+			rel.EachProbe(col, k, func(row []storage.Value) bool {
+				match(in, bind, row)
+				return true
+			})
 		}
 	}
 	if st.Kind == interp.StepProbeN {
@@ -389,22 +383,10 @@ func compileRelStep(st *interp.Step, next stepFn, outermost bool) stepFn {
 			for ki, k := range keys {
 				vals[ki] = resolveTmpl(k, bind)
 			}
-			rows, ok := rel.ProbeComposite(cols, vals)
-			if !ok {
-				rel.Each(func(row []storage.Value) bool {
-					for ci, c := range cols {
-						if row[c] != vals[ci] {
-							return true
-						}
-					}
-					match(in, bind, row)
-					return true
-				})
-				return
-			}
-			for _, ri := range rows {
-				match(in, bind, rel.Row(ri))
-			}
+			rel.EachProbeComposite(cols, vals, func(row []storage.Value) bool {
+				match(in, bind, row)
+				return true
+			})
 		}
 	}
 	if outermost {

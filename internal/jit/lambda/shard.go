@@ -1,0 +1,439 @@
+// Span-parameterized compilation over the physical bucket store: a
+// ShardUnit is the compiled body of one rule's parallel task, invoked by
+// the fixpoint driver's pool workers with the same contiguous bucket spans
+// chooseFanout hands the interpreted tasks. Unlike the sequential units of
+// CompilePlan — whose scratch buffers are allocated at compile time because
+// they run on the single interpreter goroutine — shard units thread every
+// piece of mutable state through a per-invocation frame, so distinct
+// workers can run the same unit over disjoint spans concurrently.
+//
+// The compiled read surface is bucket-local: physically sharded relations
+// (storage.SetShardKeyPhysical) are iterated through their PhysSubs
+// sub-relations — per-bucket arenas, per-bucket hash indexes, and, for a
+// probe on the shard key column, routing to exactly one bucket — while the
+// delta step's span restriction narrows the iteration to the task's bucket
+// range instead of hashing every row. Derivations flow through
+// interp.Interp.DerivationSink: under the parallel pool that is the
+// worker's private buffer relation — bucket-partitioned to mirror the sink
+// (view-mode bucket lists maintained by Insert), private to one worker, and
+// drained by the merge barrier as one race-free ShardInsert task per
+// (predicate, bucket); standalone invocations fall back to the classic
+// DeltaNew sink.
+package lambda
+
+import (
+	"fmt"
+	"sync"
+
+	"carac/internal/ast"
+	"carac/internal/eval"
+	"carac/internal/interp"
+	"carac/internal/ir"
+	"carac/internal/storage"
+)
+
+// CompileShard compiles a rule subtree (UnionRuleOp, or a single SPJOp)
+// into a span-parameterized interp.ShardUnit. Atom orders and probe
+// selections freeze at compile time, exactly like CompileSPJ; the bucket
+// restriction and the storage layout are resolved per invocation, so one
+// unit stays valid across SwapClear's relation exchanges, ClearRetain, and
+// partition-mode transitions. Aggregation rules are rejected: a
+// bucket-restricted evaluation would emit per-span partial groups.
+func (c Compiler) CompileShard(op ir.Op, cat *storage.Catalog) (interp.ShardUnit, error) {
+	switch n := op.(type) {
+	case *ir.UnionRuleOp:
+		units := make([]interp.ShardUnit, len(n.Subqueries))
+		for i, s := range n.Subqueries {
+			u, err := c.CompileShard(s, cat)
+			if err != nil {
+				return nil, err
+			}
+			units[i] = u
+		}
+		return func(in *interp.Interp, shard, span, total int) error {
+			for _, u := range units {
+				if err := u(in, shard, span, total); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, nil
+	case *ir.SPJOp:
+		return compileShardSPJ(n, cat)
+	}
+	return nil, fmt.Errorf("lambda: cannot shard-compile %T", op)
+}
+
+// sframe is the per-invocation register file of a shard unit. Compiled step
+// chains close over immutable descriptors only; everything a concurrent
+// invocation mutates lives here. Frames recycle through the unit's pool.
+type sframe struct {
+	in   *interp.Interp
+	bind []storage.Value
+	buf  []storage.Value // emit/negation/builtin tuple scratch
+	vals []storage.Value // composite probe key scratch
+
+	// Task restriction, installed by the unit entry point: admit only delta
+	// rows of buckets [shard, shard+span) of a total-way partition. span 0
+	// means unrestricted. keyCol is the delta predicate's shard key column,
+	// resolved per invocation for the row-hash fallback.
+	shard, span, total int
+	keyCol             int
+}
+
+// restricted reports whether the frame carries an active span restriction.
+func (f *sframe) restricted() bool { return f.span > 0 && f.total > 1 }
+
+// admits applies the per-row hash fallback of the delta restriction (used
+// when the relation's live partition does not mirror the task layout, or
+// when a probe routes through an index that is not bucket-partitioned).
+func (f *sframe) admits(row []storage.Value) bool {
+	s := storage.ShardOf(row[f.keyCol], f.total)
+	return s >= f.shard && s < f.shard+f.span
+}
+
+// sstep is one combinator of a shard unit's step chain.
+type sstep func(f *sframe)
+
+// compileShardSPJ freezes one subquery into a frame-threaded combinator
+// chain with its delta read span-parameterized.
+func compileShardSPJ(spj *ir.SPJOp, cat *storage.Catalog) (interp.ShardUnit, error) {
+	if spj.Agg.Kind != ast.AggNone {
+		return nil, fmt.Errorf("lambda: aggregation subquery is not shard-compilable (per-span partial groups)")
+	}
+	plan, err := interp.BuildPlan(spj, cat)
+	if err != nil {
+		return nil, err
+	}
+	// The restriction applies to the subquery's delta read: the first
+	// relational step sourcing SrcDelta (semi-naive lowering gives each
+	// subquery at most one) — mirroring the interpreter's applyShard.
+	deltaStep := -1
+	for i := range plan.Steps {
+		st := &plan.Steps[i]
+		if st.Src != ir.SrcDelta {
+			continue
+		}
+		if st.Kind == interp.StepScan || st.Kind == interp.StepProbe || st.Kind == interp.StepProbeN {
+			deltaStep = i
+			break
+		}
+	}
+	chain := compileShardEmit(plan)
+	for i := len(plan.Steps) - 1; i >= 0; i-- {
+		chain = compileShardStep(&plan.Steps[i], chain, i == 0, i == deltaStep)
+	}
+	hasDelta := deltaStep >= 0
+	var deltaPred storage.PredID
+	if hasDelta {
+		deltaPred = plan.Steps[deltaStep].Pred
+	}
+	numVars := plan.NumVars
+	pool := &sync.Pool{New: func() any {
+		return &sframe{
+			bind: make([]storage.Value, numVars),
+			buf:  make([]storage.Value, 0, 16),
+			vals: make([]storage.Value, 0, 8),
+		}
+	}}
+	return func(in *interp.Interp, shard, span, total int) error {
+		restricted := span > 0 && total > 1
+		if restricted && !hasDelta && shard != 0 {
+			// Whole-relation subqueries are not span-divisible; the first
+			// task runs them alone so the fan-out neither duplicates nor
+			// drops them (the interpreter's shardSkip rule).
+			return nil
+		}
+		if restricted && hasDelta {
+			// Empty-span fast-out, mirroring the interpreter's shardSkip:
+			// when the delta relation's partition matches the task layout,
+			// an O(span) bucket-length test skips the whole chain — without
+			// it a skewed partition pays the unit's outer scans on every
+			// empty task. Uncounted in SPJRuns, like the interpreted skip.
+			rel := in.Cat.Pred(deltaPred).DeltaKnown
+			if sc, _ := rel.ShardConfig(); sc == total {
+				empty := true
+				for s := shard; s < shard+span; s++ {
+					if rel.ShardLen(s) > 0 {
+						empty = false
+						break
+					}
+				}
+				if empty {
+					return nil
+				}
+			}
+		}
+		in.Stats.SPJRuns++
+		f := pool.Get().(*sframe)
+		f.in = in
+		for i := range f.bind {
+			f.bind[i] = 0
+		}
+		if restricted {
+			f.shard, f.span, f.total = shard, span, total
+			f.keyCol = in.Cat.Pred(deltaPred).ShardKeyCol()
+		} else {
+			f.shard, f.span, f.total = 0, 0, 0
+		}
+		chain(f)
+		f.in = nil
+		pool.Put(f)
+		if in.Cancelled() {
+			return interp.ErrCancelled
+		}
+		return nil
+	}, nil
+}
+
+// compileShardStep selects the frame-threaded combinator for one step.
+// delta marks the subquery's restricted delta read.
+func compileShardStep(st *interp.Step, next sstep, outermost, delta bool) sstep {
+	switch st.Kind {
+	case interp.StepScan, interp.StepProbe, interp.StepProbeN:
+		return compileShardRelStep(st, next, outermost, delta)
+
+	case interp.StepNegCheck:
+		pred, src := st.Pred, st.Src
+		tmpl := st.Tmpl
+		return func(f *sframe) {
+			rel := interp.SourceRel(f.in.Cat, pred, src)
+			f.buf = f.buf[:0]
+			for _, tm := range tmpl {
+				f.buf = append(f.buf, resolveTmpl(tm, f.bind))
+			}
+			if !rel.Contains(f.buf) {
+				next(f)
+			}
+		}
+
+	case interp.StepBuiltin:
+		b := st.Builtin
+		args := st.Args
+		out := st.Out
+		outVar := st.OutVar
+		if out < 0 {
+			return func(f *sframe) {
+				f.buf = f.buf[:0]
+				for _, a := range args {
+					f.buf = append(f.buf, resolveTmpl(a, f.bind))
+				}
+				if eval.Check(b, f.buf) {
+					next(f)
+				}
+			}
+		}
+		return func(f *sframe) {
+			f.buf = f.buf[:0]
+			for i, a := range args {
+				if i == out {
+					f.buf = append(f.buf, 0)
+					continue
+				}
+				f.buf = append(f.buf, resolveTmpl(a, f.bind))
+			}
+			if v, ok := eval.Solve(b, f.buf, out); ok {
+				f.bind[outVar] = v
+				next(f)
+			}
+		}
+	}
+	return next
+}
+
+// compileShardRelStep compiles a relational step over the bucket-local read
+// surface: physical relations iterate their PhysSubs sub-relations (bucket
+// indexes, key-column probe routing), view-partitioned relations serve span
+// scans from their exact bucket lists, and mismatched layouts fall back to
+// the per-row hash filter — the same admission decisions Plan.Execute makes,
+// frozen into combinators.
+func compileShardRelStep(st *interp.Step, next sstep, outermost, delta bool) sstep {
+	pred, src := st.Pred, st.Src
+	checks := st.Checks
+	binds := st.Binds
+	kind := st.Kind
+	probeCol := st.ProbeCol
+	probeKey := st.ProbeKey
+	probeCols := st.ProbeCols
+	probeKeys := st.ProbeKeys
+
+	// match applies the step's residual checks and binds, then descends.
+	// filter routes restricted rows through the frame's hash admission.
+	match := func(f *sframe, row []storage.Value, filter bool) {
+		if filter && !f.admits(row) {
+			return
+		}
+		for _, ck := range checks {
+			switch ck.Mode {
+			case interp.CheckConst:
+				if row[ck.Col] != ck.Const {
+					return
+				}
+			case interp.CheckVar:
+				if row[ck.Col] != f.bind[ck.Var] {
+					return
+				}
+			case interp.CheckSameRow:
+				if row[ck.Col] != row[ck.Other] {
+					return
+				}
+			}
+		}
+		for _, b := range binds {
+			f.bind[b.Var] = row[b.Col]
+		}
+		next(f)
+	}
+
+	// span resolves the admitted bucket range over a partitioned relation
+	// and whether rows must additionally pass the hash filter.
+	span := func(f *sframe, rel *storage.Relation, buckets int) (lo, hi int, filter bool) {
+		lo, hi = 0, buckets
+		if !delta || !f.restricted() {
+			return lo, hi, false
+		}
+		if sc, col := rel.ShardConfig(); sc == f.total && col == f.keyCol {
+			return f.shard, f.shard + f.span, false
+		}
+		return lo, hi, true
+	}
+
+	switch kind {
+	case interp.StepProbe:
+		return func(f *sframe) {
+			rel := interp.SourceRel(f.in.Cat, pred, src)
+			k := resolveTmpl(probeKey, f.bind)
+			if subs := rel.PhysSubs(); subs != nil {
+				lo, hi, filter := span(f, rel, len(subs))
+				// A probe on the shard key column routes to exactly one
+				// bucket's index; a bucket outside the task's span holds
+				// nothing this task may emit, hence the intersection.
+				plo, phi := rel.ProbeSpan(probeCol, k)
+				rel.EachShardRangeProbe(max(lo, plo), min(hi, phi), probeCol, k, func(row []storage.Value) bool {
+					match(f, row, filter)
+					return true
+				})
+				return
+			}
+			// Flat or view-partitioned: the global index is not bucket-
+			// partitioned, so a restricted step re-checks membership per row.
+			filter := delta && f.restricted()
+			rel.EachProbe(probeCol, k, func(row []storage.Value) bool {
+				match(f, row, filter)
+				return true
+			})
+		}
+
+	case interp.StepProbeN:
+		return func(f *sframe) {
+			rel := interp.SourceRel(f.in.Cat, pred, src)
+			// Stack discipline on the shared key scratch: this step's keys
+			// live past the descent into inner steps (the probe visits run
+			// per outer row), so inner ProbeN steps append after this
+			// segment and the segment is popped when the iteration finishes.
+			base := len(f.vals)
+			for _, k := range probeKeys {
+				f.vals = append(f.vals, resolveTmpl(k, f.bind))
+			}
+			defer func() { f.vals = f.vals[:base] }()
+			vals := f.vals[base : base+len(probeKeys)]
+			if subs := rel.PhysSubs(); subs != nil {
+				lo, hi, filter := span(f, rel, len(subs))
+				// A composite probe covering the shard key column routes to
+				// one bucket, like the single-column case.
+				plo, phi := rel.ProbeSpanComposite(probeCols, vals)
+				rel.EachShardRangeProbeComposite(max(lo, plo), min(hi, phi), probeCols, vals, func(row []storage.Value) bool {
+					match(f, row, filter)
+					return true
+				})
+				return
+			}
+			filter := delta && f.restricted()
+			rel.EachProbeComposite(probeCols, vals, func(row []storage.Value) bool {
+				match(f, row, filter)
+				return true
+			})
+		}
+	}
+
+	// StepScan. The outermost loop polls cancellation per row so runaway
+	// products abort (benchmark DNF timeouts), like the sequential backend.
+	return func(f *sframe) {
+		rel := interp.SourceRel(f.in.Cat, pred, src)
+		scan := func(row []storage.Value, filter bool) bool {
+			if outermost && f.in.Cancelled() {
+				return false
+			}
+			match(f, row, filter)
+			return true
+		}
+		if subs := rel.PhysSubs(); subs != nil {
+			lo, hi, filter := span(f, rel, len(subs))
+			for s := lo; s < hi; s++ {
+				stopped := false
+				subs[s].Each(func(row []storage.Value) bool {
+					if !scan(row, filter) {
+						stopped = true
+						return false
+					}
+					return true
+				})
+				if stopped {
+					return
+				}
+			}
+			return
+		}
+		if delta && f.restricted() {
+			if sc, col := rel.ShardConfig(); sc == f.total && col == f.keyCol {
+				// View partition mirroring the task layout: the exact bucket
+				// lists serve the span without a per-row hash.
+				rel.EachShardRange(f.shard, f.shard+f.span, func(row []storage.Value) bool {
+					return scan(row, false)
+				})
+				return
+			}
+			rel.Each(func(row []storage.Value) bool {
+				return scan(row, true)
+			})
+			return
+		}
+		rel.Each(func(row []storage.Value) bool {
+			return scan(row, false)
+		})
+	}
+}
+
+// compileShardEmit compiles the head projection and sink write. Under the
+// parallel pool the frame's interpreter exposes a worker buffer
+// (DerivationSink): the emit applies the set difference against the
+// iteration-frozen Derived (bucket-local under the split dedup) and inserts
+// the survivor — safe because each worker owns its buffers outright. The
+// buffer's view partition mirrors the sink's layout, so the merge barrier
+// can later drain bucket b of every worker's buffer into DeltaNew's bucket
+// b as concurrent race-free ShardInsert tasks. Without a buffer
+// (standalone execution) it is the classic counted DeltaNew sink.
+func compileShardEmit(plan *interp.Plan) sstep {
+	head := plan.Head
+	sinkPred := plan.Sink
+	return func(f *sframe) {
+		f.buf = f.buf[:0]
+		for _, h := range head {
+			if h.IsConst {
+				f.buf = append(f.buf, h.Const)
+			} else {
+				f.buf = append(f.buf, f.bind[h.Var])
+			}
+		}
+		pd := f.in.Cat.Pred(sinkPred)
+		if buf := f.in.DerivationSink(sinkPred); buf != nil {
+			if !pd.Derived.Contains(f.buf) {
+				buf.Insert(f.buf)
+			}
+			return
+		}
+		if !pd.Derived.Contains(f.buf) && pd.DeltaNew.Insert(f.buf) {
+			f.in.Stats.Derivations++
+		}
+	}
+}

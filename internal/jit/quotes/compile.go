@@ -220,25 +220,15 @@ func (c *Compiler) lower(expr Expr, cat *storage.Catalog) (exec, error) {
 		return func(f *frame) error {
 			rel := interp.SourceRel(f.in.Cat, pred, src)
 			k := key(f)
-			rows, ok := rel.Probe(col, k)
-			if !ok {
-				var ferr error
-				rel.Each(func(row []storage.Value) bool {
-					if row[col] == k {
-						f.rows[level] = row
-						ferr = body(f)
-					}
-					return ferr == nil
-				})
-				return ferr
-			}
-			for _, ri := range rows {
-				f.rows[level] = rel.Row(ri)
-				if err := body(f); err != nil {
-					return err
-				}
-			}
-			return nil
+			// EachProbe owns the access-path choice, including the
+			// bucket-local indexes of a physically sharded relation.
+			var ferr error
+			rel.EachProbe(col, k, func(row []storage.Value) bool {
+				f.rows[level] = row
+				ferr = body(f)
+				return ferr == nil
+			})
+			return ferr
 		}, nil
 
 	case ProbeNE:
@@ -261,28 +251,13 @@ func (c *Compiler) lower(expr Expr, cat *storage.Catalog) (exec, error) {
 			for ki, k := range keys {
 				vals[ki] = k(f)
 			}
-			rows, ok := rel.ProbeComposite(cols, vals)
-			if !ok {
-				var ferr error
-				rel.Each(func(row []storage.Value) bool {
-					for ci, col := range cols {
-						if row[col] != vals[ci] {
-							return true
-						}
-					}
-					f.rows[level] = row
-					ferr = body(f)
-					return ferr == nil
-				})
-				return ferr
-			}
-			for _, ri := range rows {
-				f.rows[level] = rel.Row(ri)
-				if err := body(f); err != nil {
-					return err
-				}
-			}
-			return nil
+			var ferr error
+			rel.EachProbeComposite(cols, vals, func(row []storage.Value) bool {
+				f.rows[level] = row
+				ferr = body(f)
+				return ferr == nil
+			})
+			return ferr
 		}, nil
 
 	case IfE:

@@ -257,8 +257,10 @@ func (c *Catalog) ConfigureShards(n int, keyCols map[PredID]int) {
 
 // ConfigureShardsPhysical is ConfigureShards with the physically sharded
 // backing store (SetShardsPhysical) — the layout the parallel merge barrier
-// requires. The pure interpreter is the only engine taught to read it, so
-// callers must not enable it for a run that attaches a JIT controller.
+// requires. Every execution engine reads it: the interpreter's executors and
+// all compiled backends iterate the bucket-local surface (Relation.PhysSubs
+// / EachShardRange), so it is safe — and the default — for sharded runs
+// with a JIT controller attached.
 func (c *Catalog) ConfigureShardsPhysical(n int, keyCols map[PredID]int) {
 	for _, p := range c.preds {
 		col := keyCols[p.ID]

@@ -249,7 +249,177 @@ func (r *Relation) dissolvePhys() {
 // relation, or nil in every other mode. Executors use it to serve scans and
 // probes bucket-locally (per-bucket row ids are meaningless to the parent).
 // Callers must not mutate the slice or insert through it.
+//
+// Sub-relation identity is stable for the lifetime of a physical
+// configuration: Clear, ClearRetain, and an idempotent re-registration of
+// the identical layout (the per-Run ConfigureShardsPhysical path) empty or
+// keep the existing sub-relations in place, never reallocate them, and the
+// parent struct carries its subs through SwapClear's pointer exchange.
+// Compiled units nonetheless resolve PhysSubs per invocation rather than
+// capturing the slice — a changed layout dissolves and rebuilds the
+// sub-relations, and resolving late is what keeps a cached unit valid
+// across partition-mode transitions (the unit fingerprint only pins the
+// bucket count its spans were sized for).
 func (r *Relation) PhysSubs() []*Relation { return r.subs }
+
+// ProbeSpan returns the sub-relation index range [lo, hi) a probe for
+// col == v must visit on a physically sharded relation: exactly the key's
+// bucket when col is the shard key column (rows with other keys cannot live
+// elsewhere), every bucket otherwise. The routing rule lives here so every
+// executor and compiled backend shares one implementation. Meaningless when
+// PhysSubs() is nil.
+func (r *Relation) ProbeSpan(col int, v Value) (lo, hi int) {
+	if r.subs == nil {
+		return 0, 0
+	}
+	if col == r.shardCol {
+		b := ShardOf(v, r.shardCount)
+		return b, b + 1
+	}
+	return 0, len(r.subs)
+}
+
+// ProbeSpanComposite is ProbeSpan for a composite probe: when any probed
+// column is the shard key column, its key routes to one bucket.
+func (r *Relation) ProbeSpanComposite(cols []int, vals []Value) (lo, hi int) {
+	if r.subs == nil {
+		return 0, 0
+	}
+	for ci, c := range cols {
+		if c == r.shardCol {
+			b := ShardOf(vals[ci], r.shardCount)
+			return b, b + 1
+		}
+	}
+	return 0, len(r.subs)
+}
+
+// EachProbe visits every row with row[col] == v until f returns false,
+// through the best access path the relation's mode offers: the global hash
+// index (or a filtered scan when none is registered) on a flat or
+// view-partitioned relation, per-bucket indexes routed by ProbeSpan on a
+// physical one. Every executor and compiled backend probes through this one
+// implementation, so the index-miss degradation and the bucket routing
+// cannot drift apart between engines.
+func (r *Relation) EachProbe(col int, v Value, f func(row []Value) bool) {
+	if r.subs != nil {
+		lo, hi := r.ProbeSpan(col, v)
+		r.EachShardRangeProbe(lo, hi, col, v, f)
+		return
+	}
+	if rows, ok := r.Probe(col, v); ok {
+		for _, ri := range rows {
+			if !f(r.Row(ri)) {
+				return
+			}
+		}
+		return
+	}
+	r.Each(func(row []Value) bool {
+		if row[col] == v {
+			return f(row)
+		}
+		return true
+	})
+}
+
+// EachShardRangeProbe is EachProbe restricted to buckets [lo, hi) of a
+// physically sharded relation — the probe surface of a bucket-span task
+// (callers intersect ProbeSpan with their task span). On a non-physical
+// relation it falls back to the unrestricted EachProbe.
+func (r *Relation) EachShardRangeProbe(lo, hi, col int, v Value, f func(row []Value) bool) {
+	if r.subs == nil {
+		r.EachProbe(col, v, f)
+		return
+	}
+	for s := lo; s < hi; s++ {
+		sub := r.subs[s]
+		rows, ok := sub.Probe(col, v)
+		if !ok {
+			stopped := false
+			sub.Each(func(row []Value) bool {
+				if row[col] == v && !f(row) {
+					stopped = true
+					return false
+				}
+				return true
+			})
+			if stopped {
+				return
+			}
+			continue
+		}
+		for _, ri := range rows {
+			if !f(sub.Row(ri)) {
+				return
+			}
+		}
+	}
+}
+
+// EachProbeComposite is EachProbe for a composite key over cols/vals.
+func (r *Relation) EachProbeComposite(cols []int, vals []Value, f func(row []Value) bool) {
+	if r.subs != nil {
+		lo, hi := r.ProbeSpanComposite(cols, vals)
+		r.EachShardRangeProbeComposite(lo, hi, cols, vals, f)
+		return
+	}
+	if rows, ok := r.ProbeComposite(cols, vals); ok {
+		for _, ri := range rows {
+			if !f(r.Row(ri)) {
+				return
+			}
+		}
+		return
+	}
+	r.Each(func(row []Value) bool {
+		if coversKey(row, cols, vals) {
+			return f(row)
+		}
+		return true
+	})
+}
+
+// EachShardRangeProbeComposite is EachShardRangeProbe for a composite key.
+func (r *Relation) EachShardRangeProbeComposite(lo, hi int, cols []int, vals []Value, f func(row []Value) bool) {
+	if r.subs == nil {
+		r.EachProbeComposite(cols, vals, f)
+		return
+	}
+	for s := lo; s < hi; s++ {
+		sub := r.subs[s]
+		rows, ok := sub.ProbeComposite(cols, vals)
+		if !ok {
+			stopped := false
+			sub.Each(func(row []Value) bool {
+				if coversKey(row, cols, vals) && !f(row) {
+					stopped = true
+					return false
+				}
+				return true
+			})
+			if stopped {
+				return
+			}
+			continue
+		}
+		for _, ri := range rows {
+			if !f(sub.Row(ri)) {
+				return
+			}
+		}
+	}
+}
+
+// coversKey reports whether row matches the composite equality key.
+func coversKey(row []Value, cols []int, vals []Value) bool {
+	for ci, c := range cols {
+		if row[c] != vals[ci] {
+			return false
+		}
+	}
+	return true
+}
 
 // ShardInsert inserts t into bucket s of a physically sharded relation,
 // returning true if it was not already present. The caller must route

@@ -258,3 +258,66 @@ func TestPhysicalShardConcurrentInsert(t *testing.T) {
 		}
 	}
 }
+
+// TestPhysicalSubIdentityStable pins the identity guarantee compiled units
+// lean on (see PhysSubs): within one physical configuration, the per-bucket
+// sub-relations are emptied or kept in place — never reallocated — by
+// Clear, ClearRetain, the predicate-level SwapClear rotation, and the
+// idempotent re-registration every Run performs; only an actually changed
+// layout rebuilds them.
+func TestPhysicalSubIdentityStable(t *testing.T) {
+	p := newPredicateDB(0, "p", 2)
+	p.SetShardsPhysical(4, 0)
+	for i := Value(0); i < 32; i++ {
+		p.DeltaNew.Insert([]Value{i, i * 3})
+	}
+	snap := func(r *Relation) []*Relation {
+		return append([]*Relation(nil), r.PhysSubs()...)
+	}
+	same := func(a, b []*Relation) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	newSubs := snap(p.DeltaNew)
+	knownSubs := snap(p.DeltaKnown)
+	if len(newSubs) != 4 {
+		t.Fatalf("expected 4 sub-relations, got %d", len(newSubs))
+	}
+
+	p.DeltaNew.ClearRetain()
+	if !same(snap(p.DeltaNew), newSubs) {
+		t.Fatal("ClearRetain reallocated sub-relations")
+	}
+	p.DeltaNew.Clear()
+	if !same(snap(p.DeltaNew), newSubs) {
+		t.Fatal("Clear reallocated sub-relations")
+	}
+
+	// SwapClear exchanges the relation structs; each struct keeps its subs.
+	p.SwapClear()
+	if !same(snap(p.DeltaKnown), newSubs) || !same(snap(p.DeltaNew), knownSubs) {
+		t.Fatal("SwapClear did not carry sub-relations with the structs")
+	}
+
+	// Idempotent re-registration (the per-Run ConfigureShardsPhysical path).
+	p.SetShardsPhysical(4, 0)
+	if !same(snap(p.DeltaKnown), newSubs) || !same(snap(p.DeltaNew), knownSubs) {
+		t.Fatal("idempotent re-registration rebuilt sub-relations")
+	}
+
+	// A genuinely changed layout must rebuild.
+	p.SetShardsPhysical(8, 0)
+	if got := p.DeltaNew.PhysSubs(); len(got) != 8 {
+		t.Fatalf("re-partition to 8 buckets yielded %d subs", len(got))
+	}
+	if same(snap(p.DeltaKnown)[:4], newSubs) {
+		t.Fatal("changed layout served the old sub-relations")
+	}
+}
