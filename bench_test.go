@@ -12,6 +12,7 @@ import (
 	"carac/internal/core"
 	"carac/internal/datagen"
 	"carac/internal/engines"
+	"carac/internal/interp"
 	"carac/internal/ir"
 	"carac/internal/jit"
 	"carac/internal/jit/bytecode"
@@ -336,6 +337,28 @@ func BenchmarkTable2_Engines(b *testing.B) {
 			}
 		})
 	}
+	// Skewed-graph row: the hub-and-spoke workload whose hot delta buckets
+	// static spans straggle on, measured under the skew-aware configuration
+	// (histograms + work stealing) against the static sharded engine.
+	skew := func() *analysis.Built {
+		return workloads.SkewedGraph(analysis.HandOptimized, 400, 900, 3, int(benchSizes.Seed))
+	}
+	b.Run("SkewedTC/Carac-Sharded", func(b *testing.B) {
+		built := skew()
+		for i := 0; i < b.N; i++ {
+			if _, err := engines.RunCaracSharded(built, 8, 0, time.Minute); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("SkewedTC/Carac-Skew", func(b *testing.B) {
+		built := skew()
+		for i := 0; i < b.N; i++ {
+			if _, err := engines.RunCaracSkew(built, 8, 0, time.Minute); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- Ablations ------------------------------------------------------------
@@ -539,6 +562,41 @@ func BenchmarkShardedSpeedup(b *testing.B) {
 		{"Sharded8JIT/W2", core.Options{Indexed: true, PlanCache: true, Shards: 8, Workers: 2, JIT: lambdaSPJ}},
 		{"Sharded8JIT/W4", core.Options{Indexed: true, PlanCache: true, Shards: 8, Workers: 4, JIT: lambdaSPJ}},
 		{"Adaptive8JIT/W4", core.Options{Indexed: true, PlanCache: true, Shards: 8, Workers: 4, AdaptiveFanout: true, JIT: lambdaSPJ}},
+	}
+	for _, c := range configs {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			runProgram(b, build(), c.opts)
+		})
+	}
+}
+
+// BenchmarkSkewedSpeedup isolates the skew story BenchmarkShardedSpeedup's
+// uniform graph cannot show: on the hub-and-spoke SkewedGraph the delta
+// concentrates in a few hash buckets, so static contiguous bucket spans
+// serialize each iteration behind the span holding the hubs — adding workers
+// stops helping. The Steal* entries run the same fan-out with work-stealing
+// per-bucket claims (plus histogram-fed ordering); compare Static*/W* against
+// Steal*/W*. Archived by CI as BENCH_skew.json; the steal entries also run
+// once under -race.
+func BenchmarkSkewedSpeedup(b *testing.B) {
+	build := func() *analysis.Built {
+		return workloads.SkewedGraph(analysis.HandOptimized, 600, 1400, 3, int(benchSizes.Seed))
+	}
+	lambdaSPJ := jit.Config{Backend: jit.BackendLambda, Granularity: jit.GranSPJ}
+	configs := []struct {
+		name string
+		opts core.Options
+	}{
+		{"Sequential", core.Options{Indexed: true, PlanCache: true}},
+		{"Static8/W2", core.Options{Indexed: true, PlanCache: true, Shards: 8, Workers: 2, AdaptiveFanout: true}},
+		{"Static8/W4", core.Options{Indexed: true, PlanCache: true, Shards: 8, Workers: 4, AdaptiveFanout: true}},
+		{"Steal8/W2", core.Options{Indexed: true, PlanCache: true, Shards: 8, Workers: 2, AdaptiveFanout: true,
+			Histograms: true, StealThreshold: interp.DefaultStealThreshold}},
+		{"Steal8/W4", core.Options{Indexed: true, PlanCache: true, Shards: 8, Workers: 4, AdaptiveFanout: true,
+			Histograms: true, StealThreshold: interp.DefaultStealThreshold}},
+		{"Steal8JIT/W4", core.Options{Indexed: true, PlanCache: true, Shards: 8, Workers: 4, AdaptiveFanout: true,
+			Histograms: true, StealThreshold: interp.DefaultStealThreshold, JIT: lambdaSPJ}},
 	}
 	for _, c := range configs {
 		c := c

@@ -5,7 +5,7 @@
 //	    [-granularity program|dowhile|unionall|union|spj] [-async] [-snippet]
 //	    [-indexed] [-naive] [-aot none|rules|facts] [-print rel1,rel2] [-stats]
 //	    [-plancache] [-adaptive] [-parallel] [-workers n] [-shards n]
-//	    [-shared-plans] [-repeat n]
+//	    [-shared-plans] [-repeat n] [-histograms] [-steal-threshold r]
 //
 // Fact files are TSV: one tuple per line, tab-separated, named <relation>.facts
 // inside -facts dir; numeric columns are integers, everything else is interned
@@ -60,6 +60,8 @@ func run(args []string) error {
 	shards := fs.Int("shards", 0, "hash-shard each relation into this many buckets and split single rules across workers (implies -parallel)")
 	adaptiveFanout := fs.Bool("adaptive-fanout", false, "re-decide the parallel fan-out each iteration from live delta statistics, with a sequential fast path for small-delta iterations (implies -shards 8 when -shards is unset)")
 	fanoutThreshold := fs.Int("fanout-threshold", 0, "delta size below which an iteration runs sequentially under -adaptive-fanout, and the minimum buffered volume for a parallel bucketed merge when -shards > 1 (0 = default)")
+	histograms := fs.Bool("histograms", false, "maintain per-column histograms on join columns and order atoms by estimated join-output size (histogram overlap) instead of cardinality alone")
+	stealThreshold := fs.Float64("steal-threshold", 0, "skew ratio (hottest delta bucket / mean occupied bucket) at which a fanned-out iteration switches to work-stealing per-bucket claims; 0 disables, 3.0 recommended")
 	sharedPlans := fs.Bool("shared-plans", false, "key plan and compiled-unit caches into the program-lifetime plan store so repeated runs start warm (implies -plancache)")
 	repeat := fs.Int("repeat", 1, "run the program this many times on one Program (pair with -shared-plans to observe warm-run behavior)")
 	timeout := fs.Duration("timeout", 0, "abort after this duration")
@@ -125,6 +127,8 @@ func run(args []string) error {
 		Shards:          *shards,
 		AdaptiveFanout:  *adaptiveFanout,
 		FanoutThreshold: *fanoutThreshold,
+		Histograms:      *histograms,
+		StealThreshold:  *stealThreshold,
 		JIT: jit.Config{
 			Backend:     be,
 			Granularity: gr,
@@ -181,6 +185,10 @@ func run(args []string) error {
 		if *parallel || *shards > 1 || *adaptiveFanout {
 			fmt.Fprintf(os.Stderr, "fanout: sequential-iterations=%d/%d merge-tasks=%d\n",
 				res.Interp.SeqIters, res.Interp.Iterations, res.Interp.MergeTasks)
+		}
+		if *stealThreshold > 0 || *histograms {
+			fmt.Fprintf(os.Stderr, "skew: skew-iterations=%d steals=%d estimated-rows=%d\n",
+				res.Interp.SkewIters, res.Interp.Steals, res.Interp.EstimatedRows)
 		}
 		if be != jit.BackendOff {
 			fmt.Fprintf(os.Stderr, "jit: compilations=%d compile-time=%v cache-hits=%d stale=%d reorders=%d switchovers=%d\n",

@@ -18,11 +18,21 @@
 // Three subsystems extend the paper's design toward production scale:
 //
 //   - internal/stats is the unified statistics subsystem: live
-//     cardinalities, per-column distinct counts, and monotone drift counters
-//     are maintained incrementally inside the internal/storage mutation
-//     paths (insert, delta swap, truncate) and read in O(1) by the
-//     optimizer, the JIT freshness test, and the plan cache — never
-//     re-derived ad hoc.
+//     cardinalities, per-column distinct counts, per-column value-distribution
+//     histograms, and monotone drift counters are maintained incrementally
+//     inside the internal/storage mutation paths (insert, delta swap,
+//     truncate) and read in O(1) by the optimizer, the JIT freshness test,
+//     and the plan cache — never re-derived ad hoc. Histograms
+//     (core.Options.Histograms) are fixed-width hash histograms on the
+//     planned join columns, registered like indexes
+//     (storage.Relation.BuildHistogram) and carried through every shard
+//     layout (per-bucket counts under the physical store,
+//     stats.Catalog.ShardHistogram); the optimizer's atom ordering uses the
+//     measured overlap of two join columns' histograms in place of the
+//     constant join-key selectivity (optimizer.Options.UseHistograms), and
+//     the resulting join-output estimate is recorded on each built plan
+//     (interp.Plan.EstRows, totalled in Stats.EstimatedRows) so rebinds and
+//     cached reuse keep the estimate that justified the order.
 //
 //   - internal/plancache generalizes the JIT's one-off freshness test into
 //     a uniform drift-gated re-optimization policy. Interpreter access
@@ -107,6 +117,26 @@
 //     contiguous bucket span. Worker buffers recycle through a per-Interp
 //     free list with capacity retained (storage.Relation.ClearRetain), so
 //     steady-state iterations allocate nothing.
+//
+//   - Skew-aware work stealing (core.Options.StealThreshold): contiguous
+//     bucket spans assume the delta spreads evenly, but hub-dominated graphs
+//     concentrate it in a few hash buckets, so the span holding the hot
+//     bucket straggles and the iteration serializes behind one task. With
+//     maxc the hottest bucket's delta count and mean the average over
+//     occupied buckets, an iteration with maxc/mean >= StealThreshold
+//     switches to per-bucket claims: each rule gets one shared atomic claim
+//     table, min(workers, occupied) participation tasks race CAS-claims over
+//     single buckets, and each claimed bucket runs as a span-1 restriction
+//     through the same interpreted or compiled ShardUnit path a static span
+//     uses. A bucket-to-worker affinity table (remembered from the previous
+//     iteration's claims) biases each worker to re-claim its own buckets
+//     first, so hot-bucket state stays on one worker; only claims taken
+//     beyond the remembered assignment count as Stats.Steals, and skewed
+//     iterations count as Stats.SkewIters. The static fan-out also clamps
+//     its task count to the occupied bucket count, so mostly-empty deltas no
+//     longer pay dispatch for empty spans. engines.RunCaracSkew and
+//     BenchmarkSkewedSpeedup measure the configuration end to end over the
+//     hub-and-spoke workloads.SkewedGraph.
 //
 // # The shard-native JIT
 //

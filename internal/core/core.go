@@ -456,6 +456,22 @@ type Options struct {
 	// AdaptiveFanout (and the minimum buffered volume for a parallel
 	// merge); <= 0 selects the interpreter default (256).
 	FanoutThreshold int
+	// Histograms maintains per-column value-distribution histograms on every
+	// planned join column (incrementally, inside the storage mutation paths,
+	// like cardinalities and distinct counts) and switches the optimizer's
+	// atom ordering from the pure cardinality sort to an estimated
+	// join-output size using the measured histogram overlap of join-column
+	// pairs. The estimate is recorded on each built plan
+	// (interp.Plan.EstRows) and totalled in Result.Interp.EstimatedRows.
+	Histograms bool
+	// StealThreshold enables skew-aware work stealing in the sharded
+	// parallel fan-out: when the hottest delta bucket exceeds this multiple
+	// of the mean occupied bucket, the iteration switches from static
+	// contiguous bucket spans to per-bucket claims off a shared cursor, with
+	// bucket-to-worker affinity carried across iterations. <= 0 (the
+	// default) disables stealing; interp.DefaultStealThreshold (3.0) is the
+	// recommended ratio.
+	StealThreshold float64
 	// PlanCache caches compiled access plans across subquery executions,
 	// keyed by (rule, atom order, cardinality band) and served while
 	// observed cardinality drift stays under PlanCacheDrift — re-planning
@@ -507,6 +523,13 @@ type Result struct {
 // independent: derived state is reset to the ground-fact baseline captured
 // at the first Run.
 func (p *Program) Run(opts Options) (*Result, error) {
+	// Histogram-aware ordering applies everywhere a join order is decided:
+	// AOT staging, drift-driven re-optimization, and the JIT's compile-side
+	// reorder all read the same optimizer options. Sources without histogram
+	// data (Unit, Frozen) simply keep the constant-selectivity fallback.
+	if opts.Histograms {
+		opts.JIT.Optimizer.UseHistograms = true
+	}
 	prog := p.prog
 	if opts.EliminateAliases {
 		clone := ast.NewProgram(p.cat)
@@ -548,6 +571,16 @@ func (p *Program) Run(opts Options) (*Result, error) {
 			for pid, sets := range ir.JoinKeySignatures(prog) {
 				p.cat.Pred(pid).BuildCompositeIndexes(sets)
 			}
+		}
+	}
+
+	// Histogram registration is permanent like index registration, and must
+	// precede the shard configuration below: ConfigureShardsPhysical
+	// propagates registered columns into the per-bucket sub-relations, which
+	// is what makes the per-shard histogram variants readable.
+	if opts.Histograms {
+		for pid, cols := range ir.JoinKeyColumns(prog) {
+			p.cat.Pred(pid).BuildHistograms(cols)
 		}
 	}
 
@@ -602,6 +635,14 @@ func (p *Program) Run(opts Options) (*Result, error) {
 	in.Workers = opts.Workers
 	in.AdaptiveFanout = opts.AdaptiveFanout
 	in.FanoutThreshold = opts.FanoutThreshold
+	in.StealThreshold = opts.StealThreshold
+	if opts.Histograms {
+		live := stats.Catalog{Cat: p.cat}
+		oopts := opts.JIT.Optimizer
+		in.Estimate = func(spj *ir.SPJOp) float64 {
+			return optimizer.EstimateRows(spj, live, oopts)
+		}
+	}
 	shards := opts.Shards
 	if opts.AdaptiveFanout && shards <= 1 {
 		shards = 8

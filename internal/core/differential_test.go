@@ -48,6 +48,24 @@ var execModes = []execMode{
 		o.AdaptiveFanout = true
 		o.FanoutThreshold = 2
 	}},
+	// Work-stealing cells: a threshold barely above 1 flips nearly every
+	// fanned-out iteration to per-bucket claims, and Histograms exercises the
+	// incremental maintenance paths under the drift-increment assertion (the
+	// histogram invariant says maintenance never perturbs drift totals).
+	{"sharded-steal", func(o *core.Options) {
+		o.Shards = 4
+		o.Workers = 4
+		o.StealThreshold = 1.01
+		o.Histograms = true
+	}},
+	{"adaptive-steal", func(o *core.Options) {
+		o.Shards = 4
+		o.Workers = 4
+		o.AdaptiveFanout = true
+		o.FanoutThreshold = 2
+		o.StealThreshold = 1.01
+		o.Histograms = true
+	}},
 }
 
 // snapshotAll captures every predicate's derived set as sorted row strings,

@@ -1,0 +1,172 @@
+// Tests for skew-aware execution: histogram statistics feeding the
+// optimizer, skew detection flipping fanned-out iterations to work-stealing
+// bucket claims, and the stolen-bucket evaluation reproducing the sequential
+// fixpoint exactly. These are the 1-CPU acceptance pins — mechanism tests
+// with explicit Workers, not wall-clock measurements.
+package core_test
+
+import (
+	"testing"
+
+	"carac/internal/analysis"
+	"carac/internal/core"
+	"carac/internal/workloads"
+)
+
+// TestStealEngages is the tentpole acceptance pin: on the skewed-graph
+// workload with Workers >= 2, skew is detected (SkewIters > 0), stealing
+// spans are issued (Steals > 0 — cursor-path claims beyond the remembered
+// affinity), and the derived result set is identical to the sequential
+// oracle's.
+func TestStealEngages(t *testing.T) {
+	seq := workloads.SkewedGraph(analysis.HandOptimized, 100, 150, 3, 42)
+	sres, err := seq.P.Run(core.Options{Indexed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := snapshotAll(seq.P)
+
+	built := workloads.SkewedGraph(analysis.HandOptimized, 100, 150, 3, 42)
+	res, err := built.P.Run(core.Options{
+		Indexed: true, Shards: 8, Workers: 4,
+		AdaptiveFanout: true, FanoutThreshold: 1,
+		Histograms:     true,
+		StealThreshold: 1.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Interp.SkewIters == 0 {
+		t.Fatal("skewed workload never detected as skewed (SkewIters = 0)")
+	}
+	if res.Interp.Steals == 0 {
+		t.Fatal("no cursor-path bucket claims recorded (Steals = 0)")
+	}
+	if res.Interp.EstimatedRows == 0 {
+		t.Fatal("histograms on but no join-size estimates recorded")
+	}
+	if res.TotalFacts != sres.TotalFacts {
+		t.Fatalf("stealing run derived %d facts, sequential %d", res.TotalFacts, sres.TotalFacts)
+	}
+	diffSnapshots(t, "steal", baseline, snapshotAll(built.P))
+}
+
+// TestStealComposesWithJIT: a stealing iteration's single-bucket claims run
+// through the same span-parameterized ShardUnit interface as static spans,
+// so compiled units execute stolen buckets too — result set and compiled
+// execution both pinned.
+func TestStealComposesWithJIT(t *testing.T) {
+	seq := workloads.SkewedGraph(analysis.HandOptimized, 100, 150, 3, 42)
+	if _, err := seq.P.Run(core.Options{Indexed: true}); err != nil {
+		t.Fatal(err)
+	}
+	baseline := snapshotAll(seq.P)
+
+	built := workloads.SkewedGraph(analysis.HandOptimized, 100, 150, 3, 42)
+	res, err := built.P.Run(core.Options{
+		Indexed: true, Shards: 8, Workers: 4, PlanCache: true,
+		AdaptiveFanout: true, FanoutThreshold: 1,
+		Histograms:     true,
+		StealThreshold: 1.2,
+		JIT:            lambdaSPJ,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Interp.SkewIters == 0 {
+		t.Fatal("JIT run never detected skew")
+	}
+	if res.Interp.Compiled == 0 {
+		t.Fatal("no compiled execution under stealing — stolen buckets fell back to interpretation")
+	}
+	diffSnapshots(t, "steal+jit", baseline, snapshotAll(built.P))
+}
+
+// TestStealAffinityAcrossIterations: with stealing engaged over consecutive
+// iterations, affinity-pass claims (remembered assignments, not counted as
+// Steals) must appear — i.e. Steals stays below the total number of claimed
+// buckets across skewed iterations. A lower bound on the mechanism: the
+// first skewed iteration claims every bucket through the cursor, so Steals
+// is nonzero, but affinity re-claims keep it from growing one-for-one.
+func TestStealAffinityAcrossIterations(t *testing.T) {
+	built := workloads.SkewedGraph(analysis.HandOptimized, 150, 250, 3, 7)
+	res, err := built.P.Run(core.Options{
+		Indexed: true, Shards: 8, Workers: 2,
+		AdaptiveFanout: true, FanoutThreshold: 1,
+		StealThreshold: 1.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Interp.SkewIters < 2 {
+		t.Skipf("workload only produced %d skewed iterations; affinity needs 2+", res.Interp.SkewIters)
+	}
+	if res.Interp.Steals == 0 {
+		t.Fatal("no steals across skewed iterations")
+	}
+}
+
+// FuzzStealRouting mirrors FuzzJITShardRouting for the stealing path:
+// arbitrary edge lists evaluate transitive closure with a steal threshold
+// low enough to flip every fanned-out iteration to per-bucket claims, and
+// must reproduce the sequential fixpoint. Run the short-fuzz CI job with:
+// go test -fuzz=FuzzStealRouting -fuzztime=20s ./internal/core/
+func FuzzStealRouting(f *testing.F) {
+	f.Add(uint8(4), []byte{1, 2, 2, 3, 3, 4, 4, 1})
+	f.Add(uint8(7), []byte{0, 0, 1, 0, 200, 200, 5, 9})
+	f.Add(uint8(2), []byte{9, 8, 8, 7, 7, 6, 6, 5, 5, 4, 4, 3})
+	f.Fuzz(func(t *testing.T, nshards uint8, data []byte) {
+		shards := 2 + int(nshards)%7
+		if len(data) > 64 {
+			data = data[:64]
+		}
+		build := func() *core.Program {
+			p := core.NewProgram()
+			edge := p.Relation("edge", 2)
+			tc := p.Relation("tc", 2)
+			x, y, z := core.NewVar("x"), core.NewVar("y"), core.NewVar("z")
+			p.MustRule(tc.A(x, y), edge.A(x, y))
+			p.MustRule(tc.A(x, y), tc.A(x, z), edge.A(z, y))
+			for i := 0; i+1 < len(data); i += 2 {
+				edge.MustFact(int(data[i])%32, int(data[i+1])%32)
+			}
+			return p
+		}
+		sp := build()
+		sres, err := sp.Run(core.Options{Indexed: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, useJIT := range []bool{false, true} {
+			jp := build()
+			opts := core.Options{
+				Indexed: true, Shards: shards, Workers: 4, FanoutThreshold: 1,
+				Histograms:     true,
+				StealThreshold: 1.01,
+			}
+			if useJIT {
+				opts.JIT = lambdaSPJ
+			}
+			jres, err := jp.Run(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if jres.TotalFacts != sres.TotalFacts {
+				t.Fatalf("shards=%d jit=%v: %d facts, sequential %d", shards, useJIT, jres.TotalFacts, sres.TotalFacts)
+			}
+			want := snapshotAll(sp)
+			got := snapshotAll(jp)
+			for name, rows := range want {
+				g := got[name]
+				if len(g) != len(rows) {
+					t.Fatalf("shards=%d jit=%v: relation %s has %d tuples, sequential %d", shards, useJIT, name, len(g), len(rows))
+				}
+				for i := range rows {
+					if g[i] != rows[i] {
+						t.Fatalf("shards=%d jit=%v: relation %s row %d = %s, sequential %s", shards, useJIT, name, i, g[i], rows[i])
+					}
+				}
+			}
+		}
+	})
+}

@@ -68,6 +68,11 @@ type Report struct {
 	// TotalFacts is the derived-tuple count (validation that all engines
 	// agree).
 	TotalFacts int
+	// Steals and SkewIters report the skew-aware fan-out's engagement
+	// (cursor-path bucket claims and skewed iterations; nonzero only under
+	// RunCaracSkew on a skewed workload with Workers >= 2).
+	Steals    int64
+	SkewIters int64
 }
 
 // DefaultCompileLatency approximates the one-time external C++ compile cost
@@ -186,6 +191,27 @@ func RunCaracAdaptiveJIT(b *analysis.Built, shards, workers int, timeout time.Du
 	return report(res, 0, err)
 }
 
+// RunCaracSkew is RunCaracAdaptive with the skew-aware machinery on:
+// per-column histograms feed the optimizer's join-size estimates, and
+// iterations whose delta concentrates in a few hot buckets switch from
+// static contiguous bucket spans to work-stealing per-bucket claims
+// (Report.Steals / SkewIters expose the engagement) — the configuration
+// Table II's skewed-graph row measures.
+func RunCaracSkew(b *analysis.Built, shards, workers int, timeout time.Duration) (*Report, error) {
+	res, err := b.P.Run(core.Options{
+		Indexed:        true,
+		PlanCache:      true,
+		ParallelUnions: true,
+		Shards:         shards,
+		Workers:        workers,
+		AdaptiveFanout: true,
+		Histograms:     true,
+		StealThreshold: interp.DefaultStealThreshold,
+		Timeout:        timeout,
+	})
+	return report(res, 0, err)
+}
+
 // RunCaracWarm measures the steady-state cost the Program-lifetime plan
 // store exists for: one run populates the store (plans, compiled-unit slots,
 // drift state — the long-lived-service shape between incremental fact
@@ -230,5 +256,7 @@ func report(res *core.Result, profile time.Duration, err error) (*Report, error)
 		Duration:    res.Duration,
 		ProfileTime: profile,
 		TotalFacts:  res.TotalFacts,
+		Steals:      res.Interp.Steals,
+		SkewIters:   res.Interp.SkewIters,
 	}, nil
 }

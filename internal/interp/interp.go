@@ -71,15 +71,18 @@ type ShardCompiler interface {
 
 // Stats collects execution counters.
 type Stats struct {
-	Iterations  int64 // DoWhile loop passes
-	Derivations int64 // tuples newly inserted into DeltaNew
-	SPJRuns     int64 // subquery executions
-	PlanBuilds  int64 // access plans constructed by the interpreter
-	PlanReuses  int64 // subquery executions served from the plan cache
-	Reopts      int64 // drift-triggered join-order re-optimizations
-	Compiled    int64 // subtrees executed via a Controller thunk
-	SeqIters    int64 // iterations the adaptive driver ran on the sequential fast path
-	MergeTasks  int64 // per-bucket merge tasks run at iteration barriers
+	Iterations    int64 // DoWhile loop passes
+	Derivations   int64 // tuples newly inserted into DeltaNew
+	SPJRuns       int64 // subquery executions
+	PlanBuilds    int64 // access plans constructed by the interpreter
+	PlanReuses    int64 // subquery executions served from the plan cache
+	Reopts        int64 // drift-triggered join-order re-optimizations
+	Compiled      int64 // subtrees executed via a Controller thunk
+	SeqIters      int64 // iterations the adaptive driver ran on the sequential fast path
+	MergeTasks    int64 // per-bucket merge tasks run at iteration barriers
+	Steals        int64 // buckets claimed through the shared steal cursor (not via affinity)
+	SkewIters     int64 // iterations executed with work-stealing bucket claims
+	EstimatedRows int64 // summed histogram-based join-size estimates recorded at plan builds
 }
 
 // Interp is the tree-walking interpreter (paper §V-B: "when Carac is in
@@ -130,6 +133,16 @@ type Interp struct {
 	// DefaultFanoutThreshold.
 	FanoutThreshold int
 
+	// StealThreshold > 0 enables skew-aware work-stealing: an iteration
+	// whose per-bucket delta distribution is skewed past this ratio (max
+	// bucket / mean occupied bucket, see chooseFanout) abandons static
+	// contiguous bucket spans and lets the pool workers claim buckets one at
+	// a time from a shared atomic cursor per rule, so idle workers drain a
+	// hot bucket's neighbors instead of idling at the merge barrier.
+	// DefaultStealThreshold is the recommended value; <= 0 (the default)
+	// keeps static spans.
+	StealThreshold float64
+
 	// Plans, when non-nil, caches access plans across subquery executions
 	// keyed by (rule, atom order, cardinality band): the repeated per-
 	// execution planning the seed interpreter paid becomes a cache lookup,
@@ -142,6 +155,12 @@ type Interp struct {
 	// adaptive policy of paper §IV, without any JIT attached). It returns
 	// whether the atom order changed.
 	Reopt func(spj *ir.SPJOp) bool
+	// Estimate, when non-nil, returns the caller's join-output size estimate
+	// for a subquery (histogram-based when the catalog maintains histograms).
+	// The interpreter records it on every freshly built plan (Plan.EstRows —
+	// rebinds copy the struct, so the estimate survives shared-plan reuse)
+	// and accumulates it into Stats.EstimatedRows.
+	Estimate func(spj *ir.SPJOp) float64
 
 	cancel atomic.Bool
 	// cancelHook chains a parent interpreter's cancellation into workers
@@ -166,13 +185,23 @@ type Interp struct {
 	// into the predicate, so steady-state iterations allocate nothing.
 	bufMu   sync.Mutex
 	bufFree map[int][]*storage.Relation
-	// fanBuckets, mergePids, mergeTasks, and mergeCounts are driver-owned
-	// scratch reused across iterations by the adaptive fan-out decision and
-	// the merge barrier (both run at sequential points).
+	// fanBuckets, fanCounts, mergePids, mergeTasks, and mergeCounts are
+	// driver-owned scratch reused across iterations by the adaptive fan-out
+	// decision and the merge barrier (both run at sequential points).
 	fanBuckets  []bool
+	fanCounts   []int
 	mergePids   []storage.PredID
 	mergeTasks  []mergeTask
 	mergeCounts []int64
+	// stealOcc is the iteration's bucket-occupancy snapshot the steal claim
+	// loops read (fanBuckets is scratch the merge barrier reuses mid-
+	// iteration, so stealing keeps its own copy; only chooseFanout writes it,
+	// at a sequential point). affinity remembers, per rule, which worker
+	// claimed each bucket in the last stealing iteration — the bucket→worker
+	// assignment that biases the next iteration's initial claims so hot
+	// sub-relations stay on one worker across iterations.
+	stealOcc []bool
+	affinity map[*ir.UnionRuleOp][]int32
 	// keyMemo caches each subquery's structural plan-cache key, invalidated
 	// via ir.SPJOp.OrderGen so the atoms are re-hashed only after a reorder
 	// rather than per execution.
@@ -374,7 +403,12 @@ func DeltasEmpty(cat *storage.Catalog, preds []storage.PredID) bool {
 func (in *Interp) planFor(spj *ir.SPJOp) (*Plan, error) {
 	if in.Plans == nil {
 		in.Stats.PlanBuilds++
-		return BuildPlan(spj, in.Cat)
+		p, err := BuildPlan(spj, in.Cat)
+		if err != nil {
+			return nil, err
+		}
+		in.recordEstimate(p, spj)
+		return p, nil
 	}
 	src := stats.Catalog{Cat: in.Cat}
 	cards := stats.AppendCardVector(in.scratch.cards[:0], spj, src)
@@ -412,9 +446,22 @@ func (in *Interp) planFor(spj *ir.SPJOp) (*Plan, error) {
 		return nil, err
 	}
 	in.Stats.PlanBuilds++
+	in.recordEstimate(p, spj)
 	in.Plans.Store(key, counters, cards, p)
 	cp := *p
 	return &cp, nil
+}
+
+// recordEstimate stamps the histogram-based join-output estimate onto a
+// freshly built plan (bindPlan's struct copy carries it through rebinds, so
+// a cached plan served to a sibling rule keeps the estimate it was built
+// under). Recorded at build time only: reuses are free.
+func (in *Interp) recordEstimate(p *Plan, spj *ir.SPJOp) {
+	if in.Estimate == nil {
+		return
+	}
+	p.EstRows = in.Estimate(spj)
+	in.Stats.EstimatedRows += int64(p.EstRows)
 }
 
 // boundPlan serves a structural cache hit: the memoized rebind when the
@@ -630,7 +677,7 @@ func (in *Interp) poolSize(tasks int) int {
 func (in *Interp) ensureWorkers(n int) {
 	for len(in.workers) < n {
 		ws := &workerState{
-			sub:  &Interp{Cat: in.Cat, Executor: in.Executor, Plans: in.Plans, Reopt: in.Reopt, cancelHook: in.Cancelled},
+			sub:  &Interp{Cat: in.Cat, Executor: in.Executor, Plans: in.Plans, Reopt: in.Reopt, Estimate: in.Estimate, cancelHook: in.Cancelled},
 			bufs: make(map[storage.PredID]*storage.Relation),
 		}
 		ws.sub.bufSink = func(pid storage.PredID) *storage.Relation {
@@ -700,6 +747,23 @@ type shardTask struct {
 	shard int
 	span  int
 	unit  ShardUnit
+	// steal, when non-nil, marks a work-stealing participation task: the
+	// worker ignores shard/span and instead claims single buckets through
+	// the rule's shared steal state (affinity pass first, cursor pass
+	// second), running each claimed bucket as a span-1 restriction through
+	// the same interpreted or compiled path a static span task uses.
+	steal *stealState
+}
+
+// stealState coordinates one rule's work-stealing bucket claims for one
+// iteration. cursor hands out candidate bucket indices; claims[b] is 0 while
+// bucket b is unclaimed and worker+1 once a worker won it (CAS), so every
+// bucket is executed exactly once no matter how affinity and cursor claims
+// interleave. After the barrier the driver folds claims into the rule's
+// affinity table.
+type stealState struct {
+	cursor atomic.Int64
+	claims []atomic.Int32
 }
 
 // DefaultFanoutThreshold is the sequential-fast-path delta bound of the
@@ -708,31 +772,48 @@ type shardTask struct {
 // overhead exceeds the join work itself on every workload measured.
 const DefaultFanoutThreshold = 256
 
+// DefaultStealThreshold is the recommended skew ratio for
+// Interp.StealThreshold: static contiguous spans tolerate the hottest delta
+// bucket holding up to 3x the mean occupied bucket before the straggler-span
+// wait exceeds the cost of per-bucket claim traffic.
+const DefaultStealThreshold = 3.0
+
 // fanoutDecision is the per-iteration execution strategy of the adaptive
 // driver.
 type fanoutDecision struct {
 	sequential bool // run the iteration in place: no tasks, no buffers, no merge
 	tasks      int  // shard tasks per rule (1 = rule-granular, unrestricted)
+	steal      bool // work-stealing bucket claims instead of static contiguous spans
+	parts      int  // participation tasks per rule when stealing (min(workers, occupied))
 }
 
 // chooseFanout picks the iteration's strategy from the live delta
-// statistics. Without AdaptiveFanout it reproduces the static PR 2
-// behaviour (always fan out to every bucket); with it, the total delta
-// cardinality and per-bucket occupancy of the loop's predicates — O(1)
-// reads via stats.Catalog.ShardCard — select between the sequential fast
-// path, rule-granular parallelism, and a bucket fan-out sized to the data
-// and the worker count.
+// statistics — total delta cardinality, per-bucket occupancy, and per-bucket
+// counts of the loop's predicates, all O(1) reads via
+// stats.Catalog.ShardCard. Without AdaptiveFanout it keeps the static PR 2
+// behaviour (fan out every iteration), though the task count is clamped to
+// the occupied bucket count so a mostly-empty delta no longer pays dispatch
+// overhead for empty spans; with AdaptiveFanout the statistics additionally
+// select between the sequential fast path, rule-granular parallelism, and a
+// bucket fan-out sized to the data and the worker count.
+//
+// Skew detection (StealThreshold > 0): with maxc the hottest bucket's delta
+// count and mean = total/occupied the average over non-empty buckets, an
+// iteration is skewed when maxc/mean >= StealThreshold. A skewed iteration
+// switches from static contiguous spans to work-stealing bucket claims
+// (dec.steal): any span containing the hot bucket would serialize the
+// iteration behind one straggler task, while per-bucket claims let the
+// workers that finish early drain the remaining buckets. Affinity heuristic:
+// the driver remembers which worker claimed each bucket last iteration
+// (Interp.affinity, folded from the claim table after the barrier) and each
+// worker claims its previous buckets first, so a hot bucket's sub-relations
+// stay on one worker across iterations instead of migrating with the
+// arbitrary cursor order; only claims made through the shared cursor —
+// work taken beyond the remembered assignment — count as Stats.Steals.
 func (in *Interp) chooseFanout(n *ir.DoWhileOp) fanoutDecision {
 	phys := in.Shards
 	if phys < 2 {
 		phys = 1
-	}
-	if !in.AdaptiveFanout {
-		return fanoutDecision{tasks: phys}
-	}
-	threshold := in.FanoutThreshold
-	if threshold <= 0 {
-		threshold = DefaultFanoutThreshold
 	}
 	if cap(in.fanBuckets) < phys {
 		in.fanBuckets = make([]bool, phys)
@@ -741,6 +822,13 @@ func (in *Interp) chooseFanout(n *ir.DoWhileOp) fanoutDecision {
 	for s := range occ {
 		occ[s] = false
 	}
+	if cap(in.fanCounts) < phys {
+		in.fanCounts = make([]int, phys)
+	}
+	counts := in.fanCounts[:phys]
+	for s := range counts {
+		counts[s] = 0
+	}
 	src := stats.Catalog{Cat: in.Cat}
 	total := 0
 	for _, pid := range n.Preds {
@@ -748,29 +836,54 @@ func (in *Interp) chooseFanout(n *ir.DoWhileOp) fanoutDecision {
 			for s := 0; s < phys; s++ {
 				if c := src.ShardCard(pid, ir.SrcDelta, s); c > 0 {
 					total += c
+					counts[s] += c
 					occ[s] = true
 				}
 			}
 		} else if c := src.Card(pid, ir.SrcDelta); c > 0 {
 			// No per-bucket statistics for this predicate: count it whole
-			// and treat every bucket as occupied.
+			// and treat every bucket as occupied (it also contributes no
+			// per-bucket counts, so it cannot fake a skew signal).
 			total += c
 			for s := range occ {
 				occ[s] = true
 			}
 		}
 	}
+	occupied, maxc := 0, 0
+	for s, o := range occ {
+		if o {
+			occupied++
+		}
+		if counts[s] > maxc {
+			maxc = counts[s]
+		}
+	}
+	if !in.AdaptiveFanout {
+		// Static fan-out, clamped to the occupied buckets: Workers (or the
+		// bucket count) exceeding the non-empty buckets used to emit empty
+		// spans that still paid task dispatch. Spans always cover all
+		// buckets, so fewer, wider spans lose no work.
+		tasks := phys
+		if tasks > occupied {
+			tasks = occupied
+		}
+		if tasks < 1 {
+			tasks = 1
+		}
+		dec := fanoutDecision{tasks: tasks}
+		in.applySteal(&dec, phys, total, occupied, maxc)
+		return dec
+	}
+	threshold := in.FanoutThreshold
+	if threshold <= 0 {
+		threshold = DefaultFanoutThreshold
+	}
 	if total < threshold {
 		return fanoutDecision{sequential: true}
 	}
 	if phys < 2 {
 		return fanoutDecision{tasks: 1}
-	}
-	occupied := 0
-	for _, o := range occ {
-		if o {
-			occupied++
-		}
 	}
 	// Effective fan-out: one task per ~grain delta rows, never more than
 	// 4x the pool (diminishing balance returns) or the occupied buckets
@@ -793,7 +906,35 @@ func (in *Interp) chooseFanout(n *ir.DoWhileOp) fanoutDecision {
 	if eff < 1 {
 		eff = 1
 	}
-	return fanoutDecision{tasks: eff}
+	dec := fanoutDecision{tasks: eff}
+	in.applySteal(&dec, phys, total, occupied, maxc)
+	return dec
+}
+
+// applySteal upgrades a fan-out decision to work-stealing bucket claims when
+// stealing is enabled and the iteration's delta is skewed (see chooseFanout's
+// doc for the formula). It snapshots the bucket occupancy for the claim
+// loops: fanBuckets is scratch the merge barrier overwrites mid-iteration,
+// and bucket 0 is forced occupied because the fan-out contract runs
+// whole-relation subqueries (no delta atom) on the bucket-0 task only.
+func (in *Interp) applySteal(dec *fanoutDecision, phys, total, occupied, maxc int) {
+	if in.StealThreshold <= 0 || phys < 2 || occupied < 2 || in.workerCount() < 2 {
+		return
+	}
+	if float64(maxc)*float64(occupied) < in.StealThreshold*float64(total) {
+		return
+	}
+	dec.steal = true
+	dec.parts = in.workerCount()
+	if dec.parts > occupied {
+		dec.parts = occupied
+	}
+	if cap(in.stealOcc) < phys {
+		in.stealOcc = make([]bool, phys)
+	}
+	in.stealOcc = in.stealOcc[:phys]
+	copy(in.stealOcc, in.fanBuckets[:phys])
+	in.stealOcc[0] = true
 }
 
 // runLoopParallel evaluates one stratum loop with the independent rules of
@@ -822,8 +963,13 @@ func (in *Interp) runLoopParallel(n *ir.DoWhileOp) error {
 					return err
 				}
 			}
-		} else if err := in.runIterationTasks(n, dec, &pending); err != nil {
-			return err
+		} else {
+			if dec.steal {
+				in.Stats.SkewIters++
+			}
+			if err := in.runIterationTasks(n, dec, &pending); err != nil {
+				return err
+			}
 		}
 		in.Stats.Iterations++
 		if in.Cancelled() {
@@ -836,12 +982,16 @@ func (in *Interp) runLoopParallel(n *ir.DoWhileOp) error {
 }
 
 // runIterationTasks executes one iteration's body with rule evaluation
-// fanned out over the pool: dec.tasks bucket-span tasks per rule, flushed
+// fanned out over the pool: dec.tasks bucket-span tasks per rule (or, in a
+// stealing iteration, dec.parts claim-participation tasks per rule), flushed
 // at every non-union op so cross-rule ordering is preserved.
 func (in *Interp) runIterationTasks(n *ir.DoWhileOp, dec fanoutDecision, pending *[]shardTask) error {
 	nshards := in.Shards
-	if nshards < 2 || dec.tasks < 2 {
+	if nshards < 2 || (dec.tasks < 2 && !dec.steal) {
 		nshards = 1
+	}
+	if nshards < 2 {
+		dec.steal = false
 	}
 	// Distribute the buckets over dec.tasks contiguous spans (span 0 marks
 	// the unrestricted rule-granular task).
@@ -860,11 +1010,15 @@ func (in *Interp) runIterationTasks(n *ir.DoWhileOp, dec fanoutDecision, pending
 			// place, writing DeltaNew directly like the sequential path —
 			// through Exec, so a Controller's safe point still fires at the
 			// rule node and sequential compiled units run exactly as they
-			// did under the pre-shard-native sequential loop.
+			// did under the pre-shard-native sequential loop. Tasks of one
+			// rule are contiguous; run the rule at its first task only
+			// (participation tasks all carry shard 0).
+			var last *ir.UnionRuleOp
 			for _, t := range *pending {
-				if t.shard != 0 {
+				if t.rule == last || t.shard != 0 {
 					continue
 				}
+				last = t.rule
 				if err := in.Exec(t.rule); err != nil {
 					return err
 				}
@@ -893,6 +1047,7 @@ func (in *Interp) runIterationTasks(n *ir.DoWhileOp, dec fanoutDecision, pending
 		var wg sync.WaitGroup
 		for i := 0; i < w; i++ {
 			ws := in.workers[i]
+			wid := i
 			ws.err = nil
 			wg.Add(1)
 			go func() {
@@ -903,6 +1058,13 @@ func (in *Interp) runIterationTasks(n *ir.DoWhileOp, dec fanoutDecision, pending
 						return
 					}
 					t := (*pending)[ti]
+					if t.steal != nil {
+						if err := in.runStealTask(ws, wid, t, nshards); err != nil {
+							ws.err = err
+							return
+						}
+						continue
+					}
 					if t.unit != nil {
 						// Compiled task body: the unit applies the task's
 						// bucket-span restriction itself and emits through
@@ -929,11 +1091,24 @@ func (in *Interp) runIterationTasks(n *ir.DoWhileOp, dec fanoutDecision, pending
 			}()
 		}
 		wg.Wait()
+		in.foldAffinity(*pending, nshards)
 		return in.mergeWorkers(w)
 	}
 	for _, c := range n.Body {
 		if ua, ok := c.(*ir.UnionAllOp); ok {
 			for _, r := range ua.Rules {
+				if dec.steal {
+					// One shared claim table per rule; dec.parts identical
+					// participation tasks keep the pool saturated while the
+					// workers race over single-bucket claims. Participation
+					// tasks carry shard 0 so the degenerate (w<=1) path's
+					// run-each-rule-once contract holds unchanged.
+					st := &stealState{claims: make([]atomic.Int32, nshards)}
+					for p := 0; p < dec.parts; p++ {
+						*pending = append(*pending, shardTask{rule: r, steal: st})
+					}
+					continue
+				}
 				if span == 0 {
 					*pending = append(*pending, shardTask{rule: r})
 					continue
@@ -956,6 +1131,85 @@ func (in *Interp) runIterationTasks(n *ir.DoWhileOp, dec fanoutDecision, pending
 		}
 	}
 	return flush()
+}
+
+// runStealTask drains one rule's stealable buckets from worker wid's seat:
+// an affinity pass over the buckets this worker won last iteration, then a
+// cursor pass over the rest. Every claim is won by CAS on the rule's shared
+// claim table, so however the concurrent participation tasks interleave each
+// bucket runs exactly once, as a span-1 restriction through the same
+// interpreted or compiled path a static span task uses. Only cursor-pass
+// wins — work taken beyond the remembered assignment — count as
+// Stats.Steals.
+func (in *Interp) runStealTask(ws *workerState, wid int, t shardTask, nshards int) error {
+	runBucket := func(b int) error {
+		if t.unit != nil {
+			ws.sub.Stats.Compiled++
+			return t.unit(ws.sub, b, 1, nshards)
+		}
+		ws.sub.shard = b
+		ws.sub.shardSpan = 1
+		ws.sub.shardTotal = nshards
+		return ws.sub.interpret(t.rule)
+	}
+	if aff := in.affinity[t.rule]; len(aff) == nshards {
+		for b := 0; b < nshards; b++ {
+			if int(aff[b]) != wid || !in.stealOcc[b] {
+				continue
+			}
+			if !t.steal.claims[b].CompareAndSwap(0, int32(wid)+1) {
+				continue
+			}
+			if ws.sub.Cancelled() {
+				return nil
+			}
+			if err := runBucket(b); err != nil {
+				return err
+			}
+		}
+	}
+	for {
+		b := int(t.steal.cursor.Add(1) - 1)
+		if b >= nshards {
+			return nil
+		}
+		if !in.stealOcc[b] || !t.steal.claims[b].CompareAndSwap(0, int32(wid)+1) {
+			continue
+		}
+		if ws.sub.Cancelled() {
+			return nil
+		}
+		ws.sub.Stats.Steals++
+		if err := runBucket(b); err != nil {
+			return err
+		}
+	}
+}
+
+// foldAffinity records, after the barrier, which worker won each bucket of
+// each stealing rule this iteration (claims[b]-1; unclaimed buckets read -1),
+// so the next skewed iteration's affinity pass re-claims the same buckets and
+// a hot bucket's sub-relations stay on one worker instead of migrating with
+// the arbitrary cursor order. No-op for batches without steal tasks.
+func (in *Interp) foldAffinity(pending []shardTask, nshards int) {
+	var last *stealState
+	for _, t := range pending {
+		if t.steal == nil || t.steal == last {
+			continue
+		}
+		last = t.steal
+		if in.affinity == nil {
+			in.affinity = make(map[*ir.UnionRuleOp][]int32)
+		}
+		aff := in.affinity[t.rule]
+		if len(aff) != nshards {
+			aff = make([]int32, nshards)
+			in.affinity[t.rule] = aff
+		}
+		for b := 0; b < nshards; b++ {
+			aff[b] = t.steal.claims[b].Load() - 1
+		}
+	}
 }
 
 // mergeTask is one unit of parallel merge work: one bucket of one sink
@@ -992,6 +1246,8 @@ func (in *Interp) mergeWorkers(w int) error {
 		in.Stats.PlanReuses += s.PlanReuses
 		in.Stats.Reopts += s.Reopts
 		in.Stats.Compiled += s.Compiled
+		in.Stats.Steals += s.Steals
+		in.Stats.EstimatedRows += s.EstimatedRows
 		ws.sub.Stats = Stats{}
 	}
 	if firstErr != nil {

@@ -105,6 +105,13 @@ type Plan struct {
 	NumVars int
 	Agg     ast.AggSpec
 
+	// EstRows is the histogram-based join-output size estimate recorded when
+	// the plan was built (see Interp.Estimate); 0 when estimation is off.
+	// Part of the cached artifact: bindPlan's struct copy carries it through
+	// rebinds, so the recorded estimate stays attached to the atom order it
+	// justified.
+	EstRows float64
+
 	// Cancel, when non-nil, is polled once per row of the outermost
 	// relation so that multi-minute cartesian products can be aborted
 	// (benchmark DNF timeouts).

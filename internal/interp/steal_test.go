@@ -1,0 +1,178 @@
+package interp
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"carac/internal/ir"
+	"carac/internal/storage"
+)
+
+// fanoutFixture builds a physically 8-way-sharded single-predicate catalog
+// with delta rows landing in exactly the buckets of the given key values, and
+// an Interp plus loop node ready for chooseFanout.
+func fanoutFixture(t *testing.T, shards int, keys []storage.Value) (*Interp, *ir.DoWhileOp) {
+	t.Helper()
+	cat := storage.NewCatalog()
+	id := cat.Declare("p", 2)
+	cat.ConfigureShardsPhysical(shards, map[storage.PredID]int{id: 0})
+	pd := cat.Pred(id)
+	for i, k := range keys {
+		pd.DeltaKnown.Insert([]storage.Value{k, storage.Value(i)})
+	}
+	in := New(cat, nil)
+	in.Parallel = true
+	in.Shards = shards
+	return in, &ir.DoWhileOp{Preds: []storage.PredID{id}}
+}
+
+// bucketKey finds a key value hashing into the wanted shard bucket.
+func bucketKey(t *testing.T, shards, want int) storage.Value {
+	t.Helper()
+	for v := storage.Value(0); v < 1<<16; v++ {
+		if storage.ShardOf(v, shards) == want {
+			return v
+		}
+	}
+	t.Fatalf("no key found for bucket %d/%d", want, shards)
+	return 0
+}
+
+// TestFanoutClampsToOccupiedBuckets pins the static fan-out fix: with eight
+// buckets but only two occupied, the non-adaptive path used to emit eight
+// spans per rule — six of them empty but still paying task dispatch. The
+// task count must clamp to the occupied bucket count (and never below one).
+func TestFanoutClampsToOccupiedBuckets(t *testing.T) {
+	const shards = 8
+	keys := []storage.Value{bucketKey(t, shards, 2), bucketKey(t, shards, 5)}
+	in, loop := fanoutFixture(t, shards, keys)
+	dec := in.chooseFanout(loop)
+	if dec.sequential || dec.steal {
+		t.Fatalf("static path picked sequential=%v steal=%v", dec.sequential, dec.steal)
+	}
+	if dec.tasks != 2 {
+		t.Fatalf("tasks = %d, want 2 (occupied buckets)", dec.tasks)
+	}
+
+	// Empty delta: one unrestricted task, not zero.
+	in2, loop2 := fanoutFixture(t, shards, nil)
+	if dec := in2.chooseFanout(loop2); dec.tasks != 1 {
+		t.Fatalf("empty-delta tasks = %d, want 1", dec.tasks)
+	}
+}
+
+// TestChooseFanoutSkewDetection pins the skew formula and its guards: a delta
+// whose hottest bucket exceeds StealThreshold times the mean occupied bucket
+// flips the decision to work-stealing claims with min(workers, occupied)
+// participation tasks; a balanced delta, a lone hot bucket (nothing to
+// steal), or a single worker leave stealing off.
+func TestChooseFanoutSkewDetection(t *testing.T) {
+	const shards = 8
+	hot := bucketKey(t, shards, 3)
+	cold := bucketKey(t, shards, 6)
+	// 9 rows in bucket 3, 1 in bucket 6: maxc/mean = 9/5 = 1.8.
+	keys := make([]storage.Value, 0, 10)
+	for i := 0; i < 9; i++ {
+		keys = append(keys, hot) // same key: vary col 1 to defeat dedup
+	}
+	keys = append(keys, cold)
+	mk := func(workers int, threshold float64) (*Interp, *ir.DoWhileOp) {
+		cat := storage.NewCatalog()
+		id := cat.Declare("p", 2)
+		cat.ConfigureShardsPhysical(shards, map[storage.PredID]int{id: 0})
+		pd := cat.Pred(id)
+		for i, k := range keys {
+			pd.DeltaKnown.Insert([]storage.Value{k, storage.Value(i)})
+		}
+		in := New(cat, nil)
+		in.Parallel = true
+		in.Shards = shards
+		in.Workers = workers
+		in.StealThreshold = threshold
+		return in, &ir.DoWhileOp{Preds: []storage.PredID{id}}
+	}
+
+	in, loop := mk(4, 1.5)
+	dec := in.chooseFanout(loop)
+	if !dec.steal {
+		t.Fatal("skewed delta (ratio 1.8 >= 1.5) did not engage stealing")
+	}
+	if dec.parts != 2 {
+		t.Fatalf("parts = %d, want min(workers=4, occupied=2) = 2", dec.parts)
+	}
+	if !in.stealOcc[0] {
+		t.Fatal("stealOcc[0] must be forced occupied (bucket-0 task contract)")
+	}
+	if !in.stealOcc[3] || !in.stealOcc[6] {
+		t.Fatal("occupied buckets missing from the steal snapshot")
+	}
+
+	// Ratio below threshold: static spans.
+	if in, loop := mk(4, 2.0); in.chooseFanout(loop).steal {
+		t.Fatal("ratio 1.8 < threshold 2.0 engaged stealing")
+	}
+	// Stealing disabled by default.
+	if in, loop := mk(4, 0); in.chooseFanout(loop).steal {
+		t.Fatal("StealThreshold 0 engaged stealing")
+	}
+	// One worker: nothing to balance.
+	if in, loop := mk(1, 1.5); in.chooseFanout(loop).steal {
+		t.Fatal("single worker engaged stealing")
+	}
+}
+
+// TestStealClaimsExactlyOnce drives runStealTask from concurrent workers over
+// a shared claim table and asserts every occupied bucket runs exactly once —
+// the CAS contract the correctness of a stealing iteration rests on. Uses
+// the compiled-unit hook as the probe so no rule machinery is needed.
+func TestStealClaimsExactlyOnce(t *testing.T) {
+	const shards = 16
+	keys := make([]storage.Value, 0, 24)
+	for b := 0; b < shards; b += 2 { // occupy even buckets
+		k := bucketKey(t, shards, b)
+		for i := 0; i < 3; i++ {
+			keys = append(keys, k)
+		}
+	}
+	in, _ := fanoutFixture(t, shards, keys)
+	in.Workers = 4
+	in.StealThreshold = 0.1 // any occupancy counts as skew
+	loop := &ir.DoWhileOp{Preds: []storage.PredID{in.Cat.Preds()[0].ID}}
+	dec := in.chooseFanout(loop)
+	if !dec.steal {
+		t.Fatal("fixture did not engage stealing")
+	}
+
+	var hits [shards]int32
+	rule := &ir.UnionRuleOp{}
+	task := shardTask{rule: rule, steal: &stealState{claims: make([]atomic.Int32, shards)}}
+	in.ensureWorkers(4)
+	unit := ShardUnit(func(sub *Interp, shard, span, nshards int) error {
+		if span != 1 || nshards != shards {
+			t.Errorf("span=%d nshards=%d, want 1/%d", span, nshards, shards)
+		}
+		hits[shard]++
+		return nil
+	})
+	task.unit = unit
+	done := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			done <- in.runStealTask(in.workers[w], w, task, shards)
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		if err := <-done; err != nil {
+			t.Fatalf("worker error: %v", err)
+		}
+	}
+	for b := 0; b < shards; b++ {
+		want := int32(0)
+		if in.stealOcc[b] {
+			want = 1
+		}
+		if hits[b] != want {
+			t.Fatalf("bucket %d ran %d times, want %d", b, hits[b], want)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package optimizer
+
+import (
+	"math"
+	"testing"
+
+	"carac/internal/ast"
+	"carac/internal/ir"
+	"carac/internal/storage"
+)
+
+// fakeHist extends fakeStats with per-(pred, src, col) histograms.
+type fakeHist struct {
+	fakeStats
+	h map[[3]int32]storage.Histogram
+}
+
+func (f fakeHist) Histogram(pred storage.PredID, src ir.Source, col int) (storage.Histogram, bool) {
+	hg, ok := f.h[[3]int32{int32(pred), int32(src), int32(col)}]
+	return hg, ok
+}
+
+// histJoinCase builds a(x,y) ⋈ b(y,z) where the cardinality sort provably
+// picks the worse order: card(a)=50 < card(b)=100, so the pure sort scans a
+// first — but b's join column only overlaps a's in one bucket holding 5% of
+// b's rows, so scanning b first touches ~5 rows where a-first touches all 50.
+func histJoinCase() (*ir.SPJOp, storage.PredID, storage.PredID, fakeHist) {
+	cat := storage.NewCatalog()
+	a := cat.Declare("a", 2)
+	b := cat.Declare("b", 2)
+	spj := &ir.SPJOp{
+		NumVars: 3,
+		Head:    []ir.ProjElem{{Var: 0}, {Var: 2}},
+		Atoms: []ir.Atom{
+			{Kind: ast.AtomRelation, Pred: a, Terms: []ast.Term{ast.V(0), ast.V(1)}, Src: ir.SrcDerived},
+			{Kind: ast.AtomRelation, Pred: b, Terms: []ast.Term{ast.V(1), ast.V(2)}, Src: ir.SrcDerived},
+		},
+		DeltaIdx: -1,
+	}
+	fh := fakeHist{fakeStats: fakeStats{}, h: map[[3]int32]storage.Histogram{}}
+	set(fh.fakeStats, a, ir.SrcDerived, 50)
+	set(fh.fakeStats, b, ir.SrcDerived, 100)
+	// a's join column concentrates in bucket 0; b's join column holds 5 rows
+	// there and 95 elsewhere. Overlap(a→b) = 1.0, Overlap(b→a) = 0.05.
+	var ha, hb storage.Histogram
+	ha.Counts[0], ha.Total = 50, 50
+	hb.Counts[0], hb.Counts[1], hb.Total = 5, 95, 100
+	fh.h[[3]int32{int32(a), int32(ir.SrcDerived), 1}] = ha
+	fh.h[[3]int32{int32(b), int32(ir.SrcDerived), 0}] = hb
+	return spj, a, b, fh
+}
+
+// TestHistogramWeightsChangeOrdering pins the tentpole's optimizer half: on
+// the same statistics, the cardinality sort keeps the smaller relation first
+// while the histogram-overlap estimate reverses the order — and the recorded
+// join-size estimate reflects the overlap discount.
+func TestHistogramWeightsChangeOrdering(t *testing.T) {
+	spj, a, b, fh := histJoinCase()
+
+	opts := DefaultOptions()
+	// weight(a) = 50 * 0.5 = 25, weight(b) = 100 * 0.5 = 50: a stays first.
+	if changed, err := Reorder(spj, fh, opts); err != nil || changed {
+		t.Fatalf("cardinality sort: changed=%v err=%v, want unchanged", changed, err)
+	}
+	if spj.Atoms[0].Pred != a {
+		t.Fatalf("cardinality sort moved %v first", spj.Atoms[0].Pred)
+	}
+
+	opts.UseHistograms = true
+	// weight(a) = 50 * 1.0 = 50, weight(b) = 100 * 0.05 = 5: b moves first.
+	if wa := Weight(spj, 0, fh, opts); math.Abs(wa-50) > 1e-9 {
+		t.Fatalf("weight(a) = %v, want 50", wa)
+	}
+	if wb := Weight(spj, 1, fh, opts); math.Abs(wb-5) > 1e-9 {
+		t.Fatalf("weight(b) = %v, want 5", wb)
+	}
+	if est := EstimateRows(spj, fh, opts); math.Abs(est-250) > 1e-6 {
+		t.Fatalf("EstimateRows = %v, want 250", est)
+	}
+	changed, err := Reorder(spj, fh, opts)
+	if err != nil || !changed {
+		t.Fatalf("histogram sort: changed=%v err=%v, want a reorder", changed, err)
+	}
+	if spj.Atoms[0].Pred != b {
+		t.Fatalf("histogram sort kept %v first, want b", spj.Atoms[0].Pred)
+	}
+
+	// Missing histograms fall back to the constant factor: no reorder back
+	// and forth on partial data.
+	bare := fakeHist{fakeStats: fh.fakeStats, h: map[[3]int32]storage.Histogram{}}
+	spj2, _, _, _ := histJoinCase()
+	if changed, err := Reorder(spj2, bare, opts); err != nil || changed {
+		t.Fatalf("missing histograms: changed=%v err=%v, want cardinality behaviour", changed, err)
+	}
+}

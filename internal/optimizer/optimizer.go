@@ -64,6 +64,14 @@ type Options struct {
 	// alternative §IV mentions. Columns without observations fall back to
 	// the constant factor.
 	UseDistinctStats bool
+	// UseHistograms replaces the constant join-key selectivity with the
+	// measured histogram overlap of the two join columns wherever the stats
+	// source supplies histograms (stats.HistogramSource): an atom whose
+	// join-key values barely land in the partner column's populated buckets
+	// is cheap to scan first regardless of its raw cardinality — the skew
+	// and domain-disjointness signal a cardinality sort cannot see. Columns
+	// without histograms fall back to the distinct/constant factor.
+	UseHistograms bool
 }
 
 // DefaultOptions returns the paper-faithful configuration.
@@ -146,13 +154,19 @@ func Reorder(spj *ir.SPJOp, st stats.Source, opts Options) (changed bool, err er
 // a constant term, an intra-atom repeated variable, or a variable shared
 // with another atom of the body (a join key). The reduction is the constant
 // Selectivity factor, or 1/distinct(column) when UseDistinctStats is set and
-// the stats source observes the column.
+// the stats source observes the column; for join-key columns with
+// UseHistograms set the reduction is the measured histogram overlap against
+// the sharing atom's matching column (the estimated fraction of this atom's
+// rows that can find any join partner) — the weight then approximates the
+// atom's join-output contribution rather than its raw size.
 func Weight(spj *ir.SPJOp, atomIdx int, st stats.Source, opts Options) float64 {
 	opts = opts.withDefaults()
 	a := spj.Atoms[atomIdx]
 	card := float64(st.Card(a.Pred, a.Src))
 	ds, haveDS := st.(stats.DistinctSource)
 	useDS := opts.UseDistinctStats && haveDS
+	hs, haveHS := st.(stats.HistogramSource)
+	useHS := opts.UseHistograms && haveHS
 
 	factor := func(col int) float64 {
 		if useDS {
@@ -174,26 +188,82 @@ func Weight(spj *ir.SPJOp, atomIdx int, st stats.Source, opts Options) float64 {
 				continue
 			}
 			seen[t.Var] = true
-			if varSharedElsewhere(spj, atomIdx, t.Var) {
-				w *= factor(col)
+			pj, pcol, shared := sharedPartner(spj, atomIdx, t.Var)
+			if !shared {
+				continue
 			}
+			if useHS && pj >= 0 {
+				if sel, ok := overlapSelectivity(hs, a, col, spj.Atoms[pj], pcol); ok {
+					w *= sel
+					continue
+				}
+			}
+			w *= factor(col)
 		}
 	}
 	return w
 }
 
-func varSharedElsewhere(spj *ir.SPJOp, atomIdx int, v ast.VarID) bool {
+// sharedPartner reports whether variable v of atom atomIdx occurs in any
+// other atom of the body, and identifies the first *relational* sharing atom
+// and its matching column (part = -1 when v is shared only with guards) —
+// the partner whose column histogram the overlap estimate reads.
+func sharedPartner(spj *ir.SPJOp, atomIdx int, v ast.VarID) (part, partCol int, shared bool) {
+	part = -1
 	for j, b := range spj.Atoms {
 		if j == atomIdx {
 			continue
 		}
-		for _, t := range b.Terms {
+		for c, t := range b.Terms {
 			if t.Kind == ast.TermVar && t.Var == v {
-				return true
+				shared = true
+				if part < 0 && b.Kind == ast.AtomRelation {
+					part, partCol = j, c
+				}
 			}
 		}
 	}
-	return false
+	return
+}
+
+// overlapSelectivity reads both join columns' histograms and returns the
+// fraction of atom a's rows whose join-key bucket is populated in the
+// partner column — ok=false (fall back to the constant/distinct factor) when
+// either histogram is unavailable or a's is empty (an empty input carries no
+// distribution signal; its cardinality term already makes it cheapest).
+func overlapSelectivity(hs stats.HistogramSource, a ir.Atom, col int, partner ir.Atom, partnerCol int) (float64, bool) {
+	own, ok := hs.Histogram(a.Pred, a.Src, col)
+	if !ok || own.Total == 0 {
+		return 0, false
+	}
+	other, ok := hs.Histogram(partner.Pred, partner.Src, partnerCol)
+	if !ok {
+		return 0, false
+	}
+	return own.Overlap(other), true
+}
+
+// EstimateRows estimates the subquery's join-output cardinality as the
+// product of its relational atoms' weights — each weight is the atom's
+// cardinality discounted per join/filter constraint (under UseHistograms,
+// join-key constraints use the measured overlap), so the product is the
+// standard independence estimate of the join size. The interpreter records
+// it on the access plan (Plan.EstRows) at build time; rebinds copy the plan
+// struct, so the estimate travels with shared-plan reuse.
+func EstimateRows(spj *ir.SPJOp, st stats.Source, opts Options) float64 {
+	est := 1.0
+	rel := false
+	for i, a := range spj.Atoms {
+		if a.Kind != ast.AtomRelation {
+			continue
+		}
+		est *= Weight(spj, i, st, opts)
+		rel = true
+	}
+	if !rel {
+		return 0
+	}
+	return est
 }
 
 // sortOrder is the paper's algorithm: a stable sort of the relational atoms

@@ -39,6 +39,16 @@ type DistinctSource interface {
 	Distinct(pred storage.PredID, src ir.Source, col int) int
 }
 
+// HistogramSource optionally supplies per-column value-distribution
+// histograms (incrementally maintained in the storage mutation paths, see
+// storage.Relation.BuildHistogram). The optimizer's join-size estimate reads
+// them to replace the constant join-key selectivity with the measured
+// histogram overlap of the two join columns. Implementations report ok=false
+// when the column carries no histogram.
+type HistogramSource interface {
+	Histogram(pred storage.PredID, src ir.Source, col int) (storage.Histogram, bool)
+}
+
 // Catalog reads statistics straight from the storage catalog. All of its
 // reads are O(1): cardinalities and distinct counts are maintained
 // incrementally by the storage mutation paths, and drift counters are bumped
@@ -88,6 +98,30 @@ func (s Catalog) ShardCard(pred storage.PredID, src ir.Source, shard int) int {
 		return p.DeltaKnown.ShardLen(shard)
 	}
 	return p.Derived.ShardLen(shard)
+}
+
+// Histogram returns the value-distribution histogram of a column of the
+// relation (pred, src) resolves to, or ok=false when none is registered.
+// Like every Catalog read it is O(1) modulo the fixed bucket count: the
+// counts are maintained incrementally by the storage mutation paths.
+func (s Catalog) Histogram(pred storage.PredID, src ir.Source, col int) (storage.Histogram, bool) {
+	p := s.Cat.Pred(pred)
+	if src == ir.SrcDelta {
+		return p.DeltaKnown.HistogramOf(col)
+	}
+	return p.Derived.HistogramOf(col)
+}
+
+// ShardHistogram returns bucket shard's histogram of a column of the
+// relation (pred, src) resolves to — the per-shard distribution variant,
+// available under the physical layout (each bucket sub-relation owns its
+// counts; unpartitioned relations read as one bucket).
+func (s Catalog) ShardHistogram(pred storage.PredID, src ir.Source, shard, col int) (storage.Histogram, bool) {
+	p := s.Cat.Pred(pred)
+	if src == ir.SrcDelta {
+		return p.DeltaKnown.ShardHistogram(shard, col)
+	}
+	return p.Derived.ShardHistogram(shard, col)
 }
 
 // ShardDriftCounter returns the predicate's per-bucket monotone counter (see

@@ -35,6 +35,7 @@ import (
 // that immediately refill, e.g. worker delta buffers.
 func (r *Relation) resetContents(retain bool) {
 	r.arena = r.arena[:0]
+	r.histReset()
 	if retain {
 		clear(r.set)
 		clear(r.set64)
@@ -186,6 +187,9 @@ func (r *Relation) SetShardKeyPhysical(shards, col int) {
 		for _, ci := range r.composites {
 			sub.BuildCompositeIndex(ci.cols)
 		}
+		for c := range r.histograms {
+			sub.BuildHistogram(c)
+		}
 		subs[s] = sub
 	}
 	rows := 0
@@ -213,6 +217,9 @@ func (r *Relation) SetShardKeyPhysical(shards, col int) {
 	for _, ci := range r.composites {
 		ci.m = make(map[string][]int32)
 	}
+	// Histogram counts moved into the bucket sub-relations with the rows;
+	// the parent keeps an empty registration (HistogramOf sums the subs).
+	r.histReset()
 }
 
 // dissolvePhys converts a physical relation back to the flat layout,
@@ -236,6 +243,7 @@ func (r *Relation) dissolvePhys() {
 	for _, ci := range r.composites {
 		ci.m = make(map[string][]int32)
 	}
+	r.histReset() // the re-inserts below rebuild the parent counts
 	for _, sub := range subs {
 		sub.Each(func(row []Value) bool {
 			r.Insert(row)

@@ -28,6 +28,7 @@ type Relation struct {
 
 	indexes    map[int]map[Value][]int32  // column -> value -> row ids
 	composites map[string]*compositeIndex // column-set key -> index
+	histograms map[int]*Histogram         // column -> value-distribution histogram
 	scratch    []byte                     // reusable key buffer
 	cscratch   []byte                     // composite-key buffer
 
@@ -165,6 +166,9 @@ func (r *Relation) Insert(t []Value) bool {
 	r.arena = append(r.arena, t...)
 	if r.shardCount > 0 {
 		r.shardInsert(t, row)
+	}
+	if r.histograms != nil {
+		r.histInsert(t)
 	}
 	for col, idx := range r.indexes {
 		v := t[col]
@@ -385,6 +389,7 @@ func (r *Relation) Clear() {
 	for _, ci := range r.composites {
 		ci.m = make(map[string][]int32)
 	}
+	r.histReset()
 }
 
 // freshDedup replaces the active dedup structure with an empty one
@@ -482,9 +487,11 @@ func (r *Relation) TruncateTo(n int) {
 	for _, ci := range r.composites {
 		ci.m = make(map[string][]int32)
 	}
+	r.histReset()
 	for row := int32(0); row < int32(n); row++ {
 		t := r.Row(row)
 		r.dedupAdd(t)
+		r.histInsert(t)
 		for col, idx := range r.indexes {
 			v := t[col]
 			idx[v] = append(idx[v], row)

@@ -147,5 +147,62 @@ func TransitiveClosure(form analysis.Formulation, nodes, edges, seed int) *analy
 	return &analysis.Built{P: p, Output: tc}
 }
 
+// SkewedGraph builds the transitive-closure rules over a deliberately skewed
+// graph: hubs form a small ring, every other node points a spoke at one hub
+// (node i → hub i%hubs), and a power-law background of extra edges piles onto
+// the low-numbered nodes. The derived tc facts concentrate on the hubs'
+// delta buckets — tc is sharded on its join column z in tc(x,z), edge(z,y) —
+// so a static contiguous bucket span containing a hub bucket serializes the
+// iteration behind one straggler task. This is the workload skew detection
+// and work-stealing bucket claims exist for; the hub ring plus background
+// edges keep several buckets occupied, so there is always work to steal.
+func SkewedGraph(form analysis.Formulation, nodes, edges, hubs, seed int) *analysis.Built {
+	p := core.NewProgram()
+	edge := p.Relation("edge", 2)
+	tc := p.Relation("tc", 2)
+	x, y, z := core.NewVar("x"), core.NewVar("y"), core.NewVar("z")
+
+	p.MustRule(tc.A(x, y), edge.A(x, y))
+	if form == analysis.HandOptimized {
+		p.MustRule(tc.A(x, y), tc.A(x, z), edge.A(z, y))
+	} else {
+		p.MustRule(tc.A(x, y), edge.A(z, y), tc.A(x, z))
+	}
+	if hubs < 1 {
+		hubs = 1
+	}
+	if nodes <= hubs {
+		nodes = hubs + 1
+	}
+	// Hub ring: keeps the hubs mutually reachable so hub-bucket deltas renew
+	// every iteration instead of draining after one.
+	for h := 0; h < hubs; h++ {
+		edge.MustFact(h, (h+1)%hubs)
+	}
+	// Spokes: every non-hub node feeds one hub.
+	for i := hubs; i < nodes; i++ {
+		edge.MustFact(i, i%hubs)
+	}
+	// Power-law background: deterministic splitmix64 targets, right-shifted
+	// by a random 0..7 bits so low-numbered nodes absorb most extra edges.
+	s := uint64(seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	next := func() uint64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := 0; i < edges; i++ {
+		a := int(next() % uint64(nodes))
+		b := int((next() % uint64(nodes)) >> (next() % 8))
+		if a == b {
+			continue
+		}
+		edge.MustFact(a, b)
+	}
+	return &analysis.Built{P: p, Output: tc}
+}
+
 // Not re-exports core.Not for readability inside this package.
 func Not(a core.Atom) core.Atom { return core.Not(a) }
