@@ -628,3 +628,52 @@ func BenchmarkStorageInsert(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkServeThroughput measures concurrent query serving: one warm run
+// populates the program-lifetime plan store, then 4 snapshot-isolated
+// sessions issue fixpoint queries concurrently through the server's shared
+// worker pool. Each b.N iteration is one full drive of clients×queries;
+// the headline custom metric is queries per second, with cross-run
+// plan/unit reuse reported alongside.
+func BenchmarkServeThroughput(b *testing.B) {
+	sz := benchSizes
+	cspa := datagen.CSPAGraph(sz.CSPA, sz.Seed)
+	configs := []struct {
+		name   string
+		useJIT bool
+	}{
+		{"Interp", false},
+		{"JIT", true},
+	}
+	for _, c := range configs {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			cfg := engines.ServeConfig{
+				Clients:          4,
+				QueriesPerClient: 4,
+				Workers:          4,
+				UseJIT:           c.useJIT,
+				Timeout:          2 * time.Minute,
+			}
+			built := analysis.CSPA(analysis.HandOptimized, cspa)
+			// Prime Run + Serve happen inside the driver; drive once so the
+			// measured iterations start from a warmed store.
+			if _, err := engines.RunCaracServe(built, cfg); err != nil {
+				b.Fatal(err)
+			}
+			var last *engines.ServeReport
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := engines.RunCaracServe(built, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = rep
+			}
+			b.ReportMetric(last.QPS, "queries/sec")
+			b.ReportMetric(float64(last.CrossRunHits), "crossrun-hits")
+			b.ReportMetric(float64(last.TotalFacts), "facts/query")
+		})
+	}
+}

@@ -7,6 +7,15 @@
 //	    [-plancache] [-adaptive] [-parallel] [-workers n] [-shards n]
 //	    [-shared-plans] [-repeat n] [-histograms] [-steal-threshold r]
 //
+// or drives a concurrent serving load against it — one warm run, then
+// -clients snapshot-isolated sessions each issuing -queries fixpoint
+// queries (optionally paced to -qps per client) over the shared plan store
+// and worker pool:
+//
+//	carac serve prog.dl [-facts dir] [-clients n] [-queries n] [-qps r]
+//	    [-backend ...] [-granularity ...] [-workers n] [-shards n]
+//	    [-adaptive-fanout] [-histograms] [-timeout d] [-stats]
+//
 // Fact files are TSV: one tuple per line, tab-separated, named <relation>.facts
 // inside -facts dir; numeric columns are integers, everything else is interned
 // as a symbol.
@@ -20,6 +29,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"carac/internal/core"
@@ -39,9 +49,20 @@ func main() {
 }
 
 func run(args []string) error {
-	if len(args) < 1 || args[0] != "run" {
-		return fmt.Errorf("usage: carac run <prog.dl> [flags]")
+	if len(args) < 1 {
+		return fmt.Errorf("usage: carac <run|serve> <prog.dl> [flags]")
 	}
+	switch args[0] {
+	case "run":
+		return runCmd(args[1:])
+	case "serve":
+		return serveCmd(args[1:])
+	default:
+		return fmt.Errorf("usage: carac <run|serve> <prog.dl> [flags]")
+	}
+}
+
+func runCmd(args []string) error {
 	fs := flag.NewFlagSet("carac run", flag.ContinueOnError)
 	factsDir := fs.String("facts", "", "directory of <relation>.facts TSV files")
 	backend := fs.String("backend", "off", "JIT backend: off|irgen|lambda|bytecode|quotes")
@@ -67,31 +88,9 @@ func run(args []string) error {
 	timeout := fs.Duration("timeout", 0, "abort after this duration")
 	explain := fs.Bool("explain", false, "print the IROp plan (with optimizer weights) before running")
 
-	rest := args[1:]
-	var file string
-	if len(rest) > 0 && !strings.HasPrefix(rest[0], "-") {
-		file = rest[0]
-		rest = rest[1:]
-	}
-	if err := fs.Parse(rest); err != nil {
-		return err
-	}
-	if file == "" {
-		return fmt.Errorf("usage: carac run <prog.dl> [flags]")
-	}
-
-	src, err := os.ReadFile(file)
+	p, err := loadProgram(fs, args, factsDir)
 	if err != nil {
 		return err
-	}
-	p := core.NewProgram()
-	if err := p.LoadSource(string(src)); err != nil {
-		return err
-	}
-	if *factsDir != "" {
-		if err := loadFactsDir(p, *factsDir); err != nil {
-			return err
-		}
 	}
 
 	be, err := jit.ParseBackend(*backend)
@@ -213,6 +212,166 @@ func run(args []string) error {
 				pls.Hits, pls.CrossRunHits, pls.ColdMisses+pls.BandMisses+pls.StaleDrops,
 				pls.Widens, pls.Evictions+units.Evictions, units.Hits, units.CrossRunHits, totalRecompiles)
 		}
+	}
+	return nil
+}
+
+// loadProgram extracts the .dl path from args, parses the remaining flags
+// into fs (the -facts flag must already be registered there), and returns
+// the loaded Program with its external facts inserted.
+func loadProgram(fs *flag.FlagSet, args []string, factsDir *string) (*core.Program, error) {
+	var file string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		file = args[0]
+		args = args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if file == "" {
+		return nil, fmt.Errorf("usage: %s <prog.dl> [flags]", fs.Name())
+	}
+	src, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	p := core.NewProgram()
+	if err := p.LoadSource(string(src)); err != nil {
+		return nil, err
+	}
+	if *factsDir != "" {
+		if err := loadFactsDir(p, *factsDir); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// serveCmd drives a concurrent serving load: one warm Run populates the
+// program-lifetime plan store, Serve publishes the first epoch, and
+// -clients sessions — each pinned to that epoch, all sharing the server's
+// worker pool — issue -queries fixpoint queries concurrently, optionally
+// paced to -qps queries per second per client.
+func serveCmd(args []string) error {
+	fs := flag.NewFlagSet("carac serve", flag.ContinueOnError)
+	factsDir := fs.String("facts", "", "directory of <relation>.facts TSV files")
+	backend := fs.String("backend", "off", "JIT backend: off|irgen|lambda|bytecode|quotes")
+	granularity := fs.String("granularity", "spj", "compilation granularity: program|dowhile|unionall|union|spj")
+	indexed := fs.Bool("indexed", true, "build join/filter indexes")
+	workers := fs.Int("workers", 0, "worker-pool size shared by all sessions (0 = GOMAXPROCS)")
+	shards := fs.Int("shards", 0, "hash-shard relations and split rules across workers")
+	adaptiveFanout := fs.Bool("adaptive-fanout", false, "re-decide parallel fan-out per iteration from live delta statistics")
+	histograms := fs.Bool("histograms", false, "histogram-driven atom ordering (frozen per epoch for sessions)")
+	clients := fs.Int("clients", 4, "concurrent client sessions")
+	queries := fs.Int("queries", 8, "queries per client")
+	qps := fs.Float64("qps", 0, "per-client query rate (0 = maximum throughput)")
+	timeout := fs.Duration("timeout", 0, "per-query timeout")
+	statsFlag := fs.Bool("stats", true, "print serving statistics")
+
+	p, err := loadProgram(fs, args, factsDir)
+	if err != nil {
+		return err
+	}
+	if *clients < 1 || *queries < 1 {
+		return fmt.Errorf("-clients and -queries must be >= 1")
+	}
+	be, err := jit.ParseBackend(*backend)
+	if err != nil {
+		return err
+	}
+	gr, err := jit.ParseGranularity(*granularity)
+	if err != nil {
+		return err
+	}
+	opts := core.Options{
+		Indexed:        *indexed,
+		SharedPlans:    true,
+		Workers:        *workers,
+		Shards:         *shards,
+		AdaptiveFanout: *adaptiveFanout,
+		Histograms:     *histograms,
+		Timeout:        *timeout,
+		JIT:            jit.Config{Backend: be, Granularity: gr},
+	}
+	// Warm run: serving is the steady state the plan store exists for.
+	if _, err := p.Run(opts); err != nil {
+		return err
+	}
+	srv, err := p.Serve(opts)
+	if err != nil {
+		return err
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		done     int
+		facts    = -1
+	)
+	interval := time.Duration(0)
+	if *qps > 0 {
+		interval = time.Duration(float64(time.Second) / *qps)
+	}
+	t0 := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess, err := srv.Session()
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			defer sess.Close()
+			next := time.Now()
+			for q := 0; q < *queries; q++ {
+				if interval > 0 {
+					if d := time.Until(next); d > 0 {
+						time.Sleep(d)
+					}
+					next = next.Add(interval)
+				}
+				res, err := sess.Query()
+				mu.Lock()
+				switch {
+				case err != nil:
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				case facts == -1:
+					facts = res.TotalFacts
+				case facts != res.TotalFacts:
+					if firstErr == nil {
+						firstErr = fmt.Errorf("sessions diverged: %d facts vs %d", res.TotalFacts, facts)
+					}
+					mu.Unlock()
+					return
+				}
+				done++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	dt := time.Since(t0)
+	if firstErr != nil {
+		return firstErr
+	}
+	if *statsFlag {
+		qpsOut := 0.0
+		if dt > 0 {
+			qpsOut = float64(done) / dt.Seconds()
+		}
+		fmt.Fprintf(os.Stderr, "serve: clients=%d queries=%d duration=%v qps=%.1f facts-per-query=%d cross-run-hits=%d\n",
+			*clients, done, dt.Round(time.Microsecond), qpsOut, facts,
+			srv.PlanStats().CrossRunHits+srv.UnitStats().CrossRunHits)
 	}
 	return nil
 }

@@ -130,3 +130,36 @@ func TestRunSharedPlansRepeat(t *testing.T) {
 		t.Fatal("-repeat 0 accepted")
 	}
 }
+
+func TestServeCommand(t *testing.T) {
+	dir := t.TempDir()
+	prog := writeFile(t, dir, "tc.dl", tcProg)
+	writeFile(t, dir, "edge.facts", "1\t2\n2\t3\n3\t4\n4\t5\n")
+	for _, args := range [][]string{
+		{"serve", prog, "-facts", dir, "-clients", "3", "-queries", "2", "-stats=false"},
+		{"serve", prog, "-facts", dir, "-clients", "2", "-queries", "2", "-backend", "lambda"},
+		{"serve", prog, "-facts", dir, "-clients", "2", "-queries", "3", "-qps", "100", "-stats=false"},
+		{"serve", prog, "-facts", dir, "-clients", "2", "-queries", "2", "-shards", "4", "-workers", "2", "-stats=false"},
+	} {
+		if err := run(args); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestServeErrors(t *testing.T) {
+	dir := t.TempDir()
+	prog := writeFile(t, dir, "tc.dl", tcProg+"\nedge(1,2).\n")
+	for _, args := range [][]string{
+		{"serve"},
+		{"serve", filepath.Join(dir, "missing.dl")},
+		{"serve", prog, "-clients", "0"},
+		{"serve", prog, "-queries", "0"},
+		{"serve", prog, "-backend", "llvm"},
+		{"uptime", prog},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

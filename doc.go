@@ -207,6 +207,51 @@
 //     runs from the command line), and engines.RunCaracWarm measures the
 //     warm steady state in Table II.
 //
+// # Serving
+//
+// Everything above evaluates one Run at a time; core.Program.Serve turns a
+// Program into a single-writer, many-reader query server on the same
+// engine paths:
+//
+//   - An Epoch is an immutable snapshot published at a storage boundary:
+//     pinned zero-copy views of every predicate's ground facts
+//     (storage.Relation.PinRows — destructive rewrites detach the pinned
+//     arena copy-on-flip, so appends stay cheap and epochs never copy
+//     eagerly), a deep statistics snapshot taken before the baseline rewind
+//     (stats.CaptureSnapshot, so a session's optimizer sees
+//     boundary-consistent cardinalities and histograms, never a half-rebuilt
+//     live histogram), and the plan-store generation for that boundary.
+//
+//   - A Session (core.Server.Session) pins the current epoch and evaluates
+//     fixpoint queries against a private catalog seeded from it, through a
+//     session-lived execution engine — the same interpreter, plan cache, and
+//     JIT controller a Run uses. Sessions share the Program's plan store
+//     (plans and compiled units are catalog-independent by the structural
+//     keying above, so cross-session reuse is sound and shows up as
+//     CrossRunHits) and draw intra-query parallelism from the server's
+//     bounded worker pool: an idle server grants a session its full
+//     fan-out, a loaded one degrades sessions toward one worker each.
+//
+//   - Writes stay single-writer: Server.Ingest batches fact mutations on
+//     the live catalog, and Server.Publish flips the next epoch atomically
+//     (rewind to ground baseline, advance the catalog epoch, bump the store
+//     generation once per boundary — never per session query). Sessions
+//     opened before a publish keep answering from their pinned epoch;
+//     sessions opened after see the new facts. Run remains available on a
+//     serving Program and is itself guarded by an internal mutex (see
+//     TestConcurrentRunGuard for the race it closes).
+//
+// Compiled-unit re-entrancy is part of this contract: cached units are
+// shared through the store, so two sessions may execute one unit
+// concurrently — every backend therefore threads its mutable scratch
+// through per-invocation pooled state (lambda chain instances, the bytecode
+// VM's runState, quotes frames) rather than compile-time buffers. The
+// serving load path is driven by engines.RunCaracServe, the carac serve
+// subcommand (N clients x QPS), and BenchmarkServeThroughput (the
+// BENCH_serve.json CI artifact); the concurrent-session differential matrix
+// in internal/core checks every backend against the sequential oracle under
+// the race detector.
+//
 // Post-Run mutation contract (and cache lifecycle): the rule set freezes at
 // a Program's first Run — adding rules or source afterwards errors; create a
 // new Program for a different rule set. Facts MAY keep being added between

@@ -18,13 +18,13 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"carac/internal/ast"
 	"carac/internal/interp"
 	"carac/internal/ir"
 	"carac/internal/jit"
-	"carac/internal/optimizer"
 	"carac/internal/parser"
 	"carac/internal/plancache"
 	"carac/internal/stats"
@@ -38,8 +38,17 @@ type Var struct{ name string }
 // NewVar creates a fresh variable with a diagnostic name.
 func NewVar(name string) *Var { return &Var{name: name} }
 
-// Program owns a catalog of relations, the rule set, and execution. It is
-// not safe for concurrent use.
+// Program owns a catalog of relations, the rule set, and execution.
+//
+// Concurrency contract: the Program is single-writer, many-reader. Rule and
+// fact construction (Rule, Fact, LoadSource) belongs to one goroutine at a
+// time with no Run in flight. Run itself is guarded by an internal mutex, so
+// concurrent Run calls serialize instead of corrupting the ground-fact
+// baseline — but they still share one catalog, so the supported way to
+// evaluate concurrently is Serve: sessions opened on a Server each pin an
+// immutable epoch snapshot and execute on private catalogs, any number in
+// parallel, while fact ingestion (the single writer) builds the next epoch
+// behind the same mutex. See doc.go §Serving for the epoch lifecycle.
 //
 // Post-Run mutation contract: the rule set freezes at the first Run — rules
 // and parsed source may only be added before it (create a new Program for a
@@ -47,12 +56,17 @@ func NewVar(name string) *Var { return &Var{name: name} }
 // batches rewind derived state to the ground-fact baseline), and repeated
 // Runs are always legal. Under Options.SharedPlans the Program additionally
 // owns a plan store that carries access plans, compiled JIT units, and
-// their drift state across those runs.
+// their drift state across those runs — and across serving sessions.
 type Program struct {
 	cat      *storage.Catalog
 	prog     *ast.Program
 	baseLens []int // ground-fact baseline per predicate, captured on first Run
 	frozen   bool
+	// runMu serializes everything that owns the shared catalog's mutable
+	// state: Run, fact ingestion after the first Run, and the serving
+	// layer's epoch publication. Readers never take it — sessions read only
+	// their pinned epoch and their private catalogs.
+	runMu sync.Mutex
 	// baselineClean is true when Derived holds exactly the ground facts
 	// (i.e. derived rows have been truncated away after the last Run),
 	// enabling incremental fact addition between runs.
@@ -521,7 +535,9 @@ type Result struct {
 
 // Run executes the program to fixpoint under opts. Repeated Runs are
 // independent: derived state is reset to the ground-fact baseline captured
-// at the first Run.
+// at the first Run. Concurrent Run calls serialize on the Program's run
+// mutex — they share one catalog, so only one may own it at a time; for
+// genuinely concurrent evaluation open snapshot sessions via Serve.
 func (p *Program) Run(opts Options) (*Result, error) {
 	// Histogram-aware ordering applies everywhere a join order is decided:
 	// AOT staging, drift-driven re-optimization, and the JIT's compile-side
@@ -530,6 +546,38 @@ func (p *Program) Run(opts Options) (*Result, error) {
 	if opts.Histograms {
 		opts.JIT.Optimizer.UseHistograms = true
 	}
+	prog, root, err := p.lowered(opts)
+	if err != nil {
+		return nil, err
+	}
+
+	p.runMu.Lock()
+	defer p.runMu.Unlock()
+	p.captureBaselineLocked()
+
+	// Each Run is its own epoch boundary. The plan-store generation advances
+	// with the catalog epoch — not with query execution — so hits on entries
+	// surviving from an earlier boundary read as cross-run reuse. Serving
+	// sessions share one boundary per published epoch instead (serve.go):
+	// queries inside an epoch never bump, so two sessions on one epoch
+	// cannot double-bump and misattribute CrossRunHits.
+	p.cat.AdvanceEpoch()
+	var store *plancache.Store
+	if opts.SharedPlans {
+		store = p.sharedStore(opts)
+		store.BumpGeneration()
+	}
+
+	eng, err := newExecEngine(p.cat, prog, root, opts, store, stats.Catalog{Cat: p.cat})
+	if err != nil {
+		return nil, err
+	}
+	defer eng.close()
+	return eng.query(opts.Timeout, true)
+}
+
+// lowered applies the static rewrites and lowers the rule program to IR.
+func (p *Program) lowered(opts Options) (*ast.Program, *ir.ProgramOp, error) {
 	prog := p.prog
 	if opts.EliminateAliases {
 		clone := ast.NewProgram(p.cat)
@@ -539,19 +587,19 @@ func (p *Program) Run(opts Options) (*Result, error) {
 		clone.EliminateAliases()
 		prog = clone
 	}
-
-	var root *ir.ProgramOp
-	var err error
-	if opts.Naive {
-		root, err = ir.LowerNaive(prog)
-	} else {
-		root, err = ir.Lower(prog)
-	}
+	root, err := lowerRoot(prog, opts)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	return prog, root, nil
+}
 
-	// Baseline capture and reset for rerunability.
+// captureBaselineLocked freezes the rule set and records the ground-fact
+// baseline at the first run, and rewinds derived state to that baseline on
+// later ones. Callers hold runMu — this is the state the run mutex exists
+// to protect (unguarded concurrent Runs raced here and silently corrupted
+// the baseline lengths).
+func (p *Program) captureBaselineLocked() {
 	if !p.frozen {
 		p.frozen = true
 		p.baseLens = make([]int, p.cat.NumPreds())
@@ -562,164 +610,6 @@ func (p *Program) Run(opts Options) (*Result, error) {
 		p.ensureBaseline()
 	}
 	p.baselineClean = false // the run below derives new rows
-
-	if opts.Indexed {
-		for pid, cols := range ir.JoinKeyColumns(prog) {
-			p.cat.Pred(pid).BuildIndexes(cols)
-		}
-		if opts.CompositeIndexes {
-			for pid, sets := range ir.JoinKeySignatures(prog) {
-				p.cat.Pred(pid).BuildCompositeIndexes(sets)
-			}
-		}
-	}
-
-	// Histogram registration is permanent like index registration, and must
-	// precede the shard configuration below: ConfigureShardsPhysical
-	// propagates registered columns into the per-bucket sub-relations, which
-	// is what makes the per-shard histogram variants readable.
-	if opts.Histograms {
-		for pid, cols := range ir.JoinKeyColumns(prog) {
-			p.cat.Pred(pid).BuildHistograms(cols)
-		}
-	}
-
-	// Ahead-of-time ("macro") staging: freeze initial orders before timing.
-	if opts.AOT != AOTNone || opts.AOTStats != nil {
-		var src stats.Source = stats.Unit{}
-		if opts.AOT == AOTFactsAndRules {
-			src = stats.Catalog{Cat: p.cat}
-		}
-		if opts.AOTStats != nil {
-			src = opts.AOTStats
-		}
-		var aotErr error
-		ir.Walk(root, func(o ir.Op) {
-			if spj, ok := o.(*ir.SPJOp); ok {
-				if _, rerr := optimizer.Reorder(spj, src, opts.JIT.Optimizer); rerr != nil && aotErr == nil {
-					aotErr = rerr
-				}
-			}
-		})
-		if aotErr != nil {
-			return nil, aotErr
-		}
-	}
-
-	// Program-lifetime plan store: one key space backing the interpreter's
-	// plan view and the JIT's unit view. The generation bump marks the run
-	// boundary so hits on surviving entries read as cross-run reuse.
-	var store *plancache.Store
-	var planBase, unitBase plancache.Stats
-	if opts.SharedPlans {
-		store = p.sharedStore(opts)
-		store.BumpGeneration()
-		planBase = store.ClassStats(plancache.ClassPlans)
-		unitBase = store.ClassStats(plancache.ClassUnits)
-	}
-
-	var ctrl *jit.Controller
-	var ictrl interp.Controller
-	if opts.JIT.Backend != jit.BackendOff {
-		if store != nil {
-			ctrl = jit.NewShared(p.cat, root, opts.JIT, store)
-		} else {
-			ctrl = jit.New(p.cat, root, opts.JIT)
-		}
-		defer ctrl.Close()
-		ictrl = ctrl
-	}
-	in := interp.New(p.cat, ictrl)
-	in.Executor = opts.Executor
-	in.Parallel = opts.ParallelUnions
-	in.Workers = opts.Workers
-	in.AdaptiveFanout = opts.AdaptiveFanout
-	in.FanoutThreshold = opts.FanoutThreshold
-	in.StealThreshold = opts.StealThreshold
-	if opts.Histograms {
-		live := stats.Catalog{Cat: p.cat}
-		oopts := opts.JIT.Optimizer
-		in.Estimate = func(spj *ir.SPJOp) float64 {
-			return optimizer.EstimateRows(spj, live, oopts)
-		}
-	}
-	shards := opts.Shards
-	if opts.AdaptiveFanout && shards <= 1 {
-		shards = 8
-	}
-	if shards > 1 {
-		// Partition every predicate on its planned join key (first join
-		// column; column 0 for predicates never joined on) so the sharded
-		// fan-out serves each task's delta slice from an exact bucket list.
-		keyCols := make(map[storage.PredID]int)
-		for pid, cols := range ir.JoinKeyColumns(prog) {
-			if len(cols) > 0 {
-				keyCols[pid] = cols[0]
-			}
-		}
-		// Physical backing store for every sharded run: the merge barrier
-		// runs bucketed, Derived membership probes are bucket-local, and the
-		// compiled backends read the same bucket-local surface (PhysSubs) —
-		// with a JIT attached the pool's tasks execute span-parameterized
-		// compiled units, so sharding and compilation compose.
-		p.cat.ConfigureShardsPhysical(shards, keyCols)
-		in.Parallel = true
-		in.Shards = shards
-	} else {
-		// Drop stale partitions so repeated Runs of one Program stay
-		// independent of an earlier sharded configuration.
-		p.cat.ConfigureShards(0, nil)
-	}
-	var plans *plancache.Cache[*interp.Plan]
-	if opts.PlanCache || opts.AdaptivePlans || opts.SharedPlans {
-		pol := plancache.Policy{Threshold: opts.PlanCacheDrift}
-		if store != nil {
-			plans = plancache.View[*interp.Plan](store, plancache.ViewConfig{Class: plancache.ClassPlans, Policy: pol})
-		} else {
-			plans = plancache.New[*interp.Plan](pol)
-		}
-		in.Plans = plans
-		if opts.AdaptivePlans {
-			live := stats.Catalog{Cat: p.cat}
-			oopts := opts.JIT.Optimizer
-			in.Reopt = func(spj *ir.SPJOp) bool {
-				changed, err := optimizer.Reorder(spj, live, oopts)
-				return err == nil && changed
-			}
-		}
-	}
-	if opts.Timeout > 0 {
-		timer := time.AfterFunc(opts.Timeout, in.Cancel)
-		defer timer.Stop()
-	}
-
-	t0 := time.Now()
-	if err := in.Run(root); err != nil {
-		return nil, err
-	}
-	dt := time.Since(t0)
-
-	res := &Result{
-		Duration:   dt,
-		Interp:     in.Stats,
-		TotalFacts: p.cat.TotalDerived(),
-	}
-	if plans != nil {
-		res.Plans = plans.Stats()
-		if store != nil {
-			res.Plans = res.Plans.Sub(planBase)
-		}
-	}
-	if ctrl != nil {
-		ctrl.Close()
-		res.JIT = ctrl.Stats()
-		if store != nil {
-			res.Units = store.ClassStats(plancache.ClassUnits).Sub(unitBase)
-		} else {
-			res.Units = ctrl.UnitStats()
-		}
-	}
-	return res, nil
 }
 
 // LoadSource parses Soufflé-flavoured Datalog text into the program:

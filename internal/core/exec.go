@@ -1,0 +1,239 @@
+package core
+
+import (
+	"time"
+
+	"carac/internal/ast"
+	"carac/internal/interp"
+	"carac/internal/ir"
+	"carac/internal/jit"
+	"carac/internal/optimizer"
+	"carac/internal/plancache"
+	"carac/internal/stats"
+	"carac/internal/storage"
+)
+
+// execEngine is one assembled execution context over a catalog: registered
+// access artifacts, AOT-staged IR, an optional JIT controller, and a
+// configured interpreter. Program.Run builds a fresh engine per call over
+// the Program's own catalog; serving sessions build one engine per session
+// over their private epoch-seeded catalog and reuse it across queries — the
+// compiled units and cached plans it produces are catalog-independent
+// (resolved through the interpreter's catalog at invocation time), so both
+// shapes share one Program-lifetime plan store.
+type execEngine struct {
+	cat   *storage.Catalog
+	root  *ir.ProgramOp
+	opts  Options
+	store *plancache.Store
+	ctrl  *jit.Controller
+	in    *interp.Interp
+	plans *plancache.Cache[*interp.Plan]
+}
+
+// registerArtifacts applies the permanent per-relation registrations opts
+// asks for — hash indexes, composite indexes, histograms — to cat.
+func registerArtifacts(cat *storage.Catalog, prog *ast.Program, opts Options) {
+	if opts.Indexed {
+		for pid, cols := range ir.JoinKeyColumns(prog) {
+			cat.Pred(pid).BuildIndexes(cols)
+		}
+		if opts.CompositeIndexes {
+			for pid, sets := range ir.JoinKeySignatures(prog) {
+				cat.Pred(pid).BuildCompositeIndexes(sets)
+			}
+		}
+	}
+	// Histogram registration is permanent like index registration, and must
+	// precede shard configuration: ConfigureShardsPhysical propagates
+	// registered columns into the per-bucket sub-relations, which is what
+	// makes the per-shard histogram variants readable.
+	if opts.Histograms {
+		for pid, cols := range ir.JoinKeyColumns(prog) {
+			cat.Pred(pid).BuildHistograms(cols)
+		}
+	}
+}
+
+// newExecEngine assembles an engine over cat for the lowered program root.
+// store is the shared plan store (nil for per-run caches); aotSrc is the
+// statistics source AOTFactsAndRules orders against — the live catalog for
+// Run, the pinned epoch's snapshot for serving sessions, so session plans
+// are staged against boundary-consistent statistics.
+func newExecEngine(cat *storage.Catalog, prog *ast.Program, root *ir.ProgramOp, opts Options, store *plancache.Store, aotSrc stats.Source) (*execEngine, error) {
+	registerArtifacts(cat, prog, opts)
+
+	// Ahead-of-time ("macro") staging: freeze initial orders before timing.
+	if opts.AOT != AOTNone || opts.AOTStats != nil {
+		var src stats.Source = stats.Unit{}
+		if opts.AOT == AOTFactsAndRules {
+			src = aotSrc
+		}
+		if opts.AOTStats != nil {
+			src = opts.AOTStats
+		}
+		var aotErr error
+		ir.Walk(root, func(o ir.Op) {
+			if spj, ok := o.(*ir.SPJOp); ok {
+				if _, rerr := optimizer.Reorder(spj, src, opts.JIT.Optimizer); rerr != nil && aotErr == nil {
+					aotErr = rerr
+				}
+			}
+		})
+		if aotErr != nil {
+			return nil, aotErr
+		}
+	}
+
+	var ctrl *jit.Controller
+	var ictrl interp.Controller
+	if opts.JIT.Backend != jit.BackendOff {
+		if store != nil {
+			ctrl = jit.NewShared(cat, root, opts.JIT, store)
+		} else {
+			ctrl = jit.New(cat, root, opts.JIT)
+		}
+		ictrl = ctrl
+	}
+	in := interp.New(cat, ictrl)
+	in.Executor = opts.Executor
+	in.Parallel = opts.ParallelUnions
+	in.Workers = opts.Workers
+	in.AdaptiveFanout = opts.AdaptiveFanout
+	in.FanoutThreshold = opts.FanoutThreshold
+	in.StealThreshold = opts.StealThreshold
+	if opts.Histograms {
+		live := stats.Catalog{Cat: cat}
+		oopts := opts.JIT.Optimizer
+		in.Estimate = func(spj *ir.SPJOp) float64 {
+			return optimizer.EstimateRows(spj, live, oopts)
+		}
+	}
+	shards := opts.Shards
+	if opts.AdaptiveFanout && shards <= 1 {
+		shards = 8
+	}
+	if shards > 1 {
+		// Partition every predicate on its planned join key (first join
+		// column; column 0 for predicates never joined on) so the sharded
+		// fan-out serves each task's delta slice from an exact bucket list.
+		keyCols := make(map[storage.PredID]int)
+		for pid, cols := range ir.JoinKeyColumns(prog) {
+			if len(cols) > 0 {
+				keyCols[pid] = cols[0]
+			}
+		}
+		// Physical backing store for every sharded run: the merge barrier
+		// runs bucketed, Derived membership probes are bucket-local, and the
+		// compiled backends read the same bucket-local surface (PhysSubs) —
+		// with a JIT attached the pool's tasks execute span-parameterized
+		// compiled units, so sharding and compilation compose.
+		cat.ConfigureShardsPhysical(shards, keyCols)
+		in.Parallel = true
+		in.Shards = shards
+	} else {
+		// Drop stale partitions so repeated Runs of one Program stay
+		// independent of an earlier sharded configuration.
+		cat.ConfigureShards(0, nil)
+	}
+	var plans *plancache.Cache[*interp.Plan]
+	if opts.PlanCache || opts.AdaptivePlans || opts.SharedPlans {
+		pol := plancache.Policy{Threshold: opts.PlanCacheDrift}
+		if store != nil {
+			plans = plancache.View[*interp.Plan](store, plancache.ViewConfig{Class: plancache.ClassPlans, Policy: pol})
+		} else {
+			plans = plancache.New[*interp.Plan](pol)
+		}
+		in.Plans = plans
+		if opts.AdaptivePlans {
+			live := stats.Catalog{Cat: cat}
+			oopts := opts.JIT.Optimizer
+			in.Reopt = func(spj *ir.SPJOp) bool {
+				changed, err := optimizer.Reorder(spj, live, oopts)
+				return err == nil && changed
+			}
+		}
+	}
+	return &execEngine{cat: cat, root: root, opts: opts, store: store, ctrl: ctrl, in: in, plans: plans}, nil
+}
+
+// query runs the engine's program to fixpoint once and assembles the
+// Result. oneShot marks a Run-owned engine: its controller is closed before
+// the JIT statistics are read, so asynchronous compiles finish counting.
+// Session-owned engines keep the controller alive across queries and report
+// the per-query delta of its counters instead.
+//
+// Under SharedPlans the Plans/Units deltas subtract the store's counters at
+// query start; with concurrent sessions active the window may include
+// neighbors' store activity (the counters are store-cumulative and
+// monotone), so per-query attribution is approximate there — exact totals
+// live on the store's ClassStats.
+func (e *execEngine) query(timeout time.Duration, oneShot bool) (*Result, error) {
+	var planBase, unitBase plancache.Stats
+	if e.store != nil {
+		planBase = e.store.ClassStats(plancache.ClassPlans)
+		unitBase = e.store.ClassStats(plancache.ClassUnits)
+	}
+	var jitBase jit.Stats
+	if e.ctrl != nil && !oneShot {
+		jitBase = e.ctrl.Stats()
+	}
+	e.in.ResetCancel()
+	if timeout > 0 {
+		timer := time.AfterFunc(timeout, e.in.Cancel)
+		defer timer.Stop()
+	}
+
+	t0 := time.Now()
+	if err := e.in.Run(e.root); err != nil {
+		return nil, err
+	}
+	dt := time.Since(t0)
+
+	res := &Result{
+		Duration:   dt,
+		Interp:     e.in.TakeStats(),
+		TotalFacts: e.cat.TotalDerived(),
+	}
+	if e.plans != nil {
+		res.Plans = e.plans.Stats()
+		if e.store != nil {
+			res.Plans = res.Plans.Sub(planBase)
+		}
+	}
+	if e.ctrl != nil {
+		if oneShot {
+			e.ctrl.Close()
+			res.JIT = e.ctrl.Stats()
+		} else {
+			res.JIT = subJIT(e.ctrl.Stats(), jitBase)
+		}
+		if e.store != nil {
+			res.Units = e.store.ClassStats(plancache.ClassUnits).Sub(unitBase)
+		} else {
+			res.Units = e.ctrl.UnitStats()
+		}
+	}
+	return res, nil
+}
+
+// close releases the engine's controller (idempotent).
+func (e *execEngine) close() {
+	if e.ctrl != nil {
+		e.ctrl.Close()
+	}
+}
+
+// subJIT returns the field-wise difference a - b of two JIT counter
+// snapshots (the per-query window of a session-lived controller).
+func subJIT(a, b jit.Stats) jit.Stats {
+	return jit.Stats{
+		Compilations: a.Compilations - b.Compilations,
+		CompileTime:  a.CompileTime - b.CompileTime,
+		CacheHits:    a.CacheHits - b.CacheHits,
+		StaleDrops:   a.StaleDrops - b.StaleDrops,
+		Reorders:     a.Reorders - b.Reorders,
+		Switchovers:  a.Switchovers - b.Switchovers,
+		Failures:     a.Failures - b.Failures,
+	}
+}

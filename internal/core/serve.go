@@ -1,0 +1,402 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"carac/internal/ast"
+	"carac/internal/ir"
+	"carac/internal/plancache"
+	"carac/internal/stats"
+	"carac/internal/storage"
+)
+
+// This file is the serving layer: concurrent, snapshot-isolated query
+// sessions over one Program. The design is reader/writer epochs (in the
+// spirit of cloud-native snapshot isolation over a mutating store):
+//
+//   - An Epoch is an immutable snapshot of the Program's ground-fact state —
+//     pinned row views of every Derived relation plus a deep statistics
+//     snapshot — taken at a publication boundary.
+//   - A Session pins the current epoch and evaluates on a private catalog
+//     seeded from it, through the same execution pipeline Run uses
+//     (interpreter, optimizer, JIT). Sessions share the Program-lifetime
+//     plan store: access plans and compiled units are keyed structurally and
+//     resolve relations through the executing interpreter's catalog at
+//     invocation time, so one session's artifacts serve every other.
+//   - Fact ingestion stays single-writer (Server.Ingest, under the
+//     Program's run mutex) and becomes visible atomically: Publish rewinds
+//     to the ground baseline through the existing delta machinery, advances
+//     the catalog epoch and plan-store generation once, pins fresh row
+//     views, captures the statistics snapshot, and flips the epoch pointer.
+//     Sessions opened before the flip keep reading their pinned epoch —
+//     storage-level copy-on-flip keeps those row views intact even as the
+//     writer's rewind re-appends over the truncated region.
+//
+// Intra-query parallelism and inter-session concurrency share one bounded
+// worker pool: each query takes what is free (at least one token), so an
+// idle server gives a single query the full fan-out while a loaded one
+// degrades gracefully to one worker per query.
+
+// Epoch is one published snapshot of a serving Program's ground-fact state.
+// It is immutable: later ingestion and publication cannot change what its
+// rows or statistics report.
+type Epoch struct {
+	gen     uint64
+	names   []string
+	arities []int
+	rows    []storage.EpochRows
+	stats   *stats.Snapshot
+	refs    atomic.Int64
+}
+
+// Generation returns the catalog epoch generation this snapshot was
+// published at.
+func (e *Epoch) Generation() uint64 { return e.gen }
+
+// Stats returns the epoch's deep statistics snapshot (cardinalities,
+// distinct counts, histograms — all boundary-consistent).
+func (e *Epoch) Stats() *stats.Snapshot { return e.stats }
+
+// Rows returns the pinned ground rows of predicate id.
+func (e *Epoch) Rows(id storage.PredID) storage.EpochRows { return e.rows[id] }
+
+// Sessions returns the number of sessions currently pinning this epoch
+// (diagnostic; epochs need no explicit reclamation).
+func (e *Epoch) Sessions() int64 { return e.refs.Load() }
+
+// workerPool is the server's shared worker-token pool. acquire blocks until
+// at least one token is free and then grants up to want of them, so a query
+// on an idle server gets its full fan-out while a loaded server converges to
+// one worker per concurrent query — total execution goroutines stay bounded
+// by the pool size regardless of session count.
+type workerPool struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	free int
+}
+
+func newWorkerPool(n int) *workerPool {
+	if n < 1 {
+		n = 1
+	}
+	wp := &workerPool{free: n}
+	wp.cond = sync.NewCond(&wp.mu)
+	return wp
+}
+
+func (wp *workerPool) acquire(want int) int {
+	if want < 1 {
+		want = 1
+	}
+	wp.mu.Lock()
+	defer wp.mu.Unlock()
+	for wp.free < 1 {
+		wp.cond.Wait()
+	}
+	n := want
+	if n > wp.free {
+		n = wp.free
+	}
+	wp.free -= n
+	return n
+}
+
+func (wp *workerPool) release(n int) {
+	wp.mu.Lock()
+	wp.free += n
+	wp.mu.Unlock()
+	wp.cond.Broadcast()
+}
+
+// Server serves concurrent snapshot-isolated sessions over one Program. See
+// Program.Serve.
+type Server struct {
+	p    *Program
+	opts Options
+	prog *ast.Program // rewritten rule program, read-only, shared by sessions
+	pool *workerPool
+	// mu serializes the write side — Ingest and Publish — on top of the
+	// Program's run mutex (which direct Run calls also take).
+	mu    sync.Mutex
+	epoch atomic.Pointer[Epoch]
+}
+
+// Serve freezes the Program's rule set, publishes its current facts as the
+// first epoch, and returns a Server from which any number of goroutines may
+// open query sessions. Serving forces SharedPlans: the Program-lifetime plan
+// store is the medium through which sessions share plans and compiled units
+// (including any built by Runs before serving — those hits read as cross-run
+// reuse).
+//
+// The Program stays usable as the ingestion side: add facts via
+// Server.Ingest and make them visible with Publish. Direct Run calls remain
+// legal between publications (they serialize on the same mutex), but the
+// epoch sessions see only advances at Publish.
+func (p *Program) Serve(opts Options) (*Server, error) {
+	opts.SharedPlans = true
+	if opts.Histograms {
+		opts.JIT.Optimizer.UseHistograms = true
+	}
+	prog, _, err := p.lowered(opts) // validate lowering before accepting sessions
+	if err != nil {
+		return nil, err
+	}
+
+	p.runMu.Lock()
+	defer p.runMu.Unlock()
+	if !p.frozen {
+		p.frozen = true
+		p.baseLens = make([]int, p.cat.NumPreds())
+		for i, pd := range p.cat.Preds() {
+			p.baseLens[i] = pd.Derived.Len()
+		}
+		p.baselineClean = true // nothing has been derived yet
+	}
+	// Register the access artifacts on the Program catalog too, so epoch
+	// statistics snapshots carry distinct counts and histograms for the
+	// session planners.
+	registerArtifacts(p.cat, prog, opts)
+
+	s := &Server{
+		p:    p,
+		opts: opts,
+		prog: prog,
+		pool: newWorkerPool(effectiveWorkers(opts)),
+	}
+	s.publishLocked()
+	return s, nil
+}
+
+// effectiveWorkers resolves the server's worker-pool size from opts.
+func effectiveWorkers(opts Options) int {
+	if opts.Workers > 0 {
+		return opts.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// queryWants returns how many pool tokens one query asks for: the full
+// fan-out for parallel configurations, one for sequential ones.
+func queryWants(opts Options) int {
+	if opts.ParallelUnions || opts.AdaptiveFanout || opts.Shards > 1 {
+		return effectiveWorkers(opts)
+	}
+	return 1
+}
+
+// publishLocked takes the epoch snapshot and flips the pointer. Callers hold
+// both s.mu (or are inside Serve) and p.runMu.
+func (s *Server) publishLocked() *Epoch {
+	p := s.p
+	// Rewind any derived rows (e.g. from a direct Run between publications)
+	// so the epoch pins exactly the ground-fact state. Pinned views from the
+	// previous epoch survive this: the truncation flips the arenas to fresh
+	// slabs instead of rewriting the pinned ones in place.
+	p.ensureBaseline()
+	// One generation bump per published epoch (serving always shares the
+	// store): queries never bump, so plan hits inside an epoch read as
+	// same-generation reuse and hits on entries from before the boundary as
+	// cross-run reuse — however many sessions overlap.
+	gen := p.cat.AdvanceEpoch()
+	p.sharedStore(s.opts).BumpGeneration()
+	n := p.cat.NumPreds()
+	e := &Epoch{
+		gen:     gen,
+		names:   make([]string, n),
+		arities: make([]int, n),
+		rows:    make([]storage.EpochRows, n),
+	}
+	for i, pd := range p.cat.Preds() {
+		e.names[i] = pd.Name
+		e.arities[i] = pd.Arity
+		e.rows[i] = pd.Derived.PinRows()
+	}
+	// The statistics snapshot is taken here, at the boundary and before any
+	// later baseline rewind can truncate the relations the counters
+	// describe — a session's planner must never observe a half-rewound
+	// cardinality or histogram.
+	e.stats = stats.CaptureSnapshot(p.cat)
+	s.epoch.Store(e)
+	return e
+}
+
+// Epoch returns the currently published epoch.
+func (s *Server) Epoch() *Epoch { return s.epoch.Load() }
+
+// Ingest runs fn — fact insertions through the Program's relation handles —
+// as the single writer, mutually excluded against other ingestion, Publish,
+// and direct Run calls. The new facts stay invisible to sessions until the
+// next Publish.
+func (s *Server) Ingest(fn func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.p.runMu.Lock()
+	defer s.p.runMu.Unlock()
+	fn()
+}
+
+// Publish makes everything ingested so far visible atomically: it builds the
+// next epoch (baseline rewind through the delta machinery, one epoch/
+// generation bump, pinned rows, statistics snapshot) and flips the epoch
+// pointer. Sessions opened before the flip keep their pinned epoch; sessions
+// opened after see the new one.
+func (s *Server) Publish() *Epoch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.p.runMu.Lock()
+	defer s.p.runMu.Unlock()
+	return s.publishLocked()
+}
+
+// Session is one client's snapshot-isolated query context: a private catalog
+// seeded from the pinned epoch, evaluated by a session-lived engine
+// (interpreter, optional JIT controller) over the server's shared worker
+// pool and plan store. A Session is owned by one goroutine at a time —
+// concurrency comes from opening one session per client, any number of
+// which query in parallel.
+type Session struct {
+	srv      *Server
+	epoch    *Epoch
+	cat      *storage.Catalog
+	eng      *execEngine
+	baseLens []int
+	ran      bool
+	closed   bool
+}
+
+// Session opens a session pinned to the currently published epoch.
+func (s *Server) Session() (*Session, error) {
+	e := s.epoch.Load()
+	e.refs.Add(1)
+
+	// Private catalog with the epoch's schema (identical dense PredIDs, by
+	// declaration order) and ground rows; the symbol table is shared with
+	// the Program (it is append-only and thread-safe), so values mean the
+	// same strings in every session and epoch.
+	cat := storage.NewCatalog()
+	cat.Symbols = s.p.cat.Symbols
+	baseLens := make([]int, len(e.names))
+	for i, name := range e.names {
+		id := cat.Declare(name, e.arities[i])
+		pd := cat.Pred(id)
+		e.rows[i].Each(func(row []storage.Value) bool {
+			pd.Derived.Insert(row)
+			return true
+		})
+		baseLens[i] = pd.Derived.Len()
+	}
+
+	root, err := lowerRoot(s.prog, s.opts)
+	if err != nil {
+		e.refs.Add(-1)
+		return nil, err
+	}
+	eng, err := newExecEngine(cat, s.prog, root, s.opts, s.p.sharedStore(s.opts), e.stats)
+	if err != nil {
+		e.refs.Add(-1)
+		return nil, err
+	}
+	return &Session{srv: s, epoch: e, cat: cat, eng: eng, baseLens: baseLens}, nil
+}
+
+// lowerRoot lowers a rewritten rule program to a fresh IR tree (each session
+// owns its IR: join orders on it are re-optimized in place).
+func lowerRoot(prog *ast.Program, opts Options) (*ir.ProgramOp, error) {
+	if opts.Naive {
+		return ir.LowerNaive(prog)
+	}
+	return ir.Lower(prog)
+}
+
+// Epoch returns the epoch this session is pinned to.
+func (sess *Session) Epoch() *Epoch { return sess.epoch }
+
+// Catalog exposes the session's private catalog (result reading; do not
+// mutate).
+func (sess *Session) Catalog() *storage.Catalog { return sess.cat }
+
+// Query evaluates the program to fixpoint against the session's pinned
+// epoch and returns the per-query Result. Repeated queries are independent:
+// derived state rewinds to the epoch's ground rows between them.
+func (sess *Session) Query() (*Result, error) {
+	if sess.closed {
+		return nil, fmt.Errorf("core: query on closed session")
+	}
+	if sess.ran {
+		for i, pd := range sess.cat.Preds() {
+			pd.Derived.TruncateTo(sess.baseLens[i])
+			pd.DeltaKnown.Clear()
+			pd.DeltaNew.Clear()
+		}
+	}
+	sess.ran = true
+
+	granted := sess.srv.pool.acquire(queryWants(sess.srv.opts))
+	defer sess.srv.pool.release(granted)
+	sess.eng.in.Workers = granted
+	return sess.eng.query(sess.srv.opts.Timeout, false)
+}
+
+// Len returns the session's derived tuple count for the relation (after a
+// Query).
+func (sess *Session) Len(r *Relation) int {
+	return sess.cat.Pred(r.id).Derived.Len()
+}
+
+// Each visits the session's derived tuples for the relation.
+func (sess *Session) Each(r *Relation, f func(t []storage.Value) bool) {
+	sess.cat.Pred(r.id).Derived.Each(f)
+}
+
+// Contains reports whether the session's derived relation holds the tuple
+// (arguments as in Relation.Fact).
+func (sess *Session) Contains(r *Relation, args ...any) bool {
+	tuple := make([]storage.Value, len(args))
+	for i, a := range args {
+		switch v := a.(type) {
+		case int:
+			if v < 0 || v > math.MaxInt32 {
+				return false
+			}
+			tuple[i] = storage.Value(v)
+		case storage.Value:
+			tuple[i] = v
+		case string:
+			sv, ok := sess.cat.Symbols.Lookup(v)
+			if !ok {
+				return false
+			}
+			tuple[i] = sv
+		default:
+			return false
+		}
+	}
+	return sess.cat.Pred(r.id).Derived.Contains(tuple)
+}
+
+// Close releases the session's engine (JIT controller) and its epoch pin.
+// Idempotent.
+func (sess *Session) Close() {
+	if sess.closed {
+		return
+	}
+	sess.closed = true
+	sess.eng.close()
+	sess.epoch.refs.Add(-1)
+}
+
+// PlanStats returns the shared store's cumulative plan-class counters — the
+// exact cross-session totals (per-query Result deltas are approximate under
+// concurrency).
+func (s *Server) PlanStats() plancache.Stats {
+	return s.p.sharedStore(s.opts).ClassStats(plancache.ClassPlans)
+}
+
+// UnitStats returns the shared store's cumulative compiled-unit counters.
+func (s *Server) UnitStats() plancache.Stats {
+	return s.p.sharedStore(s.opts).ClassStats(plancache.ClassUnits)
+}

@@ -19,6 +19,8 @@ package engines
 
 import (
 	"errors"
+	"fmt"
+	"sync"
 	"time"
 
 	"carac/internal/analysis"
@@ -235,6 +237,150 @@ func RunCaracWarm(b *analysis.Built, shards, workers int, timeout time.Duration)
 	}
 	res, err := b.P.Run(opts)
 	return report(res, 0, err)
+}
+
+// ServeConfig parameterizes the serving load driver: Clients concurrent
+// sessions, each issuing QueriesPerClient fixpoint queries, optionally paced
+// to TargetQPS per client (<= 0 runs at maximum throughput). UseJIT attaches
+// the lambda backend; Workers bounds the server's shared worker pool.
+type ServeConfig struct {
+	Clients          int
+	QueriesPerClient int
+	TargetQPS        float64
+	Workers          int
+	UseJIT           bool
+	Timeout          time.Duration
+}
+
+// ServeReport is one serving-load measurement.
+type ServeReport struct {
+	// Clients and Queries describe the drive (Queries = completed queries
+	// across all sessions).
+	Clients int
+	Queries int
+	// Duration is the wall-clock time of the whole drive (sessions open
+	// through last query done); QPS is Queries / Duration.
+	Duration time.Duration
+	QPS      float64
+	// TotalFacts is the per-query derived-tuple count, equal across every
+	// session and query by snapshot isolation (validated by the driver).
+	TotalFacts int
+	// CrossRunHits counts plan- and unit-store hits that crossed an epoch
+	// boundary (warm-start reuse by the serving sessions).
+	CrossRunHits int64
+}
+
+// RunCaracServe measures concurrent query serving over one Program: a warm
+// Run populates the Program-lifetime plan store, the program is put into
+// serving mode, and cfg.Clients sessions — each pinned to the published
+// epoch, all sharing the store and the server's worker pool — issue
+// fixpoint queries concurrently. Every query must derive the same fact
+// count (snapshot isolation makes the sessions bit-equal); the report's
+// headline is queries per second.
+func RunCaracServe(b *analysis.Built, cfg ServeConfig) (*ServeReport, error) {
+	if cfg.Clients < 1 {
+		cfg.Clients = 1
+	}
+	if cfg.QueriesPerClient < 1 {
+		cfg.QueriesPerClient = 1
+	}
+	opts := core.Options{
+		Indexed:     true,
+		SharedPlans: true,
+		Workers:     cfg.Workers,
+		Timeout:     cfg.Timeout,
+	}
+	if cfg.UseJIT {
+		opts.JIT = jit.Config{Backend: jit.BackendLambda, Granularity: jit.GranSPJ}
+	}
+	// Warm start: serving is the steady state the plan store exists for.
+	if _, err := b.P.Run(opts); err != nil {
+		if errors.Is(err, interp.ErrCancelled) {
+			return &ServeReport{Clients: cfg.Clients}, nil
+		}
+		return nil, err
+	}
+	srv, err := b.P.Serve(opts)
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		queries  int
+		facts    = -1
+	)
+	interval := time.Duration(0)
+	if cfg.TargetQPS > 0 {
+		interval = time.Duration(float64(time.Second) / cfg.TargetQPS)
+	}
+	t0 := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess, err := srv.Session()
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			defer sess.Close()
+			next := time.Now()
+			for q := 0; q < cfg.QueriesPerClient; q++ {
+				if interval > 0 {
+					if d := time.Until(next); d > 0 {
+						time.Sleep(d)
+					}
+					next = next.Add(interval)
+				}
+				res, err := sess.Query()
+				mu.Lock()
+				switch {
+				case err != nil:
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				case facts == -1:
+					facts = res.TotalFacts
+				case facts != res.TotalFacts:
+					if firstErr == nil {
+						firstErr = fmt.Errorf("engines: serving sessions diverged: %d facts vs %d", res.TotalFacts, facts)
+					}
+					mu.Unlock()
+					return
+				}
+				queries++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	dt := time.Since(t0)
+	if firstErr != nil {
+		if errors.Is(firstErr, interp.ErrCancelled) {
+			return &ServeReport{Clients: cfg.Clients, Queries: queries, Duration: dt}, nil
+		}
+		return nil, firstErr
+	}
+	rep := &ServeReport{
+		Clients:      cfg.Clients,
+		Queries:      queries,
+		Duration:     dt,
+		TotalFacts:   facts,
+		CrossRunHits: srv.PlanStats().CrossRunHits + srv.UnitStats().CrossRunHits,
+	}
+	if dt > 0 {
+		rep.QPS = float64(queries) / dt.Seconds()
+	}
+	return rep, nil
 }
 
 // RunDLX executes the built program the way the anonymized commercial

@@ -125,3 +125,57 @@ func TestCaracWarmAgrees(t *testing.T) {
 		t.Fatalf("warm rerun disagrees: %d vs %d facts", warm.TotalFacts, ref.TotalFacts)
 	}
 }
+
+func TestCaracServeAgrees(t *testing.T) {
+	facts := datagen.SListLib(1, 5)
+	ref, err := RunCaracSharded(analysis.InvFuns(analysis.HandOptimized, facts), 4, 2, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, jit := range []bool{false, true} {
+		rep, err := RunCaracServe(analysis.InvFuns(analysis.HandOptimized, facts), ServeConfig{
+			Clients:          3,
+			QueriesPerClient: 2,
+			Workers:          4,
+			UseJIT:           jit,
+			Timeout:          time.Minute,
+		})
+		if err != nil {
+			t.Fatalf("jit=%v: %v", jit, err)
+		}
+		if rep.Queries != 6 {
+			t.Fatalf("jit=%v: completed %d queries, want 6", jit, rep.Queries)
+		}
+		if rep.TotalFacts != ref.TotalFacts {
+			t.Fatalf("jit=%v: serving sessions derive %d facts, oracle %d", jit, rep.TotalFacts, ref.TotalFacts)
+		}
+		if rep.QPS <= 0 {
+			t.Fatalf("jit=%v: QPS not computed: %v", jit, rep.QPS)
+		}
+		if rep.CrossRunHits == 0 {
+			t.Fatalf("jit=%v: serving sessions never reused the warmed store", jit)
+		}
+	}
+}
+
+func TestCaracServePaced(t *testing.T) {
+	facts := datagen.SListLib(1, 4)
+	rep, err := RunCaracServe(analysis.InvFuns(analysis.HandOptimized, facts), ServeConfig{
+		Clients:          2,
+		QueriesPerClient: 3,
+		TargetQPS:        50,
+		Workers:          2,
+		Timeout:          time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries != 6 {
+		t.Fatalf("completed %d queries, want 6", rep.Queries)
+	}
+	// 3 queries at 50 QPS pace: the 2nd and 3rd each wait ~20ms behind the
+	// first tick, so the drive cannot finish faster than the pacing allows.
+	if rep.Duration < 40*time.Millisecond {
+		t.Fatalf("paced drive finished in %v, pacing not applied", rep.Duration)
+	}
+}

@@ -259,6 +259,22 @@ func (in *Interp) Cancelled() bool {
 	return in.cancel.Load() || (in.cancelHook != nil && in.cancelHook())
 }
 
+// ResetCancel clears a pending cancellation so a reused interpreter can run
+// again — serving sessions execute many queries on one Interp, and a
+// timed-out query must not poison the ones after it.
+func (in *Interp) ResetCancel() { in.cancel.Store(false) }
+
+// TakeStats returns the accumulated execution counters and zeroes them, so
+// the next run starts a fresh window. This is the per-query accounting
+// surface for serving sessions, which reuse one interpreter across queries:
+// Stats becomes query-scoped instead of Interp-global. One-shot runs
+// (Program.Run builds a fresh Interp) observe identical values either way.
+func (in *Interp) TakeStats() Stats {
+	s := in.Stats
+	in.Stats = Stats{}
+	return s
+}
+
 // New returns an interpreter over cat with an optional controller.
 func New(cat *storage.Catalog, ctrl Controller) *Interp {
 	return &Interp{Cat: cat, Ctrl: ctrl}

@@ -16,6 +16,7 @@ package bytecode
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"carac/internal/ast"
 	"carac/internal/eval"
@@ -71,7 +72,6 @@ type probeSpec struct {
 type probeNSpec struct {
 	cols []int
 	keys []interp.TmplElem
-	vals []storage.Value // scratch
 }
 
 type builtinSpec struct {
@@ -86,9 +86,10 @@ type headSpec struct {
 	sink storage.PredID
 }
 
-// Program is a compiled VM program with its constant pools and scratch
-// registers. Programs are single-threaded and non-reentrant (they run on the
-// interpreter goroutine), so scratch state lives inline.
+// Program is a compiled VM program with its constant pools. The code and
+// pools are immutable after compilation; every register the VM mutates
+// lives in a per-invocation runState, because cached programs may run
+// concurrently on engines serving different sessions.
 type Program struct {
 	Code     []Instr
 	NumVars  int
@@ -103,9 +104,33 @@ type Program struct {
 	heads    []headSpec
 	plans    []*interp.Plan
 
+	pool sync.Pool // of *runState
+}
+
+// runState is the register file of one Run: variable bindings, per-level
+// iterators, tuple scratch, and the composite-probe key scratch (one slice
+// per ProbeN site). States recycle through the Program's pool.
+type runState struct {
 	bind  []storage.Value
 	iters []iterState
 	buf   []storage.Value
+	nvals [][]storage.Value
+}
+
+func (p *Program) getState() *runState {
+	if st, ok := p.pool.Get().(*runState); ok {
+		return st
+	}
+	st := &runState{
+		bind:  make([]storage.Value, p.NumVars),
+		iters: make([]iterState, p.NumLevel),
+		buf:   make([]storage.Value, 0, 16),
+		nvals: make([][]storage.Value, len(p.nprobes)),
+	}
+	for i := range p.nprobes {
+		st.nvals[i] = make([]storage.Value, len(p.nprobes[i].keys))
+	}
+	return st
 }
 
 // iterSeg is one contiguous slice of an iterator's input: a row-id list
@@ -194,13 +219,10 @@ func (it *iterState) next() bool {
 
 // Run executes the program to completion.
 func (p *Program) Run(in *interp.Interp) error {
-	if p.bind == nil {
-		p.bind = make([]storage.Value, p.NumVars)
-		p.iters = make([]iterState, p.NumLevel)
-		p.buf = make([]storage.Value, 0, 16)
-	}
-	bind := p.bind
-	iters := p.iters
+	st := p.getState()
+	defer p.pool.Put(st)
+	bind := st.bind
+	iters := st.iters
 	code := p.Code
 	cat := in.Cat
 
@@ -249,15 +271,16 @@ func (p *Program) Run(in *interp.Interp) error {
 		case OpInitProbeN:
 			r := p.rels[ins.B]
 			sp := &p.nprobes[ins.C]
+			vals := st.nvals[ins.C]
 			it := &iters[ins.A]
 			it.reset()
 			rel := interp.SourceRel(cat, r.pred, r.src)
 			for ki, k := range sp.keys {
-				sp.vals[ki] = resolveTmpl(k, bind)
+				vals[ki] = resolveTmpl(k, bind)
 			}
 			covers := func(row []storage.Value) bool {
 				for ci, c := range sp.cols {
-					if row[c] != sp.vals[ci] {
+					if row[c] != vals[ci] {
 						return false
 					}
 				}
@@ -266,15 +289,15 @@ func (p *Program) Run(in *interp.Interp) error {
 			if subs := rel.PhysSubs(); subs != nil {
 				// Bucket-local composite probes; a composite covering the
 				// shard key column routes to exactly one bucket.
-				lo, hi := rel.ProbeSpanComposite(sp.cols, sp.vals)
+				lo, hi := rel.ProbeSpanComposite(sp.cols, vals)
 				for s := lo; s < hi; s++ {
-					if rows, ok := subs[s].ProbeComposite(sp.cols, sp.vals); ok {
+					if rows, ok := subs[s].ProbeComposite(sp.cols, vals); ok {
 						it.addRows(subs[s], rows)
 					} else {
 						it.materialize(subs[s], covers)
 					}
 				}
-			} else if rows, ok := rel.ProbeComposite(sp.cols, sp.vals); ok {
+			} else if rows, ok := rel.ProbeComposite(sp.cols, vals); ok {
 				it.addRows(rel, rows)
 			} else {
 				it.materialize(rel, covers)
@@ -351,11 +374,11 @@ func (p *Program) Run(in *interp.Interp) error {
 			tmpl := p.tmpls[ins.A]
 			r := p.rels[ins.B]
 			rel := interp.SourceRel(cat, r.pred, r.src)
-			p.buf = p.buf[:0]
+			st.buf = st.buf[:0]
 			for _, tm := range tmpl {
-				p.buf = append(p.buf, resolveTmpl(tm, bind))
+				st.buf = append(st.buf, resolveTmpl(tm, bind))
 			}
-			if rel.Contains(p.buf) {
+			if rel.Contains(st.buf) {
 				pc = int(ins.C)
 			} else {
 				pc++
@@ -363,7 +386,7 @@ func (p *Program) Run(in *interp.Interp) error {
 
 		case OpBuiltin:
 			sp := &p.builtins[ins.A]
-			if ok := execBuiltin(sp, bind, &p.buf); ok {
+			if ok := execBuiltin(sp, bind, &st.buf); ok {
 				pc++
 			} else {
 				pc = int(ins.C)
@@ -371,12 +394,12 @@ func (p *Program) Run(in *interp.Interp) error {
 
 		case OpEmit:
 			h := &p.heads[ins.A]
-			p.buf = p.buf[:0]
+			st.buf = st.buf[:0]
 			for _, tm := range h.tmpl {
-				p.buf = append(p.buf, resolveTmpl(tm, bind))
+				st.buf = append(st.buf, resolveTmpl(tm, bind))
 			}
 			sink := cat.Pred(h.sink)
-			if !sink.Derived.Contains(p.buf) && sink.DeltaNew.Insert(p.buf) {
+			if !sink.Derived.Contains(st.buf) && sink.DeltaNew.Insert(st.buf) {
 				in.Stats.Derivations++
 			}
 			pc++
@@ -584,7 +607,6 @@ func (e *emitter) emitSPJ(spj *ir.SPJOp) error {
 			case interp.StepProbeN:
 				e.prog.nprobes = append(e.prog.nprobes, probeNSpec{
 					cols: st.ProbeCols, keys: st.ProbeKeys,
-					vals: make([]storage.Value, len(st.ProbeKeys)),
 				})
 				e.emit(Instr{Op: OpInitProbeN, A: level, B: rel, C: int32(len(e.prog.nprobes) - 1)})
 			default:

@@ -8,6 +8,7 @@ package lambda
 
 import (
 	"fmt"
+	"sync"
 
 	"carac/internal/ast"
 	"carac/internal/eval"
@@ -202,24 +203,39 @@ func (c Compiler) CompileSPJ(spj *ir.SPJOp, cat *storage.Catalog) (Unit, error) 
 	return CompilePlan(plan), nil
 }
 
-// CompilePlan stitches the plan's steps into combinators.
+// chainInst is one privately-stitched instance of a unit's combinator
+// chain: the step closures own their scratch buffers, so distinct instances
+// can run concurrently. Instances recycle through the unit's pool.
+type chainInst struct {
+	chain stepFn
+	bind  []storage.Value
+}
+
+// CompilePlan stitches the plan's steps into combinators. Units are cached
+// in the shared store and may be invoked concurrently by engines serving
+// different sessions, so each concurrent execution draws its own stitched
+// chain — scratch buffers and all — from a pool, the same frame discipline
+// shard units use.
 func CompilePlan(plan *interp.Plan) Unit {
-	final := compileEmit(plan)
-	chain := final
-	for i := len(plan.Steps) - 1; i >= 0; i-- {
-		chain = compileStep(&plan.Steps[i], chain, i == 0)
-	}
 	numVars := plan.NumVars
 	agg := plan.Agg
 	sinkPred := plan.Sink
 	if agg.Kind == ast.AggNone {
-		bind := make([]storage.Value, numVars)
+		pool := &sync.Pool{New: func() any {
+			chain := compileEmit(plan)
+			for i := len(plan.Steps) - 1; i >= 0; i-- {
+				chain = compileStep(&plan.Steps[i], chain, i == 0)
+			}
+			return &chainInst{chain: chain, bind: make([]storage.Value, numVars)}
+		}}
 		return func(in *interp.Interp) error {
 			in.Stats.SPJRuns++
-			for i := range bind {
-				bind[i] = 0
+			ci := pool.Get().(*chainInst)
+			for i := range ci.bind {
+				ci.bind[i] = 0
 			}
-			chain(in, bind)
+			ci.chain(in, ci.bind)
+			pool.Put(ci)
 			return nil
 		}
 	}
@@ -264,8 +280,8 @@ func CompilePlan(plan *interp.Plan) Unit {
 func compileEmit(plan *interp.Plan) stepFn {
 	head := plan.Head
 	sinkPred := plan.Sink
-	// Units execute on the single interpreter goroutine and never re-enter
-	// themselves, so scratch buffers can be allocated at compile time.
+	// Scratch is private to one chain instance (chains never re-enter
+	// themselves), so buffers can be allocated at stitch time.
 	tuple := make([]storage.Value, len(head))
 	return func(in *interp.Interp, bind []storage.Value) {
 		for hi, h := range head {

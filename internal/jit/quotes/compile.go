@@ -2,6 +2,7 @@ package quotes
 
 import (
 	"fmt"
+	"sync"
 
 	"carac/internal/interp"
 	"carac/internal/ir"
@@ -14,10 +15,12 @@ type Unit = func(in *interp.Interp) error
 // Compiler quotes, type-checks, and lowers IROp subtrees. A fresh Compiler
 // is "cold": its first Splice bootstraps internal state (frame pool plus a
 // self-check compilation of a canonical quote). Reusing a Compiler is "warm"
-// — the distinction Fig 5 measures.
+// — the distinction Fig 5 measures. Spliced units are cached in the shared
+// store and may be invoked concurrently by engines serving different
+// sessions, so the frame pool is a sync.Pool.
 type Compiler struct {
 	warmed bool
-	frames []*frame
+	frames sync.Pool // of *frame
 }
 
 // NewCompiler returns a cold compiler instance.
@@ -29,12 +32,16 @@ func (*Compiler) Name() string { return "quotes" }
 // Warmed reports whether the bootstrap self-check has run.
 func (c *Compiler) Warmed() bool { return c.warmed }
 
-// frame is the runtime register file of lowered code.
+// frame is the runtime register file of lowered code. buf is transient
+// tuple scratch (truncated to zero by each user); vals is composite-probe
+// key scratch with stack discipline, because probe keys live past the
+// descent into inner levels.
 type frame struct {
 	in   *interp.Interp
 	rows [][]storage.Value
 	bind []storage.Value
 	buf  []storage.Value
+	vals []storage.Value
 }
 
 type exec func(f *frame) error
@@ -75,9 +82,7 @@ func (c *Compiler) Splice(q Expr, cat *storage.Catalog, numVars, numLevels int) 
 }
 
 func (c *Compiler) getFrame(numVars, numLevels int) *frame {
-	if n := len(c.frames); n > 0 {
-		f := c.frames[n-1]
-		c.frames = c.frames[:n-1]
+	if f, ok := c.frames.Get().(*frame); ok {
 		if cap(f.bind) < numVars {
 			f.bind = make([]storage.Value, numVars)
 		}
@@ -89,20 +94,20 @@ func (c *Compiler) getFrame(numVars, numLevels int) *frame {
 			f.rows = make([][]storage.Value, numLevels)
 		}
 		f.rows = f.rows[:cap(f.rows)]
+		f.vals = f.vals[:0]
 		return f
 	}
 	return &frame{
 		rows: make([][]storage.Value, numLevels),
 		bind: make([]storage.Value, numVars),
 		buf:  make([]storage.Value, 0, 16),
+		vals: make([]storage.Value, 0, 8),
 	}
 }
 
 func (c *Compiler) putFrame(f *frame) {
 	f.in = nil
-	if len(c.frames) < 8 {
-		c.frames = append(c.frames, f)
-	}
+	c.frames.Put(f)
 }
 
 // bootstrap runs the compiler over a canonical self-check quote: an
@@ -245,12 +250,17 @@ func (c *Compiler) lower(expr Expr, cat *storage.Catalog) (exec, error) {
 			keys[i] = kv
 		}
 		pred, src, level, cols := n.Rel.Pred, n.Rel.Src, n.Level, n.Cols
-		vals := make([]storage.Value, len(cols))
 		return func(f *frame) error {
 			rel := interp.SourceRel(f.in.Cat, pred, src)
-			for ki, k := range keys {
-				vals[ki] = k(f)
+			// Stack discipline on the frame's key scratch: the keys live
+			// past the descent into body (probe visits run per outer row),
+			// so nested ProbeNE levels append after this segment.
+			base := len(f.vals)
+			for _, k := range keys {
+				f.vals = append(f.vals, k(f))
 			}
+			vals := f.vals[base : base+len(keys)]
+			defer func() { f.vals = f.vals[:base] }()
 			var ferr error
 			rel.EachProbeComposite(cols, vals, func(row []storage.Value) bool {
 				f.rows[level] = row

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"testing"
+
+	"carac/internal/ir"
+	"carac/internal/storage"
+)
+
+// TestSnapshotDeepCopies pins the boundary-consistency contract: a Snapshot
+// captured before mutations — including the truncate-and-rebuild rewind that
+// in-flight live readers would observe half-done — keeps reporting the
+// captured values bit-identically, while the live source moves on.
+func TestSnapshotDeepCopies(t *testing.T) {
+	cat := storage.NewCatalog()
+	id := cat.Declare("edge", 2)
+	pd := cat.Pred(id)
+	pd.BuildIndexes([]int{0})
+	pd.BuildHistograms([]int{0})
+	for i := 0; i < 20; i++ {
+		pd.AddFact([]storage.Value{storage.Value(i % 5), storage.Value(i)})
+	}
+	cat.AdvanceEpoch()
+
+	snap := CaptureSnapshot(cat)
+	live := Catalog{Cat: cat}
+
+	if snap.CapturedEpoch != 1 {
+		t.Fatalf("captured epoch %d, want 1", snap.CapturedEpoch)
+	}
+	if got, want := snap.Card(id, ir.SrcDerived), live.Card(id, ir.SrcDerived); got != want {
+		t.Fatalf("snapshot card %d, live %d", got, want)
+	}
+	if got, want := snap.Distinct(id, ir.SrcDerived, 0), live.Distinct(id, ir.SrcDerived, 0); got != want || got != 5 {
+		t.Fatalf("snapshot distinct %d, live %d, want 5", got, want)
+	}
+	h0, ok := snap.Histogram(id, ir.SrcDerived, 0)
+	if !ok || h0.Total != 20 {
+		t.Fatalf("snapshot histogram ok=%v total=%d, want 20", ok, h0.Total)
+	}
+	card0 := snap.Card(id, ir.SrcDerived)
+	dist0 := snap.Distinct(id, ir.SrcDerived, 0)
+
+	// The hazard sequence: truncate (rebuilds dedup/index/histograms from
+	// the prefix) then re-insert a different distribution.
+	pd.Derived.TruncateTo(3)
+	for i := 0; i < 40; i++ {
+		pd.AddFact([]storage.Value{storage.Value(1000 + i), storage.Value(i)})
+	}
+
+	if got := live.Card(id, ir.SrcDerived); got == card0 {
+		t.Fatalf("test vacuous: live card unchanged (%d)", got)
+	}
+	if got := snap.Card(id, ir.SrcDerived); got != card0 {
+		t.Errorf("snapshot card drifted: %d -> %d", card0, got)
+	}
+	if got := snap.Distinct(id, ir.SrcDerived, 0); got != dist0 {
+		t.Errorf("snapshot distinct drifted: %d -> %d", dist0, got)
+	}
+	if got, ok := snap.Histogram(id, ir.SrcDerived, 0); !ok || got != h0 {
+		t.Errorf("snapshot histogram drifted (ok=%v)", ok)
+	}
+}
+
+// TestSnapshotAbsentStatistics: columns without captured artifacts answer
+// like the live source's "not available" conventions.
+func TestSnapshotAbsentStatistics(t *testing.T) {
+	cat := storage.NewCatalog()
+	id := cat.Declare("r", 2)
+	cat.Pred(id).AddFact([]storage.Value{1, 2})
+	snap := CaptureSnapshot(cat)
+
+	if got := snap.Distinct(id, ir.SrcDerived, 0); got != -1 {
+		t.Errorf("unindexed distinct = %d, want -1", got)
+	}
+	if _, ok := snap.Histogram(id, ir.SrcDerived, 0); ok {
+		t.Error("histogram reported for unregistered column")
+	}
+	if got := snap.Card(id, ir.SrcDelta); got != 0 {
+		t.Errorf("empty delta card %d, want 0", got)
+	}
+	if got := snap.Card(id, ir.SrcDerived); got != 1 {
+		t.Errorf("derived card %d, want 1", got)
+	}
+}
+
+// TestSnapshotIsSource: the snapshot satisfies the three statistics
+// interfaces, so it can stand in wherever a live Catalog source does.
+func TestSnapshotIsSource(t *testing.T) {
+	var _ Source = (*Snapshot)(nil)
+	var _ DistinctSource = (*Snapshot)(nil)
+	var _ HistogramSource = (*Snapshot)(nil)
+}

@@ -189,6 +189,9 @@ type Catalog struct {
 	Symbols *SymbolTable
 	preds   []*PredicateDB
 	byName  map[string]PredID
+	// epoch counts snapshot boundaries (Runs and published serving epochs);
+	// see Epoch/AdvanceEpoch in epoch.go.
+	epoch uint64
 }
 
 // NewCatalog returns an empty catalog with a fresh symbol table.

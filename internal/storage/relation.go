@@ -38,6 +38,11 @@ type Relation struct {
 	// into per-predicate drift counters.
 	muts uint64
 
+	// pinned marks the arena as referenced by an EpochRows view (PinRows):
+	// the next destructive operation must flip to a fresh arena instead of
+	// rewriting the pinned slab in place (epoch.go, copy-on-flip).
+	pinned bool
+
 	// Shard partition state (see shard.go and physshard.go). shardCount == 0
 	// means unpartitioned; otherwise the relation is partitioned into
 	// shardCount buckets by ShardOf(row[shardCol], shardCount) in one of
@@ -379,7 +384,9 @@ func (r *Relation) Clear() {
 	if r.shardCount > 0 {
 		r.shardClear()
 	}
-	r.arena = r.arena[:0]
+	if !r.detachPinned(0) {
+		r.arena = r.arena[:0]
+	}
 	// Replacing the maps is faster than deleting every key for large sets
 	// and returns memory to the allocator between iterations.
 	r.freshDedup(0)
@@ -457,6 +464,7 @@ func (r *Relation) ClearRetain() {
 	if r.shardCount > 0 {
 		r.shardClear()
 	}
+	r.detachPinned(0) // retain-capacity contract yields to a pinned epoch view
 	r.resetContents(true)
 }
 
@@ -476,7 +484,9 @@ func (r *Relation) TruncateTo(n int) {
 		return
 	}
 	r.muts++
-	r.arena = r.arena[:n*r.arity]
+	if !r.detachPinned(n * r.arity) {
+		r.arena = r.arena[:n*r.arity]
+	}
 	if r.shardCount > 0 {
 		r.shardRebuild()
 	}

@@ -10,7 +10,10 @@
 // negative ids by a SymbolTable so the two domains can never collide.
 package storage
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Value is a single tuple field: either a non-negative integer constant that
 // represents itself, or a negative id produced by SymbolTable interning.
@@ -21,7 +24,13 @@ type Value = int32
 //
 // Interned ids start at -1 and decrease, so they never collide with integer
 // constants, which are restricted to be non-negative.
+//
+// The table is safe for concurrent use: one table is shared by every serving
+// session's catalog (so a symbol means the same Value in every epoch), which
+// puts reader lookups from concurrent sessions on the same maps the single
+// writer keeps interning into.
 type SymbolTable struct {
+	mu     sync.RWMutex
 	byName map[string]Value
 	names  []string
 }
@@ -33,6 +42,8 @@ func NewSymbolTable() *SymbolTable {
 
 // Intern returns the Value for s, assigning a fresh negative id on first use.
 func (t *SymbolTable) Intern(s string) Value {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if v, ok := t.byName[s]; ok {
 		return v
 	}
@@ -45,6 +56,8 @@ func (t *SymbolTable) Intern(s string) Value {
 // Lookup returns the Value for s without interning. ok is false if s has
 // never been interned.
 func (t *SymbolTable) Lookup(s string) (v Value, ok bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	v, ok = t.byName[s]
 	return v, ok
 }
@@ -52,6 +65,8 @@ func (t *SymbolTable) Lookup(s string) (v Value, ok bool) {
 // Name resolves an interned id back to its string. It panics if v is not an
 // interned symbol id from this table.
 func (t *SymbolTable) Name(v Value) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	i := int(-v) - 1
 	if v >= 0 || i >= len(t.names) {
 		panic(fmt.Sprintf("storage: value %d is not an interned symbol", v))
@@ -64,11 +79,17 @@ func (t *SymbolTable) Name(v Value) string {
 func IsSymbol(v Value) bool { return v < 0 }
 
 // Len returns the number of interned symbols.
-func (t *SymbolTable) Len() int { return len(t.names) }
+func (t *SymbolTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.names)
+}
 
 // Format renders v for human output: the symbol string if v is interned in
 // t, the decimal integer otherwise.
 func (t *SymbolTable) Format(v Value) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if IsSymbol(v) {
 		i := int(-v) - 1
 		if i < len(t.names) {
