@@ -653,6 +653,7 @@ func BenchmarkServeThroughput(b *testing.B) {
 				QueriesPerClient: 4,
 				Workers:          4,
 				UseJIT:           c.useJIT,
+				Repeat:           1,
 				Timeout:          2 * time.Minute,
 			}
 			built := analysis.CSPA(analysis.HandOptimized, cspa)
@@ -675,5 +676,66 @@ func BenchmarkServeThroughput(b *testing.B) {
 			b.ReportMetric(float64(last.CrossRunHits), "crossrun-hits")
 			b.ReportMetric(float64(last.TotalFacts), "facts/query")
 		})
+	}
+}
+
+// BenchmarkMaterializedServe measures materialized-epoch serving against the
+// re-derive path it replaces. Three modes, interpreted and JIT-compiled:
+// RepeatHeavy (materialized, 90% of queries repeat on a persistent session —
+// the memo path), RepeatFree (materialized, every query arrives on a fresh
+// session — the seeded-lookup path), and Rederive (materialization off, the
+// PR-7 baseline where every query runs the fixpoint). The headline metric is
+// queries per second; memo-hits shows how many queries skipped derivation.
+func BenchmarkMaterializedServe(b *testing.B) {
+	sz := benchSizes
+	cspa := datagen.CSPAGraph(sz.CSPA, sz.Seed)
+	modes := []struct {
+		name        string
+		materialize bool
+		repeat      float64
+	}{
+		{"RepeatHeavy", true, 0.9},
+		{"RepeatFree", true, 0},
+		{"Rederive", false, 0.9},
+	}
+	engcfg := []struct {
+		name   string
+		useJIT bool
+	}{
+		{"Interp", false},
+		{"JIT", true},
+	}
+	for _, m := range modes {
+		for _, c := range engcfg {
+			m, c := m, c
+			b.Run(m.name+"/"+c.name, func(b *testing.B) {
+				cfg := engines.ServeConfig{
+					Clients:          4,
+					QueriesPerClient: 10,
+					Workers:          4,
+					UseJIT:           c.useJIT,
+					Materialize:      m.materialize,
+					Repeat:           m.repeat,
+					Timeout:          2 * time.Minute,
+				}
+				built := analysis.CSPA(analysis.HandOptimized, cspa)
+				if _, err := engines.RunCaracServe(built, cfg); err != nil {
+					b.Fatal(err)
+				}
+				var last *engines.ServeReport
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rep, err := engines.RunCaracServe(built, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = rep
+				}
+				b.ReportMetric(last.QPS, "queries/sec")
+				b.ReportMetric(float64(last.MemoHits), "memo-hits")
+				b.ReportMetric(float64(last.TotalFacts), "facts/query")
+			})
+		}
 	}
 }

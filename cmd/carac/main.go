@@ -265,6 +265,8 @@ func serveCmd(args []string) error {
 	clients := fs.Int("clients", 4, "concurrent client sessions")
 	queries := fs.Int("queries", 8, "queries per client")
 	qps := fs.Float64("qps", 0, "per-client query rate (0 = maximum throughput)")
+	materialize := fs.Bool("materialize", false, "materialize each epoch's fixpoint once; repeat queries answer by lookup")
+	repeat := fs.Float64("repeat", 1, "hot-query ratio per client in [0,1]: this fraction of queries repeat on the client's session, the rest open a fresh session each")
 	timeout := fs.Duration("timeout", 0, "per-query timeout")
 	statsFlag := fs.Bool("stats", true, "print serving statistics")
 
@@ -274,6 +276,9 @@ func serveCmd(args []string) error {
 	}
 	if *clients < 1 || *queries < 1 {
 		return fmt.Errorf("-clients and -queries must be >= 1")
+	}
+	if *repeat < 0 || *repeat > 1 {
+		return fmt.Errorf("-repeat must be in [0,1]")
 	}
 	be, err := jit.ParseBackend(*backend)
 	if err != nil {
@@ -286,6 +291,7 @@ func serveCmd(args []string) error {
 	opts := core.Options{
 		Indexed:        *indexed,
 		SharedPlans:    true,
+		Materialize:    *materialize,
 		Workers:        *workers,
 		Shards:         *shards,
 		AdaptiveFanout: *adaptiveFanout,
@@ -313,6 +319,7 @@ func serveCmd(args []string) error {
 	if *qps > 0 {
 		interval = time.Duration(float64(time.Second) / *qps)
 	}
+	hot := int(*repeat*10 + 0.5)
 	t0 := time.Now()
 	for c := 0; c < *clients; c++ {
 		wg.Add(1)
@@ -336,7 +343,25 @@ func serveCmd(args []string) error {
 					}
 					next = next.Add(interval)
 				}
-				res, err := sess.Query()
+				// Hot queries repeat on the persistent session; the rest
+				// open a fresh session each, modeling distinct arrivals.
+				qs := sess
+				if q%10 >= hot {
+					fresh, err := srv.Session()
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+					qs = fresh
+				}
+				res, err := qs.Query()
+				if qs != sess {
+					qs.Close()
+				}
 				mu.Lock()
 				switch {
 				case err != nil:
@@ -369,9 +394,11 @@ func serveCmd(args []string) error {
 		if dt > 0 {
 			qpsOut = float64(done) / dt.Seconds()
 		}
-		fmt.Fprintf(os.Stderr, "serve: clients=%d queries=%d duration=%v qps=%.1f facts-per-query=%d cross-run-hits=%d\n",
+		st := srv.Stats()
+		fmt.Fprintf(os.Stderr, "serve: clients=%d queries=%d duration=%v qps=%.1f facts-per-query=%d cross-run-hits=%d memo-hits=%d materialized-epochs=%d\n",
 			*clients, done, dt.Round(time.Microsecond), qpsOut, facts,
-			srv.PlanStats().CrossRunHits+srv.UnitStats().CrossRunHits)
+			srv.PlanStats().CrossRunHits+srv.UnitStats().CrossRunHits,
+			st.MemoHits, st.MaterializedEpochs)
 	}
 	return nil
 }

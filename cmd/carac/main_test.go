@@ -140,6 +140,9 @@ func TestServeCommand(t *testing.T) {
 		{"serve", prog, "-facts", dir, "-clients", "2", "-queries", "2", "-backend", "lambda"},
 		{"serve", prog, "-facts", dir, "-clients", "2", "-queries", "3", "-qps", "100", "-stats=false"},
 		{"serve", prog, "-facts", dir, "-clients", "2", "-queries", "2", "-shards", "4", "-workers", "2", "-stats=false"},
+		{"serve", prog, "-facts", dir, "-clients", "3", "-queries", "4", "-materialize", "-stats=false"},
+		{"serve", prog, "-facts", dir, "-clients", "2", "-queries", "5", "-materialize", "-repeat", "0.5"},
+		{"serve", prog, "-facts", dir, "-clients", "2", "-queries", "2", "-materialize", "-repeat", "0", "-backend", "lambda", "-stats=false"},
 	} {
 		if err := run(args); err != nil {
 			t.Fatalf("run(%v): %v", args, err)
@@ -155,6 +158,7 @@ func TestServeErrors(t *testing.T) {
 		{"serve", filepath.Join(dir, "missing.dl")},
 		{"serve", prog, "-clients", "0"},
 		{"serve", prog, "-queries", "0"},
+		{"serve", prog, "-repeat", "1.5"},
 		{"serve", prog, "-backend", "llvm"},
 		{"uptime", prog},
 	} {

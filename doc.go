@@ -252,6 +252,48 @@
 // in internal/core checks every backend against the sequential oracle under
 // the race detector.
 //
+// Materialized epochs (core.Options.Materialize) extend the epoch protocol
+// from ground facts to derived state, so repeat queries become lookups:
+//
+//   - What is pinned: the first query on an epoch runs the fixpoint once —
+//     single-flight across all sessions, so N concurrent identical queries
+//     compute exactly one derivation while the rest block and adopt — and
+//     pins the post-fixpoint Derived rows of every predicate into the epoch
+//     (the same PinRows/copy-on-flip machinery as ground facts; physical
+//     catalogs pin per-bucket arenas zero-copy), together with a
+//     post-fixpoint statistics snapshot stamped with the epoch generation.
+//     The result is also memoized in the plan store's memo class under the
+//     query's structural fingerprint qualified by the epoch generation
+//     (plancache.KeyAt), and Server.Stats counts MemoHits,
+//     MaterializedEpochs, WarmStarts, and Derivations.
+//
+//   - When invalidation happens: at the epoch flip, structurally. Ingest
+//     alone changes nothing visible; Publish advances the generation, so the
+//     next epoch's first query misses the memo (its key embeds the new
+//     generation) and recomputes. Sessions pinned to an older epoch keep
+//     answering from that epoch's materialization forever — snapshot
+//     isolation extends to derived state. Sessions opened on an already
+//     materialized epoch are seeded with the pinned fixpoint directly and
+//     never derive.
+//
+//   - Warm-start semantics: for monotone programs (no negation, no
+//     aggregates — non-monotone programs and Naive mode fall back to cold
+//     derivation), the next epoch's materialization does not start from
+//     scratch. The catalog is pre-seeded with the previous epoch's fixpoint,
+//     and only the ingested ground delta (additions-only, delimited by the
+//     previous epoch's pinned lengths) plus each stratum's newly derived
+//     rows re-enter semi-naive evaluation, through a dedicated incremental
+//     lowering (ir.LowerWarm: a delta variant per positive body atom, no
+//     naive prologue) and the interpreter's SeedDelta hook. Plans for the
+//     warm root are staged against the previous materialization's
+//     post-fixpoint statistics.
+//
+// The materialized load path is driven by engines.RunCaracServe
+// (ServeConfig.Materialize/Repeat), carac serve -materialize -repeat, and
+// BenchmarkMaterializedServe (the BENCH_materialize.json CI artifact,
+// race-checked), which compares repeat-heavy and repeat-free drives against
+// the re-derive baseline.
+//
 // Post-Run mutation contract (and cache lifecycle): the rule set freezes at
 // a Program's first Run — adding rules or source afterwards errors; create a
 // new Program for a different rule set. Facts MAY keep being added between

@@ -513,6 +513,16 @@ type Options struct {
 	// eviction); 0 selects plancache.DefaultStoreLimit, < 0 is unbounded.
 	// Read only when the store is first created.
 	PlanStoreLimit int
+	// Materialize enables materialized-epoch serving (Program.Serve only;
+	// Run ignores it): the first query on each published epoch runs the
+	// fixpoint once (single-flight across sessions), its derived rows are
+	// pinned into the epoch and its post-fixpoint statistics captured, and
+	// every later query on that epoch — and every session opened after —
+	// answers by lookup instead of re-deriving. Ingest/Publish invalidates
+	// by epoch flip; for monotone programs the next epoch's materialization
+	// warm-starts from the previous fixpoint plus the ingested delta. See
+	// doc.go §Serving.
+	Materialize bool
 }
 
 // Result reports one Run's outcome.

@@ -217,6 +217,16 @@ func (e *execEngine) query(timeout time.Duration, oneShot bool) (*Result, error)
 	return res, nil
 }
 
+// setSeedDelta installs (fn non-nil) or clears the interpreter's warm-start
+// delta seeding hook for the engine's next query: with it set, each ScanOp
+// asks fn for the rows that must re-enter semi-naive evaluation instead of
+// pushing the whole pre-seeded Derived database through the first iteration.
+// The serving layer pairs it with an ir.LowerWarm root when materializing an
+// epoch from the previous epoch's fixpoint.
+func (e *execEngine) setSeedDelta(fn func(storage.PredID, *storage.Relation) bool) {
+	e.in.SeedDelta = fn
+}
+
 // close releases the engine's controller (idempotent).
 func (e *execEngine) close() {
 	if e.ctrl != nil {

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"carac/internal/ast"
 	"carac/internal/ir"
@@ -42,8 +43,11 @@ import (
 // degrades gracefully to one worker per query.
 
 // Epoch is one published snapshot of a serving Program's ground-fact state.
-// It is immutable: later ingestion and publication cannot change what its
-// rows or statistics report.
+// It is immutable in what it asserts: later ingestion and publication cannot
+// change what its rows or statistics report. Under Options.Materialize an
+// epoch additionally carries the program's *derived* fixpoint once the first
+// query computes it (mat, set exactly once), so every later query on the
+// epoch answers by lookup.
 type Epoch struct {
 	gen     uint64
 	names   []string
@@ -51,6 +55,42 @@ type Epoch struct {
 	rows    []storage.EpochRows
 	stats   *stats.Snapshot
 	refs    atomic.Int64
+
+	// prevLens holds the previous epoch's ground-row count per predicate
+	// (ground arenas are append-only across epochs, so rows beyond it are
+	// exactly the facts ingested since), and prevMat its materialization if
+	// one was computed — the warm-start inputs for this epoch's own
+	// materialization. Nil/absent on the first epoch.
+	prevLens []int
+	prevMat  *epochMat
+	// mat is the epoch's materialized fixpoint, published once by the
+	// single-flight winner of the first query (Options.Materialize).
+	mat atomic.Pointer[epochMat]
+}
+
+// epochMat is one epoch's materialized derived state: the post-fixpoint
+// Derived rows of every predicate (pinned zero-copy from the computing
+// session's catalog — the ground rows occupy each relation's prefix), the
+// post-fixpoint statistics snapshot stamped with the epoch generation, and
+// the oracle fact count every memo-served query reports.
+type epochMat struct {
+	rows  []storage.EpochRows
+	stats *stats.Snapshot
+	total int
+	warm  bool // built by warm-starting from the previous epoch's fixpoint
+}
+
+// Materialized reports whether the epoch's derived fixpoint has been
+// computed and pinned (always false when the server does not materialize).
+func (e *Epoch) Materialized() bool { return e.mat.Load() != nil }
+
+// MaterializedStats returns the post-fixpoint statistics snapshot of a
+// materialized epoch, or nil before materialization.
+func (e *Epoch) MaterializedStats() *stats.Snapshot {
+	if m := e.mat.Load(); m != nil {
+		return m.stats
+	}
+	return nil
 }
 
 // Generation returns the catalog epoch generation this snapshot was
@@ -112,6 +152,33 @@ func (wp *workerPool) release(n int) {
 	wp.cond.Broadcast()
 }
 
+// ServeStats counts the serving layer's materialization activity
+// (Options.Materialize; all zero otherwise).
+type ServeStats struct {
+	// MemoHits counts queries answered without running the fixpoint: from
+	// the per-epoch query memo, from a single-flight neighbor's in-flight
+	// derivation, or from the pinned materialization a session was seeded
+	// with at open.
+	MemoHits int64
+	// MaterializedEpochs counts epochs whose derived fixpoint was computed
+	// and pinned; WarmStarts of them were seeded semi-naively from the
+	// previous epoch's fixpoint plus the ingested delta instead of deriving
+	// from scratch.
+	MaterializedEpochs int64
+	WarmStarts         int64
+	// Derivations counts fixpoint runs performed by serving sessions —
+	// single-flight winners and retries after a failed leader.
+	Derivations int64
+}
+
+// matFlight is one in-flight materialization: the single-flight winner
+// derives, everyone else blocks on done and adopts mat (or retries on err).
+type matFlight struct {
+	done chan struct{}
+	mat  *epochMat
+	err  error
+}
+
 // Server serves concurrent snapshot-isolated sessions over one Program. See
 // Program.Serve.
 type Server struct {
@@ -123,6 +190,50 @@ type Server struct {
 	// Program's run mutex (which direct Run calls also take).
 	mu    sync.Mutex
 	epoch atomic.Pointer[Epoch]
+
+	// Materialized-epoch serving state (Options.Materialize). memoKey is the
+	// structural fingerprint of the lowered query program; per-epoch memo
+	// entries live in the shared plan store's memo class under
+	// plancache.KeyAt(memoKey, epoch generation), so Ingest/Publish
+	// invalidates by key flip rather than eviction. warmOK gates the
+	// warm-start path on program monotonicity.
+	memoKey  plancache.Key
+	memo     *plancache.Cache[*epochMat]
+	warmOK   bool
+	flightMu sync.Mutex
+	flights  map[plancache.Key]*matFlight
+
+	memoHits    atomic.Int64
+	matEpochs   atomic.Int64
+	warmStarts  atomic.Int64
+	derivations atomic.Int64
+}
+
+// Stats returns the server's cumulative serving counters.
+func (s *Server) Stats() ServeStats {
+	return ServeStats{
+		MemoHits:           s.memoHits.Load(),
+		MaterializedEpochs: s.matEpochs.Load(),
+		WarmStarts:         s.warmStarts.Load(),
+		Derivations:        s.derivations.Load(),
+	}
+}
+
+// monotoneProgram reports whether every rule is positive and aggregate-free
+// — the soundness condition for warm-starting a fixpoint from a previous
+// epoch's materialization under additions-only ingestion.
+func monotoneProgram(prog *ast.Program) bool {
+	for _, r := range prog.Rules {
+		if r.Agg.Kind != ast.AggNone {
+			return false
+		}
+		for _, a := range r.Body {
+			if a.Kind == ast.AtomNegated {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // Serve freezes the Program's rule set, publishes its current facts as the
@@ -141,9 +252,18 @@ func (p *Program) Serve(opts Options) (*Server, error) {
 	if opts.Histograms {
 		opts.JIT.Optimizer.UseHistograms = true
 	}
-	prog, _, err := p.lowered(opts) // validate lowering before accepting sessions
+	prog, root, err := p.lowered(opts) // validate lowering before accepting sessions
 	if err != nil {
 		return nil, err
+	}
+	if opts.Materialize {
+		// The warm-start lowering must also be valid up front: a later
+		// publish would otherwise surface the error on some unlucky query.
+		if monotoneProgram(prog) && !opts.Naive {
+			if _, werr := ir.LowerWarm(prog); werr != nil {
+				return nil, werr
+			}
+		}
 	}
 
 	p.runMu.Lock()
@@ -166,6 +286,12 @@ func (p *Program) Serve(opts Options) (*Server, error) {
 		opts: opts,
 		prog: prog,
 		pool: newWorkerPool(effectiveWorkers(opts)),
+	}
+	if opts.Materialize {
+		s.memoKey = plancache.KeyForOp(root)
+		s.memo = plancache.View[*epochMat](p.sharedStore(opts), plancache.ViewConfig{Class: plancache.ClassMemos})
+		s.warmOK = monotoneProgram(prog) && !opts.Naive
+		s.flights = make(map[plancache.Key]*matFlight)
 	}
 	s.publishLocked()
 	return s, nil
@@ -192,6 +318,7 @@ func queryWants(opts Options) int {
 // both s.mu (or are inside Serve) and p.runMu.
 func (s *Server) publishLocked() *Epoch {
 	p := s.p
+	old := s.epoch.Load() // nil on the first publish
 	// Rewind any derived rows (e.g. from a direct Run between publications)
 	// so the epoch pins exactly the ground-fact state. Pinned views from the
 	// previous epoch survive this: the truncation flips the arenas to fresh
@@ -220,6 +347,18 @@ func (s *Server) publishLocked() *Epoch {
 	// describe — a session's planner must never observe a half-rewound
 	// cardinality or histogram.
 	e.stats = stats.CaptureSnapshot(p.cat)
+	if old != nil && len(old.rows) == n {
+		// Ground arenas are append-only across epochs (facts are only ever
+		// added; the baseline rewind truncates derived suffixes only), so the
+		// previous epoch's ground lengths delimit the ingested delta inside
+		// this epoch's pinned rows — the warm-start seed. The previous
+		// materialization, if any, rides along as the fixpoint to extend.
+		e.prevLens = make([]int, n)
+		for i := range old.rows {
+			e.prevLens[i] = old.rows[i].Len()
+		}
+		e.prevMat = old.mat.Load()
+	}
 	s.epoch.Store(e)
 	return e
 }
@@ -263,15 +402,29 @@ type Session struct {
 	epoch    *Epoch
 	cat      *storage.Catalog
 	eng      *execEngine
+	weng     *execEngine // lazily built warm-start engine (ir.LowerWarm root)
 	baseLens []int
 	ran      bool
 	closed   bool
+	// mat is the epoch materialization this session's catalog holds the
+	// fixpoint of (seeded at open on an already-materialized epoch, adopted
+	// on a memo hit, or pinned by this session's own derivation); queries
+	// while it is set are pure lookups.
+	mat *epochMat
 }
 
-// Session opens a session pinned to the currently published epoch.
+// Session opens a session pinned to the currently published epoch. On a
+// materialized epoch the private catalog is seeded with the pinned fixpoint
+// rather than the ground rows, so every query the session issues is a
+// lookup.
 func (s *Server) Session() (*Session, error) {
 	e := s.epoch.Load()
 	e.refs.Add(1)
+
+	var mat *epochMat
+	if s.opts.Materialize {
+		mat = e.mat.Load()
+	}
 
 	// Private catalog with the epoch's schema (identical dense PredIDs, by
 	// declaration order) and ground rows; the symbol table is shared with
@@ -283,11 +436,15 @@ func (s *Server) Session() (*Session, error) {
 	for i, name := range e.names {
 		id := cat.Declare(name, e.arities[i])
 		pd := cat.Pred(id)
-		e.rows[i].Each(func(row []storage.Value) bool {
+		src := e.rows[i]
+		if mat != nil {
+			src = mat.rows[i] // fixpoint rows; the ground rows are their prefix
+		}
+		src.Each(func(row []storage.Value) bool {
 			pd.Derived.Insert(row)
 			return true
 		})
-		baseLens[i] = pd.Derived.Len()
+		baseLens[i] = e.rows[i].Len()
 	}
 
 	root, err := lowerRoot(s.prog, s.opts)
@@ -300,7 +457,7 @@ func (s *Server) Session() (*Session, error) {
 		e.refs.Add(-1)
 		return nil, err
 	}
-	return &Session{srv: s, epoch: e, cat: cat, eng: eng, baseLens: baseLens}, nil
+	return &Session{srv: s, epoch: e, cat: cat, eng: eng, baseLens: baseLens, mat: mat}, nil
 }
 
 // lowerRoot lowers a rewritten rule program to a fresh IR tree (each session
@@ -321,17 +478,18 @@ func (sess *Session) Catalog() *storage.Catalog { return sess.cat }
 
 // Query evaluates the program to fixpoint against the session's pinned
 // epoch and returns the per-query Result. Repeated queries are independent:
-// derived state rewinds to the epoch's ground rows between them.
+// derived state rewinds to the epoch's ground rows between them. Under
+// Options.Materialize the fixpoint is computed at most once per epoch across
+// all sessions — later queries answer from the pinned materialization.
 func (sess *Session) Query() (*Result, error) {
 	if sess.closed {
 		return nil, fmt.Errorf("core: query on closed session")
 	}
+	if sess.srv.opts.Materialize {
+		return sess.queryMaterialized()
+	}
 	if sess.ran {
-		for i, pd := range sess.cat.Preds() {
-			pd.Derived.TruncateTo(sess.baseLens[i])
-			pd.DeltaKnown.Clear()
-			pd.DeltaNew.Clear()
-		}
+		sess.rewind()
 	}
 	sess.ran = true
 
@@ -339,6 +497,185 @@ func (sess *Session) Query() (*Result, error) {
 	defer sess.srv.pool.release(granted)
 	sess.eng.in.Workers = granted
 	return sess.eng.query(sess.srv.opts.Timeout, false)
+}
+
+// rewind restores the session catalog to the epoch's ground rows.
+func (sess *Session) rewind() {
+	for i, pd := range sess.cat.Preds() {
+		pd.Derived.TruncateTo(sess.baseLens[i])
+		pd.DeltaKnown.Clear()
+		pd.DeltaNew.Clear()
+	}
+}
+
+// queryMaterialized answers a query on a materialize-enabled server. In
+// order of preference: the session already holds the fixpoint (lookup); the
+// epoch or the shared memo has it (adopt + lookup); a neighbor is deriving
+// it right now (wait + adopt); nobody is (derive as the single-flight
+// winner, pin, publish).
+func (sess *Session) queryMaterialized() (*Result, error) {
+	t0 := time.Now()
+	srv, e := sess.srv, sess.epoch
+	if sess.mat != nil {
+		srv.memoHits.Add(1)
+		return &Result{Duration: time.Since(t0), TotalFacts: sess.mat.total}, nil
+	}
+	key := plancache.KeyAt(srv.memoKey, e.gen)
+	if m := e.mat.Load(); m != nil {
+		srv.memoHits.Add(1)
+		sess.adoptMat(m)
+		return &Result{Duration: time.Since(t0), TotalFacts: m.total}, nil
+	}
+	if m, ok, _ := srv.memo.Lookup(key, nil, nil); ok && m != nil {
+		srv.memoHits.Add(1)
+		sess.adoptMat(m)
+		return &Result{Duration: time.Since(t0), TotalFacts: m.total}, nil
+	}
+	for {
+		srv.flightMu.Lock()
+		if f, ok := srv.flights[key]; ok {
+			// A neighbor session is deriving this epoch's fixpoint; wait for
+			// it rather than duplicating the work.
+			srv.flightMu.Unlock()
+			<-f.done
+			if f.err != nil {
+				continue // leader failed; contend for leadership ourselves
+			}
+			srv.memoHits.Add(1)
+			sess.adoptMat(f.mat)
+			return &Result{Duration: time.Since(t0), TotalFacts: f.mat.total}, nil
+		}
+		f := &matFlight{done: make(chan struct{})}
+		srv.flights[key] = f
+		srv.flightMu.Unlock()
+
+		res, m, err := sess.derive()
+		if err == nil {
+			srv.memo.Store(key, nil, nil, m)
+			if e.mat.CompareAndSwap(nil, m) {
+				srv.matEpochs.Add(1)
+				if m.warm {
+					srv.warmStarts.Add(1)
+				}
+			}
+			sess.mat = m
+			f.mat = m
+		}
+		f.err = err
+		srv.flightMu.Lock()
+		delete(srv.flights, key)
+		srv.flightMu.Unlock()
+		close(f.done)
+		return res, err
+	}
+}
+
+// derive runs the fixpoint on the session's catalog and pins the result as
+// this epoch's materialization. When the previous epoch's fixpoint is
+// available and the program is monotone, it warm-starts: the catalog is
+// pre-seeded with the old fixpoint and only the ingested ground delta (plus
+// rows each stratum newly derives) re-enters semi-naive evaluation, through
+// the ir.LowerWarm root and the interpreter's SeedDelta hook.
+func (sess *Session) derive() (*Result, *epochMat, error) {
+	srv, e := sess.srv, sess.epoch
+	if sess.ran {
+		sess.rewind()
+	}
+	sess.ran = true
+	srv.derivations.Add(1)
+
+	eng := sess.eng
+	warm := false
+	if srv.warmOK && e.prevMat != nil && e.prevLens != nil {
+		weng, werr := sess.warmEngine()
+		if werr != nil {
+			return nil, nil, werr
+		}
+		eng = weng
+		warm = true
+		// Pre-seed the catalog with the previous fixpoint (its ground prefix
+		// overlaps this epoch's ground rows; Insert dedups) and record each
+		// predicate's watermark: rows beyond it at a stratum's ScanOp are new
+		// since the previous epoch — derived by an earlier stratum of this
+		// very run — and must re-enter evaluation alongside the ground delta.
+		wm := make([]int, sess.cat.NumPreds())
+		for i, pr := range e.prevMat.rows {
+			pd := sess.cat.Pred(storage.PredID(i))
+			pr.Each(func(row []storage.Value) bool {
+				pd.Derived.Insert(row)
+				return true
+			})
+		}
+		for i, pd := range sess.cat.Preds() {
+			wm[i] = pd.Derived.Len()
+		}
+		eng.setSeedDelta(func(pid storage.PredID, dst *storage.Relation) bool {
+			g := e.rows[pid]
+			for j := e.prevLens[pid]; j < g.Len(); j++ {
+				dst.Insert(g.Row(j))
+			}
+			der := sess.cat.Pred(pid).Derived
+			for j := wm[pid]; j < der.Len(); j++ {
+				dst.Insert(der.Row(int32(j)))
+			}
+			return true
+		})
+		defer eng.setSeedDelta(nil)
+	}
+
+	granted := srv.pool.acquire(queryWants(srv.opts))
+	defer srv.pool.release(granted)
+	eng.in.Workers = granted
+	res, err := eng.query(srv.opts.Timeout, false)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	n := sess.cat.NumPreds()
+	m := &epochMat{rows: make([]storage.EpochRows, n), warm: warm}
+	for i, pd := range sess.cat.Preds() {
+		m.rows[i] = pd.Derived.PinRows()
+		m.total += m.rows[i].Len()
+	}
+	m.stats = stats.CaptureSnapshotAt(sess.cat, e.gen)
+	return res, m, nil
+}
+
+// adoptMat loads a materialization computed elsewhere into this session's
+// catalog, so Len/Each/Contains read the fixpoint exactly as if the session
+// had derived it.
+func (sess *Session) adoptMat(m *epochMat) {
+	if sess.ran {
+		sess.rewind()
+	}
+	sess.ran = true
+	for i, pd := range sess.cat.Preds() {
+		m.rows[i].Each(func(row []storage.Value) bool {
+			pd.Derived.Insert(row)
+			return true
+		})
+	}
+	sess.mat = m
+}
+
+// warmEngine lazily assembles the session's warm-start engine: the same
+// catalog and shared plan store, but an ir.LowerWarm root (a delta variant
+// per positive body atom, no naive prologue) staged against the previous
+// materialization's post-fixpoint statistics.
+func (sess *Session) warmEngine() (*execEngine, error) {
+	if sess.weng != nil {
+		return sess.weng, nil
+	}
+	root, err := ir.LowerWarm(sess.srv.prog)
+	if err != nil {
+		return nil, err
+	}
+	weng, err := newExecEngine(sess.cat, sess.srv.prog, root, sess.srv.opts, sess.srv.p.sharedStore(sess.srv.opts), sess.epoch.prevMat.stats)
+	if err != nil {
+		return nil, err
+	}
+	sess.weng = weng
+	return weng, nil
 }
 
 // Len returns the session's derived tuple count for the relation (after a
@@ -386,6 +723,9 @@ func (sess *Session) Close() {
 	}
 	sess.closed = true
 	sess.eng.close()
+	if sess.weng != nil {
+		sess.weng.close()
+	}
 	sess.epoch.refs.Add(-1)
 }
 
@@ -399,4 +739,10 @@ func (s *Server) PlanStats() plancache.Stats {
 // UnitStats returns the shared store's cumulative compiled-unit counters.
 func (s *Server) UnitStats() plancache.Stats {
 	return s.p.sharedStore(s.opts).ClassStats(plancache.ClassUnits)
+}
+
+// MemoStats returns the shared store's cumulative memo-class counters
+// (materialized-epoch lookups that went through the plan store).
+func (s *Server) MemoStats() plancache.Stats {
+	return s.p.sharedStore(s.opts).ClassStats(plancache.ClassMemos)
 }

@@ -249,7 +249,16 @@ type ServeConfig struct {
 	TargetQPS        float64
 	Workers          int
 	UseJIT           bool
-	Timeout          time.Duration
+	// Materialize turns on materialized-epoch serving: the fixpoint is
+	// computed once per epoch (single-flight across sessions) and every
+	// later query answers from the pinned materialization.
+	Materialize bool
+	// Repeat is the hot-query ratio per client, in [0,1] (resolved in
+	// tenths): that fraction of a client's queries repeat on its persistent
+	// session; the rest each open a fresh session for the query. 1 is the
+	// all-repeat legacy drive, 0 a repeat-free one.
+	Repeat  float64
+	Timeout time.Duration
 }
 
 // ServeReport is one serving-load measurement.
@@ -268,6 +277,11 @@ type ServeReport struct {
 	// CrossRunHits counts plan- and unit-store hits that crossed an epoch
 	// boundary (warm-start reuse by the serving sessions).
 	CrossRunHits int64
+	// MemoHits and MaterializedEpochs mirror the server's materialization
+	// counters (zero when Materialize is off): queries answered without a
+	// fixpoint derivation, and epochs whose fixpoint was computed and pinned.
+	MemoHits           int64
+	MaterializedEpochs int64
 }
 
 // RunCaracServe measures concurrent query serving over one Program: a warm
@@ -287,8 +301,16 @@ func RunCaracServe(b *analysis.Built, cfg ServeConfig) (*ServeReport, error) {
 	opts := core.Options{
 		Indexed:     true,
 		SharedPlans: true,
+		Materialize: cfg.Materialize,
 		Workers:     cfg.Workers,
 		Timeout:     cfg.Timeout,
+	}
+	hot := int(cfg.Repeat*10 + 0.5)
+	if hot < 0 {
+		hot = 0
+	}
+	if hot > 10 {
+		hot = 10
 	}
 	if cfg.UseJIT {
 		opts.JIT = jit.Config{Backend: jit.BackendLambda, Granularity: jit.GranSPJ}
@@ -339,7 +361,26 @@ func RunCaracServe(b *analysis.Built, cfg ServeConfig) (*ServeReport, error) {
 					}
 					next = next.Add(interval)
 				}
-				res, err := sess.Query()
+				// Hot queries repeat on the persistent session; the rest
+				// model distinct clients arriving — a fresh session per
+				// query, interleaved deterministically by position.
+				qs := sess
+				if q%10 >= hot {
+					fresh, err := srv.Session()
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+					qs = fresh
+				}
+				res, err := qs.Query()
+				if qs != sess {
+					qs.Close()
+				}
 				mu.Lock()
 				switch {
 				case err != nil:
@@ -370,12 +411,15 @@ func RunCaracServe(b *analysis.Built, cfg ServeConfig) (*ServeReport, error) {
 		}
 		return nil, firstErr
 	}
+	st := srv.Stats()
 	rep := &ServeReport{
-		Clients:      cfg.Clients,
-		Queries:      queries,
-		Duration:     dt,
-		TotalFacts:   facts,
-		CrossRunHits: srv.PlanStats().CrossRunHits + srv.UnitStats().CrossRunHits,
+		Clients:            cfg.Clients,
+		Queries:            queries,
+		Duration:           dt,
+		TotalFacts:         facts,
+		CrossRunHits:       srv.PlanStats().CrossRunHits + srv.UnitStats().CrossRunHits,
+		MemoHits:           st.MemoHits,
+		MaterializedEpochs: st.MaterializedEpochs,
 	}
 	if dt > 0 {
 		rep.QPS = float64(queries) / dt.Seconds()

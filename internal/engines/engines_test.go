@@ -138,6 +138,7 @@ func TestCaracServeAgrees(t *testing.T) {
 			QueriesPerClient: 2,
 			Workers:          4,
 			UseJIT:           jit,
+			Repeat:           1,
 			Timeout:          time.Minute,
 		})
 		if err != nil {
@@ -158,6 +159,41 @@ func TestCaracServeAgrees(t *testing.T) {
 	}
 }
 
+// TestCaracServeMaterialized drives the serving harness with materialized
+// epochs and a mixed hot/cold ratio: the answers still match the sequential
+// oracle, exactly one fixpoint materializes, and both the repeat queries and
+// the fresh-session queries answer from it (memo hits).
+func TestCaracServeMaterialized(t *testing.T) {
+	facts := datagen.SListLib(1, 5)
+	ref, err := RunCaracSharded(analysis.InvFuns(analysis.HandOptimized, facts), 4, 2, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunCaracServe(analysis.InvFuns(analysis.HandOptimized, facts), ServeConfig{
+		Clients:          3,
+		QueriesPerClient: 4,
+		Workers:          4,
+		Materialize:      true,
+		Repeat:           0.5,
+		Timeout:          time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries != 12 {
+		t.Fatalf("completed %d queries, want 12", rep.Queries)
+	}
+	if rep.TotalFacts != ref.TotalFacts {
+		t.Fatalf("materialized sessions derive %d facts, oracle %d", rep.TotalFacts, ref.TotalFacts)
+	}
+	if rep.MaterializedEpochs != 1 {
+		t.Fatalf("materialized %d epochs, want 1", rep.MaterializedEpochs)
+	}
+	if rep.MemoHits != int64(rep.Queries)-1 {
+		t.Fatalf("memo hits = %d, want %d (every query but the derivation)", rep.MemoHits, rep.Queries-1)
+	}
+}
+
 func TestCaracServePaced(t *testing.T) {
 	facts := datagen.SListLib(1, 4)
 	rep, err := RunCaracServe(analysis.InvFuns(analysis.HandOptimized, facts), ServeConfig{
@@ -165,6 +201,7 @@ func TestCaracServePaced(t *testing.T) {
 		QueriesPerClient: 3,
 		TargetQPS:        50,
 		Workers:          2,
+		Repeat:           1,
 		Timeout:          time.Minute,
 	})
 	if err != nil {

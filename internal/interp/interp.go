@@ -162,6 +162,17 @@ type Interp struct {
 	// and accumulates it into Stats.EstimatedRows.
 	Estimate func(spj *ir.SPJOp) float64
 
+	// SeedDelta, when non-nil, replaces ScanOp's full Derived→DeltaNew
+	// seeding for the predicates it handles (returns true): instead of
+	// pushing every Derived row through the first iteration, the caller
+	// inserts only the rows that are new relative to an already-known
+	// fixpoint — the warm-start path of materialized-epoch serving, where
+	// Derived is pre-seeded with the previous epoch's fixpoint and only the
+	// ingested delta needs to re-enter semi-naive evaluation. Sound only for
+	// monotone programs under additions-only deltas; the serving layer gates
+	// it on that. Predicates the hook declines (returns false) seed fully.
+	SeedDelta func(pid storage.PredID, dst *storage.Relation) bool
+
 	cancel atomic.Bool
 	// cancelHook chains a parent interpreter's cancellation into workers
 	// spawned by parallel rule evaluation.
@@ -325,6 +336,9 @@ func (in *Interp) interpret(op ir.Op) error {
 	case *ir.ScanOp:
 		for _, pid := range n.Preds {
 			p := in.Cat.Pred(pid)
+			if in.SeedDelta != nil && in.SeedDelta(pid, p.DeltaNew) {
+				continue
+			}
 			p.DeltaNew.InsertAll(p.Derived)
 		}
 		return nil

@@ -42,8 +42,17 @@ func srcRel(p *storage.PredicateDB, src ir.Source) *storage.Relation {
 // (storage.Histogram is copy-safe by design), so the snapshot shares no
 // mutable state with the catalog.
 func CaptureSnapshot(cat *storage.Catalog) *Snapshot {
+	return CaptureSnapshotAt(cat, cat.Epoch())
+}
+
+// CaptureSnapshotAt is CaptureSnapshot with an explicit epoch stamp. The
+// serving layer uses it for post-fixpoint snapshots: a materialization is
+// computed on a session's private catalog (whose own epoch counter never
+// advances), but the statistics it captures describe the serving epoch the
+// materialization belongs to, so the stamp must come from the server.
+func CaptureSnapshotAt(cat *storage.Catalog, epoch uint64) *Snapshot {
 	s := &Snapshot{
-		CapturedEpoch: cat.Epoch(),
+		CapturedEpoch: epoch,
 		cards:         make(map[[2]int32]int, 2*cat.NumPreds()),
 		distinct:      make(map[[3]int32]int),
 		hists:         make(map[[3]int32]storage.Histogram),

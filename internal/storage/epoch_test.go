@@ -130,9 +130,10 @@ func TestPinRowsSplitDedup(t *testing.T) {
 	}
 }
 
-// TestPinRowsPhysicalMaterializes: physical relations (bucket-major arenas)
-// fall back to a materialized copy, immune to sub-arena rotation.
-func TestPinRowsPhysicalMaterializes(t *testing.T) {
+// TestPinRowsPhysicalZeroCopy: physical relations (bucket-major arenas) pin
+// each bucket's slab directly — no flattening copy — and the per-bucket
+// copy-on-flip discipline keeps the view intact through Clear and re-insert.
+func TestPinRowsPhysicalZeroCopy(t *testing.T) {
 	r := NewRelation("t", 2)
 	for i := 0; i < 12; i++ {
 		r.Insert([]Value{Value(i), Value(i + 1)})
@@ -140,16 +141,51 @@ func TestPinRowsPhysicalMaterializes(t *testing.T) {
 	r.SetShardKeyPhysical(4, 0)
 	view := r.PinRows()
 	if r.Pinned() {
-		t.Fatal("physical pin must not set the in-place pinned flag")
+		t.Fatal("physical pin must not set the flat-slab pinned flag")
 	}
 	want := epochRowStrings(view)
-	if len(want) != 12 {
-		t.Fatalf("materialized view has %d rows, want 12", len(want))
+	if len(want) != 12 || view.Len() != 12 {
+		t.Fatalf("pinned view has %d rows (Len %d), want 12", len(want), view.Len())
 	}
 	r.Clear()
 	r.Insert([]Value{77, 78})
 	if got := epochRowStrings(view); !sameStrings(got, want) {
-		t.Fatal("materialized physical view changed after mutation")
+		t.Fatal("pinned physical view changed after Clear + insert")
+	}
+}
+
+// TestPinRowsPhysicalRow pins the multi-arena random-access surface: Row(i)
+// over the bucket-major view must agree with Each's iteration order for
+// every index, across bucket boundaries.
+func TestPinRowsPhysicalRow(t *testing.T) {
+	r := NewRelation("t", 2)
+	for i := 0; i < 37; i++ { // uneven bucket fill
+		r.Insert([]Value{Value(i * 7 % 11), Value(i)})
+	}
+	r.SetShardKeyPhysical(5, 0)
+	view := r.PinRows()
+	if view.Len() != 37 {
+		t.Fatalf("view len %d, want 37", view.Len())
+	}
+	i := 0
+	view.Each(func(row []Value) bool {
+		if got := view.Row(i); fmt.Sprint(got) != fmt.Sprint(row) {
+			t.Fatalf("Row(%d) = %v, Each yields %v", i, got, row)
+		}
+		i++
+		return true
+	})
+	if i != view.Len() {
+		t.Fatalf("Each visited %d rows, Len says %d", i, view.Len())
+	}
+
+	// The view stays valid when the relation re-shards (the old slabs are
+	// abandoned wholesale, satisfying the pin without a copy).
+	r.SetShardKeyPhysical(3, 1)
+	j := 0
+	view.Each(func(row []Value) bool { j++; return true })
+	if j != 37 {
+		t.Fatalf("pinned view lost rows after re-shard: %d, want 37", j)
 	}
 }
 

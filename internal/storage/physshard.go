@@ -32,9 +32,14 @@ import (
 // resetContents drops all tuples and index entries without touching any
 // mutation counter — the caller owns the accounting. retain keeps the
 // allocated capacity (in-place map clears, truncated slices) for consumers
-// that immediately refill, e.g. worker delta buffers.
+// that immediately refill, e.g. worker delta buffers. A pinned arena (an
+// epoch view references it — physical buckets are pinned individually by
+// PinRows) is detached to a fresh slab instead of truncated in place, so
+// the refill never rewrites rows the view still serves.
 func (r *Relation) resetContents(retain bool) {
-	r.arena = r.arena[:0]
+	if !r.detachPinned(0) {
+		r.arena = r.arena[:0]
+	}
 	r.histReset()
 	if retain {
 		clear(r.set)
@@ -217,6 +222,9 @@ func (r *Relation) SetShardKeyPhysical(shards, col int) {
 	for _, ci := range r.composites {
 		ci.m = make(map[string][]int32)
 	}
+	// The flat slab was abandoned wholesale (rows moved into the buckets),
+	// which satisfies any pinned epoch view without a copy.
+	r.pinned = false
 	// Histogram counts moved into the bucket sub-relations with the rows;
 	// the parent keeps an empty registration (HistogramOf sums the subs).
 	r.histReset()
