@@ -84,6 +84,7 @@ func runCmd(args []string) error {
 	histograms := fs.Bool("histograms", false, "maintain per-column histograms on join columns and order atoms by estimated join-output size (histogram overlap) instead of cardinality alone")
 	stealThreshold := fs.Float64("steal-threshold", 0, "skew ratio (hottest delta bucket / mean occupied bucket) at which a fanned-out iteration switches to work-stealing per-bucket claims; 0 disables, 3.0 recommended")
 	sharedPlans := fs.Bool("shared-plans", false, "key plan and compiled-unit caches into the program-lifetime plan store so repeated runs start warm (implies -plancache)")
+	cacheDir := fs.String("cache-dir", "", "persist plans, bytecode compiled units, and the statistics profile to this directory and reload them on the next start, so a restarted process skips cold planning/compilation (implies -shared-plans)")
 	repeat := fs.Int("repeat", 1, "run the program this many times on one Program (pair with -shared-plans to observe warm-run behavior)")
 	timeout := fs.Duration("timeout", 0, "abort after this duration")
 	explain := fs.Bool("explain", false, "print the IROp plan (with optimizer weights) before running")
@@ -128,6 +129,7 @@ func runCmd(args []string) error {
 		FanoutThreshold: *fanoutThreshold,
 		Histograms:      *histograms,
 		StealThreshold:  *stealThreshold,
+		CacheDir:        *cacheDir,
 		JIT: jit.Config{
 			Backend:     be,
 			Granularity: gr,
@@ -194,7 +196,7 @@ func runCmd(args []string) error {
 				res.JIT.Compilations, res.JIT.CompileTime.Round(time.Microsecond),
 				res.JIT.CacheHits, res.JIT.StaleDrops, res.JIT.Reorders, res.JIT.Switchovers)
 		}
-		if *plancache || *adaptive || *sharedPlans {
+		if *plancache || *adaptive || *sharedPlans || *cacheDir != "" {
 			fmt.Fprintf(os.Stderr, "plancache: hits=%d (fast=%d) cold=%d band=%d stale=%d reopts=%d hit-rate=%.1f%%\n",
 				res.Plans.Hits, res.Plans.FastHits, res.Plans.ColdMisses, res.Plans.BandMisses,
 				res.Plans.StaleDrops, res.Interp.Reopts, 100*res.Plans.HitRate())
@@ -203,7 +205,7 @@ func runCmd(args []string) error {
 			// -shared-plans the store outlives runs, so totals accumulate
 			// across every -repeat iteration.
 			pls, units := res.Plans, res.Units
-			if *sharedPlans {
+			if *sharedPlans || *cacheDir != "" {
 				store := p.PlanStore()
 				pls = store.ClassStats(pcache.ClassPlans)
 				units = store.ClassStats(pcache.ClassUnits)
@@ -211,6 +213,10 @@ func runCmd(args []string) error {
 			fmt.Fprintf(os.Stderr, "plan-store: hits=%d (cross-run=%d) misses=%d widens=%d evictions=%d unit-reuses=%d (cross-run=%d) unit-recompiles=%d\n",
 				pls.Hits, pls.CrossRunHits, pls.ColdMisses+pls.BandMisses+pls.StaleDrops,
 				pls.Widens, pls.Evictions+units.Evictions, units.Hits, units.CrossRunHits, totalRecompiles)
+			if ds, ok := p.DiskStats(); ok {
+				fmt.Fprintf(os.Stderr, "disk-cache: hits=%d misses=%d invalidations=%d flushes=%d\n",
+					ds.Hits, ds.Misses, ds.Invalidations, ds.Flushes)
+			}
 		}
 	}
 	return nil
@@ -266,6 +272,7 @@ func serveCmd(args []string) error {
 	queries := fs.Int("queries", 8, "queries per client")
 	qps := fs.Float64("qps", 0, "per-client query rate (0 = maximum throughput)")
 	materialize := fs.Bool("materialize", false, "materialize each epoch's fixpoint once; repeat queries answer by lookup")
+	cacheDir := fs.String("cache-dir", "", "persistent plan/compiled-unit cache directory: loaded before the first epoch, flushed on every publish, so a restarted server starts disk-warm")
 	repeat := fs.Float64("repeat", 1, "hot-query ratio per client in [0,1]: this fraction of queries repeat on the client's session, the rest open a fresh session each")
 	timeout := fs.Duration("timeout", 0, "per-query timeout")
 	statsFlag := fs.Bool("stats", true, "print serving statistics")
@@ -292,6 +299,7 @@ func serveCmd(args []string) error {
 		Indexed:        *indexed,
 		SharedPlans:    true,
 		Materialize:    *materialize,
+		CacheDir:       *cacheDir,
 		Workers:        *workers,
 		Shards:         *shards,
 		AdaptiveFanout: *adaptiveFanout,
@@ -399,6 +407,10 @@ func serveCmd(args []string) error {
 			*clients, done, dt.Round(time.Microsecond), qpsOut, facts,
 			srv.PlanStats().CrossRunHits+srv.UnitStats().CrossRunHits,
 			st.MemoHits, st.MaterializedEpochs)
+		if ds, ok := srv.DiskStats(); ok {
+			fmt.Fprintf(os.Stderr, "disk-cache: hits=%d misses=%d invalidations=%d flushes=%d\n",
+				ds.Hits, ds.Misses, ds.Invalidations, ds.Flushes)
+		}
 	}
 	return nil
 }

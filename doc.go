@@ -294,6 +294,57 @@
 // race-checked), which compares repeat-heavy and repeat-free drives against
 // the re-derive baseline.
 //
+// # Persistent cache
+//
+// The program-lifetime store dies with the process; core.Options.CacheDir
+// extends it across process restarts (implying SharedPlans). A Run over a
+// CacheDir loads the directory into the store before querying and flushes
+// the store back after a successful query; a serving Program loads at Serve
+// and flushes at every Publish. The target is the cold start: a restarted
+// process replays identical facts, so its drift trajectory matches the one
+// the cached entries were built against, and the disk-warm first query
+// builds zero plans and — on the bytecode backend — recompiles zero units
+// (pinned by TestPersistColdWarmRoundTrip across the execution-mode matrix,
+// measured by BenchmarkColdStart / the BENCH_coldstart.json CI artifact and
+// engines.RunCaracColdStart).
+//
+//   - Entry format: one file per (class, structural key), named
+//     c<class>-<sha256(key)>.cce — content addressing by the same canonical
+//     fingerprints the in-memory store uses. Each file carries a versioned
+//     envelope (magic, format version, an engine tag embedding the engine
+//     version plus every codec version, CRC32 over the body) and the key's
+//     band entries: drift counters, build-time cardinalities, band-widening
+//     state, and the serialized artifact. A profile.ccs file rides along
+//     with the post-fixpoint statistics snapshot the entries were built
+//     against (stats.CaptureSnapshot; exposed as Program.CachedProfile).
+//
+//   - What each backend persists: interpreter plans serialize symbolically
+//     (internal/interp plan codec — predicates, access-path choices,
+//     template elements, EstRows; never pointers) and are revalidated
+//     against the live catalog on load (interp.RevalidatePlan, the same
+//     demote-or-upgrade logic as bindPlan's rebind), so a probe whose index
+//     is not registered in this process degrades to a filtered scan instead
+//     of assuming the old layout. Bytecode units serialize whole
+//     (bytecode.EncodeProgram: instruction words plus constant pools — the
+//     Program is flat and pointer-free by construction). Lambda and quotes
+//     closures and span-parameterized shard task units cannot leave the
+//     process; they persist as recompile hints (entry recorded, artifact
+//     absent) and count as disk misses on load. The memo class is never
+//     persisted — memoized results are epoch-qualified and epochs die with
+//     the server.
+//
+//   - Invalidation rules: any envelope mismatch — magic, format version,
+//     engine/codec tag, CRC, or a mid-entry decode error — makes the file a
+//     silent miss, counted in plancache.DiskStats.Invalidations (the carac
+//     CLI prints a disk-cache line under -stats) and overwritten by the next
+//     flush; a corrupt directory can cost a cold start but never an error or
+//     a partial entry. Flushes are atomic (temp file + rename, concurrent
+//     flushers race benignly) and never delete files, so entries evicted
+//     from the bounded in-memory store outlive the eviction on disk.
+//     Loaded entries are injected at generation zero: the first reuse in
+//     the new process always registers as a CrossRunHit, and an entry the
+//     live store already rebuilt is never displaced by its disk copy.
+//
 // Post-Run mutation contract (and cache lifecycle): the rule set freezes at
 // a Program's first Run — adding rules or source afterwards errors; create a
 // new Program for a different rule set. Facts MAY keep being added between
@@ -310,5 +361,7 @@
 // share and recompile the rest.
 package carac
 
-// Version identifies this reproduction build.
+// Version identifies this reproduction build. internal/core mirrors it in
+// its persistent-cache tag (engineVersion); bump both together so on-disk
+// caches from older builds invalidate cleanly.
 const Version = "0.1.0"

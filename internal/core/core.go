@@ -78,6 +78,11 @@ type Program struct {
 	// start warm. Drift counters are storage-resident and monotone, so the
 	// freshness state the store gates on carries across runs by construction.
 	planStore *plancache.Store
+	// persist binds planStore to Options.CacheDir: created (and loaded) by
+	// the first Run or Serve that names a cache directory, flushed after
+	// every successful shared Run and on each serve epoch publication. See
+	// persist.go.
+	persist *plancache.Persister
 }
 
 // PlanStore returns the program-lifetime plan store, creating it (with
@@ -523,6 +528,16 @@ type Options struct {
 	// warm-starts from the previous fixpoint plus the ingested delta. See
 	// doc.go §Serving.
 	Materialize bool
+	// CacheDir names a directory for the persistent, content-addressed plan
+	// + compiled-unit cache (doc.go §Persistent cache): plans, bytecode
+	// compiled units, and the profile-statistics snapshot they were built
+	// against are flushed there after every successful Run (and on every
+	// serve epoch publication) and loaded back when a fresh Program's first
+	// Run opens the same directory, so a restarted process skips cold
+	// planning and compilation. Implies SharedPlans. The first CacheDir a
+	// Program sees wins for its lifetime; invalid or version-mismatched
+	// cache files load as silent misses.
+	CacheDir string
 }
 
 // Result reports one Run's outcome.
@@ -556,6 +571,11 @@ func (p *Program) Run(opts Options) (*Result, error) {
 	if opts.Histograms {
 		opts.JIT.Optimizer.UseHistograms = true
 	}
+	// The persistent cache extends the Program-lifetime store; a per-Run
+	// cache has nothing meaningful to persist.
+	if opts.CacheDir != "" {
+		opts.SharedPlans = true
+	}
 	prog, root, err := p.lowered(opts)
 	if err != nil {
 		return nil, err
@@ -583,7 +603,17 @@ func (p *Program) Run(opts Options) (*Result, error) {
 		return nil, err
 	}
 	defer eng.close()
-	return eng.query(opts.Timeout, true)
+	// Load-on-open: the engine just registered indexes on the catalog, so
+	// plans decoded from disk revalidate their probe choices against the
+	// live registrations before entering the store.
+	p.ensurePersistLocked(opts)
+	res, err := eng.query(opts.Timeout, true)
+	if err == nil {
+		// Flush-on-close: persist what this run built (and re-persist what
+		// it inherited) together with the statistics profile it ran under.
+		p.flushPersistLocked(store, stats.CaptureSnapshot(p.cat))
+	}
+	return res, err
 }
 
 // lowered applies the static rewrites and lowers the rule program to IR.

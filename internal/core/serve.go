@@ -280,6 +280,10 @@ func (p *Program) Serve(opts Options) (*Server, error) {
 	// statistics snapshots carry distinct counts and histograms for the
 	// session planners.
 	registerArtifacts(p.cat, prog, opts)
+	// Load the persistent cache (if configured) now that indexes exist to
+	// revalidate loaded plans against; the first publish below flushes it
+	// back, so even an idle server refreshes the directory's version tag.
+	p.ensurePersistLocked(opts)
 
 	s := &Server{
 		p:    p,
@@ -347,6 +351,10 @@ func (s *Server) publishLocked() *Epoch {
 	// describe — a session's planner must never observe a half-rewound
 	// cardinality or histogram.
 	e.stats = stats.CaptureSnapshot(p.cat)
+	// Flush-on-publish: persist everything sessions built during the closing
+	// epoch, with the new boundary's statistics as the profile snapshot, so
+	// a restart after any publication starts disk-warm.
+	p.flushPersistLocked(p.sharedStore(s.opts), e.stats)
 	if old != nil && len(old.rows) == n {
 		// Ground arenas are append-only across epochs (facts are only ever
 		// added; the baseline rewind truncates derived suffixes only), so the
@@ -746,3 +754,7 @@ func (s *Server) UnitStats() plancache.Stats {
 func (s *Server) MemoStats() plancache.Stats {
 	return s.p.sharedStore(s.opts).ClassStats(plancache.ClassMemos)
 }
+
+// DiskStats returns the persistent cache's traffic counters; ok is false
+// when the server was started without Options.CacheDir.
+func (s *Server) DiskStats() (plancache.DiskStats, bool) { return s.p.DiskStats() }

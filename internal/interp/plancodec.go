@@ -1,0 +1,217 @@
+// Plan ↔ symbolic-form round trip for the persistent cache. A Plan is
+// already symbolic — steps name predicates, columns, template elements and
+// access-path choices, never pointers into live storage — so serialization is
+// a flat field walk. Per-execution state (Cancel/Yield hooks, shard
+// restriction, Yielded) is deliberately not encoded: cached entries are
+// always pristine and per-run decoration happens on the copies handed out by
+// boundPlan. Decoded plans carry the builder's probe choices; callers must
+// RevalidatePlan against the live catalog before serving them, mirroring
+// bindPlan's rebind path, so a probe whose index is not registered in this
+// process demotes to a filtered scan instead of assuming the old layout.
+package interp
+
+import (
+	"fmt"
+
+	"carac/internal/ast"
+	"carac/internal/ir"
+	"carac/internal/storage"
+	"carac/internal/wire"
+)
+
+// PlanCodecVersion tags the layout below; bump on any field change so stale
+// cache files invalidate instead of misdecoding.
+const PlanCodecVersion = 1
+
+func appendTmpl(b []byte, t TmplElem) []byte {
+	flag := uint8(0)
+	if t.IsConst {
+		flag = 1
+	}
+	b = wire.AppendU8(b, flag)
+	b = wire.AppendI32(b, int32(t.Const))
+	return wire.AppendI32(b, int32(t.Var))
+}
+
+func readTmpl(r *wire.Reader) TmplElem {
+	var t TmplElem
+	t.IsConst = r.U8() != 0
+	t.Const = storage.Value(r.I32())
+	t.Var = ast.VarID(r.I32())
+	return t
+}
+
+func appendTmpls(b []byte, ts []TmplElem) []byte {
+	b = wire.AppendInt(b, len(ts))
+	for _, t := range ts {
+		b = appendTmpl(b, t)
+	}
+	return b
+}
+
+func readTmpls(r *wire.Reader) []TmplElem {
+	n := r.Count(9)
+	if n <= 0 {
+		return nil
+	}
+	ts := make([]TmplElem, n)
+	for i := range ts {
+		ts[i] = readTmpl(r)
+	}
+	return ts
+}
+
+// AppendPlan encodes p's symbolic form onto b.
+func AppendPlan(b []byte, p *Plan) []byte {
+	b = wire.AppendInt(b, len(p.Steps))
+	for i := range p.Steps {
+		st := &p.Steps[i]
+		b = wire.AppendU8(b, uint8(st.Kind))
+		b = wire.AppendI32(b, int32(st.Pred))
+		b = wire.AppendU8(b, uint8(st.Src))
+		b = wire.AppendInt(b, st.ProbeCol)
+		b = appendTmpl(b, st.ProbeKey)
+		b = wire.AppendInt(b, len(st.ProbeCols))
+		for _, c := range st.ProbeCols {
+			b = wire.AppendInt(b, c)
+		}
+		b = appendTmpls(b, st.ProbeKeys)
+		b = wire.AppendInt(b, len(st.Checks))
+		for _, ck := range st.Checks {
+			b = wire.AppendInt(b, ck.Col)
+			b = wire.AppendU8(b, uint8(ck.Mode))
+			b = wire.AppendI32(b, int32(ck.Const))
+			b = wire.AppendI32(b, int32(ck.Var))
+			b = wire.AppendInt(b, ck.Other)
+		}
+		b = wire.AppendInt(b, len(st.Binds))
+		for _, bd := range st.Binds {
+			b = wire.AppendInt(b, bd.Col)
+			b = wire.AppendI32(b, int32(bd.Var))
+		}
+		b = appendTmpls(b, st.Tmpl)
+		b = wire.AppendU8(b, uint8(st.Builtin))
+		b = appendTmpls(b, st.Args)
+		b = wire.AppendInt(b, st.Out)
+		b = wire.AppendI32(b, int32(st.OutVar))
+	}
+	b = wire.AppendInt(b, len(p.Head))
+	for _, h := range p.Head {
+		flag := uint8(0)
+		if h.IsConst {
+			flag = 1
+		}
+		b = wire.AppendU8(b, flag)
+		b = wire.AppendI32(b, int32(h.Const))
+		b = wire.AppendI32(b, int32(h.Var))
+	}
+	b = wire.AppendI32(b, int32(p.Sink))
+	b = wire.AppendInt(b, p.NumVars)
+	b = wire.AppendU8(b, uint8(p.Agg.Kind))
+	b = wire.AppendInt(b, p.Agg.HeadPos)
+	b = wire.AppendI32(b, int32(p.Agg.OverVar))
+	return wire.AppendF64(b, p.EstRows)
+}
+
+// DecodePlan decodes one plan from b, returning the remaining bytes so
+// callers embedding plans in a larger stream (the bytecode program's
+// aggregation-plan pool) can chain decodes.
+func DecodePlan(b []byte) (*Plan, []byte, error) {
+	r := wire.NewReader(b)
+	p := &Plan{}
+	nsteps := r.Count(1)
+	if nsteps > 0 {
+		p.Steps = make([]Step, nsteps)
+	}
+	for i := 0; i < nsteps; i++ {
+		st := &p.Steps[i]
+		st.Kind = StepKind(r.U8())
+		st.Pred = storage.PredID(r.I32())
+		st.Src = ir.Source(r.U8())
+		st.ProbeCol = r.Int()
+		st.ProbeKey = readTmpl(r)
+		if n := r.Count(4); n > 0 {
+			st.ProbeCols = make([]int, n)
+			for j := range st.ProbeCols {
+				st.ProbeCols[j] = r.Int()
+			}
+		}
+		st.ProbeKeys = readTmpls(r)
+		if n := r.Count(17); n > 0 {
+			st.Checks = make([]ColCheck, n)
+			for j := range st.Checks {
+				ck := &st.Checks[j]
+				ck.Col = r.Int()
+				ck.Mode = CheckMode(r.U8())
+				ck.Const = storage.Value(r.I32())
+				ck.Var = ast.VarID(r.I32())
+				ck.Other = r.Int()
+			}
+		}
+		if n := r.Count(8); n > 0 {
+			st.Binds = make([]ColBind, n)
+			for j := range st.Binds {
+				st.Binds[j].Col = r.Int()
+				st.Binds[j].Var = ast.VarID(r.I32())
+			}
+		}
+		st.Tmpl = readTmpls(r)
+		st.Builtin = ast.Builtin(r.U8())
+		st.Args = readTmpls(r)
+		st.Out = r.Int()
+		st.OutVar = ast.VarID(r.I32())
+	}
+	if n := r.Count(9); n > 0 {
+		p.Head = make([]ir.ProjElem, n)
+		for i := range p.Head {
+			h := &p.Head[i]
+			h.IsConst = r.U8() != 0
+			h.Const = storage.Value(r.I32())
+			h.Var = ast.VarID(r.I32())
+		}
+	}
+	p.Sink = storage.PredID(r.I32())
+	p.NumVars = r.Int()
+	p.Agg.Kind = ast.AggKind(r.U8())
+	p.Agg.HeadPos = r.Int()
+	p.Agg.OverVar = ast.VarID(r.I32())
+	p.EstRows = r.F64()
+	if err := r.Err(); err != nil {
+		return nil, nil, fmt.Errorf("plan decode: %w", err)
+	}
+	return p, r.Rest(), nil
+}
+
+// RevalidatePlan re-selects every relational step's access path against the
+// live catalog, exactly as bindPlan does on a cross-predicate rebind: a
+// probe whose index is not registered here demotes to a filtered scan (its
+// consumed key check restored), and scans re-probe availability so a
+// restarted process with richer index registrations upgrades. Safe to call
+// on a freshly decoded plan before it enters the store; the plan is mutated
+// in place (it is not yet shared).
+func RevalidatePlan(p *Plan, cat *storage.Catalog) {
+	for i := range p.Steps {
+		st := &p.Steps[i]
+		if st.Kind == StepBuiltin {
+			continue
+		}
+		if st.Pred < 0 || int(st.Pred) >= cat.NumPreds() {
+			continue
+		}
+		idxRel := cat.Pred(st.Pred).Derived
+		if idxRel == nil {
+			continue
+		}
+		switch st.Kind {
+		case StepProbe:
+			if !idxRel.HasIndex(st.ProbeCol) {
+				demoteProbe(st)
+			}
+		case StepProbeN:
+			if !idxRel.HasCompositeIndex(st.ProbeCols) {
+				demoteProbe(st)
+			}
+		}
+		selectProbe(st, idxRel)
+	}
+}

@@ -165,9 +165,13 @@ type Stats struct {
 // compiledUnit is the cached artifact of one compilation: the runnable
 // thunk, or a failure marker kept so a broken subquery is not re-fed to the
 // compiler on every safe-point visit while its statistics stay fresh. The
-// cardinality fingerprint lives on the plan-store entry, not here.
+// cardinality fingerprint lives on the plan-store entry, not here. For the
+// bytecode backend, prog retains the raw program so the persistent cache can
+// serialize the artifact; the staged backends leave it nil and persist as
+// recompile hints.
 type compiledUnit struct {
 	run    func(in *interp.Interp) error
+	prog   *bytecode.Program
 	failed bool
 }
 
@@ -627,15 +631,23 @@ func (c *Controller) runCompile(req compileReq) *compiledUnit {
 	}
 	firstErr := c.reorderClone(req)
 	var run func(in *interp.Interp) error
+	var prog *bytecode.Program
 	if firstErr == nil {
-		// Snippet splicing needs a target that can defer control back to the
-		// interpreter; bytecode cannot (paper §V-C2), so it always compiles
-		// the full subtree.
-		snippet := c.cfg.Snippet && c.cfg.Backend != BackendBytecode
-		run, firstErr = c.compiler.Compile(req.clone, c.cat, snippet)
+		if c.cfg.Backend == BackendBytecode {
+			// Snippet splicing needs a target that can defer control back to
+			// the interpreter; bytecode cannot (paper §V-C2), so it always
+			// compiles the full subtree — through the raw-program path, so
+			// the flat artifact is retained for the persistent cache.
+			prog, firstErr = bytecode.Compiler{}.CompileProgram(req.clone, c.cat)
+			if firstErr == nil {
+				run = prog.Run
+			}
+		} else {
+			run, firstErr = c.compiler.Compile(req.clone, c.cat, c.cfg.Snippet)
+		}
 	}
 	dt := time.Since(t0)
-	cu := &compiledUnit{run: run, failed: firstErr != nil}
+	cu := &compiledUnit{run: run, prog: prog, failed: firstErr != nil}
 	c.units.Store(req.key, req.counters, req.cards, cu)
 	c.accountCompile(req, cu.failed, dt)
 	if c.cfg.Async && !cu.failed {

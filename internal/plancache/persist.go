@@ -1,0 +1,443 @@
+// Persistent, content-addressed cache: the on-disk extension of the
+// Program-lifetime store. Structural fingerprints are already
+// content-addressed, so each (class, key) pair maps to exactly one file in
+// the cache directory — named by the SHA-256 of the fingerprint signature —
+// holding every band entry of that key plus the bucket's quantization state.
+// The profile-statistics snapshot the entries were built against rides along
+// in its own file, so a restarted process can re-optimize incrementally
+// instead of from zero.
+//
+// Robustness contract: a cache file is advisory. Truncated, garbage, or
+// version-mismatched files load as silent misses (counted in
+// DiskStats.Invalidations) and are overwritten on the next flush — never an
+// error, never a partial entry. Writes go through a temp file in the same
+// directory plus os.Rename, so a reader or a concurrently flushing second
+// process only ever observes a complete old file or a complete new one.
+// Flush never deletes files: an entry the in-memory LRU evicted survives on
+// disk and reloads on the next open.
+package plancache
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"carac/internal/stats"
+	"carac/internal/wire"
+)
+
+// persistFormatVersion tags the container layout below; bump on any change.
+// Payload layouts are additionally guarded by the tag string callers build
+// from the engine version and per-codec versions.
+const persistFormatVersion = 1
+
+const (
+	entryExt    = ".cce" // cache container entry
+	profileName = "profile.ccs"
+)
+
+var (
+	entryMagic   = [4]byte{'C', 'R', 'P', 'C'}
+	profileMagic = [4]byte{'C', 'R', 'P', 'S'}
+)
+
+// Entry is one band entry of the store in exportable form: its class and
+// fingerprint key, the bucket's band-quantization shift, and the freshness
+// vectors (build-time cardinalities, last-seen drift counters) the lookup
+// gate needs to decide whether the live world still matches.
+type Entry struct {
+	Class    Class
+	Key      Key
+	Widen    uint8
+	Counters []uint64
+	Cards    []int
+	Val      any
+}
+
+// Export snapshots every entry of the given classes. Shards are locked one
+// at a time, so Export is safe against concurrent lookups and stores and
+// never blocks the whole store.
+func (s *Store) Export(classes ...Class) []Entry {
+	want := [numClasses]bool{}
+	for _, c := range classes {
+		if int(c) < int(numClasses) {
+			want[c] = true
+		}
+	}
+	var out []Entry
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for vk, bucket := range sh.buckets {
+			if !want[vk.class] {
+				continue
+			}
+			for _, e := range bucket.bands {
+				out = append(out, Entry{
+					Class:    vk.class,
+					Key:      vk.key,
+					Widen:    bucket.widen,
+					Counters: append([]uint64(nil), e.counters...),
+					Cards:    append([]int(nil), e.cards...),
+					Val:      e.val,
+				})
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// Inject inserts a loaded entry. The entry's generation is set to zero —
+// strictly before any generation a live run can observe — so its first hit
+// counts as a cross-run hit, same as an entry surviving from a previous Run.
+// An already-occupied band (the process built its own entry first) wins over
+// the disk copy; Inject reports whether the entry was installed. Statistics
+// counters are untouched: disk traffic is accounted in DiskStats, not in the
+// store's hit/miss ledger.
+func (s *Store) Inject(e Entry) bool {
+	vk := viewKey{class: e.Class, key: e.Key}
+	sh := s.shardFor(vk)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	bucket := sh.buckets[vk]
+	if bucket == nil {
+		bucket = &keyBucket{bands: make(map[string]*entry), widen: e.Widen}
+		sh.buckets[vk] = bucket
+	}
+	band := bandSig(e.Cards, bucket.widen)
+	if bucket.bands[band] != nil {
+		return false
+	}
+	ne := &entry{
+		val:      e.Val,
+		cards:    append([]int(nil), e.Cards...),
+		counters: append([]uint64(nil), e.Counters...),
+		gen:      0,
+		vk:       vk,
+		band:     band,
+	}
+	bucket.bands[band] = ne
+	sh.pushFront(ne)
+	sh.entries++
+	if lim := s.perShard; lim > 0 {
+		for sh.entries > lim && sh.tail != nil && sh.tail != ne {
+			victim := sh.tail
+			sh.stats[victim.vk.class].Evictions++
+			sh.evict(victim)
+		}
+	}
+	return true
+}
+
+// EntryCodec translates one class's cached values to and from persistable
+// payloads. Encode reports persist=false to skip an entry entirely (e.g. a
+// failed-compile marker); persist=true with a nil payload records a
+// "recompile hint" — the entry existed, but its artifact is not serializable
+// (lambda/quotes units), so a restarted process knows to recompile rather
+// than finding a false artifact. Decode errors are treated as invalid files,
+// never surfaced to the caller.
+type EntryCodec struct {
+	Encode func(v any) (payload []byte, persist bool)
+	Decode func(payload []byte) (any, error)
+}
+
+// DiskStats counts the persistence layer's traffic, surfaced next to the
+// in-memory store statistics: Hits = entries restored from disk at load,
+// Misses = recompile hints seen at load (the entry must be rebuilt),
+// Invalidations = files or payloads rejected (wrong magic, version or tag
+// mismatch, truncation, checksum or decode failure), Flushes = entries
+// written to disk.
+type DiskStats struct {
+	Hits          int64
+	Misses        int64
+	Invalidations int64
+	Flushes       int64
+}
+
+// Persister binds a Store to a cache directory under a version tag. Callers
+// build the tag from the engine version plus every payload-codec version, so
+// any layout change invalidates the whole directory at once.
+type Persister struct {
+	dir    string
+	tag    string
+	codecs map[Class]EntryCodec
+
+	mu      sync.Mutex
+	stats   DiskStats
+	profile *stats.Snapshot
+}
+
+// NewPersister creates a persister for dir (created on first flush if
+// missing). codecs maps each persistable class to its payload codec; classes
+// without a codec are neither flushed nor loaded.
+func NewPersister(dir, tag string, codecs map[Class]EntryCodec) *Persister {
+	return &Persister{dir: dir, tag: tag, codecs: codecs}
+}
+
+// Stats returns a copy of the disk-traffic counters.
+func (p *Persister) Stats() DiskStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Profile returns the statistics snapshot loaded from the cache directory,
+// or nil if none was present or it failed validation. It describes the
+// world the persisted plans were built against.
+func (p *Persister) Profile() *stats.Snapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.profile
+}
+
+func entryFileName(class Class, key Key) string {
+	sum := sha256.Sum256([]byte(key.Sig))
+	return fmt.Sprintf("c%d-%x%s", class, sum, entryExt)
+}
+
+// Load reads every valid cache file in the directory into the store. It
+// never fails: a missing directory is an empty cache, and every unreadable
+// or invalid file is a silent miss counted in Invalidations.
+func (p *Persister) Load(s *Store) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ents, err := os.ReadDir(p.dir)
+	if err != nil {
+		return
+	}
+	for _, de := range ents {
+		name := de.Name()
+		if de.IsDir() {
+			continue
+		}
+		if name == profileName {
+			p.loadProfileLocked(filepath.Join(p.dir, name))
+			continue
+		}
+		if !strings.HasSuffix(name, entryExt) {
+			continue
+		}
+		p.loadEntryFileLocked(s, filepath.Join(p.dir, name))
+	}
+}
+
+// checkEnvelope validates length, trailing CRC-32, magic, format version,
+// and tag, returning the inner payload reader positioned after the header.
+func (p *Persister) checkEnvelope(b []byte, magic [4]byte) (*wire.Reader, bool) {
+	if len(b) < len(magic)+8 {
+		return nil, false
+	}
+	body, sum := b[:len(b)-4], b[len(b)-4:]
+	if crc32.ChecksumIEEE(body) != wire.NewReader(sum).U32() {
+		return nil, false
+	}
+	if string(body[:4]) != string(magic[:]) {
+		return nil, false
+	}
+	r := wire.NewReader(body[4:])
+	if r.U32() != persistFormatVersion {
+		return nil, false
+	}
+	if r.String() != p.tag {
+		return nil, false
+	}
+	return r, r.Err() == nil
+}
+
+func (p *Persister) loadEntryFileLocked(s *Store, path string) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		p.stats.Invalidations++
+		return
+	}
+	r, ok := p.checkEnvelope(b, entryMagic)
+	if !ok {
+		p.stats.Invalidations++
+		return
+	}
+	class := Class(r.U8())
+	codec, hasCodec := p.codecs[class]
+	sig := r.String()
+	widen := r.U8()
+	n := r.Count(1)
+	if r.Err() != nil || !hasCodec || n < 0 {
+		p.stats.Invalidations++
+		return
+	}
+	var hits, misses int64
+	for i := 0; i < n; i++ {
+		hasArtifact := r.U8() != 0
+		var counters []uint64
+		if m := r.Count(8); m > 0 {
+			counters = make([]uint64, m)
+			for j := range counters {
+				counters[j] = r.U64()
+			}
+		}
+		var cards []int
+		if m := r.Count(8); m > 0 {
+			cards = make([]int, m)
+			for j := range cards {
+				cards[j] = int(int64(r.U64()))
+			}
+		}
+		payload := r.Bytes()
+		if r.Err() != nil {
+			p.stats.Invalidations++
+			return
+		}
+		if !hasArtifact {
+			// Recompile hint: the previous process had this entry on a
+			// non-serializable backend. Nothing to install.
+			misses++
+			continue
+		}
+		val, err := codec.Decode(payload)
+		if err != nil {
+			p.stats.Invalidations++
+			return
+		}
+		if s.Inject(Entry{Class: class, Key: Key{Sig: sig}, Widen: widen, Counters: counters, Cards: cards, Val: val}) {
+			hits++
+		}
+	}
+	p.stats.Hits += hits
+	p.stats.Misses += misses
+}
+
+func (p *Persister) loadProfileLocked(path string) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		p.stats.Invalidations++
+		return
+	}
+	r, ok := p.checkEnvelope(b, profileMagic)
+	if !ok {
+		p.stats.Invalidations++
+		return
+	}
+	snap, err := stats.DecodeSnapshot(r.Rest())
+	if err != nil {
+		p.stats.Invalidations++
+		return
+	}
+	p.profile = snap
+}
+
+// writeAtomic writes b to name in the cache directory via a same-directory
+// temp file and rename, so concurrent flushers (two processes sharing one
+// cache dir) race only over which complete file wins.
+func (p *Persister) writeAtomic(name string, b []byte) error {
+	f, err := os.CreateTemp(p.dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err = f.Write(b); err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err == nil {
+		err = os.Rename(tmp, filepath.Join(p.dir, name))
+	}
+	if err != nil {
+		os.Remove(tmp)
+	}
+	return err
+}
+
+func (p *Persister) envelope(magic [4]byte) []byte {
+	b := append([]byte(nil), magic[:]...)
+	b = wire.AppendU32(b, persistFormatVersion)
+	return wire.AppendString(b, p.tag)
+}
+
+func seal(b []byte) []byte { return wire.AppendU32(b, crc32.ChecksumIEEE(b)) }
+
+// Flush writes every persistable entry of the store's codec-bearing classes
+// to the cache directory, one file per (class, key), plus the profile
+// snapshot when non-nil. Existing files are replaced atomically; files for
+// keys no longer in the store are left in place (the in-memory LRU forgets,
+// the disk does not). The returned error reports only directory-level
+// failures; callers treat it as advisory.
+func (p *Persister) Flush(s *Store, snap *stats.Snapshot) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := os.MkdirAll(p.dir, 0o755); err != nil {
+		return err
+	}
+	classes := make([]Class, 0, len(p.codecs))
+	for c := range p.codecs {
+		classes = append(classes, c)
+	}
+	type group struct {
+		widen   uint8
+		entries []Entry
+	}
+	groups := make(map[viewKey]*group)
+	for _, e := range s.Export(classes...) {
+		vk := viewKey{class: e.Class, key: e.Key}
+		g := groups[vk]
+		if g == nil {
+			g = &group{widen: e.Widen}
+			groups[vk] = g
+		}
+		g.entries = append(g.entries, e)
+	}
+	var firstErr error
+	for vk, g := range groups {
+		codec := p.codecs[vk.class]
+		b := p.envelope(entryMagic)
+		b = wire.AppendU8(b, uint8(vk.class))
+		b = wire.AppendString(b, vk.key.Sig)
+		b = wire.AppendU8(b, g.widen)
+		countAt := len(b)
+		b = wire.AppendU32(b, 0)
+		written := 0
+		for _, e := range g.entries {
+			payload, persist := codec.Encode(e.Val)
+			if !persist {
+				continue
+			}
+			hasArtifact := uint8(0)
+			if payload != nil {
+				hasArtifact = 1
+			}
+			b = wire.AppendU8(b, hasArtifact)
+			b = wire.AppendInt(b, len(e.Counters))
+			for _, c := range e.Counters {
+				b = wire.AppendU64(b, c)
+			}
+			b = wire.AppendInt(b, len(e.Cards))
+			for _, c := range e.Cards {
+				b = wire.AppendU64(b, uint64(int64(c)))
+			}
+			b = wire.AppendBytes(b, payload)
+			written++
+		}
+		if written == 0 {
+			continue
+		}
+		copy(b[countAt:], wire.AppendU32(nil, uint32(written)))
+		if err := p.writeAtomic(entryFileName(vk.class, vk.key), seal(b)); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		p.stats.Flushes += int64(written)
+	}
+	if snap != nil {
+		b := stats.AppendSnapshot(p.envelope(profileMagic), snap)
+		if err := p.writeAtomic(profileName, seal(b)); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

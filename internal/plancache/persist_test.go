@@ -1,0 +1,345 @@
+package plancache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"carac/internal/stats"
+)
+
+// strCodec persists string values verbatim; the value "hint" becomes a
+// recompile hint (persisted without an artifact), and values prefixed
+// "skip:" are not persisted at all — the failure-marker convention.
+func strCodec() EntryCodec {
+	return EntryCodec{
+		Encode: func(v any) ([]byte, bool) {
+			s, ok := v.(string)
+			if !ok || strings.HasPrefix(s, "skip:") {
+				return nil, false
+			}
+			if s == "hint" {
+				return nil, true
+			}
+			return []byte(s), true
+		},
+		Decode: func(p []byte) (any, error) { return string(p), nil },
+	}
+}
+
+func testCodecs() map[Class]EntryCodec {
+	return map[Class]EntryCodec{ClassPlans: strCodec(), ClassUnits: strCodec()}
+}
+
+func planView(s *Store) *Cache[string] {
+	return View[string](s, ViewConfig{Class: ClassPlans})
+}
+
+func TestPersistRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s1 := NewStore(0)
+	v1 := planView(s1)
+	cards := []int{16, 4}
+	counters := []uint64{7, 9}
+	v1.Store(Key{Sig: "alpha"}, counters, cards, "plan-alpha")
+	v1.Store(Key{Sig: "beta"}, counters, []int{1024, 2}, "plan-beta")
+	snap := &stats.Snapshot{CapturedEpoch: 3}
+
+	p1 := NewPersister(dir, "tag-1", testCodecs())
+	if err := p1.Flush(s1, snap); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if st := p1.Stats(); st.Flushes != 2 {
+		t.Fatalf("flushes = %d, want 2: %+v", st.Flushes, st)
+	}
+
+	s2 := NewStore(0)
+	p2 := NewPersister(dir, "tag-1", testCodecs())
+	p2.Load(s2)
+	st := p2.Stats()
+	if st.Hits != 2 || st.Invalidations != 0 || st.Misses != 0 {
+		t.Fatalf("load stats %+v, want 2 hits", st)
+	}
+	if prof := p2.Profile(); prof == nil || prof.CapturedEpoch != 3 {
+		t.Fatalf("profile snapshot not restored: %+v", prof)
+	}
+	// Identical freshness vectors must hit on the fast (counters-equal)
+	// path; the entry must read as cross-run (generation predates this
+	// store's first).
+	got, ok, _ := planView(s2).Lookup(Key{Sig: "alpha"}, counters, cards)
+	if !ok || got != "plan-alpha" {
+		t.Fatalf("lookup after load: ok=%v val=%q", ok, got)
+	}
+	cs := s2.ClassStats(ClassPlans)
+	if cs.CrossRunHits != 1 {
+		t.Fatalf("loaded entry did not count as cross-run: %+v", cs)
+	}
+	// Drifted-but-fresh counters (cards within policy) must also hit.
+	if _, ok, _ := planView(s2).Lookup(Key{Sig: "alpha"}, []uint64{8, 10}, cards); !ok {
+		t.Fatal("drift-gate lookup after load missed")
+	}
+}
+
+func TestPersistHintsLoadAsMisses(t *testing.T) {
+	dir := t.TempDir()
+	s1 := NewStore(0)
+	v1 := planView(s1)
+	v1.Store(Key{Sig: "real"}, []uint64{1}, []int{8}, "artifact")
+	v1.Store(Key{Sig: "lambda-unit"}, []uint64{1}, []int{8}, "hint")
+	v1.Store(Key{Sig: "failed"}, []uint64{1}, []int{8}, "skip:failure-marker")
+	p1 := NewPersister(dir, "t", testCodecs())
+	if err := p1.Flush(s1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := p1.Stats(); st.Flushes != 2 {
+		t.Fatalf("flushes = %d, want 2 (hint persists, failure marker does not)", st.Flushes)
+	}
+
+	s2 := NewStore(0)
+	p2 := NewPersister(dir, "t", testCodecs())
+	p2.Load(s2)
+	st := p2.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Invalidations != 0 {
+		t.Fatalf("load stats %+v, want 1 hit + 1 hint miss", st)
+	}
+	if _, ok, _ := planView(s2).Lookup(Key{Sig: "lambda-unit"}, []uint64{1}, []int{8}); ok {
+		t.Fatal("hint entry must not be served as an artifact")
+	}
+	if _, ok, _ := planView(s2).Lookup(Key{Sig: "failed"}, []uint64{1}, []int{8}); ok {
+		t.Fatal("failure marker must not be persisted")
+	}
+}
+
+// TestPersistCorruptionIsSilentMiss mangles every cache file a different way
+// — truncation, garbage, bit flip, wrong magic, wrong version tag — and
+// requires each to load as a counted invalidation with zero entries
+// installed, then get overwritten by the next flush.
+func TestPersistCorruptionIsSilentMiss(t *testing.T) {
+	corruptions := []struct {
+		name string
+		mut  func(b []byte) []byte
+	}{
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"empty", func([]byte) []byte { return nil }},
+		{"garbage", func(b []byte) []byte { return []byte(strings.Repeat("x", len(b))) }},
+		{"bitflip", func(b []byte) []byte { b[len(b)/2] ^= 0x40; return b }},
+		{"badmagic", func(b []byte) []byte { b[0] = 'X'; return b }},
+	}
+	for _, c := range corruptions {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s1 := NewStore(0)
+			planView(s1).Store(Key{Sig: "k"}, []uint64{1}, []int{8}, "v")
+			p1 := NewPersister(dir, "t", testCodecs())
+			if err := p1.Flush(s1, &stats.Snapshot{CapturedEpoch: 1}); err != nil {
+				t.Fatal(err)
+			}
+			files, err := os.ReadDir(dir)
+			if err != nil || len(files) == 0 {
+				t.Fatalf("no cache files written: %v", err)
+			}
+			for _, f := range files {
+				path := filepath.Join(dir, f.Name())
+				b, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, c.mut(b), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			s2 := NewStore(0)
+			p2 := NewPersister(dir, "t", testCodecs())
+			p2.Load(s2)
+			st := p2.Stats()
+			if st.Hits != 0 || st.Invalidations == 0 {
+				t.Fatalf("corrupt files must be silent misses: %+v", st)
+			}
+			if p2.Profile() != nil {
+				t.Fatal("corrupt profile must not decode")
+			}
+			if s2.Len() != 0 {
+				t.Fatalf("corrupt load installed %d entries", s2.Len())
+			}
+			// The cold path rebuilds; the next flush overwrites the corpse.
+			planView(s2).Store(Key{Sig: "k"}, []uint64{2}, []int{8}, "v2")
+			if err := p2.Flush(s2, &stats.Snapshot{CapturedEpoch: 2}); err != nil {
+				t.Fatal(err)
+			}
+			s3 := NewStore(0)
+			p3 := NewPersister(dir, "t", testCodecs())
+			p3.Load(s3)
+			if st := p3.Stats(); st.Hits != 1 || st.Invalidations != 0 {
+				t.Fatalf("re-flush did not repair the directory: %+v", st)
+			}
+			if got, ok, _ := planView(s3).Lookup(Key{Sig: "k"}, []uint64{2}, []int{8}); !ok || got != "v2" {
+				t.Fatalf("repaired entry: ok=%v val=%q", ok, got)
+			}
+		})
+	}
+}
+
+// TestPersistVersionMismatch writes under one tag and loads under another:
+// every file (entries and profile) must invalidate, and a flush under the
+// new tag must repair the directory in place.
+func TestPersistVersionMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s1 := NewStore(0)
+	planView(s1).Store(Key{Sig: "k"}, []uint64{1}, []int{4}, "old-layout")
+	old := NewPersister(dir, "engine-0.0.9", testCodecs())
+	if err := old.Flush(s1, &stats.Snapshot{}); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := NewStore(0)
+	neu := NewPersister(dir, "engine-0.1.0", testCodecs())
+	neu.Load(s2)
+	if st := neu.Stats(); st.Hits != 0 || st.Invalidations != 2 {
+		t.Fatalf("version mismatch stats %+v, want 2 invalidations (entry + profile)", st)
+	}
+	planView(s2).Store(Key{Sig: "k"}, []uint64{1}, []int{4}, "new-layout")
+	if err := neu.Flush(s2, nil); err != nil {
+		t.Fatal(err)
+	}
+	s3 := NewStore(0)
+	p3 := NewPersister(dir, "engine-0.1.0", testCodecs())
+	p3.Load(s3)
+	if got, ok, _ := planView(s3).Lookup(Key{Sig: "k"}, []uint64{1}, []int{4}); !ok || got != "new-layout" {
+		t.Fatalf("tag-repaired entry: ok=%v val=%q", ok, got)
+	}
+}
+
+// TestPersistEvictedThenReloaded pins the disk-outlives-LRU contract: a
+// flushed entry whose in-memory copy is later evicted (and which a
+// subsequent flush therefore does NOT contain) still reloads from its
+// surviving file in the next process.
+func TestPersistEvictedThenReloaded(t *testing.T) {
+	dir := t.TempDir()
+	s1 := NewStore(0)
+	planView(s1).Store(Key{Sig: "precious"}, []uint64{1}, []int{8}, "kept-on-disk")
+	p1 := NewPersister(dir, "t", testCodecs())
+	if err := p1.Flush(s1, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// A tiny second store: loading and then storing fresh keys evicts the
+	// loaded entry, and the follow-up flush writes only the survivors.
+	s2 := NewStore(LockShards) // one entry per lock shard
+	p2 := NewPersister(dir, "t", testCodecs())
+	p2.Load(s2)
+	v2 := planView(s2)
+	for i := 0; i < 8*LockShards; i++ {
+		v2.Store(Key{Sig: fmt.Sprintf("filler-%d", i)}, []uint64{1}, []int{8}, "f")
+	}
+	if _, ok, _ := v2.Lookup(Key{Sig: "precious"}, []uint64{1}, []int{8}); ok {
+		t.Fatal("filler stores should have evicted the loaded entry")
+	}
+	if s2.Stats().Evictions == 0 {
+		t.Fatal("no evictions recorded")
+	}
+	if err := p2.Flush(s2, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	s3 := NewStore(0)
+	p3 := NewPersister(dir, "t", testCodecs())
+	p3.Load(s3)
+	got, ok, _ := planView(s3).Lookup(Key{Sig: "precious"}, []uint64{1}, []int{8})
+	if !ok || got != "kept-on-disk" {
+		t.Fatalf("evicted entry lost from disk: ok=%v val=%q", ok, got)
+	}
+}
+
+// TestPersistConcurrentFlush has several goroutines flushing overlapping
+// stores into one directory (the two-processes-one-cache-dir scenario; run
+// under -race in CI). Whatever interleaving wins, every file must remain a
+// complete, valid entry — atomic rename permits no torn state.
+func TestPersistConcurrentFlush(t *testing.T) {
+	dir := t.TempDir()
+	const flushers = 4
+	var wg sync.WaitGroup
+	for g := 0; g < flushers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := NewStore(0)
+			v := planView(s)
+			for i := 0; i < 16; i++ {
+				v.Store(Key{Sig: fmt.Sprintf("shared-%d", i)}, []uint64{uint64(g)}, []int{8}, fmt.Sprintf("from-%d", g))
+			}
+			p := NewPersister(dir, "t", testCodecs())
+			for r := 0; r < 8; r++ {
+				if err := p.Flush(s, &stats.Snapshot{CapturedEpoch: uint64(g)}); err != nil {
+					t.Errorf("flusher %d: %v", g, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := NewStore(0)
+	p := NewPersister(dir, "t", testCodecs())
+	p.Load(s)
+	st := p.Stats()
+	if st.Invalidations != 0 {
+		t.Fatalf("concurrent flushes tore %d files: %+v", st.Invalidations, st)
+	}
+	if st.Hits != 16 {
+		t.Fatalf("loaded %d entries, want 16", st.Hits)
+	}
+	for i := 0; i < 16; i++ {
+		if _, ok := planView(s).Peek(Key{Sig: fmt.Sprintf("shared-%d", i)}, []int{8}); !ok {
+			t.Fatalf("entry shared-%d unreadable after concurrent flush", i)
+		}
+	}
+	// No temp-file debris left behind.
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		if strings.HasPrefix(f.Name(), ".tmp-") {
+			t.Fatalf("leftover temp file %s", f.Name())
+		}
+	}
+}
+
+// TestExportInject round-trips entries through the in-memory half of the
+// persistence path, including the band-quantization (widen) state.
+func TestExportInject(t *testing.T) {
+	s1 := NewStore(0)
+	v1 := planView(s1)
+	v1.Store(Key{Sig: "a"}, []uint64{1}, []int{4, 4}, "va")
+	v1.Store(Key{Sig: "a"}, []uint64{2}, []int{512, 4}, "va-big") // second band, same key
+	v1.Store(Key{Sig: "b"}, []uint64{3}, []int{16}, "vb")
+	ents := s1.Export(ClassPlans)
+	if len(ents) != 3 {
+		t.Fatalf("exported %d entries, want 3", len(ents))
+	}
+
+	s2 := NewStore(0)
+	for _, e := range ents {
+		if !s2.Inject(e) {
+			t.Fatalf("inject %q rejected", e.Key.Sig)
+		}
+	}
+	// Re-injecting the same band must be refused (live entry wins).
+	if s2.Inject(ents[0]) {
+		t.Fatal("duplicate inject accepted")
+	}
+	if got, ok, _ := planView(s2).Lookup(Key{Sig: "a"}, []uint64{1}, []int{4, 4}); !ok || got != "va" {
+		t.Fatalf("band 1: ok=%v val=%q", ok, got)
+	}
+	if got, ok, _ := planView(s2).Lookup(Key{Sig: "a"}, []uint64{2}, []int{512, 4}); !ok || got != "va-big" {
+		t.Fatalf("band 2: ok=%v val=%q", ok, got)
+	}
+	if s2.Len() != 3 {
+		t.Fatalf("store len %d, want 3", s2.Len())
+	}
+}

@@ -1,0 +1,54 @@
+package stats
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"carac/internal/storage"
+)
+
+func fullSnapshot() *Snapshot {
+	h := storage.Histogram{Total: 99}
+	for i := range h.Counts {
+		h.Counts[i] = uint32(i * 3)
+	}
+	return &Snapshot{
+		CapturedEpoch: 7,
+		cards:         map[[2]int32]int{{1, 0}: 40, {1, 1}: 12, {3, 2}: 0},
+		distinct:      map[[3]int32]int{{1, 0, 0}: 9, {1, 0, 1}: 4},
+		hists:         map[[3]int32]storage.Histogram{{1, 0, 0}: h},
+	}
+}
+
+func TestSnapshotCodecRoundTrip(t *testing.T) {
+	want := fullSnapshot()
+	got, err := DecodeSnapshot(AppendSnapshot(nil, want))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("round trip diverged:\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+// TestSnapshotCodecDeterministic: map iteration order must not leak into the
+// bytes — identical snapshots encode identically (content addressing depends
+// on it).
+func TestSnapshotCodecDeterministic(t *testing.T) {
+	a := AppendSnapshot(nil, fullSnapshot())
+	for i := 0; i < 16; i++ {
+		if b := AppendSnapshot(nil, fullSnapshot()); !bytes.Equal(a, b) {
+			t.Fatal("encoding depends on map iteration order")
+		}
+	}
+}
+
+func TestSnapshotCodecTruncation(t *testing.T) {
+	b := AppendSnapshot(nil, fullSnapshot())
+	for n := 0; n < len(b); n++ {
+		if _, err := DecodeSnapshot(b[:n]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", n, len(b))
+		}
+	}
+}
