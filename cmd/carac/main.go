@@ -62,6 +62,40 @@ func run(args []string) error {
 	}
 }
 
+// requirePositive rejects any of the named flags that was explicitly set on
+// the command line to a zero or negative value. These flags default to 0 (or
+// 1) meaning "auto" — workers → GOMAXPROCS, shards → off, qps → unpaced — so
+// only an explicit setting is checked: `-workers 0` silently aliasing the
+// default while reading as "no workers" is exactly the scripted-driver
+// mistake this guards against.
+func requirePositive(fs *flag.FlagSet, names ...string) error {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	var err error
+	fs.Visit(func(f *flag.Flag) {
+		if err != nil || !want[f.Name] {
+			return
+		}
+		g, ok := f.Value.(flag.Getter)
+		if !ok {
+			return
+		}
+		bad := false
+		switch v := g.Get().(type) {
+		case int:
+			bad = v <= 0
+		case float64:
+			bad = v <= 0
+		}
+		if bad {
+			err = fmt.Errorf("-%s must be positive, got %s", f.Name, f.Value.String())
+		}
+	})
+	return err
+}
+
 func runCmd(args []string) error {
 	fs := flag.NewFlagSet("carac run", flag.ContinueOnError)
 	factsDir := fs.String("facts", "", "directory of <relation>.facts TSV files")
@@ -91,6 +125,9 @@ func runCmd(args []string) error {
 
 	p, err := loadProgram(fs, args, factsDir)
 	if err != nil {
+		return err
+	}
+	if err := requirePositive(fs, "repeat", "workers", "shards"); err != nil {
 		return err
 	}
 
@@ -141,9 +178,6 @@ func runCmd(args []string) error {
 		if err := explainPlan(p, *naive); err != nil {
 			return err
 		}
-	}
-	if *repeat < 1 {
-		return fmt.Errorf("-repeat must be >= 1, got %d", *repeat)
 	}
 	var res *core.Result
 	var totalRecompiles int64
@@ -284,6 +318,11 @@ func serveCmd(args []string) error {
 	if *clients < 1 || *queries < 1 {
 		return fmt.Errorf("-clients and -queries must be >= 1")
 	}
+	if err := requirePositive(fs, "clients", "queries", "qps", "workers", "shards"); err != nil {
+		return err
+	}
+	// Serve's -repeat is a hot-query ratio, not a count: 0 (all fresh
+	// sessions) is meaningful, above 1 is not.
 	if *repeat < 0 || *repeat > 1 {
 		return fmt.Errorf("-repeat must be in [0,1]")
 	}

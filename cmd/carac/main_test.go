@@ -131,6 +131,46 @@ func TestRunSharedPlansRepeat(t *testing.T) {
 	}
 }
 
+// TestFlagValidation: count-like flags whose 0 default means "auto" must
+// reject an explicit zero or negative setting instead of silently running
+// with the default, for both subcommands.
+func TestFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	prog := writeFile(t, dir, "tc.dl", tcProg+"\nedge(1,2).\n")
+	bad := [][]string{
+		{"run", prog, "-repeat", "-2"},
+		{"run", prog, "-workers", "0"},
+		{"run", prog, "-workers", "-1"},
+		{"run", prog, "-shards", "0"},
+		{"run", prog, "-shards", "-4"},
+		{"serve", prog, "-clients", "-1"},
+		{"serve", prog, "-queries", "-3"},
+		{"serve", prog, "-qps", "0"},
+		{"serve", prog, "-qps", "-2.5"},
+		{"serve", prog, "-workers", "0"},
+		{"serve", prog, "-shards", "-1"},
+	}
+	for _, args := range bad {
+		err := run(args)
+		if err == nil {
+			t.Errorf("run(%v) succeeded, want rejection", args)
+			continue
+		}
+		if !strings.Contains(err.Error(), "must be") {
+			t.Errorf("run(%v): unexpected error %v", args, err)
+		}
+	}
+	// The unset defaults stay legal: workers/shards 0 means GOMAXPROCS/off.
+	for _, args := range [][]string{
+		{"run", prog, "-stats=false"},
+		{"serve", prog, "-clients", "1", "-queries", "1", "-stats=false"},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
 func TestServeCommand(t *testing.T) {
 	dir := t.TempDir()
 	prog := writeFile(t, dir, "tc.dl", tcProg)

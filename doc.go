@@ -341,9 +341,69 @@
 //     a partial entry. Flushes are atomic (temp file + rename, concurrent
 //     flushers race benignly) and never delete files, so entries evicted
 //     from the bounded in-memory store outlive the eviction on disk.
+//     Directory hygiene happens at Load instead: permanently invalid files
+//     (bad envelope, stale tag, decode failure) are removed rather than
+//     left to accumulate, as are orphaned flush temp files old enough that
+//     no live writer can still own them (DiskStats.Swept counts both).
 //     Loaded entries are injected at generation zero: the first reuse in
 //     the new process always registers as a CrossRunHit, and an entry the
 //     live store already rebuilt is never displaced by its disk copy.
+//
+// # Incremental maintenance
+//
+// Everything above treats ground facts as append-only; core.Tx and
+// core.Program.Apply add retraction. A Tx is a batch of insertions and
+// deletions (deletions apply first; a delete plus insert of one tuple in
+// the same batch nets to present), and Apply brings the standing fixpoint
+// up to date incrementally instead of recomputing it:
+//
+//   - Counting for ground facts: every ground row carries an assertion
+//     count (storage.Relation.EnableCounts/IncRef/DecRef, maintained across
+//     all four storage layouts). Inserting an already-present fact bumps
+//     its count; a deletion decrements and only a count reaching zero makes
+//     the fact a retraction candidate — redundant retractions are no-ops
+//     (ApplyResult.Deleted vs Retracted). Derived rows are not counted:
+//     recursive closures make exact derivation counting quadratic in the
+//     worst case, which is exactly why the derived side uses DRed instead.
+//
+//   - DRed for derived state: zero-count seeds drive an over-delete
+//     closure (interp.Interp.OverDelete over ir.LowerRetract's per-rule
+//     delta variants) that marks everything transitively derivable from the
+//     deleted facts, protecting still-asserted ground rows; doomed rows are
+//     removed in one batched compaction per relation
+//     (storage.Relation.DeleteRows — pinned epoch views detach copy-on-flip
+//     first, so serving sessions never observe the compaction); one
+//     rederivation round re-inserts over-deleted rows with surviving
+//     alternative derivations; and the monotone continuation (the same
+//     ir.LowerWarm + SeedDelta machinery materialized warm start uses)
+//     cascades rederivation and co-batched insertions to the new fixpoint.
+//     Post-removal state under-approximates the new fixpoint, so the
+//     monotone re-run is sound.
+//
+//   - When Apply is warm: a standing fixpoint exists, the program is
+//     monotone (no negation — a deletion can create a negation-guarded
+//     tuple, which DRed cannot see), and Naive mode is off; anything else
+//     — including the bootstrap batch — falls back to a cold recompute,
+//     reported as ApplyResult.Cold. Stats.Retracted / Stats.Rederived and
+//     per-batch ApplyResult.Latency expose the maintenance work.
+//
+//   - Serving: Server.IngestTx applies a Tx to the live ground state
+//     (count-gated, same semantics) between epochs; a deletion-bearing
+//     window marks the next published epoch, which refuses the
+//     materialization warm start and derives cold — warm seeding can only
+//     add. Pinned epochs keep serving their snapshot verbatim across the
+//     deletion compaction, and the post-delete Publish flips the memo
+//     generation so no session answers from a stale fixpoint.
+//     ServeStats{IngestBatches, IngestedRows, RowsRetracted, IngestLatency}
+//     count the ingest side.
+//
+// The delete-oracle differential matrix (TestDeleteOracleMatrix: scripted
+// insert/delete batches across {sequential, parallel, sharded, adaptive,
+// steal} × {jit} on TC and CSPA, byte-compared against a
+// recompute-from-scratch oracle each step, race-checked in CI),
+// FuzzRetraction (random batches vs the oracle), and
+// BenchmarkStreamingIngest (the BENCH_stream.json CI artifact: incremental
+// churn batches vs forced recompute) pin the path down.
 //
 // Post-Run mutation contract (and cache lifecycle): the rule set freezes at
 // a Program's first Run — adding rules or source afterwards errors; create a

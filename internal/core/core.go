@@ -71,6 +71,15 @@ type Program struct {
 	// (i.e. derived rows have been truncated away after the last Run),
 	// enabling incremental fact addition between runs.
 	baselineClean bool
+	// haveFixpoint is true while Derived holds a complete fixpoint for the
+	// current ground facts — the precondition for Apply's incremental
+	// (counting + DRed) path. Cleared whenever derived state is rewound or a
+	// run fails mid-derivation.
+	haveFixpoint bool
+	// countsReady is true once every Derived relation is in counted mode
+	// (per-row assertion multiplicities, storage.EnableCounts) — flipped by
+	// the first Apply or IngestTx and sticky from then on.
+	countsReady bool
 	// planStore is the program-lifetime artifact store (Options.SharedPlans):
 	// one shard-locked key space backing both the interpreter's plan view
 	// and the JIT's compiled-unit view, created at the first shared Run and
@@ -121,6 +130,7 @@ func (p *Program) ensureBaseline() {
 		pd.DeltaNew.Clear()
 	}
 	p.baselineClean = true
+	p.haveFixpoint = false // the fixpoint's derived rows are gone
 }
 
 func (p *Program) addFact(id storage.PredID, tuple []storage.Value) {
@@ -326,15 +336,26 @@ func (p *Program) rule(head Atom, spec ast.AggSpec, body []Atom, over ...*Var) e
 
 // Fact inserts a ground fact. Arguments as in Relation.A, minus variables.
 func (r *Relation) Fact(args ...any) error {
+	tuple, err := r.encode(args)
+	if err != nil {
+		return err
+	}
+	r.p.addFact(r.id, tuple)
+	return nil
+}
+
+// encode converts Fact-style arguments to a stored tuple (shared with the
+// transaction builder in stream.go).
+func (r *Relation) encode(args []any) ([]storage.Value, error) {
 	if len(args) != r.arity {
-		return fmt.Errorf("core: %s/%d fact with %d arguments", r.name, r.arity, len(args))
+		return nil, fmt.Errorf("core: %s/%d fact with %d arguments", r.name, r.arity, len(args))
 	}
 	tuple := make([]storage.Value, r.arity)
 	for i, a := range args {
 		switch v := a.(type) {
 		case int:
 			if v < 0 || v > math.MaxInt32 {
-				return fmt.Errorf("core: integer constant %d out of the non-negative 32-bit domain", v)
+				return nil, fmt.Errorf("core: integer constant %d out of the non-negative 32-bit domain", v)
 			}
 			tuple[i] = storage.Value(v)
 		case storage.Value:
@@ -342,11 +363,10 @@ func (r *Relation) Fact(args ...any) error {
 		case string:
 			tuple[i] = r.p.cat.Symbols.Intern(v)
 		default:
-			return fmt.Errorf("core: unsupported fact value %T", a)
+			return nil, fmt.Errorf("core: unsupported fact value %T", a)
 		}
 	}
-	r.p.addFact(r.id, tuple)
-	return nil
+	return tuple, nil
 }
 
 // MustFact is Fact that panics on error.
@@ -583,6 +603,13 @@ func (p *Program) Run(opts Options) (*Result, error) {
 
 	p.runMu.Lock()
 	defer p.runMu.Unlock()
+	return p.runLocked(prog, root, opts)
+}
+
+// runLocked is the body of Run under runMu — also the cold-recompute path of
+// Apply (stream.go), which applies a transaction's ground mutations to the
+// baseline first and then derives from scratch.
+func (p *Program) runLocked(prog *ast.Program, root *ir.ProgramOp, opts Options) (*Result, error) {
 	p.captureBaselineLocked()
 
 	// Each Run is its own epoch boundary. The plan-store generation advances
@@ -609,6 +636,7 @@ func (p *Program) Run(opts Options) (*Result, error) {
 	p.ensurePersistLocked(opts)
 	res, err := eng.query(opts.Timeout, true)
 	if err == nil {
+		p.haveFixpoint = true
 		// Flush-on-close: persist what this run built (and re-persist what
 		// it inherited) together with the statistics profile it ran under.
 		p.flushPersistLocked(store, stats.CaptureSnapshot(p.cat))
@@ -650,6 +678,7 @@ func (p *Program) captureBaselineLocked() {
 		p.ensureBaseline()
 	}
 	p.baselineClean = false // the run below derives new rows
+	p.haveFixpoint = false  // until that run completes
 }
 
 // LoadSource parses Soufflé-flavoured Datalog text into the program:

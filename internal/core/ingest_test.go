@@ -1,0 +1,243 @@
+// Streaming-ingestion serving tests: Server.IngestTx applies batched
+// insert/delete transactions to the ground state between epochs. The pins:
+// a deletion-bearing epoch must refuse the materialization warm start even
+// for a monotone program (warm seeding can only add, deletions shrink),
+// published epochs keep serving their pinned rows verbatim across later
+// deletion compactions (copy-on-flip), and a post-delete Publish invalidates
+// the per-epoch query memo so no session ever answers from a stale fixpoint.
+package core_test
+
+import (
+	"testing"
+
+	"carac/internal/core"
+	"carac/internal/storage"
+)
+
+// ingestGraph builds the TC rules over an explicit graph: a chain
+// 0→1→2→3→4 plus the chord 0→2, so deleting edge(1,2) retracts tc(1,2)
+// for good while tc(0,2…4) must survive through the chord.
+func ingestGraph(t *testing.T) (*core.Program, *core.Relation, *core.Relation) {
+	t.Helper()
+	p := tcRules()
+	edge := p.Relation("edge", 2)
+	tc := p.Relation("tc", 2)
+	for i := 0; i < 4; i++ {
+		edge.MustFact(i, i+1)
+	}
+	edge.MustFact(0, 2)
+	return p, edge, tc
+}
+
+// TestIngestTxDeletionPinsColdPath is the warm-start gate regression: an
+// additions-only window warm-starts the next epoch's materialization, a
+// deletion-bearing window must derive cold — and still agree with the
+// recompute oracle.
+func TestIngestTxDeletionPinsColdPath(t *testing.T) {
+	p, edge, tc := ingestGraph(t)
+	srv, err := p.Serve(core.Options{Materialize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := srv.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+	if _, err := s1.Query(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Control: an insert-only transaction keeps the warm start eligible.
+	tx := p.NewTx()
+	tx.InsertTuple(edge, []storage.Value{4, 5})
+	if _, err := srv.IngestTx(tx); err != nil {
+		t.Fatal(err)
+	}
+	srv.Publish()
+	s2, err := srv.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := s2.Query(); err != nil {
+		t.Fatal(err)
+	}
+	if st := srv.Stats(); st.WarmStarts != 1 {
+		t.Fatalf("insert-only window: warm starts = %d, want 1", st.WarmStarts)
+	}
+	if !s2.Contains(tc, 0, 5) {
+		t.Fatal("ingested edge did not extend the closure")
+	}
+
+	// The deletion-bearing window must pin the cold path.
+	tx = p.NewTx()
+	tx.DeleteTuple(edge, []storage.Value{1, 2})
+	res, err := srv.IngestTx(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retracted != 1 {
+		t.Fatalf("retracted %d rows, want 1", res.Retracted)
+	}
+	srv.Publish()
+	s3, err := srv.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if _, err := s3.Query(); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.WarmStarts != 1 {
+		t.Fatalf("deletion-bearing window warm-started (warm starts = %d, want still 1)", st.WarmStarts)
+	}
+	if st.MaterializedEpochs != 3 {
+		t.Fatalf("materialized epochs = %d, want 3", st.MaterializedEpochs)
+	}
+	if st.IngestBatches != 2 || st.RowsRetracted != 1 || st.IngestedRows != 1 {
+		t.Fatalf("ingest stats = %+v", st)
+	}
+
+	// Oracle agreement for the post-delete epoch: tc(1,2) is gone, the
+	// chord keeps 0's reachability intact.
+	if s3.Contains(tc, 1, 2) || s3.Contains(tc, 1, 4) {
+		t.Fatal("closure rows of the deleted edge survived")
+	}
+	for _, dst := range []int{2, 3, 4, 5} {
+		if !s3.Contains(tc, 0, dst) {
+			t.Fatalf("tc(0,%d) lost despite the surviving chord", dst)
+		}
+	}
+}
+
+// TestIngestTxPinnedEpochsAndMemo: sessions on an already-published epoch
+// keep serving the exact pre-delete rows (the deletion compaction flips the
+// shared arenas copy-on-write), while the post-delete Publish flips the memo
+// key so new sessions re-derive instead of answering from the stale
+// materialization.
+func TestIngestTxPinnedEpochsAndMemo(t *testing.T) {
+	p, edge, tc := ingestGraph(t)
+	srv, err := p.Serve(core.Options{Materialize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := srv.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+	if _, err := s1.Query(); err != nil {
+		t.Fatal(err)
+	}
+	memoBefore := srv.Stats().MemoHits
+
+	tx := p.NewTx()
+	tx.DeleteTuple(edge, []storage.Value{1, 2})
+	if _, err := srv.IngestTx(tx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The pinned epoch is untouched by the compaction: both the raw epoch
+	// rows and the session's materialized answers still hold edge(1,2).
+	ground := s1.Epoch().Rows(edge.ID())
+	found := false
+	for i := 0; i < ground.Len(); i++ {
+		r := ground.Row(i)
+		if r[0] == 1 && r[1] == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("pinned epoch lost a ground row to the deletion compaction")
+	}
+	if !s1.Contains(tc, 1, 2) {
+		t.Fatal("pinned session lost a materialized row to the deletion compaction")
+	}
+
+	srv.Publish()
+	s2, err := srv.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := s2.Query(); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Contains(tc, 1, 2) {
+		t.Fatal("post-delete epoch answered from a stale materialization")
+	}
+	// Re-querying the OLD session is a memo/materialization hit and still
+	// answers pre-delete.
+	if _, err := s1.Query(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Stats().MemoHits <= memoBefore {
+		t.Fatal("pinned session's re-query was not served from its materialization")
+	}
+	if !s1.Contains(tc, 1, 2) {
+		t.Fatal("pinned session's re-query observed the deletion")
+	}
+}
+
+// TestIngestTxCountingSemantics: assertion counts gate physical deletion on
+// the serving path exactly as on Apply — a doubly asserted fact survives one
+// retraction and the batch reports Deleted but not Retracted.
+func TestIngestTxCountingSemantics(t *testing.T) {
+	p, edge, tc := ingestGraph(t)
+	srv, err := p.Serve(core.Options{Materialize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := p.NewTx()
+	tx.InsertTuple(edge, []storage.Value{0, 1}) // second assertion
+	if _, err := srv.IngestTx(tx); err != nil {
+		t.Fatal(err)
+	}
+	tx = p.NewTx()
+	tx.DeleteTuple(edge, []storage.Value{0, 1})
+	res, err := srv.IngestTx(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deleted != 1 || res.Retracted != 0 {
+		t.Fatalf("count-gated retraction = %+v, want Deleted 1, Retracted 0", res)
+	}
+	srv.Publish()
+	s, err := srv.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Query(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Contains(tc, 0, 1) {
+		t.Fatal("doubly asserted edge vanished after one retraction")
+	}
+	// The second retraction is real.
+	tx = p.NewTx()
+	tx.DeleteTuple(edge, []storage.Value{0, 1})
+	if res, err = srv.IngestTx(tx); err != nil {
+		t.Fatal(err)
+	}
+	if res.Retracted != 1 {
+		t.Fatalf("final retraction removed %d rows, want 1", res.Retracted)
+	}
+	srv.Publish()
+	s2, err := srv.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := s2.Query(); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Contains(tc, 0, 1) {
+		t.Fatal("edge(0,1) closure row survived its final retraction")
+	}
+	if !s2.Contains(tc, 0, 2) {
+		t.Fatal("tc(0,2) lost despite the surviving chord 0→2")
+	}
+}

@@ -63,6 +63,13 @@ type Epoch struct {
 	// materialization. Nil/absent on the first epoch.
 	prevLens []int
 	prevMat  *epochMat
+	// deletions marks an epoch whose ingestion window retracted facts
+	// (Server.IngestTx). Warm-starting from the previous fixpoint is unsound
+	// then even for monotone programs — a deletion can only shrink the
+	// fixpoint, which seeded re-derivation cannot express — so such an epoch
+	// always derives cold. prevLens/prevMat stay nil as a belt, this flag is
+	// the braces (and the regression tests' observable).
+	deletions bool
 	// mat is the epoch's materialized fixpoint, published once by the
 	// single-flight winner of the first query (Options.Materialize).
 	mat atomic.Pointer[epochMat]
@@ -169,6 +176,15 @@ type ServeStats struct {
 	// Derivations counts fixpoint runs performed by serving sessions —
 	// single-flight winners and retries after a failed leader.
 	Derivations int64
+	// Streaming-ingestion counters (Server.IngestTx; zero when only the
+	// insert-only Ingest path is used). IngestBatches counts transactions
+	// applied, IngestedRows assertion insertions, RowsRetracted ground rows
+	// physically removed (count-gated, so redundant retractions don't
+	// count), and IngestLatency the cumulative wall time spent applying.
+	IngestBatches int64
+	IngestedRows  int64
+	RowsRetracted int64
+	IngestLatency time.Duration
 }
 
 // matFlight is one in-flight materialization: the single-flight winner
@@ -207,6 +223,14 @@ type Server struct {
 	matEpochs   atomic.Int64
 	warmStarts  atomic.Int64
 	derivations atomic.Int64
+
+	ingestBatches   atomic.Int64
+	ingestedRows    atomic.Int64
+	ingestRetracted atomic.Int64
+	ingestNanos     atomic.Int64
+	// pendingDeletes records that the open ingestion window retracted facts;
+	// consumed by the next publishLocked (guarded by s.mu + p.runMu).
+	pendingDeletes bool
 }
 
 // Stats returns the server's cumulative serving counters.
@@ -216,6 +240,10 @@ func (s *Server) Stats() ServeStats {
 		MaterializedEpochs: s.matEpochs.Load(),
 		WarmStarts:         s.warmStarts.Load(),
 		Derivations:        s.derivations.Load(),
+		IngestBatches:      s.ingestBatches.Load(),
+		IngestedRows:       s.ingestedRows.Load(),
+		RowsRetracted:      s.ingestRetracted.Load(),
+		IngestLatency:      time.Duration(s.ingestNanos.Load()),
 	}
 }
 
@@ -355,7 +383,15 @@ func (s *Server) publishLocked() *Epoch {
 	// epoch, with the new boundary's statistics as the profile snapshot, so
 	// a restart after any publication starts disk-warm.
 	p.flushPersistLocked(p.sharedStore(s.opts), e.stats)
-	if old != nil && len(old.rows) == n {
+	if s.pendingDeletes {
+		// A retraction-bearing window breaks the append-only premise below:
+		// the previous epoch's ground lengths no longer delimit a pure
+		// addition delta, so this epoch must derive cold even for monotone
+		// programs. The flag is window-scoped — the NEXT epoch's delta is
+		// again additions-over-this-epoch (or flagged anew).
+		e.deletions = true
+		s.pendingDeletes = false
+	} else if old != nil && len(old.rows) == n {
 		// Ground arenas are append-only across epochs (facts are only ever
 		// added; the baseline rewind truncates derived suffixes only), so the
 		// previous epoch's ground lengths delimit the ingested delta inside
@@ -384,6 +420,80 @@ func (s *Server) Ingest(fn func()) {
 	s.p.runMu.Lock()
 	defer s.p.runMu.Unlock()
 	fn()
+}
+
+// IngestResult reports one streamed transaction's application.
+type IngestResult struct {
+	// Latency is the wall time spent applying the batch.
+	Latency time.Duration
+	// Inserted counts assertions applied, Deleted retractions that matched
+	// an asserted fact, and Retracted the ground rows physically removed —
+	// assertions whose count reached zero (counting semantics: a fact
+	// asserted twice survives one deletion).
+	Inserted  int
+	Deleted   int
+	Retracted int
+}
+
+// IngestTx applies a batched transaction of fact insertions and deletions to
+// the server's ground state as the single writer. Ground facts carry
+// assertion counts (enabled on first use): redundant assertions fold into a
+// count, and a retraction removes the row only when its count reaches zero —
+// one batched compaction per relation. Pinned epochs are untouched: the
+// compaction flips shared arenas copy-on-write, so sessions on any published
+// epoch keep serving the exact rows they pinned. Changes become visible at
+// the next Publish; a batch that retracted rows marks that epoch
+// deletion-bearing, pinning its materialization to the cold path (warm
+// seeding from the previous fixpoint is unsound under deletions).
+func (s *Server) IngestTx(tx *Tx) (IngestResult, error) {
+	var res IngestResult
+	if tx == nil || tx.p != s.p {
+		return res, fmt.Errorf("core: IngestTx of a transaction built for a different Program")
+	}
+	start := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.p
+	p.runMu.Lock()
+	defer p.runMu.Unlock()
+	// Rewind to the ground baseline (no-op between publishes unless a direct
+	// Run intervened) so counts and the prefix invariant address only ground
+	// rows, then flip every relation to counted mode once.
+	p.ensureBaseline()
+	p.enableCountsLocked()
+	for _, pid := range tx.delOrder {
+		pd := p.cat.Pred(pid)
+		var dead [][]storage.Value
+		for _, t := range tx.dels[pid] {
+			if rem, ok := pd.Derived.DecRef(t); ok {
+				res.Deleted++
+				if rem == 0 {
+					dead = append(dead, t)
+				}
+			}
+		}
+		removed, below := pd.Derived.DeleteRows(dead, p.baseLens[pid])
+		p.baseLens[pid] -= below
+		res.Retracted += removed
+	}
+	for _, pid := range tx.insOrder {
+		pd := p.cat.Pred(pid)
+		for _, t := range tx.ins[pid] {
+			if pd.Derived.IncRef(t) {
+				p.baseLens[pid]++
+			}
+			res.Inserted++
+		}
+	}
+	if res.Retracted > 0 {
+		s.pendingDeletes = true
+	}
+	res.Latency = time.Since(start)
+	s.ingestBatches.Add(1)
+	s.ingestedRows.Add(int64(res.Inserted))
+	s.ingestRetracted.Add(int64(res.Retracted))
+	s.ingestNanos.Add(int64(res.Latency))
+	return res, nil
 }
 
 // Publish makes everything ingested so far visible atomically: it builds the
@@ -594,7 +704,11 @@ func (sess *Session) derive() (*Result, *epochMat, error) {
 
 	eng := sess.eng
 	warm := false
-	if srv.warmOK && e.prevMat != nil && e.prevLens != nil {
+	// A deletion-bearing epoch pins the cold path: the previous fixpoint may
+	// over-approximate this epoch's, and seeding can only add. The
+	// deletions flag would be redundant with nil prevLens — both are kept so
+	// a regression in either guard still fails closed.
+	if srv.warmOK && e.prevMat != nil && e.prevLens != nil && !e.deletions {
 		weng, werr := sess.warmEngine()
 		if werr != nil {
 			return nil, nil, werr

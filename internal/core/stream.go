@@ -1,0 +1,352 @@
+package core
+
+// Streaming ingestion: Program.Apply takes a batched transaction of fact
+// insertions and deletions and brings the derived fixpoint up to date —
+// incrementally when it can, from scratch when it must.
+//
+// The incremental path is counting + DRed (delete-and-rederive,
+// Gupta/Mumick/Subrahmanian). Ground facts carry per-row assertion counts
+// (storage.EnableCounts): a deletion only becomes real when a count reaches
+// zero, so redundant assertions never trigger derived work at all. The facts
+// that do disappear seed the over-delete closure (interp.OverDelete over
+// ir.LowerRetract shapes, evaluated against the OLD database), the candidate
+// rows are removed in one batched compaction per relation
+// (storage.DeleteRows), one naive rederivation round resurrects candidates
+// that still hold (interp.Rederive), and a single monotone warm-start
+// continuation (ir.LowerWarm + SeedDelta) carries both cascading
+// rederivations and the transaction's insertions to the new fixpoint. This
+// is sound because after removal the database under-approximates the new
+// fixpoint and every removed-but-still-derivable or newly inserted tuple is
+// in the seeded deltas.
+//
+// The incremental path requires a standing fixpoint and a monotone program.
+// Everything else — first Apply, stratified negation or aggregation, Naive
+// mode, a failed prior run — takes the cold path: rewind to the ground
+// baseline, apply the transaction to the ground facts (still count-gated),
+// and rerun the full derivation. Both paths leave the Program in the exact
+// state a fresh Run over the post-transaction facts would produce — the
+// property the differential harness pins.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"carac/internal/ast"
+	"carac/internal/ir"
+	"carac/internal/plancache"
+	"carac/internal/stats"
+	"carac/internal/storage"
+)
+
+// Tx is a batched transaction of fact insertions and deletions against one
+// Program. Build it with NewTx, fill it with Insert/Delete, and hand it to
+// Program.Apply (or Server.IngestTx). A Tx is a pair of multisets, not a
+// sequence: deletions apply before insertions, so deleting and inserting the
+// same tuple in one Tx leaves it asserted. Deleting a fact that was never
+// asserted (including tuples that are only derived) is a no-op.
+type Tx struct {
+	p    *Program
+	ins  map[storage.PredID][][]storage.Value
+	dels map[storage.PredID][][]storage.Value
+	// insOrder/delOrder keep first-touch predicate order so application is
+	// deterministic regardless of map iteration.
+	insOrder []storage.PredID
+	delOrder []storage.PredID
+	nIns     int
+	nDel     int
+}
+
+// NewTx returns an empty transaction against p.
+func (p *Program) NewTx() *Tx {
+	return &Tx{
+		p:    p,
+		ins:  make(map[storage.PredID][][]storage.Value),
+		dels: make(map[storage.PredID][][]storage.Value),
+	}
+}
+
+// Insert adds one fact assertion (arguments as in Relation.Fact) to the
+// transaction.
+func (t *Tx) Insert(r *Relation, args ...any) error {
+	tuple, err := r.encode(args)
+	if err != nil {
+		return err
+	}
+	t.InsertTuple(r, tuple)
+	return nil
+}
+
+// Delete adds one fact retraction (arguments as in Relation.Fact) to the
+// transaction.
+func (t *Tx) Delete(r *Relation, args ...any) error {
+	tuple, err := r.encode(args)
+	if err != nil {
+		return err
+	}
+	t.DeleteTuple(r, tuple)
+	return nil
+}
+
+// InsertTuple adds a pre-encoded assertion (fast path for loaders).
+func (t *Tx) InsertTuple(r *Relation, tuple []storage.Value) {
+	if _, ok := t.ins[r.id]; !ok {
+		t.insOrder = append(t.insOrder, r.id)
+	}
+	t.ins[r.id] = append(t.ins[r.id], tuple)
+	t.nIns++
+}
+
+// DeleteTuple adds a pre-encoded retraction (fast path for loaders).
+func (t *Tx) DeleteTuple(r *Relation, tuple []storage.Value) {
+	if _, ok := t.dels[r.id]; !ok {
+		t.delOrder = append(t.delOrder, r.id)
+	}
+	t.dels[r.id] = append(t.dels[r.id], tuple)
+	t.nDel++
+}
+
+// HasDeletes reports whether the transaction retracts anything.
+func (t *Tx) HasDeletes() bool { return t.nDel > 0 }
+
+// Size returns the number of operations in the transaction.
+func (t *Tx) Size() int { return t.nIns + t.nDel }
+
+// ApplyResult reports one transaction's application.
+type ApplyResult struct {
+	// Result is the derivation (or continuation) outcome; its Interp stats
+	// include Retracted/Rederived for the incremental path.
+	*Result
+	// Latency is the end-to-end wall time of Apply.
+	Latency time.Duration
+	// Inserted counts assertions applied; Deleted counts retractions whose
+	// assertion count reached zero (redundant retractions are no-ops).
+	Inserted int
+	Deleted  int
+	// Retracted counts rows physically removed across all relations — the
+	// zero-count ground facts plus over-deleted derived rows that were not
+	// rederived. Rederived counts candidates resurrected by the DRed round.
+	Retracted int
+	Rederived int
+	// Cold reports that the transaction was applied by full recomputation
+	// (no standing fixpoint, non-monotone program, or Naive mode) rather
+	// than the incremental counting/DRed path.
+	Cold bool
+}
+
+// Apply applies tx and brings the fixpoint up to date under opts, preferring
+// the incremental counting/DRed path and falling back to a cold recompute
+// (ApplyResult.Cold). Serializes with Run and Serve on the Program's run
+// mutex; the transaction itself is applied atomically with respect to them.
+func (p *Program) Apply(tx *Tx, opts Options) (*ApplyResult, error) {
+	if tx == nil || tx.p != p {
+		return nil, fmt.Errorf("core: Apply of a transaction built for a different Program")
+	}
+	start := time.Now()
+	if opts.Histograms {
+		opts.JIT.Optimizer.UseHistograms = true
+	}
+	if opts.CacheDir != "" {
+		opts.SharedPlans = true
+	}
+	prog, root, err := p.lowered(opts)
+	if err != nil {
+		return nil, err
+	}
+
+	p.runMu.Lock()
+	defer p.runMu.Unlock()
+	p.enableCountsLocked()
+
+	// The incremental path needs a standing fixpoint to maintain and
+	// retraction/continuation lowerings, which exist only for monotone
+	// programs. LowerWarm/LowerRetract errors are demotions, not failures —
+	// the cold path below handles every program Run can.
+	res := &ApplyResult{}
+	if p.frozen && !p.baselineClean && p.haveFixpoint && !opts.Naive && monotoneProgram(prog) {
+		warmRoot, werr := ir.LowerWarm(prog)
+		rules, rerr := ir.LowerRetract(prog)
+		if werr == nil && rerr == nil {
+			r, err := p.applyWarmLocked(tx, prog, warmRoot, rules, opts, res)
+			if err != nil {
+				return nil, err
+			}
+			res.Result = r
+			res.Latency = time.Since(start)
+			return res, nil
+		}
+	}
+
+	// Cold path: rewind to the ground baseline, apply the transaction to the
+	// ground facts (count-gated, one DeleteRows compaction per relation),
+	// and derive from scratch.
+	res.Cold = true
+	p.ensureFrozenLocked()
+	p.ensureBaseline()
+	for _, pid := range tx.delOrder {
+		pd := p.cat.Pred(pid)
+		var dead [][]storage.Value
+		for _, t := range tx.dels[pid] {
+			if rem, ok := pd.Derived.DecRef(t); ok {
+				res.Deleted++
+				if rem == 0 {
+					dead = append(dead, t)
+				}
+			}
+		}
+		removed, below := pd.Derived.DeleteRows(dead, p.baseLens[pid])
+		p.baseLens[pid] -= below
+		res.Retracted += removed
+	}
+	for _, pid := range tx.insOrder {
+		pd := p.cat.Pred(pid)
+		for _, t := range tx.ins[pid] {
+			if pd.Derived.IncRef(t) {
+				p.baseLens[pid]++
+			}
+			res.Inserted++
+		}
+	}
+	r, err := p.runLocked(prog, root, opts)
+	if err != nil {
+		return nil, err
+	}
+	r.Interp.Retracted += int64(res.Retracted)
+	res.Result = r
+	res.Latency = time.Since(start)
+	return res, nil
+}
+
+// applyWarmLocked is the incremental path. Derived currently holds a full
+// fixpoint; afterwards it holds the fixpoint of the post-transaction facts.
+func (p *Program) applyWarmLocked(tx *Tx, prog *ast.Program, warmRoot *ir.ProgramOp, rules []ir.RetractRule, opts Options, res *ApplyResult) (*Result, error) {
+	// Epoch discipline matches Run: each applied transaction is a boundary.
+	p.cat.AdvanceEpoch()
+	var store *plancache.Store
+	if opts.SharedPlans {
+		store = p.sharedStore(opts)
+		store.BumpGeneration()
+	}
+	eng, err := newExecEngine(p.cat, prog, warmRoot, opts, store, stats.Catalog{Cat: p.cat})
+	if err != nil {
+		return nil, err
+	}
+	defer eng.close()
+	p.ensurePersistLocked(opts)
+
+	// From here on Derived is mutated away from the old fixpoint; only a
+	// completed continuation restores the invariant.
+	p.haveFixpoint = false
+
+	// 1. Count-gated retraction: only assertions that reach count zero seed
+	// the over-delete. Non-ground tuples (absent, or present only as derived
+	// rows beyond the ground watermark) are no-ops by definition.
+	seeds := make(map[storage.PredID][][]storage.Value)
+	for _, pid := range tx.delOrder {
+		pd := p.cat.Pred(pid)
+		for _, t := range tx.dels[pid] {
+			row, ok := pd.Derived.RowOf(t)
+			if !ok || int(row) >= p.baseLens[pid] {
+				continue
+			}
+			rem, ok := pd.Derived.DecRef(t)
+			if !ok {
+				continue
+			}
+			res.Deleted++
+			if rem == 0 {
+				seeds[pid] = append(seeds[pid], t)
+			}
+		}
+	}
+
+	// 2. Over-delete closure against the old database. Ground facts whose
+	// count is still positive are self-supporting: never candidates.
+	doomed := eng.in.OverDelete(rules, seeds, func(pid storage.PredID, t []storage.Value) bool {
+		pd := p.cat.Pred(pid)
+		row, ok := pd.Derived.RowOf(t)
+		return ok && int(row) < p.baseLens[pid] && pd.Derived.Count(t) > 0
+	})
+
+	// 3. Physical removal, one batched compaction per relation, shrinking
+	// the ground watermark by the prefix rows that died.
+	pids := make([]storage.PredID, 0, len(doomed))
+	for pid := range doomed {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	for _, pid := range pids {
+		removed, below := p.cat.Pred(pid).Derived.DeleteRows(doomed[pid], p.baseLens[pid])
+		p.baseLens[pid] -= below
+		res.Retracted += removed
+		eng.in.Stats.Retracted += int64(removed)
+	}
+
+	// 4. Rederivation round over the reduced database: candidates that still
+	// have an all-surviving one-step derivation come back (as derived rows —
+	// their ground assertions, if any, are gone).
+	seedRows := make(map[storage.PredID][][]storage.Value)
+	for pid, ts := range eng.in.Rederive(rules, doomed) {
+		pd := p.cat.Pred(pid)
+		for _, t := range ts {
+			pd.Derived.Insert(t)
+			res.Rederived++
+		}
+		seedRows[pid] = append(seedRows[pid], ts...)
+	}
+
+	// 5. Insertions: splice new assertions into the ground prefix
+	// (promoting already-derived tuples), keeping the arena prefix
+	// invariant the cold path's rewind depends on.
+	for _, pid := range tx.insOrder {
+		batch := tx.ins[pid]
+		added, promoted := p.cat.Pred(pid).Derived.AssertAt(batch, p.baseLens[pid])
+		p.baseLens[pid] += len(added) + promoted
+		res.Inserted += len(batch)
+		seedRows[pid] = append(seedRows[pid], added...)
+	}
+
+	// 6. One monotone continuation: the rederived and newly inserted rows
+	// seed the deltas; semi-naive evaluation carries cascading
+	// rederivations and insertion consequences to the new fixpoint.
+	eng.setSeedDelta(func(pid storage.PredID, dst *storage.Relation) bool {
+		for _, t := range seedRows[pid] {
+			dst.Insert(t)
+		}
+		return true
+	})
+	r, err := eng.query(opts.Timeout, true)
+	if err != nil {
+		return nil, err
+	}
+	p.haveFixpoint = true
+	p.flushPersistLocked(store, stats.CaptureSnapshot(p.cat))
+	return r, nil
+}
+
+// enableCountsLocked flips every Derived relation to counted mode
+// (idempotent; counts survive layout transitions and compactions).
+func (p *Program) enableCountsLocked() {
+	if p.countsReady {
+		return
+	}
+	for _, pd := range p.cat.Preds() {
+		pd.Derived.EnableCounts()
+	}
+	p.countsReady = true
+}
+
+// ensureFrozenLocked freezes the rule set and captures the ground baseline
+// if no Run has done so yet — Apply may legally be a Program's first
+// derivation.
+func (p *Program) ensureFrozenLocked() {
+	if p.frozen {
+		return
+	}
+	p.frozen = true
+	p.baseLens = make([]int, p.cat.NumPreds())
+	for i, pd := range p.cat.Preds() {
+		p.baseLens[i] = pd.Derived.Len()
+	}
+	p.baselineClean = true
+}

@@ -1,0 +1,452 @@
+// Delete-oracle differential harness: insert/delete batch sequences applied
+// through the streaming API (Program.Apply — counting + DRed incremental
+// maintenance with a cold-recompute fallback) must leave the fixpoint
+// byte-equal to a recompute-from-scratch oracle over the net surviving
+// facts, across the execution-mode × JIT matrix. The oracle is the
+// definition of deletion correctness; any divergence — an under-deleted
+// zombie, an over-deleted tuple the rederivation round missed, a count
+// mishandled by a layout transition — is pinned to one configuration and
+// one batch.
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"carac/internal/analysis"
+	"carac/internal/core"
+	"carac/internal/datagen"
+	"carac/internal/jit"
+	"carac/internal/storage"
+	"carac/internal/workloads"
+)
+
+// streamOp is one operation of a transaction step: assert or retract tuple t
+// in base relation rel.
+type streamOp struct {
+	rel string
+	t   [2]int32
+	del bool
+}
+
+func ins(rel string, a, b int32) streamOp { return streamOp{rel: rel, t: [2]int32{a, b}} }
+func del(rel string, a, b int32) streamOp { return streamOp{rel: rel, t: [2]int32{a, b}, del: true} }
+
+// streamScenario is one workload of the delete-oracle matrix: a rules-only
+// program builder (the same builder serves the incremental program and every
+// oracle rebuild) plus a deterministic batch sequence.
+type streamScenario struct {
+	name  string
+	build func() *core.Program
+	steps [][]streamOp
+}
+
+// tcRules builds the transitive-closure rules with no facts.
+func tcRules() *core.Program {
+	return workloads.TransitiveClosure(analysis.HandOptimized, 1, 0, 0).P
+}
+
+// cspaRules builds the CSPA rules (all five recursive rules plus the
+// reflexive base rules) with no facts.
+func cspaRules() *core.Program {
+	return analysis.CSPA(analysis.HandOptimized, &datagen.CSPAFacts{}).P
+}
+
+// tcScenario: a chain 0→1→…→7 with chords that give some closure tuples a
+// second derivation, so deletions exercise both true retraction (tuples that
+// die for good) and DRed rederivation with cascades (tc(0,2) comes back from
+// the chord 0→2 in the naive round; tc(0,3…) only via the seeded
+// continuation).
+func tcScenario() streamScenario {
+	step0 := []streamOp{ins("edge", 0, 2), ins("edge", 2, 4)}
+	for i := int32(0); i < 7; i++ {
+		step0 = append(step0, ins("edge", i, i+1))
+	}
+	// Assert edge(3,4) a second time: one retraction must NOT remove it.
+	step0 = append(step0, ins("edge", 3, 4))
+	return streamScenario{
+		name:  "TransitiveClosure",
+		build: tcRules,
+		steps: [][]streamOp{
+			step0,
+			// edge(1,2) dies; 0 still reaches 2 via the chord. edge(3,4)
+			// loses one of two assertions and must survive. A co-batched
+			// insertion rides the same continuation.
+			{del("edge", 1, 2), del("edge", 3, 4), ins("edge", 7, 0)},
+			// Second retraction of edge(3,4) kills it; 2→4 chord keeps the
+			// tail reachable. Deleting a never-asserted edge is a no-op.
+			{del("edge", 3, 4), del("edge", 5, 6), del("edge", 9, 9)},
+			// Delete and re-insert the same tuple in one batch: net present.
+			{del("edge", 0, 2), ins("edge", 0, 2), ins("edge", 4, 6)},
+		},
+	}
+}
+
+// cspaScenario: a small generated graph plus two hand-planted Assign edges
+// sharing a source, so retracting one leaves the reflexive VaFlow/MAlias
+// facts of that source with a surviving derivation — a guaranteed
+// rederivation even if the generated graph has no redundancy.
+func cspaScenario() streamScenario {
+	facts := datagen.CSPAGraph(20, 7)
+	var step0 []streamOp
+	for _, e := range facts.Assign {
+		step0 = append(step0, ins("Assign", e.Src, e.Dst))
+	}
+	for _, e := range facts.Derefr {
+		step0 = append(step0, ins("Derefr", e.Src, e.Dst))
+	}
+	step0 = append(step0, ins("Assign", 100, 101), ins("Assign", 100, 102))
+	return streamScenario{
+		name:  "CSPA",
+		build: cspaRules,
+		steps: [][]streamOp{
+			step0,
+			{del("Assign", 100, 101), ins("Derefr", 100, 101)},
+			{del("Assign", facts.Assign[0].Src, facts.Assign[0].Dst), del("Derefr", 100, 101)},
+			{ins("Assign", 100, 101), del("Assign", 100, 102)},
+		},
+	}
+}
+
+// oracleSnapshots replays the batch sequence against a net-assertion
+// multiset and recomputes every step's fixpoint from scratch with the
+// sequential baseline engine.
+func oracleSnapshots(t *testing.T, sc streamScenario) []map[string][]string {
+	t.Helper()
+	net := make(map[string]map[[2]int32]int)
+	out := make([]map[string][]string, len(sc.steps))
+	for si, step := range sc.steps {
+		// Deletions apply before insertions — Tx semantics.
+		for _, op := range step {
+			if !op.del {
+				continue
+			}
+			if m := net[op.rel]; m[op.t] > 0 {
+				m[op.t]--
+			}
+		}
+		for _, op := range step {
+			if op.del {
+				continue
+			}
+			m := net[op.rel]
+			if m == nil {
+				m = make(map[[2]int32]int)
+				net[op.rel] = m
+			}
+			m[op.t]++
+		}
+		p := sc.build()
+		for rel, m := range net {
+			r := p.Relation(rel, 2)
+			for tu, c := range m {
+				if c > 0 {
+					r.FactTuple([]storage.Value{tu[0], tu[1]})
+				}
+			}
+		}
+		if _, err := p.Run(core.Options{}); err != nil {
+			t.Fatalf("%s oracle step %d: %v", sc.name, si, err)
+		}
+		out[si] = snapshotAll(p)
+	}
+	return out
+}
+
+func toTx(t *testing.T, p *core.Program, step []streamOp) *core.Tx {
+	t.Helper()
+	tx := p.NewTx()
+	for _, op := range step {
+		r := p.Relation(op.rel, 2)
+		if op.del {
+			tx.DeleteTuple(r, []storage.Value{op.t[0], op.t[1]})
+		} else {
+			tx.InsertTuple(r, []storage.Value{op.t[0], op.t[1]})
+		}
+	}
+	return tx
+}
+
+// TestDeleteOracleMatrix is the acceptance matrix: every execution mode,
+// with and without the JIT, applies each scenario's batch sequence
+// incrementally and must match the recompute oracle byte-for-byte after
+// every batch. The first batch is the cold bootstrap; every later batch —
+// deletions included — must take the incremental path, with the DRed
+// counters proving retraction and rederivation actually happened.
+func TestDeleteOracleMatrix(t *testing.T) {
+	for _, sc := range []streamScenario{tcScenario(), cspaScenario()} {
+		want := oracleSnapshots(t, sc)
+		for _, mode := range execModes {
+			for _, withJIT := range []bool{false, true} {
+				name := fmt.Sprintf("%s/%s/jit=%v", sc.name, mode.name, withJIT)
+				t.Run(name, func(t *testing.T) {
+					opts := core.Options{}
+					mode.set(&opts)
+					if withJIT {
+						opts.JIT = jit.Config{Backend: jit.BackendLambda, Granularity: jit.GranSPJ}
+					}
+					p := sc.build()
+					var retracted, rederived int64
+					for si, step := range sc.steps {
+						res, err := p.Apply(toTx(t, p, step), opts)
+						if err != nil {
+							t.Fatalf("step %d: %v", si, err)
+						}
+						if si == 0 && !res.Cold {
+							t.Fatalf("bootstrap batch claimed the incremental path")
+						}
+						if si > 0 && res.Cold {
+							t.Fatalf("step %d fell back to cold recompute on a monotone program", si)
+						}
+						diffSnapshots(t, fmt.Sprintf("%s step %d", name, si), want[si], snapshotAll(p))
+						retracted += res.Interp.Retracted
+						rederived += res.Interp.Rederived
+					}
+					if retracted == 0 {
+						t.Error("no batch reported Stats.Retracted > 0")
+					}
+					if rederived == 0 {
+						t.Error("no batch reported Stats.Rederived > 0")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestApplyColdFallbacks pins the demotions: Naive mode and non-monotone
+// programs (negation) must refuse the incremental path and still match the
+// oracle through recompute.
+func TestApplyColdFallbacks(t *testing.T) {
+	t.Run("naive", func(t *testing.T) {
+		sc := tcScenario()
+		want := oracleSnapshots(t, sc)
+		p := sc.build()
+		for si, step := range sc.steps {
+			res, err := p.Apply(toTx(t, p, step), core.Options{Naive: true})
+			if err != nil {
+				t.Fatalf("step %d: %v", si, err)
+			}
+			if !res.Cold {
+				t.Fatalf("step %d: Naive mode took the incremental path", si)
+			}
+			diffSnapshots(t, fmt.Sprintf("naive step %d", si), want[si], snapshotAll(p))
+		}
+	})
+	t.Run("negation", func(t *testing.T) {
+		// unreach(x,y) :- node(x), node(y), !tc(x,y) — stratified negation:
+		// deletions can CREATE derivations, exactly what DRed's monotone
+		// premise excludes.
+		build := func() *core.Program {
+			p := core.NewProgram()
+			node := p.Relation("node", 1)
+			edge := p.Relation("edge", 2)
+			tc := p.Relation("tc", 2)
+			unreach := p.Relation("unreach", 2)
+			x, y, z := core.NewVar("x"), core.NewVar("y"), core.NewVar("z")
+			p.MustRule(tc.A(x, y), edge.A(x, y))
+			p.MustRule(tc.A(x, y), tc.A(x, z), edge.A(z, y))
+			p.MustRule(unreach.A(x, y), node.A(x), node.A(y), core.Not(tc.A(x, y)))
+			return p
+		}
+		p := build()
+		node := p.Relation("node", 1)
+		edge := p.Relation("edge", 2)
+		tx := p.NewTx()
+		for i := 0; i < 4; i++ {
+			tx.InsertTuple(node, []storage.Value{storage.Value(i)})
+		}
+		tx.InsertTuple(edge, []storage.Value{0, 1})
+		tx.InsertTuple(edge, []storage.Value{1, 2})
+		if _, err := p.Apply(tx, core.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		// Deleting edge(1,2) must CREATE unreach(0,2)/unreach(1,2) — only a
+		// recompute can do that.
+		tx2 := p.NewTx()
+		tx2.DeleteTuple(edge, []storage.Value{1, 2})
+		res, err := p.Apply(tx2, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Cold {
+			t.Fatal("negation program took the incremental path")
+		}
+		unreach := p.Relation("unreach", 2)
+		if !unreach.Contains(0, 2) || !unreach.Contains(1, 2) {
+			t.Fatal("deletion did not create the negation-dependent tuples")
+		}
+	})
+}
+
+// TestApplyCountingSemantics pins the counting core on the public API: a
+// doubly asserted fact survives one retraction, retracting a derived-only
+// tuple is a no-op, and asserting an already-derived tuple keeps it alive
+// after its original support is retracted (ground promotion).
+func TestApplyCountingSemantics(t *testing.T) {
+	p := tcRules()
+	edge := p.Relation("edge", 2)
+	tc := p.Relation("tc", 2)
+
+	tx := p.NewTx()
+	tx.InsertTuple(edge, []storage.Value{1, 2})
+	tx.InsertTuple(edge, []storage.Value{1, 2}) // count 2
+	tx.InsertTuple(edge, []storage.Value{2, 3})
+	if _, err := p.Apply(tx, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	tx = p.NewTx()
+	tx.DeleteTuple(edge, []storage.Value{1, 2}) // count 2 → 1: survives
+	tx.DeleteTuple(tc, []storage.Value{1, 3})   // derived-only: no-op
+	tx.DeleteTuple(edge, []storage.Value{8, 9}) // absent: no-op
+	res, err := p.Apply(tx, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cold {
+		t.Fatal("counting batch fell back to cold recompute")
+	}
+	if res.Retracted != 0 {
+		t.Fatalf("count-gated batch physically removed %d rows", res.Retracted)
+	}
+	if !edge.Contains(1, 2) || !tc.Contains(1, 3) {
+		t.Fatal("doubly asserted fact (or its closure) lost after one retraction")
+	}
+
+	// Promote the derived tuple tc(1,3) to a ground fact, then retract its
+	// derivation: the assertion must keep it alive.
+	tx = p.NewTx()
+	tx.InsertTuple(tc, []storage.Value{1, 3})
+	if _, err := p.Apply(tx, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	tx = p.NewTx()
+	tx.DeleteTuple(edge, []storage.Value{1, 2})
+	if _, err := p.Apply(tx, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if edge.Contains(1, 2) {
+		t.Fatal("edge(1,2) survived its final retraction")
+	}
+	if !tc.Contains(1, 3) {
+		t.Fatal("ground-promoted tc(1,3) vanished with its old derivation")
+	}
+	if tc.Contains(1, 2) {
+		t.Fatal("tc(1,2) not retracted")
+	}
+	// And retracting the assertion finally kills it.
+	tx = p.NewTx()
+	tx.DeleteTuple(tc, []storage.Value{1, 3})
+	if _, err := p.Apply(tx, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if tc.Contains(1, 3) {
+		t.Fatal("tc(1,3) survived retraction of its last assertion")
+	}
+}
+
+// TestApplyInteropWithRun pins the handoff in both directions: a Run after
+// incremental Applys sees exactly the net ground facts (the arena-prefix
+// invariant Apply maintains is what Run's baseline rewind consumes), and an
+// Apply after that Run resumes incrementally.
+func TestApplyInteropWithRun(t *testing.T) {
+	sc := tcScenario()
+	want := oracleSnapshots(t, sc)
+	p := sc.build()
+	for si, step := range sc.steps {
+		if _, err := p.Apply(toTx(t, p, step), core.Options{}); err != nil {
+			t.Fatalf("step %d: %v", si, err)
+		}
+	}
+	if _, err := p.Run(core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	diffSnapshots(t, "run-after-apply", want[len(want)-1], snapshotAll(p))
+
+	edge := p.Relation("edge", 2)
+	tx := p.NewTx()
+	tx.DeleteTuple(edge, []storage.Value{6, 7})
+	res, err := p.Apply(tx, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cold {
+		t.Fatal("Apply after Run fell back to cold recompute")
+	}
+	if res.Retracted == 0 {
+		t.Fatal("retraction of a live edge removed nothing")
+	}
+	tc := p.Relation("tc", 2)
+	if tc.Contains(6, 7) {
+		t.Fatal("tc(6,7) survived retraction of its only support")
+	}
+}
+
+// FuzzRetraction cross-checks random batch sequences against the recompute
+// oracle on the TC rules: edges over a small node domain keep collision —
+// and therefore rederivation — frequent. The corpus seeds cover the three
+// interesting regimes (sparse, dense, delete-heavy).
+func FuzzRetraction(f *testing.F) {
+	f.Add(uint64(1), uint8(3))
+	f.Add(uint64(42), uint8(5))
+	f.Add(uint64(0xdeadbeef), uint8(8))
+	f.Fuzz(func(t *testing.T, seed uint64, nBatches uint8) {
+		batches := int(nBatches%6) + 2
+		s := seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+		next := func() uint64 {
+			s += 0x9e3779b97f4a7c15
+			z := s
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			return z ^ (z >> 31)
+		}
+		p := tcRules()
+		edge := p.Relation("edge", 2)
+		net := make(map[[2]int32]int)
+		for b := 0; b < batches; b++ {
+			tx := p.NewTx()
+			nOps := int(next()%12) + 1
+			type op struct {
+				t   [2]int32
+				del bool
+			}
+			var ops []op
+			for i := 0; i < nOps; i++ {
+				a, c := int32(next()%8), int32(next()%8)
+				if a == c {
+					continue
+				}
+				ops = append(ops, op{t: [2]int32{a, c}, del: next()%3 == 0})
+			}
+			for _, o := range ops { // deletions first: Tx semantics
+				if o.del {
+					tx.DeleteTuple(edge, []storage.Value{o.t[0], o.t[1]})
+					if net[o.t] > 0 {
+						net[o.t]--
+					}
+				}
+			}
+			for _, o := range ops {
+				if !o.del {
+					tx.InsertTuple(edge, []storage.Value{o.t[0], o.t[1]})
+					net[o.t]++
+				}
+			}
+			if _, err := p.Apply(tx, core.Options{Shards: 2, Workers: 2}); err != nil {
+				t.Fatalf("batch %d: %v", b, err)
+			}
+			oracle := tcRules()
+			oEdge := oracle.Relation("edge", 2)
+			for tu, c := range net {
+				if c > 0 {
+					oEdge.FactTuple([]storage.Value{tu[0], tu[1]})
+				}
+			}
+			if _, err := oracle.Run(core.Options{}); err != nil {
+				t.Fatalf("oracle batch %d: %v", b, err)
+			}
+			diffSnapshots(t, fmt.Sprintf("seed %d batch %d", seed, b), snapshotAll(oracle), snapshotAll(p))
+		}
+	})
+}

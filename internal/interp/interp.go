@@ -83,6 +83,8 @@ type Stats struct {
 	Steals        int64 // buckets claimed through the shared steal cursor (not via affinity)
 	SkewIters     int64 // iterations executed with work-stealing bucket claims
 	EstimatedRows int64 // summed histogram-based join-size estimates recorded at plan builds
+	Retracted     int64 // rows physically removed by retraction batches (seeds + over-deletes that stayed dead)
+	Rederived     int64 // over-deleted rows resurrected by the DRed rederivation round
 }
 
 // Interp is the tree-walking interpreter (paper §V-B: "when Carac is in

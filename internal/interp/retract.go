@@ -1,0 +1,258 @@
+package interp
+
+import (
+	"sync"
+
+	"carac/internal/ir"
+	"carac/internal/storage"
+)
+
+// This file is the execution half of DRed-style retraction (lowered by
+// ir.LowerRetract): given the ground facts a transaction deletes, OverDelete
+// computes the over-approximate set of derived tuples that might lose
+// support — the delta-driven closure of the deletions through every rule,
+// evaluated against the OLD database — and, after the caller physically
+// removes those rows, Rederive runs one naive round over the reduced
+// database to resurrect the candidates that still have an all-surviving
+// one-step derivation. Cascading rederivations (a resurrected tuple
+// re-supporting another candidate) and co-batched insertions then ride the
+// ordinary monotone warm-start continuation (ir.LowerWarm + SeedDelta),
+// which is sound because after removal the database under-approximates the
+// new fixpoint and the rederived/inserted rows seed its deltas.
+//
+// Both phases reuse the engine's execution substrate directly: each
+// propagation variant is a plain SPJ whose SrcDelta atom reads DeltaKnown
+// (SourceRel), so placing the round's doomed tuples there lets BuildPlan +
+// Plan.Execute drive the join with the same probe selection, composite
+// routing, and physical-bucket iteration as fixpoint evaluation — and the
+// independent (rule × variant) executions of a round fan out across the
+// worker pool exactly like an iteration's subqueries (readers are frozen for
+// the round; each task writes a private buffer merged at the barrier).
+
+// retractTask is one propagation execution of a round: a rule variant whose
+// delta position reads the doomed tuples.
+type retractTask struct {
+	spj  *ir.SPJOp
+	sink storage.PredID
+}
+
+// OverDelete computes the over-delete closure of seeds (per-predicate ground
+// tuples being retracted; the caller has verified presence). It returns the
+// full per-predicate candidate sets — seeds included — in deterministic
+// order. The catalog's delta relations are used as the round's working state
+// and are left cleared; Derived is read but never written (the caller
+// removes the returned rows afterwards, via storage.DeleteRows).
+//
+// protect, when non-nil, exempts tuples from ever becoming candidates — the
+// counting half of the maintenance scheme: a ground fact whose assertion
+// count is still positive keeps its own support no matter how many of its
+// derivations collapse, so it neither gets deleted nor propagates deletion.
+func (in *Interp) OverDelete(rules []ir.RetractRule, seeds map[storage.PredID][][]storage.Value, protect func(storage.PredID, []storage.Value) bool) map[storage.PredID][][]storage.Value {
+	cat := in.Cat
+	for _, pd := range cat.Preds() {
+		pd.DeltaKnown.Clear()
+		pd.DeltaNew.Clear()
+	}
+	// doomed is the closure's membership set; out its deterministic order.
+	doomed := make(map[storage.PredID]*storage.Relation)
+	out := make(map[storage.PredID][][]storage.Value)
+	mark := func(pid storage.PredID, t []storage.Value) bool {
+		d := doomed[pid]
+		if d == nil {
+			d = storage.NewRelation("doomed", cat.Pred(pid).Arity)
+			doomed[pid] = d
+		}
+		if !d.Insert(t) {
+			return false
+		}
+		cp := append([]storage.Value(nil), t...)
+		out[pid] = append(out[pid], cp)
+		return true
+	}
+	for pid, ts := range seeds {
+		for _, t := range ts {
+			if mark(pid, t) {
+				cat.Pred(pid).DeltaKnown.Insert(t)
+			}
+		}
+	}
+
+	var tasks []retractTask
+	for _, rr := range rules {
+		for _, spj := range rr.Propagate {
+			tasks = append(tasks, retractTask{spj: spj, sink: rr.Head})
+		}
+	}
+
+	for {
+		any := false
+		for _, pd := range cat.Preds() {
+			if !pd.DeltaKnown.Empty() {
+				any = true
+				break
+			}
+		}
+		if !any {
+			break
+		}
+		// One propagation round: every variant joins the doomed deltas
+		// against the old database; candidate heads that exist in Derived
+		// and are not yet doomed enter the next round's delta.
+		found := in.runRetractRound(tasks, func(sink storage.PredID, head []storage.Value) bool {
+			if d := doomed[sink]; d != nil && d.Contains(head) {
+				return false
+			}
+			if !cat.Pred(sink).Derived.Contains(head) {
+				return false
+			}
+			return protect == nil || !protect(sink, head)
+		})
+		for _, pd := range cat.Preds() {
+			pd.DeltaKnown.Clear()
+		}
+		for pid, ts := range found {
+			for _, t := range ts {
+				if mark(pid, t) {
+					cat.Pred(pid).DeltaKnown.Insert(t)
+				}
+			}
+		}
+	}
+	for _, pd := range cat.Preds() {
+		pd.DeltaKnown.Clear()
+		pd.DeltaNew.Clear()
+	}
+	return out
+}
+
+// Rederive runs the rederivation round: for every candidate set in deleted
+// (whose rows the caller has already physically removed), execute each
+// rule's naive variant over the reduced database and return the candidates
+// that were rederived — they still hold and must be re-inserted. Counted
+// into Stats.Rederived.
+func (in *Interp) Rederive(rules []ir.RetractRule, deleted map[storage.PredID][][]storage.Value) map[storage.PredID][][]storage.Value {
+	cat := in.Cat
+	// Membership sets of the removed candidates, per sink.
+	want := make(map[storage.PredID]*storage.Relation, len(deleted))
+	for pid, ts := range deleted {
+		r := storage.NewRelation("cand", cat.Pred(pid).Arity)
+		for _, t := range ts {
+			r.Insert(t)
+		}
+		want[pid] = r
+	}
+	var tasks []retractTask
+	for _, rr := range rules {
+		if want[rr.Head] == nil {
+			continue
+		}
+		tasks = append(tasks, retractTask{spj: rr.Rederive, sink: rr.Head})
+	}
+	if len(tasks) == 0 {
+		return nil
+	}
+	seen := make(map[storage.PredID]*storage.Relation)
+	found := in.runRetractRound(tasks, func(sink storage.PredID, head []storage.Value) bool {
+		return want[sink].Contains(head)
+	})
+	out := make(map[storage.PredID][][]storage.Value)
+	for pid, ts := range found {
+		s := seen[pid]
+		if s == nil {
+			s = storage.NewRelation("rederived", cat.Pred(pid).Arity)
+			seen[pid] = s
+		}
+		for _, t := range ts {
+			if s.Insert(t) {
+				out[pid] = append(out[pid], t)
+				in.Stats.Rederived++
+			}
+		}
+	}
+	return out
+}
+
+// runRetractRound executes every task once against the current catalog and
+// returns the emitted head tuples that pass keep, per sink, deduplicated
+// within each task but not across tasks (the caller's merge dedups). Tasks
+// fan out across the worker pool when parallel execution is configured —
+// sound for the same reason iteration fan-out is: Derived and DeltaKnown are
+// frozen for the round and every task writes only its private buffer.
+func (in *Interp) runRetractRound(tasks []retractTask, keep func(sink storage.PredID, head []storage.Value) bool) map[storage.PredID][][]storage.Value {
+	run := func(t retractTask, sink func(storage.PredID, []storage.Value)) {
+		plan, err := BuildPlan(t.spj, in.Cat)
+		if err != nil {
+			// The lowering only emits orders the optimizer validated; an
+			// unbound order here would also have failed the cold run. Skip —
+			// the caller's cold-path fallback covers it.
+			return
+		}
+		plan.Cancel = in.Cancelled
+		in.Stats.SPJRuns++
+		in.Stats.PlanBuilds++
+		plan.Execute(in.Cat, func(head, _ []storage.Value) {
+			if keep(t.sink, head) {
+				sink(t.sink, append([]storage.Value(nil), head...))
+			}
+		})
+	}
+
+	workers := 1
+	if in.Parallel && len(tasks) > 1 {
+		workers = in.workerCount()
+		if workers > len(tasks) {
+			workers = len(tasks)
+		}
+	}
+	if workers <= 1 {
+		out := make(map[storage.PredID][][]storage.Value)
+		for _, t := range tasks {
+			run(t, func(pid storage.PredID, row []storage.Value) {
+				out[pid] = append(out[pid], row)
+			})
+		}
+		return out
+	}
+	// Parallel: one private result list per task, merged in task order so
+	// the round's output order is deterministic regardless of scheduling.
+	results := make([]map[storage.PredID][][]storage.Value, len(tasks))
+	var wg sync.WaitGroup
+	next := make(chan int, len(tasks))
+	for i := range tasks {
+		next <- i
+	}
+	close(next)
+	// Stats from worker goroutines would race; count the round's executions
+	// up front and leave per-plan stats to the sequential path.
+	in.Stats.SPJRuns += int64(len(tasks))
+	in.Stats.PlanBuilds += int64(len(tasks))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				t := tasks[i]
+				buf := make(map[storage.PredID][][]storage.Value)
+				plan, err := BuildPlan(t.spj, in.Cat)
+				if err != nil {
+					continue
+				}
+				plan.Cancel = in.Cancelled
+				plan.Execute(in.Cat, func(head, _ []storage.Value) {
+					if keep(t.sink, head) {
+						buf[t.sink] = append(buf[t.sink], append([]storage.Value(nil), head...))
+					}
+				})
+				results[i] = buf
+			}
+		}()
+	}
+	wg.Wait()
+	out := make(map[storage.PredID][][]storage.Value)
+	for _, buf := range results {
+		for pid, ts := range buf {
+			out[pid] = append(out[pid], ts...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package ir
+
+import (
+	"fmt"
+
+	"carac/internal/ast"
+	"carac/internal/storage"
+)
+
+// This file lowers a program for DRed-style retraction (delete-and-rederive,
+// Gupta/Mumick/Subrahmanian): when ground facts are retracted, the driver
+// (internal/interp, OverDelete/Rederive) first computes the over-approximate
+// set of derived tuples that MIGHT lose support — the delta-driven closure of
+// the deletions through every rule — then physically removes them and runs
+// one naive rederivation round over the reduced database to resurrect tuples
+// that still have an all-surviving derivation. Cascading rederivations and
+// any co-batched insertions then ride the ordinary monotone warm-start
+// continuation (ir.LowerWarm + SeedDelta), which is sound because after the
+// removal the database is an under-approximation of the new fixpoint.
+//
+// The lowering itself only produces the SPJ shapes; the driver owns the loop
+// structure, so — unlike Lower/LowerWarm — the output is a flat per-rule
+// table, not an op tree.
+
+// RetractRule is the retraction shape of one rule.
+type RetractRule struct {
+	// Head is the rule's sink predicate.
+	Head storage.PredID
+	// RuleIdx is the rule's index in the source program (plan-cache keying).
+	RuleIdx int
+	// Propagate holds one delta variant per positive relational body atom —
+	// the LowerWarm shape, with SrcDelta reading the deletion delta: a head
+	// tuple joining a doomed tuple at that position might lose support.
+	Propagate []*SPJOp
+	// Rederive is the fully naive variant (DeltaIdx -1), run over the
+	// reduced database and sink-filtered to the over-deleted candidates.
+	Rederive *SPJOp
+}
+
+// LowerRetract builds the retraction table for prog. Like LowerWarm it is
+// sound only for monotone programs: stratified negation and aggregation are
+// non-monotone under deletion (a removed tuple can create derivations), so
+// those programs must take the cold recompute path — callers gate on the
+// error.
+func LowerRetract(prog *ast.Program) ([]RetractRule, error) {
+	out := make([]RetractRule, 0, len(prog.Rules))
+	for ri, r := range prog.Rules {
+		if r.Agg.Kind != ast.AggNone {
+			return nil, fmt.Errorf("ir: retraction lowering requires a monotone program; rule %s aggregates", prog.FormatRule(r))
+		}
+		rr := RetractRule{Head: r.Head.Pred, RuleIdx: ri}
+		for i, a := range r.Body {
+			if a.Kind == ast.AtomNegated {
+				return nil, fmt.Errorf("ir: retraction lowering requires a monotone program; rule %s negates %s", prog.FormatRule(r), prog.Catalog.Pred(a.Pred).Name)
+			}
+			if a.Kind != ast.AtomRelation {
+				continue
+			}
+			spj, err := lowerSubquery(prog, ri, i, nil)
+			if err != nil {
+				return nil, err
+			}
+			rr.Propagate = append(rr.Propagate, spj)
+		}
+		naive, err := lowerSubquery(prog, ri, -1, nil)
+		if err != nil {
+			return nil, err
+		}
+		rr.Rederive = naive
+		out = append(out, rr)
+	}
+	return out, nil
+}

@@ -14,7 +14,10 @@
 // directory plus os.Rename, so a reader or a concurrently flushing second
 // process only ever observes a complete old file or a complete new one.
 // Flush never deletes files: an entry the in-memory LRU evicted survives on
-// disk and reloads on the next open.
+// disk and reloads on the next open. Directory hygiene happens at Load
+// instead: files that fail validation are removed (they could never load
+// again — the next flush would just orphan them under a new tag), and
+// temp files old enough that no live flusher can still own them are swept.
 package plancache
 
 import (
@@ -25,6 +28,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"carac/internal/stats"
 	"carac/internal/wire"
@@ -151,12 +155,14 @@ type EntryCodec struct {
 // Misses = recompile hints seen at load (the entry must be rebuilt),
 // Invalidations = files or payloads rejected (wrong magic, version or tag
 // mismatch, truncation, checksum or decode failure), Flushes = entries
-// written to disk.
+// written to disk, Swept = files Load removed from the directory (rejected
+// entry/profile files plus aged-out temp files from crashed flushes).
 type DiskStats struct {
 	Hits          int64
 	Misses        int64
 	Invalidations int64
 	Flushes       int64
+	Swept         int64
 }
 
 // Persister binds a Store to a cache directory under a version tag. Callers
@@ -200,9 +206,21 @@ func entryFileName(class Class, key Key) string {
 	return fmt.Sprintf("c%d-%x%s", class, sum, entryExt)
 }
 
+// tmpOrphanAge is how old a flush temp file must be before Load treats it
+// as an orphan of a crashed process and sweeps it. A live flusher holds its
+// temp file for milliseconds, so an hour leaves no realistic race with a
+// concurrent process sharing the directory.
+const tmpOrphanAge = time.Hour
+
 // Load reads every valid cache file in the directory into the store. It
 // never fails: a missing directory is an empty cache, and every unreadable
-// or invalid file is a silent miss counted in Invalidations.
+// or invalid file is a silent miss counted in Invalidations. Load also
+// garbage-collects the directory: entry and profile files that fail
+// validation (wrong magic, version or tag mismatch, truncation, checksum or
+// decode failure) are removed — they could never load again, and the next
+// flush would not necessarily overwrite them — as are temp files from
+// crashed flushes once they are older than tmpOrphanAge. Removals are
+// counted in DiskStats.Swept.
 func (p *Persister) Load(s *Store) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -215,14 +233,31 @@ func (p *Persister) Load(s *Store) {
 		if de.IsDir() {
 			continue
 		}
+		path := filepath.Join(p.dir, name)
+		if strings.HasPrefix(name, ".tmp-") {
+			if fi, err := de.Info(); err == nil && time.Since(fi.ModTime()) >= tmpOrphanAge {
+				p.sweepLocked(path)
+			}
+			continue
+		}
 		if name == profileName {
-			p.loadProfileLocked(filepath.Join(p.dir, name))
+			if p.loadProfileLocked(path) {
+				p.sweepLocked(path)
+			}
 			continue
 		}
 		if !strings.HasSuffix(name, entryExt) {
 			continue
 		}
-		p.loadEntryFileLocked(s, filepath.Join(p.dir, name))
+		if p.loadEntryFileLocked(s, path) {
+			p.sweepLocked(path)
+		}
+	}
+}
+
+func (p *Persister) sweepLocked(path string) {
+	if os.Remove(path) == nil {
+		p.stats.Swept++
 	}
 }
 
@@ -249,25 +284,33 @@ func (p *Persister) checkEnvelope(b []byte, magic [4]byte) (*wire.Reader, bool) 
 	return r, r.Err() == nil
 }
 
-func (p *Persister) loadEntryFileLocked(s *Store, path string) {
+// loadEntryFileLocked reads one entry file into the store and reports
+// whether the file is permanently invalid and should be removed. Transient
+// conditions — a read error, or a class this process has no codec for —
+// count as invalidations but keep the file.
+func (p *Persister) loadEntryFileLocked(s *Store, path string) (drop bool) {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		p.stats.Invalidations++
-		return
+		return false
 	}
 	r, ok := p.checkEnvelope(b, entryMagic)
 	if !ok {
 		p.stats.Invalidations++
-		return
+		return true
 	}
 	class := Class(r.U8())
 	codec, hasCodec := p.codecs[class]
 	sig := r.String()
 	widen := r.U8()
 	n := r.Count(1)
-	if r.Err() != nil || !hasCodec || n < 0 {
+	if r.Err() != nil || n < 0 {
 		p.stats.Invalidations++
-		return
+		return true
+	}
+	if !hasCodec {
+		p.stats.Invalidations++
+		return false
 	}
 	var hits, misses int64
 	for i := 0; i < n; i++ {
@@ -289,7 +332,7 @@ func (p *Persister) loadEntryFileLocked(s *Store, path string) {
 		payload := r.Bytes()
 		if r.Err() != nil {
 			p.stats.Invalidations++
-			return
+			return true
 		}
 		if !hasArtifact {
 			// Recompile hint: the previous process had this entry on a
@@ -300,7 +343,7 @@ func (p *Persister) loadEntryFileLocked(s *Store, path string) {
 		val, err := codec.Decode(payload)
 		if err != nil {
 			p.stats.Invalidations++
-			return
+			return true
 		}
 		if s.Inject(Entry{Class: class, Key: Key{Sig: sig}, Widen: widen, Counters: counters, Cards: cards, Val: val}) {
 			hits++
@@ -308,25 +351,29 @@ func (p *Persister) loadEntryFileLocked(s *Store, path string) {
 	}
 	p.stats.Hits += hits
 	p.stats.Misses += misses
+	return false
 }
 
-func (p *Persister) loadProfileLocked(path string) {
+// loadProfileLocked reads the profile snapshot and reports whether the file
+// failed validation and should be removed.
+func (p *Persister) loadProfileLocked(path string) (drop bool) {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		p.stats.Invalidations++
-		return
+		return false
 	}
 	r, ok := p.checkEnvelope(b, profileMagic)
 	if !ok {
 		p.stats.Invalidations++
-		return
+		return true
 	}
 	snap, err := stats.DecodeSnapshot(r.Rest())
 	if err != nil {
 		p.stats.Invalidations++
-		return
+		return true
 	}
 	p.profile = snap
+	return false
 }
 
 // writeAtomic writes b to name in the cache directory via a same-directory

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"carac/internal/stats"
 )
@@ -307,6 +308,89 @@ func TestPersistConcurrentFlush(t *testing.T) {
 		if strings.HasPrefix(f.Name(), ".tmp-") {
 			t.Fatalf("leftover temp file %s", f.Name())
 		}
+	}
+}
+
+// TestLoadSweepsPollutedDirectory: Load garbage-collects a polluted cache
+// directory — aged temp-file orphans from crashed flushes and permanently
+// invalid entry files (garbage bytes, stale version tags) — while keeping
+// valid entries, fresh temp files a concurrent flusher may still own, and
+// foreign files it does not understand.
+func TestLoadSweepsPollutedDirectory(t *testing.T) {
+	dir := t.TempDir()
+	s1 := NewStore(0)
+	planView(s1).Store(Key{Sig: "good"}, []uint64{1}, []int{8}, "keep-me")
+	p1 := NewPersister(dir, "tag", testCodecs())
+	if err := p1.Flush(s1, &stats.Snapshot{CapturedEpoch: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pollution 1: an entry flushed under a stale version tag — the classic
+	// leftover after an engine upgrade changes the layout.
+	sStale := NewStore(0)
+	planView(sStale).Store(Key{Sig: "stale"}, []uint64{1}, []int{8}, "old-world")
+	pStale := NewPersister(dir, "old-tag", testCodecs())
+	if err := pStale.Flush(sStale, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Pollution 2: an aged temp file from a crashed flush.
+	orphan := filepath.Join(dir, ".tmp-crashed123")
+	if err := os.WriteFile(orphan, []byte("partial flush"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * tmpOrphanAge)
+	if err := os.Chtimes(orphan, old, old); err != nil {
+		t.Fatal(err)
+	}
+	// Not pollution: a fresh temp file (a live flusher could own it) and a
+	// file the cache never wrote.
+	fresh := filepath.Join(dir, ".tmp-live456")
+	if err := os.WriteFile(fresh, []byte("in flight"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	foreign := filepath.Join(dir, "README.txt")
+	if err := os.WriteFile(foreign, []byte("notes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Pollution 3: garbage bytes under the entry extension.
+	garbage := filepath.Join(dir, "c0-deadbeef"+entryExt)
+	if err := os.WriteFile(garbage, []byte("not a cache entry"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := NewStore(0)
+	p2 := NewPersister(dir, "tag", testCodecs())
+	p2.Load(s2)
+	st := p2.Stats()
+	if st.Hits != 1 || st.Invalidations != 2 {
+		t.Fatalf("load stats %+v, want 1 hit + 2 invalidations (garbage, stale tag)", st)
+	}
+	if st.Swept != 3 {
+		t.Fatalf("swept %d files, want 3 (aged orphan, garbage, stale tag)", st.Swept)
+	}
+	if got, ok, _ := planView(s2).Lookup(Key{Sig: "good"}, []uint64{1}, []int{8}); !ok || got != "keep-me" {
+		t.Fatalf("valid entry lost to the sweep: ok=%v val=%q", ok, got)
+	}
+	for _, gone := range []string{orphan, garbage} {
+		if _, err := os.Stat(gone); !os.IsNotExist(err) {
+			t.Fatalf("%s survived the sweep (err=%v)", filepath.Base(gone), err)
+		}
+	}
+	for _, kept := range []string{fresh, foreign} {
+		if _, err := os.Stat(kept); err != nil {
+			t.Fatalf("%s should have been left alone: %v", filepath.Base(kept), err)
+		}
+	}
+
+	// The directory self-healed: a second load sees only valid state.
+	s3 := NewStore(0)
+	p3 := NewPersister(dir, "tag", testCodecs())
+	p3.Load(s3)
+	if st := p3.Stats(); st.Hits != 1 || st.Invalidations != 0 || st.Swept != 0 {
+		t.Fatalf("reload after sweep %+v, want a clean 1-hit load", st)
+	}
+	if prof := p3.Profile(); prof == nil || prof.CapturedEpoch != 1 {
+		t.Fatalf("profile lost during sweep: %+v", prof)
 	}
 }
 

@@ -1,0 +1,161 @@
+package storage
+
+// This file implements per-row reference counts — the storage substrate of
+// counting-based incremental view maintenance (core.Apply / Server.IngestTx).
+// A count is a base-fact assertion multiplicity: inserting a tuple that is
+// already present through IncRef bumps its count instead of being dropped as
+// a duplicate, and a retraction only becomes a physical delete when DecRef
+// reaches zero. Derived (non-ground) rows carry count 1 — the engine does not
+// count derivations (exact derivation counting is incompatible with the
+// semi-naive duplicate elimination every executor relies on); recursive
+// retraction instead goes through the DRed over-delete/rederive driver in
+// internal/interp, which only needs ground counts to decide which base facts
+// actually disappeared.
+//
+// Counting is opt-in per relation (EnableCounts) so every existing path pays
+// at most one branch. Like indexes and histograms, the registration survives
+// Clear and every shard-layout transition; counts travel with rows through
+// the physical split and dissolve (physshard.go) and through compactions
+// (TruncateTo, DeleteRows). Count maintenance never touches a mutation
+// counter — IncRef on a present row changes no relation content.
+
+// EnableCounts switches the relation to counted mode, backfilling every
+// current row with count 1 and building the row-id map. Idempotent. On a
+// physically sharded relation the counts live per bucket sub-relation,
+// mirroring indexes and histograms.
+func (r *Relation) EnableCounts() {
+	if r.countsOn {
+		return
+	}
+	r.countsOn = true
+	if r.subs != nil {
+		for _, s := range r.subs {
+			s.EnableCounts()
+		}
+		r.countIdxReset()
+		return
+	}
+	n := r.Len()
+	r.counts = make([]uint32, n)
+	for i := range r.counts {
+		r.counts[i] = 1
+	}
+	r.countIdxReset()
+	for row := int32(0); row < int32(n); row++ {
+		r.countRecord(r.Row(row), row)
+	}
+}
+
+// CountsEnabled reports whether the relation is in counted mode.
+func (r *Relation) CountsEnabled() bool { return r.countsOn }
+
+// Count returns tuple t's assertion count, or 0 when t is absent (or
+// counting is off).
+func (r *Relation) Count(t []Value) uint32 {
+	if !r.countsOn {
+		return 0
+	}
+	if r.subs != nil {
+		return r.subs[ShardOf(t[r.shardCol], r.shardCount)].Count(t)
+	}
+	row, ok := r.rowLookup(t)
+	if !ok {
+		return 0
+	}
+	return r.counts[row]
+}
+
+// IncRef asserts tuple t once: a present row's count is bumped (returning
+// false — no content change), an absent tuple is inserted with count 1
+// (returning true, exactly like Insert). Requires counted mode.
+func (r *Relation) IncRef(t []Value) bool {
+	if r.subs != nil {
+		return r.subs[ShardOf(t[r.shardCol], r.shardCount)].IncRef(t)
+	}
+	if row, ok := r.rowLookup(t); ok {
+		r.counts[row]++
+		return false
+	}
+	return r.Insert(t)
+}
+
+// DecRef retracts one assertion of tuple t, returning the remaining count
+// and whether t was present. A count that reaches zero leaves the row in
+// place — the caller batches zero-count rows into one DeleteRows compaction —
+// and saturates there (a zombie row re-asserted before the compaction goes
+// back to count 1 via IncRef).
+func (r *Relation) DecRef(t []Value) (remaining uint32, ok bool) {
+	if r.subs != nil {
+		return r.subs[ShardOf(t[r.shardCol], r.shardCount)].DecRef(t)
+	}
+	row, found := r.rowLookup(t)
+	if !found {
+		return 0, false
+	}
+	if r.counts[row] > 0 {
+		r.counts[row]--
+	}
+	return r.counts[row], true
+}
+
+// RowOf returns tuple t's row id in counted mode. Row ids are global
+// insertion positions, which physical sharding does not track — it reports
+// ok=false there (counted callers address ground prefixes, and ground
+// relations are never physical).
+func (r *Relation) RowOf(t []Value) (int32, bool) {
+	if !r.countsOn || r.subs != nil {
+		return -1, false
+	}
+	return r.rowLookup(t)
+}
+
+// rowLookup resolves t to its row id through the active row-id map.
+// Mutation-path discipline: uses the shared scratch buffer, so it must not
+// race an Insert (the single-writer contract every mutation already has).
+func (r *Relation) rowLookup(t []Value) (int32, bool) {
+	if r.rowIdx64 != nil {
+		row, ok := r.rowIdx64[key64(t)]
+		return row, ok
+	}
+	if r.rowIdxS != nil {
+		row, ok := r.rowIdxS[string(r.pack(t))]
+		return row, ok
+	}
+	return -1, false
+}
+
+// countRecord maps row's dedup key to its id (called on append and rebuild;
+// the counts slice itself is maintained positionally by the caller).
+func (r *Relation) countRecord(t []Value, row int32) {
+	if r.rowIdx64 != nil {
+		r.rowIdx64[key64(t)] = row
+		return
+	}
+	r.rowIdxS[string(r.pack(t))] = row
+}
+
+// countIdxReset replaces the row-id map with an empty one of the layout's
+// key shape (uint64 keys for arity <= 2, packed strings otherwise).
+func (r *Relation) countIdxReset() {
+	if r.arity <= 2 {
+		r.rowIdx64, r.rowIdxS = make(map[uint64]int32), nil
+		return
+	}
+	r.rowIdxS, r.rowIdx64 = make(map[string]int32), nil
+}
+
+// countClear empties the count state on the relation-clearing paths. retain
+// keeps allocated capacity (in-place map clear), mirroring resetContents.
+// No-op when counting is off.
+func (r *Relation) countClear(retain bool) {
+	if !r.countsOn {
+		return
+	}
+	r.counts = r.counts[:0]
+	if retain {
+		clear(r.rowIdx64)
+		clear(r.rowIdxS)
+		return
+	}
+	r.countIdxReset()
+}

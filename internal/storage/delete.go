@@ -1,0 +1,260 @@
+package storage
+
+// This file implements batched physical deletion — the one destructive
+// operation that removes individual rows rather than a suffix or everything.
+// It exists for incremental maintenance (core.Apply / Server.IngestTx): a
+// transaction's retractions are collected (count-gated by DecRef) and applied
+// as ONE stable compaction per relation, rebuilding the derived structures —
+// dedup set, indexes, composites, histograms, shard views, row-id map — the
+// same way TruncateTo does, and advancing the mutation counter once per batch
+// (one logical content change, exactly like Clear).
+//
+// Epoch safety: a pinned arena (an EpochRows view references it) is never
+// compacted in place — the survivors move to a fresh slab and the old one is
+// left to the epoch's readers, the same copy-on-flip discipline as the other
+// destructive operations (epoch.go).
+
+// DeleteRows removes every currently present tuple of tuples from r in one
+// batch, returning the number of rows removed and how many of those had row
+// ids below boundary (the ground-fact arena prefix — callers shrink their
+// baseline watermark by removedBelow). Tuples that are absent are ignored;
+// when nothing is present the relation — including its mutation counters —
+// is untouched. In physical mode the batch routes per bucket and boundary is
+// meaningless (row ids are bucket-local): removedBelow is 0, and per-bucket
+// counters advance for the buckets that lost rows, mirroring Clear.
+func (r *Relation) DeleteRows(tuples [][]Value, boundary int) (removed, removedBelow int) {
+	if len(tuples) == 0 {
+		return 0, 0
+	}
+	if r.subs != nil {
+		byBucket := make([][][]Value, len(r.subs))
+		for _, t := range tuples {
+			b := ShardOf(t[r.shardCol], r.shardCount)
+			byBucket[b] = append(byBucket[b], t)
+		}
+		for s, bt := range byBucket {
+			if len(bt) == 0 {
+				continue
+			}
+			rm, _ := r.subs[s].deleteCompact(bt, 0)
+			if rm > 0 {
+				removed += rm
+				r.shardMuts[s]++
+			}
+		}
+		if removed > 0 {
+			r.muts++
+		}
+		return removed, 0
+	}
+	removed, removedBelow = r.deleteCompact(tuples, boundary)
+	if removed > 0 {
+		r.muts++
+	}
+	return removed, removedBelow
+}
+
+// AssertAt is the insertion half of ground maintenance: it asserts tuples as
+// ground facts while keeping the ground-fact arena prefix invariant (rows
+// [0, boundary) are ground). A tuple already present below boundary just
+// gains an assertion (count++, no content change); one present at or above
+// boundary — a derived row being promoted to a ground fact — is relocated
+// into the prefix with the batch's assertions as its count (its previous
+// count 1 recorded presence, not assertion); an absent tuple
+// is spliced in at the prefix with count 1 (repeats within the batch bump
+// the count instead). Returns the distinct newly inserted tuples in
+// first-occurrence order and the number of promotions — the caller's ground
+// watermark grows by len(added)+promoted. Switches the relation to counted
+// mode if it was not already. Not meaningful in physical mode (no global row
+// order); there the tuples are simply IncRef'd into their buckets.
+func (r *Relation) AssertAt(tuples [][]Value, boundary int) (added [][]Value, promoted int) {
+	if len(tuples) == 0 {
+		return nil, 0
+	}
+	r.EnableCounts()
+	if r.subs != nil {
+		for _, t := range tuples {
+			if r.IncRef(t) {
+				added = append(added, append([]Value(nil), t...))
+			}
+		}
+		return added, 0
+	}
+	n := r.Len()
+	if boundary > n {
+		boundary = n
+	}
+	// Dedup the batch first so repeated assertions of one tuple fold into
+	// its multiplicity instead of producing duplicate rows.
+	type staged struct {
+		t   []Value
+		cnt uint32
+	}
+	var order []*staged
+	s64 := make(map[uint64]*staged)
+	sS := make(map[string]*staged)
+	for _, t := range tuples {
+		var st *staged
+		if r.arity <= 2 {
+			st = s64[key64(t)]
+		} else {
+			st = sS[string(r.pack(t))]
+		}
+		if st == nil {
+			st = &staged{t: append([]Value(nil), t...)}
+			if r.arity <= 2 {
+				s64[key64(t)] = st
+			} else {
+				sS[string(r.pack(t))] = st
+			}
+			order = append(order, st)
+		}
+		st.cnt++
+	}
+	// mid holds the rows entering the prefix, in batch order.
+	var mid []*staged
+	var midCounts []uint32
+	reloc := make(map[int]struct{})
+	for _, st := range order {
+		row, ok := r.rowLookup(st.t)
+		if ok && int(row) < boundary {
+			r.counts[row] += st.cnt
+			continue
+		}
+		if ok {
+			reloc[int(row)] = struct{}{}
+			mid = append(mid, st)
+			midCounts = append(midCounts, st.cnt)
+			promoted++
+			continue
+		}
+		mid = append(mid, st)
+		midCounts = append(midCounts, st.cnt)
+		added = append(added, st.t)
+	}
+	if len(mid) == 0 {
+		return nil, 0 // pure count bumps: no content or structure change
+	}
+	// Rebuild onto a fresh slab — splicing always moves rows, and a fresh
+	// slab doubles as the copy-on-flip for any pinned epoch readers.
+	total := n - len(reloc) + len(mid)
+	dst := make([]Value, 0, total*r.arity)
+	cnts := make([]uint32, 0, total)
+	for i := 0; i < boundary; i++ {
+		dst = append(dst, r.Row(int32(i))...)
+		cnts = append(cnts, r.counts[i])
+	}
+	for i, st := range mid {
+		dst = append(dst, st.t...)
+		cnts = append(cnts, midCounts[i])
+	}
+	for i := boundary; i < n; i++ {
+		if _, moved := reloc[i]; moved {
+			continue
+		}
+		dst = append(dst, r.Row(int32(i))...)
+		cnts = append(cnts, r.counts[i])
+	}
+	r.arena = dst
+	r.pinned = false
+	r.counts = cnts
+	r.countIdxReset()
+	r.freshDedup(total)
+	for col := range r.indexes {
+		r.indexes[col] = make(map[Value][]int32)
+	}
+	for _, ci := range r.composites {
+		ci.m = make(map[string][]int32)
+	}
+	r.histReset()
+	r.reindexRows()
+	if r.shardCount > 0 && r.subs == nil {
+		r.shardRebuild()
+	}
+	if len(added) > 0 {
+		r.muts++ // one logical content change per batch, like DeleteRows
+	}
+	return added, promoted
+}
+
+// deleteCompact performs the single-slab compaction: locate the doomed rows,
+// move the survivors down (or onto a fresh slab when pinned), and rebuild
+// every derived structure. The caller owns all mutation-counter accounting.
+func (r *Relation) deleteCompact(tuples [][]Value, boundary int) (removed, removedBelow int) {
+	n := r.Len()
+	if n == 0 {
+		return 0, 0
+	}
+	// Dead-row scan against a key set in the relation's dedup key shape.
+	var dead []int
+	if r.arity <= 2 {
+		del := make(map[uint64]struct{}, len(tuples))
+		for _, t := range tuples {
+			del[key64(t)] = struct{}{}
+		}
+		for i := 0; i < n; i++ {
+			if _, doomed := del[key64(r.Row(int32(i)))]; doomed {
+				dead = append(dead, i)
+			}
+		}
+	} else {
+		del := make(map[string]struct{}, len(tuples))
+		for _, t := range tuples {
+			del[string(r.pack(t))] = struct{}{}
+		}
+		for i := 0; i < n; i++ {
+			if _, doomed := del[string(r.pack(r.Row(int32(i))))]; doomed {
+				dead = append(dead, i)
+			}
+		}
+	}
+	if len(dead) == 0 {
+		return 0, 0
+	}
+	removed = len(dead)
+	for _, i := range dead {
+		if i < boundary {
+			removedBelow++
+		}
+	}
+	// Stable compaction. In place, the write offset never passes the read
+	// offset; a pinned slab flips to a fresh one and stays with its epoch.
+	src := r.arena
+	var dst []Value
+	if r.pinned {
+		r.pinned = false
+		dst = make([]Value, 0, (n-removed)*r.arity)
+	} else {
+		dst = r.arena[:0]
+	}
+	di, cw := 0, 0
+	for i := 0; i < n; i++ {
+		if di < len(dead) && dead[di] == i {
+			di++
+			continue
+		}
+		dst = append(dst, src[i*r.arity:(i+1)*r.arity]...)
+		if r.countsOn {
+			r.counts[cw] = r.counts[i]
+			cw++
+		}
+	}
+	r.arena = dst
+	if r.countsOn {
+		r.counts = r.counts[:cw]
+		r.countIdxReset()
+	}
+	r.freshDedup(n - removed)
+	for col := range r.indexes {
+		r.indexes[col] = make(map[Value][]int32)
+	}
+	for _, ci := range r.composites {
+		ci.m = make(map[string][]int32)
+	}
+	r.histReset()
+	r.reindexRows()
+	if r.shardCount > 0 && r.subs == nil {
+		r.shardRebuild()
+	}
+	return removed, removedBelow
+}

@@ -41,6 +41,7 @@ func (r *Relation) resetContents(retain bool) {
 		r.arena = r.arena[:0]
 	}
 	r.histReset()
+	r.countClear(retain)
 	if retain {
 		clear(r.set)
 		clear(r.set64)
@@ -195,12 +196,21 @@ func (r *Relation) SetShardKeyPhysical(shards, col int) {
 		for c := range r.histograms {
 			sub.BuildHistogram(c)
 		}
+		if r.countsOn {
+			sub.EnableCounts()
+		}
 		subs[s] = sub
 	}
 	rows := 0
 	for off := 0; off < len(r.arena); off += r.arity {
 		t := r.arena[off : off+r.arity : off+r.arity]
-		subs[ShardOf(t[col], shards)].Insert(t)
+		sub := subs[ShardOf(t[col], shards)]
+		sub.Insert(t)
+		if r.countsOn {
+			// The re-insert recorded count 1; carry the row's real assertion
+			// count into the bucket with it.
+			sub.counts[len(sub.counts)-1] = r.counts[rows]
+		}
 		rows++
 	}
 	r.subs = subs
@@ -226,8 +236,10 @@ func (r *Relation) SetShardKeyPhysical(shards, col int) {
 	// which satisfies any pinned epoch view without a copy.
 	r.pinned = false
 	// Histogram counts moved into the bucket sub-relations with the rows;
-	// the parent keeps an empty registration (HistogramOf sums the subs).
+	// the parent keeps an empty registration (HistogramOf sums the subs),
+	// and likewise the reference counts moved with them.
 	r.histReset()
+	r.countClear(false)
 }
 
 // dissolvePhys converts a physical relation back to the flat layout,
@@ -252,9 +264,15 @@ func (r *Relation) dissolvePhys() {
 		ci.m = make(map[string][]int32)
 	}
 	r.histReset() // the re-inserts below rebuild the parent counts
+	r.countClear(false)
 	for _, sub := range subs {
+		i := 0
 		sub.Each(func(row []Value) bool {
 			r.Insert(row)
+			if r.countsOn && sub.countsOn {
+				r.counts[len(r.counts)-1] = sub.counts[i]
+			}
+			i++
 			return true
 		})
 	}

@@ -43,6 +43,17 @@ type Relation struct {
 	// rewriting the pinned slab in place (epoch.go, copy-on-flip).
 	pinned bool
 
+	// Reference-count state (counts.go): enabled per relation by
+	// EnableCounts, off everywhere else so the hot insert path pays one
+	// branch. counts[i] is row i's assertion count; rowIdx64/rowIdxS map
+	// each row's dedup key to its id (exactly one active, mirroring
+	// set/set64). Counts travel with rows through every layout transition
+	// and compaction.
+	countsOn bool
+	counts   []uint32
+	rowIdx64 map[uint64]int32
+	rowIdxS  map[string]int32
+
 	// Shard partition state (see shard.go and physshard.go). shardCount == 0
 	// means unpartitioned; otherwise the relation is partitioned into
 	// shardCount buckets by ShardOf(row[shardCol], shardCount) in one of
@@ -169,6 +180,10 @@ func (r *Relation) Insert(t []Value) bool {
 	r.muts++
 	row := int32(r.Len())
 	r.arena = append(r.arena, t...)
+	if r.countsOn {
+		r.counts = append(r.counts, 1)
+		r.countRecord(t, row)
+	}
 	if r.shardCount > 0 {
 		r.shardInsert(t, row)
 	}
@@ -397,6 +412,7 @@ func (r *Relation) Clear() {
 		ci.m = make(map[string][]int32)
 	}
 	r.histReset()
+	r.countClear(false)
 }
 
 // freshDedup replaces the active dedup structure with an empty one
@@ -498,10 +514,28 @@ func (r *Relation) TruncateTo(n int) {
 		ci.m = make(map[string][]int32)
 	}
 	r.histReset()
-	for row := int32(0); row < int32(n); row++ {
+	if r.countsOn {
+		r.counts = r.counts[:n]
+		r.countIdxReset()
+	}
+	r.reindexRows()
+}
+
+// reindexRows rebuilds every derived per-row structure — dedup set, registered
+// histograms, hash and composite indexes, and (when counting is enabled) the
+// row-id map — from the current arena, which the caller has just emptied or
+// replaced with fresh containers. Shared by the prefix rewind (TruncateTo) and
+// the batch deletion compaction (DeleteRows); counts themselves are positional
+// and compacted by the caller alongside the arena.
+func (r *Relation) reindexRows() {
+	n := int32(r.Len())
+	for row := int32(0); row < n; row++ {
 		t := r.Row(row)
 		r.dedupAdd(t)
 		r.histInsert(t)
+		if r.countsOn {
+			r.countRecord(t, row)
+		}
 		for col, idx := range r.indexes {
 			v := t[col]
 			idx[v] = append(idx[v], row)
